@@ -1,0 +1,204 @@
+//! Named device topologies.
+//!
+//! Includes the three variants of the IBM Q20 Tokyo architecture the paper
+//! evaluates (Fig. 9) plus generic families (linear, ring, grid, heavy-hex)
+//! useful for tests and extensions.
+//!
+//! The Tokyo family is laid out as a 4×5 grid (qubit `i` at row `i / 5`,
+//! column `i % 5`):
+//!
+//! * **Tokyo−** (Fig. 9a): the bare grid — diagonal edges removed;
+//! * **Tokyo** (Fig. 9b): the grid plus the 12 diagonal pairs of the IBM Q20
+//!   Tokyo coupling map (crossed diagonals in alternating grid squares), so
+//!   its average degree (4.3) sits exactly halfway between Tokyo− (3.1) and
+//!   Tokyo+ (5.5) as the paper requires;
+//! * **Tokyo+** (Fig. 9c): the grid plus *both* diagonals of every square.
+
+use crate::graph::ConnectivityGraph;
+
+const TOKYO_ROWS: usize = 4;
+const TOKYO_COLS: usize = 5;
+
+fn grid_edges(rows: usize, cols: usize) -> Vec<(usize, usize)> {
+    let idx = |r: usize, c: usize| r * cols + c;
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push((idx(r, c), idx(r, c + 1)));
+            }
+            if r + 1 < rows {
+                edges.push((idx(r, c), idx(r + 1, c)));
+            }
+        }
+    }
+    edges
+}
+
+fn all_diagonal_edges(rows: usize, cols: usize) -> Vec<(usize, usize)> {
+    let idx = |r: usize, c: usize| r * cols + c;
+    let mut edges = Vec::new();
+    for r in 0..rows - 1 {
+        for c in 0..cols - 1 {
+            edges.push((idx(r, c), idx(r + 1, c + 1)));
+            edges.push((idx(r, c + 1), idx(r + 1, c)));
+        }
+    }
+    edges
+}
+
+/// Diagonal pairs present in the IBM Q20 Tokyo coupling map: crossed
+/// diagonals in alternating unit squares of the 4×5 grid.
+fn tokyo_diagonal_edges() -> Vec<(usize, usize)> {
+    let idx = |r: usize, c: usize| r * TOKYO_COLS + c;
+    let mut edges = Vec::new();
+    for r in 0..TOKYO_ROWS - 1 {
+        for c in 0..TOKYO_COLS - 1 {
+            // Squares with odd column index carry the crossed diagonals
+            // (matches the X-pattern of the published device picture).
+            if c % 2 == 1 {
+                edges.push((idx(r, c), idx(r + 1, c + 1)));
+                edges.push((idx(r, c + 1), idx(r + 1, c)));
+            }
+        }
+    }
+    edges
+}
+
+/// The IBM Q20 Tokyo connectivity graph (Fig. 9b), 20 qubits.
+pub fn tokyo() -> ConnectivityGraph {
+    let mut edges = grid_edges(TOKYO_ROWS, TOKYO_COLS);
+    edges.extend(tokyo_diagonal_edges());
+    ConnectivityGraph::from_named_edges("tokyo", TOKYO_ROWS * TOKYO_COLS, edges)
+}
+
+/// Tokyo with all diagonal edges removed (Fig. 9a): a 4×5 grid.
+pub fn tokyo_minus() -> ConnectivityGraph {
+    ConnectivityGraph::from_named_edges(
+        "tokyo-",
+        TOKYO_ROWS * TOKYO_COLS,
+        grid_edges(TOKYO_ROWS, TOKYO_COLS),
+    )
+}
+
+/// Tokyo with both diagonals in every grid square (Fig. 9c).
+pub fn tokyo_plus() -> ConnectivityGraph {
+    let mut edges = grid_edges(TOKYO_ROWS, TOKYO_COLS);
+    edges.extend(all_diagonal_edges(TOKYO_ROWS, TOKYO_COLS));
+    ConnectivityGraph::from_named_edges("tokyo+", TOKYO_ROWS * TOKYO_COLS, edges)
+}
+
+/// A linear (1-D nearest-neighbor) architecture on `n` qubits.
+pub fn linear(n: usize) -> ConnectivityGraph {
+    ConnectivityGraph::from_named_edges("linear", n, (0..n.saturating_sub(1)).map(|i| (i, i + 1)))
+}
+
+/// A ring on `n ≥ 3` qubits.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn ring(n: usize) -> ConnectivityGraph {
+    assert!(n >= 3, "a ring needs at least 3 qubits");
+    ConnectivityGraph::from_named_edges("ring", n, (0..n).map(|i| (i, (i + 1) % n)))
+}
+
+/// A `rows × cols` grid architecture.
+pub fn grid(rows: usize, cols: usize) -> ConnectivityGraph {
+    ConnectivityGraph::from_named_edges("grid", rows * cols, grid_edges(rows, cols))
+}
+
+/// A simplified heavy-hex-style lattice of `cells` hexagonal cells in a row,
+/// as used by IBM's larger devices: degree ≤ 3, sparse connectivity.
+pub fn heavy_hex(cells: usize) -> ConnectivityGraph {
+    assert!(cells >= 1, "need at least one cell");
+    // Each cell: a hexagon sharing one vertical edge with the next.
+    // Vertices per cell after the first: 4 new ones.
+    let n = 6 + (cells - 1) * 4;
+    let mut edges = Vec::new();
+    // First hexagon 0-1-2-3-4-5-0.
+    for i in 0..6 {
+        edges.push((i, (i + 1) % 6));
+    }
+    let mut right_top = 1usize; // shared edge endpoints of the previous cell
+    let mut right_bottom = 2usize;
+    let mut next = 6usize;
+    for _ in 1..cells {
+        let (a, b, c, d) = (next, next + 1, next + 2, next + 3);
+        next += 4;
+        // New hexagon: right_top - a - b - c - d - right_bottom - right_top.
+        edges.push((right_top, a));
+        edges.push((a, b));
+        edges.push((b, c));
+        edges.push((c, d));
+        edges.push((d, right_bottom));
+        right_top = b;
+        right_bottom = c;
+    }
+    ConnectivityGraph::from_named_edges("heavy-hex", n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokyo_family_shapes() {
+        let (minus, base, plus) = (tokyo_minus(), tokyo(), tokyo_plus());
+        assert_eq!(minus.num_qubits(), 20);
+        assert_eq!(base.num_qubits(), 20);
+        assert_eq!(plus.num_qubits(), 20);
+        assert_eq!(minus.num_edges(), 31);
+        assert_eq!(base.num_edges(), 43);
+        assert_eq!(plus.num_edges(), 55);
+        assert!(minus.is_connected() && base.is_connected() && plus.is_connected());
+        // Paper: average degree of Tokyo is exactly halfway between the two.
+        let halfway = (minus.average_degree() + plus.average_degree()) / 2.0;
+        assert!((base.average_degree() - halfway).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tokyo_edges_are_supersets() {
+        let (minus, base, plus) = (tokyo_minus(), tokyo(), tokyo_plus());
+        for e in minus.edges() {
+            assert!(base.edges().contains(e));
+        }
+        for e in base.edges() {
+            assert!(plus.edges().contains(e));
+        }
+    }
+
+    #[test]
+    fn tokyo_diameter_small() {
+        // The dense Tokyo graph has a small diameter; the grid is larger.
+        assert!(tokyo().diameter() <= 5);
+        assert_eq!(tokyo_minus().diameter(), 7);
+    }
+
+    #[test]
+    fn linear_and_ring() {
+        assert_eq!(linear(5).diameter(), 4);
+        assert_eq!(ring(6).diameter(), 3);
+        assert_eq!(ring(6).average_degree(), 2.0);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(2, 3);
+        assert_eq!(g.num_qubits(), 6);
+        assert_eq!(g.num_edges(), 7);
+    }
+
+    #[test]
+    fn heavy_hex_connected_low_degree() {
+        for cells in 1..4 {
+            let g = heavy_hex(cells);
+            assert!(g.is_connected(), "cells={cells}");
+            let max_degree = (0..g.num_qubits())
+                .map(|p| g.neighbors(p).len())
+                .max()
+                .expect("nonempty");
+            assert!(max_degree <= 3, "cells={cells}");
+        }
+    }
+}

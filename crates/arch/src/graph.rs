@@ -1,0 +1,249 @@
+//! Connectivity graphs between physical qubits.
+//!
+//! A [`ConnectivityGraph`] is the `G = (Phys, Edges)` of the paper: an
+//! undirected graph whose vertices are physical qubits and whose edges mark
+//! the pairs on which two-qubit gates (and SWAPs) may be applied.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// A physical qubit, identified by a dense index.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PhysQubit(pub usize);
+
+impl fmt::Display for PhysQubit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// An undirected connectivity graph over physical qubits.
+///
+/// # Examples
+///
+/// ```
+/// use arch::ConnectivityGraph;
+/// let g = ConnectivityGraph::from_edges(3, [(0, 1), (1, 2)]);
+/// assert_eq!(g.num_qubits(), 3);
+/// assert!(g.are_adjacent(0, 1));
+/// assert!(!g.are_adjacent(0, 2));
+/// assert_eq!(g.distance(0, 2), 2);
+/// assert_eq!(g.diameter(), 2);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConnectivityGraph {
+    name: String,
+    num_qubits: usize,
+    /// Canonical edge list: each `(a, b)` with `a < b`, sorted, deduped.
+    edges: Vec<(usize, usize)>,
+    /// Adjacency lists.
+    adjacency: Vec<Vec<usize>>,
+    /// All-pairs shortest-path distances (`usize::MAX` if disconnected).
+    distances: Vec<Vec<usize>>,
+}
+
+impl ConnectivityGraph {
+    /// Builds a graph from an edge list.
+    ///
+    /// Self-loops are rejected; duplicate and reversed duplicates are
+    /// merged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range or an edge is a self-loop.
+    pub fn from_edges<I>(num_qubits: usize, edges: I) -> Self
+    where
+        I: IntoIterator<Item = (usize, usize)>,
+    {
+        Self::from_named_edges("custom", num_qubits, edges)
+    }
+
+    /// Builds a named graph from an edge list (see [`Self::from_edges`]).
+    pub fn from_named_edges<I>(name: &str, num_qubits: usize, edges: I) -> Self
+    where
+        I: IntoIterator<Item = (usize, usize)>,
+    {
+        let mut canon: Vec<(usize, usize)> = edges
+            .into_iter()
+            .map(|(a, b)| {
+                assert!(a < num_qubits && b < num_qubits, "edge endpoint out of range");
+                assert_ne!(a, b, "self-loop edges are not allowed");
+                (a.min(b), a.max(b))
+            })
+            .collect();
+        canon.sort_unstable();
+        canon.dedup();
+        let mut adjacency = vec![Vec::new(); num_qubits];
+        for &(a, b) in &canon {
+            adjacency[a].push(b);
+            adjacency[b].push(a);
+        }
+        for adj in &mut adjacency {
+            adj.sort_unstable();
+        }
+        let distances = Self::all_pairs_bfs(num_qubits, &adjacency);
+        ConnectivityGraph {
+            name: name.to_string(),
+            num_qubits,
+            edges: canon,
+            adjacency,
+            distances,
+        }
+    }
+
+    fn all_pairs_bfs(n: usize, adjacency: &[Vec<usize>]) -> Vec<Vec<usize>> {
+        let mut all = Vec::with_capacity(n);
+        for start in 0..n {
+            let mut dist = vec![usize::MAX; n];
+            dist[start] = 0;
+            let mut queue = VecDeque::from([start]);
+            while let Some(u) = queue.pop_front() {
+                for &v in &adjacency[u] {
+                    if dist[v] == usize::MAX {
+                        dist[v] = dist[u] + 1;
+                        queue.push_back(v);
+                    }
+                }
+            }
+            all.push(dist);
+        }
+        all
+    }
+
+    /// Human-readable device name (e.g. `"tokyo"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of physical qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Canonical undirected edge list (`a < b`, sorted).
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Neighbors of `p`, sorted ascending.
+    pub fn neighbors(&self, p: usize) -> &[usize] {
+        &self.adjacency[p]
+    }
+
+    /// True if `a` and `b` share an edge.
+    pub fn are_adjacent(&self, a: usize, b: usize) -> bool {
+        self.adjacency[a].binary_search(&b).is_ok()
+    }
+
+    /// Shortest-path distance between `a` and `b` in edges
+    /// (`usize::MAX` if disconnected).
+    pub fn distance(&self, a: usize, b: usize) -> usize {
+        self.distances[a][b]
+    }
+
+    /// Largest finite pairwise distance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has no vertices.
+    pub fn diameter(&self) -> usize {
+        self.distances
+            .iter()
+            .flatten()
+            .copied()
+            .filter(|&d| d != usize::MAX)
+            .max()
+            .expect("graph must be nonempty")
+    }
+
+    /// True if every qubit can reach every other.
+    pub fn is_connected(&self) -> bool {
+        self.distances
+            .iter()
+            .flatten()
+            .all(|&d| d != usize::MAX)
+    }
+
+    /// Average vertex degree.
+    pub fn average_degree(&self) -> f64 {
+        if self.num_qubits == 0 {
+            return 0.0;
+        }
+        2.0 * self.edges.len() as f64 / self.num_qubits as f64
+    }
+
+    /// A shortest path from `a` to `b` (inclusive), if one exists.
+    pub fn shortest_path(&self, a: usize, b: usize) -> Option<Vec<usize>> {
+        if self.distances[a][b] == usize::MAX {
+            return None;
+        }
+        let mut path = vec![b];
+        let mut cur = b;
+        while cur != a {
+            let d = self.distances[a][cur];
+            let prev = *self.adjacency[cur]
+                .iter()
+                .find(|&&n| self.distances[a][n] + 1 == d)
+                .expect("BFS predecessor exists");
+            path.push(prev);
+            cur = prev;
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_and_orientation() {
+        let g = ConnectivityGraph::from_edges(3, [(1, 0), (0, 1), (1, 2)]);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.edges(), &[(0, 1), (1, 2)]);
+        assert!(g.are_adjacent(1, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn rejects_self_loop() {
+        let _ = ConnectivityGraph::from_edges(2, [(1, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        let _ = ConnectivityGraph::from_edges(2, [(0, 2)]);
+    }
+
+    #[test]
+    fn path_graph_distances() {
+        let g = ConnectivityGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(g.distance(0, 3), 3);
+        assert_eq!(g.diameter(), 3);
+        assert!(g.is_connected());
+        assert_eq!(g.shortest_path(0, 3), Some(vec![0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn disconnected_graph() {
+        let g = ConnectivityGraph::from_edges(4, [(0, 1), (2, 3)]);
+        assert!(!g.is_connected());
+        assert_eq!(g.distance(0, 2), usize::MAX);
+        assert_eq!(g.shortest_path(0, 3), None);
+        // Diameter ignores infinite distances.
+        assert_eq!(g.diameter(), 1);
+    }
+
+    #[test]
+    fn average_degree() {
+        let g = ConnectivityGraph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert!((g.average_degree() - 2.0).abs() < 1e-9);
+    }
+}

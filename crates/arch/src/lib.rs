@@ -1,0 +1,25 @@
+//! Physical-device architectures for qubit mapping and routing.
+//!
+//! Provides the connectivity-graph substrate of the SATMAP (MICRO 2022)
+//! reproduction: the `G = (Phys, Edges)` graphs of the paper, the IBM Q20
+//! Tokyo family evaluated in its Q4 experiment, and synthetic noise models
+//! for the Q6 (fidelity-maximization) experiment.
+//!
+//! # Examples
+//!
+//! ```
+//! use arch::devices;
+//! let tokyo = devices::tokyo();
+//! assert_eq!(tokyo.num_qubits(), 20);
+//! assert!(tokyo.is_connected());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod devices;
+mod graph;
+mod noise;
+
+pub use graph::{ConnectivityGraph, PhysQubit};
+pub use noise::NoiseModel;

@@ -1,0 +1,187 @@
+//! Criterion benchmarks, one group per table/figure of the paper.
+//!
+//! These measure *scaled-down* instances so `cargo bench` finishes quickly;
+//! the full-size regenerations (with per-instance budgets and the whole
+//! 160-circuit suite) are produced by the `satmap-experiments` binary.
+
+use bench::{bench_budget, fig3, small_workloads};
+use circuit::Router;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use heuristics::{AStar, Sabre, Tket};
+use olsq::{Exhaustive, Transition};
+use satmap::{CyclicSatMap, Objective, SatMap, SatMapConfig};
+
+/// Fig. 1 / Table I / Figs. 10–11 (Q1): constraint-based tools on the same
+/// instance — SATMAP vs the TB-OLSQ and EX-MQT analogues.
+fn q1_constraint_tools(c: &mut Criterion) {
+    let mut group = c.benchmark_group("q1_constraint_tools");
+    group.sample_size(10);
+    let circuit = fig3();
+    let graph = arch::devices::tokyo_minus();
+    let tools: Vec<(&str, Box<dyn Router>)> = vec![
+        (
+            "satmap",
+            Box::new(SatMap::new(SatMapConfig::monolithic().with_budget(bench_budget()))),
+        ),
+        ("tb-olsq", Box::new(Transition::with_budget(bench_budget()))),
+        ("ex-mqt", Box::new(Exhaustive::with_budget(bench_budget()))),
+    ];
+    for (name, tool) in &tools {
+        group.bench_with_input(BenchmarkId::new(*name, "fig3"), &circuit, |b, circ| {
+            b.iter(|| tool.route(circ, &graph))
+        });
+    }
+    group.finish();
+}
+
+/// Fig. 12 (Q2): heuristic routers on the small workload set.
+fn q2_heuristics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("q2_heuristics");
+    let graph = arch::devices::tokyo();
+    let workloads = small_workloads();
+    let tools: Vec<(&str, Box<dyn Router>)> = vec![
+        ("mqth-astar", Box::new(AStar::default())),
+        ("sabre", Box::new(Sabre::default())),
+        ("tket", Box::new(Tket::default())),
+    ];
+    for (name, tool) in &tools {
+        for (i, w) in workloads.iter().enumerate() {
+            group.bench_with_input(BenchmarkId::new(*name, i), w, |b, circ| {
+                b.iter(|| tool.route(circ, &graph))
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Fig. 2 / Table II / Fig. 13 (Q3): slice-size ablation — the local
+/// relaxation at several slice sizes vs NL-SATMAP.
+fn q3_slice_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("q3_slice_sizes");
+    group.sample_size(10);
+    let graph = arch::devices::tokyo_minus();
+    let circuit = circuit::generators::random_local(5, 12, 4, 0.1, 3);
+    for slice in [2usize, 4, 8] {
+        let router = SatMap::new(SatMapConfig::sliced(slice).with_budget(bench_budget()));
+        group.bench_with_input(BenchmarkId::new("sliced", slice), &circuit, |b, circ| {
+            b.iter(|| router.route(circ, &graph))
+        });
+    }
+    let nl = SatMap::new(SatMapConfig::monolithic().with_budget(bench_budget()));
+    group.bench_with_input(BenchmarkId::new("nl-satmap", 0), &circuit, |b, circ| {
+        b.iter(|| nl.route(circ, &graph))
+    });
+    group.finish();
+}
+
+/// Table IV (Q3): cyclic relaxation on QAOA vs unrolled solving.
+fn q3_qaoa_cyclic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("q3_qaoa_cyclic");
+    group.sample_size(10);
+    let graph = arch::devices::tokyo();
+    let n = 6usize;
+    let edges = circuit::qaoa::three_regular_graph(n, 1);
+    let sub = circuit::qaoa::qaoa_subcircuit(n, &edges, 0.4, 0.3);
+    let prefix = circuit::Circuit::new(n);
+    let full = circuit::qaoa::qaoa_maxcut(n, 2, 1);
+
+    let cyc = CyclicSatMap::new(SatMapConfig::default().with_budget(bench_budget()));
+    group.bench_function("cyc-satmap", |b| {
+        b.iter(|| cyc.route_repeated(&prefix, &sub, 2, &graph))
+    });
+    let sm = SatMap::new(SatMapConfig::default().with_budget(bench_budget()));
+    group.bench_function("satmap-unrolled", |b| b.iter(|| sm.route(&full, &graph)));
+    let tket = Tket::default();
+    group.bench_function("tket", |b| b.iter(|| tket.route(&full, &graph)));
+    group.finish();
+}
+
+/// Fig. 14 (Q4): the same workload across Tokyo− / Tokyo / Tokyo+.
+fn q4_architectures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("q4_architectures");
+    group.sample_size(10);
+    let circuit = circuit::generators::random_local(6, 10, 5, 0.1, 4);
+    for graph in [
+        arch::devices::tokyo_minus(),
+        arch::devices::tokyo(),
+        arch::devices::tokyo_plus(),
+    ] {
+        let router = SatMap::new(SatMapConfig::default().with_budget(bench_budget()));
+        group.bench_with_input(
+            BenchmarkId::new("satmap", graph.name()),
+            &circuit,
+            |b, circ| b.iter(|| router.route(circ, &graph)),
+        );
+        let tket = Tket::default();
+        group.bench_with_input(
+            BenchmarkId::new("tket", graph.name()),
+            &circuit,
+            |b, circ| b.iter(|| tket.route(circ, &graph)),
+        );
+    }
+    group.finish();
+}
+
+/// Figs. 15–16 (Q5): solve time as the instance grows (the scalability
+/// axis behind the time-budget sweep).
+fn q5_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("q5_scaling");
+    group.sample_size(10);
+    let graph = arch::devices::tokyo_minus();
+    for gates in [4usize, 8, 16] {
+        let circuit = circuit::generators::random_local(5, gates, 4, 0.0, 9);
+        let router = SatMap::new(SatMapConfig::sliced(4).with_budget(bench_budget()));
+        group.bench_with_input(BenchmarkId::new("satmap", gates), &circuit, |b, circ| {
+            b.iter(|| router.route(circ, &graph))
+        });
+    }
+    group.finish();
+}
+
+/// Q6: the weighted (fidelity) objective vs plain swap minimization.
+fn q6_noise(c: &mut Criterion) {
+    let mut group = c.benchmark_group("q6_noise");
+    group.sample_size(10);
+    let graph = arch::devices::tokyo();
+    let noise = arch::NoiseModel::synthetic(&graph, 2022);
+    let circuit = circuit::generators::random_local(4, 6, 3, 0.0, 5);
+    let plain = SatMap::new(SatMapConfig::monolithic().with_budget(bench_budget()));
+    group.bench_function("swap-count", |b| b.iter(|| plain.route(&circuit, &graph)));
+    let weighted = SatMap::new(SatMapConfig {
+        objective: Objective::Fidelity(noise.clone()),
+        ..SatMapConfig::monolithic().with_budget(bench_budget())
+    });
+    group.bench_function("fidelity", |b| b.iter(|| weighted.route(&circuit, &graph)));
+    group.finish();
+}
+
+/// Ablation: the `n` swaps-per-gap parameter (DESIGN.md design decision).
+fn ablation_swaps_per_gap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_swaps_per_gap");
+    group.sample_size(10);
+    let graph = arch::devices::tokyo_minus();
+    let circuit = circuit::generators::random_local(5, 8, 4, 0.0, 6);
+    for n in [1usize, 2] {
+        let router = SatMap::new(SatMapConfig {
+            swaps_per_gap: n,
+            ..SatMapConfig::monolithic().with_budget(bench_budget())
+        });
+        group.bench_with_input(BenchmarkId::new("n", n), &circuit, |b, circ| {
+            b.iter(|| router.route(circ, &graph))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    q1_constraint_tools,
+    q2_heuristics,
+    q3_slice_sizes,
+    q3_qaoa_cyclic,
+    q4_architectures,
+    q5_scaling,
+    q6_noise,
+    ablation_swaps_per_gap
+);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Shared fixtures for the criterion benchmarks in `benches/`.
+//!
+//! Each benchmark group corresponds to one table or figure of the SATMAP
+//! paper (scaled down so `cargo bench` terminates in minutes; the full
+//! regeneration lives in the `satmap-experiments` binary).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Duration;
+
+use circuit::Circuit;
+
+/// Per-call budget used by constraint-based routers inside benchmarks.
+pub fn bench_budget() -> Duration {
+    Duration::from_millis(500)
+}
+
+/// A small fixed workload set representative of the paper's suite.
+pub fn small_workloads() -> Vec<Circuit> {
+    vec![
+        circuit::generators::qft(4),
+        circuit::generators::graycode(6),
+        circuit::generators::random_local(5, 10, 4, 0.2, 1),
+        circuit::generators::ising_model(6, 1),
+    ]
+}
+
+/// The paper's Fig. 3 running example.
+pub fn fig3() -> Circuit {
+    let mut c = Circuit::new(4);
+    c.cx(0, 1);
+    c.cx(0, 2);
+    c.cx(3, 2);
+    c.cx(0, 3);
+    c
+}

@@ -1,0 +1,332 @@
+//! Logical quantum circuits.
+
+use crate::gate::{Gate, Qubit, TwoQubitKind};
+
+/// A logical quantum circuit: an ordered sequence of gate applications over
+/// `num_qubits` logical qubits.
+///
+/// # Examples
+///
+/// ```
+/// use circuit::{Circuit, Gate};
+/// let mut c = Circuit::new(3);
+/// c.push(Gate::h(0));
+/// c.push(Gate::cx(0, 1));
+/// c.push(Gate::cx(1, 2));
+/// assert_eq!(c.num_two_qubit_gates(), 2);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Circuit {
+    name: String,
+    num_qubits: usize,
+    gates: Vec<Gate>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit over `num_qubits` logical qubits.
+    pub fn new(num_qubits: usize) -> Self {
+        Circuit {
+            name: String::new(),
+            num_qubits,
+            gates: Vec::new(),
+        }
+    }
+
+    /// Creates an empty named circuit.
+    pub fn named(name: &str, num_qubits: usize) -> Self {
+        Circuit {
+            name: name.to_string(),
+            num_qubits,
+            gates: Vec::new(),
+        }
+    }
+
+    /// The circuit's name (may be empty).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the circuit.
+    pub fn set_name(&mut self, name: &str) {
+        self.name = name.to_string();
+    }
+
+    /// Number of logical qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Appends a gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operand is out of range or a two-qubit gate has equal
+    /// operands.
+    pub fn push(&mut self, gate: Gate) {
+        assert!(
+            gate.min_qubits() <= self.num_qubits,
+            "gate operand out of range"
+        );
+        if let Gate::Two { a, b, .. } = &gate {
+            assert_ne!(a, b, "two-qubit gate operands must differ");
+        }
+        self.gates.push(gate);
+    }
+
+    /// All gates in program order.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Total number of gates.
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// True if the circuit has no gates.
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// Number of two-qubit gates (the size measure used throughout the
+    /// paper's evaluation).
+    pub fn num_two_qubit_gates(&self) -> usize {
+        self.gates.iter().filter(|g| g.is_two_qubit()).count()
+    }
+
+    /// The two-qubit interactions in program order: `(gate_index, a, b)`.
+    pub fn two_qubit_interactions(&self) -> Vec<(usize, Qubit, Qubit)> {
+        self.gates
+            .iter()
+            .enumerate()
+            .filter_map(|(i, g)| match g {
+                Gate::Two { a, b, .. } => Some((i, *a, *b)),
+                Gate::One { .. } => None,
+            })
+            .collect()
+    }
+
+    /// Splits the circuit into consecutive slices of at most
+    /// `two_qubit_gates_per_slice` two-qubit gates each (the paper's "slice
+    /// size"), keeping single-qubit gates attached to the slice of the next
+    /// two-qubit gate (trailing single-qubit gates join the last slice).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `two_qubit_gates_per_slice == 0`.
+    pub fn slices(&self, two_qubit_gates_per_slice: usize) -> Vec<Circuit> {
+        assert!(two_qubit_gates_per_slice > 0, "slice size must be positive");
+        let mut out = Vec::new();
+        let mut current = Circuit::new(self.num_qubits);
+        let mut pending: Vec<Gate> = Vec::new(); // 1q gates awaiting their 2q gate
+        let mut count = 0;
+        for g in &self.gates {
+            if !g.is_two_qubit() {
+                pending.push(g.clone());
+                continue;
+            }
+            if count == two_qubit_gates_per_slice {
+                out.push(std::mem::replace(&mut current, Circuit::new(self.num_qubits)));
+                count = 0;
+            }
+            for p in pending.drain(..) {
+                current.push(p);
+            }
+            current.push(g.clone());
+            count += 1;
+        }
+        for p in pending {
+            current.push(p); // trailing 1q gates join the last slice
+        }
+        if !current.is_empty() || out.is_empty() {
+            out.push(current);
+        }
+        out
+    }
+
+    /// Concatenates `other` onto this circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` uses more qubits than this circuit has.
+    pub fn extend_from(&mut self, other: &Circuit) {
+        assert!(other.num_qubits <= self.num_qubits, "qubit count mismatch");
+        for g in &other.gates {
+            self.push(g.clone());
+        }
+    }
+
+    /// Repeats this circuit `times` times (the cyclic structure of QAOA).
+    pub fn repeated(&self, times: usize) -> Circuit {
+        let mut out = Circuit::named(&format!("{}x{}", self.name, times), self.num_qubits);
+        for _ in 0..times {
+            out.extend_from(self);
+        }
+        out
+    }
+
+    /// Partitions gates into topological layers: gates in a layer act on
+    /// disjoint qubits, and every gate appears after all gates it depends
+    /// on. Returns gate indices per layer.
+    pub fn topological_layers(&self) -> Vec<Vec<usize>> {
+        let mut layer_of_qubit: Vec<usize> = vec![0; self.num_qubits];
+        let mut layers: Vec<Vec<usize>> = Vec::new();
+        for (i, g) in self.gates.iter().enumerate() {
+            let layer = g
+                .qubits()
+                .iter()
+                .map(|q| layer_of_qubit[q.0])
+                .max()
+                .unwrap_or(0);
+            if layer == layers.len() {
+                layers.push(Vec::new());
+            }
+            layers[layer].push(i);
+            for q in g.qubits() {
+                layer_of_qubit[q.0] = layer + 1;
+            }
+        }
+        layers
+    }
+
+    /// The set of distinct interacting logical-qubit pairs with multiplicity
+    /// (the "interaction graph"), as `((min, max), count)` sorted by pair.
+    pub fn interaction_histogram(&self) -> Vec<((usize, usize), usize)> {
+        use std::collections::BTreeMap;
+        let mut hist: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+        for g in &self.gates {
+            if let Gate::Two { a, b, .. } = g {
+                let key = (a.0.min(b.0), a.0.max(b.0));
+                *hist.entry(key).or_default() += 1;
+            }
+        }
+        hist.into_iter().collect()
+    }
+
+    /// Appends a CX (convenience used pervasively by generators/tests).
+    pub fn cx(&mut self, a: usize, b: usize) {
+        self.push(Gate::cx(a, b));
+    }
+
+    /// Appends an H gate.
+    pub fn h(&mut self, q: usize) {
+        self.push(Gate::h(q));
+    }
+
+    /// Appends an RZZ interaction with angle `theta`.
+    pub fn rzz(&mut self, a: usize, b: usize, theta: f64) {
+        self.push(Gate::Two {
+            kind: TwoQubitKind::Rzz,
+            a: Qubit(a),
+            b: Qubit(b),
+            param: Some(theta),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::OneQubitKind;
+
+    fn sample() -> Circuit {
+        // The paper's Fig. 3(a) running example.
+        let mut c = Circuit::named("fig3", 4);
+        c.cx(0, 1);
+        c.cx(0, 2);
+        c.cx(3, 2);
+        c.cx(0, 3);
+        c
+    }
+
+    #[test]
+    fn counts() {
+        let c = sample();
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.num_two_qubit_gates(), 4);
+        assert_eq!(c.two_qubit_interactions().len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_operand() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must differ")]
+    fn rejects_equal_operands() {
+        let mut c = Circuit::new(2);
+        c.cx(1, 1);
+    }
+
+    #[test]
+    fn slicing_by_two_qubit_count() {
+        let mut c = sample();
+        c.h(0); // trailing 1q gate
+        let slices = c.slices(2);
+        assert_eq!(slices.len(), 2);
+        assert_eq!(slices[0].num_two_qubit_gates(), 2);
+        assert_eq!(slices[1].num_two_qubit_gates(), 2);
+        assert_eq!(slices[1].len(), 3); // includes the trailing H
+        // Re-assembly preserves the circuit.
+        let mut rebuilt = Circuit::new(4);
+        for s in &slices {
+            rebuilt.extend_from(s);
+        }
+        assert_eq!(rebuilt.gates(), c.gates());
+    }
+
+    #[test]
+    fn one_qubit_gates_attach_to_following_slice() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1);
+        c.h(0); // belongs to the next slice (precedes its 2q gate)
+        c.cx(0, 1);
+        let slices = c.slices(1);
+        assert_eq!(slices.len(), 2);
+        assert_eq!(slices[0].len(), 1);
+        assert_eq!(slices[1].len(), 2);
+    }
+
+    #[test]
+    fn empty_circuit_slices() {
+        let c = Circuit::new(3);
+        let slices = c.slices(10);
+        assert_eq!(slices.len(), 1);
+        assert!(slices[0].is_empty());
+    }
+
+    #[test]
+    fn repetition() {
+        let c = sample();
+        let r = c.repeated(3);
+        assert_eq!(r.num_two_qubit_gates(), 12);
+        assert_eq!(r.num_qubits(), 4);
+    }
+
+    #[test]
+    fn layers_respect_dependencies() {
+        let mut c = Circuit::new(3);
+        c.cx(0, 1); // layer 0
+        c.cx(1, 2); // layer 1 (depends on q1)
+        c.push(Gate::One {
+            kind: OneQubitKind::H,
+            qubit: Qubit(0),
+            param: None,
+        }); // layer 1 (q0 free after layer 0)
+        let layers = c.topological_layers();
+        assert_eq!(layers, vec![vec![0], vec![1, 2]]);
+    }
+
+    #[test]
+    fn interaction_histogram_counts_pairs() {
+        let c = sample();
+        let hist = c.interaction_histogram();
+        assert_eq!(
+            hist,
+            vec![((0, 1), 1), ((0, 2), 1), ((0, 3), 1), ((2, 3), 1)]
+        );
+    }
+}

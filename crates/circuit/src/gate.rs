@@ -1,0 +1,188 @@
+//! Gates and logical qubits.
+
+use std::fmt;
+
+/// A logical qubit, identified by a dense index within its circuit.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Qubit(pub usize);
+
+impl fmt::Display for Qubit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// Kinds of single-qubit gates.
+///
+/// The specific unitary is irrelevant for mapping and routing (only gate
+/// *arity* and operands matter), but kinds are preserved so circuits
+/// round-trip through OpenQASM.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum OneQubitKind {
+    /// Hadamard.
+    H,
+    /// Pauli X.
+    X,
+    /// Pauli Y.
+    Y,
+    /// Pauli Z.
+    Z,
+    /// Phase gate S.
+    S,
+    /// S-dagger.
+    Sdg,
+    /// T gate.
+    T,
+    /// T-dagger.
+    Tdg,
+    /// X-rotation by the attached parameter.
+    Rx,
+    /// Y-rotation by the attached parameter.
+    Ry,
+    /// Z-rotation by the attached parameter.
+    Rz,
+}
+
+impl OneQubitKind {
+    /// OpenQASM mnemonic.
+    pub fn qasm_name(self) -> &'static str {
+        match self {
+            OneQubitKind::H => "h",
+            OneQubitKind::X => "x",
+            OneQubitKind::Y => "y",
+            OneQubitKind::Z => "z",
+            OneQubitKind::S => "s",
+            OneQubitKind::Sdg => "sdg",
+            OneQubitKind::T => "t",
+            OneQubitKind::Tdg => "tdg",
+            OneQubitKind::Rx => "rx",
+            OneQubitKind::Ry => "ry",
+            OneQubitKind::Rz => "rz",
+        }
+    }
+
+    /// True if the kind takes an angle parameter.
+    pub fn has_param(self) -> bool {
+        matches!(self, OneQubitKind::Rx | OneQubitKind::Ry | OneQubitKind::Rz)
+    }
+}
+
+/// Kinds of two-qubit gates.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TwoQubitKind {
+    /// Controlled-X (CNOT); first operand is the control.
+    Cx,
+    /// Controlled-Z (symmetric).
+    Cz,
+    /// Parameterized ZZ interaction (QAOA's `rzz`).
+    Rzz,
+}
+
+impl TwoQubitKind {
+    /// OpenQASM mnemonic.
+    pub fn qasm_name(self) -> &'static str {
+        match self {
+            TwoQubitKind::Cx => "cx",
+            TwoQubitKind::Cz => "cz",
+            TwoQubitKind::Rzz => "rzz",
+        }
+    }
+
+    /// True if the kind takes an angle parameter.
+    pub fn has_param(self) -> bool {
+        matches!(self, TwoQubitKind::Rzz)
+    }
+}
+
+/// A gate application in a logical circuit.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Gate {
+    /// A single-qubit gate.
+    One {
+        /// Gate kind.
+        kind: OneQubitKind,
+        /// Operand.
+        qubit: Qubit,
+        /// Rotation angle for parameterized kinds.
+        param: Option<f64>,
+    },
+    /// A two-qubit gate.
+    Two {
+        /// Gate kind.
+        kind: TwoQubitKind,
+        /// First operand (control for CX).
+        a: Qubit,
+        /// Second operand (target for CX).
+        b: Qubit,
+        /// Rotation angle for parameterized kinds.
+        param: Option<f64>,
+    },
+}
+
+impl Gate {
+    /// Convenience constructor for a CX gate.
+    pub fn cx(a: usize, b: usize) -> Self {
+        Gate::Two {
+            kind: TwoQubitKind::Cx,
+            a: Qubit(a),
+            b: Qubit(b),
+            param: None,
+        }
+    }
+
+    /// Convenience constructor for an H gate.
+    pub fn h(q: usize) -> Self {
+        Gate::One {
+            kind: OneQubitKind::H,
+            qubit: Qubit(q),
+            param: None,
+        }
+    }
+
+    /// True for two-qubit gates.
+    pub fn is_two_qubit(&self) -> bool {
+        matches!(self, Gate::Two { .. })
+    }
+
+    /// The operands of this gate (one or two qubits).
+    pub fn qubits(&self) -> Vec<Qubit> {
+        match self {
+            Gate::One { qubit, .. } => vec![*qubit],
+            Gate::Two { a, b, .. } => vec![*a, *b],
+        }
+    }
+
+    /// Largest operand index plus one.
+    pub fn min_qubits(&self) -> usize {
+        self.qubits()
+            .iter()
+            .map(|q| q.0 + 1)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_helpers() {
+        let g = Gate::cx(0, 2);
+        assert!(g.is_two_qubit());
+        assert_eq!(g.qubits(), vec![Qubit(0), Qubit(2)]);
+        assert_eq!(g.min_qubits(), 3);
+        let h = Gate::h(1);
+        assert!(!h.is_two_qubit());
+        assert_eq!(h.min_qubits(), 2);
+    }
+
+    #[test]
+    fn qasm_names() {
+        assert_eq!(OneQubitKind::Sdg.qasm_name(), "sdg");
+        assert_eq!(TwoQubitKind::Cx.qasm_name(), "cx");
+        assert!(OneQubitKind::Rz.has_param());
+        assert!(!OneQubitKind::H.has_param());
+        assert!(TwoQubitKind::Rzz.has_param());
+    }
+}

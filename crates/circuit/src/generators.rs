@@ -1,0 +1,252 @@
+//! Circuit generators.
+//!
+//! The paper evaluates on 160 circuits derived from RevLib, Quipper, and
+//! ScaffoldCC. We do not ship those artifacts; these generators produce the
+//! same *families* — reversible arithmetic built from Toffoli/CNOT
+//! networks, QFT, Ising chains, graycode chains — at controlled sizes (see
+//! DESIGN.md, substitutions table).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::circuit::Circuit;
+use crate::gate::{Gate, OneQubitKind, Qubit};
+
+fn one(c: &mut Circuit, kind: OneQubitKind, q: usize) {
+    c.push(Gate::One {
+        kind,
+        qubit: Qubit(q),
+        param: None,
+    });
+}
+
+fn rz(c: &mut Circuit, q: usize, angle: f64) {
+    c.push(Gate::One {
+        kind: OneQubitKind::Rz,
+        qubit: Qubit(q),
+        param: Some(angle),
+    });
+}
+
+/// Appends the standard 6-CNOT decomposition of a Toffoli (CCX) gate with
+/// controls `a`, `b` and target `t`.
+pub fn push_toffoli(c: &mut Circuit, a: usize, b: usize, t: usize) {
+    one(c, OneQubitKind::H, t);
+    c.cx(b, t);
+    one(c, OneQubitKind::Tdg, t);
+    c.cx(a, t);
+    one(c, OneQubitKind::T, t);
+    c.cx(b, t);
+    one(c, OneQubitKind::Tdg, t);
+    c.cx(a, t);
+    one(c, OneQubitKind::T, b);
+    one(c, OneQubitKind::T, t);
+    one(c, OneQubitKind::H, t);
+    c.cx(a, b);
+    one(c, OneQubitKind::T, a);
+    one(c, OneQubitKind::Tdg, b);
+    c.cx(a, b);
+}
+
+/// Quantum Fourier transform on `n` qubits, controlled phases decomposed
+/// into two CNOTs and an RZ each.
+pub fn qft(n: usize) -> Circuit {
+    let mut c = Circuit::named(&format!("qft_{n}"), n);
+    for i in 0..n {
+        c.h(i);
+        for j in (i + 1)..n {
+            let angle = std::f64::consts::PI / (1 << (j - i)) as f64;
+            // Controlled-phase decomposition cp(j → i).
+            rz(&mut c, i, angle / 2.0);
+            c.cx(j, i);
+            rz(&mut c, i, -angle / 2.0);
+            c.cx(j, i);
+        }
+    }
+    c
+}
+
+/// A transverse-field Ising-model simulation circuit: `layers` rounds of
+/// nearest-neighbor ZZ couplings along a line plus single-qubit rotations
+/// (matches the `ising_model_*` benchmarks).
+pub fn ising_model(n: usize, layers: usize) -> Circuit {
+    let mut c = Circuit::named(&format!("ising_model_{n}"), n);
+    for layer in 0..layers {
+        for q in 0..n {
+            rz(&mut c, q, 0.1 * (layer + 1) as f64);
+        }
+        for q in 0..n.saturating_sub(1) {
+            // ZZ interaction decomposed as CX · RZ · CX.
+            c.cx(q, q + 1);
+            rz(&mut c, q + 1, 0.3);
+            c.cx(q, q + 1);
+        }
+    }
+    c
+}
+
+/// Graycode chain: a ladder of CNOTs along a line (matches `graycode6_47`).
+pub fn graycode(n: usize) -> Circuit {
+    let mut c = Circuit::named(&format!("graycode{n}"), n);
+    for q in 0..n.saturating_sub(1) {
+        c.cx(q, q + 1);
+    }
+    c
+}
+
+/// A Cuccaro-style ripple-carry adder on two `bits`-bit registers plus
+/// carry-in/out ancillas (`2 * bits + 2` qubits), built from MAJ/UMA blocks.
+pub fn ripple_adder(bits: usize) -> Circuit {
+    assert!(bits >= 1, "adder needs at least one bit");
+    let n = 2 * bits + 2;
+    let mut c = Circuit::named(&format!("adder_{bits}"), n);
+    // Register layout: cin = 0, a_i = 1 + 2i, b_i = 2 + 2i, cout = n - 1.
+    let a = |i: usize| 1 + 2 * i;
+    let b = |i: usize| 2 + 2 * i;
+    let maj = |c: &mut Circuit, x: usize, y: usize, z: usize| {
+        c.cx(z, y);
+        c.cx(z, x);
+        push_toffoli(c, x, y, z);
+    };
+    let uma = |c: &mut Circuit, x: usize, y: usize, z: usize| {
+        push_toffoli(c, x, y, z);
+        c.cx(z, x);
+        c.cx(x, y);
+    };
+    maj(&mut c, 0, b(0), a(0));
+    for i in 1..bits {
+        maj(&mut c, a(i - 1), b(i), a(i));
+    }
+    c.cx(a(bits - 1), n - 1);
+    for i in (1..bits).rev() {
+        uma(&mut c, a(i - 1), b(i), a(i));
+    }
+    uma(&mut c, 0, b(0), a(0));
+    c
+}
+
+/// A reversible "mod counter" network in the spirit of RevLib's `4mod5` /
+/// `mod5d1` circuits: `rounds` rounds of Toffolis with rotating
+/// controls/target followed by a CNOT cascade.
+pub fn mod_counter(n: usize, rounds: usize) -> Circuit {
+    assert!(n >= 3, "mod counter needs at least 3 qubits");
+    let mut c = Circuit::named(&format!("mod{n}_counter"), n);
+    for r in 0..rounds {
+        let a = r % n;
+        let b = (r + 1) % n;
+        let t = (r + 2) % n;
+        push_toffoli(&mut c, a, b, t);
+        c.cx(t, (t + 1) % n);
+    }
+    c
+}
+
+/// A random circuit of `num_two_qubit` CX gates whose interaction pairs are
+/// drawn with a locality window: the partner of qubit `a` is within
+/// `locality` positions on a virtual line (1 = nearest-neighbor-heavy,
+/// `n - 1` = fully random). Single-qubit gates are sprinkled with density
+/// `sq_density` per two-qubit gate.
+pub fn random_local(
+    n: usize,
+    num_two_qubit: usize,
+    locality: usize,
+    sq_density: f64,
+    seed: u64,
+) -> Circuit {
+    assert!(n >= 2, "need at least 2 qubits");
+    let locality = locality.clamp(1, n - 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::named(&format!("random_{n}_{num_two_qubit}"), n);
+    let sq_kinds = [
+        OneQubitKind::H,
+        OneQubitKind::X,
+        OneQubitKind::T,
+        OneQubitKind::Tdg,
+        OneQubitKind::S,
+    ];
+    for _ in 0..num_two_qubit {
+        let a = rng.gen_range(0..n);
+        let lo = a.saturating_sub(locality);
+        let hi = (a + locality).min(n - 1);
+        let mut b = rng.gen_range(lo..=hi);
+        while b == a {
+            b = rng.gen_range(lo..=hi);
+        }
+        c.cx(a, b);
+        while rng.gen_bool(sq_density.clamp(0.0, 0.95)) {
+            let kind = sq_kinds[rng.gen_range(0..sq_kinds.len())];
+            one(&mut c, kind, rng.gen_range(0..n));
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toffoli_has_six_cnots() {
+        let mut c = Circuit::new(3);
+        push_toffoli(&mut c, 0, 1, 2);
+        assert_eq!(c.num_two_qubit_gates(), 6);
+    }
+
+    #[test]
+    fn qft_gate_count() {
+        // QFT has n(n-1)/2 controlled phases, each 2 CX.
+        for n in 2..7 {
+            let c = qft(n);
+            assert_eq!(c.num_two_qubit_gates(), n * (n - 1));
+            assert_eq!(c.num_qubits(), n);
+        }
+    }
+
+    #[test]
+    fn ising_is_nearest_neighbor() {
+        let c = ising_model(6, 3);
+        for ((a, b), _) in c.interaction_histogram() {
+            assert_eq!(b - a, 1, "ising must be nearest-neighbor on the line");
+        }
+        assert_eq!(c.num_two_qubit_gates(), 3 * 5 * 2);
+    }
+
+    #[test]
+    fn graycode_count() {
+        assert_eq!(graycode(6).num_two_qubit_gates(), 5);
+    }
+
+    #[test]
+    fn adder_structure() {
+        let c = ripple_adder(3);
+        assert_eq!(c.num_qubits(), 8);
+        // 2·bits MAJ/UMA toffolis à 6 CX + surrounding CNOTs.
+        assert!(c.num_two_qubit_gates() > 36);
+    }
+
+    #[test]
+    fn mod_counter_size_scales_with_rounds() {
+        let small = mod_counter(5, 2);
+        let large = mod_counter(5, 8);
+        assert!(large.num_two_qubit_gates() > small.num_two_qubit_gates());
+        assert_eq!(small.num_two_qubit_gates(), 2 * 7);
+    }
+
+    #[test]
+    fn random_local_is_deterministic_per_seed() {
+        let a = random_local(8, 50, 3, 0.3, 7);
+        let b = random_local(8, 50, 3, 0.3, 7);
+        let c = random_local(8, 50, 3, 0.3, 8);
+        assert_eq!(a.gates(), b.gates());
+        assert_ne!(a.gates(), c.gates());
+        assert_eq!(a.num_two_qubit_gates(), 50);
+    }
+
+    #[test]
+    fn random_local_respects_window() {
+        let c = random_local(10, 200, 2, 0.0, 3);
+        for ((a, b), _) in c.interaction_histogram() {
+            assert!(b - a <= 2, "pair ({a},{b}) violates locality window");
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! QAOA MaxCut circuits on random 3-regular graphs (Section VI of the
+//! paper: the canonical *cyclic circuit* workload).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::circuit::Circuit;
+use crate::gate::{Gate, OneQubitKind, Qubit};
+
+/// A random simple 3-regular graph on `n` vertices (edges as `(a, b)` with
+/// `a < b`), generated with the configuration model and rejection sampling.
+///
+/// # Panics
+///
+/// Panics if `n` is odd or `n < 4` (no 3-regular graph exists).
+pub fn three_regular_graph(n: usize, seed: u64) -> Vec<(usize, usize)> {
+    assert!(n >= 4 && n % 2 == 0, "3-regular graphs need even n ≥ 4");
+    let mut rng = StdRng::seed_from_u64(seed);
+    'retry: loop {
+        // Three half-edges ("stubs") per vertex, paired uniformly.
+        let mut stubs: Vec<usize> = (0..n).flat_map(|v| [v, v, v]).collect();
+        stubs.shuffle(&mut rng);
+        let mut edges: Vec<(usize, usize)> = Vec::with_capacity(3 * n / 2);
+        for pair in stubs.chunks(2) {
+            let (a, b) = (pair[0].min(pair[1]), pair[0].max(pair[1]));
+            if a == b {
+                continue 'retry; // self-loop
+            }
+            if edges.contains(&(a, b)) {
+                continue 'retry; // multi-edge
+            }
+            edges.push((a, b));
+        }
+        edges.sort_unstable();
+        return edges;
+    }
+}
+
+/// Builds the repeated QAOA subcircuit `C_{γ,β}` for MaxCut on `edges`:
+/// one `rzz(2γ)` per graph edge followed by an `rx(2β)` mixer on every
+/// qubit. This is the unit the cyclic relaxation solves in isolation.
+pub fn qaoa_subcircuit(n: usize, edges: &[(usize, usize)], gamma: f64, beta: f64) -> Circuit {
+    let mut c = Circuit::named("qaoa_cycle", n);
+    for &(a, b) in edges {
+        c.rzz(a, b, 2.0 * gamma);
+    }
+    for q in 0..n {
+        c.push(Gate::One {
+            kind: OneQubitKind::Rx,
+            qubit: Qubit(q),
+            param: Some(2.0 * beta),
+        });
+    }
+    c
+}
+
+/// A full QAOA MaxCut circuit: Hadamard layer then `cycles` repetitions of
+/// the subcircuit (each cycle's angles differ, but the *structure* — all
+/// that matters for QMR — is identical, footnote 1 of the paper).
+pub fn qaoa_maxcut(n: usize, cycles: usize, seed: u64) -> Circuit {
+    let edges = three_regular_graph(n, seed);
+    let mut c = Circuit::named(&format!("qaoa_{n}q_{cycles}c"), n);
+    for q in 0..n {
+        c.h(q);
+    }
+    for cycle in 0..cycles {
+        let gamma = 0.4 + 0.05 * cycle as f64;
+        let beta = 0.3 - 0.02 * cycle as f64;
+        c.extend_from(&qaoa_subcircuit(n, &edges, gamma, beta));
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_regular_is_three_regular() {
+        for n in [4usize, 6, 8, 10, 16] {
+            let edges = three_regular_graph(n, 42);
+            assert_eq!(edges.len(), 3 * n / 2);
+            let mut degree = vec![0usize; n];
+            for &(a, b) in &edges {
+                assert!(a < b, "canonical orientation");
+                degree[a] += 1;
+                degree[b] += 1;
+            }
+            assert!(degree.iter().all(|&d| d == 3), "n={n}: {degree:?}");
+            // Simple graph: no duplicate edges.
+            let mut dedup = edges.clone();
+            dedup.dedup();
+            assert_eq!(dedup.len(), edges.len());
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(three_regular_graph(8, 1), three_regular_graph(8, 1));
+        assert_ne!(three_regular_graph(8, 1), three_regular_graph(8, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_n_rejected() {
+        let _ = three_regular_graph(5, 0);
+    }
+
+    #[test]
+    fn subcircuit_two_qubit_count() {
+        let edges = three_regular_graph(6, 3);
+        let sub = qaoa_subcircuit(6, &edges, 0.4, 0.3);
+        assert_eq!(sub.num_two_qubit_gates(), 9); // 3n/2 = 9 edges
+    }
+
+    #[test]
+    fn full_circuit_repeats_structure() {
+        let c2 = qaoa_maxcut(6, 2, 5);
+        let c4 = qaoa_maxcut(6, 4, 5);
+        assert_eq!(c2.num_two_qubit_gates(), 18);
+        assert_eq!(c4.num_two_qubit_gates(), 36);
+        // Same interaction histogram shape (structure repeats).
+        let h2: Vec<_> = c2.interaction_histogram().iter().map(|&(p, _)| p).collect();
+        let h4: Vec<_> = c4.interaction_histogram().iter().map(|&(p, _)| p).collect();
+        assert_eq!(h2, h4);
+    }
+}

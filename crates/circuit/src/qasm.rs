@@ -1,0 +1,356 @@
+//! OpenQASM 2.0 subset parser and printer.
+//!
+//! Supports the features present in the RevLib/Quipper-derived benchmark
+//! circuits: a single quantum register, the standard-library one-qubit
+//! gates, `cx`/`cz`/`rzz`, and ignorable classical plumbing (`creg`,
+//! `measure`, `barrier`, `include`).
+
+use std::fmt::Write as _;
+
+use crate::circuit::Circuit;
+use crate::gate::{Gate, OneQubitKind, Qubit, TwoQubitKind};
+
+/// Error from [`parse`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseQasmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseQasmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "qasm parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseQasmError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseQasmError {
+    ParseQasmError {
+        line: line + 1,
+        message: message.into(),
+    }
+}
+
+/// Parses an OpenQASM 2.0 document into a [`Circuit`].
+///
+/// # Errors
+///
+/// Returns [`ParseQasmError`] for unsupported gates, undeclared registers,
+/// or malformed operands.
+///
+/// # Examples
+///
+/// ```
+/// let src = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\nh q[0];\ncx q[0],q[1];\n";
+/// let c = circuit::qasm::parse(src)?;
+/// assert_eq!(c.num_qubits(), 2);
+/// assert_eq!(c.num_two_qubit_gates(), 1);
+/// # Ok::<(), circuit::qasm::ParseQasmError>(())
+/// ```
+pub fn parse(src: &str) -> Result<Circuit, ParseQasmError> {
+    let mut reg_name: Option<String> = None;
+    let mut circuit = Circuit::new(0);
+
+    // Strip comments, then split on ';'.
+    let cleaned: Vec<(usize, String)> = src
+        .lines()
+        .enumerate()
+        .map(|(i, l)| {
+            let l = l.split("//").next().unwrap_or("").trim();
+            (i, l.to_string())
+        })
+        .collect();
+
+    for (lineno, line) in cleaned {
+        for stmt in line.split(';') {
+            let stmt = stmt.trim();
+            if stmt.is_empty() {
+                continue;
+            }
+            let (head, rest) = match stmt.find(|c: char| c.is_whitespace() || c == '(') {
+                Some(pos) => stmt.split_at(pos),
+                None => (stmt, ""),
+            };
+            match head {
+                "OPENQASM" | "include" | "creg" | "barrier" | "measure" => continue,
+                "qreg" => {
+                    let rest = rest.trim();
+                    let (name, size) = parse_reg_decl(rest).ok_or_else(|| {
+                        err(lineno, format!("malformed qreg declaration '{rest}'"))
+                    })?;
+                    if reg_name.is_some() {
+                        return Err(err(lineno, "multiple quantum registers not supported"));
+                    }
+                    reg_name = Some(name.to_string());
+                    circuit = Circuit::new(size);
+                }
+                _ => {
+                    let reg = reg_name
+                        .as_deref()
+                        .ok_or_else(|| err(lineno, "gate before qreg declaration"))?;
+                    let gate = parse_gate(stmt, reg).map_err(|m| err(lineno, m))?;
+                    if gate.min_qubits() > circuit.num_qubits() {
+                        return Err(err(lineno, "qubit index out of register bounds"));
+                    }
+                    circuit.push(gate);
+                }
+            }
+        }
+    }
+    if reg_name.is_none() {
+        return Err(ParseQasmError {
+            line: 0,
+            message: "no qreg declaration found".into(),
+        });
+    }
+    Ok(circuit)
+}
+
+fn parse_reg_decl(decl: &str) -> Option<(&str, usize)> {
+    let open = decl.find('[')?;
+    let close = decl.find(']')?;
+    let name = decl[..open].trim();
+    let size: usize = decl[open + 1..close].trim().parse().ok()?;
+    if name.is_empty() {
+        return None;
+    }
+    Some((name, size))
+}
+
+fn parse_operand(tok: &str, reg: &str) -> Result<Qubit, String> {
+    let tok = tok.trim();
+    let open = tok.find('[').ok_or_else(|| format!("bad operand '{tok}'"))?;
+    let close = tok.find(']').ok_or_else(|| format!("bad operand '{tok}'"))?;
+    if tok[..open].trim() != reg {
+        return Err(format!("unknown register in operand '{tok}'"));
+    }
+    tok[open + 1..close]
+        .trim()
+        .parse()
+        .map(Qubit)
+        .map_err(|_| format!("bad qubit index in '{tok}'"))
+}
+
+fn parse_param(text: &str) -> Result<f64, String> {
+    // Accepts plain floats plus the common `pi`, `pi/2`, `-pi/4`, `2*pi`
+    // spellings used by benchmark files.
+    let t = text.trim().replace(' ', "");
+    let parse_atom = |a: &str| -> Result<f64, String> {
+        let (sign, a) = if let Some(s) = a.strip_prefix('-') {
+            (-1.0, s)
+        } else {
+            (1.0, a)
+        };
+        if a == "pi" {
+            return Ok(sign * std::f64::consts::PI);
+        }
+        a.parse::<f64>()
+            .map(|v| sign * v)
+            .map_err(|_| format!("bad parameter '{a}'"))
+    };
+    if let Some((num, den)) = t.split_once('/') {
+        return Ok(parse_atom(num)? / parse_atom(den)?);
+    }
+    if let Some((x, y)) = t.split_once('*') {
+        return Ok(parse_atom(x)? * parse_atom(y)?);
+    }
+    parse_atom(&t)
+}
+
+fn parse_gate(stmt: &str, reg: &str) -> Result<Gate, String> {
+    // Shape: name[(param)] operand[, operand]
+    let (name_and_param, operands) = match stmt.find(|c: char| c.is_whitespace()) {
+        Some(pos) if !stmt[..pos].contains('(') || stmt[..pos].contains(')') => {
+            stmt.split_at(pos)
+        }
+        _ => {
+            // Parameterized with space inside parens is unusual; fall back
+            // to splitting after the closing paren.
+            match stmt.find(')') {
+                Some(p) => stmt.split_at(p + 1),
+                None => return Err(format!("malformed gate statement '{stmt}'")),
+            }
+        }
+    };
+    let name_and_param = name_and_param.trim();
+    let operands = operands.trim();
+    let (name, param) = match name_and_param.split_once('(') {
+        Some((n, p)) => {
+            let p = p.strip_suffix(')').ok_or("missing ')'")?;
+            (n.trim(), Some(parse_param(p)?))
+        }
+        None => (name_and_param, None),
+    };
+
+    let ops: Vec<&str> = operands.split(',').map(str::trim).collect();
+    let one = |kind: OneQubitKind| -> Result<Gate, String> {
+        if ops.len() != 1 {
+            return Err(format!("'{name}' expects 1 operand"));
+        }
+        if kind.has_param() && param.is_none() {
+            return Err(format!("'{name}' requires a parameter"));
+        }
+        Ok(Gate::One {
+            kind,
+            qubit: parse_operand(ops[0], reg)?,
+            param,
+        })
+    };
+    let two = |kind: TwoQubitKind| -> Result<Gate, String> {
+        if ops.len() != 2 {
+            return Err(format!("'{name}' expects 2 operands"));
+        }
+        Ok(Gate::Two {
+            kind,
+            a: parse_operand(ops[0], reg)?,
+            b: parse_operand(ops[1], reg)?,
+            param,
+        })
+    };
+    match name {
+        "h" => one(OneQubitKind::H),
+        "x" => one(OneQubitKind::X),
+        "y" => one(OneQubitKind::Y),
+        "z" => one(OneQubitKind::Z),
+        "s" => one(OneQubitKind::S),
+        "sdg" => one(OneQubitKind::Sdg),
+        "t" => one(OneQubitKind::T),
+        "tdg" => one(OneQubitKind::Tdg),
+        "rx" => one(OneQubitKind::Rx),
+        "ry" => one(OneQubitKind::Ry),
+        "rz" | "u1" => one(OneQubitKind::Rz),
+        "cx" | "CX" => two(TwoQubitKind::Cx),
+        "cz" => two(TwoQubitKind::Cz),
+        "rzz" => two(TwoQubitKind::Rzz),
+        other => Err(format!("unsupported gate '{other}'")),
+    }
+}
+
+/// Renders a [`Circuit`] as OpenQASM 2.0.
+///
+/// # Examples
+///
+/// ```
+/// use circuit::{Circuit, qasm};
+/// let mut c = Circuit::new(2);
+/// c.h(0);
+/// c.cx(0, 1);
+/// let text = qasm::print(&c);
+/// let back = qasm::parse(&text)?;
+/// assert_eq!(back.gates(), c.gates());
+/// # Ok::<(), qasm::ParseQasmError>(())
+/// ```
+pub fn print(circuit: &Circuit) -> String {
+    let mut out = String::from("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n");
+    let _ = writeln!(out, "qreg q[{}];", circuit.num_qubits());
+    for g in circuit.gates() {
+        match g {
+            Gate::One { kind, qubit, param } => match param {
+                Some(p) => {
+                    let _ = writeln!(out, "{}({}) q[{}];", kind.qasm_name(), p, qubit.0);
+                }
+                None => {
+                    let _ = writeln!(out, "{} q[{}];", kind.qasm_name(), qubit.0);
+                }
+            },
+            Gate::Two { kind, a, b, param } => match param {
+                Some(p) => {
+                    let _ = writeln!(out, "{}({}) q[{}],q[{}];", kind.qasm_name(), p, a.0, b.0);
+                }
+                None => {
+                    let _ = writeln!(out, "{} q[{}],q[{}];", kind.qasm_name(), a.0, b.0);
+                }
+            },
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_program() {
+        let src = r#"
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+creg c[4];
+h q[0];
+cx q[0],q[1];
+rz(pi/2) q[2];
+cx q[3], q[2];
+measure q[0] -> c[0];
+"#;
+        let c = parse(src).expect("parses");
+        assert_eq!(c.num_qubits(), 4);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.num_two_qubit_gates(), 2);
+    }
+
+    #[test]
+    fn parses_params() {
+        let src = "qreg q[1];\nrz(-pi/4) q[0];\nrx(0.5) q[0];\nry(2*pi) q[0];\n";
+        let c = parse(src).expect("parses");
+        match &c.gates()[0] {
+            Gate::One { param: Some(p), .. } => {
+                assert!((p + std::f64::consts::FRAC_PI_4).abs() < 1e-12)
+            }
+            g => panic!("unexpected {g:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_gate() {
+        let e = parse("qreg q[2];\nccx q[0],q[1];\n").unwrap_err();
+        assert!(e.message.contains("unsupported"), "{e}");
+    }
+
+    #[test]
+    fn rejects_missing_qreg() {
+        assert!(parse("h q[0];\n").is_err());
+        assert!(parse("OPENQASM 2.0;\n").is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_index() {
+        assert!(parse("qreg q[2];\ncx q[0],q[5];\n").is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_register() {
+        assert!(parse("qreg q[2];\nh r[0];\n").is_err());
+    }
+
+    #[test]
+    fn multiple_statements_per_line() {
+        let c = parse("qreg q[2]; h q[0]; cx q[0],q[1];").expect("parses");
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn comments_ignored() {
+        let c = parse("// top\nqreg q[1]; // decl\nh q[0]; // gate\n").expect("parses");
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn print_parse_round_trip() {
+        let mut c = Circuit::new(3);
+        c.h(0);
+        c.cx(0, 1);
+        c.rzz(1, 2, 0.25);
+        c.push(Gate::One {
+            kind: OneQubitKind::Rz,
+            qubit: Qubit(2),
+            param: Some(1.5),
+        });
+        let back = parse(&print(&c)).expect("round trip");
+        assert_eq!(back.num_qubits(), 3);
+        assert_eq!(back.gates(), c.gates());
+    }
+}

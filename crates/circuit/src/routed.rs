@@ -1,0 +1,253 @@
+//! Routed (physical) circuits: the output of a QMR solver.
+
+use arch::ConnectivityGraph;
+
+/// One operation of a routed circuit.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RoutedOp {
+    /// The logical gate with this index (into the source [`crate::Circuit`])
+    /// executes here, at wherever the current map places its operands.
+    Logical(usize),
+    /// A SWAP of two physical qubits inserted by routing.
+    Swap(usize, usize),
+}
+
+/// A solution to the QMR problem: an initial logical→physical map plus the
+/// original gates interleaved with inserted SWAPs.
+///
+/// Use [`crate::verify::verify`] to check a routed circuit against its
+/// source circuit and device.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RoutedCircuit {
+    /// `initial_map[q]` is the physical qubit initially holding logical `q`.
+    initial_map: Vec<usize>,
+    ops: Vec<RoutedOp>,
+}
+
+impl RoutedCircuit {
+    /// Creates a routed circuit from an initial map and an op sequence.
+    pub fn new(initial_map: Vec<usize>, ops: Vec<RoutedOp>) -> Self {
+        RoutedCircuit { initial_map, ops }
+    }
+
+    /// The initial logical→physical map.
+    pub fn initial_map(&self) -> &[usize] {
+        &self.initial_map
+    }
+
+    /// The operation sequence.
+    pub fn ops(&self) -> &[RoutedOp] {
+        &self.ops
+    }
+
+    /// Number of inserted SWAP operations.
+    pub fn swap_count(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, RoutedOp::Swap(a, b) if a != b))
+            .count()
+    }
+
+    /// Number of *added* CNOT gates, the paper's cost metric
+    /// (each SWAP decomposes into 3 CNOTs).
+    pub fn added_gates(&self) -> usize {
+        3 * self.swap_count()
+    }
+
+    /// The final logical→physical map after all swaps execute.
+    pub fn final_map(&self) -> Vec<usize> {
+        let mut phys_to_logical: Vec<Option<usize>> = Vec::new();
+        let max_phys = self.initial_map.iter().copied().max().unwrap_or(0);
+        let mut upper = max_phys;
+        for op in &self.ops {
+            if let RoutedOp::Swap(a, b) = op {
+                upper = upper.max(*a).max(*b);
+            }
+        }
+        phys_to_logical.resize(upper + 1, None);
+        for (q, &p) in self.initial_map.iter().enumerate() {
+            phys_to_logical[p] = Some(q);
+        }
+        for op in &self.ops {
+            if let RoutedOp::Swap(a, b) = op {
+                phys_to_logical.swap(*a, *b);
+            }
+        }
+        let mut map = vec![usize::MAX; self.initial_map.len()];
+        for (p, q) in phys_to_logical.iter().enumerate() {
+            if let Some(q) = q {
+                map[*q] = p;
+            }
+        }
+        map
+    }
+
+    /// Lowers the routed circuit to a *physical* [`crate::Circuit`] over the
+    /// device's qubits: every logical gate is re-addressed to the physical
+    /// qubits holding its operands at that point, and every SWAP becomes
+    /// three CNOTs (the paper's cost model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an op references a gate index outside `source`.
+    pub fn to_physical_circuit(
+        &self,
+        source: &crate::Circuit,
+        num_phys: usize,
+    ) -> crate::Circuit {
+        use crate::gate::{Gate, Qubit};
+        let mut map = self.initial_map.clone();
+        let mut out = crate::Circuit::named(
+            &format!("{}_physical", source.name()),
+            num_phys,
+        );
+        for op in &self.ops {
+            match *op {
+                RoutedOp::Swap(a, b) => {
+                    if a != b {
+                        out.cx(a, b);
+                        out.cx(b, a);
+                        out.cx(a, b);
+                        for m in map.iter_mut() {
+                            if *m == a {
+                                *m = b;
+                            } else if *m == b {
+                                *m = a;
+                            }
+                        }
+                    }
+                }
+                RoutedOp::Logical(k) => match &source.gates()[k] {
+                    Gate::One { kind, qubit, param } => out.push(Gate::One {
+                        kind: *kind,
+                        qubit: Qubit(map[qubit.0]),
+                        param: *param,
+                    }),
+                    Gate::Two { kind, a, b, param } => out.push(Gate::Two {
+                        kind: *kind,
+                        a: Qubit(map[a.0]),
+                        b: Qubit(map[b.0]),
+                        param: *param,
+                    }),
+                },
+            }
+        }
+        out
+    }
+
+    /// Total log-infidelity of the routed circuit under `noise`: the sum of
+    /// `-ln(fidelity)` over inserted SWAPs and executed two-qubit gates.
+    /// Lower is better; `exp(-result)` is the success probability.
+    pub fn log_infidelity(
+        &self,
+        source: &crate::Circuit,
+        graph: &ConnectivityGraph,
+        noise: &arch::NoiseModel,
+    ) -> f64 {
+        let _ = graph;
+        let mut map = self.initial_map.clone();
+        let mut total = 0.0f64;
+        for op in &self.ops {
+            match op {
+                RoutedOp::Swap(a, b) => {
+                    if a != b {
+                        total += -noise.swap_fidelity(*a, *b).ln();
+                        for m in map.iter_mut() {
+                            if *m == *a {
+                                *m = *b;
+                            } else if *m == *b {
+                                *m = *a;
+                            }
+                        }
+                    }
+                }
+                RoutedOp::Logical(k) => {
+                    if let crate::Gate::Two { a, b, .. } = &source.gates()[*k] {
+                        total += -noise.cx_fidelity(map[a.0], map[b.0]).ln();
+                    }
+                }
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn swap_count_ignores_noops() {
+        let r = RoutedCircuit::new(
+            vec![0, 1],
+            vec![RoutedOp::Swap(0, 0), RoutedOp::Logical(0), RoutedOp::Swap(0, 1)],
+        );
+        assert_eq!(r.swap_count(), 1);
+        assert_eq!(r.added_gates(), 3);
+    }
+
+    #[test]
+    fn final_map_tracks_swaps() {
+        // Paper running example: initial q0→p1, q1→p0, q2→p2, q3→p3;
+        // swap(p2,p3) before the 4th gate.
+        let r = RoutedCircuit::new(
+            vec![1, 0, 2, 3],
+            vec![
+                RoutedOp::Logical(0),
+                RoutedOp::Logical(1),
+                RoutedOp::Logical(2),
+                RoutedOp::Swap(2, 3),
+                RoutedOp::Logical(3),
+            ],
+        );
+        assert_eq!(r.final_map(), vec![1, 0, 3, 2]);
+    }
+
+    #[test]
+    fn final_map_without_swaps_is_initial() {
+        let r = RoutedCircuit::new(vec![2, 0, 1], vec![RoutedOp::Logical(0)]);
+        assert_eq!(r.final_map(), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn physical_lowering_readdresses_gates() {
+        let mut c = crate::Circuit::new(2);
+        c.h(0);
+        c.cx(0, 1);
+        let r = RoutedCircuit::new(
+            vec![2, 1],
+            vec![
+                RoutedOp::Logical(0),
+                RoutedOp::Swap(2, 3),
+                RoutedOp::Logical(1),
+            ],
+        );
+        let phys = r.to_physical_circuit(&c, 4);
+        assert_eq!(phys.num_qubits(), 4);
+        // H lands on p2; swap becomes 3 CX; CX lands on (p3, p1).
+        assert_eq!(phys.len(), 1 + 3 + 1);
+        assert_eq!(phys.num_two_qubit_gates(), 4);
+        match &phys.gates()[4] {
+            crate::Gate::Two { a, b, .. } => {
+                assert_eq!((a.0, b.0), (3, 1));
+            }
+            g => panic!("unexpected {g:?}"),
+        }
+    }
+
+    #[test]
+    fn log_infidelity_counts_swaps_and_gates() {
+        let g = arch::devices::tokyo_minus();
+        let noise = arch::NoiseModel::synthetic(&g, 3);
+        let mut c = crate::Circuit::new(2);
+        c.cx(0, 1);
+        let cheap = RoutedCircuit::new(vec![0, 1], vec![RoutedOp::Logical(0)]);
+        let costly = RoutedCircuit::new(
+            vec![0, 1],
+            vec![RoutedOp::Swap(1, 2), RoutedOp::Swap(1, 2), RoutedOp::Logical(0)],
+        );
+        let f_cheap = cheap.log_infidelity(&c, &g, &noise);
+        let f_costly = costly.log_infidelity(&c, &g, &noise);
+        assert!(f_costly > f_cheap);
+    }
+}

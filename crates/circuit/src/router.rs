@@ -1,0 +1,96 @@
+//! The common interface implemented by every QMR solver in this repository
+//! (SATMAP, its relaxations, the heuristic baselines, and the
+//! constraint-based baselines).
+
+use arch::ConnectivityGraph;
+
+use crate::circuit::Circuit;
+use crate::routed::RoutedCircuit;
+
+/// Why routing failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RouteError {
+    /// The solver's resource budget expired before any solution was found.
+    Timeout,
+    /// The instance is unsatisfiable under the solver's constraints (e.g.
+    /// more logical than physical qubits, or a disconnected device).
+    Unsatisfiable(String),
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteError::Timeout => write!(f, "routing budget exhausted"),
+            RouteError::Unsatisfiable(why) => write!(f, "instance unsatisfiable: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// A qubit mapping and routing algorithm.
+pub trait Router {
+    /// Short identifier used in experiment tables (e.g. `"satmap"`).
+    fn name(&self) -> &str;
+
+    /// Solves QMR for `circuit` on `graph`.
+    ///
+    /// # Errors
+    ///
+    /// [`RouteError::Timeout`] if the budget expired without a solution;
+    /// [`RouteError::Unsatisfiable`] if no solution exists.
+    fn route(&self, circuit: &Circuit, graph: &ConnectivityGraph)
+        -> Result<RoutedCircuit, RouteError>;
+}
+
+/// Validates the common preconditions shared by all routers.
+///
+/// # Errors
+///
+/// Returns [`RouteError::Unsatisfiable`] when the circuit cannot fit.
+pub fn check_fits(circuit: &Circuit, graph: &ConnectivityGraph) -> Result<(), RouteError> {
+    if circuit.num_qubits() > graph.num_qubits() {
+        return Err(RouteError::Unsatisfiable(format!(
+            "{} logical qubits exceed {} physical qubits",
+            circuit.num_qubits(),
+            graph.num_qubits()
+        )));
+    }
+    if circuit.num_two_qubit_gates() > 0 && !graph.is_connected() && circuit.num_qubits() > 1 {
+        // A disconnected device may still work if the interaction graph
+        // fits inside one component, but none of the paper's devices are
+        // disconnected; reject for clarity.
+        return Err(RouteError::Unsatisfiable(
+            "device connectivity graph is disconnected".into(),
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_fits_rejects_oversized() {
+        let g = arch::devices::linear(2);
+        let c = Circuit::new(3);
+        assert!(matches!(
+            check_fits(&c, &g),
+            Err(RouteError::Unsatisfiable(_))
+        ));
+    }
+
+    #[test]
+    fn check_fits_accepts_ok() {
+        let g = arch::devices::tokyo();
+        let c = Circuit::new(16);
+        assert!(check_fits(&c, &g).is_ok());
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(RouteError::Timeout.to_string().contains("budget"));
+        assert!(RouteError::Unsatisfiable("x".into()).to_string().contains('x'));
+    }
+}

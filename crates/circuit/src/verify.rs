@@ -1,0 +1,333 @@
+//! Independent QMR-solution verifier.
+//!
+//! The paper: *"To ensure correctness of our QMR solutions, we implemented
+//! an independent verifier. The verifier traverses a circuit, evaluating
+//! its effects on an initial map and checking that all two-qubit gates act
+//! on connected qubits."* This module is that verifier; every router in the
+//! repository (SATMAP, the relaxations, and all baselines) is checked
+//! against it in tests and experiments.
+
+use arch::ConnectivityGraph;
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+use crate::routed::{RoutedCircuit, RoutedOp};
+
+/// Why a routed circuit failed verification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The initial map is not an injective function into the device.
+    BadInitialMap {
+        /// Explanation.
+        detail: String,
+    },
+    /// A SWAP was applied on a non-edge.
+    SwapOnNonEdge {
+        /// Index into the op sequence.
+        op_index: usize,
+        /// The offending pair.
+        pair: (usize, usize),
+    },
+    /// A two-qubit gate executed on non-adjacent physical qubits.
+    GateOnNonAdjacent {
+        /// Index of the logical gate.
+        gate_index: usize,
+        /// Where its operands were mapped.
+        pair: (usize, usize),
+    },
+    /// The routed ops do not replay the source gates exactly once in order.
+    GateSequenceMismatch {
+        /// Explanation.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::BadInitialMap { detail } => write!(f, "bad initial map: {detail}"),
+            VerifyError::SwapOnNonEdge { op_index, pair } => {
+                write!(f, "op {op_index}: swap on non-edge ({}, {})", pair.0, pair.1)
+            }
+            VerifyError::GateOnNonAdjacent { gate_index, pair } => write!(
+                f,
+                "gate {gate_index} executes on non-adjacent physical qubits ({}, {})",
+                pair.0, pair.1
+            ),
+            VerifyError::GateSequenceMismatch { detail } => {
+                write!(f, "gate sequence mismatch: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verifies `routed` as a QMR solution for `source` on `graph`.
+///
+/// Checks that:
+/// 1. the initial map is injective and within the device;
+/// 2. every logical gate appears exactly once, in an order consistent with
+///    the circuit's data dependencies (gates on disjoint qubits commute, so
+///    any topological linearization of the gate DAG is accepted — SATMAP
+///    emits strict program order, heuristic routers may interleave);
+/// 3. every SWAP acts on an edge of the connectivity graph;
+/// 4. every two-qubit gate acts on adjacent physical qubits under the map
+///    in effect at its position.
+///
+/// # Errors
+///
+/// Returns the first [`VerifyError`] encountered.
+///
+/// # Examples
+///
+/// ```
+/// use circuit::{Circuit, RoutedCircuit, RoutedOp, verify::verify};
+/// let g = arch::devices::linear(3);
+/// let mut c = Circuit::new(2);
+/// c.cx(0, 1);
+/// let routed = RoutedCircuit::new(vec![0, 1], vec![RoutedOp::Logical(0)]);
+/// assert!(verify(&c, &g, &routed).is_ok());
+/// ```
+pub fn verify(
+    source: &Circuit,
+    graph: &ConnectivityGraph,
+    routed: &RoutedCircuit,
+) -> Result<(), VerifyError> {
+    let n_logical = source.num_qubits();
+    let n_phys = graph.num_qubits();
+    let map = routed.initial_map();
+
+    if map.len() != n_logical {
+        return Err(VerifyError::BadInitialMap {
+            detail: format!("map covers {} qubits, circuit has {n_logical}", map.len()),
+        });
+    }
+    let mut used = vec![false; n_phys];
+    for (q, &p) in map.iter().enumerate() {
+        if p >= n_phys {
+            return Err(VerifyError::BadInitialMap {
+                detail: format!("logical q{q} mapped to nonexistent p{p}"),
+            });
+        }
+        if used[p] {
+            return Err(VerifyError::BadInitialMap {
+                detail: format!("physical p{p} assigned twice"),
+            });
+        }
+        used[p] = true;
+    }
+
+    // Per-qubit program order: gate k may only run once every earlier gate
+    // sharing a qubit with it has run.
+    let mut pending_per_qubit: Vec<std::collections::VecDeque<usize>> =
+        vec![std::collections::VecDeque::new(); n_logical];
+    for (k, g) in source.gates().iter().enumerate() {
+        for q in g.qubits() {
+            pending_per_qubit[q.0].push_back(k);
+        }
+    }
+    let mut executed = vec![false; source.len()];
+    let mut num_executed = 0usize;
+
+    let mut current = map.to_vec();
+    for (i, op) in routed.ops().iter().enumerate() {
+        match *op {
+            RoutedOp::Swap(a, b) => {
+                if a == b {
+                    continue; // no-op swap
+                }
+                if a >= n_phys || b >= n_phys || !graph.are_adjacent(a, b) {
+                    return Err(VerifyError::SwapOnNonEdge {
+                        op_index: i,
+                        pair: (a, b),
+                    });
+                }
+                for m in current.iter_mut() {
+                    if *m == a {
+                        *m = b;
+                    } else if *m == b {
+                        *m = a;
+                    }
+                }
+            }
+            RoutedOp::Logical(k) => {
+                let Some(gate) = source.gates().get(k) else {
+                    return Err(VerifyError::GateSequenceMismatch {
+                        detail: format!("gate index {k} out of range at op {i}"),
+                    });
+                };
+                if executed[k] {
+                    return Err(VerifyError::GateSequenceMismatch {
+                        detail: format!("gate {k} executed twice (op {i})"),
+                    });
+                }
+                for q in gate.qubits() {
+                    match pending_per_qubit[q.0].front() {
+                        Some(&head) if head == k => {}
+                        _ => {
+                            return Err(VerifyError::GateSequenceMismatch {
+                                detail: format!(
+                                    "gate {k} at op {i} runs before an earlier gate on {q}"
+                                ),
+                            });
+                        }
+                    }
+                }
+                for q in gate.qubits() {
+                    pending_per_qubit[q.0].pop_front();
+                }
+                executed[k] = true;
+                num_executed += 1;
+                if let Gate::Two { a, b, .. } = gate {
+                    let (pa, pb) = (current[a.0], current[b.0]);
+                    if !graph.are_adjacent(pa, pb) {
+                        return Err(VerifyError::GateOnNonAdjacent {
+                            gate_index: k,
+                            pair: (pa, pb),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    if num_executed != source.len() {
+        return Err(VerifyError::GateSequenceMismatch {
+            detail: format!("only {num_executed} of {} gates executed", source.len()),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig3_circuit() -> Circuit {
+        let mut c = Circuit::new(4);
+        c.cx(0, 1);
+        c.cx(0, 2);
+        c.cx(3, 2);
+        c.cx(0, 3);
+        c
+    }
+
+    /// The paper's Fig. 3(b) connectivity: p0–p1–p2–p3 path with p1–p3?
+    /// Fig. 3(b) shows a path p0–p1–p2–p3 plus edge p1–p3 is absent; the
+    /// example solution uses edges (p0,p1), (p1,p2), (p2,p3).
+    fn fig3_graph() -> ConnectivityGraph {
+        ConnectivityGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)])
+    }
+
+    #[test]
+    fn accepts_paper_solution() {
+        // Fig. 3 bottom: q0→p1, q1→p0, q2→p2, q3→p3; swap(p2,p3) before
+        // gate 4.
+        let routed = RoutedCircuit::new(
+            vec![1, 0, 2, 3],
+            vec![
+                RoutedOp::Logical(0),
+                RoutedOp::Logical(1),
+                RoutedOp::Logical(2),
+                RoutedOp::Swap(2, 3),
+                RoutedOp::Logical(3),
+            ],
+        );
+        verify(&fig3_circuit(), &fig3_graph(), &routed).expect("paper solution verifies");
+        assert_eq!(routed.swap_count(), 1);
+    }
+
+    #[test]
+    fn rejects_gate_on_non_adjacent() {
+        // Without the swap, gate 4 (q0,q3) sits on (p1,p3): not adjacent.
+        let routed = RoutedCircuit::new(
+            vec![1, 0, 2, 3],
+            (0..4).map(RoutedOp::Logical).collect(),
+        );
+        let err = verify(&fig3_circuit(), &fig3_graph(), &routed).unwrap_err();
+        assert!(matches!(err, VerifyError::GateOnNonAdjacent { gate_index: 3, .. }));
+    }
+
+    #[test]
+    fn rejects_swap_on_non_edge() {
+        let routed = RoutedCircuit::new(
+            vec![1, 0, 2, 3],
+            vec![RoutedOp::Swap(0, 3), RoutedOp::Logical(0)],
+        );
+        let err = verify(&fig3_circuit(), &fig3_graph(), &routed).unwrap_err();
+        assert!(matches!(err, VerifyError::SwapOnNonEdge { .. }));
+    }
+
+    #[test]
+    fn rejects_non_injective_map() {
+        let routed = RoutedCircuit::new(vec![1, 1, 2, 3], vec![]);
+        let err = verify(&fig3_circuit(), &fig3_graph(), &routed).unwrap_err();
+        assert!(matches!(err, VerifyError::BadInitialMap { .. }));
+    }
+
+    #[test]
+    fn rejects_missing_gates() {
+        let routed = RoutedCircuit::new(vec![1, 0, 2, 3], vec![RoutedOp::Logical(0)]);
+        let err = verify(&fig3_circuit(), &fig3_graph(), &routed).unwrap_err();
+        assert!(matches!(err, VerifyError::GateSequenceMismatch { .. }));
+    }
+
+    #[test]
+    fn rejects_out_of_order_gates() {
+        // Gates 0 and 1 share q0, so running 1 before 0 is invalid.
+        let routed = RoutedCircuit::new(
+            vec![1, 0, 2, 3],
+            vec![RoutedOp::Logical(1), RoutedOp::Logical(0)],
+        );
+        let err = verify(&fig3_circuit(), &fig3_graph(), &routed).unwrap_err();
+        assert!(matches!(err, VerifyError::GateSequenceMismatch { .. }));
+    }
+
+    #[test]
+    fn accepts_commuting_reorder() {
+        // cx(0,1) and cx(2,3) act on disjoint qubits: either order is fine.
+        let mut c = Circuit::new(4);
+        c.cx(0, 1);
+        c.cx(2, 3);
+        let g = ConnectivityGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let routed = RoutedCircuit::new(
+            vec![0, 1, 2, 3],
+            vec![RoutedOp::Logical(1), RoutedOp::Logical(0)],
+        );
+        verify(&c, &g, &routed).expect("commuting gates may interleave");
+    }
+
+    #[test]
+    fn rejects_double_execution() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1);
+        let g = ConnectivityGraph::from_edges(2, [(0, 1)]);
+        let routed = RoutedCircuit::new(
+            vec![0, 1],
+            vec![RoutedOp::Logical(0), RoutedOp::Logical(0)],
+        );
+        let err = verify(&c, &g, &routed).unwrap_err();
+        assert!(matches!(err, VerifyError::GateSequenceMismatch { .. }));
+    }
+
+    #[test]
+    fn noop_swaps_allowed() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1);
+        let g = arch::devices::linear(2);
+        let routed = RoutedCircuit::new(
+            vec![0, 1],
+            vec![RoutedOp::Swap(1, 1), RoutedOp::Logical(0)],
+        );
+        verify(&c, &g, &routed).expect("no-op swap is fine");
+    }
+
+    #[test]
+    fn one_qubit_gates_never_fail_adjacency() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        let g = arch::devices::linear(3);
+        let routed = RoutedCircuit::new(vec![2], vec![RoutedOp::Logical(0)]);
+        verify(&c, &g, &routed).expect("1q gates are location-free");
+    }
+}

@@ -1,0 +1,110 @@
+//! SATMAP configuration.
+
+use std::time::Duration;
+
+use arch::NoiseModel;
+
+/// What the MaxSAT objective minimizes.
+#[derive(Clone, Debug, Default)]
+pub enum Objective {
+    /// Minimize the number of inserted SWAPs (the paper's main mode; each
+    /// no-op swap choice is a unit soft clause of weight 1).
+    #[default]
+    SwapCount,
+    /// Maximize circuit fidelity under a noise model (the paper's Q6 mode):
+    /// soft-clause weights encode per-edge log-infidelities of SWAPs and of
+    /// the two-qubit gates themselves.
+    Fidelity(NoiseModel),
+}
+
+/// Configuration for the SATMAP router.
+///
+/// # Examples
+///
+/// ```
+/// use satmap::SatMapConfig;
+/// use std::time::Duration;
+/// let config = SatMapConfig {
+///     slice_size: Some(25),
+///     budget: Some(Duration::from_secs(5)),
+///     ..SatMapConfig::default()
+/// };
+/// assert_eq!(config.swaps_per_gap, 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SatMapConfig {
+    /// Two-qubit gates per slice for the locally optimal relaxation
+    /// (Section V). `None` disables slicing (NL-SATMAP).
+    pub slice_size: Option<usize>,
+    /// Number of SWAP slots before each two-qubit gate (the paper's `n`).
+    /// The paper sets 1 and observes it suffices for near-optimal results;
+    /// optimality is guaranteed at the connectivity graph's diameter.
+    pub swaps_per_gap: usize,
+    /// Total wall-clock compilation budget. `None` = unlimited.
+    pub budget: Option<Duration>,
+    /// Conflict cap per underlying SAT call (defensive; `None` = unlimited).
+    pub conflicts_per_call: Option<u64>,
+    /// Maximum number of backtracking steps across the whole local
+    /// relaxation before giving up.
+    pub backtrack_limit: usize,
+    /// Optimization objective.
+    pub objective: Objective,
+}
+
+impl Default for SatMapConfig {
+    fn default() -> Self {
+        SatMapConfig {
+            slice_size: Some(25),
+            swaps_per_gap: 1,
+            budget: None,
+            conflicts_per_call: None,
+            backtrack_limit: 24,
+            objective: Objective::SwapCount,
+        }
+    }
+}
+
+impl SatMapConfig {
+    /// The paper's default: local relaxation with slice size 25.
+    pub fn sliced(slice_size: usize) -> Self {
+        SatMapConfig {
+            slice_size: Some(slice_size),
+            ..Self::default()
+        }
+    }
+
+    /// NL-SATMAP: no local relaxation.
+    pub fn monolithic() -> Self {
+        SatMapConfig {
+            slice_size: None,
+            ..Self::default()
+        }
+    }
+
+    /// Returns a copy with the given wall-clock budget.
+    pub fn with_budget(mut self, budget: Duration) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = SatMapConfig::default();
+        assert_eq!(c.swaps_per_gap, 1);
+        assert_eq!(c.slice_size, Some(25));
+        assert!(matches!(c.objective, Objective::SwapCount));
+    }
+
+    #[test]
+    fn builders() {
+        assert_eq!(SatMapConfig::sliced(10).slice_size, Some(10));
+        assert_eq!(SatMapConfig::monolithic().slice_size, None);
+        let b = SatMapConfig::monolithic().with_budget(Duration::from_secs(1));
+        assert_eq!(b.budget, Some(Duration::from_secs(1)));
+    }
+}

@@ -1,0 +1,313 @@
+//! The cyclic-circuit relaxation (Section VI).
+//!
+//! For a circuit of the form `prefix ; C ; C ; … ; C` (e.g. QAOA, Fig. 7),
+//! solve the MaxSAT constraints for the repeated subcircuit `C` *once*,
+//! with the added hard constraint that the final map equals the initial map
+//! (realized by a trailing swap layer, Fig. 8), then stitch copies of the
+//! solution to cover every repetition.
+//!
+//! Composes with the local relaxation: large subcircuits are sliced, and
+//! the *last* slice is additionally pinned to land on the first slice's
+//! entry map.
+
+use std::time::Instant;
+
+use arch::ConnectivityGraph;
+use circuit::{check_fits, Circuit, RoutedCircuit, RoutedOp, RouteError, Router};
+use maxsat::MaxSatStatus;
+
+use crate::config::SatMapConfig;
+use crate::encode::{routed_from_solution, EncodeShape, QmrEncoding};
+use crate::solver::SatMap;
+
+/// CYC-SATMAP: the cyclic relaxation router for repeated circuits.
+///
+/// Routes the circuit `prefix ; subcircuit × cycles`. The prefix must
+/// contain no two-qubit gates (QAOA's Hadamard layer).
+///
+/// # Examples
+///
+/// ```
+/// use circuit::{qaoa, verify::verify};
+/// use satmap::{CyclicSatMap, SatMapConfig};
+///
+/// let edges = qaoa::three_regular_graph(6, 1);
+/// let sub = qaoa::qaoa_subcircuit(6, &edges, 0.4, 0.3);
+/// let mut prefix = circuit::Circuit::new(6);
+/// for q in 0..6 { prefix.h(q); }
+/// let graph = arch::devices::tokyo();
+/// let router = CyclicSatMap::new(SatMapConfig::default());
+/// let (full, routed) = router.route_repeated(&prefix, &sub, 2, &graph)?;
+/// verify(&full, &graph, &routed).expect("verifies");
+/// # Ok::<(), circuit::RouteError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct CyclicSatMap {
+    config: SatMapConfig,
+}
+
+impl CyclicSatMap {
+    /// Creates a cyclic router with the given configuration.
+    pub fn new(config: SatMapConfig) -> Self {
+        CyclicSatMap { config }
+    }
+
+    /// Routes `prefix ; sub × cycles` on `graph`, returning the assembled
+    /// full circuit together with its routed solution.
+    ///
+    /// # Errors
+    ///
+    /// [`RouteError::Unsatisfiable`] if the prefix contains two-qubit gates
+    /// or the subproblem has no solution; [`RouteError::Timeout`] on budget
+    /// expiry.
+    pub fn route_repeated(
+        &self,
+        prefix: &Circuit,
+        sub: &Circuit,
+        cycles: usize,
+        graph: &ConnectivityGraph,
+    ) -> Result<(Circuit, RoutedCircuit), RouteError> {
+        if prefix.num_two_qubit_gates() > 0 {
+            return Err(RouteError::Unsatisfiable(
+                "cyclic prefix must not contain two-qubit gates".into(),
+            ));
+        }
+        if prefix.num_qubits() != sub.num_qubits() {
+            return Err(RouteError::Unsatisfiable(
+                "prefix and subcircuit qubit counts differ".into(),
+            ));
+        }
+        check_fits(sub, graph)?;
+        let start = Instant::now();
+
+        // Assemble the full circuit (what the caller actually wants run).
+        let mut full = Circuit::named(
+            &format!("{}x{}", sub.name(), cycles),
+            sub.num_qubits(),
+        );
+        full.extend_from(prefix);
+        for _ in 0..cycles {
+            full.extend_from(sub);
+        }
+
+        // Solve the subcircuit once, cyclically.
+        let sub_routed = self.solve_subcircuit(sub, graph, start)?;
+        debug_assert_eq!(sub_routed.final_map(), sub_routed.initial_map());
+
+        // Stitch: prefix 1q gates, then `cycles` copies of the subcircuit
+        // ops with shifted gate indices.
+        let initial_map = sub_routed.initial_map().to_vec();
+        let mut ops: Vec<RoutedOp> = (0..prefix.len()).map(RoutedOp::Logical).collect();
+        for cycle in 0..cycles {
+            let offset = prefix.len() + cycle * sub.len();
+            for op in sub_routed.ops() {
+                ops.push(match *op {
+                    RoutedOp::Logical(k) => RoutedOp::Logical(k + offset),
+                    RoutedOp::Swap(a, b) => RoutedOp::Swap(a, b),
+                });
+            }
+        }
+        Ok((full, RoutedCircuit::new(initial_map, ops)))
+    }
+
+    /// Solves `sub` with the final-map = initial-map constraint, slicing if
+    /// configured and the subcircuit is large enough.
+    fn solve_subcircuit(
+        &self,
+        sub: &Circuit,
+        graph: &ConnectivityGraph,
+        start: Instant,
+    ) -> Result<RoutedCircuit, RouteError> {
+        let n = self.config.swaps_per_gap;
+        let monolithic = match self.config.slice_size {
+            Some(size) => sub.num_two_qubit_gates() <= size,
+            None => true,
+        };
+        if monolithic {
+            let mut enc = QmrEncoding::build(
+                sub,
+                graph,
+                n,
+                EncodeShape {
+                    leading_swaps: false,
+                    trailing_swaps: true,
+                },
+                &self.config.objective,
+            );
+            enc.require_cyclic();
+            let maxsat_config = maxsat::MaxSatConfig {
+                time_budget: self.config.budget.map(|b| b.saturating_sub(start.elapsed())),
+                conflicts_per_call: self.config.conflicts_per_call,
+            };
+            let out = maxsat::solve(enc.instance(), maxsat_config);
+            return match out.status {
+                MaxSatStatus::Optimal | MaxSatStatus::Feasible => {
+                    let model = out.model.expect("status implies model");
+                    let (maps, swaps) = enc.decode(&model);
+                    Ok(routed_from_solution(sub, &enc, &maps, &swaps, n, 0))
+                }
+                MaxSatStatus::Unsat => Err(RouteError::Unsatisfiable(format!(
+                    "cyclic subcircuit unsolvable with n = {n}"
+                ))),
+                MaxSatStatus::Unknown => Err(RouteError::Timeout),
+            };
+        }
+        // Composed with slicing: route the subcircuit normally, then close
+        // the cycle by solving a final "restore" slice that must land on
+        // the initial map (an empty slice whose exit is pinned).
+        let inner = SatMap::new(self.config.clone());
+        let routed = inner.route(sub, graph)?;
+        let initial = routed.initial_map().to_vec();
+        let final_map = routed.final_map();
+        if final_map == initial {
+            return Ok(routed);
+        }
+        let restore = self.solve_restore(&final_map, &initial, graph, sub.num_qubits(), start)?;
+        let mut ops = routed.ops().to_vec();
+        ops.extend(restore);
+        Ok(RoutedCircuit::new(initial, ops))
+    }
+
+    /// Finds a swap sequence transforming `from` into `to` (both
+    /// logical→physical maps) using an empty pinned encoding with enough
+    /// trailing swap slots.
+    fn solve_restore(
+        &self,
+        from: &[usize],
+        to: &[usize],
+        graph: &ConnectivityGraph,
+        num_logical: usize,
+        start: Instant,
+    ) -> Result<Vec<RoutedOp>, RouteError> {
+        // Upper bound on swaps needed: routing each qubit home costs at
+        // most diameter swaps.
+        let max_slots = (graph.diameter() * num_logical).max(1);
+        let empty = Circuit::new(num_logical);
+        // Grow the slot count geometrically until satisfiable.
+        let mut slots = num_logical.max(2);
+        loop {
+            let mut enc = QmrEncoding::build(
+                &empty,
+                graph,
+                slots,
+                EncodeShape {
+                    leading_swaps: true,
+                    trailing_swaps: false,
+                },
+                &self.config.objective,
+            );
+            enc.pin_initial_map(from);
+            enc.pin_final_map(to);
+            let maxsat_config = maxsat::MaxSatConfig {
+                time_budget: self.config.budget.map(|b| b.saturating_sub(start.elapsed())),
+                conflicts_per_call: self.config.conflicts_per_call,
+            };
+            let out = maxsat::solve(enc.instance(), maxsat_config);
+            match out.status {
+                MaxSatStatus::Optimal | MaxSatStatus::Feasible => {
+                    let model = out.model.expect("status implies model");
+                    let (_, swaps) = enc.decode(&model);
+                    return Ok(swaps
+                        .into_iter()
+                        .flatten()
+                        .map(|(a, b)| RoutedOp::Swap(a, b))
+                        .collect());
+                }
+                MaxSatStatus::Unknown => return Err(RouteError::Timeout),
+                MaxSatStatus::Unsat if slots < max_slots => {
+                    slots = (slots * 2).min(max_slots);
+                }
+                MaxSatStatus::Unsat => {
+                    return Err(RouteError::Unsatisfiable(
+                        "cannot restore cyclic map".into(),
+                    ))
+                }
+            }
+        }
+    }
+}
+
+impl Router for CyclicSatMap {
+    fn name(&self) -> &str {
+        "cyc-satmap"
+    }
+
+    /// Routes a circuit that is already `sub × cycles` *without* a prefix,
+    /// by treating the whole input as one repetition (callers with known
+    /// cyclic structure should prefer [`CyclicSatMap::route_repeated`]).
+    fn route(
+        &self,
+        circuit: &Circuit,
+        graph: &ConnectivityGraph,
+    ) -> Result<RoutedCircuit, RouteError> {
+        let prefix = Circuit::new(circuit.num_qubits());
+        let (_, routed) = self.route_repeated(&prefix, circuit, 1, graph)?;
+        Ok(routed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circuit::verify::verify;
+
+    fn fig3() -> (Circuit, ConnectivityGraph) {
+        let mut c = Circuit::new(4);
+        c.cx(0, 1);
+        c.cx(0, 2);
+        c.cx(3, 2);
+        c.cx(0, 3);
+        (c, ConnectivityGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]))
+    }
+
+    #[test]
+    fn fig8_running_example_two_swaps_per_cycle() {
+        let (sub, g) = fig3();
+        let prefix = Circuit::new(4);
+        let router = CyclicSatMap::new(SatMapConfig::monolithic());
+        let (full, routed) = router.route_repeated(&prefix, &sub, 3, &g).expect("solves");
+        verify(&full, &g, &routed).expect("verifies");
+        // Fig. 8: two swaps per repetition (one to route, one to restore).
+        assert_eq!(routed.swap_count(), 2 * 3);
+        assert_eq!(routed.final_map(), routed.initial_map());
+    }
+
+    #[test]
+    fn qaoa_on_tokyo_verifies() {
+        let edges = circuit::qaoa::three_regular_graph(6, 2);
+        let sub = circuit::qaoa::qaoa_subcircuit(6, &edges, 0.4, 0.3);
+        let mut prefix = Circuit::new(6);
+        for q in 0..6 {
+            prefix.h(q);
+        }
+        let g = arch::devices::tokyo();
+        let router = CyclicSatMap::new(SatMapConfig::monolithic());
+        let (full, routed) = router.route_repeated(&prefix, &sub, 2, &g).expect("solves");
+        verify(&full, &g, &routed).expect("verifies");
+    }
+
+    #[test]
+    fn rejects_two_qubit_prefix() {
+        let (sub, g) = fig3();
+        let mut prefix = Circuit::new(4);
+        prefix.cx(0, 1);
+        let router = CyclicSatMap::new(SatMapConfig::monolithic());
+        assert!(matches!(
+            router.route_repeated(&prefix, &sub, 2, &g),
+            Err(RouteError::Unsatisfiable(_))
+        ));
+    }
+
+    #[test]
+    fn sliced_cyclic_composition_verifies() {
+        let edges = circuit::qaoa::three_regular_graph(6, 4);
+        let sub = circuit::qaoa::qaoa_subcircuit(6, &edges, 0.4, 0.3);
+        let prefix = Circuit::new(6);
+        let g = arch::devices::tokyo();
+        // Slice size smaller than the subcircuit forces composition.
+        let router = CyclicSatMap::new(SatMapConfig::sliced(4));
+        let (full, routed) = router.route_repeated(&prefix, &sub, 3, &g).expect("solves");
+        verify(&full, &g, &routed).expect("verifies");
+        assert_eq!(routed.final_map(), routed.initial_map());
+    }
+}

@@ -1,0 +1,721 @@
+//! The MaxSAT encoding of optimal QMR (Fig. 5 of the paper).
+//!
+//! For a circuit slice with `T` two-qubit gates we build a chain of *map
+//! states*. Each state carries `map(q, p, s)` variables ("logical `q` sits
+//! on physical `p` at state `s`"); between consecutive states sits one SWAP
+//! slot with `swap(e, s)` variables over `Edges′ = Edges ∪ {noop}` (the
+//! paper's synthetic `(p0, p0)` edge). Gates are attached to states; with
+//! `n` swap slots per gate, `n` intermediate states separate consecutive
+//! gates.
+//!
+//! Constraints (names follow the paper's Fig. 5):
+//!
+//! * **Hard A** — maps are injective functions: exactly-one `p` per `q` and
+//!   at-most-one `q` per `p`, per state, using the standard only-one
+//!   encoding (the compaction that makes this smaller than EX-MQT);
+//! * **Hard B** — two-qubit gates execute on adjacent qubits: for gate
+//!   `g(q, q′)` at state `s`, `map(q, p, s) → ⋁_{p′ ∈ N(p)} map(q′, p′, s)`;
+//! * **Hard C** — exactly one swap choice per slot;
+//! * **Hard D** — the effect of SWAPs, with `touched(p, s)` auxiliaries
+//!   providing frame axioms instead of enumerating swap sequences;
+//! * **Soft** — reward the no-op (swap-count mode) or weight each edge by
+//!   its log-infidelity (fidelity mode).
+
+use arch::ConnectivityGraph;
+use circuit::{Circuit, Qubit};
+use maxsat::encodings::{at_most_one, exactly_one};
+use maxsat::WcnfInstance;
+use sat::{Lit, Var};
+
+use crate::config::Objective;
+
+/// Index of the synthetic no-op edge within a slot's swap variables.
+///
+/// Real edges occupy indices `0..num_edges`; the no-op sits at `num_edges`.
+pub const NOOP: usize = usize::MAX;
+
+/// Where a slice sits relative to its neighbours, which determines the
+/// shape of the state chain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EncodeShape {
+    /// Allow `n` swap slots *before the first gate* (true for every slice
+    /// after the first: the pinned entry map may need adjusting before the
+    /// slice's first gate).
+    pub leading_swaps: bool,
+    /// Add `n` swap slots *after the last gate* and expose the resulting
+    /// exit state (used by the cyclic relaxation to restore the map).
+    pub trailing_swaps: bool,
+}
+
+impl EncodeShape {
+    /// First slice of a non-cyclic circuit.
+    pub fn first_slice() -> Self {
+        EncodeShape {
+            leading_swaps: false,
+            trailing_swaps: false,
+        }
+    }
+
+    /// Any later slice (entry map pinned, so leading swaps are allowed).
+    pub fn continuation() -> Self {
+        EncodeShape {
+            leading_swaps: true,
+            trailing_swaps: false,
+        }
+    }
+}
+
+/// The variable layout and constraint set for one QMR (sub)problem.
+#[derive(Debug)]
+pub struct QmrEncoding {
+    instance: WcnfInstance,
+    num_logical: usize,
+    num_phys: usize,
+    num_states: usize,
+    /// `map_var[s][q][p]`.
+    map_var: Vec<Vec<Vec<Var>>>,
+    /// `swap_var[slot][e]`, `e` indexing `edges`, plus the no-op at the end.
+    swap_var: Vec<Vec<Var>>,
+    /// State index at which gate `g` (two-qubit gate order) executes.
+    gate_state: Vec<usize>,
+    /// The slice's two-qubit interactions `(gate_index, a, b)`.
+    interactions: Vec<(usize, Qubit, Qubit)>,
+    edges: Vec<(usize, usize)>,
+}
+
+impl QmrEncoding {
+    /// Builds the encoding for `slice` on `graph`.
+    ///
+    /// `swaps_per_gap` is the paper's `n`. The circuit's single-qubit gates
+    /// are ignored here (they do not constrain QMR) and re-attached during
+    /// extraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice uses more logical than physical qubits or
+    /// `swaps_per_gap == 0`.
+    pub fn build(
+        slice: &Circuit,
+        graph: &ConnectivityGraph,
+        swaps_per_gap: usize,
+        shape: EncodeShape,
+        objective: &Objective,
+    ) -> Self {
+        assert!(swaps_per_gap > 0, "need at least one swap slot per gap");
+        let num_logical = slice.num_qubits();
+        let num_phys = graph.num_qubits();
+        assert!(
+            num_logical <= num_phys,
+            "circuit does not fit on the device"
+        );
+        let interactions = slice.two_qubit_interactions();
+        let num_gates = interactions.len();
+        let n = swaps_per_gap;
+
+        // State chain layout.
+        let mut gate_state = Vec::with_capacity(num_gates);
+        let lead = if shape.leading_swaps { n } else { 0 };
+        for g in 0..num_gates {
+            gate_state.push(lead + g * n);
+        }
+        let last_gate_state = gate_state.last().copied().unwrap_or(0);
+        let num_states = if shape.trailing_swaps {
+            last_gate_state + n + 1
+        } else if num_gates == 0 {
+            1 + lead
+        } else {
+            last_gate_state + 1
+        };
+        let num_slots = num_states - 1;
+
+        let mut instance = WcnfInstance::new();
+        let map_var: Vec<Vec<Vec<Var>>> = (0..num_states)
+            .map(|_| {
+                (0..num_logical)
+                    .map(|_| (0..num_phys).map(|_| instance.new_var()).collect())
+                    .collect()
+            })
+            .collect();
+        let edges = graph.edges().to_vec();
+        let swap_var: Vec<Vec<Var>> = (0..num_slots)
+            .map(|_| (0..=edges.len()).map(|_| instance.new_var()).collect())
+            .collect();
+
+        let mut enc = QmrEncoding {
+            instance,
+            num_logical,
+            num_phys,
+            num_states,
+            map_var,
+            swap_var,
+            gate_state,
+            interactions,
+            edges,
+        };
+        enc.emit_hard_a();
+        enc.emit_hard_b(graph);
+        enc.emit_hard_c();
+        enc.emit_hard_d(graph);
+        enc.emit_soft(objective, graph);
+        enc
+    }
+
+    fn map_lit(&self, s: usize, q: usize, p: usize) -> Lit {
+        self.map_var[s][q][p].positive()
+    }
+
+    fn swap_lit(&self, slot: usize, e: usize) -> Lit {
+        self.swap_var[slot][e].positive()
+    }
+
+    fn noop_lit(&self, slot: usize) -> Lit {
+        self.swap_var[slot][self.edges.len()].positive()
+    }
+
+    /// Hard A: maps are injective total functions, per state.
+    fn emit_hard_a(&mut self) {
+        for s in 0..self.num_states {
+            for q in 0..self.num_logical {
+                let lits: Vec<Lit> = (0..self.num_phys).map(|p| self.map_lit(s, q, p)).collect();
+                exactly_one(&mut self.instance, &lits);
+            }
+            for p in 0..self.num_phys {
+                let lits: Vec<Lit> =
+                    (0..self.num_logical).map(|q| self.map_lit(s, q, p)).collect();
+                at_most_one(&mut self.instance, &lits);
+            }
+        }
+    }
+
+    /// Hard B: each two-qubit gate's operands occupy adjacent qubits.
+    fn emit_hard_b(&mut self, graph: &ConnectivityGraph) {
+        for (g, &(_, a, b)) in self.interactions.clone().iter().enumerate() {
+            let s = self.gate_state[g];
+            for p in 0..self.num_phys {
+                // map(a, p, s) → ⋁_{p' ∈ N(p)} map(b, p', s)
+                let mut clause = vec![!self.map_lit(s, a.0, p)];
+                clause.extend(graph.neighbors(p).iter().map(|&p2| self.map_lit(s, b.0, p2)));
+                self.instance.add_hard(clause);
+            }
+        }
+    }
+
+    /// Hard C: exactly one swap choice (possibly the no-op) per slot.
+    fn emit_hard_c(&mut self) {
+        for slot in 0..self.swap_var.len() {
+            let lits: Vec<Lit> = (0..=self.edges.len())
+                .map(|e| self.swap_lit(slot, e))
+                .collect();
+            exactly_one(&mut self.instance, &lits);
+        }
+    }
+
+    /// Hard D: the effect of the chosen swap, with frame axioms via
+    /// `touched(p, slot)` auxiliaries.
+    fn emit_hard_d(&mut self, graph: &ConnectivityGraph) {
+        let edges = self.edges.clone();
+        for slot in 0..self.swap_var.len() {
+            let s = slot;
+            // touched(p) ↔ ⋁ swaps incident to p.
+            let touched: Vec<Lit> = (0..self.num_phys)
+                .map(|_| self.instance.new_var().positive())
+                .collect();
+            for p in 0..self.num_phys {
+                let mut incident = Vec::new();
+                for (e, &(x, y)) in edges.iter().enumerate() {
+                    if x == p || y == p {
+                        let sw = self.swap_lit(slot, e);
+                        // swap(e) → touched(p)
+                        self.instance.add_hard([!sw, touched[p]]);
+                        incident.push(sw);
+                    }
+                }
+                // touched(p) → some incident swap chosen.
+                let mut clause = vec![!touched[p]];
+                clause.extend(incident);
+                self.instance.add_hard(clause);
+            }
+            // Movement: swap((x, y)) carries q across the edge.
+            for (e, &(x, y)) in edges.iter().enumerate() {
+                debug_assert!(graph.are_adjacent(x, y));
+                let sw = self.swap_lit(slot, e);
+                for q in 0..self.num_logical {
+                    self.instance.add_hard([
+                        !sw,
+                        !self.map_lit(s, q, x),
+                        self.map_lit(s + 1, q, y),
+                    ]);
+                    self.instance.add_hard([
+                        !sw,
+                        !self.map_lit(s, q, y),
+                        self.map_lit(s + 1, q, x),
+                    ]);
+                }
+            }
+            // Frame: untouched positions persist.
+            for p in 0..self.num_phys {
+                for q in 0..self.num_logical {
+                    self.instance.add_hard([
+                        touched[p],
+                        !self.map_lit(s, q, p),
+                        self.map_lit(s + 1, q, p),
+                    ]);
+                }
+            }
+        }
+    }
+
+    /// Soft constraints: reward no-ops (swap-count mode) or weight each
+    /// edge by its log-infidelity (fidelity mode). Fidelity mode also adds
+    /// per-gate edge-usage softs, reproducing TB-OLSQ's objective.
+    fn emit_soft(&mut self, objective: &Objective, graph: &ConnectivityGraph) {
+        match objective {
+            Objective::SwapCount => {
+                for slot in 0..self.swap_var.len() {
+                    let noop = self.noop_lit(slot);
+                    self.instance.add_soft(1, [noop]);
+                }
+            }
+            Objective::Fidelity(noise) => {
+                let edges = self.edges.clone();
+                for slot in 0..self.swap_var.len() {
+                    for (e, &(x, y)) in edges.iter().enumerate() {
+                        let w = arch::NoiseModel::fidelity_weight(noise.swap_fidelity(x, y));
+                        if w > 0 {
+                            self.instance.add_soft(w, [!self.swap_lit(slot, e)]);
+                        }
+                    }
+                }
+                // Gate-placement fidelity: an indicator per (gate, edge).
+                for (g, &(_, a, b)) in self.interactions.clone().iter().enumerate() {
+                    let s = self.gate_state[g];
+                    for &(x, y) in &edges {
+                        let w = arch::NoiseModel::fidelity_weight(noise.cx_fidelity(x, y));
+                        if w == 0 {
+                            continue;
+                        }
+                        let used = self.instance.new_var().positive();
+                        // (a@x ∧ b@y) → used, and the mirrored orientation.
+                        self.instance.add_hard([
+                            !self.map_lit(s, a.0, x),
+                            !self.map_lit(s, b.0, y),
+                            used,
+                        ]);
+                        self.instance.add_hard([
+                            !self.map_lit(s, a.0, y),
+                            !self.map_lit(s, b.0, x),
+                            used,
+                        ]);
+                        self.instance.add_soft(w, [!used]);
+                    }
+                }
+                let _ = graph;
+            }
+        }
+    }
+
+    /// Pins the entry state (state 0) to a concrete logical→physical map
+    /// (step 2 of the local-relaxation recipe).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `map` does not cover every logical qubit.
+    pub fn pin_initial_map(&mut self, map: &[usize]) {
+        assert_eq!(map.len(), self.num_logical, "map arity mismatch");
+        for (q, &p) in map.iter().enumerate() {
+            self.instance.add_hard([self.map_lit(0, q, p)]);
+        }
+    }
+
+    /// Adds the cyclic-relaxation constraint: the *exit* state equals the
+    /// *entry* state (`map(q, p, 1) ↔ map(q, p, |C|)` in the paper).
+    pub fn require_cyclic(&mut self) {
+        let last = self.num_states - 1;
+        for q in 0..self.num_logical {
+            for p in 0..self.num_phys {
+                let first = self.map_lit(0, q, p);
+                let end = self.map_lit(last, q, p);
+                self.instance.add_hard([!first, end]);
+                self.instance.add_hard([first, !end]);
+            }
+        }
+    }
+
+    /// Requires the exit (final) state to equal a concrete map (used when
+    /// composing the cyclic relaxation with slicing: the last slice must
+    /// land on the first slice's entry map).
+    pub fn pin_final_map(&mut self, map: &[usize]) {
+        assert_eq!(map.len(), self.num_logical, "map arity mismatch");
+        let last = self.num_states - 1;
+        for (q, &p) in map.iter().enumerate() {
+            self.instance.add_hard([self.map_lit(last, q, p)]);
+        }
+    }
+
+    /// Excludes a previously returned *final* map (Example 10's
+    /// backtracking clause): adds `¬⋀ map(q, final(q), last)`.
+    pub fn forbid_final_map(&mut self, map: &[usize]) {
+        assert_eq!(map.len(), self.num_logical, "map arity mismatch");
+        let last = self.num_states - 1;
+        let clause: Vec<Lit> = map
+            .iter()
+            .enumerate()
+            .map(|(q, &p)| !self.map_lit(last, q, p))
+            .collect();
+        self.instance.add_hard(clause);
+    }
+
+    /// The MaxSAT instance (for solving or WCNF export).
+    pub fn instance(&self) -> &WcnfInstance {
+        &self.instance
+    }
+
+    /// Number of map states in the chain.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Decodes a model into the per-state maps and per-slot swap choices.
+    ///
+    /// Returns `(maps, swaps)`: `maps[s][q]` is the physical position of
+    /// logical `q` at state `s`; `swaps[slot]` is `Some((x, y))` for a real
+    /// swap or `None` for the no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model is not a well-formed solution (the encoding
+    /// guarantees well-formedness for any satisfying model).
+    pub fn decode(&self, model: &[bool]) -> (Vec<Vec<usize>>, Vec<Option<(usize, usize)>>) {
+        let value = |v: Var| model.get(v.index()).copied().unwrap_or(false);
+        let maps: Vec<Vec<usize>> = (0..self.num_states)
+            .map(|s| {
+                (0..self.num_logical)
+                    .map(|q| {
+                        let ps: Vec<usize> = (0..self.num_phys)
+                            .filter(|&p| value(self.map_var[s][q][p]))
+                            .collect();
+                        assert_eq!(ps.len(), 1, "state {s}, q{q}: map not a function");
+                        ps[0]
+                    })
+                    .collect()
+            })
+            .collect();
+        let swaps: Vec<Option<(usize, usize)>> = (0..self.swap_var.len())
+            .map(|slot| {
+                let chosen: Vec<usize> = (0..=self.edges.len())
+                    .filter(|&e| value(self.swap_var[slot][e]))
+                    .collect();
+                assert_eq!(chosen.len(), 1, "slot {slot}: not exactly one swap");
+                if chosen[0] == self.edges.len() {
+                    None
+                } else {
+                    Some(self.edges[chosen[0]])
+                }
+            })
+            .collect();
+        (maps, swaps)
+    }
+
+    /// The state index of two-qubit gate `g` (in slice gate order).
+    pub fn gate_state(&self, g: usize) -> usize {
+        self.gate_state[g]
+    }
+
+    /// The slice's two-qubit interactions.
+    pub fn interactions(&self) -> &[(usize, Qubit, Qubit)] {
+        &self.interactions
+    }
+}
+
+/// Assembles a [`circuit::RoutedCircuit`] for `slice` from a decoded model.
+///
+/// `swaps_per_gap` must match the value used at build time. Single-qubit
+/// gates are re-attached immediately before the following two-qubit gate
+/// (or at the end).
+pub fn routed_from_solution(
+    slice: &Circuit,
+    enc: &QmrEncoding,
+    maps: &[Vec<usize>],
+    swaps: &[Option<(usize, usize)>],
+    swaps_per_gap: usize,
+    gate_index_offset: usize,
+) -> circuit::RoutedCircuit {
+    use circuit::RoutedOp;
+    let mut ops = Vec::new();
+    let mut slot = 0usize;
+    let mut emitted_slots = 0usize;
+
+    let mut two_qubit_seen = 0usize;
+    let emit_gap = |ops: &mut Vec<RoutedOp>, slot: &mut usize| {
+        for _ in 0..swaps_per_gap {
+            if let Some((x, y)) = swaps[*slot] {
+                ops.push(RoutedOp::Swap(x, y));
+            }
+            *slot += 1;
+        }
+    };
+
+    // Leading slots (continuation slices).
+    let has_gates = !enc.interactions().is_empty();
+    if has_gates && enc.gate_state(0) > 0 {
+        emit_gap(&mut ops, &mut slot);
+        emitted_slots += swaps_per_gap;
+    }
+
+    for (i, g) in slice.gates().iter().enumerate() {
+        if g.is_two_qubit() {
+            if two_qubit_seen > 0 {
+                emit_gap(&mut ops, &mut slot);
+                emitted_slots += swaps_per_gap;
+            }
+            two_qubit_seen += 1;
+        }
+        ops.push(RoutedOp::Logical(gate_index_offset + i));
+    }
+    // Trailing slots (cyclic shape).
+    while emitted_slots < swaps.len() {
+        emit_gap(&mut ops, &mut slot);
+        emitted_slots += swaps_per_gap;
+    }
+
+    let initial_map = maps.first().cloned().unwrap_or_default();
+    let _ = gate_index_offset;
+    circuit::RoutedCircuit::new(initial_map, ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circuit::verify::verify;
+    use maxsat::{solve, MaxSatConfig, MaxSatStatus};
+
+    fn fig3_circuit() -> Circuit {
+        let mut c = Circuit::new(4);
+        c.cx(0, 1);
+        c.cx(0, 2);
+        c.cx(3, 2);
+        c.cx(0, 3);
+        c
+    }
+
+    fn fig3_graph() -> ConnectivityGraph {
+        ConnectivityGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)])
+    }
+
+    #[test]
+    fn paper_running_example_needs_one_swap() {
+        let circuit = fig3_circuit();
+        let graph = fig3_graph();
+        let enc = QmrEncoding::build(
+            &circuit,
+            &graph,
+            1,
+            EncodeShape::first_slice(),
+            &Objective::SwapCount,
+        );
+        let out = solve(enc.instance(), MaxSatConfig::unlimited());
+        assert_eq!(out.status, MaxSatStatus::Optimal);
+        // The paper: "inserting a single swap is sufficient for this
+        // example" — cost 1.
+        assert_eq!(out.cost, Some(1));
+        let model = out.model.expect("model");
+        let (maps, swaps) = enc.decode(&model);
+        assert_eq!(swaps.iter().filter(|s| s.is_some()).count(), 1);
+        let routed = routed_from_solution(&circuit, &enc, &maps, &swaps, 1, 0);
+        verify(&circuit, &graph, &routed).expect("solution verifies");
+        assert_eq!(routed.swap_count(), 1);
+    }
+
+    #[test]
+    fn zero_swap_instance() {
+        // Adjacent interactions only: optimal cost 0.
+        let mut c = Circuit::new(3);
+        c.cx(0, 1);
+        c.cx(1, 2);
+        let graph = arch::devices::linear(3);
+        let enc =
+            QmrEncoding::build(&c, &graph, 1, EncodeShape::first_slice(), &Objective::SwapCount);
+        let out = solve(enc.instance(), MaxSatConfig::unlimited());
+        assert_eq!(out.status, MaxSatStatus::Optimal);
+        assert_eq!(out.cost, Some(0));
+        let (maps, swaps) = enc.decode(&out.model.expect("model"));
+        let routed = routed_from_solution(&c, &enc, &maps, &swaps, 1, 0);
+        verify(&c, &graph, &routed).expect("verifies");
+        assert_eq!(routed.swap_count(), 0);
+    }
+
+    #[test]
+    fn pinned_initial_map_is_respected() {
+        let mut c = Circuit::new(3);
+        c.cx(0, 1);
+        let graph = arch::devices::linear(3);
+        let mut enc = QmrEncoding::build(
+            &c,
+            &graph,
+            1,
+            EncodeShape::continuation(),
+            &Objective::SwapCount,
+        );
+        // Pin q0→p0, q1→p2, q2→p1: gate (q0,q1) needs one swap.
+        enc.pin_initial_map(&[0, 2, 1]);
+        let out = solve(enc.instance(), MaxSatConfig::unlimited());
+        assert_eq!(out.status, MaxSatStatus::Optimal);
+        assert_eq!(out.cost, Some(1));
+        let (maps, _) = enc.decode(&out.model.expect("model"));
+        assert_eq!(maps[0], vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn pinned_map_without_leading_swaps_can_be_unsat() {
+        let mut c = Circuit::new(3);
+        c.cx(0, 1);
+        let graph = arch::devices::linear(3);
+        let mut enc = QmrEncoding::build(
+            &c,
+            &graph,
+            1,
+            EncodeShape::first_slice(), // no leading slots
+            &Objective::SwapCount,
+        );
+        enc.pin_initial_map(&[0, 2, 1]); // q0,q1 not adjacent, no way to fix
+        let out = solve(enc.instance(), MaxSatConfig::unlimited());
+        assert_eq!(out.status, MaxSatStatus::Unsat);
+    }
+
+    #[test]
+    fn cyclic_constraint_restores_map() {
+        // Fig. 8: the cyclic version of the running example costs 2 swaps
+        // (one to route, one to restore).
+        let circuit = fig3_circuit();
+        let graph = fig3_graph();
+        let mut enc = QmrEncoding::build(
+            &circuit,
+            &graph,
+            1,
+            EncodeShape {
+                leading_swaps: false,
+                trailing_swaps: true,
+            },
+            &Objective::SwapCount,
+        );
+        enc.require_cyclic();
+        let out = solve(enc.instance(), MaxSatConfig::unlimited());
+        assert_eq!(out.status, MaxSatStatus::Optimal);
+        assert_eq!(out.cost, Some(2));
+        let (maps, swaps) = enc.decode(&out.model.expect("model"));
+        assert_eq!(maps[0], maps[maps.len() - 1], "exit state equals entry");
+        let routed = routed_from_solution(&circuit, &enc, &maps, &swaps, 1, 0);
+        verify(&circuit, &graph, &routed).expect("verifies");
+        assert_eq!(routed.final_map(), routed.initial_map());
+    }
+
+    #[test]
+    fn forbid_final_map_excludes_solution() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1);
+        let graph = arch::devices::linear(2);
+        let mut enc =
+            QmrEncoding::build(&c, &graph, 1, EncodeShape::first_slice(), &Objective::SwapCount);
+        let out = solve(enc.instance(), MaxSatConfig::unlimited());
+        let (maps, _) = enc.decode(&out.model.expect("model"));
+        let final_map = maps.last().expect("states").clone();
+        enc.forbid_final_map(&final_map);
+        let out2 = solve(enc.instance(), MaxSatConfig::unlimited());
+        // The only other option is the mirrored placement.
+        let (maps2, _) = enc.decode(&out2.model.expect("model"));
+        assert_ne!(maps2.last(), Some(&final_map));
+    }
+
+    #[test]
+    fn swaps_per_gap_two_reaches_distance_three() {
+        // On a 4-path, gates (q0,q1) then (q0,q3) with q* placed at the
+        // ends: n = 1 cannot bridge distance 3 in one gap; n = 2 can
+        // bridge distance 3 (two swaps move a qubit two steps... actually
+        // one swap halves the distance by 1 each; distance 3 needs 2 swaps
+        // to reach adjacency).
+        let mut c = Circuit::new(4);
+        c.cx(0, 1);
+        c.cx(2, 3);
+        c.cx(0, 3);
+        let graph = arch::devices::linear(4);
+        for (n, expect_sat) in [(1usize, true), (2, true)] {
+            let enc = QmrEncoding::build(
+                &c,
+                &graph,
+                n,
+                EncodeShape::first_slice(),
+                &Objective::SwapCount,
+            );
+            let out = solve(enc.instance(), MaxSatConfig::unlimited());
+            assert_eq!(
+                out.status == MaxSatStatus::Optimal,
+                expect_sat,
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn fidelity_mode_prefers_reliable_edges() {
+        let graph = arch::devices::tokyo();
+        let noise = arch::NoiseModel::synthetic(&graph, 11);
+        let mut c = Circuit::new(2);
+        c.cx(0, 1);
+        let enc = QmrEncoding::build(
+            &c,
+            &graph,
+            1,
+            EncodeShape::first_slice(),
+            &Objective::Fidelity(noise.clone()),
+        );
+        let out = solve(enc.instance(), MaxSatConfig::unlimited());
+        // Weighted instances may finish as Feasible when the engine
+        // quantizes weights; both statuses carry a model.
+        assert!(
+            matches!(out.status, MaxSatStatus::Optimal | MaxSatStatus::Feasible),
+            "{:?}",
+            out.status
+        );
+        let (maps, _) = enc.decode(&out.model.expect("model"));
+        let (pa, pb) = (maps[0][0], maps[0][1]);
+        assert!(graph.are_adjacent(pa, pb));
+        // The chosen edge must be (nearly) the most reliable edge of the
+        // device; "nearly" because the MaxSAT engine quantizes weights, so
+        // edges within the quantization slack can tie.
+        let best = graph
+            .edges()
+            .iter()
+            .map(|&(x, y)| noise.cx_error(x, y))
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            noise.cx_error(pa, pb) - best < 2e-3,
+            "picked error {} vs best {best}",
+            noise.cx_error(pa, pb)
+        );
+    }
+
+    #[test]
+    fn empty_slice_still_produces_a_map() {
+        let c = Circuit::new(3);
+        let graph = arch::devices::linear(3);
+        let enc =
+            QmrEncoding::build(&c, &graph, 1, EncodeShape::first_slice(), &Objective::SwapCount);
+        let out = solve(enc.instance(), MaxSatConfig::unlimited());
+        assert_eq!(out.status, MaxSatStatus::Optimal);
+        let (maps, swaps) = enc.decode(&out.model.expect("model"));
+        assert_eq!(maps.len(), 1);
+        assert!(swaps.is_empty());
+    }
+
+    #[test]
+    fn wcnf_export_is_parseable() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1);
+        let graph = arch::devices::linear(2);
+        let enc =
+            QmrEncoding::build(&c, &graph, 1, EncodeShape::first_slice(), &Objective::SwapCount);
+        let text = enc.instance().to_wcnf();
+        let parsed = maxsat::WcnfInstance::parse_wcnf(&text).expect("round trips");
+        assert_eq!(parsed.hard_clauses().len(), enc.instance().hard_clauses().len());
+    }
+}

@@ -1,0 +1,47 @@
+//! **SATMAP** — optimal qubit mapping and routing (QMR) via MaxSAT.
+//!
+//! Reproduction of the core contribution of *"Qubit Mapping and Routing via
+//! MaxSAT"* (MICRO 2022): a sketching-inspired Boolean encoding of QMR
+//! solved with an anytime MaxSAT engine, plus the paper's two relaxations.
+//!
+//! * [`encode`] — the Fig. 5 encoding (Hard A–D + soft no-op rewards);
+//! * [`SatMap`] — the router: monolithic (**NL-SATMAP**) or with the
+//!   locally optimal relaxation of Section V (**SATMAP**), including
+//!   backtracking across slice boundaries;
+//! * [`CyclicSatMap`] — the cyclic-circuit relaxation of Section VI
+//!   (**CYC-SATMAP**), for QAOA-style repeated circuits;
+//! * [`Objective::Fidelity`] — the weighted (noise-aware) variant of §Q6.
+//!
+//! Solutions are returned as [`circuit::RoutedCircuit`]s and can be checked
+//! with the independent verifier in [`circuit::verify`].
+//!
+//! # Examples
+//!
+//! ```
+//! use circuit::{Circuit, Router, verify::verify};
+//! use satmap::{SatMap, SatMapConfig};
+//!
+//! // The paper's running example (Fig. 3).
+//! let mut c = Circuit::new(4);
+//! c.cx(0, 1);
+//! c.cx(0, 2);
+//! c.cx(3, 2);
+//! c.cx(0, 3);
+//! let graph = arch::ConnectivityGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+//! let routed = SatMap::new(SatMapConfig::monolithic()).route(&c, &graph)?;
+//! verify(&c, &graph, &routed).expect("solution verifies");
+//! assert_eq!(routed.swap_count(), 1); // the single green swap of Fig. 3
+//! # Ok::<(), circuit::RouteError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+mod cyclic;
+pub mod encode;
+mod solver;
+
+pub use config::{Objective, SatMapConfig};
+pub use cyclic::CyclicSatMap;
+pub use solver::SatMap;

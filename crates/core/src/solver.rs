@@ -1,0 +1,405 @@
+//! The SATMAP router: monolithic solving, the locally optimal relaxation
+//! with backtracking (Section V), and plumbing shared with the cyclic
+//! relaxation (Section VI).
+
+use std::time::{Duration, Instant};
+
+use arch::ConnectivityGraph;
+use circuit::{check_fits, Circuit, RoutedCircuit, RoutedOp, RouteError, Router};
+use maxsat::{MaxSatConfig, MaxSatStatus};
+
+use crate::config::SatMapConfig;
+use crate::encode::{routed_from_solution, EncodeShape, QmrEncoding};
+
+/// The SATMAP qubit mapping and routing solver.
+///
+/// With `slice_size: None` this is **NL-SATMAP** (one monolithic MaxSAT
+/// problem, optimal modulo the `n`-swaps-per-gap restriction); with a slice
+/// size it is **SATMAP** (locally optimal relaxation with backtracking).
+///
+/// # Examples
+///
+/// ```
+/// use circuit::{Circuit, Router, verify::verify};
+/// use satmap::{SatMap, SatMapConfig};
+///
+/// let mut c = Circuit::new(3);
+/// c.cx(0, 1);
+/// c.cx(1, 2);
+/// c.cx(0, 2);
+/// let graph = arch::devices::tokyo();
+/// let router = SatMap::new(SatMapConfig::default());
+/// let routed = router.route(&c, &graph)?;
+/// verify(&c, &graph, &routed).expect("solution verifies");
+/// # Ok::<(), circuit::RouteError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct SatMap {
+    config: SatMapConfig,
+}
+
+impl SatMap {
+    /// Creates a router with the given configuration.
+    pub fn new(config: SatMapConfig) -> Self {
+        SatMap { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SatMapConfig {
+        &self.config
+    }
+
+    fn remaining(&self, start: Instant) -> Option<Duration> {
+        self.config.budget.map(|b| b.saturating_sub(start.elapsed()))
+    }
+
+    fn maxsat_config(&self, start: Instant) -> MaxSatConfig {
+        MaxSatConfig {
+            time_budget: self.remaining(start),
+            conflicts_per_call: self.config.conflicts_per_call,
+        }
+    }
+
+    fn out_of_time(&self, start: Instant) -> bool {
+        matches!(self.remaining(start), Some(d) if d.is_zero())
+    }
+
+    /// Routes the circuit as one monolithic MaxSAT problem (NL-SATMAP).
+    fn route_monolithic(
+        &self,
+        circuit: &Circuit,
+        graph: &ConnectivityGraph,
+        start: Instant,
+    ) -> Result<RoutedCircuit, RouteError> {
+        // Memory guard (the analogue of the paper's 5 GB per-tool cap):
+        // refuse instances whose encoding would dwarf any realistic budget.
+        let states = circuit.num_two_qubit_gates().max(1) * self.config.swaps_per_gap;
+        let per_state = circuit.num_qubits() * (graph.num_qubits() + 2 * graph.num_edges())
+            + graph.num_qubits();
+        if self.config.budget.is_some() && states.saturating_mul(per_state) > 6_000_000 {
+            return Err(RouteError::Timeout);
+        }
+        let enc = QmrEncoding::build(
+            circuit,
+            graph,
+            self.config.swaps_per_gap,
+            EncodeShape::first_slice(),
+            &self.config.objective,
+        );
+        let out = maxsat::solve(enc.instance(), self.maxsat_config(start));
+        match out.status {
+            MaxSatStatus::Optimal | MaxSatStatus::Feasible => {
+                let model = out.model.expect("status implies model");
+                let (maps, swaps) = enc.decode(&model);
+                Ok(routed_from_solution(
+                    circuit,
+                    &enc,
+                    &maps,
+                    &swaps,
+                    self.config.swaps_per_gap,
+                    0,
+                ))
+            }
+            MaxSatStatus::Unsat => Err(RouteError::Unsatisfiable(format!(
+                "no routing with n = {} swaps per gap; increase swaps_per_gap",
+                self.config.swaps_per_gap
+            ))),
+            MaxSatStatus::Unknown => Err(RouteError::Timeout),
+        }
+    }
+
+    /// Section V: slice, solve each slice pinned to the previous final map,
+    /// and backtrack (excluding final maps) when a slice is unsatisfiable.
+    fn route_sliced(
+        &self,
+        circuit: &Circuit,
+        graph: &ConnectivityGraph,
+        slice_size: usize,
+        start: Instant,
+    ) -> Result<RoutedCircuit, RouteError> {
+        let slices = circuit.slices(slice_size);
+        let n = self.config.swaps_per_gap;
+
+        /// Per-slice solving state kept for backtracking. Encodings are
+        /// large (O(slice · |Logic| · |Phys|) clauses), so only a recent
+        /// window keeps them in memory; evicted ones are rebuilt on demand
+        /// from the slice plus the recorded pin and exclusion clauses.
+        struct SliceState {
+            enc: Option<QmrEncoding>,
+            /// Final maps excluded by backtracking (Example 10 clauses).
+            forbidden: Vec<Vec<usize>>,
+            /// Decoded solution: final map + this slice's op contribution
+            /// (gate indices local to the slice).
+            final_map: Vec<usize>,
+            initial_map: Vec<usize>,
+            ops: Vec<RoutedOp>,
+        }
+
+        /// How many slice encodings stay resident for backtracking.
+        const ENCODING_WINDOW: usize = 4;
+
+        let mut solved: Vec<SliceState> = Vec::with_capacity(slices.len());
+        let mut backtracks_left = self.config.backtrack_limit;
+        let mut i = 0usize;
+        while i < slices.len() {
+            if self.out_of_time(start) {
+                return Err(RouteError::Timeout);
+            }
+            let shape = if i == 0 {
+                EncodeShape::first_slice()
+            } else {
+                EncodeShape::continuation()
+            };
+            let mut enc =
+                QmrEncoding::build(&slices[i], graph, n, shape, &self.config.objective);
+            if i > 0 {
+                enc.pin_initial_map(&solved[i - 1].final_map);
+            }
+            let out = maxsat::solve(enc.instance(), self.maxsat_config(start));
+            match out.status {
+                MaxSatStatus::Optimal | MaxSatStatus::Feasible => {
+                    let model = out.model.expect("status implies model");
+                    let (maps, swaps) = enc.decode(&model);
+                    let ops = routed_from_solution(&slices[i], &enc, &maps, &swaps, n, 0)
+                        .ops()
+                        .to_vec();
+                    solved.push(SliceState {
+                        enc: Some(enc),
+                        forbidden: Vec::new(),
+                        final_map: maps.last().expect("≥1 state").clone(),
+                        initial_map: maps.first().expect("≥1 state").clone(),
+                        ops,
+                    });
+                    // Evict encodings outside the backtracking window.
+                    if solved.len() > ENCODING_WINDOW {
+                        let evict = solved.len() - ENCODING_WINDOW - 1;
+                        solved[evict].enc = None;
+                    }
+                    i += 1;
+                }
+                MaxSatStatus::Unknown => return Err(RouteError::Timeout),
+                MaxSatStatus::Unsat => {
+                    // Backtrack: forbid the previous slice's final map and
+                    // re-solve it (Example 10).
+                    if i == 0 {
+                        return Err(RouteError::Unsatisfiable(format!(
+                            "first slice unsolvable with n = {n} swaps per gap"
+                        )));
+                    }
+                    loop {
+                        if backtracks_left == 0 {
+                            return Err(RouteError::Unsatisfiable(
+                                "backtrack limit exhausted".into(),
+                            ));
+                        }
+                        backtracks_left -= 1;
+                        if self.out_of_time(start) {
+                            return Err(RouteError::Timeout);
+                        }
+                        let prev_idx = solved.len() - 1;
+                        let prev_initial = if prev_idx == 0 {
+                            None
+                        } else {
+                            Some(solved[prev_idx - 1].final_map.clone())
+                        };
+                        let prev = solved.last_mut().expect("i > 0");
+                        let bad = prev.final_map.clone();
+                        prev.forbidden.push(bad.clone());
+                        if prev.enc.is_none() {
+                            // Rebuild the evicted encoding with its pin and
+                            // all recorded exclusions.
+                            let shape = if prev_idx == 0 {
+                                EncodeShape::first_slice()
+                            } else {
+                                EncodeShape::continuation()
+                            };
+                            let mut rebuilt = QmrEncoding::build(
+                                &slices[prev_idx],
+                                graph,
+                                n,
+                                shape,
+                                &self.config.objective,
+                            );
+                            if let Some(pin) = &prev_initial {
+                                rebuilt.pin_initial_map(pin);
+                            }
+                            for f in &prev.forbidden {
+                                rebuilt.forbid_final_map(f);
+                            }
+                            prev.enc = Some(rebuilt);
+                        } else if let Some(enc) = prev.enc.as_mut() {
+                            enc.forbid_final_map(&bad);
+                        }
+                        let retry = maxsat::solve(
+                            prev.enc.as_ref().expect("just ensured").instance(),
+                            self.maxsat_config(start),
+                        );
+                        match retry.status {
+                            MaxSatStatus::Optimal | MaxSatStatus::Feasible => {
+                                let model = retry.model.expect("status implies model");
+                                let prev_enc =
+                                    prev.enc.as_ref().expect("resident during backtrack");
+                                let (maps, swaps) = prev_enc.decode(&model);
+                                prev.final_map = maps.last().expect("≥1 state").clone();
+                                prev.initial_map = maps.first().expect("≥1 state").clone();
+                                prev.ops = routed_from_solution(
+                                    &slices[prev_idx],
+                                    prev_enc,
+                                    &maps,
+                                    &swaps,
+                                    n,
+                                    0,
+                                )
+                                .ops()
+                                .to_vec();
+                                break; // resume forward from slice i
+                            }
+                            MaxSatStatus::Unknown => return Err(RouteError::Timeout),
+                            MaxSatStatus::Unsat => {
+                                // This slice has no alternative final map:
+                                // backtrack one more level.
+                                solved.pop();
+                                i -= 1;
+                                if i == 0 && solved.is_empty() {
+                                    return Err(RouteError::Unsatisfiable(format!(
+                                        "exhausted all final maps with n = {n}"
+                                    )));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Stitch slices into one routed circuit.
+        let initial_map = solved
+            .first()
+            .map(|s| s.initial_map.clone())
+            .unwrap_or_else(|| (0..circuit.num_qubits()).collect());
+        let mut ops: Vec<RoutedOp> = Vec::new();
+        let mut gate_offset = 0usize;
+        for (slice, state) in slices.iter().zip(&solved) {
+            ops.extend(state.ops.iter().map(|op| match *op {
+                RoutedOp::Logical(k) => RoutedOp::Logical(k + gate_offset),
+                swap => swap,
+            }));
+            gate_offset += slice.len();
+        }
+        Ok(RoutedCircuit::new(initial_map, ops))
+    }
+}
+
+impl Router for SatMap {
+    fn name(&self) -> &str {
+        if self.config.slice_size.is_some() {
+            "satmap"
+        } else {
+            "nl-satmap"
+        }
+    }
+
+    fn route(
+        &self,
+        circuit: &Circuit,
+        graph: &ConnectivityGraph,
+    ) -> Result<RoutedCircuit, RouteError> {
+        check_fits(circuit, graph)?;
+        let start = Instant::now();
+        match self.config.slice_size {
+            None => self.route_monolithic(circuit, graph, start),
+            Some(size) => {
+                if circuit.num_two_qubit_gates() <= size {
+                    // One slice: identical to monolithic.
+                    self.route_monolithic(circuit, graph, start)
+                } else {
+                    self.route_sliced(circuit, graph, size, start)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circuit::verify::verify;
+
+    fn fig3() -> (Circuit, ConnectivityGraph) {
+        let mut c = Circuit::new(4);
+        c.cx(0, 1);
+        c.cx(0, 2);
+        c.cx(3, 2);
+        c.cx(0, 3);
+        (c, ConnectivityGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]))
+    }
+
+    #[test]
+    fn monolithic_solves_fig3_optimally() {
+        let (c, g) = fig3();
+        let router = SatMap::new(SatMapConfig::monolithic());
+        let routed = router.route(&c, &g).expect("solves");
+        verify(&c, &g, &routed).expect("verifies");
+        assert_eq!(routed.swap_count(), 1);
+        assert_eq!(router.name(), "nl-satmap");
+    }
+
+    #[test]
+    fn sliced_solves_fig3() {
+        let (c, g) = fig3();
+        let router = SatMap::new(SatMapConfig::sliced(2));
+        let routed = router.route(&c, &g).expect("solves");
+        verify(&c, &g, &routed).expect("verifies");
+        // Locally optimal: possibly more swaps than the global optimum,
+        // but it must still verify and stay small here.
+        assert!(routed.swap_count() <= 2, "got {}", routed.swap_count());
+        assert_eq!(router.name(), "satmap");
+    }
+
+    #[test]
+    fn backtracking_recovers_from_bad_slice_boundary() {
+        // Example 9's shape: slicing can strand the map; backtracking (or
+        // a leading swap slot) must still deliver a verified solution.
+        let mut c = Circuit::new(3);
+        c.cx(0, 1);
+        c.cx(1, 2);
+        c.cx(0, 2);
+        c.cx(0, 1);
+        let g = arch::devices::linear(3);
+        let router = SatMap::new(SatMapConfig::sliced(1));
+        let routed = router.route(&c, &g).expect("solves with backtracking");
+        verify(&c, &g, &routed).expect("verifies");
+    }
+
+    #[test]
+    fn too_many_logical_qubits_rejected() {
+        let c = Circuit::new(25);
+        let g = arch::devices::tokyo();
+        let router = SatMap::new(SatMapConfig::default());
+        assert!(matches!(
+            router.route(&c, &g),
+            Err(RouteError::Unsatisfiable(_))
+        ));
+    }
+
+    #[test]
+    fn zero_budget_times_out_on_nontrivial_input() {
+        let mut c = Circuit::new(8);
+        for i in 0..7 {
+            c.cx(i, i + 1);
+            c.cx(0, 7 - i);
+        }
+        let g = arch::devices::tokyo();
+        let router = SatMap::new(SatMapConfig::default().with_budget(Duration::ZERO));
+        assert!(matches!(router.route(&c, &g), Err(RouteError::Timeout)));
+    }
+
+    #[test]
+    fn larger_circuit_on_tokyo_verifies() {
+        let c = circuit::generators::random_local(6, 12, 3, 0.2, 9);
+        let g = arch::devices::tokyo();
+        let router = SatMap::new(SatMapConfig::sliced(4));
+        let routed = router.route(&c, &g).expect("solves");
+        verify(&c, &g, &routed).expect("verifies");
+    }
+}

@@ -1,0 +1,40 @@
+//! Command-line entry point regenerating the paper's tables and figures.
+//!
+//! Usage: `satmap-experiments <q1|q1-runtimes|q2|q3-local|q3-cyclic|q3-breakdown|q4|q5-time|q5-size|q6|all>`
+//!
+//! Environment: `SATMAP_BUDGET_MS` (per-instance budget, default 2000),
+//! `SATMAP_SUITE_LIMIT` (subsample the 160-benchmark suite).
+
+use experiments::questions;
+
+fn main() {
+    let command = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let run = |cmd: &str| match cmd {
+        "q1" => print!("{}", questions::q1(false)),
+        "q1-runtimes" => print!("{}", questions::q1(true)),
+        "q2" => print!("{}", questions::q2()),
+        "q3-local" => print!("{}", questions::q3_local()),
+        "q3-cyclic" => print!("{}", questions::q3_cyclic()),
+        "q3-breakdown" => print!("{}", questions::q3_breakdown()),
+        "q4" => print!("{}", questions::q4()),
+        "q5-time" => print!("{}", questions::q5(true)),
+        "q5-size" => print!("{}", questions::q5(false)),
+        "q6" => print!("{}", questions::q6()),
+        other => {
+            eprintln!("unknown experiment '{other}'");
+            std::process::exit(2);
+        }
+    };
+    if command == "all" {
+        for cmd in [
+            "q1", "q2", "q3-local", "q3-cyclic", "q3-breakdown", "q4", "q5-time", "q5-size",
+            "q6",
+        ] {
+            println!("==================== {cmd} ====================");
+            run(cmd);
+            println!();
+        }
+    } else {
+        run(&command);
+    }
+}

@@ -1,0 +1,23 @@
+//! Experiment harness for the SATMAP (MICRO 2022) reproduction.
+//!
+//! One runner per research question of the paper's Section VII; each prints
+//! the rows/series of the corresponding tables and figures. Budgets scale
+//! via `SATMAP_BUDGET_MS` (per-instance, default 2000) and the suite via
+//! `SATMAP_SUITE_LIMIT` (default: all 160 benchmarks).
+//!
+//! | Runner | Paper artifact |
+//! |---|---|
+//! | [`questions::q1`] | Fig. 1, Table I, Figs. 10–11 |
+//! | [`questions::q2`] | Fig. 12 |
+//! | [`questions::q3_local`] | Fig. 2, Table II, Fig. 13 |
+//! | [`questions::q3_cyclic`] | Table IV |
+//! | [`questions::q3_breakdown`] | Table III |
+//! | [`questions::q4`] | Fig. 14 |
+//! | [`questions::q5`] | Figs. 15–16 |
+//! | [`questions::q6`] | §Q6 (noise-aware) |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod questions;
+pub mod runner;

@@ -1,0 +1,182 @@
+//! Shared experiment infrastructure: budgets, tool invocation, verified
+//! outcomes, and small table-formatting helpers.
+
+use std::time::{Duration, Instant};
+
+use arch::ConnectivityGraph;
+use circuit::suite::Benchmark;
+use circuit::{verify::verify, RouteError, Router};
+
+/// Result of running one tool on one benchmark.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// Benchmark name.
+    pub name: String,
+    /// Two-qubit gate count (the paper's circuit-size measure).
+    pub size: usize,
+    /// Added CNOT gates (3 per SWAP) if solved.
+    pub cost: Option<usize>,
+    /// Wall-clock time of the attempt.
+    pub seconds: f64,
+    /// Error, when unsolved.
+    pub error: Option<RouteError>,
+}
+
+impl RunOutcome {
+    /// True when the tool produced a verified solution.
+    pub fn solved(&self) -> bool {
+        self.cost.is_some()
+    }
+}
+
+/// Per-instance time budget taken from `SATMAP_BUDGET_MS` (default 2000).
+pub fn env_budget() -> Duration {
+    let ms = std::env::var("SATMAP_BUDGET_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2000u64);
+    Duration::from_millis(ms)
+}
+
+/// Benchmark-count cap from `SATMAP_SUITE_LIMIT` (default: full suite).
+/// When capped, the suite is subsampled uniformly so all size tiers stay
+/// represented.
+pub fn env_suite() -> Vec<Benchmark> {
+    let full = circuit::suite::suite();
+    let limit: usize = std::env::var("SATMAP_SUITE_LIMIT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(full.len());
+    if limit >= full.len() {
+        return full;
+    }
+    let stride = full.len() as f64 / limit as f64;
+    (0..limit)
+        .map(|i| full[(i as f64 * stride) as usize].clone())
+        .collect()
+}
+
+/// Runs `router` on one benchmark, verifying any claimed solution with the
+/// independent verifier. A solution that fails verification is treated as
+/// unsolved (and flagged in the outcome's error).
+pub fn run_tool(router: &dyn Router, bench: &Benchmark, graph: &ConnectivityGraph) -> RunOutcome {
+    let start = Instant::now();
+    let result = router.route(&bench.circuit, graph);
+    let seconds = start.elapsed().as_secs_f64();
+    match result {
+        Ok(routed) => match verify(&bench.circuit, graph, &routed) {
+            Ok(()) => RunOutcome {
+                name: bench.name.clone(),
+                size: bench.circuit.num_two_qubit_gates(),
+                cost: Some(routed.added_gates()),
+                seconds,
+                error: None,
+            },
+            Err(e) => RunOutcome {
+                name: bench.name.clone(),
+                size: bench.circuit.num_two_qubit_gates(),
+                cost: None,
+                seconds,
+                error: Some(RouteError::Unsatisfiable(format!(
+                    "verification failed: {e}"
+                ))),
+            },
+        },
+        Err(e) => RunOutcome {
+            name: bench.name.clone(),
+            size: bench.circuit.num_two_qubit_gates(),
+            cost: None,
+            seconds,
+            error: Some(e),
+        },
+    }
+}
+
+/// Summary over a set of outcomes: `(solved, largest circuit solved)`.
+pub fn solved_summary(outcomes: &[RunOutcome]) -> (usize, usize) {
+    let solved = outcomes.iter().filter(|o| o.solved()).count();
+    let largest = outcomes
+        .iter()
+        .filter(|o| o.solved())
+        .map(|o| o.size)
+        .max()
+        .unwrap_or(0);
+    (solved, largest)
+}
+
+/// Geometric-mean helper ignoring non-finite entries.
+pub fn mean(values: &[f64]) -> f64 {
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() {
+        return f64::NAN;
+    }
+    finite.iter().sum::<f64>() / finite.len() as f64
+}
+
+/// Formats a row of fixed-width cells.
+pub fn row(cells: &[String]) -> String {
+    cells
+        .iter()
+        .map(|c| format!("{c:>14}"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Serializes tests that mutate the process environment.
+#[cfg(test)]
+pub(crate) static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heuristics::Tket;
+
+    #[test]
+    fn run_tool_verifies_and_reports() {
+        let bench = Benchmark {
+            name: "tiny".into(),
+            circuit: circuit::generators::qft(4),
+        };
+        let g = arch::devices::tokyo();
+        let out = run_tool(&Tket::default(), &bench, &g);
+        assert!(out.solved());
+        assert_eq!(out.size, 12);
+        assert!(out.cost.expect("cost") % 3 == 0, "cost counts CNOTs per swap");
+    }
+
+    #[test]
+    fn summary_counts() {
+        let outcomes = vec![
+            RunOutcome {
+                name: "a".into(),
+                size: 10,
+                cost: Some(3),
+                seconds: 0.1,
+                error: None,
+            },
+            RunOutcome {
+                name: "b".into(),
+                size: 99,
+                cost: None,
+                seconds: 0.1,
+                error: Some(RouteError::Timeout),
+            },
+        ];
+        assert_eq!(solved_summary(&outcomes), (1, 10));
+    }
+
+    #[test]
+    fn mean_ignores_nan() {
+        assert!((mean(&[1.0, 3.0, f64::NAN]) - 2.0).abs() < 1e-9);
+        assert!(mean(&[]).is_nan());
+    }
+
+    #[test]
+    fn env_suite_subsamples() {
+        let _guard = super::ENV_LOCK.lock().expect("env lock");
+        std::env::set_var("SATMAP_SUITE_LIMIT", "16");
+        let s = env_suite();
+        assert_eq!(s.len(), 16);
+        std::env::remove_var("SATMAP_SUITE_LIMIT");
+    }
+}

@@ -1,0 +1,42 @@
+//! Heuristic QMR baselines for the SATMAP (MICRO 2022) reproduction.
+//!
+//! The three state-of-the-art heuristic routers the paper compares against
+//! in its Q2/Q4 experiments:
+//!
+//! * [`Sabre`] — bidirectional lookahead routing with decay (Li et al.,
+//!   ASPLOS 2019; the basis of Qiskit's default pass);
+//! * [`Tket`] — greedy placement plus lookahead-scored shortest-path swap
+//!   insertion in the style of t|ket⟩ (Cowtan et al. 2019);
+//! * [`AStar`] — layer-by-layer exhaustive A* search in the style of the
+//!   MQT mapper (Zulehner et al., TCAD 2018).
+//!
+//! All implement [`circuit::Router`] and emit [`circuit::RoutedCircuit`]s
+//! checkable by the independent verifier.
+//!
+//! # Examples
+//!
+//! ```
+//! use circuit::{Router, verify::verify};
+//! use heuristics::{Sabre, Tket, AStar};
+//! let c = circuit::generators::qft(5);
+//! let g = arch::devices::tokyo();
+//! for router in [&Sabre::default() as &dyn Router, &Tket::default(), &AStar::default()] {
+//!     let routed = router.route(&c, &g)?;
+//!     verify(&c, &g, &routed).expect("verifies");
+//! }
+//! # Ok::<(), circuit::RouteError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod astar;
+mod dag;
+pub mod placement;
+mod sabre;
+mod tket;
+
+pub use astar::{AStar, AStarConfig};
+pub use dag::DagFrontier;
+pub use sabre::{Sabre, SabreConfig};
+pub use tket::{Tket, TketConfig};

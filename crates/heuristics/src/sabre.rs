@@ -1,0 +1,324 @@
+//! SABRE (Li, Ding, Xie — ASPLOS 2019): bidirectional heuristic mapping
+//! with a decay-weighted lookahead swap score. This is the baseline the
+//! paper reports a mean 6.97× cost ratio against (Fig. 12).
+
+use arch::ConnectivityGraph;
+use circuit::{check_fits, Circuit, Gate, RoutedCircuit, RoutedOp, RouteError, Router};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::dag::DagFrontier;
+
+/// SABRE configuration.
+#[derive(Clone, Debug)]
+pub struct SabreConfig {
+    /// Size of the lookahead ("extended") set.
+    pub extended_size: usize,
+    /// Weight of the extended set in the swap score.
+    pub extended_weight: f64,
+    /// Multiplicative decay applied to recently swapped qubits.
+    pub decay_delta: f64,
+    /// Reset the decay table every this many swaps.
+    pub decay_reset: usize,
+    /// Number of forward/backward refinement rounds for the initial map.
+    pub reverse_rounds: usize,
+    /// RNG seed (initial map shuffle + tie breaking).
+    pub seed: u64,
+}
+
+impl Default for SabreConfig {
+    fn default() -> Self {
+        SabreConfig {
+            extended_size: 20,
+            extended_weight: 0.5,
+            decay_delta: 0.001,
+            decay_reset: 5,
+            reverse_rounds: 2,
+            seed: 0,
+        }
+    }
+}
+
+/// The SABRE router.
+///
+/// # Examples
+///
+/// ```
+/// use circuit::{Circuit, Router, verify::verify};
+/// use heuristics::Sabre;
+/// let mut c = Circuit::new(4);
+/// c.cx(0, 1);
+/// c.cx(0, 2);
+/// c.cx(3, 2);
+/// c.cx(0, 3);
+/// let g = arch::devices::tokyo();
+/// let routed = Sabre::default().route(&c, &g)?;
+/// verify(&c, &g, &routed).expect("verifies");
+/// # Ok::<(), circuit::RouteError>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Sabre {
+    config: SabreConfig,
+}
+
+impl Sabre {
+    /// Creates a SABRE router with the given configuration.
+    pub fn new(config: SabreConfig) -> Self {
+        Sabre { config }
+    }
+
+    /// Creates a SABRE router with a specific RNG seed.
+    pub fn with_seed(seed: u64) -> Self {
+        Sabre {
+            config: SabreConfig {
+                seed,
+                ..SabreConfig::default()
+            },
+        }
+    }
+
+    /// One routing pass from a fixed initial map. Returns the op sequence
+    /// and the final map.
+    fn pass(
+        &self,
+        circuit: &Circuit,
+        graph: &ConnectivityGraph,
+        initial_map: &[usize],
+        emit_ops: bool,
+    ) -> (Vec<RoutedOp>, Vec<usize>, usize) {
+        let n_phys = graph.num_qubits();
+        let mut pos: Vec<usize> = initial_map.to_vec(); // logical → physical
+        let mut occupant: Vec<Option<usize>> = vec![None; n_phys];
+        for (q, &p) in pos.iter().enumerate() {
+            occupant[p] = Some(q);
+        }
+        let mut frontier = DagFrontier::new(circuit);
+        let mut ops: Vec<RoutedOp> = Vec::new();
+        let mut decay = vec![1.0f64; n_phys];
+        let mut swaps_since_progress = 0usize;
+        let mut swap_count = 0usize;
+
+        while !frontier.is_done() {
+            // Execute everything ready and executable.
+            let mut progressed = false;
+            loop {
+                let front = frontier.front(circuit);
+                let mut ran_any = false;
+                for k in front {
+                    let executable = match &circuit.gates()[k] {
+                        Gate::One { .. } => true,
+                        Gate::Two { a, b, .. } => graph.are_adjacent(pos[a.0], pos[b.0]),
+                    };
+                    if executable {
+                        frontier.execute(circuit, k);
+                        if emit_ops {
+                            ops.push(RoutedOp::Logical(k));
+                        }
+                        ran_any = true;
+                        progressed = true;
+                    }
+                }
+                if !ran_any {
+                    break;
+                }
+            }
+            if frontier.is_done() {
+                break;
+            }
+            if progressed {
+                decay.iter_mut().for_each(|d| *d = 1.0);
+                swaps_since_progress = 0;
+            }
+
+            // Blocked: pick the best-scoring swap among edges touching a
+            // front-gate qubit.
+            let front_pairs: Vec<(usize, usize)> = frontier
+                .front(circuit)
+                .into_iter()
+                .filter_map(|k| match &circuit.gates()[k] {
+                    Gate::Two { a, b, .. } => Some((a.0, b.0)),
+                    Gate::One { .. } => None,
+                })
+                .collect();
+            debug_assert!(!front_pairs.is_empty(), "blocked without 2q front gates");
+            let extended = frontier.extended_set(circuit, self.config.extended_size);
+
+            let mut candidates: Vec<(usize, usize)> = Vec::new();
+            for &(qa, qb) in &front_pairs {
+                for &p in &[pos[qa], pos[qb]] {
+                    for &p2 in graph.neighbors(p) {
+                        let e = (p.min(p2), p.max(p2));
+                        if !candidates.contains(&e) {
+                            candidates.push(e);
+                        }
+                    }
+                }
+            }
+
+            let score = |swap: (usize, usize), pos: &[usize]| -> f64 {
+                let moved = |p: usize| -> usize {
+                    if p == swap.0 {
+                        swap.1
+                    } else if p == swap.1 {
+                        swap.0
+                    } else {
+                        p
+                    }
+                };
+                let front_cost: f64 = front_pairs
+                    .iter()
+                    .map(|&(qa, qb)| graph.distance(moved(pos[qa]), moved(pos[qb])) as f64)
+                    .sum::<f64>()
+                    / front_pairs.len() as f64;
+                let ext_cost: f64 = if extended.is_empty() {
+                    0.0
+                } else {
+                    extended
+                        .iter()
+                        .map(|&(a, b)| graph.distance(moved(pos[a.0]), moved(pos[b.0])) as f64)
+                        .sum::<f64>()
+                        / extended.len() as f64
+                };
+                decay[swap.0].max(decay[swap.1])
+                    * (front_cost + self.config.extended_weight * ext_cost)
+            };
+
+            let best = candidates
+                .iter()
+                .copied()
+                .min_by(|&x, &y| {
+                    score(x, &pos)
+                        .partial_cmp(&score(y, &pos))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .expect("candidate swaps exist while blocked");
+
+            // Safety valve: if the decay heuristic thrashes, march the
+            // first front pair together along a shortest path.
+            let chosen = if swaps_since_progress > 4 * n_phys {
+                let (qa, qb) = front_pairs[0];
+                let path = graph
+                    .shortest_path(pos[qa], pos[qb])
+                    .expect("device is connected");
+                (path[0].min(path[1]), path[0].max(path[1]))
+            } else {
+                best
+            };
+
+            let (x, y) = chosen;
+            if let (Some(_), _) | (_, Some(_)) = (occupant[x], occupant[y]) {
+                if let Some(q) = occupant[x] {
+                    pos[q] = y;
+                }
+                if let Some(q) = occupant[y] {
+                    pos[q] = x;
+                }
+                occupant.swap(x, y);
+            }
+            if emit_ops {
+                ops.push(RoutedOp::Swap(x, y));
+            }
+            swap_count += 1;
+            swaps_since_progress += 1;
+            decay[x] += self.config.decay_delta;
+            decay[y] += self.config.decay_delta;
+            if swap_count % self.config.decay_reset == 0 {
+                decay.iter_mut().for_each(|d| *d = 1.0);
+            }
+        }
+        (ops, pos, swap_count)
+    }
+}
+
+/// Reverses a circuit (gate order only; inverses are irrelevant for QMR).
+fn reversed(circuit: &Circuit) -> Circuit {
+    let mut r = Circuit::new(circuit.num_qubits());
+    for g in circuit.gates().iter().rev() {
+        r.push(g.clone());
+    }
+    r
+}
+
+impl Router for Sabre {
+    fn name(&self) -> &str {
+        "sabre"
+    }
+
+    fn route(
+        &self,
+        circuit: &Circuit,
+        graph: &ConnectivityGraph,
+    ) -> Result<RoutedCircuit, RouteError> {
+        check_fits(circuit, graph)?;
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+
+        // Random initial permutation, refined by forward/backward passes.
+        let mut phys: Vec<usize> = (0..graph.num_qubits()).collect();
+        phys.shuffle(&mut rng);
+        let mut map: Vec<usize> = phys[..circuit.num_qubits()].to_vec();
+        let rev = reversed(circuit);
+        for _ in 0..self.config.reverse_rounds {
+            let (_, final_map, _) = self.pass(circuit, graph, &map, false);
+            let (_, back_map, _) = self.pass(&rev, graph, &final_map, false);
+            map = back_map;
+        }
+        let (ops, _, _) = self.pass(circuit, graph, &map, true);
+        Ok(RoutedCircuit::new(map, ops))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circuit::verify::verify;
+
+    #[test]
+    fn routes_paper_example() {
+        let mut c = Circuit::new(4);
+        c.cx(0, 1);
+        c.cx(0, 2);
+        c.cx(3, 2);
+        c.cx(0, 3);
+        let g = ConnectivityGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let routed = Sabre::default().route(&c, &g).expect("routes");
+        verify(&c, &g, &routed).expect("verifies");
+    }
+
+    #[test]
+    fn routes_random_circuits_on_tokyo() {
+        let g = arch::devices::tokyo();
+        for seed in 0..5 {
+            let c = circuit::generators::random_local(10, 60, 9, 0.2, seed);
+            let routed = Sabre::with_seed(seed).route(&c, &g).expect("routes");
+            verify(&c, &g, &routed).expect("verifies");
+        }
+    }
+
+    #[test]
+    fn zero_swaps_when_interactions_fit() {
+        // Nearest-neighbor chain on a line: a good heuristic needs no swaps.
+        let c = circuit::generators::graycode(6);
+        let g = arch::devices::linear(6);
+        let routed = Sabre::default().route(&c, &g).expect("routes");
+        verify(&c, &g, &routed).expect("verifies");
+        assert_eq!(routed.swap_count(), 0, "graycode on a line needs no swaps");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = arch::devices::tokyo();
+        let c = circuit::generators::random_local(8, 40, 7, 0.1, 3);
+        let a = Sabre::with_seed(7).route(&c, &g).expect("routes");
+        let b = Sabre::with_seed(7).route(&c, &g).expect("routes");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn handles_sparse_device() {
+        let g = arch::devices::tokyo_minus();
+        let c = circuit::generators::random_local(12, 80, 11, 0.1, 1);
+        let routed = Sabre::default().route(&c, &g).expect("routes");
+        verify(&c, &g, &routed).expect("verifies");
+    }
+}

@@ -1,0 +1,35 @@
+//! An anytime weighted partial MaxSAT solver.
+//!
+//! This crate plays the role of **Open-WBO-Inc-MCS** in the SATMAP
+//! (MICRO 2022) reproduction: a linear SAT-UNSAT search on top of the
+//! [`sat`] CDCL solver that returns the best model found so far when
+//! interrupted — the property the paper exploits to handle large circuits.
+//!
+//! * [`WcnfInstance`] — weighted partial MaxSAT instances plus WCNF I/O,
+//! * [`encodings`] — at-most-one / exactly-one and (generalized) totalizer
+//!   CNF encodings shared with the QMR encoders,
+//! * [`solve`] — the anytime optimization loop.
+//!
+//! # Examples
+//!
+//! ```
+//! use maxsat::{WcnfInstance, solve, MaxSatConfig, MaxSatStatus};
+//!
+//! let mut inst = WcnfInstance::new();
+//! let a = inst.new_var().positive();
+//! inst.add_hard([a]);
+//! inst.add_soft(3, [!a]);
+//! let out = solve(&inst, MaxSatConfig::unlimited());
+//! assert_eq!(out.status, MaxSatStatus::Optimal);
+//! assert_eq!(out.cost, Some(3));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod encodings;
+mod solve;
+mod wcnf;
+
+pub use solve::{solve, MaxSatConfig, MaxSatOutcome, MaxSatStatus};
+pub use wcnf::{SoftClause, WcnfInstance};

@@ -1,0 +1,450 @@
+//! The anytime MaxSAT engine: a linear SAT-UNSAT search.
+//!
+//! Mirrors the behaviour of Open-WBO-Inc-MCS as the paper uses it: a loop
+//! that repeatedly queries an (incremental) SAT solver for models of
+//! strictly decreasing cost, keeping the best model found so far. If the
+//! budget expires after at least one model was found, the best-so-far
+//! solution is returned — the property SATMAP relies on for large circuits.
+
+use std::time::{Duration, Instant};
+
+use sat::{Budget, Lit, SolveResult, Solver};
+
+use crate::encodings::Totalizer;
+use crate::wcnf::WcnfInstance;
+
+/// Status of a completed MaxSAT search.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MaxSatStatus {
+    /// The returned model has provably minimal cost.
+    Optimal,
+    /// A model was found but the budget expired before proving optimality.
+    Feasible,
+    /// The hard clauses are unsatisfiable.
+    Unsat,
+    /// The budget expired before any model was found.
+    Unknown,
+}
+
+/// Result of [`solve`]: status plus the best model and its cost, if any.
+#[derive(Clone, Debug)]
+pub struct MaxSatOutcome {
+    /// How the search ended.
+    pub status: MaxSatStatus,
+    /// Best model found (variable-indexed booleans), if any.
+    pub model: Option<Vec<bool>>,
+    /// Cost (total weight of falsified softs) of `model`.
+    pub cost: Option<u64>,
+    /// Number of SAT-solver invocations performed.
+    pub iterations: u32,
+}
+
+impl MaxSatOutcome {
+    /// True if a model (optimal or not) is available.
+    pub fn has_model(&self) -> bool {
+        self.model.is_some()
+    }
+}
+
+/// Configuration for the MaxSAT search.
+#[derive(Clone, Copy, Debug)]
+pub struct MaxSatConfig {
+    /// Wall-clock budget for the entire search.
+    pub time_budget: Option<Duration>,
+    /// Conflict budget per SAT call (protects against a single call eating
+    /// the entire budget), if any.
+    pub conflicts_per_call: Option<u64>,
+}
+
+impl Default for MaxSatConfig {
+    fn default() -> Self {
+        MaxSatConfig {
+            time_budget: None,
+            conflicts_per_call: None,
+        }
+    }
+}
+
+impl MaxSatConfig {
+    /// Unlimited search (runs to optimality).
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Search bounded by total wall-clock time.
+    pub fn with_time(d: Duration) -> Self {
+        MaxSatConfig {
+            time_budget: Some(d),
+            ..Self::default()
+        }
+    }
+}
+
+/// Solves a weighted partial MaxSAT instance with a linear SAT-UNSAT loop.
+///
+/// Every soft clause gets an *indicator literal* that is true exactly when
+/// the clause is falsified (unit softs reuse the negated literal; larger
+/// softs get a fresh relaxer). A generalized totalizer over the indicators
+/// then lets each iteration assert `cost ≤ best − 1` until UNSAT proves
+/// optimality.
+///
+/// # Examples
+///
+/// ```
+/// use maxsat::{WcnfInstance, solve, MaxSatConfig, MaxSatStatus};
+///
+/// let mut inst = WcnfInstance::new();
+/// let a = inst.new_var().positive();
+/// let b = inst.new_var().positive();
+/// inst.add_hard([a, b]);      // a ∨ b
+/// inst.add_soft(1, [!a]);     // prefer ¬a
+/// inst.add_soft(1, [!b]);     // prefer ¬b
+/// let out = solve(&inst, MaxSatConfig::unlimited());
+/// assert_eq!(out.status, MaxSatStatus::Optimal);
+/// assert_eq!(out.cost, Some(1)); // exactly one soft must break
+/// ```
+pub fn solve(instance: &WcnfInstance, config: MaxSatConfig) -> MaxSatOutcome {
+    let start = Instant::now();
+    let mut solver = Solver::new();
+    solver.reserve_vars(instance.num_vars());
+    for h in instance.hard_clauses() {
+        solver.add_clause(h.iter().copied());
+    }
+
+    // Indicator literal per soft clause: true ⇔ the soft clause is falsified.
+    let mut indicators: Vec<(Lit, u64)> = Vec::with_capacity(instance.soft_clauses().len());
+    for s in instance.soft_clauses() {
+        match s.lits.as_slice() {
+            [] => continue, // an empty soft is always falsified; constant cost
+            [l] => indicators.push((!*l, s.weight)),
+            lits => {
+                let r = solver.new_var().positive();
+                let mut clause: Vec<Lit> = lits.to_vec();
+                clause.push(r);
+                solver.add_clause(clause);
+                // r is free to be false whenever the clause is satisfied, and
+                // the objective pushes it false, so r ⇔ falsified at optimum.
+                indicators.push((r, s.weight));
+            }
+        }
+    }
+    let constant_cost: u64 = instance
+        .soft_clauses()
+        .iter()
+        .filter(|s| s.lits.is_empty())
+        .map(|s| s.weight)
+        .sum();
+
+    let remaining = |start: Instant| -> Option<Duration> {
+        config.time_budget.map(|b| b.saturating_sub(start.elapsed()))
+    };
+    let budget_for_call = |start: Instant| -> Budget {
+        Budget {
+            max_conflicts: config.conflicts_per_call,
+            max_time: remaining(start),
+        }
+    };
+    let out_of_time = |start: Instant| -> bool {
+        matches!(remaining(start), Some(d) if d.is_zero())
+    };
+
+    let mut iterations = 0u32;
+    let mut best_model: Option<Vec<bool>> = None;
+    let mut best_cost: u64 = u64::MAX;
+    let mut totalizer: Option<Totalizer> = None;
+    // Quantize weights so the totalizer's attainable-sum count stays small.
+    let total_weight: u64 = indicators.iter().map(|&(_, w)| w).sum();
+    const TOTALIZER_UNITS: u64 = 4000;
+    let quantum = (total_weight / TOTALIZER_UNITS).max(1);
+
+    loop {
+        if out_of_time(start) {
+            break;
+        }
+        iterations += 1;
+        match solver.solve_with(&[], budget_for_call(start)) {
+            SolveResult::Sat => {
+                let model = solver.model();
+                // Evaluate true cost against the original instance (the
+                // model may set relaxers true spuriously).
+                let cost = instance
+                    .cost_of(&model)
+                    .expect("SAT model must satisfy hard clauses");
+                // Quantized cost of *this* model (drives strengthening:
+                // each iteration's constraint forces the next quantized
+                // cost strictly below this one, guaranteeing progress).
+                let q_cost: u64 = indicators
+                    .iter()
+                    .filter(|&&(l, _)| {
+                        model.get(l.var().index()).copied().unwrap_or(false)
+                            == l.is_positive()
+                    })
+                    .map(|&(_, w)| w.div_ceil(quantum))
+                    .sum();
+                if cost < best_cost {
+                    best_cost = cost;
+                    best_model = Some(model);
+                }
+                if best_cost == constant_cost {
+                    // Can't do better than falsifying only empty softs.
+                    return MaxSatOutcome {
+                        status: MaxSatStatus::Optimal,
+                        model: best_model,
+                        cost: Some(best_cost),
+                        iterations,
+                    };
+                }
+                if q_cost == 0 {
+                    // Quantized optimum reached; cannot strengthen further.
+                    return MaxSatOutcome {
+                        status: if quantum == 1 {
+                            MaxSatStatus::Optimal
+                        } else {
+                            MaxSatStatus::Feasible
+                        },
+                        model: best_model,
+                        cost: Some(best_cost),
+                        iterations,
+                    };
+                }
+                // Lazily build the totalizer on first strengthening. The
+                // generalized totalizer's size is bounded by the number of
+                // attainable weight sums, so heavy weights are *quantized*
+                // (divided by `quantum`, rounding up) to keep it tractable;
+                // with quantum > 1 the search stays anytime-correct but can
+                // only claim Feasible, not Optimal.
+                let tot = totalizer.get_or_insert_with(|| {
+                    Totalizer::build(
+                        &mut solver,
+                        &indicators
+                            .iter()
+                            .map(|&(l, w)| (l, w.div_ceil(quantum)))
+                            .collect::<Vec<_>>(),
+                    )
+                });
+                for u in tot.assert_at_most(q_cost - 1) {
+                    solver.add_clause([u]);
+                }
+            }
+            SolveResult::Unsat => {
+                return if let Some(model) = best_model {
+                    MaxSatOutcome {
+                        // With exact weights, exhausting the search proves
+                        // optimality; quantized weights only prove it up to
+                        // the quantization error.
+                        status: if quantum == 1 {
+                            MaxSatStatus::Optimal
+                        } else {
+                            MaxSatStatus::Feasible
+                        },
+                        model: Some(model),
+                        cost: Some(best_cost),
+                        iterations,
+                    }
+                } else {
+                    MaxSatOutcome {
+                        status: MaxSatStatus::Unsat,
+                        model: None,
+                        cost: None,
+                        iterations,
+                    }
+                };
+            }
+            SolveResult::Unknown => break,
+        }
+    }
+
+    // Budget exhausted.
+    if let Some(model) = best_model {
+        MaxSatOutcome {
+            status: MaxSatStatus::Feasible,
+            model: Some(model),
+            cost: Some(best_cost),
+            iterations,
+        }
+    } else {
+        MaxSatOutcome {
+            status: MaxSatStatus::Unknown,
+            model: None,
+            cost: None,
+            iterations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(d: i64) -> Lit {
+        Lit::from_dimacs(d)
+    }
+
+    #[test]
+    fn pure_sat_no_softs() {
+        let mut inst = WcnfInstance::new();
+        inst.reserve_vars(2);
+        inst.add_hard([lit(1), lit(2)]);
+        let out = solve(&inst, MaxSatConfig::unlimited());
+        assert_eq!(out.status, MaxSatStatus::Optimal);
+        assert_eq!(out.cost, Some(0));
+    }
+
+    #[test]
+    fn hard_unsat() {
+        let mut inst = WcnfInstance::new();
+        inst.reserve_vars(1);
+        inst.add_hard([lit(1)]);
+        inst.add_hard([lit(-1)]);
+        inst.add_soft(1, [lit(1)]);
+        let out = solve(&inst, MaxSatConfig::unlimited());
+        assert_eq!(out.status, MaxSatStatus::Unsat);
+        assert!(!out.has_model());
+    }
+
+    #[test]
+    fn paper_example_4() {
+        // Hard = {¬a ∨ b}, Soft = {b, a ∧ ¬b as two clauses is not the same;
+        // the paper's soft "a∧¬b" is a single conjunctive formula. We encode
+        // it via a fresh variable t with t ↔ a∧¬b and soft t.
+        let mut inst = WcnfInstance::new();
+        let a = inst.new_var().positive();
+        let b = inst.new_var().positive();
+        let t = inst.new_var().positive();
+        inst.add_hard([!a, b]);
+        // t ↔ (a ∧ ¬b)
+        inst.add_hard([!t, a]);
+        inst.add_hard([!t, !b]);
+        inst.add_hard([t, !a, b]);
+        inst.add_soft(1, [b]);
+        inst.add_soft(1, [t]);
+        let out = solve(&inst, MaxSatConfig::unlimited());
+        assert_eq!(out.status, MaxSatStatus::Optimal);
+        // Exactly one of the two softs can hold (they are contradictory
+        // under Hard), so minimal falsified weight is 1.
+        assert_eq!(out.cost, Some(1));
+    }
+
+    #[test]
+    fn weighted_example_12() {
+        // Hard = {a ∨ b}, Soft = {(¬a, 5), (¬b, 1)} → keep ¬a, break ¬b.
+        let mut inst = WcnfInstance::new();
+        let a = inst.new_var().positive();
+        let b = inst.new_var().positive();
+        inst.add_hard([a, b]);
+        inst.add_soft(5, [!a]);
+        inst.add_soft(1, [!b]);
+        let out = solve(&inst, MaxSatConfig::unlimited());
+        assert_eq!(out.status, MaxSatStatus::Optimal);
+        assert_eq!(out.cost, Some(1));
+        let m = out.model.expect("model");
+        assert!(!m[a.var().index()]);
+        assert!(m[b.var().index()]);
+    }
+
+    #[test]
+    fn non_unit_softs() {
+        // Softs are clauses, not just units.
+        let mut inst = WcnfInstance::new();
+        let a = inst.new_var().positive();
+        let b = inst.new_var().positive();
+        let c = inst.new_var().positive();
+        inst.add_hard([!a, !b]); // a,b not both
+        inst.add_soft(2, [a, c]);
+        inst.add_soft(3, [b, c]);
+        inst.add_soft(4, [!c]);
+        // Setting c true satisfies the first two (weight 5) and breaks ¬c
+        // (weight 4) → cost 4. Setting c false: must break one of the first
+        // two (cost ≥ 2 with a=true,b=false → breaks (b∨c): cost 3; or
+        // b=true: breaks (a∨c): cost 2). Optimal cost = 2.
+        let out = solve(&inst, MaxSatConfig::unlimited());
+        assert_eq!(out.status, MaxSatStatus::Optimal);
+        assert_eq!(out.cost, Some(2));
+    }
+
+    #[test]
+    fn empty_soft_contributes_constant_cost() {
+        let mut inst = WcnfInstance::new();
+        let a = inst.new_var().positive();
+        inst.add_hard([a]);
+        inst.add_soft(7, []);
+        inst.add_soft(1, [!a]);
+        let out = solve(&inst, MaxSatConfig::unlimited());
+        assert_eq!(out.status, MaxSatStatus::Optimal);
+        assert_eq!(out.cost, Some(8));
+    }
+
+    #[test]
+    fn anytime_budget_returns_feasible_or_unknown() {
+        // A larger instance with a tiny budget must not claim optimality
+        // falsely and must not panic.
+        let mut inst = WcnfInstance::new();
+        let n = 30;
+        let lits: Vec<Lit> = (0..n).map(|_| inst.new_var().positive()).collect();
+        for w in lits.windows(2) {
+            inst.add_hard([w[0], w[1]]);
+        }
+        for &l in &lits {
+            inst.add_soft(1, [!l]);
+        }
+        let out = solve(&inst, MaxSatConfig::with_time(Duration::from_millis(0)));
+        assert!(matches!(
+            out.status,
+            MaxSatStatus::Feasible | MaxSatStatus::Unknown
+        ));
+    }
+
+    /// Brute-force reference for small weighted instances.
+    fn brute_force(inst: &WcnfInstance) -> Option<u64> {
+        let n = inst.num_vars();
+        assert!(n <= 16);
+        let mut best: Option<u64> = None;
+        for mask in 0u32..(1 << n) {
+            let model: Vec<bool> = (0..n).map(|i| mask >> i & 1 == 1).collect();
+            if let Some(c) = inst.cost_of(&model) {
+                best = Some(best.map_or(c, |b: u64| b.min(c)));
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_instances() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for _ in 0..40 {
+            let n = rng.gen_range(2..=6);
+            let mut inst = WcnfInstance::new();
+            inst.reserve_vars(n);
+            for _ in 0..rng.gen_range(0..8) {
+                let len = rng.gen_range(1..=3);
+                let lits: Vec<Lit> = (0..len)
+                    .map(|_| {
+                        let v = rng.gen_range(1..=n as i64);
+                        Lit::from_dimacs(if rng.gen_bool(0.5) { v } else { -v })
+                    })
+                    .collect();
+                inst.add_hard(lits);
+            }
+            for _ in 0..rng.gen_range(1..6) {
+                let len = rng.gen_range(1..=2);
+                let lits: Vec<Lit> = (0..len)
+                    .map(|_| {
+                        let v = rng.gen_range(1..=n as i64);
+                        Lit::from_dimacs(if rng.gen_bool(0.5) { v } else { -v })
+                    })
+                    .collect();
+                inst.add_soft(rng.gen_range(1..5), lits);
+            }
+            let expect = brute_force(&inst);
+            let out = solve(&inst, MaxSatConfig::unlimited());
+            match expect {
+                None => assert_eq!(out.status, MaxSatStatus::Unsat),
+                Some(c) => {
+                    assert_eq!(out.status, MaxSatStatus::Optimal);
+                    assert_eq!(out.cost, Some(c));
+                }
+            }
+        }
+    }
+}

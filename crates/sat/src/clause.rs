@@ -1,0 +1,131 @@
+//! Clause storage.
+//!
+//! Clauses live in a [`ClauseDb`] arena and are addressed by lightweight
+//! [`ClauseRef`] handles. Learned clauses carry an activity score and an LBD
+//! (literal block distance) used by the reduction policy.
+
+use crate::lit::Lit;
+
+/// Handle to a clause inside the solver's clause arena.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ClauseRef(pub(crate) u32);
+
+impl ClauseRef {
+    /// Returns the raw arena index (useful for debugging/statistics).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A single clause: a disjunction of literals plus solver metadata.
+#[derive(Debug)]
+pub(crate) struct Clause {
+    pub lits: Vec<Lit>,
+    /// Bump-based activity for learned-clause reduction.
+    pub activity: f32,
+    /// Literal block distance at learning time (glue level).
+    pub lbd: u32,
+    pub learnt: bool,
+    pub deleted: bool,
+}
+
+/// Arena of clauses addressed by [`ClauseRef`].
+#[derive(Debug, Default)]
+pub(crate) struct ClauseDb {
+    clauses: Vec<Clause>,
+    /// Number of live (non-deleted) learned clauses.
+    pub num_learnt: usize,
+    /// Number of live problem (original) clauses.
+    pub num_problem: usize,
+}
+
+impl ClauseDb {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn alloc(&mut self, lits: Vec<Lit>, learnt: bool, lbd: u32) -> ClauseRef {
+        debug_assert!(lits.len() >= 2, "unit/empty clauses are not stored");
+        let cref = ClauseRef(self.clauses.len() as u32);
+        self.clauses.push(Clause {
+            lits,
+            activity: 0.0,
+            lbd,
+            learnt,
+            deleted: false,
+        });
+        if learnt {
+            self.num_learnt += 1;
+        } else {
+            self.num_problem += 1;
+        }
+        cref
+    }
+
+    #[inline]
+    pub fn get(&self, cref: ClauseRef) -> &Clause {
+        &self.clauses[cref.0 as usize]
+    }
+
+    #[inline]
+    pub fn get_mut(&mut self, cref: ClauseRef) -> &mut Clause {
+        &mut self.clauses[cref.0 as usize]
+    }
+
+    /// Marks a clause deleted and releases its literal storage.
+    pub fn free(&mut self, cref: ClauseRef) {
+        let c = &mut self.clauses[cref.0 as usize];
+        debug_assert!(!c.deleted);
+        c.deleted = true;
+        if c.learnt {
+            self.num_learnt -= 1;
+        } else {
+            self.num_problem -= 1;
+        }
+        c.lits = Vec::new();
+        c.lits.shrink_to_fit();
+    }
+
+    /// Iterates over references of live learned clauses.
+    pub fn learnt_refs(&self) -> impl Iterator<Item = ClauseRef> + '_ {
+        self.clauses
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.learnt && !c.deleted)
+            .map(|(i, _)| ClauseRef(i as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lit::Var;
+
+    fn lits(v: &[i64]) -> Vec<Lit> {
+        v.iter().map(|&d| Lit::from_dimacs(d)).collect()
+    }
+
+    #[test]
+    fn alloc_get_free() {
+        let mut db = ClauseDb::new();
+        let c1 = db.alloc(lits(&[1, 2]), false, 0);
+        let c2 = db.alloc(lits(&[-1, 3, 4]), true, 2);
+        assert_eq!(db.get(c1).lits.len(), 2);
+        assert!(db.get(c2).learnt);
+        assert_eq!(db.num_problem, 1);
+        assert_eq!(db.num_learnt, 1);
+        db.free(c2);
+        assert_eq!(db.num_learnt, 0);
+        assert!(db.get(c2).deleted);
+        assert_eq!(db.learnt_refs().count(), 0);
+    }
+
+    #[test]
+    fn clause_ref_index_is_stable() {
+        let mut db = ClauseDb::new();
+        let c1 = db.alloc(lits(&[1, 2]), false, 0);
+        let _ = db.alloc(lits(&[3, 4]), false, 0);
+        assert_eq!(db.get(c1).lits[0], Var::new(0).positive());
+        assert_eq!(c1.index(), 0);
+    }
+}

@@ -1,0 +1,162 @@
+//! DIMACS CNF reading and writing.
+//!
+//! Supports the standard `p cnf <vars> <clauses>` header, `c` comment lines,
+//! and zero-terminated clause lines (clauses may span lines).
+
+use std::fmt::Write as _;
+
+use crate::lit::Lit;
+
+/// A parsed CNF formula: a variable count and a list of clauses.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Cnf {
+    /// Declared (or inferred) number of variables.
+    pub num_vars: usize,
+    /// The clauses, each a disjunction of literals.
+    pub clauses: Vec<Vec<Lit>>,
+}
+
+/// Error produced when DIMACS parsing fails.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseDimacsError {
+    /// Line number (1-based) where the problem was detected.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "dimacs parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseDimacsError {}
+
+impl Cnf {
+    /// Parses a DIMACS CNF document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseDimacsError`] on malformed headers or non-integer
+    /// tokens. A missing header is tolerated; the variable count is then
+    /// inferred from the literals.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sat::dimacs::Cnf;
+    /// let cnf = Cnf::parse("p cnf 2 2\n1 -2 0\n2 0\n")?;
+    /// assert_eq!(cnf.num_vars, 2);
+    /// assert_eq!(cnf.clauses.len(), 2);
+    /// # Ok::<(), sat::dimacs::ParseDimacsError>(())
+    /// ```
+    pub fn parse(text: &str) -> Result<Self, ParseDimacsError> {
+        let mut cnf = Cnf::default();
+        let mut current: Vec<Lit> = Vec::new();
+        let mut declared_vars = 0usize;
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('c') || line.starts_with('%') {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('p') {
+                let mut parts = rest.split_whitespace();
+                if parts.next() != Some("cnf") {
+                    return Err(ParseDimacsError {
+                        line: lineno + 1,
+                        message: "expected 'p cnf <vars> <clauses>'".into(),
+                    });
+                }
+                declared_vars = parts
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| ParseDimacsError {
+                        line: lineno + 1,
+                        message: "missing variable count".into(),
+                    })?;
+                continue;
+            }
+            for tok in line.split_whitespace() {
+                let value: i64 = tok.parse().map_err(|_| ParseDimacsError {
+                    line: lineno + 1,
+                    message: format!("invalid literal token '{tok}'"),
+                })?;
+                if value == 0 {
+                    cnf.clauses.push(std::mem::take(&mut current));
+                } else {
+                    let l = Lit::from_dimacs(value);
+                    cnf.num_vars = cnf.num_vars.max(l.var().index() + 1);
+                    current.push(l);
+                }
+            }
+        }
+        if !current.is_empty() {
+            cnf.clauses.push(current);
+        }
+        cnf.num_vars = cnf.num_vars.max(declared_vars);
+        Ok(cnf)
+    }
+
+    /// Renders the formula in DIMACS CNF format.
+    pub fn to_dimacs(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "p cnf {} {}", self.num_vars, self.clauses.len());
+        for clause in &self.clauses {
+            for l in clause {
+                let _ = write!(out, "{} ", l.to_dimacs());
+            }
+            let _ = writeln!(out, "0");
+        }
+        out
+    }
+
+    /// Loads this formula into a fresh [`crate::Solver`].
+    pub fn into_solver(&self) -> crate::Solver {
+        let mut s = crate::Solver::new();
+        s.reserve_vars(self.num_vars);
+        for clause in &self.clauses {
+            s.add_clause(clause.iter().copied());
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SolveResult;
+
+    #[test]
+    fn parse_round_trip() {
+        let text = "c comment\np cnf 3 2\n1 -2 0\n2 3 0\n";
+        let cnf = Cnf::parse(text).expect("parses");
+        assert_eq!(cnf.num_vars, 3);
+        assert_eq!(cnf.clauses.len(), 2);
+        let again = Cnf::parse(&cnf.to_dimacs()).expect("round trip");
+        assert_eq!(cnf, again);
+    }
+
+    #[test]
+    fn parse_clause_spanning_lines() {
+        let cnf = Cnf::parse("1 2\n-3 0 3 0").expect("parses");
+        assert_eq!(cnf.clauses.len(), 2);
+        assert_eq!(cnf.clauses[0].len(), 3);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(Cnf::parse("p wcnf 1 1\n1 0").is_err());
+        assert!(Cnf::parse("p cnf x y\n").is_err());
+        assert!(Cnf::parse("1 zz 0\n").is_err());
+    }
+
+    #[test]
+    fn solve_parsed_instance() {
+        let cnf = Cnf::parse("p cnf 2 3\n1 2 0\n-1 2 0\n-2 1 0\n").expect("parses");
+        let mut s = cnf.into_solver();
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let m = s.model();
+        assert!(m[0] && m[1]);
+    }
+}

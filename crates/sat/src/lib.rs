@@ -1,0 +1,45 @@
+//! A conflict-driven clause-learning (CDCL) SAT solver.
+//!
+//! This crate is the satisfiability substrate for the SATMAP reproduction:
+//! the `maxsat` crate drives it in a loop to solve the qubit mapping and
+//! routing (QMR) optimization problem from *"Qubit Mapping and Routing via
+//! MaxSAT"* (MICRO 2022).
+//!
+//! Features:
+//!
+//! * two-watched-literal unit propagation with blocker literals,
+//! * VSIDS decision heuristic with phase saving,
+//! * first-UIP conflict analysis with clause minimization,
+//! * Luby restarts and activity/LBD-guided learned-clause reduction,
+//! * incremental solving under assumptions with UNSAT-core extraction,
+//! * cooperative budgets (conflicts / wall clock) for anytime callers,
+//! * DIMACS CNF input/output ([`dimacs`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use sat::{Solver, SolveResult};
+//!
+//! let mut solver = Solver::new();
+//! let a = solver.new_var().positive();
+//! let b = solver.new_var().positive();
+//! solver.add_clause([a, b]);   //  a ∨ b
+//! solver.add_clause([!a, b]);  // ¬a ∨ b
+//! assert_eq!(solver.solve(), SolveResult::Sat);
+//! assert_eq!(solver.model_value(b), Some(true));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clause;
+pub mod dimacs;
+mod lit;
+mod order;
+mod solver;
+mod stats;
+
+pub use clause::ClauseRef;
+pub use lit::{LBool, Lit, Var};
+pub use solver::{Budget, SolveResult, Solver};
+pub use stats::Stats;

@@ -1,0 +1,242 @@
+//! Variables and literals.
+//!
+//! A [`Var`] is an index into the solver's variable table. A [`Lit`] is a
+//! signed occurrence of a variable, packed into a single `u32` using the
+//! MiniSat convention: `code = 2 * var + sign`, where `sign == 1` means the
+//! literal is negated.
+
+use std::fmt;
+
+/// A propositional variable, identified by a dense index starting at 0.
+///
+/// # Examples
+///
+/// ```
+/// use sat::Var;
+/// let v = Var::new(3);
+/// assert_eq!(v.index(), 3);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(u32);
+
+impl Var {
+    /// Creates a variable from its dense index.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        debug_assert!(index < (u32::MAX / 2) as usize, "variable index overflow");
+        Var(index as u32)
+    }
+
+    /// Returns the dense index of this variable.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the positive literal of this variable.
+    #[inline]
+    pub fn positive(self) -> Lit {
+        Lit::new(self, true)
+    }
+
+    /// Returns the negative literal of this variable.
+    #[inline]
+    pub fn negative(self) -> Lit {
+        Lit::new(self, false)
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A literal: a variable or its negation.
+///
+/// Stored as `2 * var + sign` where `sign == 1` encodes negation, so that a
+/// literal and its complement differ only in the lowest bit.
+///
+/// # Examples
+///
+/// ```
+/// use sat::{Lit, Var};
+/// let v = Var::new(0);
+/// let a = v.positive();
+/// assert_eq!(!a, v.negative());
+/// assert_eq!(a.var(), v);
+/// assert!(a.is_positive());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Creates a literal over `var`; `positive == false` yields the negation.
+    #[inline]
+    pub fn new(var: Var, positive: bool) -> Self {
+        Lit(var.0 << 1 | u32::from(!positive))
+    }
+
+    /// Reconstructs a literal from its packed code (see type docs).
+    #[inline]
+    pub fn from_code(code: u32) -> Self {
+        Lit(code)
+    }
+
+    /// Returns the packed code of this literal.
+    #[inline]
+    pub fn code(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the underlying variable.
+    #[inline]
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Returns `true` if this is the positive (unnegated) literal.
+    #[inline]
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// Returns `true` if this is the negated literal.
+    #[inline]
+    pub fn is_negative(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Parses a literal from DIMACS convention: nonzero integer, negative
+    /// numbers denote negated variables, `1` is variable 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dimacs == 0`.
+    pub fn from_dimacs(dimacs: i64) -> Self {
+        assert!(dimacs != 0, "DIMACS literal must be nonzero");
+        let var = Var::new(dimacs.unsigned_abs() as usize - 1);
+        Lit::new(var, dimacs > 0)
+    }
+
+    /// Converts this literal to the DIMACS integer convention.
+    pub fn to_dimacs(self) -> i64 {
+        let v = self.var().index() as i64 + 1;
+        if self.is_positive() {
+            v
+        } else {
+            -v
+        }
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negative() {
+            write!(f, "¬")?;
+        }
+        write!(f, "{:?}", self.var())
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self)
+    }
+}
+
+/// Ternary truth value used for partial assignments.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum LBool {
+    /// Assigned true.
+    True,
+    /// Assigned false.
+    False,
+    /// Not assigned.
+    #[default]
+    Undef,
+}
+
+impl LBool {
+    /// Converts a `bool` into the corresponding defined value.
+    #[inline]
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            LBool::True
+        } else {
+            LBool::False
+        }
+    }
+
+    /// Returns the truth value of a literal whose variable has this value.
+    ///
+    /// Flips `True`/`False` for negative literals; `Undef` is preserved.
+    #[inline]
+    pub fn under_sign(self, positive: bool) -> Self {
+        match (self, positive) {
+            (LBool::Undef, _) => LBool::Undef,
+            (v, true) => v,
+            (LBool::True, false) => LBool::False,
+            (LBool::False, false) => LBool::True,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_negation_flips_low_bit() {
+        let v = Var::new(7);
+        let pos = v.positive();
+        let neg = v.negative();
+        assert_ne!(pos, neg);
+        assert_eq!(!pos, neg);
+        assert_eq!(!neg, pos);
+        assert_eq!(pos.var(), neg.var());
+    }
+
+    #[test]
+    fn dimacs_round_trip() {
+        for d in [-5i64, -1, 1, 2, 42] {
+            assert_eq!(Lit::from_dimacs(d).to_dimacs(), d);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn dimacs_zero_rejected() {
+        let _ = Lit::from_dimacs(0);
+    }
+
+    #[test]
+    fn lbool_under_sign() {
+        assert_eq!(LBool::True.under_sign(false), LBool::False);
+        assert_eq!(LBool::False.under_sign(false), LBool::True);
+        assert_eq!(LBool::Undef.under_sign(false), LBool::Undef);
+        assert_eq!(LBool::True.under_sign(true), LBool::True);
+    }
+
+    #[test]
+    fn code_round_trip() {
+        let l = Lit::new(Var::new(9), false);
+        assert_eq!(Lit::from_code(l.code()), l);
+        assert!(l.is_negative());
+    }
+}

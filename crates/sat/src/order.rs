@@ -1,0 +1,158 @@
+//! VSIDS decision order: an indexed max-heap over variable activities.
+
+use crate::lit::Var;
+
+/// Indexed binary max-heap keyed by per-variable activity.
+///
+/// Supports `O(log n)` insert/remove-max and re-prioritization of a variable
+/// already in the heap, which the VSIDS scheme requires on every activity
+/// bump.
+#[derive(Debug, Default)]
+pub(crate) struct VarOrder {
+    heap: Vec<Var>,
+    /// Position of each variable in `heap`, or `usize::MAX` if absent.
+    position: Vec<usize>,
+}
+
+const ABSENT: usize = usize::MAX;
+
+impl VarOrder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn grow_to(&mut self, num_vars: usize) {
+        if self.position.len() < num_vars {
+            self.position.resize(num_vars, ABSENT);
+        }
+    }
+
+    #[inline]
+    pub fn contains(&self, v: Var) -> bool {
+        self.position[v.index()] != ABSENT
+    }
+
+    pub fn insert(&mut self, v: Var, activity: &[f64]) {
+        if self.contains(v) {
+            return;
+        }
+        self.position[v.index()] = self.heap.len();
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1, activity);
+    }
+
+    pub fn pop_max(&mut self, activity: &[f64]) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        self.position[top.index()] = ABSENT;
+        let last = self.heap.pop().expect("non-empty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.position[last.index()] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(top)
+    }
+
+    /// Restores the heap property after `v`'s activity increased.
+    pub fn bumped(&mut self, v: Var, activity: &[f64]) {
+        let pos = self.position[v.index()];
+        if pos != ABSENT {
+            self.sift_up(pos, activity);
+        }
+    }
+
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    fn sift_up(&mut self, mut i: usize, activity: &[f64]) {
+        let v = self.heap[i];
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            let pv = self.heap[parent];
+            if activity[pv.index()] >= activity[v.index()] {
+                break;
+            }
+            self.heap[i] = pv;
+            self.position[pv.index()] = i;
+            i = parent;
+        }
+        self.heap[i] = v;
+        self.position[v.index()] = i;
+    }
+
+    fn sift_down(&mut self, mut i: usize, activity: &[f64]) {
+        let v = self.heap[i];
+        loop {
+            let left = 2 * i + 1;
+            if left >= self.heap.len() {
+                break;
+            }
+            let right = left + 1;
+            let child = if right < self.heap.len()
+                && activity[self.heap[right].index()] > activity[self.heap[left].index()]
+            {
+                right
+            } else {
+                left
+            };
+            let cv = self.heap[child];
+            if activity[v.index()] >= activity[cv.index()] {
+                break;
+            }
+            self.heap[i] = cv;
+            self.position[cv.index()] = i;
+            i = child;
+        }
+        self.heap[i] = v;
+        self.position[v.index()] = i;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_activity_order() {
+        let mut order = VarOrder::new();
+        let activity = vec![0.5, 2.0, 1.0, 3.0];
+        order.grow_to(4);
+        for i in 0..4 {
+            order.insert(Var::new(i), &activity);
+        }
+        let popped: Vec<usize> = std::iter::from_fn(|| order.pop_max(&activity))
+            .map(|v| v.index())
+            .collect();
+        assert_eq!(popped, vec![3, 1, 2, 0]);
+    }
+
+    #[test]
+    fn bump_reorders() {
+        let mut order = VarOrder::new();
+        let mut activity = vec![1.0, 2.0, 3.0];
+        order.grow_to(3);
+        for i in 0..3 {
+            order.insert(Var::new(i), &activity);
+        }
+        activity[0] = 10.0;
+        order.bumped(Var::new(0), &activity);
+        assert_eq!(order.pop_max(&activity), Some(Var::new(0)));
+    }
+
+    #[test]
+    fn reinsert_is_idempotent() {
+        let mut order = VarOrder::new();
+        let activity = vec![1.0];
+        order.grow_to(1);
+        order.insert(Var::new(0), &activity);
+        order.insert(Var::new(0), &activity);
+        assert_eq!(order.len(), 1);
+        assert_eq!(order.pop_max(&activity), Some(Var::new(0)));
+        assert_eq!(order.pop_max(&activity), None);
+    }
+}

@@ -1,0 +1,929 @@
+//! The CDCL solver engine.
+//!
+//! A conflict-driven clause-learning SAT solver in the MiniSat lineage:
+//! two-watched-literal propagation, VSIDS decision heuristic with phase
+//! saving, first-UIP conflict analysis with clause minimization, Luby
+//! restarts, and activity/LBD-based learned-clause database reduction.
+//! Supports incremental solving under assumptions and cooperative budgets
+//! (conflicts or wall-clock), which the MaxSAT layer uses for anytime
+//! behaviour.
+
+use std::time::{Duration, Instant};
+
+use crate::clause::{ClauseDb, ClauseRef};
+use crate::lit::{LBool, Lit, Var};
+use crate::stats::Stats;
+
+/// Outcome of a [`Solver::solve`] call.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SolveResult {
+    /// A satisfying assignment was found; read it via [`Solver::model_value`].
+    Sat,
+    /// The formula (under the given assumptions) is unsatisfiable.
+    Unsat,
+    /// The budget expired before a definitive answer.
+    Unknown,
+}
+
+/// Resource budget for a single `solve` call.
+///
+/// The solver checks the budget at restart boundaries and coarse-grained
+/// intervals, so overshoot is bounded but nonzero.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Budget {
+    /// Maximum number of conflicts, if any.
+    pub max_conflicts: Option<u64>,
+    /// Maximum wall-clock duration, if any.
+    pub max_time: Option<Duration>,
+}
+
+impl Budget {
+    /// An unlimited budget.
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Budget limited to a wall-clock duration.
+    pub fn time(d: Duration) -> Self {
+        Budget {
+            max_conflicts: None,
+            max_time: Some(d),
+        }
+    }
+
+    /// Budget limited to a number of conflicts.
+    pub fn conflicts(n: u64) -> Self {
+        Budget {
+            max_conflicts: Some(n),
+            max_time: None,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Watcher {
+    cref: ClauseRef,
+    /// A literal of the clause other than the watched one; if it is already
+    /// true the clause is satisfied and the watch list walk can skip it.
+    blocker: Lit,
+}
+
+/// A CDCL SAT solver.
+///
+/// # Examples
+///
+/// ```
+/// use sat::{Solver, SolveResult};
+/// let mut s = Solver::new();
+/// let a = s.new_var().positive();
+/// let b = s.new_var().positive();
+/// s.add_clause([a, b]);
+/// s.add_clause([!a]);
+/// assert_eq!(s.solve(), SolveResult::Sat);
+/// assert_eq!(s.model_value(b), Some(true));
+/// ```
+#[derive(Debug)]
+pub struct Solver {
+    db: ClauseDb,
+    /// Watch lists indexed by literal code. `watches[l]` holds clauses that
+    /// watch `¬l` (i.e. must be inspected when `l` becomes true).
+    watches: Vec<Vec<Watcher>>,
+    assigns: Vec<LBool>,
+    /// Saved phase per variable for phase-saving.
+    polarity: Vec<bool>,
+    reason: Vec<Option<ClauseRef>>,
+    level: Vec<u32>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    var_decay: f64,
+    cla_inc: f32,
+    order: crate::order::VarOrder,
+    /// False once an unconditional conflict has been derived.
+    ok: bool,
+    seen: Vec<bool>,
+    analyze_clear: Vec<Lit>,
+    model: Vec<LBool>,
+    conflict_core: Vec<Lit>,
+    stats: Stats,
+    max_learnt: f64,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Solver {
+    /// Creates an empty solver with no variables or clauses.
+    pub fn new() -> Self {
+        Solver {
+            db: ClauseDb::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            polarity: Vec::new(),
+            reason: Vec::new(),
+            level: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            var_decay: 0.95,
+            cla_inc: 1.0,
+            order: crate::order::VarOrder::new(),
+            ok: true,
+            seen: Vec::new(),
+            analyze_clear: Vec::new(),
+            model: Vec::new(),
+            conflict_core: Vec::new(),
+            stats: Stats::default(),
+            max_learnt: 2000.0,
+        }
+    }
+
+    /// Number of variables created so far.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Number of live problem clauses (excluding units absorbed into the
+    /// top-level trail).
+    pub fn num_clauses(&self) -> usize {
+        self.db.num_problem
+    }
+
+    /// Solver statistics accumulated across all `solve` calls.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Creates a fresh variable and returns it.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var::new(self.assigns.len());
+        self.assigns.push(LBool::Undef);
+        self.polarity.push(false);
+        self.reason.push(None);
+        self.level.push(0);
+        self.activity.push(0.0);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.order.grow_to(self.assigns.len());
+        self.order.insert(v, &self.activity);
+        v
+    }
+
+    /// Ensures at least `n` variables exist.
+    pub fn reserve_vars(&mut self, n: usize) {
+        while self.num_vars() < n {
+            self.new_var();
+        }
+    }
+
+    #[inline]
+    fn value_lit(&self, l: Lit) -> LBool {
+        self.assigns[l.var().index()].under_sign(l.is_positive())
+    }
+
+    /// Adds a clause. Returns `false` if the solver is now known
+    /// unsatisfiable at the top level (the clause may still have been
+    /// recorded).
+    ///
+    /// Duplicated literals are removed and tautologies are dropped. Must not
+    /// be called between `solve` calls' partial states — the solver
+    /// backtracks to the root level automatically.
+    pub fn add_clause<I: IntoIterator<Item = Lit>>(&mut self, lits: I) -> bool {
+        self.cancel_until(0);
+        if !self.ok {
+            return false;
+        }
+        let mut ps: Vec<Lit> = lits.into_iter().collect();
+        ps.sort_unstable();
+        ps.dedup();
+        // Tautology / root-level simplification.
+        let mut simplified = Vec::with_capacity(ps.len());
+        let mut i = 0;
+        while i < ps.len() {
+            let l = ps[i];
+            if i + 1 < ps.len() && ps[i + 1] == !l {
+                return true; // tautology: contains l and ¬l
+            }
+            match self.value_lit(l) {
+                LBool::True => return true, // already satisfied at root
+                LBool::False => {}          // drop falsified literal
+                LBool::Undef => simplified.push(l),
+            }
+            i += 1;
+        }
+        match simplified.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.unchecked_enqueue(simplified[0], None);
+                self.ok = self.propagate().is_none();
+                self.ok
+            }
+            _ => {
+                let cref = self.db.alloc(simplified, false, 0);
+                self.attach(cref);
+                true
+            }
+        }
+    }
+
+    fn attach(&mut self, cref: ClauseRef) {
+        let c = self.db.get(cref);
+        let (l0, l1) = (c.lits[0], c.lits[1]);
+        self.watches[(!l0).code() as usize].push(Watcher { cref, blocker: l1 });
+        self.watches[(!l1).code() as usize].push(Watcher { cref, blocker: l0 });
+    }
+
+    fn detach(&mut self, cref: ClauseRef) {
+        let c = self.db.get(cref);
+        let (l0, l1) = (c.lits[0], c.lits[1]);
+        self.watches[(!l0).code() as usize].retain(|w| w.cref != cref);
+        self.watches[(!l1).code() as usize].retain(|w| w.cref != cref);
+    }
+
+    #[inline]
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn unchecked_enqueue(&mut self, l: Lit, from: Option<ClauseRef>) {
+        debug_assert_eq!(self.value_lit(l), LBool::Undef);
+        let v = l.var().index();
+        self.assigns[v] = LBool::from_bool(l.is_positive());
+        self.reason[v] = from;
+        self.level[v] = self.decision_level();
+        self.trail.push(l);
+    }
+
+    /// Unit propagation. Returns the conflicting clause, if any.
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        let mut conflict = None;
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let mut ws = std::mem::take(&mut self.watches[p.code() as usize]);
+            let mut i = 0;
+            let mut j = 0;
+            'watchers: while i < ws.len() {
+                let w = ws[i];
+                i += 1;
+                if self.value_lit(w.blocker) == LBool::True {
+                    ws[j] = w;
+                    j += 1;
+                    continue;
+                }
+                let cref = w.cref;
+                // Make sure ¬p is lits[1].
+                let false_lit = !p;
+                {
+                    let c = self.db.get_mut(cref);
+                    if c.lits[0] == false_lit {
+                        c.lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(c.lits[1], false_lit);
+                }
+                let first = self.db.get(cref).lits[0];
+                if first != w.blocker && self.value_lit(first) == LBool::True {
+                    ws[j] = Watcher {
+                        cref,
+                        blocker: first,
+                    };
+                    j += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let len = self.db.get(cref).lits.len();
+                for k in 2..len {
+                    let lk = self.db.get(cref).lits[k];
+                    if self.value_lit(lk) != LBool::False {
+                        let c = self.db.get_mut(cref);
+                        c.lits.swap(1, k);
+                        self.watches[(!lk).code() as usize].push(Watcher {
+                            cref,
+                            blocker: first,
+                        });
+                        continue 'watchers;
+                    }
+                }
+                // Clause is unit or conflicting under the current assignment.
+                ws[j] = Watcher {
+                    cref,
+                    blocker: first,
+                };
+                j += 1;
+                if self.value_lit(first) == LBool::False {
+                    conflict = Some(cref);
+                    self.qhead = self.trail.len();
+                    // Copy remaining watchers back.
+                    while i < ws.len() {
+                        ws[j] = ws[i];
+                        j += 1;
+                        i += 1;
+                    }
+                } else {
+                    self.unchecked_enqueue(first, Some(cref));
+                }
+            }
+            ws.truncate(j);
+            debug_assert!(self.watches[p.code() as usize].is_empty());
+            self.watches[p.code() as usize] = ws;
+            if conflict.is_some() {
+                break;
+            }
+        }
+        conflict
+    }
+
+    fn cancel_until(&mut self, target: u32) {
+        if self.decision_level() <= target {
+            return;
+        }
+        let bound = self.trail_lim[target as usize];
+        for idx in (bound..self.trail.len()).rev() {
+            let l = self.trail[idx];
+            let v = l.var();
+            self.assigns[v.index()] = LBool::Undef;
+            self.polarity[v.index()] = l.is_positive();
+            self.reason[v.index()] = None;
+            if !self.order.contains(v) {
+                self.order.insert(v, &self.activity);
+            }
+        }
+        self.trail.truncate(bound);
+        self.trail_lim.truncate(target as usize);
+        self.qhead = self.trail.len();
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.order.bumped(v, &self.activity);
+    }
+
+    fn decay_activities(&mut self) {
+        self.var_inc /= self.var_decay;
+        self.cla_inc /= 0.999;
+    }
+
+    fn bump_clause(&mut self, cref: ClauseRef) {
+        let inc = self.cla_inc;
+        let c = self.db.get_mut(cref);
+        c.activity += inc;
+        if c.activity > 1e20 {
+            let refs: Vec<ClauseRef> = self.db.learnt_refs().collect();
+            for r in refs {
+                self.db.get_mut(r).activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns the learned clause (asserting
+    /// literal first) and the backtrack level.
+    fn analyze(&mut self, conflict: ClauseRef) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit::from_code(0)]; // placeholder for UIP
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut cref = conflict;
+        let mut index = self.trail.len();
+
+        loop {
+            self.bump_clause(cref);
+            let lits: Vec<Lit> = self.db.get(cref).lits.clone();
+            let skip = usize::from(p.is_some());
+            for &q in &lits[skip..] {
+                let v = q.var();
+                if !self.seen[v.index()] && self.level[v.index()] > 0 {
+                    self.seen[v.index()] = true;
+                    self.bump_var(v);
+                    if self.level[v.index()] >= self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Select next literal to resolve on.
+            loop {
+                index -= 1;
+                let l = self.trail[index];
+                if self.seen[l.var().index()] {
+                    p = Some(l);
+                    break;
+                }
+            }
+            let pv = p.expect("found UIP candidate").var();
+            self.seen[pv.index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                break;
+            }
+            cref = self.reason[pv.index()].expect("non-decision has a reason");
+        }
+        learnt[0] = !p.expect("UIP literal");
+
+        // Mark remaining seen lits for minimization bookkeeping.
+        self.analyze_clear.clear();
+        self.analyze_clear.extend(learnt.iter().copied());
+        for &l in &learnt[1..] {
+            self.seen[l.var().index()] = true;
+        }
+        // Conflict-clause minimization: drop literals implied by the rest.
+        let keep: Vec<Lit> = learnt[1..]
+            .iter()
+            .copied()
+            .filter(|&l| !self.lit_redundant(l))
+            .collect();
+        learnt.truncate(1);
+        learnt.extend(keep);
+
+        for &l in &self.analyze_clear.clone() {
+            self.seen[l.var().index()] = false;
+        }
+
+        // Compute backtrack level: max level among learnt[1..].
+        let bt = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[learnt[1].var().index()]
+        };
+        (learnt, bt)
+    }
+
+    /// Checks whether `l` is redundant in the learned clause: every literal
+    /// of its reason clause is already seen (basic self-subsumption test).
+    fn lit_redundant(&mut self, l: Lit) -> bool {
+        let Some(r) = self.reason[l.var().index()] else {
+            return false;
+        };
+        let lits = &self.db.get(r).lits;
+        for &q in &lits[1..] {
+            let v = q.var().index();
+            if !self.seen[v] && self.level[v] > 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn record_learnt(&mut self, learnt: Vec<Lit>) {
+        self.stats.learned_literals += learnt.len() as u64;
+        if learnt.len() == 1 {
+            self.unchecked_enqueue(learnt[0], None);
+        } else {
+            let lbd = self.compute_lbd(&learnt);
+            let asserting = learnt[0];
+            let cref = self.db.alloc(learnt, true, lbd);
+            self.attach(cref);
+            self.bump_clause(cref);
+            self.unchecked_enqueue(asserting, Some(cref));
+        }
+    }
+
+    fn compute_lbd(&mut self, lits: &[Lit]) -> u32 {
+        let mut levels: Vec<u32> = lits.iter().map(|l| self.level[l.var().index()]).collect();
+        levels.sort_unstable();
+        levels.dedup();
+        levels.len() as u32
+    }
+
+    /// Removes roughly half of the learned clauses, keeping binary/glue and
+    /// high-activity clauses.
+    fn reduce_db(&mut self) {
+        let mut refs: Vec<ClauseRef> = self.db.learnt_refs().collect();
+        refs.sort_by(|&a, &b| {
+            let (ca, cb) = (self.db.get(a), self.db.get(b));
+            ca.activity
+                .partial_cmp(&cb.activity)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let locked: Vec<bool> = refs
+            .iter()
+            .map(|&r| {
+                let first = self.db.get(r).lits[0];
+                self.reason[first.var().index()] == Some(r)
+                    && self.value_lit(first) == LBool::True
+            })
+            .collect();
+        let target = refs.len() / 2;
+        let mut removed = 0;
+        for (i, &r) in refs.iter().enumerate() {
+            if removed >= target {
+                break;
+            }
+            let c = self.db.get(r);
+            if locked[i] || c.lits.len() <= 2 || c.lbd <= 2 {
+                continue;
+            }
+            self.detach(r);
+            self.db.free(r);
+            removed += 1;
+        }
+        self.stats.reductions += 1;
+    }
+
+    fn pick_branch(&mut self) -> Option<Lit> {
+        while let Some(v) = self.order.pop_max(&self.activity) {
+            if self.assigns[v.index()] == LBool::Undef {
+                return Some(Lit::new(v, self.polarity[v.index()]));
+            }
+        }
+        None
+    }
+
+    /// Solves the current formula with no assumptions and no budget.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_with(&[], Budget::unlimited())
+    }
+
+    /// Solves under `assumptions` with a resource `budget`.
+    ///
+    /// On [`SolveResult::Unsat`] with nonempty assumptions, the subset of
+    /// assumptions involved in the conflict is available from
+    /// [`Solver::unsat_core`].
+    pub fn solve_with(&mut self, assumptions: &[Lit], budget: Budget) -> SolveResult {
+        let start = Instant::now();
+        self.model.clear();
+        self.conflict_core.clear();
+        self.cancel_until(0);
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        if self.propagate().is_some() {
+            self.ok = false;
+            return SolveResult::Unsat;
+        }
+
+        let conflict_start = self.stats.conflicts;
+        let mut restart_idx = 0u64;
+        loop {
+            let restart_budget = 100 * luby(restart_idx);
+            restart_idx += 1;
+            match self.search(assumptions, restart_budget, &budget, start, conflict_start) {
+                SearchOutcome::Sat => {
+                    self.model = self.assigns.clone();
+                    self.cancel_until(0);
+                    return SolveResult::Sat;
+                }
+                SearchOutcome::Unsat => {
+                    self.cancel_until(0);
+                    return SolveResult::Unsat;
+                }
+                SearchOutcome::Restart => {
+                    self.cancel_until(0);
+                    self.stats.restarts += 1;
+                }
+                SearchOutcome::BudgetExhausted => {
+                    self.cancel_until(0);
+                    return SolveResult::Unknown;
+                }
+            }
+        }
+    }
+
+    fn search(
+        &mut self,
+        assumptions: &[Lit],
+        restart_conflicts: u64,
+        budget: &Budget,
+        start: Instant,
+        conflict_start: u64,
+    ) -> SearchOutcome {
+        let mut conflicts_here = 0u64;
+        loop {
+            if let Some(conflict) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_here += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return SearchOutcome::Unsat;
+                }
+                // Conflict within the assumption prefix: extract a core.
+                if (self.decision_level() as usize) <= assumptions.len() {
+                    self.extract_core(conflict, assumptions);
+                    return SearchOutcome::Unsat;
+                }
+                let (learnt, bt_level) = self.analyze(conflict);
+                // Never backtrack into the middle of the assumption prefix
+                // with an asserting clause that assumes deeper context.
+                let bt = bt_level.max(0);
+                self.cancel_until(bt.max(self.assumption_level_floor(assumptions, bt)));
+                self.record_learnt(learnt);
+                self.decay_activities();
+                if self.db.num_learnt as f64 > self.max_learnt {
+                    self.reduce_db();
+                    self.max_learnt *= 1.5;
+                }
+            } else {
+                if conflicts_here >= restart_conflicts && self.decision_level() as usize > assumptions.len() {
+                    return SearchOutcome::Restart;
+                }
+                if let Some(max_c) = budget.max_conflicts {
+                    if self.stats.conflicts - conflict_start >= max_c {
+                        return SearchOutcome::BudgetExhausted;
+                    }
+                }
+                if let Some(max_t) = budget.max_time {
+                    if (self.stats.decisions + self.stats.conflicts) % 64 == 0
+                        && start.elapsed() >= max_t
+                    {
+                        return SearchOutcome::BudgetExhausted;
+                    }
+                }
+                // Establish assumptions as pseudo-decisions first.
+                let dl = self.decision_level() as usize;
+                if dl < assumptions.len() {
+                    let a = assumptions[dl];
+                    match self.value_lit(a) {
+                        LBool::True => {
+                            // Already implied: introduce an empty decision level
+                            // so the prefix depth still matches.
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        LBool::False => {
+                            self.extract_core_from_assumption(a, assumptions);
+                            return SearchOutcome::Unsat;
+                        }
+                        LBool::Undef => {
+                            self.trail_lim.push(self.trail.len());
+                            self.unchecked_enqueue(a, None);
+                        }
+                    }
+                    continue;
+                }
+                match self.pick_branch() {
+                    None => return SearchOutcome::Sat,
+                    Some(l) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        self.unchecked_enqueue(l, None);
+                    }
+                }
+            }
+        }
+    }
+
+    fn assumption_level_floor(&self, assumptions: &[Lit], bt: u32) -> u32 {
+        // Keep the solver at or below the assumption prefix if the asserting
+        // level falls inside it; re-entry re-establishes assumptions.
+        let _ = assumptions;
+        bt
+    }
+
+    /// Computes the set of assumption literals entailed in `conflict`.
+    fn extract_core(&mut self, conflict: ClauseRef, assumptions: &[Lit]) {
+        use std::collections::HashSet;
+        let assumption_set: HashSet<Lit> = assumptions.iter().copied().collect();
+        let mut seen = vec![false; self.num_vars()];
+        let mut queue: Vec<Lit> = self.db.get(conflict).lits.clone();
+        let mut core = Vec::new();
+        while let Some(l) = queue.pop() {
+            let v = l.var().index();
+            if seen[v] || self.level[v] == 0 {
+                continue;
+            }
+            seen[v] = true;
+            if assumption_set.contains(&!l) {
+                core.push(!l);
+            } else if let Some(r) = self.reason[v] {
+                queue.extend(self.db.get(r).lits.iter().copied());
+            }
+        }
+        self.conflict_core = core;
+    }
+
+    fn extract_core_from_assumption(&mut self, failed: Lit, assumptions: &[Lit]) {
+        use std::collections::HashSet;
+        let assumption_set: HashSet<Lit> = assumptions.iter().copied().collect();
+        let mut seen = vec![false; self.num_vars()];
+        let mut core = vec![failed];
+        // `queue` holds literals that are FALSE under the current trail and
+        // whose (true) complements still need explaining.
+        let mut queue: Vec<Lit> = vec![failed];
+        while let Some(l) = queue.pop() {
+            let v = l.var().index();
+            if seen[v] || self.level[v] == 0 {
+                continue;
+            }
+            seen[v] = true;
+            let t = !l; // the literal that is true on the trail
+            if t != !failed && assumption_set.contains(&t) {
+                core.push(t);
+            } else if let Some(r) = self.reason[v] {
+                queue.extend(self.db.get(r).lits.iter().copied().filter(|&q| q != t));
+            } else if assumption_set.contains(&t) {
+                // Contradictory assumption pair {failed, ¬failed}.
+                core.push(t);
+            }
+        }
+        core.sort_unstable();
+        core.dedup();
+        self.conflict_core = core;
+    }
+
+    /// The value of `l` in the last satisfying model, or `None` if the last
+    /// call did not produce a model or `l`'s variable did not exist then.
+    pub fn model_value(&self, l: Lit) -> Option<bool> {
+        match self.model.get(l.var().index()) {
+            Some(LBool::True) => Some(l.is_positive()),
+            Some(LBool::False) => Some(l.is_negative()),
+            _ => None,
+        }
+    }
+
+    /// The full model of the last SAT answer as booleans per variable.
+    ///
+    /// Variables untouched by the search default to `false`.
+    pub fn model(&self) -> Vec<bool> {
+        self.model
+            .iter()
+            .map(|v| matches!(v, LBool::True))
+            .collect()
+    }
+
+    /// Subset of assumptions responsible for the last UNSAT answer.
+    pub fn unsat_core(&self) -> &[Lit] {
+        &self.conflict_core
+    }
+}
+
+enum SearchOutcome {
+    Sat,
+    Unsat,
+    Restart,
+    BudgetExhausted,
+}
+
+/// The Luby restart sequence (1,1,2,1,1,2,4,...).
+fn luby(mut i: u64) -> u64 {
+    // Find the finite subsequence that contains index i.
+    let mut k = 1u32;
+    loop {
+        if i + 1 == (1u64 << k) - 1 {
+            return 1u64 << (k - 1);
+        }
+        if i + 1 < (1u64 << k) - 1 {
+            i -= (1u64 << (k - 1)) - 1;
+            k = 1;
+            continue;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(s: &mut Solver, d: i64) -> Lit {
+        while s.num_vars() < d.unsigned_abs() as usize {
+            s.new_var();
+        }
+        Lit::from_dimacs(d)
+    }
+
+    #[test]
+    fn luby_sequence() {
+        let expect = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        let got: Vec<u64> = (0..expect.len() as u64).map(luby).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn trivially_sat() {
+        let mut s = Solver::new();
+        let a = lit(&mut s, 1);
+        s.add_clause([a]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.model_value(a), Some(true));
+    }
+
+    #[test]
+    fn trivially_unsat() {
+        let mut s = Solver::new();
+        let a = lit(&mut s, 1);
+        assert!(s.add_clause([a]));
+        assert!(!s.add_clause([!a]));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn requires_propagation_chain() {
+        let mut s = Solver::new();
+        let (a, b, c) = (lit(&mut s, 1), lit(&mut s, 2), lit(&mut s, 3));
+        s.add_clause([a]);
+        s.add_clause([!a, b]);
+        s.add_clause([!b, c]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.model_value(c), Some(true));
+    }
+
+    #[test]
+    fn pigeonhole_two_in_one() {
+        // Two pigeons, one hole: unsat.
+        let mut s = Solver::new();
+        let p1 = lit(&mut s, 1); // pigeon 1 in hole 1
+        let p2 = lit(&mut s, 2); // pigeon 2 in hole 1
+        s.add_clause([p1]);
+        s.add_clause([p2]);
+        s.add_clause([!p1, !p2]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_3_pigeons_2_holes() {
+        // Classic PHP(3,2): unsat, requires real search.
+        let mut s = Solver::new();
+        let mut x = [[Lit::from_code(0); 2]; 3];
+        for (p, row) in x.iter_mut().enumerate() {
+            for (h, cell) in row.iter_mut().enumerate() {
+                *cell = lit(&mut s, (p * 2 + h + 1) as i64);
+            }
+        }
+        for row in &x {
+            s.add_clause(row.to_vec());
+        }
+        for h in 0..2 {
+            for p1 in 0..3 {
+                for p2 in (p1 + 1)..3 {
+                    s.add_clause([!x[p1][h], !x[p2][h]]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn assumptions_flip_result() {
+        let mut s = Solver::new();
+        let (a, b) = (lit(&mut s, 1), lit(&mut s, 2));
+        s.add_clause([a, b]);
+        s.add_clause([!a, b]);
+        assert_eq!(s.solve_with(&[!b], Budget::unlimited()), SolveResult::Unsat);
+        assert!(s.unsat_core().contains(&!b));
+        assert_eq!(s.solve_with(&[b], Budget::unlimited()), SolveResult::Sat);
+        // Solver stays usable incrementally.
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.model_value(b), Some(true));
+    }
+
+    #[test]
+    fn incremental_add_after_solve() {
+        let mut s = Solver::new();
+        let (a, b) = (lit(&mut s, 1), lit(&mut s, 2));
+        s.add_clause([a, b]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        s.add_clause([!a]);
+        s.add_clause([!b]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn conflict_budget_returns_unknown_or_answer() {
+        // A hard instance (PHP 6/5) with a 1-conflict budget should give
+        // Unknown rather than hanging or mis-answering.
+        let mut s = Solver::new();
+        let n = 6usize;
+        let m = 5usize;
+        let var = |p: usize, h: usize| (p * m + h + 1) as i64;
+        for p in 0..n {
+            let row: Vec<Lit> = (0..m).map(|h| lit(&mut s, var(p, h))).collect();
+            s.add_clause(row);
+        }
+        for h in 0..m {
+            for p1 in 0..n {
+                for p2 in (p1 + 1)..n {
+                    let (l1, l2) = (lit(&mut s, var(p1, h)), lit(&mut s, var(p2, h)));
+                    s.add_clause([!l1, !l2]);
+                }
+            }
+        }
+        let r = s.solve_with(&[], Budget::conflicts(1));
+        assert_ne!(r, SolveResult::Sat);
+        // And with no budget it is definitively unsat.
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+}

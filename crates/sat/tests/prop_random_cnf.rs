@@ -1,0 +1,164 @@
+//! Property tests: the CDCL solver agrees with a brute-force reference on
+//! random small CNF instances, and models it reports actually satisfy the
+//! formula.
+
+use proptest::prelude::*;
+use sat::{Lit, SolveResult, Solver, Var};
+
+/// Brute-force satisfiability check by enumerating all assignments.
+fn brute_force_sat(num_vars: usize, clauses: &[Vec<i64>]) -> bool {
+    assert!(num_vars <= 20);
+    'outer: for mask in 0u64..(1u64 << num_vars) {
+        for clause in clauses {
+            let satisfied = clause.iter().any(|&d| {
+                let v = d.unsigned_abs() as usize - 1;
+                let val = mask >> v & 1 == 1;
+                if d > 0 {
+                    val
+                } else {
+                    !val
+                }
+            });
+            if !satisfied {
+                continue 'outer;
+            }
+        }
+        return true;
+    }
+    false
+}
+
+fn model_satisfies(model: &[bool], clauses: &[Vec<i64>]) -> bool {
+    clauses.iter().all(|clause| {
+        clause.iter().any(|&d| {
+            let v = d.unsigned_abs() as usize - 1;
+            if d > 0 {
+                model[v]
+            } else {
+                !model[v]
+            }
+        })
+    })
+}
+
+fn clause_strategy(num_vars: i64) -> impl Strategy<Value = Vec<i64>> {
+    prop::collection::vec(
+        (1..=num_vars, prop::bool::ANY).prop_map(|(v, neg)| if neg { -v } else { v }),
+        1..=4,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn cdcl_matches_brute_force(
+        num_vars in 1usize..=8,
+        seed_clauses in prop::collection::vec(clause_strategy(8), 0..40),
+    ) {
+        // Clamp literals to the chosen variable range.
+        let clauses: Vec<Vec<i64>> = seed_clauses
+            .into_iter()
+            .map(|c| c.into_iter()
+                .map(|d| {
+                    let m = num_vars as i64;
+                    let v = (d.abs() - 1) % m + 1;
+                    if d > 0 { v } else { -v }
+                })
+                .collect())
+            .collect();
+
+        let mut solver = Solver::new();
+        solver.reserve_vars(num_vars);
+        for clause in &clauses {
+            solver.add_clause(clause.iter().map(|&d| Lit::from_dimacs(d)));
+        }
+        let expected = brute_force_sat(num_vars, &clauses);
+        match solver.solve() {
+            SolveResult::Sat => {
+                prop_assert!(expected, "solver said SAT but formula is UNSAT");
+                let model = solver.model();
+                prop_assert!(model_satisfies(&model, &clauses),
+                    "reported model does not satisfy the formula");
+            }
+            SolveResult::Unsat => prop_assert!(!expected, "solver said UNSAT but formula is SAT"),
+            SolveResult::Unknown => prop_assert!(false, "unlimited solve returned Unknown"),
+        }
+    }
+
+    #[test]
+    fn assumptions_agree_with_adding_units(
+        num_vars in 2usize..=6,
+        seed_clauses in prop::collection::vec(clause_strategy(6), 0..25),
+        assumption in 1i64..=6,
+        neg in prop::bool::ANY,
+    ) {
+        let m = num_vars as i64;
+        let clauses: Vec<Vec<i64>> = seed_clauses
+            .into_iter()
+            .map(|c| c.into_iter()
+                .map(|d| { let v = (d.abs() - 1) % m + 1; if d > 0 { v } else { -v } })
+                .collect())
+            .collect();
+        let a = (assumption - 1) % m + 1;
+        let a = if neg { -a } else { a };
+
+        let mut s1 = Solver::new();
+        s1.reserve_vars(num_vars);
+        for clause in &clauses {
+            s1.add_clause(clause.iter().map(|&d| Lit::from_dimacs(d)));
+        }
+        let via_assumption = s1.solve_with(&[Lit::from_dimacs(a)], sat::Budget::unlimited());
+
+        let mut all = clauses.clone();
+        all.push(vec![a]);
+        let expected = brute_force_sat(num_vars, &all);
+        match via_assumption {
+            SolveResult::Sat => prop_assert!(expected),
+            SolveResult::Unsat => prop_assert!(!expected),
+            SolveResult::Unknown => prop_assert!(false),
+        }
+        // The solver must remain reusable afterwards, matching the formula
+        // without the assumption.
+        let expected_plain = brute_force_sat(num_vars, &clauses);
+        match s1.solve() {
+            SolveResult::Sat => prop_assert!(expected_plain),
+            SolveResult::Unsat => prop_assert!(!expected_plain),
+            SolveResult::Unknown => prop_assert!(false),
+        }
+    }
+
+    #[test]
+    fn unsat_core_is_sound(
+        num_vars in 2usize..=5,
+        seed_clauses in prop::collection::vec(clause_strategy(5), 0..15),
+    ) {
+        let m = num_vars as i64;
+        let clauses: Vec<Vec<i64>> = seed_clauses
+            .into_iter()
+            .map(|c| c.into_iter()
+                .map(|d| { let v = (d.abs() - 1) % m + 1; if d > 0 { v } else { -v } })
+                .collect())
+            .collect();
+        let mut solver = Solver::new();
+        solver.reserve_vars(num_vars);
+        for clause in &clauses {
+            solver.add_clause(clause.iter().map(|&d| Lit::from_dimacs(d)));
+        }
+        // Assume every variable true.
+        let assumptions: Vec<Lit> = (0..num_vars).map(|v| Var::new(v).positive()).collect();
+        if solver.solve_with(&assumptions, sat::Budget::unlimited()) == SolveResult::Unsat {
+            let core = solver.unsat_core().to_vec();
+            // Core literals must come from the assumptions.
+            for l in &core {
+                prop_assert!(assumptions.contains(l), "core literal {l:?} not an assumption");
+            }
+            // The formula plus the core alone must be UNSAT.
+            let mut all = clauses.clone();
+            for l in &core {
+                all.push(vec![l.to_dimacs()]);
+            }
+            prop_assert!(!brute_force_sat(num_vars, &all), "core is not actually conflicting");
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! QAOA workload: route a MaxCut QAOA circuit with the cyclic relaxation
+//! (CYC-SATMAP) and compare against plain SATMAP and the TKET-like
+//! heuristic — the paper's Table IV experiment in miniature.
+//!
+//! Run with: `cargo run --release --example qaoa_cyclic`
+
+use std::time::{Duration, Instant};
+
+use circuit::{qaoa, verify::verify, Circuit, Router};
+use heuristics::Tket;
+use satmap::{CyclicSatMap, SatMap, SatMapConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (n, cycles, seed) = (8usize, 2usize, 8u64);
+    let graph = arch::devices::tokyo();
+    let budget = Duration::from_secs(10);
+
+    // Build the repeated structure: H layer + `cycles` copies of C_{γ,β}.
+    let edges = qaoa::three_regular_graph(n, seed);
+    let sub = qaoa::qaoa_subcircuit(n, &edges, 0.4, 0.3);
+    let mut prefix = Circuit::new(n);
+    for q in 0..n {
+        prefix.h(q);
+    }
+
+    // CYC-SATMAP: solve the subcircuit once with final map = initial map,
+    // then stitch copies (Section VI of the paper).
+    let cyc = CyclicSatMap::new(SatMapConfig::default().with_budget(budget));
+    let t = Instant::now();
+    let (full, routed) = cyc.route_repeated(&prefix, &sub, cycles, &graph)?;
+    let cyc_time = t.elapsed();
+    verify(&full, &graph, &routed).expect("verifies");
+    println!(
+        "CYC-SATMAP: cost {:>3} added gates in {:.2?} ({} 2q gates total)",
+        routed.added_gates(),
+        cyc_time,
+        full.num_two_qubit_gates()
+    );
+
+    // Plain SATMAP on the whole unrolled circuit.
+    let sm = SatMap::new(SatMapConfig::default().with_budget(budget));
+    let t = Instant::now();
+    match sm.route(&full, &graph) {
+        Ok(r) => {
+            verify(&full, &graph, &r).expect("verifies");
+            println!("SATMAP:     cost {:>3} added gates in {:.2?}", r.added_gates(), t.elapsed());
+        }
+        Err(e) => println!("SATMAP:     {e} after {:.2?}", t.elapsed()),
+    }
+
+    // TKET-like heuristic.
+    let t = Instant::now();
+    let tket = Tket::default().route(&full, &graph)?;
+    verify(&full, &graph, &tket).expect("verifies");
+    println!("TKET:       cost {:>3} added gates in {:.2?}", tket.added_gates(), t.elapsed());
+
+    Ok(())
+}

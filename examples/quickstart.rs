@@ -1,0 +1,44 @@
+//! Quickstart: map a small logical circuit onto the IBM Q20 Tokyo device
+//! with SATMAP and verify the result.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use circuit::{verify::verify, Circuit, Router};
+use satmap::{SatMap, SatMapConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's running example (Fig. 3a): q0 interacts with q1, q2, q3.
+    let mut logical = Circuit::named("fig3", 4);
+    logical.cx(0, 1);
+    logical.cx(0, 2);
+    logical.cx(3, 2);
+    logical.cx(0, 3);
+
+    // The paper's Fig. 3b device: a 4-qubit path p0–p1–p2–p3.
+    let device = arch::ConnectivityGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+
+    // NL-SATMAP: one monolithic MaxSAT problem, provably optimal routing.
+    let router = SatMap::new(SatMapConfig::monolithic());
+    let routed = router.route(&logical, &device)?;
+    verify(&logical, &device, &routed).expect("independent verifier accepts");
+
+    println!("initial map (logical -> physical): {:?}", routed.initial_map());
+    println!("inserted SWAPs: {}", routed.swap_count());
+    println!("added CNOT gates (3 per SWAP): {}", routed.added_gates());
+    for op in routed.ops() {
+        match op {
+            circuit::RoutedOp::Logical(k) => println!("  gate {k}: {:?}", logical.gates()[*k]),
+            circuit::RoutedOp::Swap(a, b) => println!("  swap p{a}, p{b}"),
+        }
+    }
+    assert_eq!(routed.swap_count(), 1, "Fig. 3's optimum is a single swap");
+
+    // The same circuit on the 20-qubit Tokyo device needs no swaps at all.
+    let tokyo = arch::devices::tokyo();
+    let routed_tokyo = router.route(&logical, &tokyo)?;
+    println!(
+        "\non IBM Q20 Tokyo: {} swaps (dense connectivity)",
+        routed_tokyo.swap_count()
+    );
+    Ok(())
+}

@@ -1,0 +1,22 @@
+//! Umbrella crate for the SATMAP (MICRO 2022) reproduction.
+//!
+//! Re-exports the workspace crates so the examples in `examples/` and the
+//! integration tests in `tests/` can exercise the full stack:
+//!
+//! * [`sat`] — CDCL SAT solver substrate;
+//! * [`maxsat`] — anytime weighted partial MaxSAT (Open-WBO-Inc analogue);
+//! * [`arch`] — device connectivity graphs and noise models;
+//! * [`circuit`] — circuit IR, QASM, benchmark suite, verifier;
+//! * [`satmap`] — the paper's contribution (encoding + relaxations);
+//! * [`heuristics`] — SABRE / TKET-like / A* baselines;
+//! * [`olsq`] — EX-MQT / TB-OLSQ constraint-based baselines;
+//! * [`experiments`] — table/figure regeneration harness.
+
+pub use arch;
+pub use circuit;
+pub use experiments;
+pub use heuristics;
+pub use maxsat;
+pub use olsq;
+pub use sat;
+pub use satmap;

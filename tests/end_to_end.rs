@@ -1,0 +1,165 @@
+//! Cross-crate integration tests: QASM → encoding → MaxSAT → routed
+//! circuit → independent verifier, across all routers in the repository.
+
+use circuit::{qasm, verify::verify, Circuit, Router};
+use heuristics::{AStar, Sabre, Tket};
+use olsq::{Exhaustive, Transition};
+use satmap::{SatMap, SatMapConfig};
+
+fn all_routers() -> Vec<Box<dyn Router>> {
+    vec![
+        Box::new(SatMap::new(SatMapConfig::monolithic())),
+        Box::new(SatMap::new(SatMapConfig::sliced(3))),
+        Box::new(Sabre::default()),
+        Box::new(Tket::default()),
+        Box::new(AStar::default()),
+        Box::new(Exhaustive::default()),
+        Box::new(Transition::default()),
+    ]
+}
+
+#[test]
+fn qasm_to_verified_routing_through_every_router() {
+    let src = r#"
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[5];
+h q[0];
+cx q[0],q[1];
+cx q[1],q[2];
+cx q[0],q[3];
+rz(pi/4) q[3];
+cx q[3],q[4];
+cx q[0],q[4];
+"#;
+    let circuit = qasm::parse(src).expect("parses");
+    let graph = arch::devices::tokyo_minus();
+    for router in all_routers() {
+        let routed = router
+            .route(&circuit, &graph)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", router.name()));
+        verify(&circuit, &graph, &routed)
+            .unwrap_or_else(|e| panic!("{} unverified: {e}", router.name()));
+    }
+}
+
+#[test]
+fn optimal_tools_agree_on_swap_count() {
+    // On small instances all three exact encodings must find the same
+    // optimal swap count (they share the n = 1 swaps-per-gap semantics).
+    for seed in 0..4u64 {
+        let circuit = circuit::generators::random_local(4, 6, 3, 0.0, seed);
+        let graph = arch::devices::linear(4);
+        let satmap = SatMap::new(SatMapConfig::monolithic())
+            .route(&circuit, &graph);
+        let exq = Exhaustive::default().route(&circuit, &graph);
+        match (satmap, exq) {
+            (Ok(a), Ok(b)) => {
+                verify(&circuit, &graph, &a).expect("satmap verifies");
+                verify(&circuit, &graph, &b).expect("ex-mqt verifies");
+                assert_eq!(
+                    a.swap_count(),
+                    b.swap_count(),
+                    "seed {seed}: optimal costs must agree"
+                );
+            }
+            (Err(a), Err(_)) => {
+                // Both unsatisfiable under n = 1 is also agreement.
+                assert!(matches!(a, circuit::RouteError::Unsatisfiable(_)));
+            }
+            (a, b) => panic!("seed {seed}: solvers disagree: {a:?} vs {b:?}"),
+        }
+    }
+}
+
+#[test]
+fn satmap_never_worse_than_heuristics_on_small_optimal_instances() {
+    // Optimality claim: on instances SATMAP solves to optimality, no
+    // heuristic can beat it.
+    let graph = arch::devices::tokyo_minus();
+    for seed in 0..4u64 {
+        let circuit = circuit::generators::random_local(5, 8, 4, 0.1, seed);
+        let sm = SatMap::new(SatMapConfig::monolithic())
+            .route(&circuit, &graph)
+            .expect("satmap solves small instances");
+        verify(&circuit, &graph, &sm).expect("verifies");
+        for h in [
+            Box::new(Sabre::default()) as Box<dyn Router>,
+            Box::new(Tket::default()),
+            Box::new(AStar::default()),
+        ] {
+            let routed = h.route(&circuit, &graph).expect("heuristic solves");
+            verify(&circuit, &graph, &routed).expect("verifies");
+            assert!(
+                sm.swap_count() <= routed.swap_count(),
+                "seed {seed}: {} beat optimal SATMAP ({} < {})",
+                h.name(),
+                routed.swap_count(),
+                sm.swap_count()
+            );
+        }
+    }
+}
+
+#[test]
+fn suite_benchmarks_route_and_verify_with_heuristics() {
+    // Every named small benchmark of the suite routes with every heuristic.
+    let graph = arch::devices::tokyo();
+    let suite = circuit::suite::suite();
+    for bench in suite.iter().take(12) {
+        for h in [
+            Box::new(Sabre::default()) as Box<dyn Router>,
+            Box::new(Tket::default()),
+            Box::new(AStar::default()),
+        ] {
+            let routed = h
+                .route(&bench.circuit, &graph)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", h.name(), bench.name));
+            verify(&bench.circuit, &graph, &routed)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", h.name(), bench.name));
+        }
+    }
+}
+
+#[test]
+fn qasm_round_trip_preserves_routability() {
+    let original = circuit::generators::qft(5);
+    let text = qasm::print(&original);
+    let reparsed = qasm::parse(&text).expect("round trips");
+    assert_eq!(original.gates(), reparsed.gates());
+    let graph = arch::devices::tokyo();
+    let a = Tket::default().route(&original, &graph).expect("routes");
+    let b = Tket::default().route(&reparsed, &graph).expect("routes");
+    assert_eq!(a, b, "routing is a function of the parsed circuit");
+}
+
+#[test]
+fn sliced_routing_matches_paper_cost_metric() {
+    // added_gates is always 3 × swap_count.
+    let circuit = circuit::generators::random_local(6, 20, 5, 0.3, 11);
+    let graph = arch::devices::tokyo_minus();
+    let routed = SatMap::new(SatMapConfig::sliced(5))
+        .route(&circuit, &graph)
+        .expect("solves");
+    verify(&circuit, &graph, &routed).expect("verifies");
+    assert_eq!(routed.added_gates(), 3 * routed.swap_count());
+}
+
+#[test]
+fn empty_and_one_qubit_circuits() {
+    let graph = arch::devices::linear(3);
+    let empty = Circuit::new(2);
+    let mut h_only = Circuit::new(2);
+    h_only.h(0);
+    h_only.h(1);
+    for c in [empty, h_only] {
+        for router in all_routers() {
+            let routed = router
+                .route(&c, &graph)
+                .unwrap_or_else(|e| panic!("{}: {e}", router.name()));
+            verify(&c, &graph, &routed)
+                .unwrap_or_else(|e| panic!("{}: {e}", router.name()));
+            assert_eq!(routed.swap_count(), 0);
+        }
+    }
+}

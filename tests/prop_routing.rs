@@ -1,0 +1,85 @@
+//! Property tests across the whole stack: random circuits on random
+//! devices route and verify with every router, and the exact solvers'
+//! costs are mutually consistent.
+
+use proptest::prelude::*;
+
+use circuit::{verify::verify, Circuit, Router};
+use heuristics::{Sabre, Tket};
+use satmap::{SatMap, SatMapConfig};
+
+/// Strategy: a random circuit over `n` qubits with up to `max_gates`
+/// two-qubit gates plus sprinkled single-qubit gates.
+fn circuit_strategy(n: usize, max_gates: usize) -> impl Strategy<Value = Circuit> {
+    prop::collection::vec((0..n, 0..n, prop::bool::ANY), 1..=max_gates).prop_map(
+        move |specs| {
+            let mut c = Circuit::new(n);
+            for (a, b, with_h) in specs {
+                if a != b {
+                    c.cx(a, b);
+                }
+                if with_h {
+                    c.h(a);
+                }
+            }
+            c
+        },
+    )
+}
+
+fn devices() -> Vec<arch::ConnectivityGraph> {
+    vec![
+        arch::devices::linear(6),
+        arch::devices::ring(6),
+        arch::devices::grid(2, 3),
+        arch::devices::tokyo_minus(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn heuristics_always_produce_verified_solutions(
+        c in circuit_strategy(6, 12),
+        device_idx in 0usize..4,
+    ) {
+        let graph = &devices()[device_idx];
+        for router in [Box::new(Sabre::default()) as Box<dyn Router>, Box::new(Tket::default())] {
+            let routed = router.route(&c, graph);
+            let routed = routed.expect("heuristics are total on connected devices");
+            prop_assert!(verify(&c, graph, &routed).is_ok(),
+                "{} produced an invalid routing", router.name());
+        }
+    }
+
+    #[test]
+    fn sliced_satmap_verified_and_bounded_below_by_monolithic(
+        c in circuit_strategy(5, 8),
+    ) {
+        let graph = arch::devices::grid(2, 3);
+        let mono = SatMap::new(SatMapConfig::monolithic()).route(&c, &graph);
+        let sliced = SatMap::new(SatMapConfig::sliced(2)).route(&c, &graph);
+        if let Ok(m) = &mono {
+            prop_assert!(verify(&c, &graph, m).is_ok());
+            if let Ok(s) = &sliced {
+                prop_assert!(verify(&c, &graph, s).is_ok());
+                // Local optimality can cost extra swaps but never beats the
+                // global optimum.
+                prop_assert!(s.swap_count() >= m.swap_count(),
+                    "sliced {} < monolithic {}", s.swap_count(), m.swap_count());
+            }
+        }
+    }
+
+    #[test]
+    fn satmap_cost_lower_bounds_heuristics(c in circuit_strategy(5, 6)) {
+        let graph = arch::devices::tokyo_minus();
+        let opt = SatMap::new(SatMapConfig::monolithic())
+            .route(&c, &graph)
+            .expect("small instances solve");
+        prop_assert!(verify(&c, &graph, &opt).is_ok());
+        let heuristic = Tket::default().route(&c, &graph).expect("tket is total");
+        prop_assert!(opt.swap_count() <= heuristic.swap_count());
+    }
+}
