@@ -66,7 +66,10 @@ impl ConnectivityGraph {
         let mut canon: Vec<(usize, usize)> = edges
             .into_iter()
             .map(|(a, b)| {
-                assert!(a < num_qubits && b < num_qubits, "edge endpoint out of range");
+                assert!(
+                    a < num_qubits && b < num_qubits,
+                    "edge endpoint out of range"
+                );
                 assert_ne!(a, b, "self-loop edges are not allowed");
                 (a.min(b), a.max(b))
             })
@@ -163,10 +166,7 @@ impl ConnectivityGraph {
 
     /// True if every qubit can reach every other.
     pub fn is_connected(&self) -> bool {
-        self.distances
-            .iter()
-            .flatten()
-            .all(|&d| d != usize::MAX)
+        self.distances.iter().flatten().all(|&d| d != usize::MAX)
     }
 
     /// Average vertex degree.

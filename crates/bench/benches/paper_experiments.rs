@@ -21,7 +21,9 @@ fn q1_constraint_tools(c: &mut Criterion) {
     let tools: Vec<(&str, Box<dyn Router>)> = vec![
         (
             "satmap",
-            Box::new(SatMap::new(SatMapConfig::monolithic().with_budget(bench_budget()))),
+            Box::new(SatMap::new(
+                SatMapConfig::monolithic().with_budget(bench_budget()),
+            )),
         ),
         ("tb-olsq", Box::new(Transition::with_budget(bench_budget()))),
         ("ex-mqt", Box::new(Exhaustive::with_budget(bench_budget()))),

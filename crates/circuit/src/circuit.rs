@@ -126,7 +126,10 @@ impl Circuit {
                 continue;
             }
             if count == two_qubit_gates_per_slice {
-                out.push(std::mem::replace(&mut current, Circuit::new(self.num_qubits)));
+                out.push(std::mem::replace(
+                    &mut current,
+                    Circuit::new(self.num_qubits),
+                ));
                 count = 0;
             }
             for p in pending.drain(..) {
@@ -270,7 +273,7 @@ mod tests {
         assert_eq!(slices[0].num_two_qubit_gates(), 2);
         assert_eq!(slices[1].num_two_qubit_gates(), 2);
         assert_eq!(slices[1].len(), 3); // includes the trailing H
-        // Re-assembly preserves the circuit.
+                                        // Re-assembly preserves the circuit.
         let mut rebuilt = Circuit::new(4);
         for s in &slices {
             rebuilt.extend_from(s);

@@ -154,11 +154,7 @@ impl Gate {
 
     /// Largest operand index plus one.
     pub fn min_qubits(&self) -> usize {
-        self.qubits()
-            .iter()
-            .map(|q| q.0 + 1)
-            .max()
-            .unwrap_or(0)
+        self.qubits().iter().map(|q| q.0 + 1).max().unwrap_or(0)
     }
 }
 

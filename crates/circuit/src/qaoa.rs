@@ -15,7 +15,10 @@ use crate::gate::{Gate, OneQubitKind, Qubit};
 ///
 /// Panics if `n` is odd or `n < 4` (no 3-regular graph exists).
 pub fn three_regular_graph(n: usize, seed: u64) -> Vec<(usize, usize)> {
-    assert!(n >= 4 && n % 2 == 0, "3-regular graphs need even n ≥ 4");
+    assert!(
+        n >= 4 && n.is_multiple_of(2),
+        "3-regular graphs need even n ≥ 4"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     'retry: loop {
         // Three half-edges ("stubs") per vertex, paired uniformly.

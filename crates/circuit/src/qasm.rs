@@ -21,7 +21,11 @@ pub struct ParseQasmError {
 
 impl std::fmt::Display for ParseQasmError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "qasm parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "qasm parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -122,8 +126,12 @@ fn parse_reg_decl(decl: &str) -> Option<(&str, usize)> {
 
 fn parse_operand(tok: &str, reg: &str) -> Result<Qubit, String> {
     let tok = tok.trim();
-    let open = tok.find('[').ok_or_else(|| format!("bad operand '{tok}'"))?;
-    let close = tok.find(']').ok_or_else(|| format!("bad operand '{tok}'"))?;
+    let open = tok
+        .find('[')
+        .ok_or_else(|| format!("bad operand '{tok}'"))?;
+    let close = tok
+        .find(']')
+        .ok_or_else(|| format!("bad operand '{tok}'"))?;
     if tok[..open].trim() != reg {
         return Err(format!("unknown register in operand '{tok}'"));
     }
@@ -163,9 +171,7 @@ fn parse_param(text: &str) -> Result<f64, String> {
 fn parse_gate(stmt: &str, reg: &str) -> Result<Gate, String> {
     // Shape: name[(param)] operand[, operand]
     let (name_and_param, operands) = match stmt.find(|c: char| c.is_whitespace()) {
-        Some(pos) if !stmt[..pos].contains('(') || stmt[..pos].contains(')') => {
-            stmt.split_at(pos)
-        }
+        Some(pos) if !stmt[..pos].contains('(') || stmt[..pos].contains(')') => stmt.split_at(pos),
         _ => {
             // Parameterized with space inside parens is unusual; fall back
             // to splitting after the closing paren.

@@ -90,17 +90,10 @@ impl RoutedCircuit {
     /// # Panics
     ///
     /// Panics if an op references a gate index outside `source`.
-    pub fn to_physical_circuit(
-        &self,
-        source: &crate::Circuit,
-        num_phys: usize,
-    ) -> crate::Circuit {
+    pub fn to_physical_circuit(&self, source: &crate::Circuit, num_phys: usize) -> crate::Circuit {
         use crate::gate::{Gate, Qubit};
         let mut map = self.initial_map.clone();
-        let mut out = crate::Circuit::named(
-            &format!("{}_physical", source.name()),
-            num_phys,
-        );
+        let mut out = crate::Circuit::named(&format!("{}_physical", source.name()), num_phys);
         for op in &self.ops {
             match *op {
                 RoutedOp::Swap(a, b) => {
@@ -180,7 +173,11 @@ mod tests {
     fn swap_count_ignores_noops() {
         let r = RoutedCircuit::new(
             vec![0, 1],
-            vec![RoutedOp::Swap(0, 0), RoutedOp::Logical(0), RoutedOp::Swap(0, 1)],
+            vec![
+                RoutedOp::Swap(0, 0),
+                RoutedOp::Logical(0),
+                RoutedOp::Swap(0, 1),
+            ],
         );
         assert_eq!(r.swap_count(), 1);
         assert_eq!(r.added_gates(), 3);
@@ -244,7 +241,11 @@ mod tests {
         let cheap = RoutedCircuit::new(vec![0, 1], vec![RoutedOp::Logical(0)]);
         let costly = RoutedCircuit::new(
             vec![0, 1],
-            vec![RoutedOp::Swap(1, 2), RoutedOp::Swap(1, 2), RoutedOp::Logical(0)],
+            vec![
+                RoutedOp::Swap(1, 2),
+                RoutedOp::Swap(1, 2),
+                RoutedOp::Logical(0),
+            ],
         );
         let f_cheap = cheap.log_infidelity(&c, &g, &noise);
         let f_costly = costly.log_infidelity(&c, &g, &noise);

@@ -3,6 +3,7 @@
 //! constraint-based baselines).
 
 use arch::ConnectivityGraph;
+use sat::SolverTelemetry;
 
 use crate::circuit::Circuit;
 use crate::routed::RoutedCircuit;
@@ -39,8 +40,29 @@ pub trait Router {
     ///
     /// [`RouteError::Timeout`] if the budget expired without a solution;
     /// [`RouteError::Unsatisfiable`] if no solution exists.
-    fn route(&self, circuit: &Circuit, graph: &ConnectivityGraph)
-        -> Result<RoutedCircuit, RouteError>;
+    fn route(
+        &self,
+        circuit: &Circuit,
+        graph: &ConnectivityGraph,
+    ) -> Result<RoutedCircuit, RouteError>;
+
+    /// Like [`Router::route`], additionally reporting the solver effort
+    /// spent. Heuristic routers use no SAT solver and return an empty
+    /// [`SolverTelemetry`]; constraint-based routers override this so the
+    /// experiment harness can report solver effort next to solution
+    /// quality.
+    ///
+    /// The telemetry is returned *alongside* the result (not inside `Ok`)
+    /// so effort spent on failed attempts — timeouts in particular — still
+    /// reaches the caller; a timed-out run is exactly the one whose effort
+    /// the experiment tables must not under-report.
+    fn route_with_telemetry(
+        &self,
+        circuit: &Circuit,
+        graph: &ConnectivityGraph,
+    ) -> (Result<RoutedCircuit, RouteError>, SolverTelemetry) {
+        (self.route(circuit, graph), SolverTelemetry::default())
+    }
 }
 
 /// Validates the common preconditions shared by all routers.
@@ -91,6 +113,8 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(RouteError::Timeout.to_string().contains("budget"));
-        assert!(RouteError::Unsatisfiable("x".into()).to_string().contains('x'));
+        assert!(RouteError::Unsatisfiable("x".into())
+            .to_string()
+            .contains('x'));
     }
 }

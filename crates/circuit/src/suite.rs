@@ -171,7 +171,8 @@ pub fn suite() -> Vec<Benchmark> {
     ];
     let large_families: &[Family] = &[Family::Reversible, Family::Qft, Family::Random];
     // (count, qubit range, gate range, families); geometric gate interpolation.
-    let tiers: &[(usize, (usize, usize), (usize, usize), &[Family])] = &[
+    type Tier<'a> = (usize, (usize, usize), (usize, usize), &'a [Family]);
+    let tiers: &[Tier] = &[
         (40, (5, 10), (30, 120), small_families),
         (40, (8, 14), (120, 400), small_families),
         (25, (10, 16), (400, 1200), large_families),
@@ -181,8 +182,7 @@ pub fn suite() -> Vec<Benchmark> {
         for i in 0..count {
             let family = families[i % families.len()];
             let t = i as f64 / (count.saturating_sub(1)).max(1) as f64;
-            let gates =
-                (g_lo as f64 * (g_hi as f64 / g_lo as f64).powf(t)).round() as usize;
+            let gates = (g_lo as f64 * (g_hi as f64 / g_lo as f64).powf(t)).round() as usize;
             let qubits = q_lo + (i * 7) % (q_hi - q_lo + 1);
             let name = format!(
                 "{}_{}q_{}g_t{}",
@@ -239,7 +239,10 @@ mod tests {
         let mut sizes: Vec<usize> = s.iter().map(|b| b.circuit.num_two_qubit_gates()).collect();
         sizes.sort_unstable();
         assert!(*sizes.first().expect("nonempty") >= 5);
-        assert!(*sizes.last().expect("nonempty") >= 2500, "has large circuits");
+        assert!(
+            *sizes.last().expect("nonempty") >= 2500,
+            "has large circuits"
+        );
         // Median near the paper's 123.
         let median = sizes[sizes.len() / 2];
         assert!(

@@ -47,7 +47,11 @@ impl std::fmt::Display for VerifyError {
         match self {
             VerifyError::BadInitialMap { detail } => write!(f, "bad initial map: {detail}"),
             VerifyError::SwapOnNonEdge { op_index, pair } => {
-                write!(f, "op {op_index}: swap on non-edge ({}, {})", pair.0, pair.1)
+                write!(
+                    f,
+                    "op {op_index}: swap on non-edge ({}, {})",
+                    pair.0, pair.1
+                )
             }
             VerifyError::GateOnNonAdjacent { gate_index, pair } => write!(
                 f,
@@ -240,12 +244,12 @@ mod tests {
     #[test]
     fn rejects_gate_on_non_adjacent() {
         // Without the swap, gate 4 (q0,q3) sits on (p1,p3): not adjacent.
-        let routed = RoutedCircuit::new(
-            vec![1, 0, 2, 3],
-            (0..4).map(RoutedOp::Logical).collect(),
-        );
+        let routed = RoutedCircuit::new(vec![1, 0, 2, 3], (0..4).map(RoutedOp::Logical).collect());
         let err = verify(&fig3_circuit(), &fig3_graph(), &routed).unwrap_err();
-        assert!(matches!(err, VerifyError::GateOnNonAdjacent { gate_index: 3, .. }));
+        assert!(matches!(
+            err,
+            VerifyError::GateOnNonAdjacent { gate_index: 3, .. }
+        ));
     }
 
     #[test]
@@ -302,10 +306,8 @@ mod tests {
         let mut c = Circuit::new(2);
         c.cx(0, 1);
         let g = ConnectivityGraph::from_edges(2, [(0, 1)]);
-        let routed = RoutedCircuit::new(
-            vec![0, 1],
-            vec![RoutedOp::Logical(0), RoutedOp::Logical(0)],
-        );
+        let routed =
+            RoutedCircuit::new(vec![0, 1], vec![RoutedOp::Logical(0), RoutedOp::Logical(0)]);
         let err = verify(&c, &g, &routed).unwrap_err();
         assert!(matches!(err, VerifyError::GateSequenceMismatch { .. }));
     }
@@ -315,10 +317,8 @@ mod tests {
         let mut c = Circuit::new(2);
         c.cx(0, 1);
         let g = arch::devices::linear(2);
-        let routed = RoutedCircuit::new(
-            vec![0, 1],
-            vec![RoutedOp::Swap(1, 1), RoutedOp::Logical(0)],
-        );
+        let routed =
+            RoutedCircuit::new(vec![0, 1], vec![RoutedOp::Swap(1, 1), RoutedOp::Logical(0)]);
         verify(&c, &g, &routed).expect("no-op swap is fine");
     }
 

@@ -50,11 +50,11 @@ fn parse_args() -> Result<Options, String> {
                     .map_err(|_| "bad budget".to_string())?;
             }
             "--stats" => stats_only = true,
-            "--help" | "-h" => {
-                return Err("usage: satmap-cli <input.qasm> [--device tokyo|tokyo-|tokyo+|linearN|gridRxC] \
+            "--help" | "-h" => return Err(
+                "usage: satmap-cli <input.qasm> [--device tokyo|tokyo-|tokyo+|linearN|gridRxC] \
                            [--slice N|none] [--budget-ms MS] [--stats]"
-                    .into())
-            }
+                    .into(),
+            ),
             other if input.is_none() && !other.starts_with('-') => input = Some(arg),
             other => return Err(format!("unknown argument '{other}'")),
         }
@@ -122,9 +122,9 @@ fn main() -> ExitCode {
     };
     let config = SatMapConfig {
         slice_size: options.slice,
-        budget: Some(Duration::from_millis(options.budget_ms)),
         ..SatMapConfig::default()
-    };
+    }
+    .with_budget(Duration::from_millis(options.budget_ms));
     let router = SatMap::new(config);
     let start = std::time::Instant::now();
     let routed = match router.route(&logical, &graph) {

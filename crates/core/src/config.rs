@@ -1,8 +1,7 @@
 //! SATMAP configuration.
 
-use std::time::Duration;
-
 use arch::NoiseModel;
+use sat::ResourceBudget;
 
 /// What the MaxSAT objective minimizes.
 #[derive(Clone, Debug, Default)]
@@ -26,9 +25,9 @@ pub enum Objective {
 /// use std::time::Duration;
 /// let config = SatMapConfig {
 ///     slice_size: Some(25),
-///     budget: Some(Duration::from_secs(5)),
 ///     ..SatMapConfig::default()
-/// };
+/// }
+/// .with_budget(Duration::from_secs(5));
 /// assert_eq!(config.swaps_per_gap, 1);
 /// ```
 #[derive(Clone, Debug)]
@@ -40,12 +39,13 @@ pub struct SatMapConfig {
     /// The paper sets 1 and observes it suffices for near-optimal results;
     /// optimality is guaranteed at the connectivity graph's diameter.
     pub swaps_per_gap: usize,
-    /// Total wall-clock compilation budget. `None` = unlimited.
-    pub budget: Option<Duration>,
-    /// Conflict cap per underlying SAT call (defensive; `None` = unlimited).
-    pub conflicts_per_call: Option<u64>,
+    /// Compilation budget for the whole routing request. The deadline is
+    /// armed when `route` starts and inherited by every nested MaxSAT and
+    /// SAT call, so no child can overshoot it. A per-SAT-call conflict cap
+    /// can be attached via [`ResourceBudget::conflicts_per_call`].
+    pub budget: ResourceBudget,
     /// Maximum number of backtracking steps across the whole local
-    /// relaxation before giving up.
+    /// relaxation before switching to leading-slot deepening.
     pub backtrack_limit: usize,
     /// Optimization objective.
     pub objective: Objective,
@@ -56,8 +56,7 @@ impl Default for SatMapConfig {
         SatMapConfig {
             slice_size: Some(25),
             swaps_per_gap: 1,
-            budget: None,
-            conflicts_per_call: None,
+            budget: ResourceBudget::unlimited(),
             backtrack_limit: 24,
             objective: Objective::SwapCount,
         }
@@ -81,9 +80,10 @@ impl SatMapConfig {
         }
     }
 
-    /// Returns a copy with the given wall-clock budget.
-    pub fn with_budget(mut self, budget: Duration) -> Self {
-        self.budget = Some(budget);
+    /// Returns a copy with the given budget (a plain [`Duration`] converts
+    /// to a wall-clock budget).
+    pub fn with_budget(mut self, budget: impl Into<ResourceBudget>) -> Self {
+        self.budget = budget.into();
         self
     }
 }
@@ -91,6 +91,7 @@ impl SatMapConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     #[test]
     fn defaults_match_paper() {
@@ -98,6 +99,7 @@ mod tests {
         assert_eq!(c.swaps_per_gap, 1);
         assert_eq!(c.slice_size, Some(25));
         assert!(matches!(c.objective, Objective::SwapCount));
+        assert!(!c.budget.is_limited());
     }
 
     #[test]
@@ -105,6 +107,10 @@ mod tests {
         assert_eq!(SatMapConfig::sliced(10).slice_size, Some(10));
         assert_eq!(SatMapConfig::monolithic().slice_size, None);
         let b = SatMapConfig::monolithic().with_budget(Duration::from_secs(1));
-        assert_eq!(b.budget, Some(Duration::from_secs(1)));
+        assert_eq!(
+            b.budget.remaining_time(),
+            Some(Duration::from_secs(1)),
+            "unarmed budget reports its full allowance"
+        );
     }
 }

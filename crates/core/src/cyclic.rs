@@ -10,11 +10,13 @@
 //! the *last* slice is additionally pinned to land on the first slice's
 //! entry map.
 
+use std::marker::PhantomData;
 use std::time::Instant;
 
 use arch::ConnectivityGraph;
-use circuit::{check_fits, Circuit, RoutedCircuit, RoutedOp, RouteError, Router};
+use circuit::{check_fits, Circuit, RouteError, RoutedCircuit, RoutedOp, Router};
 use maxsat::MaxSatStatus;
+use sat::{DefaultBackend, ResourceBudget, SatBackend, SolverTelemetry};
 
 use crate::config::SatMapConfig;
 use crate::encode::{routed_from_solution, EncodeShape, QmrEncoding};
@@ -41,15 +43,36 @@ use crate::solver::SatMap;
 /// verify(&full, &graph, &routed).expect("verifies");
 /// # Ok::<(), circuit::RouteError>(())
 /// ```
-#[derive(Clone, Debug)]
-pub struct CyclicSatMap {
+#[derive(Debug)]
+pub struct CyclicSatMap<B: SatBackend + Default = DefaultBackend> {
     config: SatMapConfig,
+    _backend: PhantomData<fn() -> B>,
+}
+
+impl<B: SatBackend + Default> Clone for CyclicSatMap<B> {
+    fn clone(&self) -> Self {
+        CyclicSatMap {
+            config: self.config.clone(),
+            _backend: PhantomData,
+        }
+    }
 }
 
 impl CyclicSatMap {
-    /// Creates a cyclic router with the given configuration.
+    /// Creates a cyclic router with the given configuration and the
+    /// default SAT backend.
     pub fn new(config: SatMapConfig) -> Self {
-        CyclicSatMap { config }
+        Self::with_backend(config)
+    }
+}
+
+impl<B: SatBackend + Default> CyclicSatMap<B> {
+    /// Creates a cyclic router with an explicit SAT backend type.
+    pub fn with_backend(config: SatMapConfig) -> Self {
+        CyclicSatMap {
+            config,
+            _backend: PhantomData,
+        }
     }
 
     /// Routes `prefix ; sub × cycles` on `graph`, returning the assembled
@@ -67,31 +90,57 @@ impl CyclicSatMap {
         cycles: usize,
         graph: &ConnectivityGraph,
     ) -> Result<(Circuit, RoutedCircuit), RouteError> {
+        self.route_repeated_with_telemetry(prefix, sub, cycles, graph)
+            .0
+    }
+
+    /// [`CyclicSatMap::route_repeated`] plus the solver effort spent — the
+    /// telemetry is reported even when routing fails, so timed-out
+    /// attempts still account for their work.
+    pub fn route_repeated_with_telemetry(
+        &self,
+        prefix: &Circuit,
+        sub: &Circuit,
+        cycles: usize,
+        graph: &ConnectivityGraph,
+    ) -> (
+        Result<(Circuit, RoutedCircuit), RouteError>,
+        SolverTelemetry,
+    ) {
+        let mut telemetry = SolverTelemetry::new();
         if prefix.num_two_qubit_gates() > 0 {
-            return Err(RouteError::Unsatisfiable(
-                "cyclic prefix must not contain two-qubit gates".into(),
-            ));
+            return (
+                Err(RouteError::Unsatisfiable(
+                    "cyclic prefix must not contain two-qubit gates".into(),
+                )),
+                telemetry,
+            );
         }
         if prefix.num_qubits() != sub.num_qubits() {
-            return Err(RouteError::Unsatisfiable(
-                "prefix and subcircuit qubit counts differ".into(),
-            ));
+            return (
+                Err(RouteError::Unsatisfiable(
+                    "prefix and subcircuit qubit counts differ".into(),
+                )),
+                telemetry,
+            );
         }
-        check_fits(sub, graph)?;
-        let start = Instant::now();
+        if let Err(e) = check_fits(sub, graph) {
+            return (Err(e), telemetry);
+        }
+        let budget = self.config.budget.arm();
 
         // Assemble the full circuit (what the caller actually wants run).
-        let mut full = Circuit::named(
-            &format!("{}x{}", sub.name(), cycles),
-            sub.num_qubits(),
-        );
+        let mut full = Circuit::named(&format!("{}x{}", sub.name(), cycles), sub.num_qubits());
         full.extend_from(prefix);
         for _ in 0..cycles {
             full.extend_from(sub);
         }
 
         // Solve the subcircuit once, cyclically.
-        let sub_routed = self.solve_subcircuit(sub, graph, start)?;
+        let sub_routed = match self.solve_subcircuit(sub, graph, &budget, &mut telemetry) {
+            Ok(r) => r,
+            Err(e) => return (Err(e), telemetry),
+        };
         debug_assert_eq!(sub_routed.final_map(), sub_routed.initial_map());
 
         // Stitch: prefix 1q gates, then `cycles` copies of the subcircuit
@@ -107,7 +156,7 @@ impl CyclicSatMap {
                 });
             }
         }
-        Ok((full, RoutedCircuit::new(initial_map, ops)))
+        (Ok((full, RoutedCircuit::new(initial_map, ops))), telemetry)
     }
 
     /// Solves `sub` with the final-map = initial-map constraint, slicing if
@@ -116,7 +165,8 @@ impl CyclicSatMap {
         &self,
         sub: &Circuit,
         graph: &ConnectivityGraph,
-        start: Instant,
+        budget: &ResourceBudget,
+        telemetry: &mut SolverTelemetry,
     ) -> Result<RoutedCircuit, RouteError> {
         let n = self.config.swaps_per_gap;
         let monolithic = match self.config.slice_size {
@@ -124,22 +174,21 @@ impl CyclicSatMap {
             None => true,
         };
         if monolithic {
+            let encode_start = Instant::now();
             let mut enc = QmrEncoding::build(
                 sub,
                 graph,
                 n,
                 EncodeShape {
-                    leading_swaps: false,
+                    leading_slots: 0,
                     trailing_swaps: true,
                 },
                 &self.config.objective,
             );
             enc.require_cyclic();
-            let maxsat_config = maxsat::MaxSatConfig {
-                time_budget: self.config.budget.map(|b| b.saturating_sub(start.elapsed())),
-                conflicts_per_call: self.config.conflicts_per_call,
-            };
-            let out = maxsat::solve(enc.instance(), maxsat_config);
+            telemetry.encode_time += encode_start.elapsed();
+            let out = maxsat::solve_with_backend::<B>(enc.instance(), *budget);
+            telemetry.absorb(&out.telemetry);
             return match out.status {
                 MaxSatStatus::Optimal | MaxSatStatus::Feasible => {
                     let model = out.model.expect("status implies model");
@@ -155,14 +204,23 @@ impl CyclicSatMap {
         // Composed with slicing: route the subcircuit normally, then close
         // the cycle by solving a final "restore" slice that must land on
         // the initial map (an empty slice whose exit is pinned).
-        let inner = SatMap::new(self.config.clone());
-        let routed = inner.route(sub, graph)?;
+        let inner = SatMap::<B>::with_backend(self.config.clone());
+        let (inner_result, inner_telemetry) = inner.route_with_telemetry(sub, graph);
+        telemetry.absorb(&inner_telemetry);
+        let routed = inner_result?;
         let initial = routed.initial_map().to_vec();
         let final_map = routed.final_map();
         if final_map == initial {
             return Ok(routed);
         }
-        let restore = self.solve_restore(&final_map, &initial, graph, sub.num_qubits(), start)?;
+        let restore = self.solve_restore(
+            &final_map,
+            &initial,
+            graph,
+            sub.num_qubits(),
+            budget,
+            telemetry,
+        )?;
         let mut ops = routed.ops().to_vec();
         ops.extend(restore);
         Ok(RoutedCircuit::new(initial, ops))
@@ -170,14 +228,15 @@ impl CyclicSatMap {
 
     /// Finds a swap sequence transforming `from` into `to` (both
     /// logical→physical maps) using an empty pinned encoding with enough
-    /// trailing swap slots.
+    /// leading swap slots.
     fn solve_restore(
         &self,
         from: &[usize],
         to: &[usize],
         graph: &ConnectivityGraph,
         num_logical: usize,
-        start: Instant,
+        budget: &ResourceBudget,
+        telemetry: &mut SolverTelemetry,
     ) -> Result<Vec<RoutedOp>, RouteError> {
         // Upper bound on swaps needed: routing each qubit home costs at
         // most diameter swaps.
@@ -186,23 +245,25 @@ impl CyclicSatMap {
         // Grow the slot count geometrically until satisfiable.
         let mut slots = num_logical.max(2);
         loop {
+            if budget.expired() {
+                return Err(RouteError::Timeout);
+            }
+            let encode_start = Instant::now();
             let mut enc = QmrEncoding::build(
                 &empty,
                 graph,
-                slots,
+                1,
                 EncodeShape {
-                    leading_swaps: true,
+                    leading_slots: slots,
                     trailing_swaps: false,
                 },
                 &self.config.objective,
             );
             enc.pin_initial_map(from);
             enc.pin_final_map(to);
-            let maxsat_config = maxsat::MaxSatConfig {
-                time_budget: self.config.budget.map(|b| b.saturating_sub(start.elapsed())),
-                conflicts_per_call: self.config.conflicts_per_call,
-            };
-            let out = maxsat::solve(enc.instance(), maxsat_config);
+            telemetry.encode_time += encode_start.elapsed();
+            let out = maxsat::solve_with_backend::<B>(enc.instance(), *budget);
+            telemetry.absorb(&out.telemetry);
             match out.status {
                 MaxSatStatus::Optimal | MaxSatStatus::Feasible => {
                     let model = out.model.expect("status implies model");
@@ -227,7 +288,7 @@ impl CyclicSatMap {
     }
 }
 
-impl Router for CyclicSatMap {
+impl<B: SatBackend + Default> Router for CyclicSatMap<B> {
     fn name(&self) -> &str {
         "cyc-satmap"
     }
@@ -244,6 +305,16 @@ impl Router for CyclicSatMap {
         let (_, routed) = self.route_repeated(&prefix, circuit, 1, graph)?;
         Ok(routed)
     }
+
+    fn route_with_telemetry(
+        &self,
+        circuit: &Circuit,
+        graph: &ConnectivityGraph,
+    ) -> (Result<RoutedCircuit, RouteError>, SolverTelemetry) {
+        let prefix = Circuit::new(circuit.num_qubits());
+        let (result, telemetry) = self.route_repeated_with_telemetry(&prefix, circuit, 1, graph);
+        (result.map(|(_, routed)| routed), telemetry)
+    }
 }
 
 #[cfg(test)]
@@ -257,7 +328,10 @@ mod tests {
         c.cx(0, 2);
         c.cx(3, 2);
         c.cx(0, 3);
-        (c, ConnectivityGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]))
+        (
+            c,
+            ConnectivityGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]),
+        )
     }
 
     #[test]
@@ -309,5 +383,15 @@ mod tests {
         let (full, routed) = router.route_repeated(&prefix, &sub, 3, &g).expect("solves");
         verify(&full, &g, &routed).expect("verifies");
         assert_eq!(routed.final_map(), routed.initial_map());
+    }
+
+    #[test]
+    fn telemetry_flows_through_cyclic_composition() {
+        let (sub, g) = fig3();
+        let prefix = Circuit::new(4);
+        let router = CyclicSatMap::new(SatMapConfig::monolithic());
+        let (result, telemetry) = router.route_repeated_with_telemetry(&prefix, &sub, 2, &g);
+        result.expect("solves");
+        assert!(telemetry.sat_calls > 0, "{telemetry}");
     }
 }

@@ -38,10 +38,11 @@ pub const NOOP: usize = usize::MAX;
 /// shape of the state chain.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct EncodeShape {
-    /// Allow `n` swap slots *before the first gate* (true for every slice
-    /// after the first: the pinned entry map may need adjusting before the
-    /// slice's first gate).
-    pub leading_swaps: bool,
+    /// Number of swap slots *before the first gate*. Continuation slices
+    /// start with `n` (their pinned entry map may need adjusting before the
+    /// first gate); the slice loop deepens this when a pinned slice proves
+    /// unsatisfiable, which keeps the local relaxation complete.
+    pub leading_slots: usize,
     /// Add `n` swap slots *after the last gate* and expose the resulting
     /// exit state (used by the cyclic relaxation to restore the map).
     pub trailing_swaps: bool,
@@ -51,19 +52,27 @@ impl EncodeShape {
     /// First slice of a non-cyclic circuit.
     pub fn first_slice() -> Self {
         EncodeShape {
-            leading_swaps: false,
+            leading_slots: 0,
             trailing_swaps: false,
         }
     }
 
-    /// Any later slice (entry map pinned, so leading swaps are allowed).
-    pub fn continuation() -> Self {
+    /// Any later slice (entry map pinned, so `leading_slots` swap slots
+    /// precede the first gate).
+    pub fn continuation(leading_slots: usize) -> Self {
         EncodeShape {
-            leading_swaps: true,
+            leading_slots,
             trailing_swaps: false,
         }
     }
 }
+
+/// Per-state logical→physical maps decoded from a model: `maps[s][q]` is
+/// the physical position of logical `q` at state `s`.
+pub type DecodedMaps = Vec<Vec<usize>>;
+
+/// Per-slot swap choices decoded from a model (`None` = the no-op).
+pub type DecodedSwaps = Vec<Option<(usize, usize)>>;
 
 /// The variable layout and constraint set for one QMR (sub)problem.
 #[derive(Debug)]
@@ -114,7 +123,7 @@ impl QmrEncoding {
 
         // State chain layout.
         let mut gate_state = Vec::with_capacity(num_gates);
-        let lead = if shape.leading_swaps { n } else { 0 };
+        let lead = shape.leading_slots;
         for g in 0..num_gates {
             gate_state.push(lead + g * n);
         }
@@ -180,8 +189,9 @@ impl QmrEncoding {
                 exactly_one(&mut self.instance, &lits);
             }
             for p in 0..self.num_phys {
-                let lits: Vec<Lit> =
-                    (0..self.num_logical).map(|q| self.map_lit(s, q, p)).collect();
+                let lits: Vec<Lit> = (0..self.num_logical)
+                    .map(|q| self.map_lit(s, q, p))
+                    .collect();
                 at_most_one(&mut self.instance, &lits);
             }
         }
@@ -194,7 +204,12 @@ impl QmrEncoding {
             for p in 0..self.num_phys {
                 // map(a, p, s) → ⋁_{p' ∈ N(p)} map(b, p', s)
                 let mut clause = vec![!self.map_lit(s, a.0, p)];
-                clause.extend(graph.neighbors(p).iter().map(|&p2| self.map_lit(s, b.0, p2)));
+                clause.extend(
+                    graph
+                        .neighbors(p)
+                        .iter()
+                        .map(|&p2| self.map_lit(s, b.0, p2)),
+                );
                 self.instance.add_hard(clause);
             }
         }
@@ -220,18 +235,18 @@ impl QmrEncoding {
             let touched: Vec<Lit> = (0..self.num_phys)
                 .map(|_| self.instance.new_var().positive())
                 .collect();
-            for p in 0..self.num_phys {
+            for (p, &touched_p) in touched.iter().enumerate() {
                 let mut incident = Vec::new();
                 for (e, &(x, y)) in edges.iter().enumerate() {
                     if x == p || y == p {
                         let sw = self.swap_lit(slot, e);
                         // swap(e) → touched(p)
-                        self.instance.add_hard([!sw, touched[p]]);
+                        self.instance.add_hard([!sw, touched_p]);
                         incident.push(sw);
                     }
                 }
                 // touched(p) → some incident swap chosen.
-                let mut clause = vec![!touched[p]];
+                let mut clause = vec![!touched_p];
                 clause.extend(incident);
                 self.instance.add_hard(clause);
             }
@@ -253,10 +268,10 @@ impl QmrEncoding {
                 }
             }
             // Frame: untouched positions persist.
-            for p in 0..self.num_phys {
+            for (p, &touched_p) in touched.iter().enumerate() {
                 for q in 0..self.num_logical {
                     self.instance.add_hard([
-                        touched[p],
+                        touched_p,
                         !self.map_lit(s, q, p),
                         self.map_lit(s + 1, q, p),
                     ]);
@@ -385,9 +400,9 @@ impl QmrEncoding {
     ///
     /// Panics if the model is not a well-formed solution (the encoding
     /// guarantees well-formedness for any satisfying model).
-    pub fn decode(&self, model: &[bool]) -> (Vec<Vec<usize>>, Vec<Option<(usize, usize)>>) {
+    pub fn decode(&self, model: &[bool]) -> (DecodedMaps, DecodedSwaps) {
         let value = |v: Var| model.get(v.index()).copied().unwrap_or(false);
-        let maps: Vec<Vec<usize>> = (0..self.num_states)
+        let maps: DecodedMaps = (0..self.num_states)
             .map(|s| {
                 (0..self.num_logical)
                     .map(|q| {
@@ -443,11 +458,9 @@ pub fn routed_from_solution(
     use circuit::RoutedOp;
     let mut ops = Vec::new();
     let mut slot = 0usize;
-    let mut emitted_slots = 0usize;
 
-    let mut two_qubit_seen = 0usize;
-    let emit_gap = |ops: &mut Vec<RoutedOp>, slot: &mut usize| {
-        for _ in 0..swaps_per_gap {
+    let emit_slots = |ops: &mut Vec<RoutedOp>, slot: &mut usize, count: usize| {
+        for _ in 0..count {
             if let Some((x, y)) = swaps[*slot] {
                 ops.push(RoutedOp::Swap(x, y));
             }
@@ -455,31 +468,27 @@ pub fn routed_from_solution(
         }
     };
 
-    // Leading slots (continuation slices).
-    let has_gates = !enc.interactions().is_empty();
-    if has_gates && enc.gate_state(0) > 0 {
-        emit_gap(&mut ops, &mut slot);
-        emitted_slots += swaps_per_gap;
+    // Leading slots (continuation slices, possibly deepened beyond `n`).
+    if !enc.interactions().is_empty() {
+        emit_slots(&mut ops, &mut slot, enc.gate_state(0));
     }
 
+    let mut two_qubit_seen = 0usize;
     for (i, g) in slice.gates().iter().enumerate() {
         if g.is_two_qubit() {
             if two_qubit_seen > 0 {
-                emit_gap(&mut ops, &mut slot);
-                emitted_slots += swaps_per_gap;
+                emit_slots(&mut ops, &mut slot, swaps_per_gap);
             }
             two_qubit_seen += 1;
         }
         ops.push(RoutedOp::Logical(gate_index_offset + i));
     }
-    // Trailing slots (cyclic shape).
-    while emitted_slots < swaps.len() {
-        emit_gap(&mut ops, &mut slot);
-        emitted_slots += swaps_per_gap;
-    }
+    // Remaining slots: the trailing group of the cyclic shape, or the
+    // leading group of a gateless slice.
+    let remaining = swaps.len() - slot;
+    emit_slots(&mut ops, &mut slot, remaining);
 
     let initial_map = maps.first().cloned().unwrap_or_default();
-    let _ = gate_index_offset;
     circuit::RoutedCircuit::new(initial_map, ops)
 }
 
@@ -487,7 +496,8 @@ pub fn routed_from_solution(
 mod tests {
     use super::*;
     use circuit::verify::verify;
-    use maxsat::{solve, MaxSatConfig, MaxSatStatus};
+    use maxsat::{solve, MaxSatStatus};
+    use sat::ResourceBudget;
 
     fn fig3_circuit() -> Circuit {
         let mut c = Circuit::new(4);
@@ -513,7 +523,7 @@ mod tests {
             EncodeShape::first_slice(),
             &Objective::SwapCount,
         );
-        let out = solve(enc.instance(), MaxSatConfig::unlimited());
+        let out = solve(enc.instance(), ResourceBudget::unlimited());
         assert_eq!(out.status, MaxSatStatus::Optimal);
         // The paper: "inserting a single swap is sufficient for this
         // example" — cost 1.
@@ -533,9 +543,14 @@ mod tests {
         c.cx(0, 1);
         c.cx(1, 2);
         let graph = arch::devices::linear(3);
-        let enc =
-            QmrEncoding::build(&c, &graph, 1, EncodeShape::first_slice(), &Objective::SwapCount);
-        let out = solve(enc.instance(), MaxSatConfig::unlimited());
+        let enc = QmrEncoding::build(
+            &c,
+            &graph,
+            1,
+            EncodeShape::first_slice(),
+            &Objective::SwapCount,
+        );
+        let out = solve(enc.instance(), ResourceBudget::unlimited());
         assert_eq!(out.status, MaxSatStatus::Optimal);
         assert_eq!(out.cost, Some(0));
         let (maps, swaps) = enc.decode(&out.model.expect("model"));
@@ -553,12 +568,12 @@ mod tests {
             &c,
             &graph,
             1,
-            EncodeShape::continuation(),
+            EncodeShape::continuation(1),
             &Objective::SwapCount,
         );
         // Pin q0→p0, q1→p2, q2→p1: gate (q0,q1) needs one swap.
         enc.pin_initial_map(&[0, 2, 1]);
-        let out = solve(enc.instance(), MaxSatConfig::unlimited());
+        let out = solve(enc.instance(), ResourceBudget::unlimited());
         assert_eq!(out.status, MaxSatStatus::Optimal);
         assert_eq!(out.cost, Some(1));
         let (maps, _) = enc.decode(&out.model.expect("model"));
@@ -578,7 +593,7 @@ mod tests {
             &Objective::SwapCount,
         );
         enc.pin_initial_map(&[0, 2, 1]); // q0,q1 not adjacent, no way to fix
-        let out = solve(enc.instance(), MaxSatConfig::unlimited());
+        let out = solve(enc.instance(), ResourceBudget::unlimited());
         assert_eq!(out.status, MaxSatStatus::Unsat);
     }
 
@@ -593,13 +608,13 @@ mod tests {
             &graph,
             1,
             EncodeShape {
-                leading_swaps: false,
+                leading_slots: 0,
                 trailing_swaps: true,
             },
             &Objective::SwapCount,
         );
         enc.require_cyclic();
-        let out = solve(enc.instance(), MaxSatConfig::unlimited());
+        let out = solve(enc.instance(), ResourceBudget::unlimited());
         assert_eq!(out.status, MaxSatStatus::Optimal);
         assert_eq!(out.cost, Some(2));
         let (maps, swaps) = enc.decode(&out.model.expect("model"));
@@ -614,13 +629,18 @@ mod tests {
         let mut c = Circuit::new(2);
         c.cx(0, 1);
         let graph = arch::devices::linear(2);
-        let mut enc =
-            QmrEncoding::build(&c, &graph, 1, EncodeShape::first_slice(), &Objective::SwapCount);
-        let out = solve(enc.instance(), MaxSatConfig::unlimited());
+        let mut enc = QmrEncoding::build(
+            &c,
+            &graph,
+            1,
+            EncodeShape::first_slice(),
+            &Objective::SwapCount,
+        );
+        let out = solve(enc.instance(), ResourceBudget::unlimited());
         let (maps, _) = enc.decode(&out.model.expect("model"));
         let final_map = maps.last().expect("states").clone();
         enc.forbid_final_map(&final_map);
-        let out2 = solve(enc.instance(), MaxSatConfig::unlimited());
+        let out2 = solve(enc.instance(), ResourceBudget::unlimited());
         // The only other option is the mirrored placement.
         let (maps2, _) = enc.decode(&out2.model.expect("model"));
         assert_ne!(maps2.last(), Some(&final_map));
@@ -646,12 +666,8 @@ mod tests {
                 EncodeShape::first_slice(),
                 &Objective::SwapCount,
             );
-            let out = solve(enc.instance(), MaxSatConfig::unlimited());
-            assert_eq!(
-                out.status == MaxSatStatus::Optimal,
-                expect_sat,
-                "n={n}"
-            );
+            let out = solve(enc.instance(), ResourceBudget::unlimited());
+            assert_eq!(out.status == MaxSatStatus::Optimal, expect_sat, "n={n}");
         }
     }
 
@@ -668,7 +684,7 @@ mod tests {
             EncodeShape::first_slice(),
             &Objective::Fidelity(noise.clone()),
         );
-        let out = solve(enc.instance(), MaxSatConfig::unlimited());
+        let out = solve(enc.instance(), ResourceBudget::unlimited());
         // Weighted instances may finish as Feasible when the engine
         // quantizes weights; both statuses carry a model.
         assert!(
@@ -698,9 +714,14 @@ mod tests {
     fn empty_slice_still_produces_a_map() {
         let c = Circuit::new(3);
         let graph = arch::devices::linear(3);
-        let enc =
-            QmrEncoding::build(&c, &graph, 1, EncodeShape::first_slice(), &Objective::SwapCount);
-        let out = solve(enc.instance(), MaxSatConfig::unlimited());
+        let enc = QmrEncoding::build(
+            &c,
+            &graph,
+            1,
+            EncodeShape::first_slice(),
+            &Objective::SwapCount,
+        );
+        let out = solve(enc.instance(), ResourceBudget::unlimited());
         assert_eq!(out.status, MaxSatStatus::Optimal);
         let (maps, swaps) = enc.decode(&out.model.expect("model"));
         assert_eq!(maps.len(), 1);
@@ -712,10 +733,18 @@ mod tests {
         let mut c = Circuit::new(2);
         c.cx(0, 1);
         let graph = arch::devices::linear(2);
-        let enc =
-            QmrEncoding::build(&c, &graph, 1, EncodeShape::first_slice(), &Objective::SwapCount);
+        let enc = QmrEncoding::build(
+            &c,
+            &graph,
+            1,
+            EncodeShape::first_slice(),
+            &Objective::SwapCount,
+        );
         let text = enc.instance().to_wcnf();
         let parsed = maxsat::WcnfInstance::parse_wcnf(&text).expect("round trips");
-        assert_eq!(parsed.hard_clauses().len(), enc.instance().hard_clauses().len());
+        assert_eq!(
+            parsed.hard_clauses().len(),
+            enc.instance().hard_clauses().len()
+        );
     }
 }

@@ -1,12 +1,22 @@
 //! The SATMAP router: monolithic solving, the locally optimal relaxation
 //! with backtracking (Section V), and plumbing shared with the cyclic
 //! relaxation (Section VI).
+//!
+//! The router is generic over the SAT backend ([`sat::SatBackend`]); the
+//! default instantiation uses the workspace's bundled CDCL solver. One
+//! [`sat::ResourceBudget`] is armed when routing starts and its deadline is
+//! inherited by every MaxSAT and SAT call below, so nested solver work can
+//! never overshoot the routing request's allowance. Solver effort is
+//! aggregated into a [`sat::SolverTelemetry`] available through
+//! [`circuit::Router::route_with_telemetry`].
 
-use std::time::{Duration, Instant};
+use std::marker::PhantomData;
+use std::time::Instant;
 
 use arch::ConnectivityGraph;
-use circuit::{check_fits, Circuit, RoutedCircuit, RoutedOp, RouteError, Router};
-use maxsat::{MaxSatConfig, MaxSatStatus};
+use circuit::{check_fits, Circuit, RouteError, RoutedCircuit, RoutedOp, Router};
+use maxsat::MaxSatStatus;
+use sat::{DefaultBackend, ResourceBudget, SatBackend, SolverTelemetry};
 
 use crate::config::SatMapConfig;
 use crate::encode::{routed_from_solution, EncodeShape, QmrEncoding};
@@ -15,7 +25,8 @@ use crate::encode::{routed_from_solution, EncodeShape, QmrEncoding};
 ///
 /// With `slice_size: None` this is **NL-SATMAP** (one monolithic MaxSAT
 /// problem, optimal modulo the `n`-swaps-per-gap restriction); with a slice
-/// size it is **SATMAP** (locally optimal relaxation with backtracking).
+/// size it is **SATMAP** (locally optimal relaxation with backtracking and,
+/// when backtracking is exhausted, leading-slot deepening).
 ///
 /// # Examples
 ///
@@ -33,15 +44,68 @@ use crate::encode::{routed_from_solution, EncodeShape, QmrEncoding};
 /// verify(&c, &graph, &routed).expect("solution verifies");
 /// # Ok::<(), circuit::RouteError>(())
 /// ```
-#[derive(Clone, Debug)]
-pub struct SatMap {
+#[derive(Debug)]
+pub struct SatMap<B: SatBackend + Default = DefaultBackend> {
     config: SatMapConfig,
+    _backend: PhantomData<fn() -> B>,
+}
+
+impl<B: SatBackend + Default> Clone for SatMap<B> {
+    fn clone(&self) -> Self {
+        SatMap {
+            config: self.config.clone(),
+            _backend: PhantomData,
+        }
+    }
 }
 
 impl SatMap {
-    /// Creates a router with the given configuration.
+    /// Creates a router with the given configuration and the default SAT
+    /// backend.
     pub fn new(config: SatMapConfig) -> Self {
-        SatMap { config }
+        Self::with_backend(config)
+    }
+}
+
+/// Per-slice solving state kept for backtracking. Encodings are large
+/// (O(slice · |Logic| · |Phys|) clauses), so only a recent window keeps
+/// them in memory; evicted ones are rebuilt on demand from the slice plus
+/// the recorded pin and exclusion clauses.
+struct SliceState {
+    enc: Option<QmrEncoding>,
+    /// Final maps excluded by backtracking (Example 10 clauses).
+    forbidden: Vec<Vec<usize>>,
+    /// Leading swap slots the slice was (re)built with.
+    leading_slots: usize,
+    /// Decoded solution: final map + this slice's op contribution
+    /// (gate indices local to the slice).
+    final_map: Vec<usize>,
+    initial_map: Vec<usize>,
+    ops: Vec<RoutedOp>,
+}
+
+/// How many slice encodings stay resident for backtracking.
+const ENCODING_WINDOW: usize = 4;
+
+/// Records a solved slice and evicts encodings outside the backtracking
+/// window (shared by the forward path and the deepening fallback).
+fn push_solved(solved: &mut Vec<SliceState>, state: SliceState, telemetry: &mut SolverTelemetry) {
+    solved.push(state);
+    telemetry.slices += 1;
+    if solved.len() > ENCODING_WINDOW {
+        let evict = solved.len() - ENCODING_WINDOW - 1;
+        solved[evict].enc = None;
+    }
+}
+
+impl<B: SatBackend + Default> SatMap<B> {
+    /// Creates a router with the given configuration and an explicit SAT
+    /// backend type.
+    pub fn with_backend(config: SatMapConfig) -> Self {
+        SatMap {
+            config,
+            _backend: PhantomData,
+        }
     }
 
     /// The active configuration.
@@ -49,19 +113,63 @@ impl SatMap {
         &self.config
     }
 
-    fn remaining(&self, start: Instant) -> Option<Duration> {
-        self.config.budget.map(|b| b.saturating_sub(start.elapsed()))
+    /// One MaxSAT call on the generic backend, charging effort to
+    /// `telemetry`.
+    fn solve_instance(
+        &self,
+        enc: &QmrEncoding,
+        budget: &ResourceBudget,
+        telemetry: &mut SolverTelemetry,
+    ) -> maxsat::MaxSatOutcome {
+        let out = maxsat::solve_with_backend::<B>(enc.instance(), *budget);
+        telemetry.absorb(&out.telemetry);
+        out
     }
 
-    fn maxsat_config(&self, start: Instant) -> MaxSatConfig {
-        MaxSatConfig {
-            time_budget: self.remaining(start),
-            conflicts_per_call: self.config.conflicts_per_call,
+    /// Builds a slice encoding, charging the build time to `telemetry`.
+    fn build_encoding(
+        &self,
+        slice: &Circuit,
+        graph: &ConnectivityGraph,
+        shape: EncodeShape,
+        telemetry: &mut SolverTelemetry,
+    ) -> QmrEncoding {
+        let start = Instant::now();
+        let enc = QmrEncoding::build(
+            slice,
+            graph,
+            self.config.swaps_per_gap,
+            shape,
+            &self.config.objective,
+        );
+        telemetry.encode_time += start.elapsed();
+        enc
+    }
+
+    /// Routes the whole request, returning the result plus the solver
+    /// effort spent — including effort spent on failed attempts.
+    fn route_impl(
+        &self,
+        circuit: &Circuit,
+        graph: &ConnectivityGraph,
+    ) -> (Result<RoutedCircuit, RouteError>, SolverTelemetry) {
+        let mut telemetry = SolverTelemetry::new();
+        if let Err(e) = check_fits(circuit, graph) {
+            return (Err(e), telemetry);
         }
-    }
-
-    fn out_of_time(&self, start: Instant) -> bool {
-        matches!(self.remaining(start), Some(d) if d.is_zero())
+        let budget = self.config.budget.arm();
+        let result = match self.config.slice_size {
+            None => self.route_monolithic(circuit, graph, &budget, &mut telemetry),
+            Some(size) => {
+                if circuit.num_two_qubit_gates() <= size {
+                    // One slice: identical to monolithic.
+                    self.route_monolithic(circuit, graph, &budget, &mut telemetry)
+                } else {
+                    self.route_sliced(circuit, graph, size, &budget, &mut telemetry)
+                }
+            }
+        };
+        (result, telemetry)
     }
 
     /// Routes the circuit as one monolithic MaxSAT problem (NL-SATMAP).
@@ -69,24 +177,19 @@ impl SatMap {
         &self,
         circuit: &Circuit,
         graph: &ConnectivityGraph,
-        start: Instant,
+        budget: &ResourceBudget,
+        telemetry: &mut SolverTelemetry,
     ) -> Result<RoutedCircuit, RouteError> {
         // Memory guard (the analogue of the paper's 5 GB per-tool cap):
         // refuse instances whose encoding would dwarf any realistic budget.
         let states = circuit.num_two_qubit_gates().max(1) * self.config.swaps_per_gap;
         let per_state = circuit.num_qubits() * (graph.num_qubits() + 2 * graph.num_edges())
             + graph.num_qubits();
-        if self.config.budget.is_some() && states.saturating_mul(per_state) > 6_000_000 {
+        if self.config.budget.is_limited() && states.saturating_mul(per_state) > 6_000_000 {
             return Err(RouteError::Timeout);
         }
-        let enc = QmrEncoding::build(
-            circuit,
-            graph,
-            self.config.swaps_per_gap,
-            EncodeShape::first_slice(),
-            &self.config.objective,
-        );
-        let out = maxsat::solve(enc.instance(), self.maxsat_config(start));
+        let enc = self.build_encoding(circuit, graph, EncodeShape::first_slice(), telemetry);
+        let out = self.solve_instance(&enc, budget, telemetry);
         match out.status {
             MaxSatStatus::Optimal | MaxSatStatus::Feasible => {
                 let model = out.model.expect("status implies model");
@@ -110,52 +213,38 @@ impl SatMap {
 
     /// Section V: slice, solve each slice pinned to the previous final map,
     /// and backtrack (excluding final maps) when a slice is unsatisfiable.
+    /// When the backtrack budget is exhausted, fall back to *leading-slot
+    /// deepening*: rebuild the stuck slice with more swap slots before its
+    /// first gate, which can always absorb a bad entry map and therefore
+    /// keeps the relaxation complete.
     fn route_sliced(
         &self,
         circuit: &Circuit,
         graph: &ConnectivityGraph,
         slice_size: usize,
-        start: Instant,
+        budget: &ResourceBudget,
+        telemetry: &mut SolverTelemetry,
     ) -> Result<RoutedCircuit, RouteError> {
         let slices = circuit.slices(slice_size);
         let n = self.config.swaps_per_gap;
-
-        /// Per-slice solving state kept for backtracking. Encodings are
-        /// large (O(slice · |Logic| · |Phys|) clauses), so only a recent
-        /// window keeps them in memory; evicted ones are rebuilt on demand
-        /// from the slice plus the recorded pin and exclusion clauses.
-        struct SliceState {
-            enc: Option<QmrEncoding>,
-            /// Final maps excluded by backtracking (Example 10 clauses).
-            forbidden: Vec<Vec<usize>>,
-            /// Decoded solution: final map + this slice's op contribution
-            /// (gate indices local to the slice).
-            final_map: Vec<usize>,
-            initial_map: Vec<usize>,
-            ops: Vec<RoutedOp>,
-        }
-
-        /// How many slice encodings stay resident for backtracking.
-        const ENCODING_WINDOW: usize = 4;
 
         let mut solved: Vec<SliceState> = Vec::with_capacity(slices.len());
         let mut backtracks_left = self.config.backtrack_limit;
         let mut i = 0usize;
         while i < slices.len() {
-            if self.out_of_time(start) {
+            if budget.expired() {
                 return Err(RouteError::Timeout);
             }
             let shape = if i == 0 {
                 EncodeShape::first_slice()
             } else {
-                EncodeShape::continuation()
+                EncodeShape::continuation(n)
             };
-            let mut enc =
-                QmrEncoding::build(&slices[i], graph, n, shape, &self.config.objective);
+            let mut enc = self.build_encoding(&slices[i], graph, shape, telemetry);
             if i > 0 {
                 enc.pin_initial_map(&solved[i - 1].final_map);
             }
-            let out = maxsat::solve(enc.instance(), self.maxsat_config(start));
+            let out = self.solve_instance(&enc, budget, telemetry);
             match out.status {
                 MaxSatStatus::Optimal | MaxSatStatus::Feasible => {
                     let model = out.model.expect("status implies model");
@@ -163,18 +252,15 @@ impl SatMap {
                     let ops = routed_from_solution(&slices[i], &enc, &maps, &swaps, n, 0)
                         .ops()
                         .to_vec();
-                    solved.push(SliceState {
+                    let state = SliceState {
                         enc: Some(enc),
                         forbidden: Vec::new(),
+                        leading_slots: shape.leading_slots,
                         final_map: maps.last().expect("≥1 state").clone(),
                         initial_map: maps.first().expect("≥1 state").clone(),
                         ops,
-                    });
-                    // Evict encodings outside the backtracking window.
-                    if solved.len() > ENCODING_WINDOW {
-                        let evict = solved.len() - ENCODING_WINDOW - 1;
-                        solved[evict].enc = None;
-                    }
+                    };
+                    push_solved(&mut solved, state, telemetry);
                     i += 1;
                 }
                 MaxSatStatus::Unknown => return Err(RouteError::Timeout),
@@ -188,12 +274,18 @@ impl SatMap {
                     }
                     loop {
                         if backtracks_left == 0 {
-                            return Err(RouteError::Unsatisfiable(
-                                "backtrack limit exhausted".into(),
-                            ));
+                            // Backtracking exhausted: deepen the stuck
+                            // slice's leading slots instead of giving up.
+                            let pin = solved[i - 1].final_map.clone();
+                            let state = self
+                                .solve_slice_deepened(&slices[i], graph, &pin, budget, telemetry)?;
+                            push_solved(&mut solved, state, telemetry);
+                            i += 1;
+                            break;
                         }
                         backtracks_left -= 1;
-                        if self.out_of_time(start) {
+                        telemetry.backtracks += 1;
+                        if budget.expired() {
                             return Err(RouteError::Timeout);
                         }
                         let prev_idx = solved.len() - 1;
@@ -202,24 +294,26 @@ impl SatMap {
                         } else {
                             Some(solved[prev_idx - 1].final_map.clone())
                         };
+                        let prev_shape = if prev_idx == 0 {
+                            EncodeShape::first_slice()
+                        } else {
+                            EncodeShape::continuation(solved[prev_idx].leading_slots)
+                        };
                         let prev = solved.last_mut().expect("i > 0");
                         let bad = prev.final_map.clone();
                         prev.forbidden.push(bad.clone());
                         if prev.enc.is_none() {
                             // Rebuild the evicted encoding with its pin and
                             // all recorded exclusions.
-                            let shape = if prev_idx == 0 {
-                                EncodeShape::first_slice()
-                            } else {
-                                EncodeShape::continuation()
-                            };
+                            let build_start = Instant::now();
                             let mut rebuilt = QmrEncoding::build(
                                 &slices[prev_idx],
                                 graph,
                                 n,
-                                shape,
+                                prev_shape,
                                 &self.config.objective,
                             );
+                            telemetry.encode_time += build_start.elapsed();
                             if let Some(pin) = &prev_initial {
                                 rebuilt.pin_initial_map(pin);
                             }
@@ -230,10 +324,11 @@ impl SatMap {
                         } else if let Some(enc) = prev.enc.as_mut() {
                             enc.forbid_final_map(&bad);
                         }
-                        let retry = maxsat::solve(
+                        let retry = maxsat::solve_with_backend::<B>(
                             prev.enc.as_ref().expect("just ensured").instance(),
-                            self.maxsat_config(start),
+                            *budget,
                         );
+                        telemetry.absorb(&retry.telemetry);
                         match retry.status {
                             MaxSatStatus::Optimal | MaxSatStatus::Feasible => {
                                 let model = retry.model.expect("status implies model");
@@ -288,9 +383,62 @@ impl SatMap {
         }
         Ok(RoutedCircuit::new(initial_map, ops))
     }
+
+    /// Solves one pinned slice, doubling the number of leading swap slots
+    /// until satisfiable. With enough leading slots any entry map can be
+    /// reshaped before the first gate, so this always terminates with a
+    /// solution, a timeout, or a genuinely unsatisfiable slice.
+    fn solve_slice_deepened(
+        &self,
+        slice: &Circuit,
+        graph: &ConnectivityGraph,
+        pin: &[usize],
+        budget: &ResourceBudget,
+        telemetry: &mut SolverTelemetry,
+    ) -> Result<SliceState, RouteError> {
+        let n = self.config.swaps_per_gap;
+        // Routing every logical qubit home costs at most diameter swaps.
+        let max_lead = (graph.diameter().max(1) * slice.num_qubits()).max(2 * n);
+        let mut lead = 2 * n;
+        loop {
+            if budget.expired() {
+                return Err(RouteError::Timeout);
+            }
+            let shape = EncodeShape::continuation(lead);
+            let mut enc = self.build_encoding(slice, graph, shape, telemetry);
+            enc.pin_initial_map(pin);
+            let out = self.solve_instance(&enc, budget, telemetry);
+            match out.status {
+                MaxSatStatus::Optimal | MaxSatStatus::Feasible => {
+                    let model = out.model.expect("status implies model");
+                    let (maps, swaps) = enc.decode(&model);
+                    let ops = routed_from_solution(slice, &enc, &maps, &swaps, n, 0)
+                        .ops()
+                        .to_vec();
+                    return Ok(SliceState {
+                        enc: Some(enc),
+                        forbidden: Vec::new(),
+                        leading_slots: lead,
+                        final_map: maps.last().expect("≥1 state").clone(),
+                        initial_map: maps.first().expect("≥1 state").clone(),
+                        ops,
+                    });
+                }
+                MaxSatStatus::Unknown => return Err(RouteError::Timeout),
+                MaxSatStatus::Unsat if lead < max_lead => {
+                    lead = (lead * 2).min(max_lead);
+                }
+                MaxSatStatus::Unsat => {
+                    return Err(RouteError::Unsatisfiable(format!(
+                        "slice unsolvable even with {lead} leading swap slots"
+                    )));
+                }
+            }
+        }
+    }
 }
 
-impl Router for SatMap {
+impl<B: SatBackend + Default> Router for SatMap<B> {
     fn name(&self) -> &str {
         if self.config.slice_size.is_some() {
             "satmap"
@@ -304,19 +452,15 @@ impl Router for SatMap {
         circuit: &Circuit,
         graph: &ConnectivityGraph,
     ) -> Result<RoutedCircuit, RouteError> {
-        check_fits(circuit, graph)?;
-        let start = Instant::now();
-        match self.config.slice_size {
-            None => self.route_monolithic(circuit, graph, start),
-            Some(size) => {
-                if circuit.num_two_qubit_gates() <= size {
-                    // One slice: identical to monolithic.
-                    self.route_monolithic(circuit, graph, start)
-                } else {
-                    self.route_sliced(circuit, graph, size, start)
-                }
-            }
-        }
+        self.route_impl(circuit, graph).0
+    }
+
+    fn route_with_telemetry(
+        &self,
+        circuit: &Circuit,
+        graph: &ConnectivityGraph,
+    ) -> (Result<RoutedCircuit, RouteError>, SolverTelemetry) {
+        self.route_impl(circuit, graph)
     }
 }
 
@@ -324,6 +468,7 @@ impl Router for SatMap {
 mod tests {
     use super::*;
     use circuit::verify::verify;
+    use std::time::Duration;
 
     fn fig3() -> (Circuit, ConnectivityGraph) {
         let mut c = Circuit::new(4);
@@ -331,7 +476,10 @@ mod tests {
         c.cx(0, 2);
         c.cx(3, 2);
         c.cx(0, 3);
-        (c, ConnectivityGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]))
+        (
+            c,
+            ConnectivityGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]),
+        )
     }
 
     #[test]
@@ -372,6 +520,19 @@ mod tests {
     }
 
     #[test]
+    fn deepening_rescues_exhausted_backtracking() {
+        // With a zero backtrack budget the router must still solve sliced
+        // instances by deepening leading slots instead of erroring out.
+        let mut config = SatMapConfig::sliced(2);
+        config.backtrack_limit = 0;
+        let c = circuit::generators::random_local(5, 10, 4, 0.1, 3);
+        let g = arch::devices::tokyo_minus();
+        let router = SatMap::new(config);
+        let routed = router.route(&c, &g).expect("deepening completes");
+        verify(&c, &g, &routed).expect("verifies");
+    }
+
+    #[test]
     fn too_many_logical_qubits_rejected() {
         let c = Circuit::new(25);
         let g = arch::devices::tokyo();
@@ -401,5 +562,19 @@ mod tests {
         let router = SatMap::new(SatMapConfig::sliced(4));
         let routed = router.route(&c, &g).expect("solves");
         verify(&c, &g, &routed).expect("verifies");
+    }
+
+    #[test]
+    fn telemetry_accounts_for_slices_and_sat_calls() {
+        let c = circuit::generators::random_local(5, 12, 4, 0.0, 2);
+        let g = arch::devices::tokyo_minus();
+        let router = SatMap::new(SatMapConfig::sliced(3));
+        let (result, telemetry) = router.route_with_telemetry(&c, &g);
+        let routed = result.expect("solves");
+        verify(&c, &g, &routed).expect("verifies");
+        assert!(telemetry.slices >= 4, "12 gates / 3 per slice: {telemetry}");
+        assert!(telemetry.sat_calls > 0);
+        assert!(telemetry.solve_time > Duration::ZERO);
+        assert!(telemetry.encode_time > Duration::ZERO);
     }
 }

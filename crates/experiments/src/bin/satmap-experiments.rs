@@ -27,7 +27,14 @@ fn main() {
     };
     if command == "all" {
         for cmd in [
-            "q1", "q2", "q3-local", "q3-cyclic", "q3-breakdown", "q4", "q5-time", "q5-size",
+            "q1",
+            "q2",
+            "q3-local",
+            "q3-cyclic",
+            "q3-breakdown",
+            "q4",
+            "q5-time",
+            "q5-size",
             "q6",
         ] {
             println!("==================== {cmd} ====================");

@@ -10,7 +10,9 @@ use heuristics::{AStar, Sabre, Tket};
 use olsq::{Exhaustive, Transition};
 use satmap::{CyclicSatMap, Objective, SatMap, SatMapConfig};
 
-use crate::runner::{env_budget, env_suite, mean, row, run_tool, solved_summary, RunOutcome};
+use crate::runner::{
+    env_budget, env_suite, mean, row, run_tool, solved_summary, total_telemetry, RunOutcome,
+};
 
 fn satmap_router(budget: Duration) -> SatMap {
     SatMap::new(SatMapConfig::default().with_budget(budget))
@@ -52,6 +54,34 @@ pub fn q1(runtimes: bool) -> String {
             name.to_string(),
             format!("{solved}/{}", outcomes.len()),
             largest.to_string(),
+        ]));
+        out.push('\n');
+    }
+
+    // Solver effort behind Table I: SAT calls, conflicts, and where the
+    // time went (encoding vs. solving) — the telemetry each router
+    // aggregates from its MaxSAT and SAT layers.
+    out.push_str("\nSolver effort (aggregated over the suite):\n");
+    out.push_str(&row(&[
+        "tool".into(),
+        "SAT calls".into(),
+        "conflicts".into(),
+        "encode(s)".into(),
+        "solve(s)".into(),
+        "slices".into(),
+        "backtracks".into(),
+    ]));
+    out.push('\n');
+    for (name, outcomes) in &all {
+        let t = total_telemetry(outcomes);
+        out.push_str(&row(&[
+            name.to_string(),
+            t.sat_calls.to_string(),
+            t.conflicts.to_string(),
+            format!("{:.2}", t.encode_time.as_secs_f64()),
+            format!("{:.2}", t.solve_time.as_secs_f64()),
+            t.slices.to_string(),
+            t.backtracks.to_string(),
         ]));
         out.push('\n');
     }
@@ -135,17 +165,15 @@ pub fn q2() -> String {
     let suite = env_suite();
     let graph = devices::tokyo();
     let satmap = satmap_router(budget);
-    let satmap_out: Vec<RunOutcome> = suite
-        .iter()
-        .map(|b| run_tool(&satmap, b, &graph))
-        .collect();
+    let satmap_out: Vec<RunOutcome> = suite.iter().map(|b| run_tool(&satmap, b, &graph)).collect();
     let solved: Vec<&Benchmark> = suite
         .iter()
         .zip(&satmap_out)
         .filter(|(_, o)| o.solved())
         .map(|(b, _)| b)
         .collect();
-    let satmap_solved: Vec<RunOutcome> = satmap_out.iter().filter(|o| o.solved()).cloned().collect();
+    let satmap_solved: Vec<RunOutcome> =
+        satmap_out.iter().filter(|o| o.solved()).cloned().collect();
 
     let mut out = format!(
         "Q2: heuristic comparison on {} SATMAP-solved benchmarks (of {})\n",
@@ -187,9 +215,7 @@ pub fn q3_local() -> String {
     let budget = env_budget();
     let suite = env_suite();
     let graph = devices::tokyo();
-    let mut out = format!(
-        "Q3 (local relaxation): slice sizes vs NL-SATMAP, budget {budget:?}\n"
-    );
+    let mut out = format!("Q3 (local relaxation): slice sizes vs NL-SATMAP, budget {budget:?}\n");
     out.push_str(&row(&[
         "config".into(),
         "#solved".into(),
@@ -270,13 +296,11 @@ pub fn q3_cyclic() -> String {
             let start = std::time::Instant::now();
             let cyc_result = cyc.route_repeated(&prefix, &sub, cycles, &graph);
             let cyc_time = start.elapsed().as_secs_f64();
-            let cyc_cost = cyc_result
-                .ok()
-                .and_then(|(fullc, routed)| {
-                    circuit::verify::verify(&fullc, &graph, &routed)
-                        .ok()
-                        .map(|()| routed.added_gates())
-                });
+            let cyc_cost = cyc_result.ok().and_then(|(fullc, routed)| {
+                circuit::verify::verify(&fullc, &graph, &routed)
+                    .ok()
+                    .map(|()| routed.added_gates())
+            });
 
             let sm = run_tool(&satmap_router(budget), &bench, &graph);
             let tk = run_tool(&Tket::default(), &bench, &graph);
@@ -388,13 +412,15 @@ pub fn q4() -> String {
     let budget = env_budget();
     let suite = env_suite();
     let mut out = format!("Q4: architecture variation, budget {budget:?}\n");
-    for graph in [devices::tokyo_plus(), devices::tokyo(), devices::tokyo_minus()] {
+    for graph in [
+        devices::tokyo_plus(),
+        devices::tokyo(),
+        devices::tokyo_minus(),
+    ] {
         let satmap = satmap_router(budget);
         let tket = Tket::default();
-        let satmap_out: Vec<RunOutcome> = suite
-            .iter()
-            .map(|b| run_tool(&satmap, b, &graph))
-            .collect();
+        let satmap_out: Vec<RunOutcome> =
+            suite.iter().map(|b| run_tool(&satmap, b, &graph)).collect();
         let solved: Vec<&Benchmark> = suite
             .iter()
             .zip(&satmap_out)
@@ -403,16 +429,12 @@ pub fn q4() -> String {
             .collect();
         let sm: Vec<RunOutcome> = satmap_out.into_iter().filter(|o| o.solved()).collect();
         let tk: Vec<RunOutcome> = solved.iter().map(|b| run_tool(&tket, b, &graph)).collect();
-        let (text, ratios) = cost_ratio_block(
-            &format!("TKET/SATMAP on {}", graph.name()),
-            &tk,
-            &sm,
-        );
+        let (text, ratios) =
+            cost_ratio_block(&format!("TKET/SATMAP on {}", graph.name()), &tk, &sm);
         out.push_str(&text);
         let sd = {
             let m = mean(&ratios);
-            (ratios.iter().map(|r| (r - m).powi(2)).sum::<f64>()
-                / ratios.len().max(1) as f64)
+            (ratios.iter().map(|r| (r - m).powi(2)).sum::<f64>() / ratios.len().max(1) as f64)
                 .sqrt()
         };
         out.push_str(&format!(
@@ -452,8 +474,7 @@ pub fn q5(time_sweep: bool) -> String {
         for factor in [1.0f64 / 18.0, 1.0 / 6.0, 1.0 / 3.0, 1.0, 2.0, 3.0, 4.0] {
             let budget = base.mul_f64(factor);
             let r = SatMap::new(SatMapConfig::default().with_budget(budget));
-            let outcomes: Vec<RunOutcome> =
-                suite.iter().map(|b| run_tool(&r, b, &graph)).collect();
+            let outcomes: Vec<RunOutcome> = suite.iter().map(|b| run_tool(&r, b, &graph)).collect();
             let (solved, largest) = solved_summary(&outcomes);
             let ratios: Vec<f64> = outcomes
                 .iter()
@@ -484,7 +505,14 @@ pub fn q5(time_sweep: bool) -> String {
             "mean ratio".into(),
         ]));
         out.push('\n');
-        let bins = [(0usize, 25usize), (25, 50), (50, 100), (100, 200), (200, 600), (600, 10_000)];
+        let bins = [
+            (0usize, 25usize),
+            (25, 50),
+            (50, 100),
+            (100, 200),
+            (200, 600),
+            (600, 10_000),
+        ];
         for (lo, hi) in bins {
             let mut ratios = Vec::new();
             for b in suite
@@ -580,6 +608,10 @@ mod tests {
         std::env::set_var("SATMAP_SUITE_LIMIT", "4");
         let q1_report = q1(false);
         assert!(q1_report.contains("Table I"));
+        assert!(
+            q1_report.contains("Solver effort"),
+            "telemetry must reach the experiment tables"
+        );
         let q2_report = q2();
         assert!(q2_report.contains("SABRE"));
         let q4_report = q4();

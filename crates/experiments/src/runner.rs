@@ -6,6 +6,7 @@ use std::time::{Duration, Instant};
 use arch::ConnectivityGraph;
 use circuit::suite::Benchmark;
 use circuit::{verify::verify, RouteError, Router};
+use sat::SolverTelemetry;
 
 /// Result of running one tool on one benchmark.
 #[derive(Clone, Debug)]
@@ -18,6 +19,8 @@ pub struct RunOutcome {
     pub cost: Option<usize>,
     /// Wall-clock time of the attempt.
     pub seconds: f64,
+    /// Solver effort spent by the attempt (zero for pure heuristics).
+    pub telemetry: SolverTelemetry,
     /// Error, when unsolved.
     pub error: Option<RouteError>,
 }
@@ -61,7 +64,7 @@ pub fn env_suite() -> Vec<Benchmark> {
 /// unsolved (and flagged in the outcome's error).
 pub fn run_tool(router: &dyn Router, bench: &Benchmark, graph: &ConnectivityGraph) -> RunOutcome {
     let start = Instant::now();
-    let result = router.route(&bench.circuit, graph);
+    let (result, telemetry) = router.route_with_telemetry(&bench.circuit, graph);
     let seconds = start.elapsed().as_secs_f64();
     match result {
         Ok(routed) => match verify(&bench.circuit, graph, &routed) {
@@ -70,6 +73,7 @@ pub fn run_tool(router: &dyn Router, bench: &Benchmark, graph: &ConnectivityGrap
                 size: bench.circuit.num_two_qubit_gates(),
                 cost: Some(routed.added_gates()),
                 seconds,
+                telemetry,
                 error: None,
             },
             Err(e) => RunOutcome {
@@ -77,6 +81,7 @@ pub fn run_tool(router: &dyn Router, bench: &Benchmark, graph: &ConnectivityGrap
                 size: bench.circuit.num_two_qubit_gates(),
                 cost: None,
                 seconds,
+                telemetry,
                 error: Some(RouteError::Unsatisfiable(format!(
                     "verification failed: {e}"
                 ))),
@@ -87,9 +92,21 @@ pub fn run_tool(router: &dyn Router, bench: &Benchmark, graph: &ConnectivityGrap
             size: bench.circuit.num_two_qubit_gates(),
             cost: None,
             seconds,
+            // Effort spent on failed attempts still counts toward the
+            // solver-effort tables.
+            telemetry,
             error: Some(e),
         },
     }
+}
+
+/// Sums the solver effort across a set of outcomes.
+pub fn total_telemetry(outcomes: &[RunOutcome]) -> SolverTelemetry {
+    let mut total = SolverTelemetry::default();
+    for o in outcomes {
+        total.absorb(&o.telemetry);
+    }
+    total
 }
 
 /// Summary over a set of outcomes: `(solved, largest circuit solved)`.
@@ -141,7 +158,27 @@ mod tests {
         let out = run_tool(&Tket::default(), &bench, &g);
         assert!(out.solved());
         assert_eq!(out.size, 12);
-        assert!(out.cost.expect("cost") % 3 == 0, "cost counts CNOTs per swap");
+        assert!(
+            out.cost.expect("cost").is_multiple_of(3),
+            "cost counts CNOTs per swap"
+        );
+        // A heuristic spends no solver effort.
+        assert_eq!(out.telemetry.sat_calls, 0);
+    }
+
+    #[test]
+    fn run_tool_reports_solver_effort_for_sat_routers() {
+        use satmap::{SatMap, SatMapConfig};
+        let bench = Benchmark {
+            name: "tiny".into(),
+            circuit: circuit::generators::qft(3),
+        };
+        let g = arch::devices::tokyo();
+        let out = run_tool(&SatMap::new(SatMapConfig::monolithic()), &bench, &g);
+        assert!(out.solved());
+        assert!(out.telemetry.sat_calls > 0, "{}", out.telemetry);
+        let total = total_telemetry(std::slice::from_ref(&out));
+        assert_eq!(total.sat_calls, out.telemetry.sat_calls);
     }
 
     #[test]
@@ -152,6 +189,7 @@ mod tests {
                 size: 10,
                 cost: Some(3),
                 seconds: 0.1,
+                telemetry: SolverTelemetry::default(),
                 error: None,
             },
             RunOutcome {
@@ -159,6 +197,7 @@ mod tests {
                 size: 99,
                 cost: None,
                 seconds: 0.1,
+                telemetry: SolverTelemetry::default(),
                 error: Some(RouteError::Timeout),
             },
         ];

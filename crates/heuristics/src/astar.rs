@@ -6,7 +6,7 @@
 use std::collections::{BinaryHeap, HashMap};
 
 use arch::ConnectivityGraph;
-use circuit::{check_fits, Circuit, Gate, RoutedCircuit, RoutedOp, RouteError, Router};
+use circuit::{check_fits, Circuit, Gate, RouteError, RoutedCircuit, RoutedOp, Router};
 
 use crate::placement::degree_matching_placement;
 
@@ -65,10 +65,7 @@ impl Eq for Node {}
 impl Ord for Node {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Min-heap on f, tie-break on larger g (deeper first).
-        other
-            .f
-            .cmp(&self.f)
-            .then_with(|| self.g.cmp(&other.g))
+        other.f.cmp(&self.f).then_with(|| self.g.cmp(&other.g))
     }
 }
 

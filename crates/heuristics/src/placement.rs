@@ -30,8 +30,8 @@ pub fn degree_matching_placement(circuit: &Circuit, graph: &ConnectivityGraph) -
     let mut used = vec![false; n_phys];
     for &q in &order {
         let mut best: Option<(usize, (usize, usize))> = None; // (p, (adjacency, degree))
-        for p in 0..n_phys {
-            if used[p] {
+        for (p, &p_used) in used.iter().enumerate() {
+            if p_used {
                 continue;
             }
             // Affinity: interaction weight with partners already adjacent.
@@ -40,7 +40,7 @@ pub fn degree_matching_placement(circuit: &Circuit, graph: &ConnectivityGraph) -
                 .map(|q2| weight[q][q2])
                 .sum();
             let key = (adjacency, graph.neighbors(p).len());
-            if best.map_or(true, |(_, k)| key > k) {
+            if best.is_none_or(|(_, k)| key > k) {
                 best = Some((p, key));
             }
         }
@@ -98,7 +98,10 @@ mod tests {
         let placed = total_interaction_distance(&c, &g, &map);
         let identity: Vec<usize> = (0..5).collect();
         let trivial = total_interaction_distance(&c, &g, &identity);
-        assert!(placed <= trivial, "placement {placed} vs identity {trivial}");
+        assert!(
+            placed <= trivial,
+            "placement {placed} vs identity {trivial}"
+        );
         // Hub adjacent to every partner (Tokyo has degree-6 vertices).
         assert_eq!(placed, 8, "all four partners adjacent, two gates each");
     }

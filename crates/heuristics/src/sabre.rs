@@ -3,7 +3,7 @@
 //! paper reports a mean 6.97× cost ratio against (Fig. 12).
 
 use arch::ConnectivityGraph;
-use circuit::{check_fits, Circuit, Gate, RoutedCircuit, RoutedOp, RouteError, Router};
+use circuit::{check_fits, Circuit, Gate, RouteError, RoutedCircuit, RoutedOp, Router};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -223,7 +223,7 @@ impl Sabre {
             swaps_since_progress += 1;
             decay[x] += self.config.decay_delta;
             decay[y] += self.config.decay_delta;
-            if swap_count % self.config.decay_reset == 0 {
+            if swap_count.is_multiple_of(self.config.decay_reset) {
                 decay.iter_mut().for_each(|d| *d = 1.0);
             }
         }

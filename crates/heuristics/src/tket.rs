@@ -4,7 +4,7 @@
 //! the paper's comparison (mean 3.64× cost ratio, Fig. 12).
 
 use arch::ConnectivityGraph;
-use circuit::{check_fits, Circuit, Gate, RoutedCircuit, RoutedOp, RouteError, Router};
+use circuit::{check_fits, Circuit, Gate, RouteError, RoutedCircuit, RoutedOp, Router};
 
 use crate::placement::degree_matching_placement;
 

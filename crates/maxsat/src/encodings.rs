@@ -11,27 +11,10 @@
 
 use sat::Lit;
 
-/// Sink for freshly created variables and emitted clauses.
-///
-/// Both [`crate::WcnfInstance`] (hard side) and raw [`sat::Solver`]s
-/// implement this, so encodings can be reused by the MaxSAT engine and by
-/// direct SAT consumers.
-pub trait ClauseSink {
-    /// Allocates a fresh variable.
-    fn new_var(&mut self) -> sat::Var;
-    /// Emits a clause.
-    fn emit(&mut self, lits: &[Lit]);
-}
-
-impl ClauseSink for sat::Solver {
-    fn new_var(&mut self) -> sat::Var {
-        sat::Solver::new_var(self)
-    }
-
-    fn emit(&mut self, lits: &[Lit]) {
-        self.add_clause(lits.iter().copied());
-    }
-}
+// The sink trait lives in `sat::backend` so every `SatBackend` (not just
+// the bundled solver) can receive encodings; re-exported here because this
+// module is where encoding consumers import it from.
+pub use sat::backend::ClauseSink;
 
 impl ClauseSink for crate::WcnfInstance {
     fn new_var(&mut self) -> sat::Var {
@@ -148,11 +131,7 @@ impl Totalizer {
         Totalizer { outputs }
     }
 
-    fn merge<S: ClauseSink>(
-        sink: &mut S,
-        a: &[(u64, Lit)],
-        b: &[(u64, Lit)],
-    ) -> Vec<(u64, Lit)> {
+    fn merge<S: ClauseSink>(sink: &mut S, a: &[(u64, Lit)], b: &[(u64, Lit)]) -> Vec<(u64, Lit)> {
         use std::collections::BTreeMap;
         let mut sums: BTreeMap<u64, Lit> = BTreeMap::new();
         let fresh = |sink: &mut S, sums: &mut BTreeMap<u64, Lit>, w: u64| -> Lit {
@@ -170,7 +149,7 @@ impl Totalizer {
                 sink.emit(&[!la, !lb, o]);
             }
         }
-        sums.into_iter().map(|(w, l)| (w, l)).collect()
+        sums.into_iter().collect()
     }
 
     /// Sorted `(weight, output)` pairs of attainable sums.
@@ -192,17 +171,21 @@ impl Totalizer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sat::{SolveResult, Solver};
+    use sat::{DefaultBackend, SolveResult};
 
-    fn new_lits(s: &mut Solver, n: usize) -> Vec<Lit> {
-        (0..n).map(|_| s.new_var().positive()).collect()
+    fn new_lits(s: &mut DefaultBackend, n: usize) -> Vec<Lit> {
+        (0..n).map(|_| ClauseSink::new_var(s).positive()).collect()
     }
 
     /// Exhaustively checks that the encoding admits exactly the assignments
     /// with `count` in `allowed`.
-    fn check_counts(n: usize, encode: impl Fn(&mut Solver, &[Lit]), allowed: impl Fn(u32) -> bool) {
+    fn check_counts(
+        n: usize,
+        encode: impl Fn(&mut DefaultBackend, &[Lit]),
+        allowed: impl Fn(u32) -> bool,
+    ) {
         for mask in 0u32..(1 << n) {
-            let mut s = Solver::new();
+            let mut s = DefaultBackend::default();
             let lits = new_lits(&mut s, n);
             encode(&mut s, &lits);
             for (i, &l) in lits.iter().enumerate() {
@@ -210,7 +193,8 @@ mod tests {
                 s.add_clause([if want { l } else { !l }]);
             }
             let expect = allowed(mask.count_ones());
-            let got = s.solve() == SolveResult::Sat;
+            let got = s.solve_under_assumptions(&[], &sat::ResourceBudget::unlimited())
+                == SolveResult::Sat;
             assert_eq!(got, expect, "n={n} mask={mask:b}");
         }
     }
@@ -218,20 +202,20 @@ mod tests {
     #[test]
     fn amo_pairwise_exhaustive() {
         for n in 0..=4 {
-            check_counts(n, |s, l| at_most_one(s, l), |c| c <= 1);
+            check_counts(n, at_most_one, |c| c <= 1);
         }
     }
 
     #[test]
     fn amo_sequential_exhaustive() {
         // n = 8 exceeds the pairwise limit, exercising the ladder encoding.
-        check_counts(8, |s, l| at_most_one(s, l), |c| c <= 1);
+        check_counts(8, at_most_one, |c| c <= 1);
     }
 
     #[test]
     fn exactly_one_exhaustive() {
         for n in 1..=7 {
-            check_counts(n, |s, l| exactly_one(s, l), |c| c == 1);
+            check_counts(n, exactly_one, |c| c == 1);
         }
     }
 
@@ -242,7 +226,7 @@ mod tests {
         let n = 5usize;
         for k in 0..=n as u64 {
             for mask in 0u32..(1 << n) {
-                let mut s = Solver::new();
+                let mut s = DefaultBackend::default();
                 let lits = new_lits(&mut s, n);
                 let inputs: Vec<(Lit, u64)> = lits.iter().map(|&l| (l, 1)).collect();
                 let tot = Totalizer::build(&mut s, &inputs);
@@ -254,7 +238,9 @@ mod tests {
                     s.add_clause([if want { l } else { !l }]);
                 }
                 let expect = u64::from(mask.count_ones()) <= k;
-                assert_eq!(s.solve() == SolveResult::Sat, expect, "k={k} mask={mask:b}");
+                let sat_now = s.solve_under_assumptions(&[], &sat::ResourceBudget::unlimited())
+                    == SolveResult::Sat;
+                assert_eq!(sat_now, expect, "k={k} mask={mask:b}");
             }
         }
     }
@@ -264,7 +250,7 @@ mod tests {
         let weights = [3u64, 5, 7, 2];
         for k in [0u64, 2, 4, 7, 9, 11, 17] {
             for mask in 0u32..(1 << weights.len()) {
-                let mut s = Solver::new();
+                let mut s = DefaultBackend::default();
                 let lits = new_lits(&mut s, weights.len());
                 let inputs: Vec<(Lit, u64)> =
                     lits.iter().zip(weights).map(|(&l, w)| (l, w)).collect();
@@ -282,14 +268,16 @@ mod tests {
                     .filter(|&(i, _)| mask >> i & 1 == 1)
                     .map(|(_, &w)| w)
                     .sum();
-                assert_eq!(s.solve() == SolveResult::Sat, total <= k, "k={k} mask={mask:b}");
+                let sat_now = s.solve_under_assumptions(&[], &sat::ResourceBudget::unlimited())
+                    == SolveResult::Sat;
+                assert_eq!(sat_now, total <= k, "k={k} mask={mask:b}");
             }
         }
     }
 
     #[test]
     fn totalizer_empty() {
-        let mut s = Solver::new();
+        let mut s = DefaultBackend::default();
         let tot = Totalizer::build(&mut s, &[]);
         assert!(tot.outputs().is_empty());
         assert!(tot.assert_at_most(0).is_empty());

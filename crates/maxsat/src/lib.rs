@@ -10,16 +10,23 @@
 //!   CNF encodings shared with the QMR encoders,
 //! * [`solve`] — the anytime optimization loop.
 //!
+//! The engine is generic over [`sat::SatBackend`] and never names the
+//! concrete solver: [`solve`] uses the workspace default backend, while
+//! [`solve_with_backend`] accepts any implementation. Budgets are the
+//! shared deadline-based [`ResourceBudget`]; the solver effort of every
+//! call is reported in [`MaxSatOutcome::telemetry`].
+//!
 //! # Examples
 //!
 //! ```
-//! use maxsat::{WcnfInstance, solve, MaxSatConfig, MaxSatStatus};
+//! use maxsat::{WcnfInstance, solve, MaxSatStatus};
+//! use sat::ResourceBudget;
 //!
 //! let mut inst = WcnfInstance::new();
 //! let a = inst.new_var().positive();
 //! inst.add_hard([a]);
 //! inst.add_soft(3, [!a]);
-//! let out = solve(&inst, MaxSatConfig::unlimited());
+//! let out = solve(&inst, ResourceBudget::unlimited());
 //! assert_eq!(out.status, MaxSatStatus::Optimal);
 //! assert_eq!(out.cost, Some(3));
 //! ```
@@ -31,5 +38,6 @@ pub mod encodings;
 mod solve;
 mod wcnf;
 
-pub use solve::{solve, MaxSatConfig, MaxSatOutcome, MaxSatStatus};
+pub use sat::{ResourceBudget, SolverTelemetry};
+pub use solve::{solve, solve_with_backend, MaxSatOutcome, MaxSatStatus};
 pub use wcnf::{SoftClause, WcnfInstance};

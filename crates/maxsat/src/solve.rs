@@ -1,14 +1,20 @@
 //! The anytime MaxSAT engine: a linear SAT-UNSAT search.
 //!
 //! Mirrors the behaviour of Open-WBO-Inc-MCS as the paper uses it: a loop
-//! that repeatedly queries an (incremental) SAT solver for models of
+//! that repeatedly queries an (incremental) SAT backend for models of
 //! strictly decreasing cost, keeping the best model found so far. If the
 //! budget expires after at least one model was found, the best-so-far
 //! solution is returned — the property SATMAP relies on for large circuits.
+//!
+//! The engine is generic over [`SatBackend`]; [`solve`] instantiates it
+//! with the workspace default, and [`solve_with_backend`] lets callers
+//! plug in alternatives. Budgets are deadline-based [`ResourceBudget`]s:
+//! the engine arms the budget once and hands the *same deadline* to every
+//! SAT call, so no call can overshoot the caller's allowance.
 
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
-use sat::{Budget, Lit, SolveResult, Solver};
+use sat::{Lit, ResourceBudget, SatBackend, SolveResult, SolverTelemetry};
 
 use crate::encodings::Totalizer;
 use crate::wcnf::WcnfInstance;
@@ -37,6 +43,8 @@ pub struct MaxSatOutcome {
     pub cost: Option<u64>,
     /// Number of SAT-solver invocations performed.
     pub iterations: u32,
+    /// Solver effort spent answering this call.
+    pub telemetry: SolverTelemetry,
 }
 
 impl MaxSatOutcome {
@@ -46,41 +54,7 @@ impl MaxSatOutcome {
     }
 }
 
-/// Configuration for the MaxSAT search.
-#[derive(Clone, Copy, Debug)]
-pub struct MaxSatConfig {
-    /// Wall-clock budget for the entire search.
-    pub time_budget: Option<Duration>,
-    /// Conflict budget per SAT call (protects against a single call eating
-    /// the entire budget), if any.
-    pub conflicts_per_call: Option<u64>,
-}
-
-impl Default for MaxSatConfig {
-    fn default() -> Self {
-        MaxSatConfig {
-            time_budget: None,
-            conflicts_per_call: None,
-        }
-    }
-}
-
-impl MaxSatConfig {
-    /// Unlimited search (runs to optimality).
-    pub fn unlimited() -> Self {
-        Self::default()
-    }
-
-    /// Search bounded by total wall-clock time.
-    pub fn with_time(d: Duration) -> Self {
-        MaxSatConfig {
-            time_budget: Some(d),
-            ..Self::default()
-        }
-    }
-}
-
-/// Solves a weighted partial MaxSAT instance with a linear SAT-UNSAT loop.
+/// Solves a weighted partial MaxSAT instance with the default SAT backend.
 ///
 /// Every soft clause gets an *indicator literal* that is true exactly when
 /// the clause is falsified (unit softs reuse the negated literal; larger
@@ -91,7 +65,8 @@ impl MaxSatConfig {
 /// # Examples
 ///
 /// ```
-/// use maxsat::{WcnfInstance, solve, MaxSatConfig, MaxSatStatus};
+/// use maxsat::{WcnfInstance, solve, MaxSatStatus};
+/// use sat::ResourceBudget;
 ///
 /// let mut inst = WcnfInstance::new();
 /// let a = inst.new_var().positive();
@@ -99,16 +74,27 @@ impl MaxSatConfig {
 /// inst.add_hard([a, b]);      // a ∨ b
 /// inst.add_soft(1, [!a]);     // prefer ¬a
 /// inst.add_soft(1, [!b]);     // prefer ¬b
-/// let out = solve(&inst, MaxSatConfig::unlimited());
+/// let out = solve(&inst, ResourceBudget::unlimited());
 /// assert_eq!(out.status, MaxSatStatus::Optimal);
 /// assert_eq!(out.cost, Some(1)); // exactly one soft must break
 /// ```
-pub fn solve(instance: &WcnfInstance, config: MaxSatConfig) -> MaxSatOutcome {
-    let start = Instant::now();
-    let mut solver = Solver::new();
+pub fn solve(instance: &WcnfInstance, budget: ResourceBudget) -> MaxSatOutcome {
+    solve_with_backend::<sat::DefaultBackend>(instance, budget)
+}
+
+/// [`solve`] with an explicit [`SatBackend`] implementation.
+pub fn solve_with_backend<B: SatBackend + Default>(
+    instance: &WcnfInstance,
+    budget: ResourceBudget,
+) -> MaxSatOutcome {
+    let budget = budget.arm();
+    let mut telemetry = SolverTelemetry::new();
+    let mut solver = B::default();
+
+    let encode_start = Instant::now();
     solver.reserve_vars(instance.num_vars());
     for h in instance.hard_clauses() {
-        solver.add_clause(h.iter().copied());
+        solver.add_clause(h);
     }
 
     // Indicator literal per soft clause: true ⇔ the soft clause is falsified.
@@ -121,32 +107,20 @@ pub fn solve(instance: &WcnfInstance, config: MaxSatConfig) -> MaxSatOutcome {
                 let r = solver.new_var().positive();
                 let mut clause: Vec<Lit> = lits.to_vec();
                 clause.push(r);
-                solver.add_clause(clause);
+                solver.add_clause(&clause);
                 // r is free to be false whenever the clause is satisfied, and
                 // the objective pushes it false, so r ⇔ falsified at optimum.
                 indicators.push((r, s.weight));
             }
         }
     }
+    telemetry.encode_time += encode_start.elapsed();
     let constant_cost: u64 = instance
         .soft_clauses()
         .iter()
         .filter(|s| s.lits.is_empty())
         .map(|s| s.weight)
         .sum();
-
-    let remaining = |start: Instant| -> Option<Duration> {
-        config.time_budget.map(|b| b.saturating_sub(start.elapsed()))
-    };
-    let budget_for_call = |start: Instant| -> Budget {
-        Budget {
-            max_conflicts: config.conflicts_per_call,
-            max_time: remaining(start),
-        }
-    };
-    let out_of_time = |start: Instant| -> bool {
-        matches!(remaining(start), Some(d) if d.is_zero())
-    };
 
     let mut iterations = 0u32;
     let mut best_model: Option<Vec<bool>> = None;
@@ -157,12 +131,28 @@ pub fn solve(instance: &WcnfInstance, config: MaxSatConfig) -> MaxSatOutcome {
     const TOTALIZER_UNITS: u64 = 4000;
     let quantum = (total_weight / TOTALIZER_UNITS).max(1);
 
+    let conflicts_before = solver.stats().conflicts;
+    let decisions_before = solver.stats().decisions;
+    let propagations_before = solver.stats().propagations;
+    macro_rules! snapshot {
+        () => {{
+            telemetry.sat_calls = u64::from(iterations);
+            telemetry.conflicts = solver.stats().conflicts - conflicts_before;
+            telemetry.decisions = solver.stats().decisions - decisions_before;
+            telemetry.propagations = solver.stats().propagations - propagations_before;
+            telemetry
+        }};
+    }
+
     loop {
-        if out_of_time(start) {
+        if budget.expired() {
             break;
         }
         iterations += 1;
-        match solver.solve_with(&[], budget_for_call(start)) {
+        let solve_start = Instant::now();
+        let result = solver.solve_under_assumptions(&[], &budget);
+        telemetry.solve_time += solve_start.elapsed();
+        match result {
             SolveResult::Sat => {
                 let model = solver.model();
                 // Evaluate true cost against the original instance (the
@@ -176,8 +166,7 @@ pub fn solve(instance: &WcnfInstance, config: MaxSatConfig) -> MaxSatOutcome {
                 let q_cost: u64 = indicators
                     .iter()
                     .filter(|&&(l, _)| {
-                        model.get(l.var().index()).copied().unwrap_or(false)
-                            == l.is_positive()
+                        model.get(l.var().index()).copied().unwrap_or(false) == l.is_positive()
                     })
                     .map(|&(_, w)| w.div_ceil(quantum))
                     .sum();
@@ -192,6 +181,7 @@ pub fn solve(instance: &WcnfInstance, config: MaxSatConfig) -> MaxSatOutcome {
                         model: best_model,
                         cost: Some(best_cost),
                         iterations,
+                        telemetry: snapshot!(),
                     };
                 }
                 if q_cost == 0 {
@@ -205,6 +195,7 @@ pub fn solve(instance: &WcnfInstance, config: MaxSatConfig) -> MaxSatOutcome {
                         model: best_model,
                         cost: Some(best_cost),
                         iterations,
+                        telemetry: snapshot!(),
                     };
                 }
                 // Lazily build the totalizer on first strengthening. The
@@ -213,6 +204,7 @@ pub fn solve(instance: &WcnfInstance, config: MaxSatConfig) -> MaxSatOutcome {
                 // (divided by `quantum`, rounding up) to keep it tractable;
                 // with quantum > 1 the search stays anytime-correct but can
                 // only claim Feasible, not Optimal.
+                let encode_start = Instant::now();
                 let tot = totalizer.get_or_insert_with(|| {
                     Totalizer::build(
                         &mut solver,
@@ -223,8 +215,9 @@ pub fn solve(instance: &WcnfInstance, config: MaxSatConfig) -> MaxSatOutcome {
                     )
                 });
                 for u in tot.assert_at_most(q_cost - 1) {
-                    solver.add_clause([u]);
+                    solver.add_clause(&[u]);
                 }
+                telemetry.encode_time += encode_start.elapsed();
             }
             SolveResult::Unsat => {
                 return if let Some(model) = best_model {
@@ -240,6 +233,7 @@ pub fn solve(instance: &WcnfInstance, config: MaxSatConfig) -> MaxSatOutcome {
                         model: Some(model),
                         cost: Some(best_cost),
                         iterations,
+                        telemetry: snapshot!(),
                     }
                 } else {
                     MaxSatOutcome {
@@ -247,6 +241,7 @@ pub fn solve(instance: &WcnfInstance, config: MaxSatConfig) -> MaxSatOutcome {
                         model: None,
                         cost: None,
                         iterations,
+                        telemetry: snapshot!(),
                     }
                 };
             }
@@ -261,6 +256,7 @@ pub fn solve(instance: &WcnfInstance, config: MaxSatConfig) -> MaxSatOutcome {
             model: Some(model),
             cost: Some(best_cost),
             iterations,
+            telemetry: snapshot!(),
         }
     } else {
         MaxSatOutcome {
@@ -268,6 +264,7 @@ pub fn solve(instance: &WcnfInstance, config: MaxSatConfig) -> MaxSatOutcome {
             model: None,
             cost: None,
             iterations,
+            telemetry: snapshot!(),
         }
     }
 }
@@ -275,6 +272,7 @@ pub fn solve(instance: &WcnfInstance, config: MaxSatConfig) -> MaxSatOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     fn lit(d: i64) -> Lit {
         Lit::from_dimacs(d)
@@ -285,7 +283,7 @@ mod tests {
         let mut inst = WcnfInstance::new();
         inst.reserve_vars(2);
         inst.add_hard([lit(1), lit(2)]);
-        let out = solve(&inst, MaxSatConfig::unlimited());
+        let out = solve(&inst, ResourceBudget::unlimited());
         assert_eq!(out.status, MaxSatStatus::Optimal);
         assert_eq!(out.cost, Some(0));
     }
@@ -297,7 +295,7 @@ mod tests {
         inst.add_hard([lit(1)]);
         inst.add_hard([lit(-1)]);
         inst.add_soft(1, [lit(1)]);
-        let out = solve(&inst, MaxSatConfig::unlimited());
+        let out = solve(&inst, ResourceBudget::unlimited());
         assert_eq!(out.status, MaxSatStatus::Unsat);
         assert!(!out.has_model());
     }
@@ -318,7 +316,7 @@ mod tests {
         inst.add_hard([t, !a, b]);
         inst.add_soft(1, [b]);
         inst.add_soft(1, [t]);
-        let out = solve(&inst, MaxSatConfig::unlimited());
+        let out = solve(&inst, ResourceBudget::unlimited());
         assert_eq!(out.status, MaxSatStatus::Optimal);
         // Exactly one of the two softs can hold (they are contradictory
         // under Hard), so minimal falsified weight is 1.
@@ -334,7 +332,7 @@ mod tests {
         inst.add_hard([a, b]);
         inst.add_soft(5, [!a]);
         inst.add_soft(1, [!b]);
-        let out = solve(&inst, MaxSatConfig::unlimited());
+        let out = solve(&inst, ResourceBudget::unlimited());
         assert_eq!(out.status, MaxSatStatus::Optimal);
         assert_eq!(out.cost, Some(1));
         let m = out.model.expect("model");
@@ -357,7 +355,7 @@ mod tests {
         // (weight 4) → cost 4. Setting c false: must break one of the first
         // two (cost ≥ 2 with a=true,b=false → breaks (b∨c): cost 3; or
         // b=true: breaks (a∨c): cost 2). Optimal cost = 2.
-        let out = solve(&inst, MaxSatConfig::unlimited());
+        let out = solve(&inst, ResourceBudget::unlimited());
         assert_eq!(out.status, MaxSatStatus::Optimal);
         assert_eq!(out.cost, Some(2));
     }
@@ -369,7 +367,7 @@ mod tests {
         inst.add_hard([a]);
         inst.add_soft(7, []);
         inst.add_soft(1, [!a]);
-        let out = solve(&inst, MaxSatConfig::unlimited());
+        let out = solve(&inst, ResourceBudget::unlimited());
         assert_eq!(out.status, MaxSatStatus::Optimal);
         assert_eq!(out.cost, Some(8));
     }
@@ -387,11 +385,43 @@ mod tests {
         for &l in &lits {
             inst.add_soft(1, [!l]);
         }
-        let out = solve(&inst, MaxSatConfig::with_time(Duration::from_millis(0)));
+        let out = solve(&inst, ResourceBudget::with_time(Duration::from_millis(0)));
         assert!(matches!(
             out.status,
             MaxSatStatus::Feasible | MaxSatStatus::Unknown
         ));
+    }
+
+    #[test]
+    fn telemetry_reports_effort() {
+        let mut inst = WcnfInstance::new();
+        let a = inst.new_var().positive();
+        let b = inst.new_var().positive();
+        inst.add_hard([a, b]);
+        inst.add_soft(1, [!a]);
+        inst.add_soft(1, [!b]);
+        let out = solve(&inst, ResourceBudget::unlimited());
+        assert_eq!(out.status, MaxSatStatus::Optimal);
+        assert_eq!(out.telemetry.sat_calls, u64::from(out.iterations));
+        assert!(out.telemetry.sat_calls >= 1);
+    }
+
+    #[test]
+    fn conflict_cap_still_terminates_with_answer_or_unknown() {
+        let mut inst = WcnfInstance::new();
+        let lits: Vec<Lit> = (0..12).map(|_| inst.new_var().positive()).collect();
+        for w in lits.windows(2) {
+            inst.add_hard([w[0], w[1]]);
+        }
+        for &l in &lits {
+            inst.add_soft(1, [!l]);
+        }
+        let out = solve(&inst, ResourceBudget::unlimited().conflicts_per_call(1));
+        // With a 1-conflict cap per call the engine may stop early but must
+        // never misreport optimality of a worse-than-found model.
+        if let (Some(model), Some(cost)) = (&out.model, out.cost) {
+            assert_eq!(inst.cost_of(model), Some(cost));
+        }
     }
 
     /// Brute-force reference for small weighted instances.
@@ -437,7 +467,7 @@ mod tests {
                 inst.add_soft(rng.gen_range(1..5), lits);
             }
             let expect = brute_force(&inst);
-            let out = solve(&inst, MaxSatConfig::unlimited());
+            let out = solve(&inst, ResourceBudget::unlimited());
             match expect {
                 None => assert_eq!(out.status, MaxSatStatus::Unsat),
                 Some(c) => {

@@ -14,14 +14,15 @@
 //!   auxiliaries);
 //! * no slicing, no relaxations: one monolithic MaxSAT instance.
 
-use std::time::Instant;
+use std::marker::PhantomData;
 
 use arch::ConnectivityGraph;
-use circuit::{check_fits, Circuit, RoutedCircuit, RoutedOp, RouteError, Router};
-use maxsat::{MaxSatConfig, MaxSatStatus, WcnfInstance};
-use sat::{Lit, Var};
+use circuit::{check_fits, Circuit, RouteError, RoutedCircuit, RoutedOp, Router};
+use maxsat::{MaxSatStatus, WcnfInstance};
+use sat::{DefaultBackend, Lit, ResourceBudget, SatBackend, SolverTelemetry, Var};
 
-/// The exhaustive-encoding router (EX-MQT analogue).
+/// The exhaustive-encoding router (EX-MQT analogue), generic over the SAT
+/// backend driving the MaxSAT engine.
 ///
 /// # Examples
 ///
@@ -36,17 +37,49 @@ use sat::{Lit, Var};
 /// verify(&c, &g, &routed).expect("verifies");
 /// # Ok::<(), circuit::RouteError>(())
 /// ```
-#[derive(Clone, Debug, Default)]
-pub struct Exhaustive {
-    /// Wall-clock budget for the whole solve.
-    pub budget: Option<std::time::Duration>,
+#[derive(Debug)]
+pub struct Exhaustive<B: SatBackend + Default = DefaultBackend> {
+    /// Budget for the whole solve; the armed deadline bounds every nested
+    /// SAT call.
+    pub budget: ResourceBudget,
+    _backend: PhantomData<fn() -> B>,
+}
+
+impl<B: SatBackend + Default> Clone for Exhaustive<B> {
+    fn clone(&self) -> Self {
+        Exhaustive {
+            budget: self.budget,
+            _backend: PhantomData,
+        }
+    }
+}
+
+impl Default for Exhaustive {
+    fn default() -> Self {
+        Exhaustive {
+            budget: ResourceBudget::unlimited(),
+            _backend: PhantomData,
+        }
+    }
 }
 
 impl Exhaustive {
-    /// Creates the router with a time budget.
-    pub fn with_budget(budget: std::time::Duration) -> Self {
+    /// Creates the router with a budget (a plain `Duration` converts to a
+    /// wall-clock budget).
+    pub fn with_budget(budget: impl Into<ResourceBudget>) -> Self {
         Exhaustive {
-            budget: Some(budget),
+            budget: budget.into(),
+            _backend: PhantomData,
+        }
+    }
+}
+
+impl<B: SatBackend + Default> Exhaustive<B> {
+    /// Creates the router with an explicit SAT backend type.
+    pub fn with_backend(budget: ResourceBudget) -> Self {
+        Exhaustive {
+            budget,
+            _backend: PhantomData,
         }
     }
 }
@@ -133,11 +166,7 @@ impl NaiveEncoding {
                     // Naive frame: every other position copied, per edge.
                     for p in 0..np {
                         if p != x && p != y {
-                            instance.add_hard([
-                                !sw(slot, e),
-                                !m(slot, q, p),
-                                m(slot + 1, q, p),
-                            ]);
+                            instance.add_hard([!sw(slot, e), !m(slot, q, p), m(slot + 1, q, p)]);
                         }
                     }
                 }
@@ -190,7 +219,7 @@ impl NaiveEncoding {
     }
 }
 
-impl Router for Exhaustive {
+impl<B: SatBackend + Default> Router for Exhaustive<B> {
     fn name(&self) -> &str {
         "ex-mqt"
     }
@@ -200,8 +229,19 @@ impl Router for Exhaustive {
         circuit: &Circuit,
         graph: &ConnectivityGraph,
     ) -> Result<RoutedCircuit, RouteError> {
-        check_fits(circuit, graph)?;
-        let start = Instant::now();
+        self.route_with_telemetry(circuit, graph).0
+    }
+
+    fn route_with_telemetry(
+        &self,
+        circuit: &Circuit,
+        graph: &ConnectivityGraph,
+    ) -> (Result<RoutedCircuit, RouteError>, SolverTelemetry) {
+        let mut telemetry = SolverTelemetry::new();
+        if let Err(e) = check_fits(circuit, graph) {
+            return (Err(e), telemetry);
+        }
+        let budget = self.budget.arm();
         // Memory guard (the paper's 5 GB cap analogue): the naive encoding
         // grows as |C|·|Edges|·|Logic|·|Phys| and is the reason EX-MQT
         // stops early; refuse rather than thrash.
@@ -209,15 +249,14 @@ impl Router for Exhaustive {
             * graph.num_edges()
             * circuit.num_qubits()
             * graph.num_qubits();
-        if self.budget.is_some() && est > 40_000_000 {
-            return Err(RouteError::Timeout);
+        if self.budget.is_limited() && est > 40_000_000 {
+            return (Err(RouteError::Timeout), telemetry);
         }
+        let encode_start = std::time::Instant::now();
         let enc = NaiveEncoding::build(circuit, graph);
-        let config = MaxSatConfig {
-            time_budget: self.budget.map(|b| b.saturating_sub(start.elapsed())),
-            conflicts_per_call: None,
-        };
-        let out = maxsat::solve(&enc.instance, config);
+        telemetry.encode_time += encode_start.elapsed();
+        let out = maxsat::solve_with_backend::<B>(&enc.instance, budget);
+        telemetry.absorb(&out.telemetry);
         match out.status {
             MaxSatStatus::Optimal | MaxSatStatus::Feasible => {
                 let model = out.model.expect("status implies model");
@@ -236,12 +275,15 @@ impl Router for Exhaustive {
                     ops.push(RoutedOp::Logical(k));
                 }
                 let _ = enc.num_states;
-                Ok(RoutedCircuit::new(initial, ops))
+                (Ok(RoutedCircuit::new(initial, ops)), telemetry)
             }
-            MaxSatStatus::Unsat => Err(RouteError::Unsatisfiable(
-                "no routing with one swap per gap".into(),
-            )),
-            MaxSatStatus::Unknown => Err(RouteError::Timeout),
+            MaxSatStatus::Unsat => (
+                Err(RouteError::Unsatisfiable(
+                    "no routing with one swap per gap".into(),
+                )),
+                telemetry,
+            ),
+            MaxSatStatus::Unknown => (Err(RouteError::Timeout), telemetry),
         }
     }
 }

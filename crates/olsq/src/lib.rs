@@ -10,6 +10,11 @@
 //! * [`Transition`] — TB-OLSQ analogue: transition-based (time-coordinate)
 //!   encoding with order-encoded schedules and iterative block deepening.
 //!
+//! Both routers are generic over [`sat::SatBackend`] (the concrete solver
+//! is never named here), take the shared deadline-based
+//! [`sat::ResourceBudget`], and report [`sat::SolverTelemetry`] through
+//! [`circuit::Router::route_with_telemetry`].
+//!
 //! # Examples
 //!
 //! ```

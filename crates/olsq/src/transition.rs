@@ -12,15 +12,16 @@
 //! than SATMAP's sketch-based one — reproducing the paper's Q1 gap from
 //! the same cause it identifies (theory reasoning vs. plain SAT).
 
-use std::time::Instant;
+use std::marker::PhantomData;
 
 use arch::ConnectivityGraph;
-use circuit::{check_fits, Circuit, RoutedCircuit, RoutedOp, RouteError, Router};
+use circuit::{check_fits, Circuit, RouteError, RoutedCircuit, RoutedOp, Router};
 use maxsat::encodings::{at_most_one, exactly_one};
-use maxsat::{MaxSatConfig, MaxSatStatus, WcnfInstance};
-use sat::{Lit, Var};
+use maxsat::{MaxSatStatus, WcnfInstance};
+use sat::{DefaultBackend, Lit, ResourceBudget, SatBackend, SolverTelemetry, Var};
 
-/// The transition-based router (TB-OLSQ analogue).
+/// The transition-based router (TB-OLSQ analogue), generic over the SAT
+/// backend driving the MaxSAT engine.
 ///
 /// # Examples
 ///
@@ -35,26 +36,61 @@ use sat::{Lit, Var};
 /// verify(&c, &g, &routed).expect("verifies");
 /// # Ok::<(), circuit::RouteError>(())
 /// ```
-#[derive(Clone, Debug, Default)]
-pub struct Transition {
-    /// Wall-clock budget across all deepening iterations.
-    pub budget: Option<std::time::Duration>,
+#[derive(Debug)]
+pub struct Transition<B: SatBackend + Default = DefaultBackend> {
+    /// Budget across all deepening iterations; the armed deadline bounds
+    /// every nested SAT call.
+    pub budget: ResourceBudget,
+    _backend: PhantomData<fn() -> B>,
 }
 
-impl Transition {
-    /// Creates the router with a time budget.
-    pub fn with_budget(budget: std::time::Duration) -> Self {
+impl<B: SatBackend + Default> Clone for Transition<B> {
+    fn clone(&self) -> Self {
         Transition {
-            budget: Some(budget),
+            budget: self.budget,
+            _backend: PhantomData,
         }
     }
 }
 
+impl Default for Transition {
+    fn default() -> Self {
+        Transition {
+            budget: ResourceBudget::unlimited(),
+            _backend: PhantomData,
+        }
+    }
+}
+
+impl Transition {
+    /// Creates the router with a budget (a plain `Duration` converts to a
+    /// wall-clock budget).
+    pub fn with_budget(budget: impl Into<ResourceBudget>) -> Self {
+        Transition {
+            budget: budget.into(),
+            _backend: PhantomData,
+        }
+    }
+}
+
+impl<B: SatBackend + Default> Transition<B> {
+    /// Creates the router with an explicit SAT backend type.
+    pub fn with_backend(budget: ResourceBudget) -> Self {
+        Transition {
+            budget,
+            _backend: PhantomData,
+        }
+    }
+}
+
+/// Decoded model: initial map, per-gate block, per-transition swap sets.
+type DecodedSchedule = (Vec<usize>, Vec<usize>, Vec<Vec<(usize, usize)>>);
+
 struct TransitionEncoding {
     instance: WcnfInstance,
-    map_var: Vec<Vec<Vec<Var>>>,  // [block][q][p]
-    time_le: Vec<Vec<Var>>,       // [gate][block]: scheduled at block ≤ k
-    swap_var: Vec<Vec<Var>>,      // [transition][edge]
+    map_var: Vec<Vec<Vec<Var>>>, // [block][q][p]
+    time_le: Vec<Vec<Var>>,      // [gate][block]: scheduled at block ≤ k
+    swap_var: Vec<Vec<Var>>,     // [transition][edge]
     edges: Vec<(usize, usize)>,
     blocks: usize,
 }
@@ -107,9 +143,7 @@ impl TransitionEncoding {
         // later than the dependent gate.
         for (i, &(_, a1, b1)) in interactions.iter().enumerate() {
             for (j, &(_, a2, b2)) in interactions.iter().enumerate().skip(i + 1) {
-                let shares = [a1, b1]
-                    .iter()
-                    .any(|q| *q == a2 || *q == b2);
+                let shares = [a1, b1].iter().any(|q| *q == a2 || *q == b2);
                 if shares {
                     for k in 0..blocks {
                         instance.add_hard([!tle(j, k), tle(i, k)]);
@@ -146,11 +180,11 @@ impl TransitionEncoding {
                 at_most_one(&mut instance, &incident);
             }
             let touched: Vec<Lit> = (0..np).map(|_| instance.new_var().positive()).collect();
-            for p in 0..np {
-                let mut any = vec![!touched[p]];
+            for (p, &touched_p) in touched.iter().enumerate() {
+                let mut any = vec![!touched_p];
                 for (e, &(x, y)) in edges.iter().enumerate() {
                     if x == p || y == p {
-                        instance.add_hard([!sw(t, e), touched[p]]);
+                        instance.add_hard([!sw(t, e), touched_p]);
                         any.push(sw(t, e));
                     }
                 }
@@ -162,9 +196,9 @@ impl TransitionEncoding {
                     instance.add_hard([!sw(t, e), !m(t, q, y), m(t + 1, q, x)]);
                 }
             }
-            for p in 0..np {
+            for (p, &touched_p) in touched.iter().enumerate() {
                 for q in 0..nl {
-                    instance.add_hard([touched[p], !m(t, q, p), m(t + 1, q, p)]);
+                    instance.add_hard([touched_p, !m(t, q, p), m(t + 1, q, p)]);
                 }
             }
             // Soft: minimize swaps.
@@ -183,11 +217,7 @@ impl TransitionEncoding {
         }
     }
 
-    fn decode(
-        &self,
-        model: &[bool],
-        num_gates: usize,
-    ) -> (Vec<usize>, Vec<usize>, Vec<Vec<(usize, usize)>>) {
+    fn decode(&self, model: &[bool], num_gates: usize) -> DecodedSchedule {
         let value = |v: Var| model.get(v.index()).copied().unwrap_or(false);
         let initial: Vec<usize> = self.map_var[0]
             .iter()
@@ -215,7 +245,7 @@ impl TransitionEncoding {
     }
 }
 
-impl Router for Transition {
+impl<B: SatBackend + Default> Router for Transition<B> {
     fn name(&self) -> &str {
         "tb-olsq"
     }
@@ -225,43 +255,55 @@ impl Router for Transition {
         circuit: &Circuit,
         graph: &ConnectivityGraph,
     ) -> Result<RoutedCircuit, RouteError> {
-        check_fits(circuit, graph)?;
-        let start = Instant::now();
+        self.route_with_telemetry(circuit, graph).0
+    }
+
+    fn route_with_telemetry(
+        &self,
+        circuit: &Circuit,
+        graph: &ConnectivityGraph,
+    ) -> (Result<RoutedCircuit, RouteError>, SolverTelemetry) {
+        let mut telemetry = SolverTelemetry::new();
+        if let Err(e) = check_fits(circuit, graph) {
+            return (Err(e), telemetry);
+        }
+        let budget = self.budget.arm();
         let interactions = circuit.two_qubit_interactions();
         let max_blocks = interactions.len().max(1) + 1;
         let mut blocks = 1usize;
         loop {
-            if let Some(b) = self.budget {
-                if start.elapsed() >= b {
-                    return Err(RouteError::Timeout);
-                }
+            if budget.expired() {
+                return (Err(RouteError::Timeout), telemetry);
             }
             // Memory guard (5 GB cap analogue): the dependency matrix grows
             // as |C|²·K; refuse rather than thrash.
             let g2 = interactions.len() * interactions.len();
-            if self.budget.is_some() && g2.saturating_mul(blocks) > 80_000_000 {
-                return Err(RouteError::Timeout);
+            if self.budget.is_limited() && g2.saturating_mul(blocks) > 80_000_000 {
+                return (Err(RouteError::Timeout), telemetry);
             }
+            let encode_start = std::time::Instant::now();
             let enc = TransitionEncoding::build(circuit, graph, blocks);
-            let config = MaxSatConfig {
-                time_budget: self.budget.map(|b| b.saturating_sub(start.elapsed())),
-                conflicts_per_call: None,
-            };
-            let out = maxsat::solve(&enc.instance, config);
+            telemetry.encode_time += encode_start.elapsed();
+            let out = maxsat::solve_with_backend::<B>(&enc.instance, budget);
+            telemetry.absorb(&out.telemetry);
             match out.status {
                 MaxSatStatus::Optimal | MaxSatStatus::Feasible => {
                     let model = out.model.expect("status implies model");
                     let (initial, block_of, swaps) = enc.decode(&model, interactions.len());
-                    return Ok(assemble(circuit, &interactions, initial, &block_of, &swaps));
+                    let routed = assemble(circuit, &interactions, initial, &block_of, &swaps);
+                    return (Ok(routed), telemetry);
                 }
-                MaxSatStatus::Unknown => return Err(RouteError::Timeout),
+                MaxSatStatus::Unknown => return (Err(RouteError::Timeout), telemetry),
                 MaxSatStatus::Unsat if blocks < max_blocks => {
                     blocks = (blocks * 2).min(max_blocks);
                 }
                 MaxSatStatus::Unsat => {
-                    return Err(RouteError::Unsatisfiable(
-                        "no transition schedule found".into(),
-                    ))
+                    return (
+                        Err(RouteError::Unsatisfiable(
+                            "no transition schedule found".into(),
+                        )),
+                        telemetry,
+                    )
                 }
             }
         }

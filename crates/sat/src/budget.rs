@@ -1,0 +1,185 @@
+//! The shared resource budget threaded through every solver layer.
+//!
+//! Historically each layer of the stack had its own budget plumbing (the
+//! SAT solver took per-call duration caps, the MaxSAT engine a total
+//! duration plus a conflict cap, the routers an `Option<Duration>`), and a
+//! child call could silently overshoot its parent's allowance because every
+//! layer restarted the clock. [`ResourceBudget`] replaces all of them with
+//! one *deadline-based* type: arming a budget converts its relative time
+//! limit into an absolute deadline, and children inherit the deadline, so a
+//! nested SAT call can never outlive the routing request that spawned it.
+//!
+//! # Examples
+//!
+//! ```
+//! use sat::ResourceBudget;
+//! use std::time::Duration;
+//!
+//! let parent = ResourceBudget::with_time(Duration::from_millis(50)).arm();
+//! // A child may ask for more time, but arming clamps to the parent's
+//! // deadline.
+//! let child = parent.limit_time(Duration::from_secs(60)).arm();
+//! assert_eq!(child.deadline(), parent.deadline());
+//! ```
+
+use std::time::{Duration, Instant};
+
+/// A wall-clock and conflict allowance for solver work.
+///
+/// Two states:
+///
+/// * **unarmed** — carries a relative `time_limit` (what configuration
+///   files and builders produce; reusable across repeated calls);
+/// * **armed** — [`ResourceBudget::arm`] has converted the limit into an
+///   absolute `deadline`, clamped to any deadline already inherited from a
+///   parent. Arming an already armed budget never extends the deadline.
+///
+/// The conflict cap applies to each individual SAT call (it protects the
+/// anytime MaxSAT loop from one call consuming the entire allowance) and is
+/// inherited unchanged by children.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResourceBudget {
+    /// Relative allowance, consumed by [`ResourceBudget::arm`].
+    time_limit: Option<Duration>,
+    /// Absolute point after which work must stop.
+    deadline: Option<Instant>,
+    /// Conflict cap per individual SAT call.
+    conflicts_per_call: Option<u64>,
+}
+
+impl ResourceBudget {
+    /// No limits at all.
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// A budget allowing `d` of wall-clock time once armed.
+    pub fn with_time(d: Duration) -> Self {
+        ResourceBudget {
+            time_limit: Some(d),
+            ..Self::default()
+        }
+    }
+
+    /// Returns a copy with a per-SAT-call conflict cap.
+    pub fn conflicts_per_call(mut self, n: u64) -> Self {
+        self.conflicts_per_call = Some(n);
+        self
+    }
+
+    /// Returns a copy whose relative time limit is `d` (the inherited
+    /// deadline, if any, still applies — a child can only tighten).
+    pub fn limit_time(mut self, d: Duration) -> Self {
+        self.time_limit = Some(match self.time_limit {
+            Some(existing) => existing.min(d),
+            None => d,
+        });
+        self
+    }
+
+    /// Starts the clock: converts the relative time limit into an absolute
+    /// deadline, clamped to any inherited deadline. Idempotent on armed
+    /// budgets; unlimited budgets stay unlimited.
+    #[must_use = "arming returns the budget that enforces the deadline"]
+    pub fn arm(&self) -> Self {
+        let mut armed = *self;
+        if let Some(limit) = armed.time_limit.take() {
+            let from_limit = Instant::now() + limit;
+            armed.deadline = Some(match armed.deadline {
+                Some(existing) => existing.min(from_limit),
+                None => from_limit,
+            });
+        }
+        armed
+    }
+
+    /// The absolute deadline, if armed with a time limit.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// The per-SAT-call conflict cap, if any.
+    pub fn conflict_cap(&self) -> Option<u64> {
+        self.conflicts_per_call
+    }
+
+    /// True if any limit (time or conflicts) is configured.
+    pub fn is_limited(&self) -> bool {
+        self.time_limit.is_some() || self.deadline.is_some() || self.conflicts_per_call.is_some()
+    }
+
+    /// Time left until the deadline (`None` = no time limit). An unarmed
+    /// time limit counts in full.
+    pub fn remaining_time(&self) -> Option<Duration> {
+        match (self.deadline, self.time_limit) {
+            (Some(d), _) => Some(d.saturating_duration_since(Instant::now())),
+            (None, Some(l)) => Some(l),
+            (None, None) => None,
+        }
+    }
+
+    /// True once the armed deadline has passed.
+    pub fn expired(&self) -> bool {
+        matches!(self.deadline, Some(d) if Instant::now() >= d)
+    }
+}
+
+impl From<Duration> for ResourceBudget {
+    /// A plain duration is the most common budget: wall-clock only.
+    fn from(d: Duration) -> Self {
+        ResourceBudget::with_time(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_expires() {
+        let b = ResourceBudget::unlimited().arm();
+        assert!(!b.expired());
+        assert!(!b.is_limited());
+        assert_eq!(b.remaining_time(), None);
+        assert_eq!(b.deadline(), None);
+    }
+
+    #[test]
+    fn zero_budget_expires_immediately() {
+        let b = ResourceBudget::with_time(Duration::ZERO).arm();
+        assert!(b.expired());
+    }
+
+    #[test]
+    fn child_cannot_extend_parent_deadline() {
+        let parent = ResourceBudget::with_time(Duration::from_millis(10)).arm();
+        let child = parent.limit_time(Duration::from_secs(3600)).arm();
+        assert_eq!(child.deadline(), parent.deadline());
+        // And a child may tighten.
+        let tight = parent.limit_time(Duration::ZERO).arm();
+        assert!(tight.deadline() <= parent.deadline());
+        assert!(tight.expired());
+    }
+
+    #[test]
+    fn arm_is_idempotent() {
+        let b = ResourceBudget::with_time(Duration::from_secs(5)).arm();
+        let again = b.arm();
+        assert_eq!(again.deadline(), b.deadline());
+    }
+
+    #[test]
+    fn conflict_cap_is_inherited() {
+        let b = ResourceBudget::unlimited().conflicts_per_call(7);
+        assert_eq!(b.conflict_cap(), Some(7));
+        assert_eq!(b.arm().conflict_cap(), Some(7));
+        assert!(b.is_limited());
+    }
+
+    #[test]
+    fn from_duration_is_time_budget() {
+        let b: ResourceBudget = Duration::from_millis(500).into();
+        assert_eq!(b.remaining_time(), Some(Duration::from_millis(500)));
+        assert!(!b.expired(), "unarmed budget has no deadline yet");
+    }
+}

@@ -27,7 +27,11 @@ pub struct ParseDimacsError {
 
 impl std::fmt::Display for ParseDimacsError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "dimacs parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "dimacs parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -68,13 +72,14 @@ impl Cnf {
                         message: "expected 'p cnf <vars> <clauses>'".into(),
                     });
                 }
-                declared_vars = parts
-                    .next()
-                    .and_then(|t| t.parse().ok())
-                    .ok_or_else(|| ParseDimacsError {
-                        line: lineno + 1,
-                        message: "missing variable count".into(),
-                    })?;
+                declared_vars =
+                    parts
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| ParseDimacsError {
+                            line: lineno + 1,
+                            message: "missing variable count".into(),
+                        })?;
                 continue;
             }
             for tok in line.split_whitespace() {

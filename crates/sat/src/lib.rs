@@ -12,7 +12,13 @@
 //! * first-UIP conflict analysis with clause minimization,
 //! * Luby restarts and activity/LBD-guided learned-clause reduction,
 //! * incremental solving under assumptions with UNSAT-core extraction,
-//! * cooperative budgets (conflicts / wall clock) for anytime callers,
+//! * cooperative deadline-based budgets ([`ResourceBudget`]) for anytime
+//!   callers — nested calls inherit and can never overshoot a parent's
+//!   deadline,
+//! * a backend abstraction ([`SatBackend`]) so higher layers are generic
+//!   over the solver implementation,
+//! * solver-effort accounting ([`SolverTelemetry`]) that higher layers
+//!   aggregate and report,
 //! * DIMACS CNF input/output ([`dimacs`]).
 //!
 //! # Examples
@@ -32,14 +38,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
+pub mod budget;
 mod clause;
 pub mod dimacs;
 mod lit;
 mod order;
 mod solver;
 mod stats;
+pub mod telemetry;
 
+pub use backend::{ClauseSink, DefaultBackend, SatBackend};
+pub use budget::ResourceBudget;
 pub use clause::ClauseRef;
 pub use lit::{LBool, Lit, Var};
-pub use solver::{Budget, SolveResult, Solver};
+pub use solver::{SolveResult, Solver};
 pub use stats::Stats;
+pub use telemetry::SolverTelemetry;

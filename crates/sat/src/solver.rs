@@ -4,12 +4,11 @@
 //! two-watched-literal propagation, VSIDS decision heuristic with phase
 //! saving, first-UIP conflict analysis with clause minimization, Luby
 //! restarts, and activity/LBD-based learned-clause database reduction.
-//! Supports incremental solving under assumptions and cooperative budgets
-//! (conflicts or wall-clock), which the MaxSAT layer uses for anytime
-//! behaviour.
+//! Supports incremental solving under assumptions and cooperative
+//! [`ResourceBudget`]s (conflicts or wall-clock deadlines), which the
+//! MaxSAT layer uses for anytime behaviour.
 
-use std::time::{Duration, Instant};
-
+use crate::budget::ResourceBudget;
 use crate::clause::{ClauseDb, ClauseRef};
 use crate::lit::{LBool, Lit, Var};
 use crate::stats::Stats;
@@ -23,41 +22,6 @@ pub enum SolveResult {
     Unsat,
     /// The budget expired before a definitive answer.
     Unknown,
-}
-
-/// Resource budget for a single `solve` call.
-///
-/// The solver checks the budget at restart boundaries and coarse-grained
-/// intervals, so overshoot is bounded but nonzero.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct Budget {
-    /// Maximum number of conflicts, if any.
-    pub max_conflicts: Option<u64>,
-    /// Maximum wall-clock duration, if any.
-    pub max_time: Option<Duration>,
-}
-
-impl Budget {
-    /// An unlimited budget.
-    pub fn unlimited() -> Self {
-        Self::default()
-    }
-
-    /// Budget limited to a wall-clock duration.
-    pub fn time(d: Duration) -> Self {
-        Budget {
-            max_conflicts: None,
-            max_time: Some(d),
-        }
-    }
-
-    /// Budget limited to a number of conflicts.
-    pub fn conflicts(n: u64) -> Self {
-        Budget {
-            max_conflicts: Some(n),
-            max_time: None,
-        }
-    }
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -524,8 +488,7 @@ impl Solver {
             .iter()
             .map(|&r| {
                 let first = self.db.get(r).lits[0];
-                self.reason[first.var().index()] == Some(r)
-                    && self.value_lit(first) == LBool::True
+                self.reason[first.var().index()] == Some(r) && self.value_lit(first) == LBool::True
             })
             .collect();
         let target = refs.len() / 2;
@@ -556,16 +519,26 @@ impl Solver {
 
     /// Solves the current formula with no assumptions and no budget.
     pub fn solve(&mut self) -> SolveResult {
-        self.solve_with(&[], Budget::unlimited())
+        self.solve_under_assumptions(&[], &ResourceBudget::unlimited())
     }
 
-    /// Solves under `assumptions` with a resource `budget`.
+    /// Solves under `assumptions` within `budget`.
+    ///
+    /// The budget is armed on entry ([`ResourceBudget::arm`]): a relative
+    /// time limit starts counting now, while a deadline inherited from a
+    /// parent call is honored as-is — a nested call can therefore never
+    /// overshoot its parent's allowance. The solver checks the deadline at
+    /// coarse-grained intervals, so overshoot is bounded but nonzero.
     ///
     /// On [`SolveResult::Unsat`] with nonempty assumptions, the subset of
     /// assumptions involved in the conflict is available from
     /// [`Solver::unsat_core`].
-    pub fn solve_with(&mut self, assumptions: &[Lit], budget: Budget) -> SolveResult {
-        let start = Instant::now();
+    pub fn solve_under_assumptions(
+        &mut self,
+        assumptions: &[Lit],
+        budget: &ResourceBudget,
+    ) -> SolveResult {
+        let budget = budget.arm();
         self.model.clear();
         self.conflict_core.clear();
         self.cancel_until(0);
@@ -582,7 +555,7 @@ impl Solver {
         loop {
             let restart_budget = 100 * luby(restart_idx);
             restart_idx += 1;
-            match self.search(assumptions, restart_budget, &budget, start, conflict_start) {
+            match self.search(assumptions, restart_budget, &budget, conflict_start) {
                 SearchOutcome::Sat => {
                     self.model = self.assigns.clone();
                     self.cancel_until(0);
@@ -608,8 +581,7 @@ impl Solver {
         &mut self,
         assumptions: &[Lit],
         restart_conflicts: u64,
-        budget: &Budget,
-        start: Instant,
+        budget: &ResourceBudget,
         conflict_start: u64,
     ) -> SearchOutcome {
         let mut conflicts_here = 0u64;
@@ -629,7 +601,7 @@ impl Solver {
                 let (learnt, bt_level) = self.analyze(conflict);
                 // Never backtrack into the middle of the assumption prefix
                 // with an asserting clause that assumes deeper context.
-                let bt = bt_level.max(0);
+                let bt = bt_level;
                 self.cancel_until(bt.max(self.assumption_level_floor(assumptions, bt)));
                 self.record_learnt(learnt);
                 self.decay_activities();
@@ -638,20 +610,20 @@ impl Solver {
                     self.max_learnt *= 1.5;
                 }
             } else {
-                if conflicts_here >= restart_conflicts && self.decision_level() as usize > assumptions.len() {
+                if conflicts_here >= restart_conflicts
+                    && self.decision_level() as usize > assumptions.len()
+                {
                     return SearchOutcome::Restart;
                 }
-                if let Some(max_c) = budget.max_conflicts {
-                    if self.stats.conflicts - conflict_start >= max_c {
+                if let Some(cap) = budget.conflict_cap() {
+                    if self.stats.conflicts - conflict_start >= cap {
                         return SearchOutcome::BudgetExhausted;
                     }
                 }
-                if let Some(max_t) = budget.max_time {
-                    if (self.stats.decisions + self.stats.conflicts) % 64 == 0
-                        && start.elapsed() >= max_t
-                    {
-                        return SearchOutcome::BudgetExhausted;
-                    }
+                if (self.stats.decisions + self.stats.conflicts).is_multiple_of(64)
+                    && budget.expired()
+                {
+                    return SearchOutcome::BudgetExhausted;
                 }
                 // Establish assumptions as pseudo-decisions first.
                 let dl = self.decision_level() as usize;
@@ -866,10 +838,10 @@ mod tests {
         for row in &x {
             s.add_clause(row.to_vec());
         }
-        for h in 0..2 {
-            for p1 in 0..3 {
-                for p2 in (p1 + 1)..3 {
-                    s.add_clause([!x[p1][h], !x[p2][h]]);
+        for p1 in 0..3 {
+            for p2 in (p1 + 1)..3 {
+                for (h, &cell) in x[p1].iter().enumerate() {
+                    s.add_clause([!cell, !x[p2][h]]);
                 }
             }
         }
@@ -882,9 +854,16 @@ mod tests {
         let (a, b) = (lit(&mut s, 1), lit(&mut s, 2));
         s.add_clause([a, b]);
         s.add_clause([!a, b]);
-        assert_eq!(s.solve_with(&[!b], Budget::unlimited()), SolveResult::Unsat);
+        let unlimited = ResourceBudget::unlimited();
+        assert_eq!(
+            s.solve_under_assumptions(&[!b], &unlimited),
+            SolveResult::Unsat
+        );
         assert!(s.unsat_core().contains(&!b));
-        assert_eq!(s.solve_with(&[b], Budget::unlimited()), SolveResult::Sat);
+        assert_eq!(
+            s.solve_under_assumptions(&[b], &unlimited),
+            SolveResult::Sat
+        );
         // Solver stays usable incrementally.
         assert_eq!(s.solve(), SolveResult::Sat);
         assert_eq!(s.model_value(b), Some(true));
@@ -921,9 +900,40 @@ mod tests {
                 }
             }
         }
-        let r = s.solve_with(&[], Budget::conflicts(1));
+        let r = s.solve_under_assumptions(&[], &ResourceBudget::unlimited().conflicts_per_call(1));
         assert_ne!(r, SolveResult::Sat);
         // And with no budget it is definitively unsat.
         assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn inherited_deadline_bounds_child_call() {
+        // A child call asking for an hour still stops at the parent's
+        // (already expired) deadline.
+        let mut s = Solver::new();
+        let n = 9usize;
+        let m = 8usize;
+        let var = |p: usize, h: usize| (p * m + h + 1) as i64;
+        for p in 0..n {
+            let row: Vec<Lit> = (0..m).map(|h| lit(&mut s, var(p, h))).collect();
+            s.add_clause(row);
+        }
+        for h in 0..m {
+            for p1 in 0..n {
+                for p2 in (p1 + 1)..n {
+                    let (l1, l2) = (lit(&mut s, var(p1, h)), lit(&mut s, var(p2, h)));
+                    s.add_clause([!l1, !l2]);
+                }
+            }
+        }
+        let parent = ResourceBudget::with_time(std::time::Duration::ZERO).arm();
+        let child = parent.limit_time(std::time::Duration::from_secs(3600));
+        let started = std::time::Instant::now();
+        let r = s.solve_under_assumptions(&[], &child);
+        assert_eq!(r, SolveResult::Unknown);
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(30),
+            "child call must respect the parent's deadline"
+        );
     }
 }

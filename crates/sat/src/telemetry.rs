@@ -1,0 +1,102 @@
+//! Solver-effort accounting that flows *up* the stack.
+//!
+//! Every layer above the SAT solver (the MaxSAT engine, the SATMAP slice
+//! loop, the OLSQ baselines) produces a [`SolverTelemetry`] describing the
+//! work a call performed; parents absorb their children's records, and the
+//! experiment runner reports the totals next to swap counts so the paper
+//! tables show solver effort, not just solution quality.
+
+use std::time::Duration;
+
+/// Aggregated solver effort for one routing (or MaxSAT) call.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolverTelemetry {
+    /// Number of individual SAT-solver invocations.
+    pub sat_calls: u64,
+    /// Conflicts across all SAT calls.
+    pub conflicts: u64,
+    /// Branching decisions across all SAT calls.
+    pub decisions: u64,
+    /// Unit propagations across all SAT calls.
+    pub propagations: u64,
+    /// Time spent building encodings (clauses, totalizers).
+    pub encode_time: Duration,
+    /// Time spent inside SAT `solve` calls.
+    pub solve_time: Duration,
+    /// Slices solved by the local relaxation (0 for monolithic solving).
+    pub slices: u64,
+    /// Backtracking steps taken across slice boundaries.
+    pub backtracks: u64,
+}
+
+impl SolverTelemetry {
+    /// An empty record.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a child call's effort into this record.
+    pub fn absorb(&mut self, child: &SolverTelemetry) {
+        self.sat_calls += child.sat_calls;
+        self.conflicts += child.conflicts;
+        self.decisions += child.decisions;
+        self.propagations += child.propagations;
+        self.encode_time += child.encode_time;
+        self.solve_time += child.solve_time;
+        self.slices += child.slices;
+        self.backtracks += child.backtracks;
+    }
+}
+
+impl std::fmt::Display for SolverTelemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "sat_calls={} conflicts={} slices={} backtracks={} encode={:.3}s solve={:.3}s",
+            self.sat_calls,
+            self.conflicts,
+            self.slices,
+            self.backtracks,
+            self.encode_time.as_secs_f64(),
+            self.solve_time.as_secs_f64()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_sums_fields() {
+        let mut parent = SolverTelemetry {
+            sat_calls: 1,
+            conflicts: 10,
+            slices: 1,
+            ..SolverTelemetry::new()
+        };
+        let child = SolverTelemetry {
+            sat_calls: 2,
+            conflicts: 5,
+            backtracks: 3,
+            encode_time: Duration::from_millis(4),
+            solve_time: Duration::from_millis(6),
+            ..SolverTelemetry::new()
+        };
+        parent.absorb(&child);
+        assert_eq!(parent.sat_calls, 3);
+        assert_eq!(parent.conflicts, 15);
+        assert_eq!(parent.slices, 1);
+        assert_eq!(parent.backtracks, 3);
+        assert_eq!(parent.encode_time, Duration::from_millis(4));
+        assert_eq!(parent.solve_time, Duration::from_millis(6));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let t = SolverTelemetry::new();
+        let s = t.to_string();
+        assert!(s.contains("sat_calls=0"));
+        assert!(s.contains("solve=0.000s"));
+    }
+}

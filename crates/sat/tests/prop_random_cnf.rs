@@ -108,7 +108,8 @@ proptest! {
         for clause in &clauses {
             s1.add_clause(clause.iter().map(|&d| Lit::from_dimacs(d)));
         }
-        let via_assumption = s1.solve_with(&[Lit::from_dimacs(a)], sat::Budget::unlimited());
+        let via_assumption =
+            s1.solve_under_assumptions(&[Lit::from_dimacs(a)], &sat::ResourceBudget::unlimited());
 
         let mut all = clauses.clone();
         all.push(vec![a]);
@@ -147,7 +148,9 @@ proptest! {
         }
         // Assume every variable true.
         let assumptions: Vec<Lit> = (0..num_vars).map(|v| Var::new(v).positive()).collect();
-        if solver.solve_with(&assumptions, sat::Budget::unlimited()) == SolveResult::Unsat {
+        if solver.solve_under_assumptions(&assumptions, &sat::ResourceBudget::unlimited())
+            == SolveResult::Unsat
+        {
             let core = solver.unsat_core().to_vec();
             // Core literals must come from the assumptions.
             for l in &core {

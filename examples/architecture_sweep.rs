@@ -33,7 +33,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for c in &circuits {
             // Skip circuits SATMAP cannot finish within the budget (can
             // happen on loaded machines); the comparison uses the rest.
-            let Ok(sm) = satmap.route(c, &graph) else { continue };
+            let Ok(sm) = satmap.route(c, &graph) else {
+                continue;
+            };
             verify(c, &graph, &sm).expect("verifies");
             let tk = tket.route(c, &graph)?;
             verify(c, &graph, &tk).expect("verifies");

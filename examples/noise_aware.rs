@@ -28,8 +28,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let li_a = a.log_infidelity(&circuit, &graph, &noise);
     let li_b = b.log_infidelity(&circuit, &graph, &noise);
-    println!("swap-count objective : {} added gates, success prob {:.4}", a.added_gates(), (-li_a).exp());
-    println!("fidelity objective   : {} added gates, success prob {:.4}", b.added_gates(), (-li_b).exp());
+    println!(
+        "swap-count objective : {} added gates, success prob {:.4}",
+        a.added_gates(),
+        (-li_a).exp()
+    );
+    println!(
+        "fidelity objective   : {} added gates, success prob {:.4}",
+        b.added_gates(),
+        (-li_b).exp()
+    );
     // The MaxSAT engine quantizes large weight sums, so allow the
     // corresponding slack when comparing objectives.
     assert!(

@@ -43,7 +43,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     match sm.route(&full, &graph) {
         Ok(r) => {
             verify(&full, &graph, &r).expect("verifies");
-            println!("SATMAP:     cost {:>3} added gates in {:.2?}", r.added_gates(), t.elapsed());
+            println!(
+                "SATMAP:     cost {:>3} added gates in {:.2?}",
+                r.added_gates(),
+                t.elapsed()
+            );
         }
         Err(e) => println!("SATMAP:     {e} after {:.2?}", t.elapsed()),
     }
@@ -52,7 +56,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let t = Instant::now();
     let tket = Tket::default().route(&full, &graph)?;
     verify(&full, &graph, &tket).expect("verifies");
-    println!("TKET:       cost {:>3} added gates in {:.2?}", tket.added_gates(), t.elapsed());
+    println!(
+        "TKET:       cost {:>3} added gates in {:.2?}",
+        tket.added_gates(),
+        t.elapsed()
+    );
 
     Ok(())
 }

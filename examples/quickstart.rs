@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let routed = router.route(&logical, &device)?;
     verify(&logical, &device, &routed).expect("independent verifier accepts");
 
-    println!("initial map (logical -> physical): {:?}", routed.initial_map());
+    println!(
+        "initial map (logical -> physical): {:?}",
+        routed.initial_map()
+    );
     println!("inserted SWAPs: {}", routed.swap_count());
     println!("added CNOT gates (3 per SWAP): {}", routed.added_gates());
     for op in routed.ops() {

@@ -50,8 +50,7 @@ fn optimal_tools_agree_on_swap_count() {
     for seed in 0..4u64 {
         let circuit = circuit::generators::random_local(4, 6, 3, 0.0, seed);
         let graph = arch::devices::linear(4);
-        let satmap = SatMap::new(SatMapConfig::monolithic())
-            .route(&circuit, &graph);
+        let satmap = SatMap::new(SatMapConfig::monolithic()).route(&circuit, &graph);
         let exq = Exhaustive::default().route(&circuit, &graph);
         match (satmap, exq) {
             (Ok(a), Ok(b)) => {
@@ -157,8 +156,7 @@ fn empty_and_one_qubit_circuits() {
             let routed = router
                 .route(&c, &graph)
                 .unwrap_or_else(|e| panic!("{}: {e}", router.name()));
-            verify(&c, &graph, &routed)
-                .unwrap_or_else(|e| panic!("{}: {e}", router.name()));
+            verify(&c, &graph, &routed).unwrap_or_else(|e| panic!("{}: {e}", router.name()));
             assert_eq!(routed.swap_count(), 0);
         }
     }

@@ -11,20 +11,18 @@ use satmap::{SatMap, SatMapConfig};
 /// Strategy: a random circuit over `n` qubits with up to `max_gates`
 /// two-qubit gates plus sprinkled single-qubit gates.
 fn circuit_strategy(n: usize, max_gates: usize) -> impl Strategy<Value = Circuit> {
-    prop::collection::vec((0..n, 0..n, prop::bool::ANY), 1..=max_gates).prop_map(
-        move |specs| {
-            let mut c = Circuit::new(n);
-            for (a, b, with_h) in specs {
-                if a != b {
-                    c.cx(a, b);
-                }
-                if with_h {
-                    c.h(a);
-                }
+    prop::collection::vec((0..n, 0..n, prop::bool::ANY), 1..=max_gates).prop_map(move |specs| {
+        let mut c = Circuit::new(n);
+        for (a, b, with_h) in specs {
+            if a != b {
+                c.cx(a, b);
             }
-            c
-        },
-    )
+            if with_h {
+                c.h(a);
+            }
+        }
+        c
+    })
 }
 
 fn devices() -> Vec<arch::ConnectivityGraph> {

@@ -1,0 +1,196 @@
+//! Cross-layer tests of the unified solver stack: the paper's Fig. 3
+//! running example through *every* `Router` implementation, budget
+//! inheritance across nesting levels, and telemetry propagation.
+
+use std::time::{Duration, Instant};
+
+use circuit::{verify::verify, Circuit, Router};
+use heuristics::{AStar, Sabre, Tket};
+use olsq::{Exhaustive, Transition};
+use sat::{ResourceBudget, SatBackend, SolveResult};
+use satmap::{CyclicSatMap, SatMap, SatMapConfig};
+
+/// The paper's Fig. 3a running example.
+fn fig3() -> Circuit {
+    let mut c = Circuit::new(4);
+    c.cx(0, 1);
+    c.cx(0, 2);
+    c.cx(3, 2);
+    c.cx(0, 3);
+    c
+}
+
+/// Every router in the repository, by its experiment-table name.
+fn every_router() -> Vec<Box<dyn Router>> {
+    vec![
+        Box::new(SatMap::new(SatMapConfig::sliced(2))), // SATMAP
+        Box::new(SatMap::new(SatMapConfig::monolithic())), // NL-SATMAP
+        Box::new(CyclicSatMap::new(SatMapConfig::monolithic())), // CYC-SATMAP
+        Box::new(Sabre::default()),
+        Box::new(Tket::default()),
+        Box::new(AStar::default()),
+        Box::new(Exhaustive::default()), // EX-MQT
+        Box::new(Transition::default()), // TB-OLSQ
+    ]
+}
+
+#[test]
+fn fig3_routes_and_verifies_through_every_router() {
+    let circuit = fig3();
+    // Fig. 3b is a 4-qubit path; use it directly so the example needs a
+    // real swap.
+    let graph = arch::ConnectivityGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+    let mut names = Vec::new();
+    for router in every_router() {
+        let routed = router
+            .route(&circuit, &graph)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", router.name()));
+        verify(&circuit, &graph, &routed)
+            .unwrap_or_else(|e| panic!("{} unverified: {e}", router.name()));
+        assert!(
+            routed.swap_count() >= 1,
+            "{}: Fig. 3 needs at least one swap on the path",
+            router.name()
+        );
+        names.push(router.name().to_string());
+    }
+    // All seven tool families of the paper's comparison are present.
+    for expected in [
+        "satmap",
+        "nl-satmap",
+        "cyc-satmap",
+        "sabre",
+        "tket",
+        "mqth-astar",
+        "ex-mqt",
+        "tb-olsq",
+    ] {
+        assert!(
+            names.iter().any(|n| n == expected),
+            "router {expected} missing from the stack (got {names:?})"
+        );
+    }
+}
+
+#[test]
+fn fig3_telemetry_flows_from_every_constraint_router() {
+    let circuit = fig3();
+    let graph = arch::devices::tokyo_minus();
+    for router in every_router() {
+        let (result, telemetry) = router.route_with_telemetry(&circuit, &graph);
+        let routed = result.unwrap_or_else(|e| panic!("{} failed: {e}", router.name()));
+        verify(&circuit, &graph, &routed)
+            .unwrap_or_else(|e| panic!("{} unverified: {e}", router.name()));
+        let is_heuristic = matches!(router.name(), "sabre" | "tket" | "mqth-astar");
+        if is_heuristic {
+            assert_eq!(
+                telemetry.sat_calls,
+                0,
+                "{} should spend no solver effort",
+                router.name()
+            );
+        } else {
+            assert!(
+                telemetry.sat_calls > 0,
+                "{} must report its SAT calls ({telemetry})",
+                router.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn child_sat_call_cannot_exceed_parent_deadline() {
+    // An armed parent budget fixes an absolute deadline; a child that asks
+    // for far more time must be clamped to it.
+    let parent = ResourceBudget::with_time(Duration::from_millis(40)).arm();
+    let child = parent.limit_time(Duration::from_secs(3600)).arm();
+    assert_eq!(
+        child.deadline(),
+        parent.deadline(),
+        "arming must clamp the child to the inherited deadline"
+    );
+
+    // Drive a genuinely hard SAT instance (pigeonhole 10/9) through the
+    // backend under the child budget: the call must come back around the
+    // parent's deadline, not the child's requested hour.
+    let mut backend = sat::DefaultBackend::default();
+    let (pigeons, holes) = (10usize, 9usize);
+    let lit = |p: usize, h: usize| sat::Lit::from_dimacs((p * holes + h + 1) as i64);
+    backend.reserve_vars(pigeons * holes);
+    for p in 0..pigeons {
+        let row: Vec<sat::Lit> = (0..holes).map(|h| lit(p, h)).collect();
+        SatBackend::add_clause(&mut backend, &row);
+    }
+    for h in 0..holes {
+        for p1 in 0..pigeons {
+            for p2 in (p1 + 1)..pigeons {
+                SatBackend::add_clause(&mut backend, &[!lit(p1, h), !lit(p2, h)]);
+            }
+        }
+    }
+    let started = Instant::now();
+    let result = backend.solve_under_assumptions(&[], &child);
+    let elapsed = started.elapsed();
+    assert_eq!(result, SolveResult::Unknown, "deadline must cut the search");
+    assert!(
+        elapsed < Duration::from_secs(30),
+        "child ran {elapsed:?}, far beyond the parent's 40ms deadline"
+    );
+}
+
+#[test]
+fn routing_budget_bounds_nested_layers_end_to_end() {
+    // A tight routing budget must bound the *whole* stack (slice loop →
+    // MaxSAT → SAT calls), not just the outermost check.
+    let c = circuit::generators::random_local(8, 40, 7, 0.1, 5);
+    let graph = arch::devices::tokyo();
+    let budget = Duration::from_millis(150);
+    let router = SatMap::new(SatMapConfig::sliced(4).with_budget(budget));
+    let started = Instant::now();
+    let result = router.route(&c, &graph);
+    let elapsed = started.elapsed();
+    // Solved fast or timed out — but never far past the deadline (the SAT
+    // solver checks its budget at coarse intervals, so allow slack).
+    assert!(
+        elapsed < Duration::from_secs(20),
+        "routing ran {elapsed:?} against a {budget:?} budget: {result:?}"
+    );
+    if let Ok(routed) = result {
+        verify(&c, &graph, &routed).expect("verifies");
+    }
+}
+
+#[test]
+fn telemetry_is_reported_even_when_routing_fails() {
+    // Effort spent before a timeout must reach the caller — timed-out
+    // attempts are exactly the ones the effort tables must not zero out.
+    let c = circuit::generators::random_local(8, 40, 7, 0.1, 5);
+    let graph = arch::devices::tokyo();
+    let router = SatMap::new(SatMapConfig::sliced(4).with_budget(Duration::from_millis(50)));
+    let (result, telemetry) = router.route_with_telemetry(&c, &graph);
+    if result.is_err() {
+        assert!(
+            telemetry.encode_time > Duration::ZERO || telemetry.sat_calls > 0,
+            "failed attempt reported zero effort: {telemetry}"
+        );
+    }
+}
+
+#[test]
+fn unlimited_sliced_routing_is_complete_on_random_instances() {
+    // The deepening fallback makes the local relaxation complete: random
+    // instances route for every slice size, including ones that exhaust
+    // plain final-map backtracking.
+    for seed in [3u64, 7, 11] {
+        let c = circuit::generators::random_local(6, 20, 5, 0.3, seed);
+        let graph = arch::devices::tokyo_minus();
+        for slice in [2usize, 5] {
+            let router = SatMap::new(SatMapConfig::sliced(slice));
+            let routed = router
+                .route(&c, &graph)
+                .unwrap_or_else(|e| panic!("seed {seed} slice {slice}: {e}"));
+            verify(&c, &graph, &routed).expect("verifies");
+        }
+    }
+}
