@@ -1,19 +1,32 @@
-//! Shared fixtures for the criterion benchmarks in `benches/`.
+//! Shared fixtures for the criterion benchmarks in `benches/`, plus the
+//! machine-readable report writer.
 //!
 //! Each benchmark group corresponds to one table or figure of the SATMAP
 //! paper (scaled down so `cargo bench` terminates in minutes; the full
-//! regeneration lives in the `satmap-experiments` binary).
+//! regeneration lives in the `satmap-experiments` binary). After all
+//! groups run, the harness calls [`write_bench_json`] to emit
+//! `BENCH_satmap.json` — per-benchmark and per-group median nanoseconds
+//! plus the portfolio-vs-single speedup — so the perf trajectory is
+//! comparable PR-over-PR without parsing stdout.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::io::Write as _;
 use std::time::Duration;
 
 use circuit::Circuit;
+use criterion::BenchResult;
 
 /// Per-call budget used by constraint-based routers inside benchmarks.
+/// Overridable via `SATMAP_BENCH_BUDGET_MS` (CI uses a smaller value for
+/// its smoke run).
 pub fn bench_budget() -> Duration {
-    Duration::from_millis(500)
+    let ms = std::env::var("SATMAP_BENCH_BUDGET_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(500u64);
+    Duration::from_millis(ms)
 }
 
 /// A small fixed workload set representative of the paper's suite.
@@ -34,4 +47,221 @@ pub fn fig3() -> Circuit {
     c.cx(3, 2);
     c.cx(0, 3);
     c
+}
+
+/// A random 3-CNF with a planted mostly-positive model, as DIMACS-style
+/// literals (`±(var+1)`), deterministic in `seed`.
+///
+/// Every clause is satisfied by the planted assignment `x_i = (i % 7 !=
+/// 0)`, so the formula is guaranteed satisfiable — but a solver branching
+/// negative-first (the CDCL default phase) must refute many near-misses,
+/// while a positive-phase or randomized worker lands close to the model
+/// immediately. This is the classic workload where a *diversified*
+/// portfolio wins on variance, independent of core count.
+pub fn planted_cnf(num_vars: usize, num_clauses: usize, seed: u64) -> Vec<Vec<i64>> {
+    let planted = |v: usize| !v.is_multiple_of(7);
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut clauses = Vec::with_capacity(num_clauses);
+    while clauses.len() < num_clauses {
+        let mut clause = Vec::with_capacity(3);
+        for _ in 0..3 {
+            let v = (next() % num_vars as u64) as usize;
+            let positive = next() % 2 == 0;
+            clause.push(if positive {
+                (v + 1) as i64
+            } else {
+                -((v + 1) as i64)
+            });
+        }
+        // Keep only clauses the planted model satisfies.
+        let satisfied = clause
+            .iter()
+            .any(|&l| (l > 0) == planted(l.unsigned_abs() as usize - 1));
+        if satisfied {
+            clauses.push(clause);
+        }
+    }
+    clauses
+}
+
+/// Default output path of the bench report: `BENCH_satmap.json` at the
+/// workspace root (bench binaries run with the *package* directory as
+/// cwd, so a bare relative path would land in `crates/bench/`).
+/// `SATMAP_BENCH_JSON` overrides it entirely.
+pub fn bench_json_path() -> std::path::PathBuf {
+    if let Some(p) = std::env::var_os("SATMAP_BENCH_JSON") {
+        return p.into();
+    }
+    let manifest = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .ancestors()
+        .nth(2)
+        .unwrap_or(manifest)
+        .join("BENCH_satmap.json")
+}
+
+/// Drains the results criterion collected and writes `BENCH_satmap.json`.
+///
+/// Layout: `benchmarks` maps every full benchmark id to its median ns;
+/// `groups` maps each group (the id segment before the first `/`) to the
+/// median over its members' medians; `portfolio_speedup` is
+/// `median(portfolio/single) / median(portfolio/portfolio4)` when the
+/// `portfolio` group ran (`> 1` means the portfolio was faster), else
+/// `null`.
+///
+/// # Errors
+///
+/// Propagates I/O failures from writing the report file.
+pub fn write_bench_json() -> std::io::Result<std::path::PathBuf> {
+    let results = criterion::take_results();
+    let path = bench_json_path();
+    let mut file = std::fs::File::create(&path)?;
+    file.write_all(render_report(&results).as_bytes())?;
+    Ok(path)
+}
+
+/// Renders the report (see [`write_bench_json`]) as a JSON string.
+pub fn render_report(results: &[BenchResult]) -> String {
+    let mut out = String::from("{\n  \"schema_version\": 1,\n  \"benchmarks\": {");
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    \"{}\": {}",
+            escape_json(&r.id),
+            r.median_ns
+        ));
+    }
+    out.push_str("\n  },\n  \"groups\": {");
+
+    let mut groups: Vec<(String, Vec<u128>)> = Vec::new();
+    for r in results {
+        let group = r.id.split('/').next().unwrap_or(&r.id).to_string();
+        match groups.iter_mut().find(|(g, _)| *g == group) {
+            Some((_, medians)) => medians.push(r.median_ns),
+            None => groups.push((group, vec![r.median_ns])),
+        }
+    }
+    for (i, (group, medians)) in groups.iter_mut().enumerate() {
+        medians.sort_unstable();
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    \"{}\": {}",
+            escape_json(group),
+            medians[medians.len() / 2]
+        ));
+    }
+    out.push_str("\n  },\n  \"portfolio_speedup\": ");
+
+    let median_of = |prefix: &str| {
+        let mut ns: Vec<u128> = results
+            .iter()
+            .filter(|r| r.id.starts_with(prefix))
+            .map(|r| r.median_ns)
+            .collect();
+        ns.sort_unstable();
+        if ns.is_empty() {
+            None
+        } else {
+            Some(ns[ns.len() / 2])
+        }
+    };
+    match (
+        median_of("portfolio/single"),
+        median_of("portfolio/portfolio"),
+    ) {
+        (Some(single), Some(portfolio)) if portfolio > 0 => {
+            out.push_str(&format!("{:.3}", single as f64 / portfolio as f64));
+        }
+        _ => out.push_str("null"),
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+fn escape_json(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planted_cnf_is_satisfied_by_planted_model() {
+        let cnf = planted_cnf(50, 200, 42);
+        assert_eq!(cnf.len(), 200);
+        let planted = |v: usize| !v.is_multiple_of(7);
+        for clause in &cnf {
+            assert_eq!(clause.len(), 3);
+            assert!(clause
+                .iter()
+                .any(|&l| (l > 0) == planted(l.unsigned_abs() as usize - 1)));
+        }
+        // Deterministic in the seed.
+        assert_eq!(cnf, planted_cnf(50, 200, 42));
+        assert_ne!(cnf, planted_cnf(50, 200, 43));
+    }
+
+    #[test]
+    fn report_includes_groups_and_speedup() {
+        let results = vec![
+            BenchResult {
+                id: "q1/satmap/fig3".into(),
+                median_ns: 30,
+            },
+            BenchResult {
+                id: "q1/tket/fig3".into(),
+                median_ns: 10,
+            },
+            BenchResult {
+                id: "portfolio/single".into(),
+                median_ns: 400,
+            },
+            BenchResult {
+                id: "portfolio/portfolio4".into(),
+                median_ns: 100,
+            },
+        ];
+        let json = render_report(&results);
+        assert!(json.contains("\"q1/satmap/fig3\": 30"));
+        assert!(json.contains("\"q1\": 30"), "group median of 10,30 is 30");
+        assert!(json.contains("\"portfolio_speedup\": 4.000"), "{json}");
+        // Minimal well-formedness: balanced braces, no trailing comma.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(!json.contains(",\n  }"));
+    }
+
+    #[test]
+    fn report_without_portfolio_group_is_null_speedup() {
+        let json = render_report(&[BenchResult {
+            id: "solo".into(),
+            median_ns: 5,
+        }]);
+        assert!(json.contains("\"portfolio_speedup\": null"));
+        assert!(json.contains("\"solo\": 5"));
+    }
+
+    #[test]
+    fn empty_report_is_valid() {
+        let json = render_report(&[]);
+        assert!(json.contains("\"benchmarks\": {\n  }"));
+        assert!(json.contains("\"portfolio_speedup\": null"));
+    }
 }

@@ -49,6 +49,13 @@ pub struct SatMapConfig {
     pub backtrack_limit: usize,
     /// Optimization objective.
     pub objective: Objective,
+    /// Totalizer weight quantization for the MaxSAT engine: the soft-weight
+    /// range is divided into roughly this many units before the totalizer
+    /// is built (see [`maxsat::SolveOptions::totalizer_units`]). The chosen
+    /// quantum is reported in [`maxsat::MaxSatOutcome::quantum`]. Only
+    /// weighted objectives (fidelity mode) ever quantize; plain swap
+    /// counting has unit weights and stays exact.
+    pub totalizer_units: u64,
 }
 
 impl Default for SatMapConfig {
@@ -59,6 +66,7 @@ impl Default for SatMapConfig {
             budget: ResourceBudget::unlimited(),
             backtrack_limit: 24,
             objective: Objective::SwapCount,
+            totalizer_units: 4000,
         }
     }
 }
@@ -85,6 +93,18 @@ impl SatMapConfig {
     pub fn with_budget(mut self, budget: impl Into<ResourceBudget>) -> Self {
         self.budget = budget.into();
         self
+    }
+
+    /// Returns a copy with the given totalizer quantization (clamped to at
+    /// least 1 unit).
+    pub fn with_totalizer_units(mut self, units: u64) -> Self {
+        self.totalizer_units = units.max(1);
+        self
+    }
+
+    /// The MaxSAT engine tunables derived from this configuration.
+    pub fn solve_options(&self) -> maxsat::SolveOptions {
+        maxsat::SolveOptions::default().with_totalizer_units(self.totalizer_units)
     }
 }
 

@@ -187,7 +187,11 @@ impl<B: SatBackend + Default> CyclicSatMap<B> {
             );
             enc.require_cyclic();
             telemetry.encode_time += encode_start.elapsed();
-            let out = maxsat::solve_with_backend::<B>(enc.instance(), *budget);
+            let out = maxsat::solve_with_options::<B>(
+                enc.instance(),
+                budget,
+                &self.config.solve_options(),
+            );
             telemetry.absorb(&out.telemetry);
             return match out.status {
                 MaxSatStatus::Optimal | MaxSatStatus::Feasible => {
@@ -262,7 +266,11 @@ impl<B: SatBackend + Default> CyclicSatMap<B> {
             enc.pin_initial_map(from);
             enc.pin_final_map(to);
             telemetry.encode_time += encode_start.elapsed();
-            let out = maxsat::solve_with_backend::<B>(enc.instance(), *budget);
+            let out = maxsat::solve_with_options::<B>(
+                enc.instance(),
+                budget,
+                &self.config.solve_options(),
+            );
             telemetry.absorb(&out.telemetry);
             match out.status {
                 MaxSatStatus::Optimal | MaxSatStatus::Feasible => {

@@ -45,3 +45,9 @@ mod solver;
 pub use config::{Objective, SatMapConfig};
 pub use cyclic::CyclicSatMap;
 pub use solver::SatMap;
+
+/// SATMAP over a 4-worker diversified SAT portfolio: every MaxSAT call
+/// races four differently-configured CDCL workers and takes the first
+/// definitive answer (see [`sat::PortfolioBackend`]). Costs match
+/// [`SatMap`] — only the wall-clock route to them differs.
+pub type PortfolioSatMap = SatMap<sat::PortfolioBackend<sat::DefaultBackend, 4>>;

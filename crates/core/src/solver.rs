@@ -121,7 +121,8 @@ impl<B: SatBackend + Default> SatMap<B> {
         budget: &ResourceBudget,
         telemetry: &mut SolverTelemetry,
     ) -> maxsat::MaxSatOutcome {
-        let out = maxsat::solve_with_backend::<B>(enc.instance(), *budget);
+        let out =
+            maxsat::solve_with_options::<B>(enc.instance(), budget, &self.config.solve_options());
         telemetry.absorb(&out.telemetry);
         out
     }
@@ -324,9 +325,10 @@ impl<B: SatBackend + Default> SatMap<B> {
                         } else if let Some(enc) = prev.enc.as_mut() {
                             enc.forbid_final_map(&bad);
                         }
-                        let retry = maxsat::solve_with_backend::<B>(
+                        let retry = maxsat::solve_with_options::<B>(
                             prev.enc.as_ref().expect("just ensured").instance(),
-                            *budget,
+                            budget,
+                            &self.config.solve_options(),
                         );
                         telemetry.absorb(&retry.telemetry);
                         match retry.status {

@@ -1,14 +1,49 @@
 //! Command-line entry point regenerating the paper's tables and figures.
 //!
-//! Usage: `satmap-experiments <q1|q1-runtimes|q2|q3-local|q3-cyclic|q3-breakdown|q4|q5-time|q5-size|q6|all>`
+//! Usage: `satmap-experiments [--jobs N] <q1|q1-runtimes|q2|q3-local|q3-cyclic|q3-breakdown|q4|q5-time|q5-size|q6|all>`
+//!
+//! `--jobs N` runs each suite sweep on N worker threads pulling from a
+//! shared instance queue. Table rows keep their order for any N (results
+//! land at their benchmark's index), so outputs are comparable across job
+//! counts; only the wall-clock columns reflect the parallelism. Note that
+//! per-instance budgets are wall-clock deadlines: oversubscribing the
+//! machine (N well above the core count) leaves each instance less CPU
+//! before its deadline, which can turn tight-budget runs into timeouts a
+//! serial sweep would not hit. With non-binding budgets the solved set and
+//! costs are identical for any N.
 //!
 //! Environment: `SATMAP_BUDGET_MS` (per-instance budget, default 2000),
-//! `SATMAP_SUITE_LIMIT` (subsample the 160-benchmark suite).
+//! `SATMAP_SUITE_LIMIT` (subsample the 160-benchmark suite),
+//! `SATMAP_JOBS` (same as `--jobs`; the flag wins).
 
 use experiments::questions;
 
 fn main() {
-    let command = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let mut args = std::env::args().skip(1);
+    let mut command: Option<String> = None;
+    while let Some(arg) = args.next() {
+        if arg == "--jobs" || arg == "-j" {
+            let Some(n) = args
+                .next()
+                .filter(|n| n.parse::<usize>().is_ok_and(|n| n >= 1))
+            else {
+                eprintln!("--jobs requires a positive integer");
+                std::process::exit(2);
+            };
+            // `env_jobs()` is how the question runners read the setting.
+            std::env::set_var("SATMAP_JOBS", n);
+        } else if let Some(n) = arg.strip_prefix("--jobs=") {
+            if n.parse::<usize>().is_ok_and(|n| n >= 1) {
+                std::env::set_var("SATMAP_JOBS", n);
+            } else {
+                eprintln!("--jobs requires a positive integer");
+                std::process::exit(2);
+            }
+        } else {
+            command = Some(arg);
+        }
+    }
+    let command = command.unwrap_or_else(|| "all".into());
     let run = |cmd: &str| match cmd {
         "q1" => print!("{}", questions::q1(false)),
         "q1-runtimes" => print!("{}", questions::q1(true)),

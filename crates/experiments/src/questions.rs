@@ -11,7 +11,8 @@ use olsq::{Exhaustive, Transition};
 use satmap::{CyclicSatMap, Objective, SatMap, SatMapConfig};
 
 use crate::runner::{
-    env_budget, env_suite, mean, row, run_tool, solved_summary, total_telemetry, RunOutcome,
+    env_budget, env_jobs, env_suite, mean, row, run_suite, run_tool, solved_summary,
+    total_telemetry, RunOutcome,
 };
 
 fn satmap_router(budget: Duration) -> SatMap {
@@ -31,18 +32,15 @@ pub fn q1(runtimes: bool) -> String {
         suite.len()
     ));
 
-    let tools: Vec<(&str, Box<dyn Router>)> = vec![
+    let tools: Vec<(&str, Box<dyn Router + Sync>)> = vec![
         ("SATMAP", Box::new(satmap_router(budget))),
         ("TB-OLSQ", Box::new(Transition::with_budget(budget))),
         ("EX-MQT", Box::new(Exhaustive::with_budget(budget))),
     ];
+    let jobs = env_jobs();
     let mut all: Vec<(&str, Vec<RunOutcome>)> = Vec::new();
     for (name, tool) in &tools {
-        let outcomes: Vec<RunOutcome> = suite
-            .iter()
-            .map(|b| run_tool(tool.as_ref(), b, &graph))
-            .collect();
-        all.push((name, outcomes));
+        all.push((name, run_suite(tool.as_ref(), &suite, &graph, jobs)));
     }
 
     out.push_str("\nTable I: # solved and largest circuit solved (two-qubit gates)\n");
@@ -66,6 +64,8 @@ pub fn q1(runtimes: bool) -> String {
         "tool".into(),
         "SAT calls".into(),
         "conflicts".into(),
+        "restarts".into(),
+        "reductions".into(),
         "encode(s)".into(),
         "solve(s)".into(),
         "slices".into(),
@@ -78,6 +78,8 @@ pub fn q1(runtimes: bool) -> String {
             name.to_string(),
             t.sat_calls.to_string(),
             t.conflicts.to_string(),
+            t.restarts.to_string(),
+            t.db_reductions.to_string(),
             format!("{:.2}", t.encode_time.as_secs_f64()),
             format!("{:.2}", t.solve_time.as_secs_f64()),
             t.slices.to_string(),
@@ -165,12 +167,12 @@ pub fn q2() -> String {
     let suite = env_suite();
     let graph = devices::tokyo();
     let satmap = satmap_router(budget);
-    let satmap_out: Vec<RunOutcome> = suite.iter().map(|b| run_tool(&satmap, b, &graph)).collect();
-    let solved: Vec<&Benchmark> = suite
+    let satmap_out = run_suite(&satmap, &suite, &graph, env_jobs());
+    let solved: Vec<Benchmark> = suite
         .iter()
         .zip(&satmap_out)
         .filter(|(_, o)| o.solved())
-        .map(|(b, _)| b)
+        .map(|(b, _)| b.clone())
         .collect();
     let satmap_solved: Vec<RunOutcome> =
         satmap_out.iter().filter(|o| o.solved()).cloned().collect();
@@ -187,16 +189,13 @@ pub fn q2() -> String {
         100.0 * zero as f64 / satmap_solved.len().max(1) as f64
     ));
 
-    let heuristics: Vec<(&str, Box<dyn Router>)> = vec![
+    let heuristics: Vec<(&str, Box<dyn Router + Sync>)> = vec![
         ("MQTH", Box::new(AStar::default())),
         ("SABRE", Box::new(Sabre::default())),
         ("TKET", Box::new(Tket::default())),
     ];
     for (name, h) in &heuristics {
-        let h_out: Vec<RunOutcome> = solved
-            .iter()
-            .map(|b| run_tool(h.as_ref(), b, &graph))
-            .collect();
+        let h_out = run_suite(h.as_ref(), &solved, &graph, env_jobs());
         let h_zero = h_out.iter().filter(|o| o.cost == Some(0)).count();
         let (text, _) = cost_ratio_block(name, &h_out, &satmap_solved);
         out.push_str(&text);
@@ -225,12 +224,12 @@ pub fn q3_local() -> String {
     out.push('\n');
 
     let nl = SatMap::new(SatMapConfig::monolithic().with_budget(budget));
-    let nl_out: Vec<RunOutcome> = suite.iter().map(|b| run_tool(&nl, b, &graph)).collect();
+    let nl_out = run_suite(&nl, &suite, &graph, env_jobs());
     let (nl_solved, nl_largest) = solved_summary(&nl_out);
 
     for slice in [10usize, 25, 50, 100] {
         let r = SatMap::new(SatMapConfig::sliced(slice).with_budget(budget));
-        let outcomes: Vec<RunOutcome> = suite.iter().map(|b| run_tool(&r, b, &graph)).collect();
+        let outcomes = run_suite(&r, &suite, &graph, env_jobs());
         let (solved, largest) = solved_summary(&outcomes);
         // Fig. 13: cost ratio sliced/NL on co-solved benchmarks.
         let ratios: Vec<f64> = outcomes
@@ -349,7 +348,7 @@ pub fn q3_breakdown() -> String {
         })
         .collect();
 
-    let tools: Vec<(&str, Box<dyn Router>)> = vec![
+    let tools: Vec<(&str, Box<dyn Router + Sync>)> = vec![
         ("TB-OLSQ", Box::new(Transition::with_budget(budget))),
         (
             "NL-SATMAP",
@@ -358,14 +357,8 @@ pub fn q3_breakdown() -> String {
         ("SATMAP", Box::new(satmap_router(budget))),
     ];
     for (name, tool) in &tools {
-        let main: Vec<RunOutcome> = suite
-            .iter()
-            .map(|b| run_tool(tool.as_ref(), b, &graph))
-            .collect();
-        let qa: Vec<RunOutcome> = qaoa_benches
-            .iter()
-            .map(|b| run_tool(tool.as_ref(), b, &graph))
-            .collect();
+        let main = run_suite(tool.as_ref(), &suite, &graph, env_jobs());
+        let qa = run_suite(tool.as_ref(), &qaoa_benches, &graph, env_jobs());
         let (ms, ml) = solved_summary(&main);
         let (qs, ql) = solved_summary(&qa);
         out.push_str(&row(&[
@@ -419,16 +412,15 @@ pub fn q4() -> String {
     ] {
         let satmap = satmap_router(budget);
         let tket = Tket::default();
-        let satmap_out: Vec<RunOutcome> =
-            suite.iter().map(|b| run_tool(&satmap, b, &graph)).collect();
-        let solved: Vec<&Benchmark> = suite
+        let satmap_out = run_suite(&satmap, &suite, &graph, env_jobs());
+        let solved: Vec<Benchmark> = suite
             .iter()
             .zip(&satmap_out)
             .filter(|(_, o)| o.solved())
-            .map(|(b, _)| b)
+            .map(|(b, _)| b.clone())
             .collect();
         let sm: Vec<RunOutcome> = satmap_out.into_iter().filter(|o| o.solved()).collect();
-        let tk: Vec<RunOutcome> = solved.iter().map(|b| run_tool(&tket, b, &graph)).collect();
+        let tk = run_suite(&tket, &solved, &graph, env_jobs());
         let (text, ratios) =
             cost_ratio_block(&format!("TKET/SATMAP on {}", graph.name()), &tk, &sm);
         out.push_str(&text);
@@ -457,10 +449,7 @@ pub fn q5(time_sweep: bool) -> String {
         // mirroring the paper's 100..7200 s sweep around 1800 s.
         let base = env_budget();
         let baseline = SatMap::new(SatMapConfig::default().with_budget(base));
-        let baseline_out: Vec<RunOutcome> = suite
-            .iter()
-            .map(|b| run_tool(&baseline, b, &graph))
-            .collect();
+        let baseline_out = run_suite(&baseline, &suite, &graph, env_jobs());
         out.push_str(&format!(
             "Q5 (Fig. 15): cost ratio vs time budget (baseline {base:?})\n"
         ));
@@ -474,7 +463,7 @@ pub fn q5(time_sweep: bool) -> String {
         for factor in [1.0f64 / 18.0, 1.0 / 6.0, 1.0 / 3.0, 1.0, 2.0, 3.0, 4.0] {
             let budget = base.mul_f64(factor);
             let r = SatMap::new(SatMapConfig::default().with_budget(budget));
-            let outcomes: Vec<RunOutcome> = suite.iter().map(|b| run_tool(&r, b, &graph)).collect();
+            let outcomes = run_suite(&r, &suite, &graph, env_jobs());
             let (solved, largest) = solved_summary(&outcomes);
             let ratios: Vec<f64> = outcomes
                 .iter()
@@ -514,16 +503,21 @@ pub fn q5(time_sweep: bool) -> String {
             (600, 10_000),
         ];
         for (lo, hi) in bins {
-            let mut ratios = Vec::new();
-            for b in suite
+            let bin: Vec<Benchmark> = suite
                 .iter()
                 .filter(|b| (lo..hi).contains(&b.circuit.num_two_qubit_gates()))
-            {
-                let s = run_tool(&satmap, b, &graph);
-                if !s.solved() {
-                    continue;
-                }
-                let t = run_tool(&tket, b, &graph);
+                .cloned()
+                .collect();
+            let sm_out = run_suite(&satmap, &bin, &graph, env_jobs());
+            let solved: Vec<Benchmark> = bin
+                .iter()
+                .zip(&sm_out)
+                .filter(|(_, o)| o.solved())
+                .map(|(b, _)| b.clone())
+                .collect();
+            let tk_out = run_suite(&tket, &solved, &graph, env_jobs());
+            let mut ratios = Vec::new();
+            for (s, t) in sm_out.iter().filter(|o| o.solved()).zip(&tk_out) {
                 if let (Some(tc), Some(sc)) = (t.cost, s.cost) {
                     if sc > 0 {
                         ratios.push(tc as f64 / sc as f64);
@@ -559,11 +553,8 @@ pub fn q6() -> String {
     });
     let tb = Transition::with_budget(budget);
 
-    let sm_out: Vec<RunOutcome> = suite
-        .iter()
-        .map(|b| run_tool(&satmap_fid, b, &graph))
-        .collect();
-    let tb_out: Vec<RunOutcome> = suite.iter().map(|b| run_tool(&tb, b, &graph)).collect();
+    let sm_out = run_suite(&satmap_fid, &suite, &graph, env_jobs());
+    let tb_out = run_suite(&tb, &suite, &graph, env_jobs());
     let (sm_solved, sm_largest) = solved_summary(&sm_out);
     let (tb_solved, tb_largest) = solved_summary(&tb_out);
     out.push_str(&format!(

@@ -1,6 +1,8 @@
 //! Shared experiment infrastructure: budgets, tool invocation, verified
-//! outcomes, and small table-formatting helpers.
+//! outcomes, multi-core suite sweeps, and small table-formatting helpers.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use arch::ConnectivityGraph;
@@ -39,6 +41,16 @@ pub fn env_budget() -> Duration {
         .and_then(|v| v.parse().ok())
         .unwrap_or(2000u64);
     Duration::from_millis(ms)
+}
+
+/// Worker-thread count for suite sweeps, taken from `SATMAP_JOBS`
+/// (default 1; the `satmap-experiments --jobs N` flag sets it).
+pub fn env_jobs() -> usize {
+    std::env::var("SATMAP_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
 }
 
 /// Benchmark-count cap from `SATMAP_SUITE_LIMIT` (default: full suite).
@@ -98,6 +110,46 @@ pub fn run_tool(router: &dyn Router, bench: &Benchmark, graph: &ConnectivityGrap
             error: Some(e),
         },
     }
+}
+
+/// Runs `router` over the whole suite on `jobs` worker threads pulling
+/// from a shared instance queue ([`std::thread::scope`]; `jobs = 1` runs
+/// inline with no threads).
+///
+/// Results land at their benchmark's index, so the output order — and
+/// therefore every table derived from it — is identical for any job count.
+/// Each `run_tool` call arms the router's own per-instance budget as a
+/// fresh child, so parallel workers neither share nor extend deadlines.
+pub fn run_suite(
+    router: &(dyn Router + Sync),
+    suite: &[Benchmark],
+    graph: &ConnectivityGraph,
+    jobs: usize,
+) -> Vec<RunOutcome> {
+    let jobs = jobs.clamp(1, suite.len().max(1));
+    if jobs == 1 {
+        return suite.iter().map(|b| run_tool(router, b, graph)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<RunOutcome>>> = suite.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(bench) = suite.get(i) else { break };
+                let outcome = run_tool(router, bench, graph);
+                *slots[i].lock().expect("result slot") = Some(outcome);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot")
+                .expect("every queue index was claimed by exactly one worker")
+        })
+        .collect()
 }
 
 /// Sums the solver effort across a set of outcomes.
@@ -208,6 +260,42 @@ mod tests {
     fn mean_ignores_nan() {
         assert!((mean(&[1.0, 3.0, f64::NAN]) - 2.0).abs() < 1e-9);
         assert!(mean(&[]).is_nan());
+    }
+
+    #[test]
+    fn run_suite_rows_are_identical_for_any_job_count() {
+        use satmap::{SatMap, SatMapConfig};
+        let suite: Vec<Benchmark> = (3..=6)
+            .map(|n| Benchmark {
+                name: format!("qft{n}"),
+                circuit: circuit::generators::qft(n),
+            })
+            .collect();
+        let g = arch::devices::tokyo();
+        // Unlimited budget keeps the router deterministic (always optimal),
+        // so everything except wall-clock must match byte-for-byte.
+        let router = SatMap::new(SatMapConfig::sliced(4));
+        let serial = run_suite(&router, &suite, &g, 1);
+        let parallel = run_suite(&router, &suite, &g, 4);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.name, p.name, "row order must not depend on --jobs");
+            assert_eq!(s.size, p.size);
+            assert_eq!(s.cost, p.cost, "{}: costs must match", s.name);
+            assert_eq!(s.error, p.error);
+        }
+    }
+
+    #[test]
+    fn env_jobs_defaults_and_parses() {
+        let _guard = super::ENV_LOCK.lock().expect("env lock");
+        std::env::remove_var("SATMAP_JOBS");
+        assert_eq!(env_jobs(), 1);
+        std::env::set_var("SATMAP_JOBS", "4");
+        assert_eq!(env_jobs(), 4);
+        std::env::set_var("SATMAP_JOBS", "0");
+        assert_eq!(env_jobs(), 1, "zero jobs falls back to serial");
+        std::env::remove_var("SATMAP_JOBS");
     }
 
     #[test]

@@ -39,5 +39,7 @@ mod solve;
 mod wcnf;
 
 pub use sat::{ResourceBudget, SolverTelemetry};
-pub use solve::{solve, solve_with_backend, MaxSatOutcome, MaxSatStatus};
+pub use solve::{
+    solve, solve_with_backend, solve_with_options, MaxSatOutcome, MaxSatStatus, SolveOptions,
+};
 pub use wcnf::{SoftClause, WcnfInstance};

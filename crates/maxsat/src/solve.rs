@@ -32,6 +32,43 @@ pub enum MaxSatStatus {
     Unknown,
 }
 
+/// Tunables of the MaxSAT engine beyond the resource budget.
+///
+/// # Examples
+///
+/// ```
+/// use maxsat::SolveOptions;
+/// let opts = SolveOptions::default().with_totalizer_units(1000);
+/// assert_eq!(opts.totalizer_units, 1000);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SolveOptions {
+    /// Number of quantization units the soft-weight range is divided into
+    /// before building the generalized totalizer. The totalizer's size is
+    /// bounded by the number of attainable weight sums, so heavy-weight
+    /// instances are quantized down to roughly this many units; when every
+    /// weight already fits (quantum 1) the search stays exact. Smaller
+    /// values trade optimality precision for encoding size.
+    pub totalizer_units: u64,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions {
+            totalizer_units: 4000,
+        }
+    }
+}
+
+impl SolveOptions {
+    /// Returns a copy with the given totalizer quantization (clamped to at
+    /// least 1 unit).
+    pub fn with_totalizer_units(mut self, units: u64) -> Self {
+        self.totalizer_units = units.max(1);
+        self
+    }
+}
+
 /// Result of [`solve`]: status plus the best model and its cost, if any.
 #[derive(Clone, Debug)]
 pub struct MaxSatOutcome {
@@ -43,6 +80,9 @@ pub struct MaxSatOutcome {
     pub cost: Option<u64>,
     /// Number of SAT-solver invocations performed.
     pub iterations: u32,
+    /// Weight quantum the totalizer was built with (`1` = exact weights;
+    /// larger quanta can only claim [`MaxSatStatus::Feasible`]).
+    pub quantum: u64,
     /// Solver effort spent answering this call.
     pub telemetry: SolverTelemetry,
 }
@@ -87,6 +127,15 @@ pub fn solve_with_backend<B: SatBackend + Default>(
     instance: &WcnfInstance,
     budget: ResourceBudget,
 ) -> MaxSatOutcome {
+    solve_with_options::<B>(instance, &budget, &SolveOptions::default())
+}
+
+/// [`solve`] with an explicit backend and engine tunables.
+pub fn solve_with_options<B: SatBackend + Default>(
+    instance: &WcnfInstance,
+    budget: &ResourceBudget,
+    options: &SolveOptions,
+) -> MaxSatOutcome {
     let budget = budget.arm();
     let mut telemetry = SolverTelemetry::new();
     let mut solver = B::default();
@@ -128,18 +177,19 @@ pub fn solve_with_backend<B: SatBackend + Default>(
     let mut totalizer: Option<Totalizer> = None;
     // Quantize weights so the totalizer's attainable-sum count stays small.
     let total_weight: u64 = indicators.iter().map(|&(_, w)| w).sum();
-    const TOTALIZER_UNITS: u64 = 4000;
-    let quantum = (total_weight / TOTALIZER_UNITS).max(1);
+    let quantum = (total_weight / options.totalizer_units.max(1)).max(1);
 
-    let conflicts_before = solver.stats().conflicts;
-    let decisions_before = solver.stats().decisions;
-    let propagations_before = solver.stats().propagations;
+    let before = *solver.stats();
     macro_rules! snapshot {
         () => {{
+            let stats = solver.stats();
             telemetry.sat_calls = u64::from(iterations);
-            telemetry.conflicts = solver.stats().conflicts - conflicts_before;
-            telemetry.decisions = solver.stats().decisions - decisions_before;
-            telemetry.propagations = solver.stats().propagations - propagations_before;
+            telemetry.conflicts = stats.conflicts - before.conflicts;
+            telemetry.decisions = stats.decisions - before.decisions;
+            telemetry.propagations = stats.propagations - before.propagations;
+            telemetry.restarts = stats.restarts - before.restarts;
+            telemetry.db_reductions = stats.reductions - before.reductions;
+            telemetry.winning_worker = stats.last_winner;
             telemetry
         }};
     }
@@ -181,6 +231,7 @@ pub fn solve_with_backend<B: SatBackend + Default>(
                         model: best_model,
                         cost: Some(best_cost),
                         iterations,
+                        quantum,
                         telemetry: snapshot!(),
                     };
                 }
@@ -195,6 +246,7 @@ pub fn solve_with_backend<B: SatBackend + Default>(
                         model: best_model,
                         cost: Some(best_cost),
                         iterations,
+                        quantum,
                         telemetry: snapshot!(),
                     };
                 }
@@ -233,6 +285,7 @@ pub fn solve_with_backend<B: SatBackend + Default>(
                         model: Some(model),
                         cost: Some(best_cost),
                         iterations,
+                        quantum,
                         telemetry: snapshot!(),
                     }
                 } else {
@@ -241,6 +294,7 @@ pub fn solve_with_backend<B: SatBackend + Default>(
                         model: None,
                         cost: None,
                         iterations,
+                        quantum,
                         telemetry: snapshot!(),
                     }
                 };
@@ -256,6 +310,7 @@ pub fn solve_with_backend<B: SatBackend + Default>(
             model: Some(model),
             cost: Some(best_cost),
             iterations,
+            quantum,
             telemetry: snapshot!(),
         }
     } else {
@@ -264,6 +319,7 @@ pub fn solve_with_backend<B: SatBackend + Default>(
             model: None,
             cost: None,
             iterations,
+            quantum,
             telemetry: snapshot!(),
         }
     }

@@ -48,7 +48,7 @@ pub struct Exhaustive<B: SatBackend + Default = DefaultBackend> {
 impl<B: SatBackend + Default> Clone for Exhaustive<B> {
     fn clone(&self) -> Self {
         Exhaustive {
-            budget: self.budget,
+            budget: self.budget.clone(),
             _backend: PhantomData,
         }
     }

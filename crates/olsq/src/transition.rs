@@ -47,7 +47,7 @@ pub struct Transition<B: SatBackend + Default = DefaultBackend> {
 impl<B: SatBackend + Default> Clone for Transition<B> {
     fn clone(&self) -> Self {
         Transition {
-            budget: self.budget,
+            budget: self.budget.clone(),
             _backend: PhantomData,
         }
     }
@@ -284,7 +284,7 @@ impl<B: SatBackend + Default> Router for Transition<B> {
             let encode_start = std::time::Instant::now();
             let enc = TransitionEncoding::build(circuit, graph, blocks);
             telemetry.encode_time += encode_start.elapsed();
-            let out = maxsat::solve_with_backend::<B>(&enc.instance, budget);
+            let out = maxsat::solve_with_backend::<B>(&enc.instance, budget.clone());
             telemetry.absorb(&out.telemetry);
             match out.status {
                 MaxSatStatus::Optimal | MaxSatStatus::Feasible => {

@@ -17,6 +17,7 @@
 //! them) is then a one-line change per call site.
 
 use crate::budget::ResourceBudget;
+use crate::config::SolverConfig;
 use crate::lit::{Lit, Var};
 use crate::solver::{SolveResult, Solver};
 use crate::stats::Stats;
@@ -51,6 +52,14 @@ pub trait ClauseSink {
 pub trait SatBackend: ClauseSink {
     /// Short identifier for telemetry and experiment tables.
     fn backend_name(&self) -> &'static str;
+
+    /// Applies search-diversification knobs ([`SolverConfig`]), if the
+    /// backend supports them. The default is a no-op so third-party
+    /// backends compose into a [`crate::PortfolioBackend`] unchanged (the
+    /// portfolio then diversifies only the backends that opt in).
+    fn configure(&mut self, config: &SolverConfig) {
+        let _ = config;
+    }
 
     /// Number of variables created so far.
     fn num_vars(&self) -> usize;
@@ -97,6 +106,10 @@ impl ClauseSink for Solver {
 impl SatBackend for Solver {
     fn backend_name(&self) -> &'static str {
         "cdcl"
+    }
+
+    fn configure(&mut self, config: &SolverConfig) {
+        Solver::set_config(self, *config);
     }
 
     fn num_vars(&self) -> usize {

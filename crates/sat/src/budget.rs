@@ -9,6 +9,13 @@
 //! limit into an absolute deadline, and children inherit the deadline, so a
 //! nested SAT call can never outlive the routing request that spawned it.
 //!
+//! Budgets also carry an optional [`CancelToken`], a thread-safe kill
+//! switch checked alongside the deadline in [`ResourceBudget::expired`].
+//! Tokens form a parent/child chain mirroring budget inheritance:
+//! cancelling a parent token stops every descendant, so a portfolio race or
+//! an experiment sweep can tear down all of its in-flight solver work from
+//! another thread.
+//!
 //! # Examples
 //!
 //! ```
@@ -20,9 +27,70 @@
 //! // deadline.
 //! let child = parent.limit_time(Duration::from_secs(60)).arm();
 //! assert_eq!(child.deadline(), parent.deadline());
+//!
+//! // Cooperative cancellation from another thread:
+//! let (budget, token) = ResourceBudget::unlimited().cancellable();
+//! assert!(!budget.expired());
+//! token.cancel();
+//! assert!(budget.expired());
 //! ```
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// A thread-safe cooperative cancellation flag.
+///
+/// Cloning shares the same flag; [`CancelToken::child`] creates a *linked*
+/// token that is considered cancelled whenever any ancestor is, mirroring
+/// the budget-inheritance chain (a child solver killed by its parent's
+/// token can never outlive the parent's allowance).
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    inner: Arc<TokenInner>,
+}
+
+#[derive(Debug, Default)]
+struct TokenInner {
+    cancelled: AtomicBool,
+    parent: Option<CancelToken>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token with no parent.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A token cancelled whenever `self` (or any ancestor of `self`) is,
+    /// and additionally cancellable on its own without affecting `self`.
+    pub fn child(&self) -> Self {
+        CancelToken {
+            inner: Arc::new(TokenInner {
+                cancelled: AtomicBool::new(false),
+                parent: Some(self.clone()),
+            }),
+        }
+    }
+
+    /// Raises the flag: every budget carrying this token (or a descendant
+    /// of it) reports [`ResourceBudget::expired`] from now on.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// True if this token or any ancestor has been cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        let mut cur = Some(self);
+        while let Some(t) = cur {
+            if t.inner.cancelled.load(Ordering::Acquire) {
+                return true;
+            }
+            cur = t.inner.parent.as_ref();
+        }
+        false
+    }
+}
 
 /// A wall-clock and conflict allowance for solver work.
 ///
@@ -36,8 +104,8 @@ use std::time::{Duration, Instant};
 ///
 /// The conflict cap applies to each individual SAT call (it protects the
 /// anytime MaxSAT loop from one call consuming the entire allowance) and is
-/// inherited unchanged by children.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+/// inherited unchanged by children, as is the cancellation token.
+#[derive(Clone, Debug, Default)]
 pub struct ResourceBudget {
     /// Relative allowance, consumed by [`ResourceBudget::arm`].
     time_limit: Option<Duration>,
@@ -45,6 +113,8 @@ pub struct ResourceBudget {
     deadline: Option<Instant>,
     /// Conflict cap per individual SAT call.
     conflicts_per_call: Option<u64>,
+    /// Cooperative kill switch, checked alongside the deadline.
+    cancel: Option<CancelToken>,
 }
 
 impl ResourceBudget {
@@ -62,19 +132,51 @@ impl ResourceBudget {
     }
 
     /// Returns a copy with a per-SAT-call conflict cap.
-    pub fn conflicts_per_call(mut self, n: u64) -> Self {
-        self.conflicts_per_call = Some(n);
-        self
+    pub fn conflicts_per_call(&self, n: u64) -> Self {
+        let mut b = self.clone();
+        b.conflicts_per_call = Some(n);
+        b
     }
 
     /// Returns a copy whose relative time limit is `d` (the inherited
     /// deadline, if any, still applies — a child can only tighten).
-    pub fn limit_time(mut self, d: Duration) -> Self {
-        self.time_limit = Some(match self.time_limit {
+    pub fn limit_time(&self, d: Duration) -> Self {
+        let mut b = self.clone();
+        b.time_limit = Some(match b.time_limit {
             Some(existing) => existing.min(d),
             None => d,
         });
-        self
+        b
+    }
+
+    /// Returns a copy observing `token`: once the token (or any ancestor
+    /// of it) is cancelled, the budget reports [`ResourceBudget::expired`].
+    /// Replaces any token previously attached.
+    pub fn with_cancel(&self, token: CancelToken) -> Self {
+        let mut b = self.clone();
+        b.cancel = Some(token);
+        b
+    }
+
+    /// Returns a copy of the budget together with a token that cancels it.
+    ///
+    /// If the budget already carries a token, the new token is created as a
+    /// *child* of it, so cancellation from the original (parent) token
+    /// still propagates — a worker armed through `cancellable` can never
+    /// outlive the budget it descended from.
+    pub fn cancellable(&self) -> (Self, CancelToken) {
+        let token = match &self.cancel {
+            Some(parent) => parent.child(),
+            None => CancelToken::new(),
+        };
+        let mut budget = self.clone();
+        budget.cancel = Some(token.clone());
+        (budget, token)
+    }
+
+    /// The cancellation token attached to this budget, if any.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
     }
 
     /// Starts the clock: converts the relative time limit into an absolute
@@ -82,7 +184,7 @@ impl ResourceBudget {
     /// budgets; unlimited budgets stay unlimited.
     #[must_use = "arming returns the budget that enforces the deadline"]
     pub fn arm(&self) -> Self {
-        let mut armed = *self;
+        let mut armed = self.clone();
         if let Some(limit) = armed.time_limit.take() {
             let from_limit = Instant::now() + limit;
             armed.deadline = Some(match armed.deadline {
@@ -103,7 +205,8 @@ impl ResourceBudget {
         self.conflicts_per_call
     }
 
-    /// True if any limit (time or conflicts) is configured.
+    /// True if any limit (time or conflicts) is configured. A cancellation
+    /// token alone does not count: an uncancelled token imposes no limit.
     pub fn is_limited(&self) -> bool {
         self.time_limit.is_some() || self.deadline.is_some() || self.conflicts_per_call.is_some()
     }
@@ -118,8 +221,12 @@ impl ResourceBudget {
         }
     }
 
-    /// True once the armed deadline has passed.
+    /// True once the armed deadline has passed or the attached cancellation
+    /// token (or any of its ancestors) has been cancelled.
     pub fn expired(&self) -> bool {
+        if matches!(&self.cancel, Some(t) if t.is_cancelled()) {
+            return true;
+        }
         matches!(self.deadline, Some(d) if Instant::now() >= d)
     }
 }
@@ -181,5 +288,49 @@ mod tests {
         let b: ResourceBudget = Duration::from_millis(500).into();
         assert_eq!(b.remaining_time(), Some(Duration::from_millis(500)));
         assert!(!b.expired(), "unarmed budget has no deadline yet");
+    }
+
+    #[test]
+    fn cancel_expires_budget() {
+        let (b, token) = ResourceBudget::unlimited().cancellable();
+        assert!(!b.expired());
+        assert!(!b.is_limited(), "a token alone is not a limit");
+        token.cancel();
+        assert!(b.expired());
+        // Budgets derived from the cancelled one inherit the token.
+        assert!(b.limit_time(Duration::from_secs(1)).arm().expired());
+    }
+
+    #[test]
+    fn parent_cancel_propagates_to_children() {
+        let (parent, parent_token) = ResourceBudget::unlimited().cancellable();
+        let (child, child_token) = parent.cancellable();
+        // Child cancellation does not touch the parent.
+        child_token.cancel();
+        assert!(child.expired());
+        assert!(!parent.expired());
+        // Parent cancellation reaches grandchildren.
+        let (grandchild, _gc_token) = child.cancellable();
+        parent_token.cancel();
+        assert!(parent.expired());
+        assert!(grandchild.expired());
+    }
+
+    #[test]
+    fn cancel_crosses_threads() {
+        let (b, token) = ResourceBudget::unlimited().cancellable();
+        let handle = std::thread::spawn(move || token.cancel());
+        handle.join().expect("cancel thread");
+        assert!(b.expired());
+    }
+
+    #[test]
+    fn arm_preserves_token() {
+        let (b, token) = ResourceBudget::with_time(Duration::from_secs(60)).cancellable();
+        let armed = b.arm();
+        assert!(!armed.expired());
+        token.cancel();
+        assert!(armed.expired());
+        assert!(armed.cancel_token().expect("token kept").is_cancelled());
     }
 }

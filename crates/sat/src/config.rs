@@ -1,0 +1,205 @@
+//! Deterministic search-diversification knobs for the CDCL solver.
+//!
+//! A portfolio of CDCL solvers only pays off when the workers explore the
+//! search space *differently*: the same formula handed to N identical
+//! solvers produces N identical searches. [`SolverConfig`] collects the
+//! diversification axes the engine exposes — restart-schedule scaling,
+//! random decision polarity, phase initialization, and a decision-order
+//! seed — and [`SolverConfig::diversified`] maps a worker index onto a
+//! fixed preset so a portfolio is reproducible run-over-run.
+
+/// Initial saved phase assigned to freshly created variables.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PhaseInit {
+    /// Branch negative first (MiniSat's classic default).
+    #[default]
+    Negative,
+    /// Branch positive first.
+    Positive,
+    /// Branch per a deterministic pseudo-random stream from the seed.
+    Random,
+}
+
+/// Search-diversification configuration for one CDCL solver instance.
+///
+/// The default configuration reproduces the undiversified solver exactly;
+/// every knob is deterministic, so two solvers with equal configs perform
+/// identical searches.
+///
+/// # Examples
+///
+/// ```
+/// use sat::{SolverConfig, Solver, SolveResult};
+///
+/// let mut s = Solver::with_config(SolverConfig::diversified(2));
+/// let a = s.new_var().positive();
+/// s.add_clause([a]);
+/// assert_eq!(s.solve(), SolveResult::Sat);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SolverConfig {
+    /// Scales the Luby restart schedule's base interval (default `1.0`;
+    /// `< 1` restarts more aggressively, `> 1` commits longer to each
+    /// search trajectory). Clamped so the interval never reaches zero.
+    pub restart_multiplier: f64,
+    /// Probability in `[0, 1]` that a branching decision ignores the saved
+    /// phase and picks a pseudo-random polarity instead (default `0.0`).
+    pub random_polarity_freq: f64,
+    /// Initial saved phase for new variables (default
+    /// [`PhaseInit::Negative`]).
+    pub phase_init: PhaseInit,
+    /// Seed for the solver's deterministic PRNG. Nonzero seeds also apply
+    /// a tiny per-variable activity jitter, perturbing the initial VSIDS
+    /// decision order; seed `0` keeps the exact undiversified order.
+    pub seed: u64,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            restart_multiplier: 1.0,
+            random_polarity_freq: 0.0,
+            phase_init: PhaseInit::Negative,
+            seed: 0,
+        }
+    }
+}
+
+impl SolverConfig {
+    /// The fixed diversification preset for portfolio worker `worker`.
+    ///
+    /// Worker 0 is always the undiversified default (so a 1-worker
+    /// portfolio degenerates to the plain solver); higher indices cycle
+    /// through complementary strategies — rapid restarts, inverted phase,
+    /// randomized phase with noisy polarity — with the worker index folded
+    /// into the seed so arbitrarily large portfolios stay distinct.
+    pub fn diversified(worker: usize) -> Self {
+        if worker == 0 {
+            return Self::default();
+        }
+        let seed = 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(worker as u64);
+        match (worker - 1) % 4 {
+            // Rapid restarts escape bad prefixes on satisfiable instances.
+            0 => SolverConfig {
+                restart_multiplier: 0.5,
+                random_polarity_freq: 0.02,
+                phase_init: PhaseInit::Negative,
+                seed,
+            },
+            // Inverted phase: strongest complement to the default on
+            // instances whose models are mostly-true assignments.
+            1 => SolverConfig {
+                restart_multiplier: 1.0,
+                random_polarity_freq: 0.0,
+                phase_init: PhaseInit::Positive,
+                seed,
+            },
+            // Randomized phase plus noisy polarity: a broad scatter shot.
+            2 => SolverConfig {
+                restart_multiplier: 1.0,
+                random_polarity_freq: 0.05,
+                phase_init: PhaseInit::Random,
+                seed,
+            },
+            // Long restarts with a jittered decision order: deep dives
+            // along an order the default would never try.
+            _ => SolverConfig {
+                restart_multiplier: 2.0,
+                random_polarity_freq: 0.01,
+                phase_init: PhaseInit::Random,
+                seed: seed | 1,
+            },
+        }
+    }
+
+    /// The restart interval for restart index `idx` of the Luby sequence,
+    /// scaled by [`SolverConfig::restart_multiplier`].
+    pub(crate) fn restart_interval(&self, luby_value: u64) -> u64 {
+        let base = 100.0 * self.restart_multiplier.max(0.01);
+        ((base * luby_value as f64) as u64).max(1)
+    }
+}
+
+/// Deterministic xorshift64* PRNG — the solver's only randomness source,
+/// so diversified searches are reproducible from their seed.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    pub fn new(seed: u64) -> Self {
+        // State must be nonzero; fold seed 0 onto a fixed odd constant.
+        XorShift64 {
+            state: if seed == 0 {
+                0x853C_49E6_845D_1CB5
+            } else {
+                seed
+            },
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    pub fn next_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_undiversified() {
+        let c = SolverConfig::default();
+        assert_eq!(c, SolverConfig::diversified(0));
+        assert_eq!(c.restart_interval(1), 100);
+        assert_eq!(c.restart_interval(4), 400);
+    }
+
+    #[test]
+    fn presets_are_distinct_and_deterministic() {
+        let presets: Vec<SolverConfig> = (0..6).map(SolverConfig::diversified).collect();
+        for (i, a) in presets.iter().enumerate() {
+            assert_eq!(*a, SolverConfig::diversified(i), "preset {i} deterministic");
+            for (j, b) in presets.iter().enumerate().skip(i + 1) {
+                assert_ne!(a, b, "presets {i} and {j} must differ");
+            }
+        }
+    }
+
+    #[test]
+    fn restart_interval_never_zero() {
+        let c = SolverConfig {
+            restart_multiplier: 0.0,
+            ..SolverConfig::default()
+        };
+        assert!(c.restart_interval(1) >= 1);
+    }
+
+    #[test]
+    fn xorshift_is_deterministic_and_spread() {
+        let mut a = XorShift64::new(7);
+        let mut b = XorShift64::new(7);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        let f = XorShift64::new(42).next_f64();
+        assert!((0.0..1.0).contains(&f));
+        // Seed 0 must still produce a usable stream.
+        assert_ne!(XorShift64::new(0).next_u64(), 0);
+    }
+}

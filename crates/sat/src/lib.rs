@@ -14,9 +14,12 @@
 //! * incremental solving under assumptions with UNSAT-core extraction,
 //! * cooperative deadline-based budgets ([`ResourceBudget`]) for anytime
 //!   callers — nested calls inherit and can never overshoot a parent's
-//!   deadline,
+//!   deadline — with thread-safe cancellation ([`CancelToken`]),
 //! * a backend abstraction ([`SatBackend`]) so higher layers are generic
 //!   over the solver implementation,
+//! * deterministic search diversification ([`SolverConfig`]) and a
+//!   multi-threaded portfolio backend ([`PortfolioBackend`]) racing
+//!   diversified workers to the first definitive answer,
 //! * solver-effort accounting ([`SolverTelemetry`]) that higher layers
 //!   aggregate and report,
 //! * DIMACS CNF input/output ([`dimacs`]).
@@ -41,17 +44,21 @@
 pub mod backend;
 pub mod budget;
 mod clause;
+pub mod config;
 pub mod dimacs;
 mod lit;
 mod order;
+pub mod portfolio;
 mod solver;
 mod stats;
 pub mod telemetry;
 
 pub use backend::{ClauseSink, DefaultBackend, SatBackend};
-pub use budget::ResourceBudget;
+pub use budget::{CancelToken, ResourceBudget};
 pub use clause::ClauseRef;
+pub use config::{PhaseInit, SolverConfig};
 pub use lit::{LBool, Lit, Var};
+pub use portfolio::PortfolioBackend;
 pub use solver::{SolveResult, Solver};
 pub use stats::Stats;
 pub use telemetry::SolverTelemetry;

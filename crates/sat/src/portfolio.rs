@@ -1,0 +1,353 @@
+//! Diversified portfolio solving: N workers race on clones of the formula.
+//!
+//! [`PortfolioBackend<B, N>`] wraps `N` instances of any [`SatBackend`]
+//! and implements [`SatBackend`] itself, so it drops into every generic
+//! consumer (the MaxSAT engine, the SATMAP routers, the OLSQ baselines)
+//! without touching their call sites. Clause and variable traffic is
+//! mirrored into every worker; each `solve_under_assumptions` call races
+//! the workers on OS threads ([`std::thread::scope`], no extra
+//! dependencies), takes the **first definitive** `Sat`/`Unsat` answer, and
+//! cancels the peers through a [`crate::CancelToken`] child of the caller's
+//! budget — so cancelling the caller's budget still tears down every
+//! worker, and a worker can never outlive the budget it descended from.
+//!
+//! Workers are diversified deterministically via
+//! [`SolverConfig::diversified`]: worker 0 always runs the undiversified
+//! default configuration, so the portfolio's answers (and, for MaxSAT
+//! consumers, its optimal costs) match the plain backend's — only the
+//! wall-clock route to them differs.
+//!
+//! # Examples
+//!
+//! ```
+//! use sat::{ClauseSink, PortfolioBackend, DefaultBackend, ResourceBudget, SatBackend, SolveResult};
+//!
+//! let mut portfolio = PortfolioBackend::<DefaultBackend, 4>::default();
+//! let a = portfolio.new_var().positive();
+//! SatBackend::add_clause(&mut portfolio, &[a]);
+//! let r = portfolio.solve_under_assumptions(&[], &ResourceBudget::unlimited());
+//! assert_eq!(r, SolveResult::Sat);
+//! assert_eq!(portfolio.model_value(a), Some(true));
+//! assert!(portfolio.stats().last_winner.is_some());
+//! ```
+
+use std::sync::Mutex;
+
+use crate::backend::{ClauseSink, DefaultBackend, SatBackend};
+use crate::budget::ResourceBudget;
+use crate::config::SolverConfig;
+use crate::lit::{Lit, Var};
+use crate::solver::SolveResult;
+use crate::stats::Stats;
+
+/// A portfolio of `N` diversified [`SatBackend`] workers racing per call.
+///
+/// `N` is a compile-time constant so portfolio sizing is part of the type
+/// a consumer names (e.g. `SatMap<PortfolioBackend<DefaultBackend, 4>>`),
+/// and must be at least 1.
+#[derive(Debug)]
+pub struct PortfolioBackend<B: SatBackend = DefaultBackend, const N: usize = 4> {
+    workers: Vec<B>,
+    /// Per-worker counters merged after every race, plus the last winner.
+    merged: Stats,
+    /// Index of the worker whose model/core answer the accessors serve.
+    winner: usize,
+    /// Count of races won per worker (diagnostic; survives across calls).
+    wins: [u64; N],
+}
+
+impl<B: SatBackend + Default, const N: usize> Default for PortfolioBackend<B, N> {
+    fn default() -> Self {
+        assert!(N >= 1, "a portfolio needs at least one worker");
+        let workers = (0..N)
+            .map(|i| {
+                let mut w = B::default();
+                w.configure(&SolverConfig::diversified(i));
+                w
+            })
+            .collect();
+        PortfolioBackend {
+            workers,
+            merged: Stats::default(),
+            winner: 0,
+            wins: [0; N],
+        }
+    }
+}
+
+impl<B: SatBackend, const N: usize> PortfolioBackend<B, N> {
+    /// Number of workers in the portfolio.
+    pub fn num_workers(&self) -> usize {
+        N
+    }
+
+    /// How many races each worker has won so far.
+    pub fn wins(&self) -> &[u64; N] {
+        &self.wins
+    }
+
+    /// Recomputes the merged statistics from the per-worker counters.
+    fn refresh_stats(&mut self, last_winner: Option<u32>) {
+        let mut merged = Stats::default();
+        for w in &self.workers {
+            merged.merge(w.stats());
+        }
+        merged.last_winner = last_winner.or(self.merged.last_winner);
+        self.merged = merged;
+    }
+}
+
+impl<B: SatBackend, const N: usize> ClauseSink for PortfolioBackend<B, N> {
+    fn new_var(&mut self) -> Var {
+        let mut it = self.workers.iter_mut();
+        let v = it.next().expect("N >= 1 worker").new_var();
+        for w in it {
+            let v2 = w.new_var();
+            debug_assert_eq!(v2, v, "workers must allocate variables in lockstep");
+        }
+        v
+    }
+
+    fn emit(&mut self, lits: &[Lit]) {
+        for w in &mut self.workers {
+            w.emit(lits);
+        }
+    }
+}
+
+impl<B: SatBackend + Send, const N: usize> SatBackend for PortfolioBackend<B, N> {
+    fn backend_name(&self) -> &'static str {
+        "portfolio"
+    }
+
+    fn configure(&mut self, config: &SolverConfig) {
+        // Re-diversify *relative to* the given base: worker 0 gets the base
+        // config itself, the rest their usual presets seeded off it.
+        for (i, w) in self.workers.iter_mut().enumerate() {
+            if i == 0 {
+                w.configure(config);
+            } else {
+                let mut c = SolverConfig::diversified(i);
+                c.seed ^= config.seed;
+                w.configure(&c);
+            }
+        }
+    }
+
+    fn num_vars(&self) -> usize {
+        self.workers[0].num_vars()
+    }
+
+    fn reserve_vars(&mut self, n: usize) {
+        for w in &mut self.workers {
+            w.reserve_vars(n);
+        }
+    }
+
+    fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        let mut ok = true;
+        for w in &mut self.workers {
+            ok &= w.add_clause(lits);
+        }
+        ok
+    }
+
+    fn solve_under_assumptions(
+        &mut self,
+        assumptions: &[Lit],
+        budget: &ResourceBudget,
+    ) -> SolveResult {
+        // Arm once so every worker shares the same absolute deadline, then
+        // derive the race token as a child of any inherited token: the
+        // caller cancelling its budget still stops all workers.
+        let armed = budget.arm();
+        let (worker_budget, race) = armed.cancellable();
+
+        // First definitive (Sat/Unsat) answer wins; losers are cancelled.
+        let first: Mutex<Option<(usize, SolveResult)>> = Mutex::new(None);
+        std::thread::scope(|scope| {
+            for (i, worker) in self.workers.iter_mut().enumerate() {
+                let wb = worker_budget.clone();
+                let race = &race;
+                let first = &first;
+                scope.spawn(move || {
+                    let result = worker.solve_under_assumptions(assumptions, &wb);
+                    if matches!(result, SolveResult::Sat | SolveResult::Unsat) {
+                        let mut slot = first.lock().expect("race winner lock");
+                        if slot.is_none() {
+                            *slot = Some((i, result));
+                            race.cancel();
+                        }
+                    }
+                });
+            }
+        });
+
+        let decided = first.into_inner().expect("race winner lock");
+        match decided {
+            Some((i, result)) => {
+                self.winner = i;
+                self.wins[i] += 1;
+                self.refresh_stats(Some(i as u32));
+                result
+            }
+            None => {
+                // Budget expired (or the caller cancelled) before anyone
+                // finished. Note the workers have still entered a new solve
+                // (clearing any prior model), so — exactly like the plain
+                // solver — model/core accessors reflect only the *last*
+                // definitive answer's state, not earlier races.
+                self.refresh_stats(None);
+                SolveResult::Unknown
+            }
+        }
+    }
+
+    fn model_value(&self, l: Lit) -> Option<bool> {
+        self.workers[self.winner].model_value(l)
+    }
+
+    fn model(&self) -> Vec<bool> {
+        self.workers[self.winner].model()
+    }
+
+    fn unsat_core(&self) -> &[Lit] {
+        self.workers[self.winner].unsat_core()
+    }
+
+    fn stats(&self) -> &Stats {
+        &self.merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    type P4 = PortfolioBackend<DefaultBackend, 4>;
+
+    fn lit(d: i64) -> Lit {
+        Lit::from_dimacs(d)
+    }
+
+    /// Pigeonhole clauses: `pigeons` into `holes` (UNSAT iff pigeons > holes).
+    fn pigeonhole<B: SatBackend>(backend: &mut B, pigeons: usize, holes: usize) {
+        backend.reserve_vars(pigeons * holes);
+        let var = |p: usize, h: usize| lit((p * holes + h + 1) as i64);
+        for p in 0..pigeons {
+            let row: Vec<Lit> = (0..holes).map(|h| var(p, h)).collect();
+            backend.add_clause(&row);
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in (p1 + 1)..pigeons {
+                    backend.add_clause(&[!var(p1, h), !var(p2, h)]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sat_and_unsat_answers_match_default_backend() {
+        // SAT case with incremental reuse.
+        let mut p = P4::default();
+        let a = ClauseSink::new_var(&mut p).positive();
+        let b = ClauseSink::new_var(&mut p).positive();
+        SatBackend::add_clause(&mut p, &[a, b]);
+        SatBackend::add_clause(&mut p, &[!a]);
+        let unlimited = ResourceBudget::unlimited();
+        assert_eq!(p.solve_under_assumptions(&[], &unlimited), SolveResult::Sat);
+        assert_eq!(p.model_value(b), Some(true));
+        assert!(p.model()[b.var().index()]);
+        assert_eq!(
+            p.stats().last_winner,
+            Some(p.wins().iter().position(|&w| w > 0).expect("a winner") as u32)
+        );
+
+        // Incremental: adding the blocking clause flips to UNSAT.
+        SatBackend::add_clause(&mut p, &[!b]);
+        assert_eq!(
+            p.solve_under_assumptions(&[], &unlimited),
+            SolveResult::Unsat
+        );
+    }
+
+    #[test]
+    fn unsat_core_flows_from_winner() {
+        let mut p = P4::default();
+        let a = ClauseSink::new_var(&mut p).positive();
+        let b = ClauseSink::new_var(&mut p).positive();
+        SatBackend::add_clause(&mut p, &[a, b]);
+        SatBackend::add_clause(&mut p, &[!a, b]);
+        let r = p.solve_under_assumptions(&[!b], &ResourceBudget::unlimited());
+        assert_eq!(r, SolveResult::Unsat);
+        assert!(p.unsat_core().contains(&!b));
+    }
+
+    #[test]
+    fn hard_unsat_instance_agrees_across_sizes() {
+        let mut single = PortfolioBackend::<DefaultBackend, 1>::default();
+        pigeonhole(&mut single, 4, 3);
+        assert_eq!(
+            single.solve_under_assumptions(&[], &ResourceBudget::unlimited()),
+            SolveResult::Unsat
+        );
+        let mut p = P4::default();
+        pigeonhole(&mut p, 4, 3);
+        assert_eq!(
+            p.solve_under_assumptions(&[], &ResourceBudget::unlimited()),
+            SolveResult::Unsat
+        );
+        assert!(p.stats().conflicts >= single.stats().conflicts);
+    }
+
+    #[test]
+    fn expired_budget_returns_unknown_and_stays_usable() {
+        let mut p = P4::default();
+        pigeonhole(&mut p, 9, 8);
+        let r = p.solve_under_assumptions(&[], &ResourceBudget::with_time(Duration::ZERO).arm());
+        assert_eq!(r, SolveResult::Unknown);
+        // A subsequent unlimited call still answers definitively.
+        let mut easy = P4::default();
+        let a = ClauseSink::new_var(&mut easy).positive();
+        SatBackend::add_clause(&mut easy, &[a]);
+        assert_eq!(
+            easy.solve_under_assumptions(&[], &ResourceBudget::unlimited()),
+            SolveResult::Sat
+        );
+    }
+
+    #[test]
+    fn parent_cancellation_stops_all_workers_promptly() {
+        let mut p = P4::default();
+        pigeonhole(&mut p, 10, 9); // hard: would run far longer than the test
+        let (budget, token) = ResourceBudget::unlimited().cancellable();
+        let started = std::time::Instant::now();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                std::thread::sleep(Duration::from_millis(50));
+                token.cancel();
+            });
+            let r = p.solve_under_assumptions(&[], &budget);
+            assert_eq!(r, SolveResult::Unknown, "cancel must cut the race");
+        });
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "workers outlived the cancelled parent budget"
+        );
+        // Effort spent before the kill is still charged.
+        assert!(p.stats().decisions > 0 || p.stats().conflicts > 0);
+    }
+
+    #[test]
+    fn merged_stats_cover_all_workers() {
+        let mut p = P4::default();
+        pigeonhole(&mut p, 4, 3);
+        p.solve_under_assumptions(&[], &ResourceBudget::unlimited());
+        let merged = *p.stats();
+        assert!(merged.conflicts > 0);
+        assert_eq!(p.num_workers(), 4);
+        assert_eq!(p.wins().iter().sum::<u64>(), 1);
+    }
+}

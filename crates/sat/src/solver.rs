@@ -10,6 +10,7 @@
 
 use crate::budget::ResourceBudget;
 use crate::clause::{ClauseDb, ClauseRef};
+use crate::config::{PhaseInit, SolverConfig, XorShift64};
 use crate::lit::{LBool, Lit, Var};
 use crate::stats::Stats;
 
@@ -73,6 +74,10 @@ pub struct Solver {
     conflict_core: Vec<Lit>,
     stats: Stats,
     max_learnt: f64,
+    /// Diversification knobs (restarts, polarity, phase, seed).
+    config: SolverConfig,
+    /// Deterministic PRNG driving every randomized knob.
+    rng: XorShift64,
 }
 
 impl Default for Solver {
@@ -82,8 +87,15 @@ impl Default for Solver {
 }
 
 impl Solver {
-    /// Creates an empty solver with no variables or clauses.
+    /// Creates an empty solver with no variables or clauses and the
+    /// undiversified default configuration.
     pub fn new() -> Self {
+        Self::with_config(SolverConfig::default())
+    }
+
+    /// Creates an empty solver with the given search-diversification
+    /// configuration.
+    pub fn with_config(config: SolverConfig) -> Self {
         Solver {
             db: ClauseDb::new(),
             watches: Vec::new(),
@@ -106,6 +118,37 @@ impl Solver {
             conflict_core: Vec::new(),
             stats: Stats::default(),
             max_learnt: 2000.0,
+            rng: XorShift64::new(config.seed),
+            config,
+        }
+    }
+
+    /// Replaces the search-diversification configuration.
+    ///
+    /// Reseeds the PRNG and re-initializes the saved phase of *existing*
+    /// variables per the new [`PhaseInit`] policy (phase saving overwrites
+    /// it as search progresses, as usual). Intended to be called before
+    /// solving starts; safe at any root-level point.
+    pub fn set_config(&mut self, config: SolverConfig) {
+        self.rng = XorShift64::new(config.seed);
+        self.config = config;
+        for i in 0..self.polarity.len() {
+            let p = self.initial_phase();
+            self.polarity[i] = p;
+        }
+    }
+
+    /// The active search-diversification configuration.
+    pub fn solver_config(&self) -> &SolverConfig {
+        &self.config
+    }
+
+    /// Initial saved phase for a variable per the configured policy.
+    fn initial_phase(&mut self) -> bool {
+        match self.config.phase_init {
+            PhaseInit::Negative => false,
+            PhaseInit::Positive => true,
+            PhaseInit::Random => self.rng.next_bool(),
         }
     }
 
@@ -128,11 +171,19 @@ impl Solver {
     /// Creates a fresh variable and returns it.
     pub fn new_var(&mut self) -> Var {
         let v = Var::new(self.assigns.len());
+        let phase = self.initial_phase();
+        // A nonzero seed perturbs the initial VSIDS tie-breaking order with
+        // a jitter far below one activity bump, diversifying only ties.
+        let jitter = if self.config.seed != 0 {
+            self.rng.next_f64() * 1e-6
+        } else {
+            0.0
+        };
         self.assigns.push(LBool::Undef);
-        self.polarity.push(false);
+        self.polarity.push(phase);
         self.reason.push(None);
         self.level.push(0);
-        self.activity.push(0.0);
+        self.activity.push(jitter);
         self.seen.push(false);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
@@ -206,13 +257,6 @@ impl Solver {
         let (l0, l1) = (c.lits[0], c.lits[1]);
         self.watches[(!l0).code() as usize].push(Watcher { cref, blocker: l1 });
         self.watches[(!l1).code() as usize].push(Watcher { cref, blocker: l0 });
-    }
-
-    fn detach(&mut self, cref: ClauseRef) {
-        let c = self.db.get(cref);
-        let (l0, l1) = (c.lits[0], c.lits[1]);
-        self.watches[(!l0).code() as usize].retain(|w| w.cref != cref);
-        self.watches[(!l1).code() as usize].retain(|w| w.cref != cref);
     }
 
     #[inline]
@@ -476,6 +520,12 @@ impl Solver {
 
     /// Removes roughly half of the learned clauses, keeping binary/glue and
     /// high-activity clauses.
+    ///
+    /// Freed clauses are swept from the watch lists in one batch pass at
+    /// the end: a per-clause `retain` over both watched literals' lists is
+    /// `O(watchlist)` each, which made reduction quadratic in conflict-heavy
+    /// runs, whereas the batch sweep is one `O(total watchers)` pass per
+    /// reduction regardless of how many clauses were dropped.
     fn reduce_db(&mut self) {
         let mut refs: Vec<ClauseRef> = self.db.learnt_refs().collect();
         refs.sort_by(|&a, &b| {
@@ -501,9 +551,16 @@ impl Solver {
             if locked[i] || c.lits.len() <= 2 || c.lbd <= 2 {
                 continue;
             }
-            self.detach(r);
             self.db.free(r);
             removed += 1;
+        }
+        if removed > 0 {
+            // ClauseRefs are never reused (the arena only marks clauses
+            // deleted), so `deleted` is a safe liveness test here.
+            let db = &self.db;
+            for ws in &mut self.watches {
+                ws.retain(|w| !db.get(w.cref).deleted);
+            }
         }
         self.stats.reductions += 1;
     }
@@ -511,7 +568,14 @@ impl Solver {
     fn pick_branch(&mut self) -> Option<Lit> {
         while let Some(v) = self.order.pop_max(&self.activity) {
             if self.assigns[v.index()] == LBool::Undef {
-                return Some(Lit::new(v, self.polarity[v.index()]));
+                let positive = if self.config.random_polarity_freq > 0.0
+                    && self.rng.next_f64() < self.config.random_polarity_freq
+                {
+                    self.rng.next_bool()
+                } else {
+                    self.polarity[v.index()]
+                };
+                return Some(Lit::new(v, positive));
             }
         }
         None
@@ -553,7 +617,7 @@ impl Solver {
         let conflict_start = self.stats.conflicts;
         let mut restart_idx = 0u64;
         loop {
-            let restart_budget = 100 * luby(restart_idx);
+            let restart_budget = self.config.restart_interval(luby(restart_idx));
             restart_idx += 1;
             match self.search(assumptions, restart_budget, &budget, conflict_start) {
                 SearchOutcome::Sat => {

@@ -1,6 +1,7 @@
 //! Solver statistics.
 
-/// Counters accumulated across all solve calls of a [`crate::Solver`].
+/// Counters accumulated across all solve calls of a [`crate::Solver`] (or
+/// merged across the workers of a [`crate::PortfolioBackend`]).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Stats {
     /// Number of conflicts encountered.
@@ -15,6 +16,25 @@ pub struct Stats {
     pub reductions: u64,
     /// Total literals across all learned clauses.
     pub learned_literals: u64,
+    /// Portfolio backends only: index of the worker that produced the most
+    /// recent definitive answer. Single-threaded backends leave it `None`.
+    pub last_winner: Option<u32>,
+}
+
+impl Stats {
+    /// Elementwise sum of the counters (winner taken from `other` when
+    /// set) — how a portfolio merges per-worker statistics.
+    pub fn merge(&mut self, other: &Stats) {
+        self.conflicts += other.conflicts;
+        self.decisions += other.decisions;
+        self.propagations += other.propagations;
+        self.restarts += other.restarts;
+        self.reductions += other.reductions;
+        self.learned_literals += other.learned_literals;
+        if other.last_winner.is_some() {
+            self.last_winner = other.last_winner;
+        }
+    }
 }
 
 impl std::fmt::Display for Stats {
@@ -23,6 +43,48 @@ impl std::fmt::Display for Stats {
             f,
             "conflicts={} decisions={} propagations={} restarts={} reductions={}",
             self.conflicts, self.decisions, self.propagations, self.restarts, self.reductions
-        )
+        )?;
+        if let Some(w) = self.last_winner {
+            write!(f, " winner={w}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_counters_and_keeps_winner() {
+        let mut a = Stats {
+            conflicts: 3,
+            restarts: 1,
+            ..Stats::default()
+        };
+        let b = Stats {
+            conflicts: 4,
+            reductions: 2,
+            last_winner: Some(2),
+            ..Stats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.conflicts, 7);
+        assert_eq!(a.restarts, 1);
+        assert_eq!(a.reductions, 2);
+        assert_eq!(a.last_winner, Some(2));
+        // Merging a winner-less record keeps the previous winner.
+        a.merge(&Stats::default());
+        assert_eq!(a.last_winner, Some(2));
+    }
+
+    #[test]
+    fn display_includes_winner_when_set() {
+        let s = Stats {
+            last_winner: Some(1),
+            ..Stats::default()
+        };
+        assert!(s.to_string().contains("winner=1"));
+        assert!(!Stats::default().to_string().contains("winner"));
     }
 }

@@ -19,6 +19,10 @@ pub struct SolverTelemetry {
     pub decisions: u64,
     /// Unit propagations across all SAT calls.
     pub propagations: u64,
+    /// Solver restarts across all SAT calls.
+    pub restarts: u64,
+    /// Learned-clause database reductions across all SAT calls.
+    pub db_reductions: u64,
     /// Time spent building encodings (clauses, totalizers).
     pub encode_time: Duration,
     /// Time spent inside SAT `solve` calls.
@@ -27,6 +31,9 @@ pub struct SolverTelemetry {
     pub slices: u64,
     /// Backtracking steps taken across slice boundaries.
     pub backtracks: u64,
+    /// Portfolio solving only: index of the worker that produced the most
+    /// recent definitive answer (`None` for single-threaded backends).
+    pub winning_worker: Option<u32>,
 }
 
 impl SolverTelemetry {
@@ -41,10 +48,15 @@ impl SolverTelemetry {
         self.conflicts += child.conflicts;
         self.decisions += child.decisions;
         self.propagations += child.propagations;
+        self.restarts += child.restarts;
+        self.db_reductions += child.db_reductions;
         self.encode_time += child.encode_time;
         self.solve_time += child.solve_time;
         self.slices += child.slices;
         self.backtracks += child.backtracks;
+        if child.winning_worker.is_some() {
+            self.winning_worker = child.winning_worker;
+        }
     }
 }
 
@@ -52,14 +64,19 @@ impl std::fmt::Display for SolverTelemetry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "sat_calls={} conflicts={} slices={} backtracks={} encode={:.3}s solve={:.3}s",
+            "sat_calls={} conflicts={} restarts={} slices={} backtracks={} encode={:.3}s solve={:.3}s",
             self.sat_calls,
             self.conflicts,
+            self.restarts,
             self.slices,
             self.backtracks,
             self.encode_time.as_secs_f64(),
             self.solve_time.as_secs_f64()
-        )
+        )?;
+        if let Some(w) = self.winning_worker {
+            write!(f, " winner={w}")?;
+        }
+        Ok(())
     }
 }
 

@@ -1,0 +1,221 @@
+//! Cross-layer tests of the parallel solving subsystem: the diversified
+//! SAT portfolio against the default backend on the paper's workloads,
+//! cooperative cancellation through the budget-inheritance chain, and the
+//! multi-core experiment runner's determinism.
+
+use std::time::{Duration, Instant};
+
+use circuit::{verify::verify, Circuit, Router};
+use experiments::runner::{run_suite, run_tool};
+use sat::{
+    CancelToken, DefaultBackend, Lit, PortfolioBackend, ResourceBudget, SatBackend, SolveResult,
+};
+use satmap::{PortfolioSatMap, SatMap, SatMapConfig};
+
+/// The paper's Fig. 3a running example.
+fn fig3() -> Circuit {
+    let mut c = Circuit::new(4);
+    c.cx(0, 1);
+    c.cx(0, 2);
+    c.cx(3, 2);
+    c.cx(0, 3);
+    c
+}
+
+/// Small workloads spanning the suite's circuit families.
+fn small_workloads() -> Vec<(String, Circuit)> {
+    vec![
+        ("fig3".into(), fig3()),
+        ("qft4".into(), circuit::generators::qft(4)),
+        ("graycode6".into(), circuit::generators::graycode(6)),
+        (
+            "random_local".into(),
+            circuit::generators::random_local(5, 10, 4, 0.2, 1),
+        ),
+        ("ising6".into(), circuit::generators::ising_model(6, 1)),
+    ]
+}
+
+#[test]
+fn portfolio_routing_costs_match_default_backend() {
+    // Both routers solve to optimality (unlimited budget), so the SWAP
+    // counts must be identical: the portfolio changes the wall-clock route
+    // to the optimum, never the optimum itself.
+    let graph = arch::devices::tokyo_minus();
+    let single = SatMap::new(SatMapConfig::monolithic());
+    let portfolio = PortfolioSatMap::with_backend(SatMapConfig::monolithic());
+    for (name, circuit) in small_workloads() {
+        let s = single
+            .route(&circuit, &graph)
+            .unwrap_or_else(|e| panic!("{name}: single failed: {e}"));
+        let p = portfolio
+            .route(&circuit, &graph)
+            .unwrap_or_else(|e| panic!("{name}: portfolio failed: {e}"));
+        verify(&circuit, &graph, &p).unwrap_or_else(|e| panic!("{name}: unverified: {e}"));
+        assert_eq!(
+            s.added_gates(),
+            p.added_gates(),
+            "{name}: portfolio must reproduce the optimal cost"
+        );
+    }
+}
+
+#[test]
+fn portfolio_telemetry_reports_winner_through_the_stack() {
+    let graph = arch::devices::tokyo_minus();
+    let router = PortfolioSatMap::with_backend(SatMapConfig::monolithic());
+    let (result, telemetry) = router.route_with_telemetry(&fig3(), &graph);
+    result.expect("fig3 routes");
+    assert!(telemetry.sat_calls > 0);
+    assert!(
+        telemetry.winning_worker.is_some(),
+        "the winning worker index must flow up into telemetry: {telemetry}"
+    );
+}
+
+/// Hard pigeonhole clauses: would run far longer than any test timeout.
+fn load_pigeonhole<B: SatBackend>(backend: &mut B, pigeons: usize, holes: usize) {
+    backend.reserve_vars(pigeons * holes);
+    let var = |p: usize, h: usize| Lit::from_dimacs((p * holes + h + 1) as i64);
+    for p in 0..pigeons {
+        let row: Vec<Lit> = (0..holes).map(|h| var(p, h)).collect();
+        backend.add_clause(&row);
+    }
+    for h in 0..holes {
+        for p1 in 0..pigeons {
+            for p2 in (p1 + 1)..pigeons {
+                backend.add_clause(&[!var(p1, h), !var(p2, h)]);
+            }
+        }
+    }
+}
+
+#[test]
+fn cancellation_kills_workers_mid_search_without_panic() {
+    // Stress: repeatedly kill a racing portfolio mid-search from another
+    // thread; every round must come back Unknown promptly, leave no panic,
+    // and still charge the effort spent to the merged statistics.
+    let started = Instant::now();
+    for round in 0..5u64 {
+        let mut p = PortfolioBackend::<DefaultBackend, 3>::default();
+        load_pigeonhole(&mut p, 10, 9);
+        let (budget, token) = ResourceBudget::unlimited().cancellable();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                std::thread::sleep(Duration::from_millis(10 + 7 * round));
+                token.cancel();
+            });
+            let r = p.solve_under_assumptions(&[], &budget);
+            assert_eq!(r, SolveResult::Unknown, "round {round}: cancel must win");
+        });
+        assert!(
+            p.stats().decisions > 0 || p.stats().propagations > 0,
+            "round {round}: killed workers must still charge telemetry"
+        );
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(60),
+        "cancellation must cut each race to ~the kill delay"
+    );
+}
+
+#[test]
+fn child_worker_cannot_outlive_parent_budget() {
+    // The race token is a child of the caller's token: cancelling the
+    // *parent* (as an experiment sweep teardown would) must stop the whole
+    // portfolio, even though each worker armed its own child budget.
+    let (parent, parent_token) = ResourceBudget::unlimited().cancellable();
+    let (child, _child_token) = parent.cancellable();
+    let mut p = PortfolioBackend::<DefaultBackend, 2>::default();
+    load_pigeonhole(&mut p, 10, 9);
+    let started = Instant::now();
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            std::thread::sleep(Duration::from_millis(30));
+            parent_token.cancel();
+        });
+        let r = p.solve_under_assumptions(&[], &child);
+        assert_eq!(r, SolveResult::Unknown);
+    });
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "grandchild workers outlived the cancelled ancestor budget"
+    );
+}
+
+#[test]
+fn cancel_token_reaches_a_plain_solver_deep_in_the_chain() {
+    // Not just portfolios: any solver armed with a descendant budget stops
+    // when an ancestor token fires, regardless of nesting depth.
+    let mut solver = DefaultBackend::default();
+    load_pigeonhole(&mut solver, 10, 9);
+    let (root, token) = ResourceBudget::unlimited().cancellable();
+    let deep = root
+        .limit_time(Duration::from_secs(3600))
+        .arm()
+        .limit_time(Duration::from_secs(1800))
+        .arm();
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            std::thread::sleep(Duration::from_millis(20));
+            token.cancel();
+        });
+        let started = Instant::now();
+        let r = solver.solve_under_assumptions(&[], &deep);
+        assert_eq!(r, SolveResult::Unknown);
+        assert!(started.elapsed() < Duration::from_secs(30));
+    });
+}
+
+#[test]
+fn diversified_workers_agree_on_unsat() {
+    // Diversification changes the search order, never the answer.
+    for n in 0..5usize {
+        let mut s = sat::Solver::with_config(sat::SolverConfig::diversified(n));
+        load_pigeonhole(&mut s, 4, 3);
+        assert_eq!(s.solve(), SolveResult::Unsat, "worker {n} preset");
+    }
+}
+
+#[test]
+fn jobs_4_runner_rows_match_jobs_1() {
+    // The acceptance criterion behind `--jobs N`: outputs are order-stable
+    // and solution-identical for any job count (wall-clock columns aside,
+    // which no fixed schedule could pin down).
+    let suite: Vec<circuit::suite::Benchmark> = small_workloads()
+        .into_iter()
+        .map(|(name, circuit)| circuit::suite::Benchmark { name, circuit })
+        .collect();
+    let graph = arch::devices::tokyo();
+    let router = SatMap::new(SatMapConfig::sliced(4));
+    let serial = run_suite(&router, &suite, &graph, 1);
+    let parallel = run_suite(&router, &suite, &graph, 4);
+    let rows = |outcomes: &[experiments::runner::RunOutcome]| -> Vec<String> {
+        outcomes
+            .iter()
+            .map(|o| format!("{}|{}|{:?}|{:?}", o.name, o.size, o.cost, o.error))
+            .collect()
+    };
+    assert_eq!(
+        rows(&serial),
+        rows(&parallel),
+        "--jobs 4 must reproduce --jobs 1 byte-for-byte (timing aside)"
+    );
+    // And the parallel path agrees with the plain single-instance API.
+    for (bench, row) in suite.iter().zip(&parallel) {
+        let direct = run_tool(&router, bench, &graph);
+        assert_eq!(direct.cost, row.cost, "{}", bench.name);
+    }
+}
+
+#[test]
+fn cancel_token_chain_is_shared_not_copied() {
+    // Guard against a regression to `Copy` semantics: cloning a budget
+    // must share the token, not snapshot it.
+    let token = CancelToken::new();
+    let a = ResourceBudget::unlimited().with_cancel(token.clone());
+    let b = a.clone().limit_time(Duration::from_secs(5)).arm();
+    token.cancel();
+    assert!(a.expired());
+    assert!(b.expired(), "derived budgets observe the same token");
+}

@@ -17,7 +17,29 @@
 #![warn(missing_docs)]
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// One completed benchmark's summary measurement.
+///
+/// An extension over the real criterion's surface: the shim records every
+/// benchmark it runs so harnesses can emit machine-readable reports (see
+/// [`take_results`]).
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Full benchmark id (`group/function/parameter`).
+    pub id: String,
+    /// Median time per iteration, in nanoseconds.
+    pub median_ns: u128,
+}
+
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// Drains the results recorded by every benchmark run so far, in
+/// execution order.
+pub fn take_results() -> Vec<BenchResult> {
+    std::mem::take(&mut *RESULTS.lock().expect("bench results lock"))
+}
 
 /// Prevents the compiler from optimizing away a benchmarked value.
 pub fn black_box<T>(x: T) -> T {
@@ -183,6 +205,13 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F)
     samples.sort_unstable();
     let median = samples[samples.len() / 2];
     let (lo, hi) = (samples[0], samples[samples.len() - 1]);
+    RESULTS
+        .lock()
+        .expect("bench results lock")
+        .push(BenchResult {
+            id: id.to_string(),
+            median_ns: median.as_nanos(),
+        });
     println!(
         "{id:<50} time: [{} {} {}]",
         format_duration(lo),
@@ -250,5 +279,17 @@ mod tests {
     fn id_formatting() {
         assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
         assert_eq!(BenchmarkId::from_parameter("p").id, "p");
+    }
+
+    #[test]
+    fn results_are_recorded_and_drained() {
+        let mut c = Criterion::default();
+        c.bench_function("record/me", |b| b.iter(|| 1 + 1));
+        let results = take_results();
+        assert!(results.iter().any(|r| r.id == "record/me"));
+        assert!(
+            take_results().iter().all(|r| r.id != "record/me"),
+            "take_results drains"
+        );
     }
 }
