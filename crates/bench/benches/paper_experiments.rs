@@ -3,14 +3,31 @@
 //! These measure *scaled-down* instances so `cargo bench` finishes quickly;
 //! the full-size regenerations (with per-instance budgets and the whole
 //! 160-circuit suite) are produced by the `satmap-experiments` binary.
+//!
+//! Every router is constructed by name through `routers::RouterRegistry`
+//! and driven by a `RouteRequest` carrying the per-call budget — no
+//! concrete router type appears in this harness.
 
 use bench::{bench_budget, fig3, planted_cnf, small_workloads};
-use circuit::Router;
+use circuit::{Objective, Parallelism, RepeatedStructure, RouteRequest, Slicing};
 use criterion::{criterion_group, BenchmarkId, Criterion};
-use heuristics::{AStar, Sabre, Tket};
-use olsq::{Exhaustive, Transition};
+use routers::{BoxedRouter, RouterRegistry};
 use sat::{ClauseSink, Lit, PortfolioBackend, ResourceBudget, SatBackend, SolveResult, Solver};
-use satmap::{CyclicSatMap, Objective, SatMap, SatMapConfig};
+
+fn create(name: &str) -> BoxedRouter {
+    RouterRegistry::standard()
+        .create(name)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Routes one circuit under the bench budget (the request every group
+/// shares).
+fn route<'a>(
+    circuit: &'a circuit::Circuit,
+    graph: &'a arch::ConnectivityGraph,
+) -> RouteRequest<'a> {
+    RouteRequest::new(circuit, graph).with_budget(bench_budget())
+}
 
 /// Fig. 1 / Table I / Figs. 10–11 (Q1): constraint-based tools on the same
 /// instance — SATMAP vs the TB-OLSQ and EX-MQT analogues.
@@ -19,19 +36,14 @@ fn q1_constraint_tools(c: &mut Criterion) {
     group.sample_size(10);
     let circuit = fig3();
     let graph = arch::devices::tokyo_minus();
-    let tools: Vec<(&str, Box<dyn Router>)> = vec![
-        (
-            "satmap",
-            Box::new(SatMap::new(
-                SatMapConfig::monolithic().with_budget(bench_budget()),
-            )),
-        ),
-        ("tb-olsq", Box::new(Transition::with_budget(bench_budget()))),
-        ("ex-mqt", Box::new(Exhaustive::with_budget(bench_budget()))),
+    let tools: Vec<(&str, BoxedRouter)> = vec![
+        ("satmap", create("nl-satmap")),
+        ("tb-olsq", create("olsq-tb")),
+        ("ex-mqt", create("olsq")),
     ];
     for (name, tool) in &tools {
         group.bench_with_input(BenchmarkId::new(*name, "fig3"), &circuit, |b, circ| {
-            b.iter(|| tool.route(circ, &graph))
+            b.iter(|| tool.route_request(&route(circ, &graph)))
         });
     }
     group.finish();
@@ -42,15 +54,15 @@ fn q2_heuristics(c: &mut Criterion) {
     let mut group = c.benchmark_group("q2_heuristics");
     let graph = arch::devices::tokyo();
     let workloads = small_workloads();
-    let tools: Vec<(&str, Box<dyn Router>)> = vec![
-        ("mqth-astar", Box::new(AStar::default())),
-        ("sabre", Box::new(Sabre::default())),
-        ("tket", Box::new(Tket::default())),
+    let tools: Vec<(&str, BoxedRouter)> = vec![
+        ("mqth-astar", create("astar")),
+        ("sabre", create("sabre")),
+        ("tket", create("tket")),
     ];
     for (name, tool) in &tools {
         for (i, w) in workloads.iter().enumerate() {
             group.bench_with_input(BenchmarkId::new(*name, i), w, |b, circ| {
-                b.iter(|| tool.route(circ, &graph))
+                b.iter(|| tool.route_request(&route(circ, &graph)))
             });
         }
     }
@@ -58,21 +70,24 @@ fn q2_heuristics(c: &mut Criterion) {
 }
 
 /// Fig. 2 / Table II / Fig. 13 (Q3): slice-size ablation — the local
-/// relaxation at several slice sizes vs NL-SATMAP.
+/// relaxation at several slice sizes vs NL-SATMAP, all through one router
+/// with per-request `Slicing` overrides.
 fn q3_slice_sizes(c: &mut Criterion) {
     let mut group = c.benchmark_group("q3_slice_sizes");
     group.sample_size(10);
     let graph = arch::devices::tokyo_minus();
     let circuit = circuit::generators::random_local(5, 12, 4, 0.1, 3);
+    let satmap = create("satmap");
     for slice in [2usize, 4, 8] {
-        let router = SatMap::new(SatMapConfig::sliced(slice).with_budget(bench_budget()));
         group.bench_with_input(BenchmarkId::new("sliced", slice), &circuit, |b, circ| {
-            b.iter(|| router.route(circ, &graph))
+            b.iter(|| {
+                satmap.route_request(&route(circ, &graph).with_slicing(Slicing::Sliced(slice)))
+            })
         });
     }
-    let nl = SatMap::new(SatMapConfig::monolithic().with_budget(bench_budget()));
+    let nl = create("nl-satmap");
     group.bench_with_input(BenchmarkId::new("nl-satmap", 0), &circuit, |b, circ| {
-        b.iter(|| nl.route(circ, &graph))
+        b.iter(|| nl.route_request(&route(circ, &graph)))
     });
     group.finish();
 }
@@ -83,19 +98,27 @@ fn q3_qaoa_cyclic(c: &mut Criterion) {
     group.sample_size(10);
     let graph = arch::devices::tokyo();
     let n = 6usize;
+    let cycles = 2usize;
     let edges = circuit::qaoa::three_regular_graph(n, 1);
     let sub = circuit::qaoa::qaoa_subcircuit(n, &edges, 0.4, 0.3);
-    let prefix = circuit::Circuit::new(n);
-    let full = circuit::qaoa::qaoa_maxcut(n, 2, 1);
+    let full = sub.repeated(cycles);
+    let repetition = RepeatedStructure {
+        prefix_len: 0,
+        cycles,
+    };
 
-    let cyc = CyclicSatMap::new(SatMapConfig::default().with_budget(bench_budget()));
+    let cyc = create("cyc-satmap");
     group.bench_function("cyc-satmap", |b| {
-        b.iter(|| cyc.route_repeated(&prefix, &sub, 2, &graph))
+        b.iter(|| cyc.route_request(&route(&full, &graph).with_repetition(repetition)))
     });
-    let sm = SatMap::new(SatMapConfig::default().with_budget(bench_budget()));
-    group.bench_function("satmap-unrolled", |b| b.iter(|| sm.route(&full, &graph)));
-    let tket = Tket::default();
-    group.bench_function("tket", |b| b.iter(|| tket.route(&full, &graph)));
+    let sm = create("satmap");
+    group.bench_function("satmap-unrolled", |b| {
+        b.iter(|| sm.route_request(&route(&full, &graph)))
+    });
+    let tket = create("tket");
+    group.bench_function("tket", |b| {
+        b.iter(|| tket.route_request(&route(&full, &graph)))
+    });
     group.finish();
 }
 
@@ -104,22 +127,22 @@ fn q4_architectures(c: &mut Criterion) {
     let mut group = c.benchmark_group("q4_architectures");
     group.sample_size(10);
     let circuit = circuit::generators::random_local(6, 10, 5, 0.1, 4);
+    let satmap = create("satmap");
+    let tket = create("tket");
     for graph in [
         arch::devices::tokyo_minus(),
         arch::devices::tokyo(),
         arch::devices::tokyo_plus(),
     ] {
-        let router = SatMap::new(SatMapConfig::default().with_budget(bench_budget()));
         group.bench_with_input(
             BenchmarkId::new("satmap", graph.name()),
             &circuit,
-            |b, circ| b.iter(|| router.route(circ, &graph)),
+            |b, circ| b.iter(|| satmap.route_request(&route(circ, &graph))),
         );
-        let tket = Tket::default();
         group.bench_with_input(
             BenchmarkId::new("tket", graph.name()),
             &circuit,
-            |b, circ| b.iter(|| tket.route(circ, &graph)),
+            |b, circ| b.iter(|| tket.route_request(&route(circ, &graph))),
         );
     }
     group.finish();
@@ -131,46 +154,49 @@ fn q5_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("q5_scaling");
     group.sample_size(10);
     let graph = arch::devices::tokyo_minus();
+    let satmap = create("satmap");
     for gates in [4usize, 8, 16] {
         let circuit = circuit::generators::random_local(5, gates, 4, 0.0, 9);
-        let router = SatMap::new(SatMapConfig::sliced(4).with_budget(bench_budget()));
         group.bench_with_input(BenchmarkId::new("satmap", gates), &circuit, |b, circ| {
-            b.iter(|| router.route(circ, &graph))
+            b.iter(|| satmap.route_request(&route(circ, &graph).with_slicing(Slicing::Sliced(4))))
         });
     }
     group.finish();
 }
 
-/// Q6: the weighted (fidelity) objective vs plain swap minimization.
+/// Q6: the weighted (fidelity) objective vs plain swap minimization —
+/// selected per request on the same router.
 fn q6_noise(c: &mut Criterion) {
     let mut group = c.benchmark_group("q6_noise");
     group.sample_size(10);
     let graph = arch::devices::tokyo();
     let noise = arch::NoiseModel::synthetic(&graph, 2022);
     let circuit = circuit::generators::random_local(4, 6, 3, 0.0, 5);
-    let plain = SatMap::new(SatMapConfig::monolithic().with_budget(bench_budget()));
-    group.bench_function("swap-count", |b| b.iter(|| plain.route(&circuit, &graph)));
-    let weighted = SatMap::new(SatMapConfig {
-        objective: Objective::Fidelity(noise.clone()),
-        ..SatMapConfig::monolithic().with_budget(bench_budget())
+    let router = create("nl-satmap");
+    group.bench_function("swap-count", |b| {
+        b.iter(|| router.route_request(&route(&circuit, &graph)))
     });
-    group.bench_function("fidelity", |b| b.iter(|| weighted.route(&circuit, &graph)));
+    group.bench_function("fidelity", |b| {
+        b.iter(|| {
+            router.route_request(
+                &route(&circuit, &graph).with_objective(Objective::Fidelity(noise.clone())),
+            )
+        })
+    });
     group.finish();
 }
 
-/// Ablation: the `n` swaps-per-gap parameter (DESIGN.md design decision).
+/// Ablation: the `n` swaps-per-gap parameter (DESIGN.md design decision),
+/// a per-request knob.
 fn ablation_swaps_per_gap(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_swaps_per_gap");
     group.sample_size(10);
     let graph = arch::devices::tokyo_minus();
     let circuit = circuit::generators::random_local(5, 8, 4, 0.0, 6);
+    let router = create("nl-satmap");
     for n in [1usize, 2] {
-        let router = SatMap::new(SatMapConfig {
-            swaps_per_gap: n,
-            ..SatMapConfig::monolithic().with_budget(bench_budget())
-        });
         group.bench_with_input(BenchmarkId::new("n", n), &circuit, |b, circ| {
-            b.iter(|| router.route(circ, &graph))
+            b.iter(|| router.route_request(&route(circ, &graph).with_swaps_per_gap(n)))
         });
     }
     group.finish();
@@ -204,7 +230,7 @@ fn portfolio_race(c: &mut Criterion) {
     });
     group.bench_function("portfolio4", |b| {
         b.iter(|| {
-            let mut p = PortfolioBackend::<Solver, 4>::default();
+            let mut p = PortfolioBackend::<Solver>::with_width(4);
             p.reserve_vars(400);
             load(&mut p);
             assert_eq!(
@@ -213,6 +239,25 @@ fn portfolio_race(c: &mut Criterion) {
             );
         })
     });
+    group.finish();
+}
+
+/// The portfolio width chosen at request time: `Serial` vs an explicit
+/// 4-wide race on the same monolithic route, through the same router.
+fn portfolio_width_request(c: &mut Criterion) {
+    let mut group = c.benchmark_group("portfolio_width");
+    group.sample_size(10);
+    let graph = arch::devices::tokyo_minus();
+    let circuit = fig3();
+    let router = create("nl-satmap");
+    for (label, parallelism) in [
+        ("serial", Parallelism::Serial),
+        ("width4", Parallelism::Width(4)),
+    ] {
+        group.bench_with_input(BenchmarkId::new(label, "fig3"), &circuit, |b, circ| {
+            b.iter(|| router.route_request(&route(circ, &graph).with_parallelism(parallelism)))
+        });
+    }
     group.finish();
 }
 
@@ -226,7 +271,8 @@ criterion_group!(
     q5_scaling,
     q6_noise,
     ablation_swaps_per_gap,
-    portfolio_race
+    portfolio_race,
+    portfolio_width_request
 );
 
 fn main() {

@@ -15,6 +15,7 @@
 use std::io::Write as _;
 use std::time::Duration;
 
+use circuit::request::escape_json;
 use circuit::Circuit;
 use criterion::BenchResult;
 
@@ -106,6 +107,27 @@ pub fn bench_json_path() -> std::path::PathBuf {
         .join("BENCH_satmap.json")
 }
 
+/// Routes the Fig. 3 running example through every registered router and
+/// returns one [`circuit::RouteOutcome::to_json`] row per router — the
+/// same row schema the experiment sweeps emit via `SATMAP_ROWS_JSON`, so
+/// the bench report and the sweeps stay machine-comparable.
+pub fn route_rows() -> Vec<String> {
+    let registry = routers::RouterRegistry::standard();
+    let circuit = fig3();
+    let graph = arch::devices::tokyo_minus();
+    registry
+        .names()
+        .into_iter()
+        .map(|name| {
+            let request = circuit::RouteRequest::new(&circuit, &graph).with_budget(bench_budget());
+            registry
+                .route(name, &request)
+                .expect("registered name")
+                .to_json()
+        })
+        .collect()
+}
+
 /// Drains the results criterion collected and writes `BENCH_satmap.json`.
 ///
 /// Layout: `benchmarks` maps every full benchmark id to its median ns;
@@ -113,7 +135,8 @@ pub fn bench_json_path() -> std::path::PathBuf {
 /// median over its members' medians; `portfolio_speedup` is
 /// `median(portfolio/single) / median(portfolio/portfolio4)` when the
 /// `portfolio` group ran (`> 1` means the portfolio was faster), else
-/// `null`.
+/// `null`; `routes` holds one Fig. 3 outcome row per registered router in
+/// the shared [`circuit::RouteOutcome::to_json`] schema.
 ///
 /// # Errors
 ///
@@ -122,12 +145,12 @@ pub fn write_bench_json() -> std::io::Result<std::path::PathBuf> {
     let results = criterion::take_results();
     let path = bench_json_path();
     let mut file = std::fs::File::create(&path)?;
-    file.write_all(render_report(&results).as_bytes())?;
+    file.write_all(render_report(&results, &route_rows()).as_bytes())?;
     Ok(path)
 }
 
 /// Renders the report (see [`write_bench_json`]) as a JSON string.
-pub fn render_report(results: &[BenchResult]) -> String {
+pub fn render_report(results: &[BenchResult], route_rows: &[String]) -> String {
     let mut out = String::from("{\n  \"schema_version\": 1,\n  \"benchmarks\": {");
     for (i, r) in results.iter().enumerate() {
         if i > 0 {
@@ -184,19 +207,16 @@ pub fn render_report(results: &[BenchResult]) -> String {
         }
         _ => out.push_str("null"),
     }
-    out.push_str("\n}\n");
+    out.push_str(",\n  \"routes\": [");
+    for (i, row) in route_rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        out.push_str(row);
+    }
+    out.push_str("\n  ]\n}\n");
     out
-}
-
-fn escape_json(s: &str) -> String {
-    s.chars()
-        .flat_map(|c| match c {
-            '"' => "\\\"".chars().collect::<Vec<_>>(),
-            '\\' => "\\\\".chars().collect(),
-            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
-            c => vec![c],
-        })
-        .collect()
 }
 
 #[cfg(test)]
@@ -239,7 +259,7 @@ mod tests {
                 median_ns: 100,
             },
         ];
-        let json = render_report(&results);
+        let json = render_report(&results, &[]);
         assert!(json.contains("\"q1/satmap/fig3\": 30"));
         assert!(json.contains("\"q1\": 30"), "group median of 10,30 is 30");
         assert!(json.contains("\"portfolio_speedup\": 4.000"), "{json}");
@@ -250,18 +270,38 @@ mod tests {
 
     #[test]
     fn report_without_portfolio_group_is_null_speedup() {
-        let json = render_report(&[BenchResult {
-            id: "solo".into(),
-            median_ns: 5,
-        }]);
+        let json = render_report(
+            &[BenchResult {
+                id: "solo".into(),
+                median_ns: 5,
+            }],
+            &[],
+        );
         assert!(json.contains("\"portfolio_speedup\": null"));
         assert!(json.contains("\"solo\": 5"));
     }
 
     #[test]
     fn empty_report_is_valid() {
-        let json = render_report(&[]);
+        let json = render_report(&[], &[]);
         assert!(json.contains("\"benchmarks\": {\n  }"));
         assert!(json.contains("\"portfolio_speedup\": null"));
+        assert!(json.contains("\"routes\": [\n  ]"));
+    }
+
+    #[test]
+    fn route_rows_cover_every_registered_router() {
+        let rows = route_rows();
+        assert_eq!(
+            rows.len(),
+            routers::RouterRegistry::standard().names().len()
+        );
+        for row in &rows {
+            assert!(row.starts_with("{\"router\":\""), "{row}");
+            assert_eq!(row.matches('{').count(), row.matches('}').count());
+        }
+        let json = render_report(&[], &rows);
+        assert!(json.contains("\"routes\": [\n    {\"router\":"));
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 }

@@ -10,7 +10,8 @@
 //!   workloads;
 //! * [`RoutedCircuit`] — QMR solutions (initial map + gates + SWAPs);
 //! * [`verify`] — the independent solution verifier;
-//! * [`Router`] — the interface every mapping algorithm implements.
+//! * [`Router`] / [`RouteRequest`] / [`RouteOutcome`] — the request-driven
+//!   interface every mapping algorithm implements (see [`request`]).
 //!
 //! # Examples
 //!
@@ -32,6 +33,7 @@ mod gate;
 pub mod generators;
 pub mod qaoa;
 pub mod qasm;
+pub mod request;
 mod routed;
 mod router;
 pub mod suite;
@@ -39,5 +41,8 @@ pub mod verify;
 
 pub use circuit::Circuit;
 pub use gate::{Gate, OneQubitKind, Qubit, TwoQubitKind};
+pub use request::{
+    Objective, Parallelism, RepeatedStructure, RouteOutcome, RouteRequest, RouteSpec, Slicing,
+};
 pub use routed::{RoutedCircuit, RoutedOp};
-pub use router::{check_fits, RouteError, Router};
+pub use router::{RouteError, Router};

@@ -1,0 +1,754 @@
+//! The request/response surface of the routing API.
+//!
+//! Every router in the workspace serves the same two types:
+//!
+//! * [`RouteRequest`] — *what to route and under which resources*: the
+//!   circuit, the device graph, and a [`RouteSpec`] of per-request knobs
+//!   (budget, objective, slicing, encoding quantization, parallelism hint,
+//!   and an optional repeated-structure declaration);
+//! * [`RouteOutcome`] — *what happened*: the routed circuit or a typed
+//!   [`RouteError`], always together with the [`sat::SolverTelemetry`]
+//!   spent, the wall-clock time of the attempt, and solver-specific
+//!   diagnostics.
+//!
+//! Requests make budgets and objectives a property of the *call*, not the
+//! router: the same boxed [`crate::Router`] can serve an unlimited
+//! interactive request and a 2-second sweep request back to back. The
+//! budget threads unchanged through every nested MaxSAT and SAT call (see
+//! [`sat::ResourceBudget`]), and the parallelism hint sizes the SAT
+//! portfolio at request time from [`std::thread::available_parallelism`].
+//!
+//! # Examples
+//!
+//! ```
+//! use circuit::{Circuit, RouteRequest, Parallelism};
+//! use std::time::Duration;
+//!
+//! let mut c = Circuit::new(2);
+//! c.cx(0, 1);
+//! let g = arch::devices::linear(2);
+//! let request = RouteRequest::new(&c, &g)
+//!     .with_budget(Duration::from_secs(2))
+//!     .with_parallelism(Parallelism::Auto);
+//! assert!(request.validate().is_ok());
+//! assert!(request.parallelism().resolve() >= 1);
+//! ```
+
+use std::time::{Duration, Instant};
+
+use arch::{ConnectivityGraph, NoiseModel};
+use sat::{ResourceBudget, SolverTelemetry};
+
+use crate::circuit::Circuit;
+use crate::routed::RoutedCircuit;
+use crate::router::RouteError;
+
+/// What the MaxSAT objective minimizes (ignored by pure heuristics).
+#[derive(Clone, Debug, Default)]
+pub enum Objective {
+    /// Minimize the number of inserted SWAPs (the paper's main mode).
+    #[default]
+    SwapCount,
+    /// Maximize circuit fidelity under a noise model (the paper's Q6 mode):
+    /// soft-clause weights encode per-edge log-infidelities of SWAPs and of
+    /// the two-qubit gates themselves.
+    Fidelity(NoiseModel),
+}
+
+/// Per-request override of a router's slicing strategy (Section V of the
+/// paper). Routers without a slicing notion ignore it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Slicing {
+    /// Keep whatever the router was constructed with.
+    #[default]
+    RouterDefault,
+    /// Solve one monolithic instance (NL-SATMAP behaviour).
+    Monolithic,
+    /// Locally optimal relaxation with this many two-qubit gates per slice.
+    Sliced(usize),
+}
+
+pub use sat::MAX_AUTO_WIDTH;
+
+/// How many diversified SAT workers a request may race per solver call.
+///
+/// The width is resolved when the router acts on the request, not when the
+/// router is built — so one process can serve wide interactive requests
+/// and narrow ones from an already-saturated suite sweep.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Parallelism {
+    /// One worker, no racing (deterministic wall-clock, least overhead).
+    #[default]
+    Serial,
+    /// Size the portfolio from [`std::thread::available_parallelism`],
+    /// divided by the `SATMAP_JOBS` worker count when an experiment sweep
+    /// already saturates the cores, and clamped to [`MAX_AUTO_WIDTH`].
+    Auto,
+    /// Exactly this many workers (clamped to at least 1).
+    Width(usize),
+}
+
+impl Parallelism {
+    /// The concrete worker count this hint resolves to right now.
+    pub fn resolve(&self) -> usize {
+        match *self {
+            Parallelism::Serial => 1,
+            Parallelism::Width(w) => w.max(1),
+            Parallelism::Auto => sat::auto_width(),
+        }
+    }
+
+    /// Automatic width when `jobs` route calls run concurrently: the
+    /// available cores split across jobs, clamped to `1..=`
+    /// [`MAX_AUTO_WIDTH`] (see [`sat::auto_width_for_jobs`]).
+    pub fn auto_for_jobs(jobs: usize) -> usize {
+        sat::auto_width_for_jobs(jobs)
+    }
+}
+
+/// Declares that the request's circuit is `prefix ; C ; C ; … ; C`: a
+/// gate prefix followed by `cycles` identical copies of a subcircuit
+/// (QAOA's shape, Section VI of the paper). Cyclic-aware routers solve the
+/// subcircuit once and stitch copies; everyone else routes the flat gate
+/// list and loses nothing but time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RepeatedStructure {
+    /// Number of leading gates (by index) forming the prefix. The prefix
+    /// must not contain two-qubit gates.
+    pub prefix_len: usize,
+    /// How many identical copies of the subcircuit follow the prefix.
+    pub cycles: usize,
+}
+
+/// The per-request knobs of a [`RouteRequest`], separated out so sweep
+/// harnesses can apply one spec across many circuits.
+///
+/// # Examples
+///
+/// ```
+/// use circuit::{RouteSpec, Slicing};
+/// use std::time::Duration;
+/// let spec = RouteSpec {
+///     budget: Duration::from_secs(2).into(),
+///     slicing: Slicing::Sliced(10),
+///     ..RouteSpec::default()
+/// };
+/// assert_eq!(spec.slicing, Slicing::Sliced(10));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct RouteSpec {
+    /// Compilation budget for the whole request; armed once when routing
+    /// starts and inherited by every nested MaxSAT/SAT call.
+    pub budget: ResourceBudget,
+    /// Optimization objective.
+    pub objective: Objective,
+    /// Slicing override for routers with a locally optimal relaxation.
+    pub slicing: Slicing,
+    /// Override of the paper's `n` (SWAP slots per gap); `None` keeps the
+    /// router default of 1.
+    pub swaps_per_gap: Option<usize>,
+    /// Override of the MaxSAT totalizer weight quantization (see
+    /// `maxsat::SolveOptions::totalizer_units`).
+    pub totalizer_units: Option<u64>,
+    /// How many diversified SAT workers to race per solver call.
+    pub parallelism: Parallelism,
+    /// Repeated-structure declaration for cyclic-aware routers.
+    pub repetition: Option<RepeatedStructure>,
+}
+
+/// One routing request: a circuit, a device, and the [`RouteSpec`] knobs.
+///
+/// Build with [`RouteRequest::new`] plus the `with_*` methods, or apply a
+/// prebuilt spec with [`RouteRequest::with_spec`]. Routers answer with a
+/// [`RouteOutcome`].
+#[derive(Clone, Debug)]
+pub struct RouteRequest<'a> {
+    circuit: &'a Circuit,
+    graph: &'a ConnectivityGraph,
+    spec: RouteSpec,
+}
+
+impl<'a> RouteRequest<'a> {
+    /// A request with default knobs: unlimited budget, swap-count
+    /// objective, router-default slicing, serial solving.
+    pub fn new(circuit: &'a Circuit, graph: &'a ConnectivityGraph) -> Self {
+        Self::with_spec(circuit, graph, RouteSpec::default())
+    }
+
+    /// A request carrying a prebuilt spec.
+    pub fn with_spec(circuit: &'a Circuit, graph: &'a ConnectivityGraph, spec: RouteSpec) -> Self {
+        RouteRequest {
+            circuit,
+            graph,
+            spec,
+        }
+    }
+
+    /// Sets the compilation budget (a plain [`Duration`] converts to a
+    /// wall-clock budget).
+    #[must_use]
+    pub fn with_budget(mut self, budget: impl Into<ResourceBudget>) -> Self {
+        self.spec.budget = budget.into();
+        self
+    }
+
+    /// Sets the optimization objective.
+    #[must_use]
+    pub fn with_objective(mut self, objective: Objective) -> Self {
+        self.spec.objective = objective;
+        self
+    }
+
+    /// Sets the slicing override.
+    #[must_use]
+    pub fn with_slicing(mut self, slicing: Slicing) -> Self {
+        self.spec.slicing = slicing;
+        self
+    }
+
+    /// Sets the number of SWAP slots per gap (the paper's `n`).
+    #[must_use]
+    pub fn with_swaps_per_gap(mut self, n: usize) -> Self {
+        self.spec.swaps_per_gap = Some(n);
+        self
+    }
+
+    /// Sets the totalizer weight quantization.
+    #[must_use]
+    pub fn with_totalizer_units(mut self, units: u64) -> Self {
+        self.spec.totalizer_units = Some(units);
+        self
+    }
+
+    /// Sets the parallelism hint.
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.spec.parallelism = parallelism;
+        self
+    }
+
+    /// Declares the circuit's repeated structure.
+    #[must_use]
+    pub fn with_repetition(mut self, repetition: RepeatedStructure) -> Self {
+        self.spec.repetition = Some(repetition);
+        self
+    }
+
+    /// The circuit to route.
+    pub fn circuit(&self) -> &'a Circuit {
+        self.circuit
+    }
+
+    /// The device connectivity graph.
+    pub fn graph(&self) -> &'a ConnectivityGraph {
+        self.graph
+    }
+
+    /// The full spec.
+    pub fn spec(&self) -> &RouteSpec {
+        &self.spec
+    }
+
+    /// The (unarmed) request budget.
+    pub fn budget(&self) -> &ResourceBudget {
+        &self.spec.budget
+    }
+
+    /// The optimization objective.
+    pub fn objective(&self) -> &Objective {
+        &self.spec.objective
+    }
+
+    /// The slicing override.
+    pub fn slicing(&self) -> Slicing {
+        self.spec.slicing
+    }
+
+    /// The `n`-swaps-per-gap override.
+    pub fn swaps_per_gap(&self) -> Option<usize> {
+        self.spec.swaps_per_gap
+    }
+
+    /// The totalizer quantization override.
+    pub fn totalizer_units(&self) -> Option<u64> {
+        self.spec.totalizer_units
+    }
+
+    /// The parallelism hint.
+    pub fn parallelism(&self) -> Parallelism {
+        self.spec.parallelism
+    }
+
+    /// The repeated-structure declaration, if any.
+    pub fn repetition(&self) -> Option<RepeatedStructure> {
+        self.spec.repetition
+    }
+
+    /// Checks the preconditions shared by every router, so malformed
+    /// inputs fail with [`RouteError::InvalidRequest`] before any solver
+    /// work starts.
+    ///
+    /// # Errors
+    ///
+    /// [`RouteError::InvalidRequest`] when the circuit has no qubits, the
+    /// device has no qubits, the circuit needs more logical qubits than
+    /// the device has physical ones, the device graph is disconnected (and
+    /// the circuit has two-qubit gates), a knob is degenerate (zero swap
+    /// slots per gap, zero-gate slices), or a declared repetition does not
+    /// match the gate list.
+    pub fn validate(&self) -> Result<(), RouteError> {
+        let invalid = |why: String| Err(RouteError::InvalidRequest(why));
+        if self.circuit.num_qubits() == 0 {
+            return invalid("circuit has no qubits".into());
+        }
+        if self.graph.num_qubits() == 0 {
+            return invalid("device has no qubits".into());
+        }
+        if self.circuit.num_qubits() > self.graph.num_qubits() {
+            return invalid(format!(
+                "{} logical qubits exceed {} physical qubits",
+                self.circuit.num_qubits(),
+                self.graph.num_qubits()
+            ));
+        }
+        if self.circuit.num_two_qubit_gates() > 0
+            && self.circuit.num_qubits() > 1
+            && !self.graph.is_connected()
+        {
+            // A disconnected device may still work if the interaction
+            // graph fits inside one component, but none of the paper's
+            // devices are disconnected; reject for clarity.
+            return invalid("device connectivity graph is disconnected".into());
+        }
+        if self.spec.swaps_per_gap == Some(0) {
+            return invalid("swaps_per_gap must be at least 1".into());
+        }
+        if self.spec.slicing == Slicing::Sliced(0) {
+            return invalid("slice size must be at least 1".into());
+        }
+        if let Some(rep) = self.spec.repetition {
+            self.validate_repetition(rep)?;
+        }
+        Ok(())
+    }
+
+    fn validate_repetition(&self, rep: RepeatedStructure) -> Result<(), RouteError> {
+        let invalid = |why: String| Err(RouteError::InvalidRequest(why));
+        if rep.cycles == 0 {
+            return invalid("repetition must have at least one cycle".into());
+        }
+        let gates = self.circuit.gates();
+        if rep.prefix_len > gates.len() {
+            return invalid(format!(
+                "repetition prefix of {} gates exceeds the {}-gate circuit",
+                rep.prefix_len,
+                gates.len()
+            ));
+        }
+        if gates[..rep.prefix_len].iter().any(|g| g.is_two_qubit()) {
+            return invalid("repetition prefix must not contain two-qubit gates".into());
+        }
+        let body = &gates[rep.prefix_len..];
+        if !body.len().is_multiple_of(rep.cycles) {
+            return invalid(format!(
+                "{} gates after the prefix do not divide into {} cycles",
+                body.len(),
+                rep.cycles
+            ));
+        }
+        let sub_len = body.len() / rep.cycles;
+        let first = &body[..sub_len];
+        for c in 1..rep.cycles {
+            if &body[c * sub_len..(c + 1) * sub_len] != first {
+                return invalid(format!("cycle {c} differs from the first repetition"));
+            }
+        }
+        Ok(())
+    }
+
+    /// The declared subcircuit bounds `(prefix_len, sub_len)` when a
+    /// repetition is present (after [`RouteRequest::validate`] succeeded).
+    pub fn repeated_subcircuit_len(&self) -> Option<(usize, usize)> {
+        let rep = self.spec.repetition?;
+        let body = self.circuit.len().checked_sub(rep.prefix_len)?;
+        Some((rep.prefix_len, body / rep.cycles.max(1)))
+    }
+}
+
+/// The response to a [`RouteRequest`]: the routed circuit or a typed
+/// failure, always carrying the solver effort spent, the wall-clock time
+/// of the attempt, and solver-specific diagnostics.
+///
+/// Failed attempts carry their telemetry too — a timed-out run is exactly
+/// the one whose effort the experiment tables must not under-report.
+#[derive(Clone, Debug)]
+pub struct RouteOutcome {
+    router: String,
+    result: Result<RoutedCircuit, RouteError>,
+    telemetry: SolverTelemetry,
+    wall_time: Duration,
+    diagnostics: Vec<(String, String)>,
+}
+
+impl RouteOutcome {
+    /// Assembles an outcome from its parts.
+    pub fn new(
+        router: &str,
+        result: Result<RoutedCircuit, RouteError>,
+        telemetry: SolverTelemetry,
+        wall_time: Duration,
+    ) -> Self {
+        RouteOutcome {
+            router: router.to_string(),
+            result,
+            telemetry,
+            wall_time,
+            diagnostics: Vec::new(),
+        }
+    }
+
+    /// Runs `f`, timing it, and wraps its result and telemetry — the
+    /// one-liner router implementations build their outcome with.
+    pub fn capture(
+        router: &str,
+        f: impl FnOnce() -> (Result<RoutedCircuit, RouteError>, SolverTelemetry),
+    ) -> Self {
+        let started = Instant::now();
+        let (result, telemetry) = f();
+        Self::new(router, result, telemetry, started.elapsed())
+    }
+
+    /// Appends a solver-specific diagnostic key/value pair.
+    #[must_use]
+    pub fn with_diagnostic(mut self, key: &str, value: impl ToString) -> Self {
+        self.diagnostics.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Returns a copy with the result replaced, keeping telemetry, wall
+    /// time, and diagnostics — for harnesses that re-judge a result (e.g.
+    /// after independent verification).
+    #[must_use]
+    pub fn with_result(mut self, result: Result<RoutedCircuit, RouteError>) -> Self {
+        self.result = result;
+        self
+    }
+
+    /// Name of the router that served the request.
+    pub fn router(&self) -> &str {
+        &self.router
+    }
+
+    /// The routed circuit or the typed failure.
+    pub fn result(&self) -> &Result<RoutedCircuit, RouteError> {
+        &self.result
+    }
+
+    /// The routed circuit, when routing succeeded.
+    pub fn routed(&self) -> Option<&RoutedCircuit> {
+        self.result.as_ref().ok()
+    }
+
+    /// The failure, when routing failed.
+    pub fn error(&self) -> Option<&RouteError> {
+        self.result.as_ref().err()
+    }
+
+    /// True when routing produced a solution.
+    pub fn solved(&self) -> bool {
+        self.result.is_ok()
+    }
+
+    /// Consumes the outcome, keeping only the result.
+    #[allow(clippy::missing_errors_doc)]
+    pub fn into_result(self) -> Result<RoutedCircuit, RouteError> {
+        self.result
+    }
+
+    /// Consumes the outcome into `(result, telemetry)`.
+    #[allow(clippy::missing_errors_doc)]
+    pub fn into_parts(self) -> (Result<RoutedCircuit, RouteError>, SolverTelemetry) {
+        (self.result, self.telemetry)
+    }
+
+    /// Solver effort spent on the attempt (empty for pure heuristics).
+    pub fn telemetry(&self) -> &SolverTelemetry {
+        &self.telemetry
+    }
+
+    /// Wall-clock duration of the attempt.
+    pub fn wall_time(&self) -> Duration {
+        self.wall_time
+    }
+
+    /// All solver-specific diagnostics, in insertion order.
+    pub fn diagnostics(&self) -> &[(String, String)] {
+        &self.diagnostics
+    }
+
+    /// Looks up one diagnostic by key.
+    pub fn diagnostic(&self, key: &str) -> Option<&str> {
+        self.diagnostics
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Serializes the outcome as one JSON object — the row schema shared
+    /// by the experiment sweeps (`SATMAP_ROWS_JSON`) and the bench report
+    /// (`BENCH_satmap.json`).
+    pub fn to_json(&self) -> String {
+        let t = &self.telemetry;
+        let mut out = String::from("{");
+        out.push_str(&format!("\"router\":\"{}\"", escape_json(&self.router)));
+        out.push_str(&format!(",\"solved\":{}", self.solved()));
+        match &self.result {
+            Ok(routed) => {
+                out.push_str(&format!(",\"swaps\":{}", routed.swap_count()));
+                out.push_str(&format!(",\"added_gates\":{}", routed.added_gates()));
+                out.push_str(",\"error\":null");
+            }
+            Err(e) => {
+                out.push_str(",\"swaps\":null,\"added_gates\":null");
+                out.push_str(&format!(",\"error\":\"{}\"", escape_json(&e.to_string())));
+            }
+        }
+        out.push_str(&format!(",\"wall_s\":{:.6}", self.wall_time.as_secs_f64()));
+        out.push_str(&format!(",\"sat_calls\":{}", t.sat_calls));
+        out.push_str(&format!(",\"conflicts\":{}", t.conflicts));
+        out.push_str(&format!(",\"decisions\":{}", t.decisions));
+        out.push_str(&format!(",\"propagations\":{}", t.propagations));
+        out.push_str(&format!(",\"restarts\":{}", t.restarts));
+        out.push_str(&format!(",\"db_reductions\":{}", t.db_reductions));
+        out.push_str(&format!(",\"encode_s\":{:.6}", t.encode_time.as_secs_f64()));
+        out.push_str(&format!(",\"solve_s\":{:.6}", t.solve_time.as_secs_f64()));
+        out.push_str(&format!(",\"slices\":{}", t.slices));
+        out.push_str(&format!(",\"backtracks\":{}", t.backtracks));
+        match t.winning_worker {
+            Some(w) => out.push_str(&format!(",\"winning_worker\":{w}")),
+            None => out.push_str(",\"winning_worker\":null"),
+        }
+        out.push_str(",\"diagnostics\":{");
+        for (i, (k, v)) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":\"{}\"", escape_json(k), escape_json(v)));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal — shared by
+/// the harnesses that extend the [`RouteOutcome::to_json`] row schema with
+/// their own fields.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routed::RoutedOp;
+
+    fn fig3() -> Circuit {
+        let mut c = Circuit::new(4);
+        c.cx(0, 1);
+        c.cx(0, 2);
+        c.cx(3, 2);
+        c.cx(0, 3);
+        c
+    }
+
+    #[test]
+    fn builder_sets_every_knob() {
+        let c = fig3();
+        let g = arch::devices::tokyo();
+        let req = RouteRequest::new(&c, &g)
+            .with_budget(Duration::from_secs(1))
+            .with_objective(Objective::SwapCount)
+            .with_slicing(Slicing::Sliced(5))
+            .with_swaps_per_gap(2)
+            .with_totalizer_units(100)
+            .with_parallelism(Parallelism::Width(3));
+        assert_eq!(req.slicing(), Slicing::Sliced(5));
+        assert_eq!(req.swaps_per_gap(), Some(2));
+        assert_eq!(req.totalizer_units(), Some(100));
+        assert_eq!(req.parallelism().resolve(), 3);
+        assert_eq!(
+            req.budget().remaining_time(),
+            Some(Duration::from_secs(1)),
+            "unarmed budget reports its full allowance"
+        );
+        assert!(req.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_oversized_circuit() {
+        let c = Circuit::new(3);
+        let g = arch::devices::linear(2);
+        let err = RouteRequest::new(&c, &g).validate().unwrap_err();
+        assert!(matches!(err, RouteError::InvalidRequest(_)), "{err}");
+        assert!(err.to_string().contains("3 logical"));
+    }
+
+    #[test]
+    fn validate_rejects_zero_qubit_circuit_and_device() {
+        let empty = Circuit::new(0);
+        let g = arch::devices::linear(2);
+        assert!(matches!(
+            RouteRequest::new(&empty, &g).validate(),
+            Err(RouteError::InvalidRequest(_))
+        ));
+        let c = Circuit::new(0);
+        let g0 = arch::ConnectivityGraph::from_edges(0, []);
+        assert!(matches!(
+            RouteRequest::new(&c, &g0).validate(),
+            Err(RouteError::InvalidRequest(_))
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_disconnected_device() {
+        let mut c = Circuit::new(3);
+        c.cx(0, 1);
+        let g = arch::ConnectivityGraph::from_edges(4, [(0, 1), (2, 3)]);
+        assert!(matches!(
+            RouteRequest::new(&c, &g).validate(),
+            Err(RouteError::InvalidRequest(_))
+        ));
+        // Gate-free circuits tolerate disconnection (no movement needed).
+        let free = Circuit::new(3);
+        assert!(RouteRequest::new(&free, &g).validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_knobs() {
+        let c = fig3();
+        let g = arch::devices::tokyo();
+        assert!(matches!(
+            RouteRequest::new(&c, &g).with_swaps_per_gap(0).validate(),
+            Err(RouteError::InvalidRequest(_))
+        ));
+        assert!(matches!(
+            RouteRequest::new(&c, &g)
+                .with_slicing(Slicing::Sliced(0))
+                .validate(),
+            Err(RouteError::InvalidRequest(_))
+        ));
+    }
+
+    #[test]
+    fn validate_checks_repetition_shape() {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.cx(0, 1);
+        c.cx(0, 1);
+        let g = arch::devices::linear(2);
+        let ok = RouteRequest::new(&c, &g).with_repetition(RepeatedStructure {
+            prefix_len: 1,
+            cycles: 2,
+        });
+        assert!(ok.validate().is_ok());
+        assert_eq!(ok.repeated_subcircuit_len(), Some((1, 1)));
+
+        for bad in [
+            RepeatedStructure {
+                prefix_len: 1,
+                cycles: 0,
+            },
+            RepeatedStructure {
+                prefix_len: 9,
+                cycles: 1,
+            },
+            RepeatedStructure {
+                prefix_len: 0,
+                cycles: 2, // prefix would contain a 2q gate boundary mismatch
+            },
+        ] {
+            let req = RouteRequest::new(&c, &g).with_repetition(bad);
+            assert!(
+                matches!(req.validate(), Err(RouteError::InvalidRequest(_))),
+                "{bad:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn parallelism_resolution_is_bounded() {
+        assert_eq!(Parallelism::Serial.resolve(), 1);
+        assert_eq!(Parallelism::Width(0).resolve(), 1);
+        assert_eq!(Parallelism::Width(5).resolve(), 5);
+        let auto = Parallelism::Auto.resolve();
+        assert!((1..=MAX_AUTO_WIDTH).contains(&auto));
+        // Saturating the machine with jobs shrinks the portfolio.
+        assert_eq!(Parallelism::auto_for_jobs(usize::MAX), 1);
+        assert!(Parallelism::auto_for_jobs(1) >= Parallelism::auto_for_jobs(4));
+    }
+
+    #[test]
+    fn outcome_accessors_and_json() {
+        let routed = RoutedCircuit::new(vec![0, 1], vec![RoutedOp::Logical(0)]);
+        let outcome = RouteOutcome::new(
+            "satmap",
+            Ok(routed),
+            SolverTelemetry::default(),
+            Duration::from_millis(5),
+        )
+        .with_diagnostic("slice", 25);
+        assert!(outcome.solved());
+        assert_eq!(outcome.router(), "satmap");
+        assert_eq!(outcome.diagnostic("slice"), Some("25"));
+        assert!(outcome.routed().is_some());
+        let json = outcome.to_json();
+        assert!(json.contains("\"router\":\"satmap\""));
+        assert!(json.contains("\"solved\":true"));
+        assert!(json.contains("\"error\":null"));
+        assert!(json.contains("\"diagnostics\":{\"slice\":\"25\"}"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn failed_outcome_keeps_telemetry_and_reports_error_json() {
+        let telemetry = SolverTelemetry {
+            sat_calls: 3,
+            ..SolverTelemetry::default()
+        };
+        let outcome = RouteOutcome::new(
+            "olsq",
+            Err(RouteError::Timeout),
+            telemetry,
+            Duration::from_millis(7),
+        );
+        assert!(!outcome.solved());
+        assert_eq!(outcome.telemetry().sat_calls, 3);
+        let json = outcome.to_json();
+        assert!(json.contains("\"solved\":false"));
+        assert!(json.contains("budget"));
+        assert!(json.contains("\"swaps\":null"));
+    }
+
+    #[test]
+    fn capture_times_the_closure() {
+        let outcome = RouteOutcome::capture("x", || {
+            std::thread::sleep(Duration::from_millis(2));
+            (Err(RouteError::Timeout), SolverTelemetry::default())
+        });
+        assert!(outcome.wall_time() >= Duration::from_millis(2));
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        assert_eq!(escape_json("a\"b\\c\n"), "a\\\"b\\\\c\\u000a");
+    }
+}

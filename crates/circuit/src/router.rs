@@ -1,26 +1,39 @@
 //! The common interface implemented by every QMR solver in this repository
 //! (SATMAP, its relaxations, the heuristic baselines, and the
 //! constraint-based baselines).
+//!
+//! Routers are *request-driven*: the single entry point
+//! [`Router::route_request`] takes a [`RouteRequest`] (circuit + device +
+//! per-request budget/objective/parallelism knobs) and answers with a
+//! [`RouteOutcome`] (routed circuit or typed failure, always with
+//! telemetry and wall-clock timing). The trait is dyn-safe, so harnesses
+//! dispatch through `Box<dyn Router>` — typically obtained from a router
+//! registry — instead of naming concrete solver types.
 
 use arch::ConnectivityGraph;
-use sat::SolverTelemetry;
 
 use crate::circuit::Circuit;
+use crate::request::{RouteOutcome, RouteRequest};
 use crate::routed::RoutedCircuit;
 
 /// Why routing failed.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum RouteError {
+    /// The request was malformed before any solving started: the circuit
+    /// cannot fit the device, the device graph is disconnected, or a knob
+    /// is degenerate (see [`RouteRequest::validate`]).
+    InvalidRequest(String),
     /// The solver's resource budget expired before any solution was found.
     Timeout,
     /// The instance is unsatisfiable under the solver's constraints (e.g.
-    /// more logical than physical qubits, or a disconnected device).
+    /// no schedule exists within the configured swaps-per-gap).
     Unsatisfiable(String),
 }
 
 impl std::fmt::Display for RouteError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            RouteError::InvalidRequest(why) => write!(f, "invalid request: {why}"),
             RouteError::Timeout => write!(f, "routing budget exhausted"),
             RouteError::Unsatisfiable(why) => write!(f, "instance unsatisfiable: {why}"),
         }
@@ -30,85 +43,42 @@ impl std::fmt::Display for RouteError {
 impl std::error::Error for RouteError {}
 
 /// A qubit mapping and routing algorithm.
+///
+/// Implementations provide [`Router::route_request`]; the convenience
+/// [`Router::route`] wraps a default request (unlimited budget, serial
+/// solving) for callers that only want the routed circuit.
 pub trait Router {
     /// Short identifier used in experiment tables (e.g. `"satmap"`).
     fn name(&self) -> &str;
 
-    /// Solves QMR for `circuit` on `graph`.
+    /// Solves QMR for the request, returning a [`RouteOutcome`] that
+    /// always carries the solver effort spent and the wall-clock time of
+    /// the attempt — including effort spent on failed attempts, which the
+    /// experiment tables must not under-report.
+    fn route_request(&self, request: &RouteRequest<'_>) -> RouteOutcome;
+
+    /// Convenience wrapper: routes `circuit` on `graph` under a default
+    /// request and discards telemetry.
     ///
     /// # Errors
     ///
-    /// [`RouteError::Timeout`] if the budget expired without a solution;
+    /// [`RouteError::InvalidRequest`] for malformed inputs,
+    /// [`RouteError::Timeout`] if the budget expired without a solution,
     /// [`RouteError::Unsatisfiable`] if no solution exists.
     fn route(
         &self,
         circuit: &Circuit,
         graph: &ConnectivityGraph,
-    ) -> Result<RoutedCircuit, RouteError>;
-
-    /// Like [`Router::route`], additionally reporting the solver effort
-    /// spent. Heuristic routers use no SAT solver and return an empty
-    /// [`SolverTelemetry`]; constraint-based routers override this so the
-    /// experiment harness can report solver effort next to solution
-    /// quality.
-    ///
-    /// The telemetry is returned *alongside* the result (not inside `Ok`)
-    /// so effort spent on failed attempts — timeouts in particular — still
-    /// reaches the caller; a timed-out run is exactly the one whose effort
-    /// the experiment tables must not under-report.
-    fn route_with_telemetry(
-        &self,
-        circuit: &Circuit,
-        graph: &ConnectivityGraph,
-    ) -> (Result<RoutedCircuit, RouteError>, SolverTelemetry) {
-        (self.route(circuit, graph), SolverTelemetry::default())
+    ) -> Result<RoutedCircuit, RouteError> {
+        self.route_request(&RouteRequest::new(circuit, graph))
+            .into_result()
     }
-}
-
-/// Validates the common preconditions shared by all routers.
-///
-/// # Errors
-///
-/// Returns [`RouteError::Unsatisfiable`] when the circuit cannot fit.
-pub fn check_fits(circuit: &Circuit, graph: &ConnectivityGraph) -> Result<(), RouteError> {
-    if circuit.num_qubits() > graph.num_qubits() {
-        return Err(RouteError::Unsatisfiable(format!(
-            "{} logical qubits exceed {} physical qubits",
-            circuit.num_qubits(),
-            graph.num_qubits()
-        )));
-    }
-    if circuit.num_two_qubit_gates() > 0 && !graph.is_connected() && circuit.num_qubits() > 1 {
-        // A disconnected device may still work if the interaction graph
-        // fits inside one component, but none of the paper's devices are
-        // disconnected; reject for clarity.
-        return Err(RouteError::Unsatisfiable(
-            "device connectivity graph is disconnected".into(),
-        ));
-    }
-    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn check_fits_rejects_oversized() {
-        let g = arch::devices::linear(2);
-        let c = Circuit::new(3);
-        assert!(matches!(
-            check_fits(&c, &g),
-            Err(RouteError::Unsatisfiable(_))
-        ));
-    }
-
-    #[test]
-    fn check_fits_accepts_ok() {
-        let g = arch::devices::tokyo();
-        let c = Circuit::new(16);
-        assert!(check_fits(&c, &g).is_ok());
-    }
+    use sat::SolverTelemetry;
 
     #[test]
     fn error_display() {
@@ -116,5 +86,47 @@ mod tests {
         assert!(RouteError::Unsatisfiable("x".into())
             .to_string()
             .contains('x'));
+        assert!(RouteError::InvalidRequest("y".into())
+            .to_string()
+            .contains("invalid request: y"));
+    }
+
+    /// A stub proving the trait is dyn-safe and that the provided `route`
+    /// delegates through `route_request`.
+    struct Always;
+
+    impl Router for Always {
+        fn name(&self) -> &str {
+            "always"
+        }
+
+        fn route_request(&self, request: &RouteRequest<'_>) -> RouteOutcome {
+            RouteOutcome::capture(self.name(), || {
+                (
+                    request.validate().map(|()| {
+                        crate::RoutedCircuit::new(
+                            (0..request.circuit().num_qubits()).collect(),
+                            Vec::new(),
+                        )
+                    }),
+                    SolverTelemetry::default(),
+                )
+            })
+        }
+    }
+
+    #[test]
+    fn provided_route_goes_through_route_request() {
+        let c = Circuit::new(2);
+        let g = arch::devices::linear(2);
+        let boxed: Box<dyn Router> = Box::new(Always);
+        let routed = boxed.route(&c, &g).expect("routes");
+        assert_eq!(routed.swap_count(), 0);
+
+        let oversized = Circuit::new(9);
+        assert!(matches!(
+            boxed.route(&oversized, &g),
+            Err(RouteError::InvalidRequest(_))
+        ));
     }
 }

@@ -13,8 +13,8 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
-use circuit::{verify::verify, Router};
-use satmap::{SatMap, SatMapConfig};
+use circuit::{verify::verify, Parallelism, RouteRequest, Router};
+use satmap::{PortfolioSatMap, SatMapConfig};
 
 struct Options {
     input: String,
@@ -123,11 +123,16 @@ fn main() -> ExitCode {
     let config = SatMapConfig {
         slice_size: options.slice,
         ..SatMapConfig::default()
-    }
-    .with_budget(Duration::from_millis(options.budget_ms));
-    let router = SatMap::new(config);
+    };
+    // Portfolio-capable backend so the Auto parallelism hint below can
+    // actually race workers (a plain DefaultBackend would ignore it).
+    let router = PortfolioSatMap::with_backend(config);
+    let request = RouteRequest::new(&logical, &graph)
+        .with_budget(Duration::from_millis(options.budget_ms))
+        .with_parallelism(Parallelism::Auto);
     let start = std::time::Instant::now();
-    let routed = match router.route(&logical, &graph) {
+    let outcome = router.route_request(&request);
+    let routed = match outcome.into_result() {
         Ok(r) => r,
         Err(e) => {
             eprintln!("routing failed: {e}");

@@ -1,58 +1,47 @@
-//! SATMAP configuration.
+//! SATMAP configuration: the construction-time defaults a
+//! [`crate::SatMap`] router is built with, and their resolution against a
+//! [`circuit::RouteRequest`]'s per-request overrides.
+//!
+//! Budgets and objectives are *not* configuration: they belong to the
+//! request ([`circuit::RouteSpec`]), so one router instance serves
+//! different budgets/objectives call by call.
 
-use arch::NoiseModel;
+use circuit::{Objective, RouteRequest, Slicing};
 use sat::ResourceBudget;
 
-/// What the MaxSAT objective minimizes.
-#[derive(Clone, Debug, Default)]
-pub enum Objective {
-    /// Minimize the number of inserted SWAPs (the paper's main mode; each
-    /// no-op swap choice is a unit soft clause of weight 1).
-    #[default]
-    SwapCount,
-    /// Maximize circuit fidelity under a noise model (the paper's Q6 mode):
-    /// soft-clause weights encode per-edge log-infidelities of SWAPs and of
-    /// the two-qubit gates themselves.
-    Fidelity(NoiseModel),
-}
-
-/// Configuration for the SATMAP router.
+/// Construction-time defaults of the SATMAP router.
+///
+/// Everything here can be overridden per request through
+/// [`circuit::RouteSpec`]; the config only decides what an unadorned
+/// request gets — in particular whether the router is **SATMAP** (sliced)
+/// or **NL-SATMAP** (monolithic) by default.
 ///
 /// # Examples
 ///
 /// ```
 /// use satmap::SatMapConfig;
-/// use std::time::Duration;
 /// let config = SatMapConfig {
 ///     slice_size: Some(25),
 ///     ..SatMapConfig::default()
-/// }
-/// .with_budget(Duration::from_secs(5));
+/// };
 /// assert_eq!(config.swaps_per_gap, 1);
 /// ```
 #[derive(Clone, Debug)]
 pub struct SatMapConfig {
     /// Two-qubit gates per slice for the locally optimal relaxation
-    /// (Section V). `None` disables slicing (NL-SATMAP).
+    /// (Section V). `None` disables slicing (NL-SATMAP). Overridable per
+    /// request via [`Slicing`].
     pub slice_size: Option<usize>,
     /// Number of SWAP slots before each two-qubit gate (the paper's `n`).
     /// The paper sets 1 and observes it suffices for near-optimal results;
     /// optimality is guaranteed at the connectivity graph's diameter.
     pub swaps_per_gap: usize,
-    /// Compilation budget for the whole routing request. The deadline is
-    /// armed when `route` starts and inherited by every nested MaxSAT and
-    /// SAT call, so no child can overshoot it. A per-SAT-call conflict cap
-    /// can be attached via [`ResourceBudget::conflicts_per_call`].
-    pub budget: ResourceBudget,
     /// Maximum number of backtracking steps across the whole local
     /// relaxation before switching to leading-slot deepening.
     pub backtrack_limit: usize,
-    /// Optimization objective.
-    pub objective: Objective,
     /// Totalizer weight quantization for the MaxSAT engine: the soft-weight
     /// range is divided into roughly this many units before the totalizer
-    /// is built (see [`maxsat::SolveOptions::totalizer_units`]). The chosen
-    /// quantum is reported in [`maxsat::MaxSatOutcome::quantum`]. Only
+    /// is built (see [`maxsat::SolveOptions::totalizer_units`]). Only
     /// weighted objectives (fidelity mode) ever quantize; plain swap
     /// counting has unit weights and stays exact.
     pub totalizer_units: u64,
@@ -63,9 +52,7 @@ impl Default for SatMapConfig {
         SatMapConfig {
             slice_size: Some(25),
             swaps_per_gap: 1,
-            budget: ResourceBudget::unlimited(),
             backtrack_limit: 24,
-            objective: Objective::SwapCount,
             totalizer_units: 4000,
         }
     }
@@ -88,13 +75,6 @@ impl SatMapConfig {
         }
     }
 
-    /// Returns a copy with the given budget (a plain [`Duration`] converts
-    /// to a wall-clock budget).
-    pub fn with_budget(mut self, budget: impl Into<ResourceBudget>) -> Self {
-        self.budget = budget.into();
-        self
-    }
-
     /// Returns a copy with the given totalizer quantization (clamped to at
     /// least 1 unit).
     pub fn with_totalizer_units(mut self, units: u64) -> Self {
@@ -102,15 +82,46 @@ impl SatMapConfig {
         self
     }
 
-    /// The MaxSAT engine tunables derived from this configuration.
-    pub fn solve_options(&self) -> maxsat::SolveOptions {
-        maxsat::SolveOptions::default().with_totalizer_units(self.totalizer_units)
+    /// Merges these defaults with a request's overrides into the concrete
+    /// parameters one routing call runs under.
+    pub(crate) fn resolve(&self, request: &RouteRequest<'_>) -> Resolved {
+        let slice_size = match request.slicing() {
+            Slicing::RouterDefault => self.slice_size,
+            Slicing::Monolithic => None,
+            Slicing::Sliced(k) => Some(k.max(1)),
+        };
+        let width = request.parallelism().resolve();
+        Resolved {
+            slice_size,
+            swaps_per_gap: request.swaps_per_gap().unwrap_or(self.swaps_per_gap).max(1),
+            backtrack_limit: self.backtrack_limit,
+            objective: request.objective().clone(),
+            options: maxsat::SolveOptions::default()
+                .with_totalizer_units(request.totalizer_units().unwrap_or(self.totalizer_units))
+                .with_portfolio_width(width),
+            width,
+            budget: request.budget().clone(),
+        }
     }
+}
+
+/// The concrete parameters of one routing call: config defaults with the
+/// request's overrides applied.
+#[derive(Clone, Debug)]
+pub(crate) struct Resolved {
+    pub slice_size: Option<usize>,
+    pub swaps_per_gap: usize,
+    pub backtrack_limit: usize,
+    pub objective: Objective,
+    pub options: maxsat::SolveOptions,
+    pub width: usize,
+    pub budget: ResourceBudget,
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use circuit::{Circuit, Parallelism};
     use std::time::Duration;
 
     #[test]
@@ -118,19 +129,46 @@ mod tests {
         let c = SatMapConfig::default();
         assert_eq!(c.swaps_per_gap, 1);
         assert_eq!(c.slice_size, Some(25));
-        assert!(matches!(c.objective, Objective::SwapCount));
-        assert!(!c.budget.is_limited());
+        assert_eq!(c.totalizer_units, 4000);
     }
 
     #[test]
     fn builders() {
         assert_eq!(SatMapConfig::sliced(10).slice_size, Some(10));
         assert_eq!(SatMapConfig::monolithic().slice_size, None);
-        let b = SatMapConfig::monolithic().with_budget(Duration::from_secs(1));
         assert_eq!(
-            b.budget.remaining_time(),
-            Some(Duration::from_secs(1)),
-            "unarmed budget reports its full allowance"
+            SatMapConfig::default()
+                .with_totalizer_units(0)
+                .totalizer_units,
+            1
         );
+    }
+
+    #[test]
+    fn request_overrides_win_over_config() {
+        let c = Circuit::new(2);
+        let g = arch::devices::linear(2);
+        let config = SatMapConfig::sliced(25);
+
+        let plain = config.resolve(&RouteRequest::new(&c, &g));
+        assert_eq!(plain.slice_size, Some(25));
+        assert_eq!(plain.swaps_per_gap, 1);
+        assert_eq!(plain.width, 1);
+        assert_eq!(plain.options.totalizer_units, 4000);
+        assert!(!plain.budget.is_limited());
+
+        let req = RouteRequest::new(&c, &g)
+            .with_budget(Duration::from_secs(3))
+            .with_slicing(Slicing::Monolithic)
+            .with_swaps_per_gap(2)
+            .with_totalizer_units(7)
+            .with_parallelism(Parallelism::Width(3));
+        let r = config.resolve(&req);
+        assert_eq!(r.slice_size, None);
+        assert_eq!(r.swaps_per_gap, 2);
+        assert_eq!(r.width, 3);
+        assert_eq!(r.options.totalizer_units, 7);
+        assert_eq!(r.options.portfolio_width, Some(3));
+        assert_eq!(r.budget.remaining_time(), Some(Duration::from_secs(3)));
     }
 }

@@ -6,26 +6,33 @@
 //! (realized by a trailing swap layer, Fig. 8), then stitch copies of the
 //! solution to cover every repetition.
 //!
-//! Composes with the local relaxation: large subcircuits are sliced, and
-//! the *last* slice is additionally pinned to land on the first slice's
-//! entry map.
+//! The repeated structure is declared on the request
+//! ([`circuit::RepeatedStructure`]), so the router serves the same
+//! dyn-safe [`Router`] interface as everyone else; requests without a
+//! declaration are treated as a single repetition. Composes with the local
+//! relaxation: large subcircuits are sliced, and a restore layer closes
+//! the cycle.
 
 use std::marker::PhantomData;
 use std::time::Instant;
 
 use arch::ConnectivityGraph;
-use circuit::{check_fits, Circuit, RouteError, RoutedCircuit, RoutedOp, Router};
+use circuit::{
+    Circuit, Parallelism, RepeatedStructure, RouteError, RouteOutcome, RouteRequest, RouteSpec,
+    RoutedCircuit, RoutedOp, Router,
+};
 use maxsat::MaxSatStatus;
 use sat::{DefaultBackend, ResourceBudget, SatBackend, SolverTelemetry};
 
-use crate::config::SatMapConfig;
+use crate::config::{Resolved, SatMapConfig};
 use crate::encode::{routed_from_solution, EncodeShape, QmrEncoding};
 use crate::solver::SatMap;
 
 /// CYC-SATMAP: the cyclic relaxation router for repeated circuits.
 ///
-/// Routes the circuit `prefix ; subcircuit × cycles`. The prefix must
-/// contain no two-qubit gates (QAOA's Hadamard layer).
+/// Declare the repetition on the request and the router solves the
+/// subcircuit once; the convenience [`CyclicSatMap::route_repeated`]
+/// assembles the full circuit and the request in one call.
 ///
 /// # Examples
 ///
@@ -75,13 +82,19 @@ impl<B: SatBackend + Default> CyclicSatMap<B> {
         }
     }
 
-    /// Routes `prefix ; sub × cycles` on `graph`, returning the assembled
-    /// full circuit together with its routed solution.
+    /// Convenience wrapper: assembles `prefix ; sub × cycles`, declares
+    /// the repetition on a default request, and routes it, returning the
+    /// assembled circuit together with its routed solution.
+    ///
+    /// For per-call budgets and knobs, assemble the circuit yourself and
+    /// call [`Router::route_request`] with
+    /// [`circuit::RouteRequest::with_repetition`].
     ///
     /// # Errors
     ///
-    /// [`RouteError::Unsatisfiable`] if the prefix contains two-qubit gates
-    /// or the subproblem has no solution; [`RouteError::Timeout`] on budget
+    /// [`RouteError::InvalidRequest`] if the prefix contains two-qubit
+    /// gates or the shape is degenerate; [`RouteError::Unsatisfiable`] if
+    /// the subproblem has no solution; [`RouteError::Timeout`] on budget
     /// expiry.
     pub fn route_repeated(
         &self,
@@ -90,54 +103,51 @@ impl<B: SatBackend + Default> CyclicSatMap<B> {
         cycles: usize,
         graph: &ConnectivityGraph,
     ) -> Result<(Circuit, RoutedCircuit), RouteError> {
-        self.route_repeated_with_telemetry(prefix, sub, cycles, graph)
-            .0
-    }
-
-    /// [`CyclicSatMap::route_repeated`] plus the solver effort spent — the
-    /// telemetry is reported even when routing fails, so timed-out
-    /// attempts still account for their work.
-    pub fn route_repeated_with_telemetry(
-        &self,
-        prefix: &Circuit,
-        sub: &Circuit,
-        cycles: usize,
-        graph: &ConnectivityGraph,
-    ) -> (
-        Result<(Circuit, RoutedCircuit), RouteError>,
-        SolverTelemetry,
-    ) {
-        let mut telemetry = SolverTelemetry::new();
-        if prefix.num_two_qubit_gates() > 0 {
-            return (
-                Err(RouteError::Unsatisfiable(
-                    "cyclic prefix must not contain two-qubit gates".into(),
-                )),
-                telemetry,
-            );
-        }
         if prefix.num_qubits() != sub.num_qubits() {
-            return (
-                Err(RouteError::Unsatisfiable(
-                    "prefix and subcircuit qubit counts differ".into(),
-                )),
-                telemetry,
-            );
+            return Err(RouteError::InvalidRequest(
+                "prefix and subcircuit qubit counts differ".into(),
+            ));
         }
-        if let Err(e) = check_fits(sub, graph) {
-            return (Err(e), telemetry);
-        }
-        let budget = self.config.budget.arm();
-
-        // Assemble the full circuit (what the caller actually wants run).
         let mut full = Circuit::named(&format!("{}x{}", sub.name(), cycles), sub.num_qubits());
         full.extend_from(prefix);
         for _ in 0..cycles {
             full.extend_from(sub);
         }
+        let request = RouteRequest::new(&full, graph).with_repetition(RepeatedStructure {
+            prefix_len: prefix.len(),
+            cycles,
+        });
+        self.route_request(&request)
+            .into_result()
+            .map(|routed| (full, routed))
+    }
+
+    /// Routes the whole request, returning the result plus the solver
+    /// effort spent — the telemetry is reported even when routing fails,
+    /// so timed-out attempts still account for their work.
+    fn route_impl(
+        &self,
+        request: &RouteRequest<'_>,
+        p: &Resolved,
+    ) -> (Result<RoutedCircuit, RouteError>, SolverTelemetry) {
+        let mut telemetry = SolverTelemetry::new();
+        if let Err(e) = request.validate() {
+            return (Err(e), telemetry);
+        }
+        let (circuit, graph) = (request.circuit(), request.graph());
+        // Without a declared repetition the whole circuit is one cycle.
+        let (prefix_len, sub_len) = request
+            .repeated_subcircuit_len()
+            .unwrap_or((0, circuit.len()));
+        let cycles = request.repetition().map_or(1, |r| r.cycles);
+        let mut sub = Circuit::named("cycle", circuit.num_qubits());
+        for g in &circuit.gates()[prefix_len..prefix_len + sub_len] {
+            sub.push(g.clone());
+        }
+        let budget = p.budget.arm();
 
         // Solve the subcircuit once, cyclically.
-        let sub_routed = match self.solve_subcircuit(sub, graph, &budget, &mut telemetry) {
+        let sub_routed = match self.solve_subcircuit(&sub, graph, p, &budget, &mut telemetry) {
             Ok(r) => r,
             Err(e) => return (Err(e), telemetry),
         };
@@ -146,9 +156,9 @@ impl<B: SatBackend + Default> CyclicSatMap<B> {
         // Stitch: prefix 1q gates, then `cycles` copies of the subcircuit
         // ops with shifted gate indices.
         let initial_map = sub_routed.initial_map().to_vec();
-        let mut ops: Vec<RoutedOp> = (0..prefix.len()).map(RoutedOp::Logical).collect();
+        let mut ops: Vec<RoutedOp> = (0..prefix_len).map(RoutedOp::Logical).collect();
         for cycle in 0..cycles {
-            let offset = prefix.len() + cycle * sub.len();
+            let offset = prefix_len + cycle * sub_len;
             for op in sub_routed.ops() {
                 ops.push(match *op {
                     RoutedOp::Logical(k) => RoutedOp::Logical(k + offset),
@@ -156,7 +166,7 @@ impl<B: SatBackend + Default> CyclicSatMap<B> {
                 });
             }
         }
-        (Ok((full, RoutedCircuit::new(initial_map, ops))), telemetry)
+        (Ok(RoutedCircuit::new(initial_map, ops)), telemetry)
     }
 
     /// Solves `sub` with the final-map = initial-map constraint, slicing if
@@ -165,11 +175,12 @@ impl<B: SatBackend + Default> CyclicSatMap<B> {
         &self,
         sub: &Circuit,
         graph: &ConnectivityGraph,
+        p: &Resolved,
         budget: &ResourceBudget,
         telemetry: &mut SolverTelemetry,
     ) -> Result<RoutedCircuit, RouteError> {
-        let n = self.config.swaps_per_gap;
-        let monolithic = match self.config.slice_size {
+        let n = p.swaps_per_gap;
+        let monolithic = match p.slice_size {
             Some(size) => sub.num_two_qubit_gates() <= size,
             None => true,
         };
@@ -183,15 +194,11 @@ impl<B: SatBackend + Default> CyclicSatMap<B> {
                     leading_slots: 0,
                     trailing_swaps: true,
                 },
-                &self.config.objective,
+                &p.objective,
             );
             enc.require_cyclic();
             telemetry.encode_time += encode_start.elapsed();
-            let out = maxsat::solve_with_options::<B>(
-                enc.instance(),
-                budget,
-                &self.config.solve_options(),
-            );
+            let out = maxsat::solve_with_options::<B>(enc.instance(), budget, &p.options);
             telemetry.absorb(&out.telemetry);
             return match out.status {
                 MaxSatStatus::Optimal | MaxSatStatus::Feasible => {
@@ -208,8 +215,23 @@ impl<B: SatBackend + Default> CyclicSatMap<B> {
         // Composed with slicing: route the subcircuit normally, then close
         // the cycle by solving a final "restore" slice that must land on
         // the initial map (an empty slice whose exit is pinned).
-        let inner = SatMap::<B>::with_backend(self.config.clone());
-        let (inner_result, inner_telemetry) = inner.route_with_telemetry(sub, graph);
+        let inner = SatMap::<B>::with_backend(SatMapConfig {
+            slice_size: p.slice_size,
+            swaps_per_gap: p.swaps_per_gap,
+            backtrack_limit: p.backtrack_limit,
+            totalizer_units: p.options.totalizer_units,
+        });
+        let spec = RouteSpec {
+            // The budget is already armed: the inner route inherits the
+            // deadline and cannot extend it.
+            budget: budget.clone(),
+            objective: p.objective.clone(),
+            parallelism: Parallelism::Width(p.width),
+            ..RouteSpec::default()
+        };
+        let inner_request = RouteRequest::with_spec(sub, graph, spec);
+        let inner_p = inner.config().resolve(&inner_request);
+        let (inner_result, inner_telemetry) = inner.route_impl(&inner_request, &inner_p);
         telemetry.absorb(&inner_telemetry);
         let routed = inner_result?;
         let initial = routed.initial_map().to_vec();
@@ -222,6 +244,7 @@ impl<B: SatBackend + Default> CyclicSatMap<B> {
             &initial,
             graph,
             sub.num_qubits(),
+            p,
             budget,
             telemetry,
         )?;
@@ -233,12 +256,14 @@ impl<B: SatBackend + Default> CyclicSatMap<B> {
     /// Finds a swap sequence transforming `from` into `to` (both
     /// logical→physical maps) using an empty pinned encoding with enough
     /// leading swap slots.
+    #[allow(clippy::too_many_arguments)]
     fn solve_restore(
         &self,
         from: &[usize],
         to: &[usize],
         graph: &ConnectivityGraph,
         num_logical: usize,
+        p: &Resolved,
         budget: &ResourceBudget,
         telemetry: &mut SolverTelemetry,
     ) -> Result<Vec<RoutedOp>, RouteError> {
@@ -261,16 +286,12 @@ impl<B: SatBackend + Default> CyclicSatMap<B> {
                     leading_slots: slots,
                     trailing_swaps: false,
                 },
-                &self.config.objective,
+                &p.objective,
             );
             enc.pin_initial_map(from);
             enc.pin_final_map(to);
             telemetry.encode_time += encode_start.elapsed();
-            let out = maxsat::solve_with_options::<B>(
-                enc.instance(),
-                budget,
-                &self.config.solve_options(),
-            );
+            let out = maxsat::solve_with_options::<B>(enc.instance(), budget, &p.options);
             telemetry.absorb(&out.telemetry);
             match out.status {
                 MaxSatStatus::Optimal | MaxSatStatus::Feasible => {
@@ -301,27 +322,14 @@ impl<B: SatBackend + Default> Router for CyclicSatMap<B> {
         "cyc-satmap"
     }
 
-    /// Routes a circuit that is already `sub × cycles` *without* a prefix,
-    /// by treating the whole input as one repetition (callers with known
-    /// cyclic structure should prefer [`CyclicSatMap::route_repeated`]).
-    fn route(
-        &self,
-        circuit: &Circuit,
-        graph: &ConnectivityGraph,
-    ) -> Result<RoutedCircuit, RouteError> {
-        let prefix = Circuit::new(circuit.num_qubits());
-        let (_, routed) = self.route_repeated(&prefix, circuit, 1, graph)?;
-        Ok(routed)
-    }
-
-    fn route_with_telemetry(
-        &self,
-        circuit: &Circuit,
-        graph: &ConnectivityGraph,
-    ) -> (Result<RoutedCircuit, RouteError>, SolverTelemetry) {
-        let prefix = Circuit::new(circuit.num_qubits());
-        let (result, telemetry) = self.route_repeated_with_telemetry(&prefix, circuit, 1, graph);
-        (result.map(|(_, routed)| routed), telemetry)
+    /// Routes the request, honoring a declared
+    /// [`circuit::RepeatedStructure`]; without one the whole circuit is
+    /// treated as a single repetition.
+    fn route_request(&self, request: &RouteRequest<'_>) -> RouteOutcome {
+        let p = self.config.resolve(request);
+        RouteOutcome::capture(self.name(), || self.route_impl(request, &p))
+            .with_diagnostic("cycles", request.repetition().map_or(1, |r| r.cycles))
+            .with_diagnostic("portfolio_width", p.width)
     }
 }
 
@@ -355,6 +363,24 @@ mod tests {
     }
 
     #[test]
+    fn declared_repetition_on_request_matches_convenience_api() {
+        let (sub, g) = fig3();
+        let full = sub.repeated(2);
+        let router = CyclicSatMap::new(SatMapConfig::monolithic());
+        let outcome = router.route_request(&RouteRequest::new(&full, &g).with_repetition(
+            RepeatedStructure {
+                prefix_len: 0,
+                cycles: 2,
+            },
+        ));
+        assert_eq!(outcome.diagnostic("cycles"), Some("2"));
+        let routed = outcome.routed().expect("solves");
+        verify(&full, &g, routed).expect("verifies");
+        assert_eq!(routed.final_map(), routed.initial_map());
+        assert!(outcome.telemetry().sat_calls > 0);
+    }
+
+    #[test]
     fn qaoa_on_tokyo_verifies() {
         let edges = circuit::qaoa::three_regular_graph(6, 2);
         let sub = circuit::qaoa::qaoa_subcircuit(6, &edges, 0.4, 0.3);
@@ -376,7 +402,7 @@ mod tests {
         let router = CyclicSatMap::new(SatMapConfig::monolithic());
         assert!(matches!(
             router.route_repeated(&prefix, &sub, 2, &g),
-            Err(RouteError::Unsatisfiable(_))
+            Err(RouteError::InvalidRequest(_))
         ));
     }
 
@@ -396,10 +422,15 @@ mod tests {
     #[test]
     fn telemetry_flows_through_cyclic_composition() {
         let (sub, g) = fig3();
-        let prefix = Circuit::new(4);
+        let full = sub.repeated(2);
         let router = CyclicSatMap::new(SatMapConfig::monolithic());
-        let (result, telemetry) = router.route_repeated_with_telemetry(&prefix, &sub, 2, &g);
-        result.expect("solves");
-        assert!(telemetry.sat_calls > 0, "{telemetry}");
+        let outcome = router.route_request(&RouteRequest::new(&full, &g).with_repetition(
+            RepeatedStructure {
+                prefix_len: 0,
+                cycles: 2,
+            },
+        ));
+        assert!(outcome.solved());
+        assert!(outcome.telemetry().sat_calls > 0, "{}", outcome.telemetry());
     }
 }

@@ -27,7 +27,7 @@ use maxsat::encodings::{at_most_one, exactly_one};
 use maxsat::WcnfInstance;
 use sat::{Lit, Var};
 
-use crate::config::Objective;
+use circuit::Objective;
 
 /// Index of the synthetic no-op edge within a slot's swap variables.
 ///

@@ -10,16 +10,22 @@
 //!   backtracking across slice boundaries;
 //! * [`CyclicSatMap`] — the cyclic-circuit relaxation of Section VI
 //!   (**CYC-SATMAP**), for QAOA-style repeated circuits;
-//! * [`Objective::Fidelity`] — the weighted (noise-aware) variant of §Q6.
+//! * [`circuit::Objective::Fidelity`] — the weighted (noise-aware) variant
+//!   of §Q6, selected per request.
 //!
-//! Solutions are returned as [`circuit::RoutedCircuit`]s and can be checked
-//! with the independent verifier in [`circuit::verify`].
+//! All routers serve the request-driven [`circuit::Router`] interface:
+//! budgets, objectives, slicing, and the SAT-portfolio width are
+//! properties of each [`circuit::RouteRequest`], and every call answers
+//! with a [`circuit::RouteOutcome`] carrying telemetry and wall-clock
+//! timing. Solutions can be checked with the independent verifier in
+//! [`circuit::verify`].
 //!
 //! # Examples
 //!
 //! ```
-//! use circuit::{Circuit, Router, verify::verify};
+//! use circuit::{Circuit, RouteRequest, Router, verify::verify};
 //! use satmap::{SatMap, SatMapConfig};
+//! use std::time::Duration;
 //!
 //! // The paper's running example (Fig. 3).
 //! let mut c = Circuit::new(4);
@@ -28,10 +34,12 @@
 //! c.cx(3, 2);
 //! c.cx(0, 3);
 //! let graph = arch::ConnectivityGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
-//! let routed = SatMap::new(SatMapConfig::monolithic()).route(&c, &graph)?;
-//! verify(&c, &graph, &routed).expect("solution verifies");
+//! let router = SatMap::new(SatMapConfig::monolithic());
+//! let request = RouteRequest::new(&c, &graph).with_budget(Duration::from_secs(30));
+//! let outcome = router.route_request(&request);
+//! let routed = outcome.routed().expect("solves");
+//! verify(&c, &graph, routed).expect("solution verifies");
 //! assert_eq!(routed.swap_count(), 1); // the single green swap of Fig. 3
-//! # Ok::<(), circuit::RouteError>(())
 //! ```
 
 #![forbid(unsafe_code)]
@@ -42,12 +50,15 @@ mod cyclic;
 pub mod encode;
 mod solver;
 
-pub use config::{Objective, SatMapConfig};
+pub use circuit::Objective;
+pub use config::SatMapConfig;
 pub use cyclic::CyclicSatMap;
 pub use solver::SatMap;
 
-/// SATMAP over a 4-worker diversified SAT portfolio: every MaxSAT call
-/// races four differently-configured CDCL workers and takes the first
-/// definitive answer (see [`sat::PortfolioBackend`]). Costs match
-/// [`SatMap`] — only the wall-clock route to them differs.
-pub type PortfolioSatMap = SatMap<sat::PortfolioBackend<sat::DefaultBackend, 4>>;
+/// SATMAP over a diversified SAT portfolio: every MaxSAT call can race
+/// multiple differently-configured CDCL workers and takes the first
+/// definitive answer (see [`sat::PortfolioBackend`]). The width is chosen
+/// per request from [`circuit::Parallelism`] — `Serial` solves inline,
+/// `Auto` sizes from the machine. Costs match [`SatMap`] — only the
+/// wall-clock route to them differs.
+pub type PortfolioSatMap = SatMap<sat::PortfolioBackend<sat::DefaultBackend>>;

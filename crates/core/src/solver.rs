@@ -3,22 +3,24 @@
 //! relaxation (Section VI).
 //!
 //! The router is generic over the SAT backend ([`sat::SatBackend`]); the
-//! default instantiation uses the workspace's bundled CDCL solver. One
-//! [`sat::ResourceBudget`] is armed when routing starts and its deadline is
-//! inherited by every MaxSAT and SAT call below, so nested solver work can
-//! never overshoot the routing request's allowance. Solver effort is
-//! aggregated into a [`sat::SolverTelemetry`] available through
-//! [`circuit::Router::route_with_telemetry`].
+//! default instantiation uses the workspace's bundled CDCL solver. Each
+//! call is driven by a [`circuit::RouteRequest`]: its
+//! [`sat::ResourceBudget`] is armed when routing starts and its deadline
+//! is inherited by every MaxSAT and SAT call below, so nested solver work
+//! can never overshoot the routing request's allowance; its objective,
+//! slicing, and parallelism knobs override the construction-time
+//! [`SatMapConfig`] defaults. Solver effort is aggregated into the
+//! returned [`circuit::RouteOutcome`].
 
 use std::marker::PhantomData;
 use std::time::Instant;
 
 use arch::ConnectivityGraph;
-use circuit::{check_fits, Circuit, RouteError, RoutedCircuit, RoutedOp, Router};
+use circuit::{Circuit, RouteError, RouteOutcome, RouteRequest, RoutedCircuit, RoutedOp, Router};
 use maxsat::MaxSatStatus;
 use sat::{DefaultBackend, ResourceBudget, SatBackend, SolverTelemetry};
 
-use crate::config::SatMapConfig;
+use crate::config::{Resolved, SatMapConfig};
 use crate::encode::{routed_from_solution, EncodeShape, QmrEncoding};
 
 /// The SATMAP qubit mapping and routing solver.
@@ -31,8 +33,9 @@ use crate::encode::{routed_from_solution, EncodeShape, QmrEncoding};
 /// # Examples
 ///
 /// ```
-/// use circuit::{Circuit, Router, verify::verify};
+/// use circuit::{Circuit, RouteRequest, Router, verify::verify};
 /// use satmap::{SatMap, SatMapConfig};
+/// use std::time::Duration;
 ///
 /// let mut c = Circuit::new(3);
 /// c.cx(0, 1);
@@ -40,9 +43,10 @@ use crate::encode::{routed_from_solution, EncodeShape, QmrEncoding};
 /// c.cx(0, 2);
 /// let graph = arch::devices::tokyo();
 /// let router = SatMap::new(SatMapConfig::default());
-/// let routed = router.route(&c, &graph)?;
-/// verify(&c, &graph, &routed).expect("solution verifies");
-/// # Ok::<(), circuit::RouteError>(())
+/// let request = RouteRequest::new(&c, &graph).with_budget(Duration::from_secs(30));
+/// let outcome = router.route_request(&request);
+/// let routed = outcome.routed().expect("solves");
+/// verify(&c, &graph, routed).expect("solution verifies");
 /// ```
 #[derive(Debug)]
 pub struct SatMap<B: SatBackend + Default = DefaultBackend> {
@@ -118,11 +122,11 @@ impl<B: SatBackend + Default> SatMap<B> {
     fn solve_instance(
         &self,
         enc: &QmrEncoding,
+        p: &Resolved,
         budget: &ResourceBudget,
         telemetry: &mut SolverTelemetry,
     ) -> maxsat::MaxSatOutcome {
-        let out =
-            maxsat::solve_with_options::<B>(enc.instance(), budget, &self.config.solve_options());
+        let out = maxsat::solve_with_options::<B>(enc.instance(), budget, &p.options);
         telemetry.absorb(&out.telemetry);
         out
     }
@@ -133,40 +137,37 @@ impl<B: SatBackend + Default> SatMap<B> {
         slice: &Circuit,
         graph: &ConnectivityGraph,
         shape: EncodeShape,
+        p: &Resolved,
         telemetry: &mut SolverTelemetry,
     ) -> QmrEncoding {
         let start = Instant::now();
-        let enc = QmrEncoding::build(
-            slice,
-            graph,
-            self.config.swaps_per_gap,
-            shape,
-            &self.config.objective,
-        );
+        let enc = QmrEncoding::build(slice, graph, p.swaps_per_gap, shape, &p.objective);
         telemetry.encode_time += start.elapsed();
         enc
     }
 
-    /// Routes the whole request, returning the result plus the solver
-    /// effort spent — including effort spent on failed attempts.
-    fn route_impl(
+    /// Routes the whole request under the already-resolved parameters,
+    /// returning the result plus the solver effort spent — including
+    /// effort spent on failed attempts.
+    pub(crate) fn route_impl(
         &self,
-        circuit: &Circuit,
-        graph: &ConnectivityGraph,
+        request: &RouteRequest<'_>,
+        p: &Resolved,
     ) -> (Result<RoutedCircuit, RouteError>, SolverTelemetry) {
         let mut telemetry = SolverTelemetry::new();
-        if let Err(e) = check_fits(circuit, graph) {
+        if let Err(e) = request.validate() {
             return (Err(e), telemetry);
         }
-        let budget = self.config.budget.arm();
-        let result = match self.config.slice_size {
-            None => self.route_monolithic(circuit, graph, &budget, &mut telemetry),
+        let (circuit, graph) = (request.circuit(), request.graph());
+        let budget = p.budget.arm();
+        let result = match p.slice_size {
+            None => self.route_monolithic(circuit, graph, p, &budget, &mut telemetry),
             Some(size) => {
                 if circuit.num_two_qubit_gates() <= size {
                     // One slice: identical to monolithic.
-                    self.route_monolithic(circuit, graph, &budget, &mut telemetry)
+                    self.route_monolithic(circuit, graph, p, &budget, &mut telemetry)
                 } else {
-                    self.route_sliced(circuit, graph, size, &budget, &mut telemetry)
+                    self.route_sliced(circuit, graph, size, p, &budget, &mut telemetry)
                 }
             }
         };
@@ -178,19 +179,20 @@ impl<B: SatBackend + Default> SatMap<B> {
         &self,
         circuit: &Circuit,
         graph: &ConnectivityGraph,
+        p: &Resolved,
         budget: &ResourceBudget,
         telemetry: &mut SolverTelemetry,
     ) -> Result<RoutedCircuit, RouteError> {
         // Memory guard (the analogue of the paper's 5 GB per-tool cap):
         // refuse instances whose encoding would dwarf any realistic budget.
-        let states = circuit.num_two_qubit_gates().max(1) * self.config.swaps_per_gap;
+        let states = circuit.num_two_qubit_gates().max(1) * p.swaps_per_gap;
         let per_state = circuit.num_qubits() * (graph.num_qubits() + 2 * graph.num_edges())
             + graph.num_qubits();
-        if self.config.budget.is_limited() && states.saturating_mul(per_state) > 6_000_000 {
+        if p.budget.is_limited() && states.saturating_mul(per_state) > 6_000_000 {
             return Err(RouteError::Timeout);
         }
-        let enc = self.build_encoding(circuit, graph, EncodeShape::first_slice(), telemetry);
-        let out = self.solve_instance(&enc, budget, telemetry);
+        let enc = self.build_encoding(circuit, graph, EncodeShape::first_slice(), p, telemetry);
+        let out = self.solve_instance(&enc, p, budget, telemetry);
         match out.status {
             MaxSatStatus::Optimal | MaxSatStatus::Feasible => {
                 let model = out.model.expect("status implies model");
@@ -200,13 +202,13 @@ impl<B: SatBackend + Default> SatMap<B> {
                     &enc,
                     &maps,
                     &swaps,
-                    self.config.swaps_per_gap,
+                    p.swaps_per_gap,
                     0,
                 ))
             }
             MaxSatStatus::Unsat => Err(RouteError::Unsatisfiable(format!(
                 "no routing with n = {} swaps per gap; increase swaps_per_gap",
-                self.config.swaps_per_gap
+                p.swaps_per_gap
             ))),
             MaxSatStatus::Unknown => Err(RouteError::Timeout),
         }
@@ -223,14 +225,15 @@ impl<B: SatBackend + Default> SatMap<B> {
         circuit: &Circuit,
         graph: &ConnectivityGraph,
         slice_size: usize,
+        p: &Resolved,
         budget: &ResourceBudget,
         telemetry: &mut SolverTelemetry,
     ) -> Result<RoutedCircuit, RouteError> {
         let slices = circuit.slices(slice_size);
-        let n = self.config.swaps_per_gap;
+        let n = p.swaps_per_gap;
 
         let mut solved: Vec<SliceState> = Vec::with_capacity(slices.len());
-        let mut backtracks_left = self.config.backtrack_limit;
+        let mut backtracks_left = p.backtrack_limit;
         let mut i = 0usize;
         while i < slices.len() {
             if budget.expired() {
@@ -241,11 +244,11 @@ impl<B: SatBackend + Default> SatMap<B> {
             } else {
                 EncodeShape::continuation(n)
             };
-            let mut enc = self.build_encoding(&slices[i], graph, shape, telemetry);
+            let mut enc = self.build_encoding(&slices[i], graph, shape, p, telemetry);
             if i > 0 {
                 enc.pin_initial_map(&solved[i - 1].final_map);
             }
-            let out = self.solve_instance(&enc, budget, telemetry);
+            let out = self.solve_instance(&enc, p, budget, telemetry);
             match out.status {
                 MaxSatStatus::Optimal | MaxSatStatus::Feasible => {
                     let model = out.model.expect("status implies model");
@@ -278,8 +281,9 @@ impl<B: SatBackend + Default> SatMap<B> {
                             // Backtracking exhausted: deepen the stuck
                             // slice's leading slots instead of giving up.
                             let pin = solved[i - 1].final_map.clone();
-                            let state = self
-                                .solve_slice_deepened(&slices[i], graph, &pin, budget, telemetry)?;
+                            let state = self.solve_slice_deepened(
+                                &slices[i], graph, &pin, p, budget, telemetry,
+                            )?;
                             push_solved(&mut solved, state, telemetry);
                             i += 1;
                             break;
@@ -312,7 +316,7 @@ impl<B: SatBackend + Default> SatMap<B> {
                                 graph,
                                 n,
                                 prev_shape,
-                                &self.config.objective,
+                                &p.objective,
                             );
                             telemetry.encode_time += build_start.elapsed();
                             if let Some(pin) = &prev_initial {
@@ -328,7 +332,7 @@ impl<B: SatBackend + Default> SatMap<B> {
                         let retry = maxsat::solve_with_options::<B>(
                             prev.enc.as_ref().expect("just ensured").instance(),
                             budget,
-                            &self.config.solve_options(),
+                            &p.options,
                         );
                         telemetry.absorb(&retry.telemetry);
                         match retry.status {
@@ -395,10 +399,11 @@ impl<B: SatBackend + Default> SatMap<B> {
         slice: &Circuit,
         graph: &ConnectivityGraph,
         pin: &[usize],
+        p: &Resolved,
         budget: &ResourceBudget,
         telemetry: &mut SolverTelemetry,
     ) -> Result<SliceState, RouteError> {
-        let n = self.config.swaps_per_gap;
+        let n = p.swaps_per_gap;
         // Routing every logical qubit home costs at most diameter swaps.
         let max_lead = (graph.diameter().max(1) * slice.num_qubits()).max(2 * n);
         let mut lead = 2 * n;
@@ -407,9 +412,9 @@ impl<B: SatBackend + Default> SatMap<B> {
                 return Err(RouteError::Timeout);
             }
             let shape = EncodeShape::continuation(lead);
-            let mut enc = self.build_encoding(slice, graph, shape, telemetry);
+            let mut enc = self.build_encoding(slice, graph, shape, p, telemetry);
             enc.pin_initial_map(pin);
-            let out = self.solve_instance(&enc, budget, telemetry);
+            let out = self.solve_instance(&enc, p, budget, telemetry);
             match out.status {
                 MaxSatStatus::Optimal | MaxSatStatus::Feasible => {
                     let model = out.model.expect("status implies model");
@@ -449,20 +454,15 @@ impl<B: SatBackend + Default> Router for SatMap<B> {
         }
     }
 
-    fn route(
-        &self,
-        circuit: &Circuit,
-        graph: &ConnectivityGraph,
-    ) -> Result<RoutedCircuit, RouteError> {
-        self.route_impl(circuit, graph).0
-    }
-
-    fn route_with_telemetry(
-        &self,
-        circuit: &Circuit,
-        graph: &ConnectivityGraph,
-    ) -> (Result<RoutedCircuit, RouteError>, SolverTelemetry) {
-        self.route_impl(circuit, graph)
+    fn route_request(&self, request: &RouteRequest<'_>) -> RouteOutcome {
+        let p = self.config.resolve(request);
+        RouteOutcome::capture(self.name(), || self.route_impl(request, &p))
+            .with_diagnostic(
+                "slice_size",
+                p.slice_size.map_or("none".into(), |s| s.to_string()),
+            )
+            .with_diagnostic("swaps_per_gap", p.swaps_per_gap)
+            .with_diagnostic("portfolio_width", p.width)
     }
 }
 
@@ -507,6 +507,23 @@ mod tests {
     }
 
     #[test]
+    fn request_slicing_overrides_config() {
+        let (c, g) = fig3();
+        // A monolithic-by-default router asked to slice, and vice versa.
+        let router = SatMap::new(SatMapConfig::monolithic());
+        let sliced = router
+            .route_request(&RouteRequest::new(&c, &g).with_slicing(circuit::Slicing::Sliced(2)));
+        assert_eq!(sliced.diagnostic("slice_size"), Some("2"));
+        verify(&c, &g, sliced.routed().expect("solves")).expect("verifies");
+
+        let router = SatMap::new(SatMapConfig::sliced(2));
+        let mono = router
+            .route_request(&RouteRequest::new(&c, &g).with_slicing(circuit::Slicing::Monolithic));
+        assert_eq!(mono.diagnostic("slice_size"), Some("none"));
+        assert_eq!(mono.routed().expect("solves").swap_count(), 1);
+    }
+
+    #[test]
     fn backtracking_recovers_from_bad_slice_boundary() {
         // Example 9's shape: slicing can strand the map; backtracking (or
         // a leading swap slot) must still deliver a verified solution.
@@ -541,7 +558,7 @@ mod tests {
         let router = SatMap::new(SatMapConfig::default());
         assert!(matches!(
             router.route(&c, &g),
-            Err(RouteError::Unsatisfiable(_))
+            Err(RouteError::InvalidRequest(_))
         ));
     }
 
@@ -553,8 +570,9 @@ mod tests {
             c.cx(0, 7 - i);
         }
         let g = arch::devices::tokyo();
-        let router = SatMap::new(SatMapConfig::default().with_budget(Duration::ZERO));
-        assert!(matches!(router.route(&c, &g), Err(RouteError::Timeout)));
+        let router = SatMap::new(SatMapConfig::default());
+        let outcome = router.route_request(&RouteRequest::new(&c, &g).with_budget(Duration::ZERO));
+        assert!(matches!(outcome.error(), Some(RouteError::Timeout)));
     }
 
     #[test]
@@ -571,12 +589,14 @@ mod tests {
         let c = circuit::generators::random_local(5, 12, 4, 0.0, 2);
         let g = arch::devices::tokyo_minus();
         let router = SatMap::new(SatMapConfig::sliced(3));
-        let (result, telemetry) = router.route_with_telemetry(&c, &g);
-        let routed = result.expect("solves");
-        verify(&c, &g, &routed).expect("verifies");
+        let outcome = router.route_request(&RouteRequest::new(&c, &g));
+        let routed = outcome.routed().expect("solves");
+        verify(&c, &g, routed).expect("verifies");
+        let telemetry = outcome.telemetry();
         assert!(telemetry.slices >= 4, "12 gates / 3 per slice: {telemetry}");
         assert!(telemetry.sat_calls > 0);
         assert!(telemetry.solve_time > Duration::ZERO);
         assert!(telemetry.encode_time > Duration::ZERO);
+        assert!(outcome.wall_time() > Duration::ZERO);
     }
 }

@@ -14,7 +14,9 @@
 //!
 //! Environment: `SATMAP_BUDGET_MS` (per-instance budget, default 2000),
 //! `SATMAP_SUITE_LIMIT` (subsample the 160-benchmark suite),
-//! `SATMAP_JOBS` (same as `--jobs`; the flag wins).
+//! `SATMAP_JOBS` (same as `--jobs`; the flag wins), `SATMAP_ROWS_JSON`
+//! (append one JSON object per (benchmark, router) row — the same outcome
+//! schema `BENCH_satmap.json` embeds under `routes`).
 
 use experiments::questions;
 

@@ -1,46 +1,50 @@
 //! Per-research-question experiment runners (Q1–Q6), each regenerating the
 //! rows/series of the corresponding paper tables and figures.
-
-use std::time::Duration;
+//!
+//! Every router is constructed by name through
+//! [`routers::RouterRegistry`] and dispatched as `Box<dyn Router>`; all
+//! per-run knobs (budget, objective, slicing, portfolio width) travel in
+//! the [`RouteSpec`] each sweep passes to [`run_suite`].
 
 use arch::{devices, NoiseModel};
 use circuit::suite::Benchmark;
-use circuit::Router;
-use heuristics::{AStar, Sabre, Tket};
-use olsq::{Exhaustive, Transition};
-use satmap::{CyclicSatMap, Objective, SatMap, SatMapConfig};
+use circuit::{Circuit, Objective, RepeatedStructure, RouteRequest, RouteSpec, Slicing};
+use routers::{BoxedRouter, RouterRegistry};
 
 use crate::runner::{
-    env_budget, env_jobs, env_suite, mean, row, run_suite, run_tool, solved_summary,
-    total_telemetry, RunOutcome,
+    env_jobs, env_spec, env_suite, mean, row, run_suite, run_tool, solved_summary, total_telemetry,
+    RunOutcome,
 };
 
-fn satmap_router(budget: Duration) -> SatMap {
-    SatMap::new(SatMapConfig::default().with_budget(budget))
+fn create(registry: &RouterRegistry, name: &str) -> BoxedRouter {
+    registry
+        .create(name)
+        .unwrap_or_else(|e| panic!("registry must know '{name}': {e}"))
 }
 
 /// **Q1 / Fig. 1 / Table I / Figs. 10–11** — constraint-based tools:
 /// benchmarks solved, largest circuit solved, and per-benchmark runtimes.
 pub fn q1(runtimes: bool) -> String {
-    let budget = env_budget();
+    let spec = env_spec();
     let suite = env_suite();
     let graph = devices::tokyo();
+    let registry = RouterRegistry::standard();
     let mut out = String::new();
     out.push_str(&format!(
         "Q1: constraint-based comparison (budget {:?}/instance, {} benchmarks)\n",
-        budget,
+        spec.budget.remaining_time().unwrap_or_default(),
         suite.len()
     ));
 
-    let tools: Vec<(&str, Box<dyn Router + Sync>)> = vec![
-        ("SATMAP", Box::new(satmap_router(budget))),
-        ("TB-OLSQ", Box::new(Transition::with_budget(budget))),
-        ("EX-MQT", Box::new(Exhaustive::with_budget(budget))),
+    let tools: Vec<(&str, BoxedRouter)> = vec![
+        ("SATMAP", create(&registry, "satmap")),
+        ("TB-OLSQ", create(&registry, "olsq-tb")),
+        ("EX-MQT", create(&registry, "olsq")),
     ];
     let jobs = env_jobs();
     let mut all: Vec<(&str, Vec<RunOutcome>)> = Vec::new();
     for (name, tool) in &tools {
-        all.push((name, run_suite(tool.as_ref(), &suite, &graph, jobs)));
+        all.push((name, run_suite(&**tool, &suite, &graph, &spec, jobs)));
     }
 
     out.push_str("\nTable I: # solved and largest circuit solved (two-qubit gates)\n");
@@ -163,11 +167,12 @@ fn cost_ratio_block(
 /// **Q2 / Fig. 12** — cost ratio of each heuristic vs SATMAP on the solved
 /// subset, plus the fraction of zero-added-gate benchmarks.
 pub fn q2() -> String {
-    let budget = env_budget();
+    let spec = env_spec();
     let suite = env_suite();
     let graph = devices::tokyo();
-    let satmap = satmap_router(budget);
-    let satmap_out = run_suite(&satmap, &suite, &graph, env_jobs());
+    let registry = RouterRegistry::standard();
+    let satmap = create(&registry, "satmap");
+    let satmap_out = run_suite(&*satmap, &suite, &graph, &spec, env_jobs());
     let solved: Vec<Benchmark> = suite
         .iter()
         .zip(&satmap_out)
@@ -189,13 +194,13 @@ pub fn q2() -> String {
         100.0 * zero as f64 / satmap_solved.len().max(1) as f64
     ));
 
-    let heuristics: Vec<(&str, Box<dyn Router + Sync>)> = vec![
-        ("MQTH", Box::new(AStar::default())),
-        ("SABRE", Box::new(Sabre::default())),
-        ("TKET", Box::new(Tket::default())),
+    let heuristics: Vec<(&str, BoxedRouter)> = vec![
+        ("MQTH", create(&registry, "astar")),
+        ("SABRE", create(&registry, "sabre")),
+        ("TKET", create(&registry, "tket")),
     ];
     for (name, h) in &heuristics {
-        let h_out = run_suite(h.as_ref(), &solved, &graph, env_jobs());
+        let h_out = run_suite(&**h, &solved, &graph, &spec, env_jobs());
         let h_zero = h_out.iter().filter(|o| o.cost == Some(0)).count();
         let (text, _) = cost_ratio_block(name, &h_out, &satmap_solved);
         out.push_str(&text);
@@ -209,12 +214,17 @@ pub fn q2() -> String {
 }
 
 /// **Q3 local / Fig. 2 / Table II / Fig. 13** — slice-size sweep vs
-/// NL-SATMAP.
+/// NL-SATMAP, driven entirely through per-request [`Slicing`] overrides on
+/// the same registry router.
 pub fn q3_local() -> String {
-    let budget = env_budget();
+    let spec = env_spec();
     let suite = env_suite();
     let graph = devices::tokyo();
-    let mut out = format!("Q3 (local relaxation): slice sizes vs NL-SATMAP, budget {budget:?}\n");
+    let registry = RouterRegistry::standard();
+    let mut out = format!(
+        "Q3 (local relaxation): slice sizes vs NL-SATMAP, budget {:?}\n",
+        spec.budget.remaining_time().unwrap_or_default()
+    );
     out.push_str(&row(&[
         "config".into(),
         "#solved".into(),
@@ -223,13 +233,17 @@ pub fn q3_local() -> String {
     ]));
     out.push('\n');
 
-    let nl = SatMap::new(SatMapConfig::monolithic().with_budget(budget));
-    let nl_out = run_suite(&nl, &suite, &graph, env_jobs());
+    let satmap = create(&registry, "satmap");
+    let nl = create(&registry, "nl-satmap");
+    let nl_out = run_suite(&*nl, &suite, &graph, &spec, env_jobs());
     let (nl_solved, nl_largest) = solved_summary(&nl_out);
 
     for slice in [10usize, 25, 50, 100] {
-        let r = SatMap::new(SatMapConfig::sliced(slice).with_budget(budget));
-        let outcomes = run_suite(&r, &suite, &graph, env_jobs());
+        let sliced_spec = RouteSpec {
+            slicing: Slicing::Sliced(slice),
+            ..spec.clone()
+        };
+        let outcomes = run_suite(&*satmap, &suite, &graph, &sliced_spec, env_jobs());
         let (solved, largest) = solved_summary(&outcomes);
         // Fig. 13: cost ratio sliced/NL on co-solved benchmarks.
         let ratios: Vec<f64> = outcomes
@@ -259,11 +273,34 @@ pub fn q3_local() -> String {
     out
 }
 
+/// Assembles the QAOA benchmark `H-layer ; C × cycles` together with its
+/// [`RepeatedStructure`] declaration.
+fn qaoa_repeated(n: usize, cycles: usize, seed: u64) -> (Circuit, RepeatedStructure) {
+    let edges = circuit::qaoa::three_regular_graph(n, seed);
+    let sub = circuit::qaoa::qaoa_subcircuit(n, &edges, 0.4, 0.3);
+    let mut full = Circuit::named(&format!("qaoa_{n}q_{cycles}c"), n);
+    for q in 0..n {
+        full.h(q);
+    }
+    let prefix_len = full.len();
+    for _ in 0..cycles {
+        full.extend_from(&sub);
+    }
+    (full, RepeatedStructure { prefix_len, cycles })
+}
+
 /// **Q3 cyclic / Table IV** — QAOA circuits: CYC-SATMAP vs SATMAP vs TKET.
 pub fn q3_cyclic() -> String {
-    let budget = env_budget();
+    let spec = env_spec();
     let graph = devices::tokyo();
-    let mut out = format!("Q3 (cyclic relaxation): QAOA MaxCut, budget {budget:?}\n");
+    let registry = RouterRegistry::standard();
+    let cyc = create(&registry, "cyc-satmap");
+    let satmap = create(&registry, "satmap");
+    let tket = create(&registry, "tket");
+    let mut out = format!(
+        "Q3 (cyclic relaxation): QAOA MaxCut, budget {:?}\n",
+        spec.budget.remaining_time().unwrap_or_default()
+    );
     out.push_str(&row(&[
         "qubits".into(),
         "cycles".into(),
@@ -277,32 +314,26 @@ pub fn q3_cyclic() -> String {
     out.push('\n');
     for &n in &[6usize, 8, 10, 12, 16] {
         for &cycles in &[2usize, 4] {
-            let seed = n as u64;
-            let edges = circuit::qaoa::three_regular_graph(n, seed);
-            let sub = circuit::qaoa::qaoa_subcircuit(n, &edges, 0.4, 0.3);
-            let mut prefix = circuit::Circuit::new(n);
-            for q in 0..n {
-                prefix.h(q);
-            }
-            let full = circuit::qaoa::qaoa_maxcut(n, cycles, seed);
+            let (full, repetition) = qaoa_repeated(n, cycles, n as u64);
             let bench = Benchmark {
-                name: format!("qaoa_{n}q_{cycles}c"),
-                circuit: full,
+                name: full.name().to_string(),
+                circuit: full.clone(),
             };
 
-            // CYC-SATMAP via the repeated-structure API.
-            let cyc = CyclicSatMap::new(SatMapConfig::default().with_budget(budget));
-            let start = std::time::Instant::now();
-            let cyc_result = cyc.route_repeated(&prefix, &sub, cycles, &graph);
-            let cyc_time = start.elapsed().as_secs_f64();
-            let cyc_cost = cyc_result.ok().and_then(|(fullc, routed)| {
-                circuit::verify::verify(&fullc, &graph, &routed)
+            // CYC-SATMAP sees the repeated structure declared on the
+            // request; the others route the flat gate list.
+            let request =
+                RouteRequest::with_spec(&full, &graph, spec.clone()).with_repetition(repetition);
+            let cyc_outcome = cyc.route_request(&request);
+            let cyc_time = cyc_outcome.wall_time().as_secs_f64();
+            let cyc_cost = cyc_outcome.routed().and_then(|routed| {
+                circuit::verify::verify(&full, &graph, routed)
                     .ok()
                     .map(|()| routed.added_gates())
             });
 
-            let sm = run_tool(&satmap_router(budget), &bench, &graph);
-            let tk = run_tool(&Tket::default(), &bench, &graph);
+            let sm = run_tool(&*satmap, &bench, &graph, &spec);
+            let tk = run_tool(&*tket, &bench, &graph, &spec);
             let fmt_cost = |c: Option<usize>| c.map_or("--".into(), |v| v.to_string());
             out.push_str(&row(&[
                 n.to_string(),
@@ -323,10 +354,14 @@ pub fn q3_cyclic() -> String {
 /// **Q3 breakdown / Table III** — TB-OLSQ vs NL-SATMAP vs SATMAP on the
 /// main set plus CYC-SATMAP on QAOA.
 pub fn q3_breakdown() -> String {
-    let budget = env_budget();
+    let spec = env_spec();
     let suite = env_suite();
     let graph = devices::tokyo();
-    let mut out = format!("Q3 (breakdown, Table III), budget {budget:?}\n");
+    let registry = RouterRegistry::standard();
+    let mut out = format!(
+        "Q3 (breakdown, Table III), budget {:?}\n",
+        spec.budget.remaining_time().unwrap_or_default()
+    );
     out.push_str(&row(&[
         "tool".into(),
         "main #".into(),
@@ -342,23 +377,23 @@ pub fn q3_breakdown() -> String {
         .collect();
     let qaoa_benches: Vec<Benchmark> = qaoa_set
         .iter()
-        .map(|&(n, c)| Benchmark {
-            name: format!("qaoa_{n}q_{c}c"),
-            circuit: circuit::qaoa::qaoa_maxcut(n, c, n as u64),
+        .map(|&(n, c)| {
+            let (full, _) = qaoa_repeated(n, c, n as u64);
+            Benchmark {
+                name: full.name().to_string(),
+                circuit: full,
+            }
         })
         .collect();
 
-    let tools: Vec<(&str, Box<dyn Router + Sync>)> = vec![
-        ("TB-OLSQ", Box::new(Transition::with_budget(budget))),
-        (
-            "NL-SATMAP",
-            Box::new(SatMap::new(SatMapConfig::monolithic().with_budget(budget))),
-        ),
-        ("SATMAP", Box::new(satmap_router(budget))),
+    let tools: Vec<(&str, BoxedRouter)> = vec![
+        ("TB-OLSQ", create(&registry, "olsq-tb")),
+        ("NL-SATMAP", create(&registry, "nl-satmap")),
+        ("SATMAP", create(&registry, "satmap")),
     ];
     for (name, tool) in &tools {
-        let main = run_suite(tool.as_ref(), &suite, &graph, env_jobs());
-        let qa = run_suite(tool.as_ref(), &qaoa_benches, &graph, env_jobs());
+        let main = run_suite(&**tool, &suite, &graph, &spec, env_jobs());
+        let qa = run_suite(&**tool, &qaoa_benches, &graph, &spec, env_jobs());
         let (ms, ml) = solved_summary(&main);
         let (qs, ql) = solved_summary(&qa);
         out.push_str(&row(&[
@@ -370,19 +405,16 @@ pub fn q3_breakdown() -> String {
         ]));
         out.push('\n');
     }
-    // CYC-SATMAP on QAOA only.
-    let cyc = CyclicSatMap::new(SatMapConfig::default().with_budget(budget));
+    // CYC-SATMAP on QAOA only, with the repetition declared per request.
+    let cyc = create(&registry, "cyc-satmap");
     let mut solved = 0usize;
     let mut largest = 0usize;
     for &(n, cycles) in &qaoa_set {
-        let edges = circuit::qaoa::three_regular_graph(n, n as u64);
-        let sub = circuit::qaoa::qaoa_subcircuit(n, &edges, 0.4, 0.3);
-        let mut prefix = circuit::Circuit::new(n);
-        for q in 0..n {
-            prefix.h(q);
-        }
-        if let Ok((full, routed)) = cyc.route_repeated(&prefix, &sub, cycles, &graph) {
-            if circuit::verify::verify(&full, &graph, &routed).is_ok() {
+        let (full, repetition) = qaoa_repeated(n, cycles, n as u64);
+        let request =
+            RouteRequest::with_spec(&full, &graph, spec.clone()).with_repetition(repetition);
+        if let Some(routed) = cyc.route_request(&request).routed() {
+            if circuit::verify::verify(&full, &graph, routed).is_ok() {
                 solved += 1;
                 largest = largest.max(full.num_two_qubit_gates());
             }
@@ -402,17 +434,21 @@ pub fn q3_breakdown() -> String {
 /// **Q4 / Fig. 14** — architecture variation: TKET/SATMAP cost ratio on
 /// Tokyo+, Tokyo, Tokyo−.
 pub fn q4() -> String {
-    let budget = env_budget();
+    let spec = env_spec();
     let suite = env_suite();
-    let mut out = format!("Q4: architecture variation, budget {budget:?}\n");
+    let registry = RouterRegistry::standard();
+    let satmap = create(&registry, "satmap");
+    let tket = create(&registry, "tket");
+    let mut out = format!(
+        "Q4: architecture variation, budget {:?}\n",
+        spec.budget.remaining_time().unwrap_or_default()
+    );
     for graph in [
         devices::tokyo_plus(),
         devices::tokyo(),
         devices::tokyo_minus(),
     ] {
-        let satmap = satmap_router(budget);
-        let tket = Tket::default();
-        let satmap_out = run_suite(&satmap, &suite, &graph, env_jobs());
+        let satmap_out = run_suite(&*satmap, &suite, &graph, &spec, env_jobs());
         let solved: Vec<Benchmark> = suite
             .iter()
             .zip(&satmap_out)
@@ -420,7 +456,7 @@ pub fn q4() -> String {
             .map(|(b, _)| b.clone())
             .collect();
         let sm: Vec<RunOutcome> = satmap_out.into_iter().filter(|o| o.solved()).collect();
-        let tk = run_suite(&tket, &solved, &graph, env_jobs());
+        let tk = run_suite(&*tket, &solved, &graph, &spec, env_jobs());
         let (text, ratios) =
             cost_ratio_block(&format!("TKET/SATMAP on {}", graph.name()), &tk, &sm);
         out.push_str(&text);
@@ -443,13 +479,15 @@ pub fn q4() -> String {
 pub fn q5(time_sweep: bool) -> String {
     let suite = env_suite();
     let graph = devices::tokyo();
+    let registry = RouterRegistry::standard();
+    let satmap = create(&registry, "satmap");
     let mut out = String::new();
     if time_sweep {
         // Fig. 15: budgets as fractions/multiples of the baseline budget,
         // mirroring the paper's 100..7200 s sweep around 1800 s.
-        let base = env_budget();
-        let baseline = SatMap::new(SatMapConfig::default().with_budget(base));
-        let baseline_out = run_suite(&baseline, &suite, &graph, env_jobs());
+        let base_spec = env_spec();
+        let base = base_spec.budget.remaining_time().unwrap_or_default();
+        let baseline_out = run_suite(&*satmap, &suite, &graph, &base_spec, env_jobs());
         out.push_str(&format!(
             "Q5 (Fig. 15): cost ratio vs time budget (baseline {base:?})\n"
         ));
@@ -462,8 +500,11 @@ pub fn q5(time_sweep: bool) -> String {
         out.push('\n');
         for factor in [1.0f64 / 18.0, 1.0 / 6.0, 1.0 / 3.0, 1.0, 2.0, 3.0, 4.0] {
             let budget = base.mul_f64(factor);
-            let r = SatMap::new(SatMapConfig::default().with_budget(budget));
-            let outcomes = run_suite(&r, &suite, &graph, env_jobs());
+            let spec = RouteSpec {
+                budget: budget.into(),
+                ..base_spec.clone()
+            };
+            let outcomes = run_suite(&*satmap, &suite, &graph, &spec, env_jobs());
             let (solved, largest) = solved_summary(&outcomes);
             let ratios: Vec<f64> = outcomes
                 .iter()
@@ -484,9 +525,8 @@ pub fn q5(time_sweep: bool) -> String {
         }
     } else {
         // Fig. 16: TKET/SATMAP cost ratio binned by circuit size.
-        let budget = env_budget();
-        let satmap = satmap_router(budget);
-        let tket = Tket::default();
+        let spec = env_spec();
+        let tket = create(&registry, "tket");
         out.push_str("Q5 (Fig. 16): TKET/SATMAP cost ratio vs circuit size\n");
         out.push_str(&row(&[
             "size bin".into(),
@@ -508,14 +548,14 @@ pub fn q5(time_sweep: bool) -> String {
                 .filter(|b| (lo..hi).contains(&b.circuit.num_two_qubit_gates()))
                 .cloned()
                 .collect();
-            let sm_out = run_suite(&satmap, &bin, &graph, env_jobs());
+            let sm_out = run_suite(&*satmap, &bin, &graph, &spec, env_jobs());
             let solved: Vec<Benchmark> = bin
                 .iter()
                 .zip(&sm_out)
                 .filter(|(_, o)| o.solved())
                 .map(|(b, _)| b.clone())
                 .collect();
-            let tk_out = run_suite(&tket, &solved, &graph, env_jobs());
+            let tk_out = run_suite(&*tket, &solved, &graph, &spec, env_jobs());
             let mut ratios = Vec::new();
             for (s, t) in sm_out.iter().filter(|o| o.solved()).zip(&tk_out) {
                 if let (Some(tc), Some(sc)) = (t.cost, s.cost) {
@@ -539,22 +579,28 @@ pub fn q5(time_sweep: bool) -> String {
 
 /// **Q6** — noise-aware (weighted MaxSAT) mode: solved counts for
 /// fidelity-objective SATMAP vs the TB-OLSQ analogue under the same
-/// objective class (the baseline's weighted mode covers swap fidelity).
+/// objective class. The objective is a property of the *request*, so the
+/// same registry router serves both modes.
 pub fn q6() -> String {
-    let budget = env_budget();
+    let spec = env_spec();
     let suite = env_suite();
     let graph = devices::tokyo();
     let noise = NoiseModel::synthetic(&graph, 2022);
-    let mut out = format!("Q6: noise-aware (fidelity) mode, budget {budget:?}\n");
+    let registry = RouterRegistry::standard();
+    let mut out = format!(
+        "Q6: noise-aware (fidelity) mode, budget {:?}\n",
+        spec.budget.remaining_time().unwrap_or_default()
+    );
 
-    let satmap_fid = SatMap::new(SatMapConfig {
+    let satmap = create(&registry, "satmap");
+    let tb = create(&registry, "olsq-tb");
+    let fidelity_spec = RouteSpec {
         objective: Objective::Fidelity(noise.clone()),
-        ..SatMapConfig::default().with_budget(budget)
-    });
-    let tb = Transition::with_budget(budget);
+        ..spec.clone()
+    };
 
-    let sm_out = run_suite(&satmap_fid, &suite, &graph, env_jobs());
-    let tb_out = run_suite(&tb, &suite, &graph, env_jobs());
+    let sm_out = run_suite(&*satmap, &suite, &graph, &fidelity_spec, env_jobs());
+    let tb_out = run_suite(&*tb, &suite, &graph, &spec, env_jobs());
     let (sm_solved, sm_largest) = solved_summary(&sm_out);
     let (tb_solved, tb_largest) = solved_summary(&tb_out);
     out.push_str(&format!(
@@ -570,14 +616,13 @@ pub fn q6() -> String {
     // better).
     let mut improved = 0usize;
     let mut co = 0usize;
-    for (b, (s, t)) in suite.iter().zip(sm_out.iter().zip(&tb_out)) {
+    for (s, t) in sm_out.iter().zip(&tb_out) {
         if s.solved() && t.solved() {
             co += 1;
             // Compare added-gate counts as a proxy printed alongside.
             if s.cost <= t.cost {
                 improved += 1;
             }
-            let _ = b;
         }
     }
     out.push_str(&format!(

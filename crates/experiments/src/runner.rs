@@ -1,13 +1,22 @@
-//! Shared experiment infrastructure: budgets, tool invocation, verified
-//! outcomes, multi-core suite sweeps, and small table-formatting helpers.
+//! Shared experiment infrastructure: request specs, tool invocation,
+//! verified outcomes, multi-core suite sweeps, JSON row emission, and
+//! small table-formatting helpers.
+//!
+//! Every route call goes through a [`circuit::RouteRequest`] built from
+//! one [`RouteSpec`] per sweep, so the per-instance budget, objective, and
+//! portfolio width are properties of the *run*, not of the router — the
+//! routers themselves come out of [`routers::RouterRegistry`] as
+//! `Box<dyn Router>`.
 
+use std::io::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use arch::ConnectivityGraph;
+use circuit::request::escape_json;
 use circuit::suite::Benchmark;
-use circuit::{verify::verify, RouteError, Router};
+use circuit::{verify::verify, Parallelism, RouteError, RouteRequest, RouteSpec, Router};
 use sat::SolverTelemetry;
 
 /// Result of running one tool on one benchmark.
@@ -17,6 +26,8 @@ pub struct RunOutcome {
     pub name: String,
     /// Two-qubit gate count (the paper's circuit-size measure).
     pub size: usize,
+    /// Name of the router that served the request.
+    pub router: String,
     /// Added CNOT gates (3 per SWAP) if solved.
     pub cost: Option<usize>,
     /// Wall-clock time of the attempt.
@@ -25,6 +36,9 @@ pub struct RunOutcome {
     pub telemetry: SolverTelemetry,
     /// Error, when unsolved.
     pub error: Option<RouteError>,
+    /// The row in the shared JSON schema (see [`circuit::RouteOutcome::to_json`]),
+    /// extended with `bench` and `size` fields.
+    pub json: String,
 }
 
 impl RunOutcome {
@@ -53,6 +67,17 @@ pub fn env_jobs() -> usize {
         .unwrap_or(1)
 }
 
+/// The sweep spec the experiment runners share: the `SATMAP_BUDGET_MS`
+/// per-instance budget and automatic portfolio sizing (resolved against
+/// the job count inside [`run_suite`]).
+pub fn env_spec() -> RouteSpec {
+    RouteSpec {
+        budget: env_budget().into(),
+        parallelism: Parallelism::Auto,
+        ..RouteSpec::default()
+    }
+}
+
 /// Benchmark-count cap from `SATMAP_SUITE_LIMIT` (default: full suite).
 /// When capped, the suite is subsampled uniformly so all size tiers stay
 /// represented.
@@ -71,44 +96,56 @@ pub fn env_suite() -> Vec<Benchmark> {
         .collect()
 }
 
-/// Runs `router` on one benchmark, verifying any claimed solution with the
-/// independent verifier. A solution that fails verification is treated as
-/// unsolved (and flagged in the outcome's error).
-pub fn run_tool(router: &dyn Router, bench: &Benchmark, graph: &ConnectivityGraph) -> RunOutcome {
-    let start = Instant::now();
-    let (result, telemetry) = router.route_with_telemetry(&bench.circuit, graph);
-    let seconds = start.elapsed().as_secs_f64();
-    match result {
-        Ok(routed) => match verify(&bench.circuit, graph, &routed) {
-            Ok(()) => RunOutcome {
-                name: bench.name.clone(),
-                size: bench.circuit.num_two_qubit_gates(),
-                cost: Some(routed.added_gates()),
-                seconds,
-                telemetry,
-                error: None,
-            },
-            Err(e) => RunOutcome {
-                name: bench.name.clone(),
-                size: bench.circuit.num_two_qubit_gates(),
-                cost: None,
-                seconds,
-                telemetry,
-                error: Some(RouteError::Unsatisfiable(format!(
+/// Runs `router` on one benchmark under `spec`, verifying any claimed
+/// solution with the independent verifier. A solution that fails
+/// verification is treated as unsolved (and flagged in the outcome's
+/// error).
+pub fn run_tool(
+    router: &dyn Router,
+    bench: &Benchmark,
+    graph: &ConnectivityGraph,
+    spec: &RouteSpec,
+) -> RunOutcome {
+    let request = RouteRequest::with_spec(&bench.circuit, graph, spec.clone());
+    let outcome = router.route_request(&request);
+    let size = bench.circuit.num_two_qubit_gates();
+    let (cost, error) = match outcome.result() {
+        Ok(routed) => match verify(&bench.circuit, graph, routed) {
+            Ok(()) => (Some(routed.added_gates()), None),
+            Err(e) => (
+                None,
+                Some(RouteError::Unsatisfiable(format!(
                     "verification failed: {e}"
                 ))),
-            },
+            ),
         },
-        Err(e) => RunOutcome {
-            name: bench.name.clone(),
-            size: bench.circuit.num_two_qubit_gates(),
-            cost: None,
-            seconds,
-            // Effort spent on failed attempts still counts toward the
-            // solver-effort tables.
-            telemetry,
-            error: Some(e),
-        },
+        // Effort spent on failed attempts still counts toward the
+        // solver-effort tables.
+        Err(e) => (None, Some(e.clone())),
+    };
+    // Render the JSON row from the *verified* status, so a solution the
+    // verifier rejected is not reported as solved. Diagnostics, telemetry,
+    // and timing carry over unchanged; only the rare rejected path pays
+    // for an outcome clone.
+    let row = match (&error, outcome.solved()) {
+        (Some(e), true) => outcome.clone().with_result(Err(e.clone())).to_json(),
+        _ => outcome.to_json(),
+    };
+    let json = format!(
+        "{{\"bench\":\"{}\",\"size\":{},{}",
+        escape_json(&bench.name),
+        size,
+        &row[1..]
+    );
+    RunOutcome {
+        name: bench.name.clone(),
+        size,
+        router: outcome.router().to_string(),
+        cost,
+        seconds: outcome.wall_time().as_secs_f64(),
+        telemetry: *outcome.telemetry(),
+        error,
+        json,
     }
 }
 
@@ -118,38 +155,75 @@ pub fn run_tool(router: &dyn Router, bench: &Benchmark, graph: &ConnectivityGrap
 ///
 /// Results land at their benchmark's index, so the output order — and
 /// therefore every table derived from it — is identical for any job count.
-/// Each `run_tool` call arms the router's own per-instance budget as a
-/// fresh child, so parallel workers neither share nor extend deadlines.
+/// Each [`run_tool`] call arms its own per-instance budget as a fresh
+/// request, so parallel workers neither share nor extend deadlines. A
+/// [`Parallelism::Auto`] spec resolves once against `jobs`, shrinking the
+/// per-request SAT portfolio when the sweep already saturates the cores.
+///
+/// When `SATMAP_ROWS_JSON` names a file, one JSON object per row is
+/// appended to it (NDJSON) in suite order — the same row schema
+/// `BENCH_satmap.json` embeds (see [`circuit::RouteOutcome::to_json`]).
 pub fn run_suite(
     router: &(dyn Router + Sync),
     suite: &[Benchmark],
     graph: &ConnectivityGraph,
+    spec: &RouteSpec,
     jobs: usize,
 ) -> Vec<RunOutcome> {
     let jobs = jobs.clamp(1, suite.len().max(1));
-    if jobs == 1 {
-        return suite.iter().map(|b| run_tool(router, b, graph)).collect();
+    let mut spec = spec.clone();
+    if spec.parallelism == Parallelism::Auto {
+        spec.parallelism = Parallelism::Width(Parallelism::auto_for_jobs(jobs));
     }
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<RunOutcome>>> = suite.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..jobs {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(bench) = suite.get(i) else { break };
-                let outcome = run_tool(router, bench, graph);
-                *slots[i].lock().expect("result slot") = Some(outcome);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot")
-                .expect("every queue index was claimed by exactly one worker")
-        })
-        .collect()
+    let outcomes: Vec<RunOutcome> = if jobs == 1 {
+        suite
+            .iter()
+            .map(|b| run_tool(router, b, graph, &spec))
+            .collect()
+    } else {
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<RunOutcome>>> =
+            suite.iter().map(|_| Mutex::new(None)).collect();
+        let spec = &spec;
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(bench) = suite.get(i) else { break };
+                    let outcome = run_tool(router, bench, graph, spec);
+                    *slots[i].lock().expect("result slot") = Some(outcome);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot")
+                    .expect("every queue index was claimed by exactly one worker")
+            })
+            .collect()
+    };
+    if let Err(e) = append_json_rows(&outcomes) {
+        eprintln!("warning: could not write SATMAP_ROWS_JSON rows: {e}");
+    }
+    outcomes
+}
+
+/// Appends each outcome's JSON row to the `SATMAP_ROWS_JSON` file (no-op
+/// when the variable is unset).
+fn append_json_rows(outcomes: &[RunOutcome]) -> std::io::Result<()> {
+    let Some(path) = std::env::var_os("SATMAP_ROWS_JSON") else {
+        return Ok(());
+    };
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    for o in outcomes {
+        writeln!(file, "{}", o.json)?;
+    }
+    Ok(())
 }
 
 /// Sums the solver effort across a set of outcomes.
@@ -198,7 +272,11 @@ pub(crate) static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 #[cfg(test)]
 mod tests {
     use super::*;
-    use heuristics::Tket;
+    use routers::RouterRegistry;
+
+    fn registry() -> RouterRegistry {
+        RouterRegistry::standard()
+    }
 
     #[test]
     fn run_tool_verifies_and_reports() {
@@ -207,26 +285,30 @@ mod tests {
             circuit: circuit::generators::qft(4),
         };
         let g = arch::devices::tokyo();
-        let out = run_tool(&Tket::default(), &bench, &g);
+        let tket = registry().create("tket").expect("registered");
+        let out = run_tool(tket.as_ref(), &bench, &g, &RouteSpec::default());
         assert!(out.solved());
         assert_eq!(out.size, 12);
+        assert_eq!(out.router, "tket");
         assert!(
             out.cost.expect("cost").is_multiple_of(3),
             "cost counts CNOTs per swap"
         );
         // A heuristic spends no solver effort.
         assert_eq!(out.telemetry.sat_calls, 0);
+        assert!(out.json.starts_with("{\"bench\":\"tiny\",\"size\":12,"));
+        assert!(out.json.contains("\"router\":\"tket\""));
     }
 
     #[test]
     fn run_tool_reports_solver_effort_for_sat_routers() {
-        use satmap::{SatMap, SatMapConfig};
         let bench = Benchmark {
             name: "tiny".into(),
             circuit: circuit::generators::qft(3),
         };
         let g = arch::devices::tokyo();
-        let out = run_tool(&SatMap::new(SatMapConfig::monolithic()), &bench, &g);
+        let satmap = registry().create("nl-satmap").expect("registered");
+        let out = run_tool(satmap.as_ref(), &bench, &g, &RouteSpec::default());
         assert!(out.solved());
         assert!(out.telemetry.sat_calls > 0, "{}", out.telemetry);
         let total = total_telemetry(std::slice::from_ref(&out));
@@ -235,23 +317,19 @@ mod tests {
 
     #[test]
     fn summary_counts() {
+        let stub = |name: &str, size, cost, error| RunOutcome {
+            name: name.into(),
+            size,
+            router: "stub".into(),
+            cost,
+            seconds: 0.1,
+            telemetry: SolverTelemetry::default(),
+            error,
+            json: String::new(),
+        };
         let outcomes = vec![
-            RunOutcome {
-                name: "a".into(),
-                size: 10,
-                cost: Some(3),
-                seconds: 0.1,
-                telemetry: SolverTelemetry::default(),
-                error: None,
-            },
-            RunOutcome {
-                name: "b".into(),
-                size: 99,
-                cost: None,
-                seconds: 0.1,
-                telemetry: SolverTelemetry::default(),
-                error: Some(RouteError::Timeout),
-            },
+            stub("a", 10, Some(3), None),
+            stub("b", 99, None, Some(RouteError::Timeout)),
         ];
         assert_eq!(solved_summary(&outcomes), (1, 10));
     }
@@ -264,7 +342,9 @@ mod tests {
 
     #[test]
     fn run_suite_rows_are_identical_for_any_job_count() {
-        use satmap::{SatMap, SatMapConfig};
+        // run_suite reads SATMAP_ROWS_JSON; hold the env lock so the
+        // JSON-row test cannot interleave its env mutation with this run.
+        let _guard = super::ENV_LOCK.lock().expect("env lock");
         let suite: Vec<Benchmark> = (3..=6)
             .map(|n| Benchmark {
                 name: format!("qft{n}"),
@@ -274,9 +354,13 @@ mod tests {
         let g = arch::devices::tokyo();
         // Unlimited budget keeps the router deterministic (always optimal),
         // so everything except wall-clock must match byte-for-byte.
-        let router = SatMap::new(SatMapConfig::sliced(4));
-        let serial = run_suite(&router, &suite, &g, 1);
-        let parallel = run_suite(&router, &suite, &g, 4);
+        let router = registry().create("satmap").expect("registered");
+        let spec = RouteSpec {
+            slicing: circuit::Slicing::Sliced(4),
+            ..RouteSpec::default()
+        };
+        let serial = run_suite(&*router, &suite, &g, &spec, 1);
+        let parallel = run_suite(&*router, &suite, &g, &spec, 4);
         assert_eq!(serial.len(), parallel.len());
         for (s, p) in serial.iter().zip(&parallel) {
             assert_eq!(s.name, p.name, "row order must not depend on --jobs");
@@ -284,6 +368,32 @@ mod tests {
             assert_eq!(s.cost, p.cost, "{}: costs must match", s.name);
             assert_eq!(s.error, p.error);
         }
+    }
+
+    #[test]
+    fn run_suite_appends_json_rows() {
+        let _guard = super::ENV_LOCK.lock().expect("env lock");
+        let path = std::env::temp_dir().join(format!("satmap_rows_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var("SATMAP_ROWS_JSON", &path);
+        let suite = vec![Benchmark {
+            name: "qft3".into(),
+            circuit: circuit::generators::qft(3),
+        }];
+        let g = arch::devices::tokyo();
+        let tket = registry().create("tket").expect("registered");
+        run_suite(&*tket, &suite, &g, &RouteSpec::default(), 1);
+        run_suite(&*tket, &suite, &g, &RouteSpec::default(), 1);
+        std::env::remove_var("SATMAP_ROWS_JSON");
+        let text = std::fs::read_to_string(&path).expect("rows written");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "one object per row, appended across runs");
+        for line in lines {
+            assert!(line.starts_with("{\"bench\":\"qft3\""));
+            assert!(line.ends_with("}}"));
+            assert_eq!(line.matches('{').count(), line.matches('}').count());
+        }
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -6,7 +6,10 @@
 use std::collections::{BinaryHeap, HashMap};
 
 use arch::ConnectivityGraph;
-use circuit::{check_fits, Circuit, Gate, RouteError, RoutedCircuit, RoutedOp, Router};
+use circuit::{
+    Circuit, Gate, RouteError, RouteOutcome, RouteRequest, RoutedCircuit, RoutedOp, Router,
+};
+use sat::SolverTelemetry;
 
 use crate::placement::degree_matching_placement;
 
@@ -168,17 +171,13 @@ impl AStar {
     }
 }
 
-impl Router for AStar {
-    fn name(&self) -> &str {
-        "mqth-astar"
-    }
-
-    fn route(
+impl AStar {
+    /// The routing pass proper, after request validation.
+    fn route_impl(
         &self,
         circuit: &Circuit,
         graph: &ConnectivityGraph,
     ) -> Result<RoutedCircuit, RouteError> {
-        check_fits(circuit, graph)?;
         let initial = degree_matching_placement(circuit, graph);
         let mut pos = initial.clone();
         let mut ops = Vec::new();
@@ -230,6 +229,21 @@ impl Router for AStar {
             }
         }
         Ok(RoutedCircuit::new(initial, ops))
+    }
+}
+
+impl Router for AStar {
+    fn name(&self) -> &str {
+        "mqth-astar"
+    }
+
+    fn route_request(&self, request: &RouteRequest<'_>) -> RouteOutcome {
+        RouteOutcome::capture(self.name(), || {
+            let result = request
+                .validate()
+                .and_then(|()| self.route_impl(request.circuit(), request.graph()));
+            (result, SolverTelemetry::default())
+        })
     }
 }
 

@@ -3,10 +3,13 @@
 //! paper reports a mean 6.97× cost ratio against (Fig. 12).
 
 use arch::ConnectivityGraph;
-use circuit::{check_fits, Circuit, Gate, RouteError, RoutedCircuit, RoutedOp, Router};
+use circuit::{
+    Circuit, Gate, RouteError, RouteOutcome, RouteRequest, RoutedCircuit, RoutedOp, Router,
+};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use sat::SolverTelemetry;
 
 use crate::dag::DagFrontier;
 
@@ -240,17 +243,13 @@ fn reversed(circuit: &Circuit) -> Circuit {
     r
 }
 
-impl Router for Sabre {
-    fn name(&self) -> &str {
-        "sabre"
-    }
-
-    fn route(
+impl Sabre {
+    /// The routing pass proper, after request validation.
+    fn route_impl(
         &self,
         circuit: &Circuit,
         graph: &ConnectivityGraph,
     ) -> Result<RoutedCircuit, RouteError> {
-        check_fits(circuit, graph)?;
         let mut rng = StdRng::seed_from_u64(self.config.seed);
 
         // Random initial permutation, refined by forward/backward passes.
@@ -265,6 +264,21 @@ impl Router for Sabre {
         }
         let (ops, _, _) = self.pass(circuit, graph, &map, true);
         Ok(RoutedCircuit::new(map, ops))
+    }
+}
+
+impl Router for Sabre {
+    fn name(&self) -> &str {
+        "sabre"
+    }
+
+    fn route_request(&self, request: &RouteRequest<'_>) -> RouteOutcome {
+        RouteOutcome::capture(self.name(), || {
+            let result = request
+                .validate()
+                .and_then(|()| self.route_impl(request.circuit(), request.graph()));
+            (result, SolverTelemetry::default())
+        })
     }
 }
 

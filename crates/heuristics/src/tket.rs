@@ -4,7 +4,10 @@
 //! the paper's comparison (mean 3.64× cost ratio, Fig. 12).
 
 use arch::ConnectivityGraph;
-use circuit::{check_fits, Circuit, Gate, RouteError, RoutedCircuit, RoutedOp, Router};
+use circuit::{
+    Circuit, Gate, RouteError, RouteOutcome, RouteRequest, RoutedCircuit, RoutedOp, Router,
+};
+use sat::SolverTelemetry;
 
 use crate::placement::degree_matching_placement;
 
@@ -51,17 +54,13 @@ impl Tket {
     }
 }
 
-impl Router for Tket {
-    fn name(&self) -> &str {
-        "tket"
-    }
-
-    fn route(
+impl Tket {
+    /// The routing pass proper, after request validation.
+    fn route_impl(
         &self,
         circuit: &Circuit,
         graph: &ConnectivityGraph,
     ) -> Result<RoutedCircuit, RouteError> {
-        check_fits(circuit, graph)?;
         let initial = degree_matching_placement(circuit, graph);
         let mut pos = initial.clone();
         let mut ops: Vec<RoutedOp> = Vec::new();
@@ -159,6 +158,21 @@ impl Tket {
                     .unwrap_or(std::cmp::Ordering::Equal)
             })
             .expect("nonempty candidates")
+    }
+}
+
+impl Router for Tket {
+    fn name(&self) -> &str {
+        "tket"
+    }
+
+    fn route_request(&self, request: &RouteRequest<'_>) -> RouteOutcome {
+        RouteOutcome::capture(self.name(), || {
+            let result = request
+                .validate()
+                .and_then(|()| self.route_impl(request.circuit(), request.graph()));
+            (result, SolverTelemetry::default())
+        })
     }
 }
 

@@ -50,12 +50,17 @@ pub struct SolveOptions {
     /// weight already fits (quantum 1) the search stays exact. Smaller
     /// values trade optimality precision for encoding size.
     pub totalizer_units: u64,
+    /// Portfolio width requested from the backend before clauses load
+    /// (see [`sat::SatBackend::set_portfolio_width`]); `None` keeps the
+    /// backend's own default. Single-threaded backends ignore the hint.
+    pub portfolio_width: Option<usize>,
 }
 
 impl Default for SolveOptions {
     fn default() -> Self {
         SolveOptions {
             totalizer_units: 4000,
+            portfolio_width: None,
         }
     }
 }
@@ -65,6 +70,13 @@ impl SolveOptions {
     /// least 1 unit).
     pub fn with_totalizer_units(mut self, units: u64) -> Self {
         self.totalizer_units = units.max(1);
+        self
+    }
+
+    /// Returns a copy requesting the given portfolio width (clamped to at
+    /// least 1 worker).
+    pub fn with_portfolio_width(mut self, width: usize) -> Self {
+        self.portfolio_width = Some(width.max(1));
         self
     }
 }
@@ -139,6 +151,9 @@ pub fn solve_with_options<B: SatBackend + Default>(
     let budget = budget.arm();
     let mut telemetry = SolverTelemetry::new();
     let mut solver = B::default();
+    if let Some(width) = options.portfolio_width {
+        solver.set_portfolio_width(width);
+    }
 
     let encode_start = Instant::now();
     solver.reserve_vars(instance.num_vars());

@@ -17,12 +17,13 @@
 use std::marker::PhantomData;
 
 use arch::ConnectivityGraph;
-use circuit::{check_fits, Circuit, RouteError, RoutedCircuit, RoutedOp, Router};
+use circuit::{Circuit, RouteError, RouteOutcome, RouteRequest, RoutedCircuit, RoutedOp, Router};
 use maxsat::{MaxSatStatus, WcnfInstance};
-use sat::{DefaultBackend, Lit, ResourceBudget, SatBackend, SolverTelemetry, Var};
+use sat::{DefaultBackend, Lit, SatBackend, SolverTelemetry, Var};
 
 /// The exhaustive-encoding router (EX-MQT analogue), generic over the SAT
-/// backend driving the MaxSAT engine.
+/// backend driving the MaxSAT engine. The solve budget and portfolio
+/// width come from each [`RouteRequest`].
 ///
 /// # Examples
 ///
@@ -39,16 +40,12 @@ use sat::{DefaultBackend, Lit, ResourceBudget, SatBackend, SolverTelemetry, Var}
 /// ```
 #[derive(Debug)]
 pub struct Exhaustive<B: SatBackend + Default = DefaultBackend> {
-    /// Budget for the whole solve; the armed deadline bounds every nested
-    /// SAT call.
-    pub budget: ResourceBudget,
     _backend: PhantomData<fn() -> B>,
 }
 
 impl<B: SatBackend + Default> Clone for Exhaustive<B> {
     fn clone(&self) -> Self {
         Exhaustive {
-            budget: self.budget.clone(),
             _backend: PhantomData,
         }
     }
@@ -57,18 +54,6 @@ impl<B: SatBackend + Default> Clone for Exhaustive<B> {
 impl Default for Exhaustive {
     fn default() -> Self {
         Exhaustive {
-            budget: ResourceBudget::unlimited(),
-            _backend: PhantomData,
-        }
-    }
-}
-
-impl Exhaustive {
-    /// Creates the router with a budget (a plain `Duration` converts to a
-    /// wall-clock budget).
-    pub fn with_budget(budget: impl Into<ResourceBudget>) -> Self {
-        Exhaustive {
-            budget: budget.into(),
             _backend: PhantomData,
         }
     }
@@ -76,9 +61,8 @@ impl Exhaustive {
 
 impl<B: SatBackend + Default> Exhaustive<B> {
     /// Creates the router with an explicit SAT backend type.
-    pub fn with_backend(budget: ResourceBudget) -> Self {
+    pub fn with_backend() -> Self {
         Exhaustive {
-            budget,
             _backend: PhantomData,
         }
     }
@@ -219,29 +203,19 @@ impl NaiveEncoding {
     }
 }
 
-impl<B: SatBackend + Default> Router for Exhaustive<B> {
-    fn name(&self) -> &str {
-        "ex-mqt"
-    }
-
-    fn route(
+impl<B: SatBackend + Default> Exhaustive<B> {
+    fn route_impl(
         &self,
-        circuit: &Circuit,
-        graph: &ConnectivityGraph,
-    ) -> Result<RoutedCircuit, RouteError> {
-        self.route_with_telemetry(circuit, graph).0
-    }
-
-    fn route_with_telemetry(
-        &self,
-        circuit: &Circuit,
-        graph: &ConnectivityGraph,
+        request: &RouteRequest<'_>,
     ) -> (Result<RoutedCircuit, RouteError>, SolverTelemetry) {
         let mut telemetry = SolverTelemetry::new();
-        if let Err(e) = check_fits(circuit, graph) {
+        if let Err(e) = request.validate() {
             return (Err(e), telemetry);
         }
-        let budget = self.budget.arm();
+        let (circuit, graph) = (request.circuit(), request.graph());
+        let options =
+            maxsat::SolveOptions::default().with_portfolio_width(request.parallelism().resolve());
+        let budget = request.budget().arm();
         // Memory guard (the paper's 5 GB cap analogue): the naive encoding
         // grows as |C|·|Edges|·|Logic|·|Phys| and is the reason EX-MQT
         // stops early; refuse rather than thrash.
@@ -249,13 +223,13 @@ impl<B: SatBackend + Default> Router for Exhaustive<B> {
             * graph.num_edges()
             * circuit.num_qubits()
             * graph.num_qubits();
-        if self.budget.is_limited() && est > 40_000_000 {
+        if request.budget().is_limited() && est > 40_000_000 {
             return (Err(RouteError::Timeout), telemetry);
         }
         let encode_start = std::time::Instant::now();
         let enc = NaiveEncoding::build(circuit, graph);
         telemetry.encode_time += encode_start.elapsed();
-        let out = maxsat::solve_with_backend::<B>(&enc.instance, budget);
+        let out = maxsat::solve_with_options::<B>(&enc.instance, &budget, &options);
         telemetry.absorb(&out.telemetry);
         match out.status {
             MaxSatStatus::Optimal | MaxSatStatus::Feasible => {
@@ -285,6 +259,18 @@ impl<B: SatBackend + Default> Router for Exhaustive<B> {
             ),
             MaxSatStatus::Unknown => (Err(RouteError::Timeout), telemetry),
         }
+    }
+}
+
+impl<B: SatBackend + Default> Router for Exhaustive<B> {
+    fn name(&self) -> &str {
+        "ex-mqt"
+    }
+
+    fn route_request(&self, request: &RouteRequest<'_>) -> RouteOutcome {
+        RouteOutcome::capture(self.name(), || self.route_impl(request))
+            .with_diagnostic("encoding", "naive-exhaustive")
+            .with_diagnostic("portfolio_width", request.parallelism().resolve())
     }
 }
 
@@ -319,7 +305,8 @@ mod tests {
     fn times_out_gracefully() {
         let c = circuit::generators::random_local(8, 60, 7, 0.0, 1);
         let g = arch::devices::tokyo();
-        let r = Exhaustive::with_budget(std::time::Duration::ZERO).route(&c, &g);
-        assert!(matches!(r, Err(RouteError::Timeout)));
+        let request = RouteRequest::new(&c, &g).with_budget(std::time::Duration::ZERO);
+        let outcome = Exhaustive::<DefaultBackend>::default().route_request(&request);
+        assert!(matches!(outcome.error(), Some(RouteError::Timeout)));
     }
 }

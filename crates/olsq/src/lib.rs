@@ -11,9 +11,10 @@
 //!   encoding with order-encoded schedules and iterative block deepening.
 //!
 //! Both routers are generic over [`sat::SatBackend`] (the concrete solver
-//! is never named here), take the shared deadline-based
-//! [`sat::ResourceBudget`], and report [`sat::SolverTelemetry`] through
-//! [`circuit::Router::route_with_telemetry`].
+//! is never named here), take their deadline-based
+//! [`sat::ResourceBudget`] and portfolio width from each
+//! [`circuit::RouteRequest`], and report [`sat::SolverTelemetry`] through
+//! the returned [`circuit::RouteOutcome`].
 //!
 //! # Examples
 //!

@@ -15,13 +15,14 @@
 use std::marker::PhantomData;
 
 use arch::ConnectivityGraph;
-use circuit::{check_fits, Circuit, RouteError, RoutedCircuit, RoutedOp, Router};
+use circuit::{Circuit, RouteError, RouteOutcome, RouteRequest, RoutedCircuit, RoutedOp, Router};
 use maxsat::encodings::{at_most_one, exactly_one};
 use maxsat::{MaxSatStatus, WcnfInstance};
-use sat::{DefaultBackend, Lit, ResourceBudget, SatBackend, SolverTelemetry, Var};
+use sat::{DefaultBackend, Lit, SatBackend, SolverTelemetry, Var};
 
 /// The transition-based router (TB-OLSQ analogue), generic over the SAT
-/// backend driving the MaxSAT engine.
+/// backend driving the MaxSAT engine. The deepening budget and portfolio
+/// width come from each [`RouteRequest`].
 ///
 /// # Examples
 ///
@@ -38,16 +39,12 @@ use sat::{DefaultBackend, Lit, ResourceBudget, SatBackend, SolverTelemetry, Var}
 /// ```
 #[derive(Debug)]
 pub struct Transition<B: SatBackend + Default = DefaultBackend> {
-    /// Budget across all deepening iterations; the armed deadline bounds
-    /// every nested SAT call.
-    pub budget: ResourceBudget,
     _backend: PhantomData<fn() -> B>,
 }
 
 impl<B: SatBackend + Default> Clone for Transition<B> {
     fn clone(&self) -> Self {
         Transition {
-            budget: self.budget.clone(),
             _backend: PhantomData,
         }
     }
@@ -56,18 +53,6 @@ impl<B: SatBackend + Default> Clone for Transition<B> {
 impl Default for Transition {
     fn default() -> Self {
         Transition {
-            budget: ResourceBudget::unlimited(),
-            _backend: PhantomData,
-        }
-    }
-}
-
-impl Transition {
-    /// Creates the router with a budget (a plain `Duration` converts to a
-    /// wall-clock budget).
-    pub fn with_budget(budget: impl Into<ResourceBudget>) -> Self {
-        Transition {
-            budget: budget.into(),
             _backend: PhantomData,
         }
     }
@@ -75,9 +60,8 @@ impl Transition {
 
 impl<B: SatBackend + Default> Transition<B> {
     /// Creates the router with an explicit SAT backend type.
-    pub fn with_backend(budget: ResourceBudget) -> Self {
+    pub fn with_backend() -> Self {
         Transition {
-            budget,
             _backend: PhantomData,
         }
     }
@@ -245,29 +229,19 @@ impl TransitionEncoding {
     }
 }
 
-impl<B: SatBackend + Default> Router for Transition<B> {
-    fn name(&self) -> &str {
-        "tb-olsq"
-    }
-
-    fn route(
+impl<B: SatBackend + Default> Transition<B> {
+    fn route_impl(
         &self,
-        circuit: &Circuit,
-        graph: &ConnectivityGraph,
-    ) -> Result<RoutedCircuit, RouteError> {
-        self.route_with_telemetry(circuit, graph).0
-    }
-
-    fn route_with_telemetry(
-        &self,
-        circuit: &Circuit,
-        graph: &ConnectivityGraph,
+        request: &RouteRequest<'_>,
     ) -> (Result<RoutedCircuit, RouteError>, SolverTelemetry) {
         let mut telemetry = SolverTelemetry::new();
-        if let Err(e) = check_fits(circuit, graph) {
+        if let Err(e) = request.validate() {
             return (Err(e), telemetry);
         }
-        let budget = self.budget.arm();
+        let (circuit, graph) = (request.circuit(), request.graph());
+        let options =
+            maxsat::SolveOptions::default().with_portfolio_width(request.parallelism().resolve());
+        let budget = request.budget().arm();
         let interactions = circuit.two_qubit_interactions();
         let max_blocks = interactions.len().max(1) + 1;
         let mut blocks = 1usize;
@@ -278,13 +252,13 @@ impl<B: SatBackend + Default> Router for Transition<B> {
             // Memory guard (5 GB cap analogue): the dependency matrix grows
             // as |C|²·K; refuse rather than thrash.
             let g2 = interactions.len() * interactions.len();
-            if self.budget.is_limited() && g2.saturating_mul(blocks) > 80_000_000 {
+            if request.budget().is_limited() && g2.saturating_mul(blocks) > 80_000_000 {
                 return (Err(RouteError::Timeout), telemetry);
             }
             let encode_start = std::time::Instant::now();
             let enc = TransitionEncoding::build(circuit, graph, blocks);
             telemetry.encode_time += encode_start.elapsed();
-            let out = maxsat::solve_with_backend::<B>(&enc.instance, budget.clone());
+            let out = maxsat::solve_with_options::<B>(&enc.instance, &budget, &options);
             telemetry.absorb(&out.telemetry);
             match out.status {
                 MaxSatStatus::Optimal | MaxSatStatus::Feasible => {
@@ -307,6 +281,18 @@ impl<B: SatBackend + Default> Router for Transition<B> {
                 }
             }
         }
+    }
+}
+
+impl<B: SatBackend + Default> Router for Transition<B> {
+    fn name(&self) -> &str {
+        "tb-olsq"
+    }
+
+    fn route_request(&self, request: &RouteRequest<'_>) -> RouteOutcome {
+        RouteOutcome::capture(self.name(), || self.route_impl(request))
+            .with_diagnostic("encoding", "transition-based")
+            .with_diagnostic("portfolio_width", request.parallelism().resolve())
     }
 }
 
@@ -406,7 +392,8 @@ mod tests {
     fn times_out_gracefully() {
         let c = circuit::generators::random_local(8, 40, 7, 0.0, 5);
         let g = arch::devices::tokyo();
-        let r = Transition::with_budget(std::time::Duration::ZERO).route(&c, &g);
-        assert!(matches!(r, Err(RouteError::Timeout)));
+        let request = RouteRequest::new(&c, &g).with_budget(std::time::Duration::ZERO);
+        let outcome = Transition::<DefaultBackend>::default().route_request(&request);
+        assert!(matches!(outcome.error(), Some(RouteError::Timeout)));
     }
 }

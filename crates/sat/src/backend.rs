@@ -61,6 +61,15 @@ pub trait SatBackend: ClauseSink {
         let _ = config;
     }
 
+    /// Requests a portfolio of `width` diversified workers, if the backend
+    /// races one. The default is a no-op: single-threaded backends simply
+    /// ignore the hint, so callers can thread a route request's
+    /// parallelism hint through without knowing the backend's shape.
+    /// Portfolio backends honor it only before clauses are loaded.
+    fn set_portfolio_width(&mut self, width: usize) {
+        let _ = width;
+    }
+
     /// Number of variables created so far.
     fn num_vars(&self) -> usize;
 

@@ -58,7 +58,7 @@ pub use budget::{CancelToken, ResourceBudget};
 pub use clause::ClauseRef;
 pub use config::{PhaseInit, SolverConfig};
 pub use lit::{LBool, Lit, Var};
-pub use portfolio::PortfolioBackend;
+pub use portfolio::{auto_width, auto_width_for_jobs, PortfolioBackend, MAX_AUTO_WIDTH};
 pub use solver::{SolveResult, Solver};
 pub use stats::Stats;
 pub use telemetry::SolverTelemetry;

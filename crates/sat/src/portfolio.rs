@@ -1,15 +1,25 @@
-//! Diversified portfolio solving: N workers race on clones of the formula.
+//! Diversified portfolio solving: runtime-sized worker races on clones of
+//! the formula.
 //!
-//! [`PortfolioBackend<B, N>`] wraps `N` instances of any [`SatBackend`]
-//! and implements [`SatBackend`] itself, so it drops into every generic
-//! consumer (the MaxSAT engine, the SATMAP routers, the OLSQ baselines)
-//! without touching their call sites. Clause and variable traffic is
-//! mirrored into every worker; each `solve_under_assumptions` call races
-//! the workers on OS threads ([`std::thread::scope`], no extra
+//! [`PortfolioBackend<B>`] wraps a runtime-chosen number of instances of
+//! any [`SatBackend`] and implements [`SatBackend`] itself, so it drops
+//! into every generic consumer (the MaxSAT engine, the SATMAP routers, the
+//! OLSQ baselines) without touching their call sites. Clause and variable
+//! traffic is mirrored into every worker; each `solve_under_assumptions`
+//! call races the workers on OS threads ([`std::thread::scope`], no extra
 //! dependencies), takes the **first definitive** `Sat`/`Unsat` answer, and
 //! cancels the peers through a [`crate::CancelToken`] child of the caller's
 //! budget — so cancelling the caller's budget still tears down every
 //! worker, and a worker can never outlive the budget it descended from.
+//!
+//! The worker count (*width*) is a runtime value, not a type parameter:
+//! [`PortfolioBackend::with_width`] picks it explicitly (e.g.
+//! `with_width(auto_width())` to size from the machine), and
+//! [`SatBackend::set_portfolio_width`] lets callers (the MaxSAT engine
+//! acting on a route request's parallelism hint) resize a freshly created
+//! backend before any clauses are loaded; [`PortfolioBackend::default`]
+//! starts at width 1 so that path stays cheap. Width 1 solves inline on
+//! the calling thread — no spawn, no race overhead.
 //!
 //! Workers are diversified deterministically via
 //! [`SolverConfig::diversified`]: worker 0 always runs the undiversified
@@ -22,7 +32,7 @@
 //! ```
 //! use sat::{ClauseSink, PortfolioBackend, DefaultBackend, ResourceBudget, SatBackend, SolveResult};
 //!
-//! let mut portfolio = PortfolioBackend::<DefaultBackend, 4>::default();
+//! let mut portfolio = PortfolioBackend::<DefaultBackend>::with_width(4);
 //! let a = portfolio.new_var().positive();
 //! SatBackend::add_clause(&mut portfolio, &[a]);
 //! let r = portfolio.solve_under_assumptions(&[], &ResourceBudget::unlimited());
@@ -40,26 +50,67 @@ use crate::lit::{Lit, Var};
 use crate::solver::SolveResult;
 use crate::stats::Stats;
 
-/// A portfolio of `N` diversified [`SatBackend`] workers racing per call.
+/// Upper bound on the automatically chosen portfolio width: the solver
+/// ships four diversification presets, and widths past twice that only
+/// cycle presets with fresh seeds for rapidly diminishing returns.
+pub const MAX_AUTO_WIDTH: usize = 8;
+
+/// Automatic portfolio width when `jobs` solver-bearing tasks run
+/// concurrently in this process: the available cores split across the
+/// jobs, clamped to `1..=`[`MAX_AUTO_WIDTH`].
+pub fn auto_width_for_jobs(jobs: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    (cores / jobs.max(1)).clamp(1, MAX_AUTO_WIDTH)
+}
+
+/// Automatic portfolio width for this process:
+/// [`std::thread::available_parallelism`] shrunk by the `SATMAP_JOBS`
+/// worker count when an experiment sweep already saturates the cores
+/// (closing the loop the suite runner opens with `--jobs`).
+pub fn auto_width() -> usize {
+    let jobs = std::env::var("SATMAP_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n: &usize| n >= 1)
+        .unwrap_or(1);
+    auto_width_for_jobs(jobs)
+}
+
+/// A portfolio of diversified [`SatBackend`] workers racing per call.
 ///
-/// `N` is a compile-time constant so portfolio sizing is part of the type
-/// a consumer names (e.g. `SatMap<PortfolioBackend<DefaultBackend, 4>>`),
-/// and must be at least 1.
+/// The width is chosen at runtime — explicitly via
+/// [`PortfolioBackend::with_width`], from the machine via
+/// [`PortfolioBackend::default`], or per request via
+/// [`SatBackend::set_portfolio_width`] before clauses are loaded.
 #[derive(Debug)]
-pub struct PortfolioBackend<B: SatBackend = DefaultBackend, const N: usize = 4> {
+pub struct PortfolioBackend<B: SatBackend = DefaultBackend> {
     workers: Vec<B>,
     /// Per-worker counters merged after every race, plus the last winner.
     merged: Stats,
     /// Index of the worker whose model/core answer the accessors serve.
     winner: usize,
     /// Count of races won per worker (diagnostic; survives across calls).
-    wins: [u64; N],
+    wins: Vec<u64>,
 }
 
-impl<B: SatBackend + Default, const N: usize> Default for PortfolioBackend<B, N> {
+impl<B: SatBackend + Default> Default for PortfolioBackend<B> {
+    /// A width-1 portfolio (serial, zero racing overhead). Generic
+    /// consumers construct backends via `B::default()` and then apply the
+    /// caller's width through [`SatBackend::set_portfolio_width`], so the
+    /// default stays cheap instead of eagerly building [`auto_width`]
+    /// workers that an explicit width would immediately discard.
     fn default() -> Self {
-        assert!(N >= 1, "a portfolio needs at least one worker");
-        let workers = (0..N)
+        Self::with_width(1)
+    }
+}
+
+impl<B: SatBackend + Default> PortfolioBackend<B> {
+    /// A portfolio of `width` diversified workers (clamped to at least 1).
+    pub fn with_width(width: usize) -> Self {
+        let width = width.max(1);
+        let workers = (0..width)
             .map(|i| {
                 let mut w = B::default();
                 w.configure(&SolverConfig::diversified(i));
@@ -70,19 +121,19 @@ impl<B: SatBackend + Default, const N: usize> Default for PortfolioBackend<B, N>
             workers,
             merged: Stats::default(),
             winner: 0,
-            wins: [0; N],
+            wins: vec![0; width],
         }
     }
 }
 
-impl<B: SatBackend, const N: usize> PortfolioBackend<B, N> {
+impl<B: SatBackend> PortfolioBackend<B> {
     /// Number of workers in the portfolio.
     pub fn num_workers(&self) -> usize {
-        N
+        self.workers.len()
     }
 
     /// How many races each worker has won so far.
-    pub fn wins(&self) -> &[u64; N] {
+    pub fn wins(&self) -> &[u64] {
         &self.wins
     }
 
@@ -97,10 +148,10 @@ impl<B: SatBackend, const N: usize> PortfolioBackend<B, N> {
     }
 }
 
-impl<B: SatBackend, const N: usize> ClauseSink for PortfolioBackend<B, N> {
+impl<B: SatBackend> ClauseSink for PortfolioBackend<B> {
     fn new_var(&mut self) -> Var {
         let mut it = self.workers.iter_mut();
-        let v = it.next().expect("N >= 1 worker").new_var();
+        let v = it.next().expect("width >= 1 worker").new_var();
         for w in it {
             let v2 = w.new_var();
             debug_assert_eq!(v2, v, "workers must allocate variables in lockstep");
@@ -115,7 +166,7 @@ impl<B: SatBackend, const N: usize> ClauseSink for PortfolioBackend<B, N> {
     }
 }
 
-impl<B: SatBackend + Send, const N: usize> SatBackend for PortfolioBackend<B, N> {
+impl<B: SatBackend + Send + Default> SatBackend for PortfolioBackend<B> {
     fn backend_name(&self) -> &'static str {
         "portfolio"
     }
@@ -131,6 +182,16 @@ impl<B: SatBackend + Send, const N: usize> SatBackend for PortfolioBackend<B, N>
                 c.seed ^= config.seed;
                 w.configure(&c);
             }
+        }
+    }
+
+    fn set_portfolio_width(&mut self, width: usize) {
+        // Only a pristine portfolio can be resized: once variables or
+        // clauses were mirrored into the workers, rebuilding would lose
+        // them. Callers set the width right after construction (the MaxSAT
+        // engine does so before loading the instance).
+        if self.num_vars() == 0 && width.max(1) != self.workers.len() {
+            *self = Self::with_width(width);
         }
     }
 
@@ -157,6 +218,19 @@ impl<B: SatBackend + Send, const N: usize> SatBackend for PortfolioBackend<B, N>
         assumptions: &[Lit],
         budget: &ResourceBudget,
     ) -> SolveResult {
+        // Width 1: no race to run — solve inline on the calling thread.
+        if self.workers.len() == 1 {
+            let result = self.workers[0].solve_under_assumptions(assumptions, budget);
+            if matches!(result, SolveResult::Sat | SolveResult::Unsat) {
+                self.winner = 0;
+                self.wins[0] += 1;
+                self.refresh_stats(Some(0));
+            } else {
+                self.refresh_stats(None);
+            }
+            return result;
+        }
+
         // Arm once so every worker shares the same absolute deadline, then
         // derive the race token as a child of any inherited token: the
         // caller cancelling its budget still stops all workers.
@@ -225,7 +299,7 @@ mod tests {
     use super::*;
     use std::time::Duration;
 
-    type P4 = PortfolioBackend<DefaultBackend, 4>;
+    type Portfolio = PortfolioBackend<DefaultBackend>;
 
     fn lit(d: i64) -> Lit {
         Lit::from_dimacs(d)
@@ -251,7 +325,7 @@ mod tests {
     #[test]
     fn sat_and_unsat_answers_match_default_backend() {
         // SAT case with incremental reuse.
-        let mut p = P4::default();
+        let mut p = Portfolio::with_width(4);
         let a = ClauseSink::new_var(&mut p).positive();
         let b = ClauseSink::new_var(&mut p).positive();
         SatBackend::add_clause(&mut p, &[a, b]);
@@ -275,7 +349,7 @@ mod tests {
 
     #[test]
     fn unsat_core_flows_from_winner() {
-        let mut p = P4::default();
+        let mut p = Portfolio::with_width(4);
         let a = ClauseSink::new_var(&mut p).positive();
         let b = ClauseSink::new_var(&mut p).positive();
         SatBackend::add_clause(&mut p, &[a, b]);
@@ -286,14 +360,14 @@ mod tests {
     }
 
     #[test]
-    fn hard_unsat_instance_agrees_across_sizes() {
-        let mut single = PortfolioBackend::<DefaultBackend, 1>::default();
+    fn hard_unsat_instance_agrees_across_widths() {
+        let mut single = Portfolio::with_width(1);
         pigeonhole(&mut single, 4, 3);
         assert_eq!(
             single.solve_under_assumptions(&[], &ResourceBudget::unlimited()),
             SolveResult::Unsat
         );
-        let mut p = P4::default();
+        let mut p = Portfolio::with_width(4);
         pigeonhole(&mut p, 4, 3);
         assert_eq!(
             p.solve_under_assumptions(&[], &ResourceBudget::unlimited()),
@@ -303,13 +377,52 @@ mod tests {
     }
 
     #[test]
+    fn width_one_solves_inline_and_reports_winner() {
+        let mut p = Portfolio::with_width(1);
+        assert_eq!(p.num_workers(), 1);
+        let a = ClauseSink::new_var(&mut p).positive();
+        SatBackend::add_clause(&mut p, &[a]);
+        assert_eq!(
+            p.solve_under_assumptions(&[], &ResourceBudget::unlimited()),
+            SolveResult::Sat
+        );
+        assert_eq!(p.stats().last_winner, Some(0));
+        assert_eq!(p.wins(), &[1]);
+    }
+
+    #[test]
+    fn set_width_resizes_only_pristine_portfolios() {
+        let mut p = Portfolio::with_width(2);
+        p.set_portfolio_width(5);
+        assert_eq!(p.num_workers(), 5, "pristine portfolio resizes");
+        p.set_portfolio_width(0);
+        assert_eq!(p.num_workers(), 1, "width clamps to at least 1");
+        let a = ClauseSink::new_var(&mut p).positive();
+        SatBackend::add_clause(&mut p, &[a]);
+        p.set_portfolio_width(4);
+        assert_eq!(p.num_workers(), 1, "loaded portfolio keeps its width");
+        assert_eq!(
+            p.solve_under_assumptions(&[], &ResourceBudget::unlimited()),
+            SolveResult::Sat
+        );
+    }
+
+    #[test]
+    fn default_is_serial_and_auto_width_is_machine_sized() {
+        assert_eq!(Portfolio::default().num_workers(), 1);
+        assert!((1..=MAX_AUTO_WIDTH).contains(&auto_width()));
+        assert_eq!(auto_width_for_jobs(usize::MAX), 1);
+        assert!(auto_width_for_jobs(1) >= auto_width_for_jobs(2));
+    }
+
+    #[test]
     fn expired_budget_returns_unknown_and_stays_usable() {
-        let mut p = P4::default();
+        let mut p = Portfolio::with_width(4);
         pigeonhole(&mut p, 9, 8);
         let r = p.solve_under_assumptions(&[], &ResourceBudget::with_time(Duration::ZERO).arm());
         assert_eq!(r, SolveResult::Unknown);
         // A subsequent unlimited call still answers definitively.
-        let mut easy = P4::default();
+        let mut easy = Portfolio::with_width(4);
         let a = ClauseSink::new_var(&mut easy).positive();
         SatBackend::add_clause(&mut easy, &[a]);
         assert_eq!(
@@ -320,7 +433,7 @@ mod tests {
 
     #[test]
     fn parent_cancellation_stops_all_workers_promptly() {
-        let mut p = P4::default();
+        let mut p = Portfolio::with_width(4);
         pigeonhole(&mut p, 10, 9); // hard: would run far longer than the test
         let (budget, token) = ResourceBudget::unlimited().cancellable();
         let started = std::time::Instant::now();
@@ -342,7 +455,7 @@ mod tests {
 
     #[test]
     fn merged_stats_cover_all_workers() {
-        let mut p = P4::default();
+        let mut p = Portfolio::with_width(4);
         pigeonhole(&mut p, 4, 3);
         p.solve_under_assumptions(&[], &ResourceBudget::unlimited());
         let merged = *p.stats();

@@ -6,15 +6,18 @@
 
 use std::time::Duration;
 
-use circuit::{verify::verify, Router};
-use heuristics::Tket;
-use satmap::{SatMap, SatMapConfig};
+use circuit::{verify::verify, Parallelism, RouteRequest};
+use routers::RouterRegistry;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let budget = Duration::from_secs(5);
     let circuits: Vec<circuit::Circuit> = (0..4)
         .map(|seed| circuit::generators::random_local(8, 30, 7, 0.2, seed))
         .collect();
+
+    let registry = RouterRegistry::standard();
+    let satmap = registry.create("satmap")?;
+    let tket = registry.create("tket")?;
 
     println!(
         "{:<10} {:>10} {:>14} {:>12} {:>8}",
@@ -25,19 +28,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         arch::devices::tokyo(),
         arch::devices::tokyo_plus(),
     ] {
-        let satmap = SatMap::new(SatMapConfig::default().with_budget(budget));
-        let tket = Tket::default();
         let mut sm_total = 0usize;
         let mut tk_total = 0usize;
         let mut solved = 0usize;
         for c in &circuits {
+            // Per-request budget and machine-sized SAT portfolio.
+            let request = RouteRequest::new(c, &graph)
+                .with_budget(budget)
+                .with_parallelism(Parallelism::Auto);
             // Skip circuits SATMAP cannot finish within the budget (can
             // happen on loaded machines); the comparison uses the rest.
-            let Ok(sm) = satmap.route(c, &graph) else {
+            let Ok(sm) = satmap.route_request(&request).into_result() else {
                 continue;
             };
             verify(c, &graph, &sm).expect("verifies");
-            let tk = tket.route(c, &graph)?;
+            let tk = tket
+                .route_request(&RouteRequest::new(c, &graph).with_budget(budget))
+                .into_result()?;
             verify(c, &graph, &tk).expect("verifies");
             sm_total += sm.added_gates();
             tk_total += tk.added_gates();

@@ -1,12 +1,14 @@
 //! Noise-aware mapping (the paper's Q6): weighted MaxSAT maximizes output
 //! fidelity under a per-edge error model instead of minimizing swap count.
+//! The objective is a property of the request, so the same router serves
+//! both modes.
 //!
 //! Run with: `cargo run --release --example noise_aware`
 
 use std::time::Duration;
 
-use circuit::{verify::verify, Router};
-use satmap::{Objective, SatMap, SatMapConfig};
+use circuit::{verify::verify, Objective, RouteRequest};
+use routers::RouterRegistry;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let graph = arch::devices::tokyo();
@@ -15,15 +17,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let circuit = circuit::generators::random_local(5, 12, 4, 0.2, 7);
     let budget = Duration::from_secs(10);
 
-    let swap_min = SatMap::new(SatMapConfig::default().with_budget(budget));
-    let fid_max = SatMap::new(SatMapConfig {
-        objective: Objective::Fidelity(noise.clone()),
-        ..SatMapConfig::default().with_budget(budget)
-    });
+    let router = RouterRegistry::standard().create("satmap")?;
+    let swap_request = RouteRequest::new(&circuit, &graph).with_budget(budget);
+    let fid_request = RouteRequest::new(&circuit, &graph)
+        .with_budget(budget)
+        .with_objective(Objective::Fidelity(noise.clone()));
 
-    let a = swap_min.route(&circuit, &graph)?;
+    let a = router.route_request(&swap_request).into_result()?;
     verify(&circuit, &graph, &a).expect("verifies");
-    let b = fid_max.route(&circuit, &graph)?;
+    let b = router.route_request(&fid_request).into_result()?;
     verify(&circuit, &graph, &b).expect("verifies");
 
     let li_a = a.log_infidelity(&circuit, &graph, &noise);

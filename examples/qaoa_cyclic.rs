@@ -2,13 +2,16 @@
 //! (CYC-SATMAP) and compare against plain SATMAP and the TKET-like
 //! heuristic — the paper's Table IV experiment in miniature.
 //!
+//! The repeated structure is declared on the request
+//! ([`circuit::RepeatedStructure`]); the other routers see the flat gate
+//! list of the very same circuit.
+//!
 //! Run with: `cargo run --release --example qaoa_cyclic`
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use circuit::{qaoa, verify::verify, Circuit, Router};
-use heuristics::Tket;
-use satmap::{CyclicSatMap, SatMap, SatMapConfig};
+use circuit::{qaoa, verify::verify, Circuit, RepeatedStructure, RouteRequest};
+use routers::RouterRegistry;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (n, cycles, seed) = (8usize, 2usize, 8u64);
@@ -18,48 +21,57 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Build the repeated structure: H layer + `cycles` copies of C_{γ,β}.
     let edges = qaoa::three_regular_graph(n, seed);
     let sub = qaoa::qaoa_subcircuit(n, &edges, 0.4, 0.3);
-    let mut prefix = Circuit::new(n);
+    let mut full = Circuit::named("qaoa", n);
     for q in 0..n {
-        prefix.h(q);
+        full.h(q);
     }
+    let prefix_len = full.len();
+    for _ in 0..cycles {
+        full.extend_from(&sub);
+    }
+
+    let registry = RouterRegistry::standard();
 
     // CYC-SATMAP: solve the subcircuit once with final map = initial map,
     // then stitch copies (Section VI of the paper).
-    let cyc = CyclicSatMap::new(SatMapConfig::default().with_budget(budget));
-    let t = Instant::now();
-    let (full, routed) = cyc.route_repeated(&prefix, &sub, cycles, &graph)?;
-    let cyc_time = t.elapsed();
-    verify(&full, &graph, &routed).expect("verifies");
+    let cyc = registry.create("cyc-satmap")?;
+    let request = RouteRequest::new(&full, &graph)
+        .with_budget(budget)
+        .with_repetition(RepeatedStructure { prefix_len, cycles });
+    let outcome = cyc.route_request(&request);
+    let routed = outcome.routed().ok_or("cyclic routing failed")?;
+    verify(&full, &graph, routed).expect("verifies");
     println!(
         "CYC-SATMAP: cost {:>3} added gates in {:.2?} ({} 2q gates total)",
         routed.added_gates(),
-        cyc_time,
+        outcome.wall_time(),
         full.num_two_qubit_gates()
     );
 
     // Plain SATMAP on the whole unrolled circuit.
-    let sm = SatMap::new(SatMapConfig::default().with_budget(budget));
-    let t = Instant::now();
-    match sm.route(&full, &graph) {
+    let sm = registry.create("satmap")?;
+    let sm_outcome = sm.route_request(&RouteRequest::new(&full, &graph).with_budget(budget));
+    match sm_outcome.result() {
         Ok(r) => {
-            verify(&full, &graph, &r).expect("verifies");
+            verify(&full, &graph, r).expect("verifies");
             println!(
                 "SATMAP:     cost {:>3} added gates in {:.2?}",
                 r.added_gates(),
-                t.elapsed()
+                sm_outcome.wall_time()
             );
         }
-        Err(e) => println!("SATMAP:     {e} after {:.2?}", t.elapsed()),
+        Err(e) => println!("SATMAP:     {e} after {:.2?}", sm_outcome.wall_time()),
     }
 
     // TKET-like heuristic.
-    let t = Instant::now();
-    let tket = Tket::default().route(&full, &graph)?;
-    verify(&full, &graph, &tket).expect("verifies");
+    let tket = registry.create("tket")?;
+    let tk_outcome = tket.route_request(&RouteRequest::new(&full, &graph).with_budget(budget));
+    let tk = tk_outcome.routed().ok_or("tket failed")?;
+    verify(&full, &graph, tk).expect("verifies");
     println!(
         "TKET:       cost {:>3} added gates in {:.2?}",
-        tket.added_gates(),
-        t.elapsed()
+        tk.added_gates(),
+        tk_outcome.wall_time()
     );
 
     Ok(())

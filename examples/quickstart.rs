@@ -1,10 +1,12 @@
-//! Quickstart: map a small logical circuit onto the IBM Q20 Tokyo device
-//! with SATMAP and verify the result.
+//! Quickstart: map a small logical circuit onto a device with SATMAP,
+//! through the request/response routing API, and verify the result.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use circuit::{verify::verify, Circuit, Router};
-use satmap::{SatMap, SatMapConfig};
+use std::time::Duration;
+
+use circuit::{verify::verify, Circuit, RouteRequest};
+use routers::RouterRegistry;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The paper's running example (Fig. 3a): q0 interacts with q1, q2, q3.
@@ -18,9 +20,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let device = arch::ConnectivityGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
 
     // NL-SATMAP: one monolithic MaxSAT problem, provably optimal routing.
-    let router = SatMap::new(SatMapConfig::monolithic());
-    let routed = router.route(&logical, &device)?;
-    verify(&logical, &device, &routed).expect("independent verifier accepts");
+    // The registry constructs any router by name; the request carries the
+    // per-call budget.
+    let registry = RouterRegistry::standard();
+    let router = registry.create("nl-satmap")?;
+    let request = RouteRequest::new(&logical, &device).with_budget(Duration::from_secs(30));
+    let outcome = router.route_request(&request);
+    let routed = outcome.routed().ok_or("routing failed")?;
+    verify(&logical, &device, routed).expect("independent verifier accepts");
 
     println!(
         "initial map (logical -> physical): {:?}",
@@ -28,6 +35,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("inserted SWAPs: {}", routed.swap_count());
     println!("added CNOT gates (3 per SWAP): {}", routed.added_gates());
+    println!(
+        "solved in {:.2?} with {} SAT calls",
+        outcome.wall_time(),
+        outcome.telemetry().sat_calls
+    );
     for op in routed.ops() {
         match op {
             circuit::RoutedOp::Logical(k) => println!("  gate {k}: {:?}", logical.gates()[*k]),
@@ -38,7 +50,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The same circuit on the 20-qubit Tokyo device needs no swaps at all.
     let tokyo = arch::devices::tokyo();
-    let routed_tokyo = router.route(&logical, &tokyo)?;
+    let request = RouteRequest::new(&logical, &tokyo).with_budget(Duration::from_secs(30));
+    let routed_tokyo = router.route_request(&request).into_result()?;
     println!(
         "\non IBM Q20 Tokyo: {} swaps (dense connectivity)",
         routed_tokyo.swap_count()

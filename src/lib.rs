@@ -10,6 +10,7 @@
 //! * [`satmap`] — the paper's contribution (encoding + relaxations);
 //! * [`heuristics`] — SABRE / TKET-like / A* baselines;
 //! * [`olsq`] — EX-MQT / TB-OLSQ constraint-based baselines;
+//! * [`routers`] — name-indexed registry constructing any router;
 //! * [`experiments`] — table/figure regeneration harness.
 
 pub use arch;
@@ -18,5 +19,6 @@ pub use experiments;
 pub use heuristics;
 pub use maxsat;
 pub use olsq;
+pub use routers;
 pub use sat;
 pub use satmap;

@@ -1,21 +1,20 @@
 //! Cross-crate integration tests: QASM → encoding → MaxSAT → routed
-//! circuit → independent verifier, across all routers in the repository.
+//! circuit → independent verifier, across all routers in the registry.
 
-use circuit::{qasm, verify::verify, Circuit, Router};
-use heuristics::{AStar, Sabre, Tket};
-use olsq::{Exhaustive, Transition};
-use satmap::{SatMap, SatMapConfig};
+use circuit::{qasm, verify::verify, Circuit, RouteRequest, Slicing};
+use routers::{BoxedRouter, RouterRegistry};
 
-fn all_routers() -> Vec<Box<dyn Router>> {
-    vec![
-        Box::new(SatMap::new(SatMapConfig::monolithic())),
-        Box::new(SatMap::new(SatMapConfig::sliced(3))),
-        Box::new(Sabre::default()),
-        Box::new(Tket::default()),
-        Box::new(AStar::default()),
-        Box::new(Exhaustive::default()),
-        Box::new(Transition::default()),
-    ]
+fn all_routers() -> Vec<BoxedRouter> {
+    let registry = RouterRegistry::standard();
+    registry
+        .names()
+        .into_iter()
+        .map(|name| registry.create(name).expect("registered"))
+        .collect()
+}
+
+fn create(name: &str) -> BoxedRouter {
+    RouterRegistry::standard().create(name).expect("registered")
 }
 
 #[test]
@@ -45,13 +44,15 @@ cx q[0],q[4];
 
 #[test]
 fn optimal_tools_agree_on_swap_count() {
-    // On small instances all three exact encodings must find the same
+    // On small instances all the exact encodings must find the same
     // optimal swap count (they share the n = 1 swaps-per-gap semantics).
+    let nl_satmap = create("nl-satmap");
+    let exhaustive = create("olsq");
     for seed in 0..4u64 {
         let circuit = circuit::generators::random_local(4, 6, 3, 0.0, seed);
         let graph = arch::devices::linear(4);
-        let satmap = SatMap::new(SatMapConfig::monolithic()).route(&circuit, &graph);
-        let exq = Exhaustive::default().route(&circuit, &graph);
+        let satmap = nl_satmap.route(&circuit, &graph);
+        let exq = exhaustive.route(&circuit, &graph);
         match (satmap, exq) {
             (Ok(a), Ok(b)) => {
                 verify(&circuit, &graph, &a).expect("satmap verifies");
@@ -76,17 +77,15 @@ fn satmap_never_worse_than_heuristics_on_small_optimal_instances() {
     // Optimality claim: on instances SATMAP solves to optimality, no
     // heuristic can beat it.
     let graph = arch::devices::tokyo_minus();
+    let nl_satmap = create("nl-satmap");
     for seed in 0..4u64 {
         let circuit = circuit::generators::random_local(5, 8, 4, 0.1, seed);
-        let sm = SatMap::new(SatMapConfig::monolithic())
+        let sm = nl_satmap
             .route(&circuit, &graph)
             .expect("satmap solves small instances");
         verify(&circuit, &graph, &sm).expect("verifies");
-        for h in [
-            Box::new(Sabre::default()) as Box<dyn Router>,
-            Box::new(Tket::default()),
-            Box::new(AStar::default()),
-        ] {
+        for name in ["sabre", "tket", "astar"] {
+            let h = create(name);
             let routed = h.route(&circuit, &graph).expect("heuristic solves");
             verify(&circuit, &graph, &routed).expect("verifies");
             assert!(
@@ -106,11 +105,8 @@ fn suite_benchmarks_route_and_verify_with_heuristics() {
     let graph = arch::devices::tokyo();
     let suite = circuit::suite::suite();
     for bench in suite.iter().take(12) {
-        for h in [
-            Box::new(Sabre::default()) as Box<dyn Router>,
-            Box::new(Tket::default()),
-            Box::new(AStar::default()),
-        ] {
+        for name in ["sabre", "tket", "astar"] {
+            let h = create(name);
             let routed = h
                 .route(&bench.circuit, &graph)
                 .unwrap_or_else(|e| panic!("{} on {}: {e}", h.name(), bench.name));
@@ -127,8 +123,9 @@ fn qasm_round_trip_preserves_routability() {
     let reparsed = qasm::parse(&text).expect("round trips");
     assert_eq!(original.gates(), reparsed.gates());
     let graph = arch::devices::tokyo();
-    let a = Tket::default().route(&original, &graph).expect("routes");
-    let b = Tket::default().route(&reparsed, &graph).expect("routes");
+    let tket = create("tket");
+    let a = tket.route(&original, &graph).expect("routes");
+    let b = tket.route(&reparsed, &graph).expect("routes");
     assert_eq!(a, b, "routing is a function of the parsed circuit");
 }
 
@@ -137,15 +134,17 @@ fn sliced_routing_matches_paper_cost_metric() {
     // added_gates is always 3 × swap_count.
     let circuit = circuit::generators::random_local(6, 20, 5, 0.3, 11);
     let graph = arch::devices::tokyo_minus();
-    let routed = SatMap::new(SatMapConfig::sliced(5))
-        .route(&circuit, &graph)
-        .expect("solves");
-    verify(&circuit, &graph, &routed).expect("verifies");
+    let outcome = create("satmap")
+        .route_request(&RouteRequest::new(&circuit, &graph).with_slicing(Slicing::Sliced(5)));
+    let routed = outcome.routed().expect("solves");
+    verify(&circuit, &graph, routed).expect("verifies");
     assert_eq!(routed.added_gates(), 3 * routed.swap_count());
 }
 
 #[test]
 fn empty_and_one_qubit_circuits() {
+    // Gate-free circuits (with qubits) are valid requests and route with
+    // zero swaps; only *zero-qubit* circuits are rejected as invalid.
     let graph = arch::devices::linear(3);
     let empty = Circuit::new(2);
     let mut h_only = Circuit::new(2);

@@ -1,16 +1,16 @@
-//! Cross-layer tests of the parallel solving subsystem: the diversified
-//! SAT portfolio against the default backend on the paper's workloads,
+//! Cross-layer tests of the parallel solving subsystem: request-time
+//! portfolio sizing against serial solving on the paper's workloads,
 //! cooperative cancellation through the budget-inheritance chain, and the
 //! multi-core experiment runner's determinism.
 
 use std::time::{Duration, Instant};
 
-use circuit::{verify::verify, Circuit, Router};
+use circuit::{verify::verify, Circuit, Parallelism, RouteRequest, RouteSpec, Slicing};
 use experiments::runner::{run_suite, run_tool};
+use routers::RouterRegistry;
 use sat::{
     CancelToken, DefaultBackend, Lit, PortfolioBackend, ResourceBudget, SatBackend, SolveResult,
 };
-use satmap::{PortfolioSatMap, SatMap, SatMapConfig};
 
 /// The paper's Fig. 3a running example.
 fn fig3() -> Circuit {
@@ -37,24 +37,32 @@ fn small_workloads() -> Vec<(String, Circuit)> {
 }
 
 #[test]
-fn portfolio_routing_costs_match_default_backend() {
-    // Both routers solve to optimality (unlimited budget), so the SWAP
+fn portfolio_routing_costs_match_serial_requests() {
+    // The same registry router serves a serial and a 4-wide-portfolio
+    // request; both solve to optimality (unlimited budget), so the SWAP
     // counts must be identical: the portfolio changes the wall-clock route
     // to the optimum, never the optimum itself.
     let graph = arch::devices::tokyo_minus();
-    let single = SatMap::new(SatMapConfig::monolithic());
-    let portfolio = PortfolioSatMap::with_backend(SatMapConfig::monolithic());
+    let router = RouterRegistry::standard()
+        .create("nl-satmap")
+        .expect("registered");
     for (name, circuit) in small_workloads() {
-        let s = single
-            .route(&circuit, &graph)
-            .unwrap_or_else(|e| panic!("{name}: single failed: {e}"));
-        let p = portfolio
-            .route(&circuit, &graph)
+        let serial = router
+            .route_request(
+                &RouteRequest::new(&circuit, &graph).with_parallelism(Parallelism::Serial),
+            )
+            .into_result()
+            .unwrap_or_else(|e| panic!("{name}: serial failed: {e}"));
+        let wide = router
+            .route_request(
+                &RouteRequest::new(&circuit, &graph).with_parallelism(Parallelism::Width(4)),
+            )
+            .into_result()
             .unwrap_or_else(|e| panic!("{name}: portfolio failed: {e}"));
-        verify(&circuit, &graph, &p).unwrap_or_else(|e| panic!("{name}: unverified: {e}"));
+        verify(&circuit, &graph, &wide).unwrap_or_else(|e| panic!("{name}: unverified: {e}"));
         assert_eq!(
-            s.added_gates(),
-            p.added_gates(),
+            serial.added_gates(),
+            wide.added_gates(),
             "{name}: portfolio must reproduce the optimal cost"
         );
     }
@@ -63,14 +71,20 @@ fn portfolio_routing_costs_match_default_backend() {
 #[test]
 fn portfolio_telemetry_reports_winner_through_the_stack() {
     let graph = arch::devices::tokyo_minus();
-    let router = PortfolioSatMap::with_backend(SatMapConfig::monolithic());
-    let (result, telemetry) = router.route_with_telemetry(&fig3(), &graph);
-    result.expect("fig3 routes");
-    assert!(telemetry.sat_calls > 0);
+    let router = RouterRegistry::standard()
+        .create("nl-satmap")
+        .expect("registered");
+    let circuit = fig3();
+    let request = RouteRequest::new(&circuit, &graph).with_parallelism(Parallelism::Width(4));
+    let outcome = router.route_request(&request);
+    assert!(outcome.solved(), "fig3 routes");
+    assert!(outcome.telemetry().sat_calls > 0);
     assert!(
-        telemetry.winning_worker.is_some(),
-        "the winning worker index must flow up into telemetry: {telemetry}"
+        outcome.telemetry().winning_worker.is_some(),
+        "the winning worker index must flow up into telemetry: {}",
+        outcome.telemetry()
     );
+    assert_eq!(outcome.diagnostic("portfolio_width"), Some("4"));
 }
 
 /// Hard pigeonhole clauses: would run far longer than any test timeout.
@@ -97,7 +111,7 @@ fn cancellation_kills_workers_mid_search_without_panic() {
     // and still charge the effort spent to the merged statistics.
     let started = Instant::now();
     for round in 0..5u64 {
-        let mut p = PortfolioBackend::<DefaultBackend, 3>::default();
+        let mut p = PortfolioBackend::<DefaultBackend>::with_width(3);
         load_pigeonhole(&mut p, 10, 9);
         let (budget, token) = ResourceBudget::unlimited().cancellable();
         std::thread::scope(|s| {
@@ -126,7 +140,7 @@ fn child_worker_cannot_outlive_parent_budget() {
     // portfolio, even though each worker armed its own child budget.
     let (parent, parent_token) = ResourceBudget::unlimited().cancellable();
     let (child, _child_token) = parent.cancellable();
-    let mut p = PortfolioBackend::<DefaultBackend, 2>::default();
+    let mut p = PortfolioBackend::<DefaultBackend>::with_width(2);
     load_pigeonhole(&mut p, 10, 9);
     let started = Instant::now();
     std::thread::scope(|s| {
@@ -187,9 +201,18 @@ fn jobs_4_runner_rows_match_jobs_1() {
         .map(|(name, circuit)| circuit::suite::Benchmark { name, circuit })
         .collect();
     let graph = arch::devices::tokyo();
-    let router = SatMap::new(SatMapConfig::sliced(4));
-    let serial = run_suite(&router, &suite, &graph, 1);
-    let parallel = run_suite(&router, &suite, &graph, 4);
+    let router = RouterRegistry::standard()
+        .create("satmap")
+        .expect("registered");
+    let spec = RouteSpec {
+        slicing: Slicing::Sliced(4),
+        // Auto resolves against the job count inside run_suite — the
+        // budget-aware portfolio sizing under test here.
+        parallelism: Parallelism::Auto,
+        ..RouteSpec::default()
+    };
+    let serial = run_suite(&*router, &suite, &graph, &spec, 1);
+    let parallel = run_suite(&*router, &suite, &graph, &spec, 4);
     let rows = |outcomes: &[experiments::runner::RunOutcome]| -> Vec<String> {
         outcomes
             .iter()
@@ -203,7 +226,7 @@ fn jobs_4_runner_rows_match_jobs_1() {
     );
     // And the parallel path agrees with the plain single-instance API.
     for (bench, row) in suite.iter().zip(&parallel) {
-        let direct = run_tool(&router, bench, &graph);
+        let direct = run_tool(&*router, bench, &graph, &spec);
         assert_eq!(direct.cost, row.cost, "{}", bench.name);
     }
 }

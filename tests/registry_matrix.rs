@@ -1,0 +1,133 @@
+//! Registry matrix test (the acceptance surface of the routing API
+//! redesign): every registered router is constructed *by name*, routes the
+//! paper's Fig. 3 running example plus one 8-qubit suite instance through
+//! a [`circuit::RouteRequest`], and every claimed solution goes through
+//! the independent verifier. Unknown names must fail with a listing of
+//! the valid ones.
+
+use std::time::Duration;
+
+use circuit::{verify::verify, Circuit, RouteError, RouteRequest, Slicing};
+use routers::RouterRegistry;
+
+/// The paper's Fig. 3a running example.
+fn fig3() -> Circuit {
+    let mut c = Circuit::new(4);
+    c.cx(0, 1);
+    c.cx(0, 2);
+    c.cx(3, 2);
+    c.cx(0, 3);
+    c
+}
+
+/// One 8-qubit instance from the paper-scale benchmark suite.
+fn suite_8q() -> circuit::suite::Benchmark {
+    circuit::suite::suite()
+        .into_iter()
+        .find(|b| b.circuit.num_qubits() == 8)
+        .expect("the suite spans 3..=16 qubits")
+}
+
+#[test]
+fn every_registered_router_solves_fig3_by_name() {
+    let registry = RouterRegistry::standard();
+    let circuit = fig3();
+    // Fig. 3b is a 4-qubit path, so the example needs a real swap.
+    let graph = arch::ConnectivityGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+    for name in registry.names() {
+        let router = registry.create(name).expect("registered name constructs");
+        let request = RouteRequest::new(&circuit, &graph).with_budget(Duration::from_secs(60));
+        let outcome = router.route_request(&request);
+        let routed = outcome
+            .routed()
+            .unwrap_or_else(|| panic!("{name}: {:?}", outcome.error()));
+        verify(&circuit, &graph, routed).unwrap_or_else(|e| panic!("{name} unverified: {e}"));
+        assert!(
+            routed.swap_count() >= 1,
+            "{name}: Fig. 3 needs at least one swap on the path"
+        );
+        assert_eq!(outcome.router(), router.name());
+        assert!(outcome.wall_time() > Duration::ZERO);
+    }
+}
+
+#[test]
+fn every_registered_router_handles_an_8_qubit_suite_instance() {
+    let registry = RouterRegistry::standard();
+    let bench = suite_8q();
+    let graph = arch::devices::tokyo();
+    for name in registry.names() {
+        let router = registry.create(name).expect("registered name constructs");
+        // A small slice keeps the SAT encodings tractable on debug builds;
+        // the budget bounds the exact tools, whose whole point (the
+        // paper's Q1) is that they do *not* scale to such instances.
+        let request = RouteRequest::new(&bench.circuit, &graph)
+            .with_budget(Duration::from_secs(4))
+            .with_slicing(Slicing::Sliced(8));
+        let outcome = router.route_request(&request);
+        match outcome.result() {
+            Ok(routed) => {
+                verify(&bench.circuit, &graph, routed)
+                    .unwrap_or_else(|e| panic!("{name} on {}: {e}", bench.name));
+            }
+            Err(RouteError::Timeout) => {
+                // The exact baselines are allowed to exhaust the budget —
+                // but the effort must still be reported.
+                assert!(
+                    outcome.telemetry().sat_calls > 0
+                        || outcome.telemetry().encode_time > Duration::ZERO,
+                    "{name}: timed out without reporting any effort"
+                );
+            }
+            Err(e) => panic!("{name} on {}: unexpected error {e}", bench.name),
+        }
+        // The pure heuristics must always solve it.
+        if matches!(name, "sabre" | "tket" | "astar") {
+            assert!(outcome.solved(), "{name} must solve the 8-qubit instance");
+        }
+    }
+}
+
+#[test]
+fn unknown_names_report_the_valid_listing() {
+    let registry = RouterRegistry::standard();
+    for bogus in ["qiskit", "SATMAP", ""] {
+        let err = match registry.create(bogus) {
+            Err(e) => e,
+            Ok(_) => panic!("'{bogus}' must not resolve"),
+        };
+        let msg = err.to_string();
+        for name in registry.names() {
+            assert!(
+                msg.contains(name),
+                "error for '{bogus}' must list {name}: {msg}"
+            );
+        }
+    }
+}
+
+#[test]
+fn malformed_requests_fail_typed_before_any_solving() {
+    let registry = RouterRegistry::standard();
+    let graph = arch::devices::linear(3);
+    let oversized = Circuit::new(9);
+    let zero_qubits = Circuit::new(0);
+    let mut disconnected_target = Circuit::new(3);
+    disconnected_target.cx(0, 2);
+    let disconnected = arch::ConnectivityGraph::from_edges(4, [(0, 1), (2, 3)]);
+    for name in registry.names() {
+        let router = registry.create(name).expect("constructs");
+        for (label, circuit, graph) in [
+            ("oversized", &oversized, &graph),
+            ("zero-qubit", &zero_qubits, &graph),
+            ("disconnected", &disconnected_target, &disconnected),
+        ] {
+            let outcome = router.route_request(&RouteRequest::new(circuit, graph));
+            assert!(
+                matches!(outcome.error(), Some(RouteError::InvalidRequest(_))),
+                "{name}/{label}: expected InvalidRequest, got {:?}",
+                outcome.result()
+            );
+        }
+    }
+}

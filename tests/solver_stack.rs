@@ -1,14 +1,13 @@
 //! Cross-layer tests of the unified solver stack: the paper's Fig. 3
-//! running example through *every* `Router` implementation, budget
-//! inheritance across nesting levels, and telemetry propagation.
+//! running example through *every* router (constructed by name from the
+//! registry), budget inheritance across nesting levels, and telemetry
+//! propagation through [`circuit::RouteOutcome`].
 
 use std::time::{Duration, Instant};
 
-use circuit::{verify::verify, Circuit, Router};
-use heuristics::{AStar, Sabre, Tket};
-use olsq::{Exhaustive, Transition};
+use circuit::{verify::verify, Circuit, RouteRequest, Slicing};
+use routers::{BoxedRouter, RouterRegistry};
 use sat::{ResourceBudget, SatBackend, SolveResult};
-use satmap::{CyclicSatMap, SatMap, SatMapConfig};
 
 /// The paper's Fig. 3a running example.
 fn fig3() -> Circuit {
@@ -20,18 +19,14 @@ fn fig3() -> Circuit {
     c
 }
 
-/// Every router in the repository, by its experiment-table name.
-fn every_router() -> Vec<Box<dyn Router>> {
-    vec![
-        Box::new(SatMap::new(SatMapConfig::sliced(2))), // SATMAP
-        Box::new(SatMap::new(SatMapConfig::monolithic())), // NL-SATMAP
-        Box::new(CyclicSatMap::new(SatMapConfig::monolithic())), // CYC-SATMAP
-        Box::new(Sabre::default()),
-        Box::new(Tket::default()),
-        Box::new(AStar::default()),
-        Box::new(Exhaustive::default()), // EX-MQT
-        Box::new(Transition::default()), // TB-OLSQ
-    ]
+/// Every router in the repository, by registry name.
+fn every_router() -> Vec<(&'static str, BoxedRouter)> {
+    let registry = RouterRegistry::standard();
+    registry
+        .names()
+        .into_iter()
+        .map(|name| (name, registry.create(name).expect("registered")))
+        .collect()
 }
 
 #[test]
@@ -41,11 +36,14 @@ fn fig3_routes_and_verifies_through_every_router() {
     // real swap.
     let graph = arch::ConnectivityGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
     let mut names = Vec::new();
-    for router in every_router() {
-        let routed = router
-            .route(&circuit, &graph)
-            .unwrap_or_else(|e| panic!("{} failed: {e}", router.name()));
-        verify(&circuit, &graph, &routed)
+    for (reg_name, router) in every_router() {
+        // The sliced relaxation, exercised through the request override.
+        let request = RouteRequest::new(&circuit, &graph).with_slicing(Slicing::Sliced(2));
+        let outcome = router.route_request(&request);
+        let routed = outcome
+            .routed()
+            .unwrap_or_else(|| panic!("{reg_name} failed: {:?}", outcome.error()));
+        verify(&circuit, &graph, routed)
             .unwrap_or_else(|e| panic!("{} unverified: {e}", router.name()));
         assert!(
             routed.swap_count() >= 1,
@@ -76,11 +74,14 @@ fn fig3_routes_and_verifies_through_every_router() {
 fn fig3_telemetry_flows_from_every_constraint_router() {
     let circuit = fig3();
     let graph = arch::devices::tokyo_minus();
-    for router in every_router() {
-        let (result, telemetry) = router.route_with_telemetry(&circuit, &graph);
-        let routed = result.unwrap_or_else(|e| panic!("{} failed: {e}", router.name()));
-        verify(&circuit, &graph, &routed)
+    for (reg_name, router) in every_router() {
+        let outcome = router.route_request(&RouteRequest::new(&circuit, &graph));
+        let routed = outcome
+            .routed()
+            .unwrap_or_else(|| panic!("{reg_name} failed: {:?}", outcome.error()));
+        verify(&circuit, &graph, routed)
             .unwrap_or_else(|e| panic!("{} unverified: {e}", router.name()));
+        let telemetry = outcome.telemetry();
         let is_heuristic = matches!(router.name(), "sabre" | "tket" | "mqth-astar");
         if is_heuristic {
             assert_eq!(
@@ -96,6 +97,10 @@ fn fig3_telemetry_flows_from_every_constraint_router() {
                 router.name()
             );
         }
+        assert!(
+            outcome.wall_time() > Duration::ZERO,
+            "{reg_name}: outcomes always carry wall-clock timing"
+        );
     }
 }
 
@@ -141,23 +146,29 @@ fn child_sat_call_cannot_exceed_parent_deadline() {
 
 #[test]
 fn routing_budget_bounds_nested_layers_end_to_end() {
-    // A tight routing budget must bound the *whole* stack (slice loop →
-    // MaxSAT → SAT calls), not just the outermost check.
+    // A tight per-request budget must bound the *whole* stack (slice loop
+    // → MaxSAT → SAT calls), not just the outermost check.
     let c = circuit::generators::random_local(8, 40, 7, 0.1, 5);
     let graph = arch::devices::tokyo();
     let budget = Duration::from_millis(150);
-    let router = SatMap::new(SatMapConfig::sliced(4).with_budget(budget));
+    let router = RouterRegistry::standard()
+        .create("satmap")
+        .expect("registered");
+    let request = RouteRequest::new(&c, &graph)
+        .with_budget(budget)
+        .with_slicing(Slicing::Sliced(4));
     let started = Instant::now();
-    let result = router.route(&c, &graph);
+    let outcome = router.route_request(&request);
     let elapsed = started.elapsed();
     // Solved fast or timed out — but never far past the deadline (the SAT
     // solver checks its budget at coarse intervals, so allow slack).
     assert!(
         elapsed < Duration::from_secs(20),
-        "routing ran {elapsed:?} against a {budget:?} budget: {result:?}"
+        "routing ran {elapsed:?} against a {budget:?} budget: {:?}",
+        outcome.result()
     );
-    if let Ok(routed) = result {
-        verify(&c, &graph, &routed).expect("verifies");
+    if let Some(routed) = outcome.routed() {
+        verify(&c, &graph, routed).expect("verifies");
     }
 }
 
@@ -167,9 +178,15 @@ fn telemetry_is_reported_even_when_routing_fails() {
     // attempts are exactly the ones the effort tables must not zero out.
     let c = circuit::generators::random_local(8, 40, 7, 0.1, 5);
     let graph = arch::devices::tokyo();
-    let router = SatMap::new(SatMapConfig::sliced(4).with_budget(Duration::from_millis(50)));
-    let (result, telemetry) = router.route_with_telemetry(&c, &graph);
-    if result.is_err() {
+    let router = RouterRegistry::standard()
+        .create("satmap")
+        .expect("registered");
+    let request = RouteRequest::new(&c, &graph)
+        .with_budget(Duration::from_millis(50))
+        .with_slicing(Slicing::Sliced(4));
+    let outcome = router.route_request(&request);
+    if !outcome.solved() {
+        let telemetry = outcome.telemetry();
         assert!(
             telemetry.encode_time > Duration::ZERO || telemetry.sat_calls > 0,
             "failed attempt reported zero effort: {telemetry}"
@@ -182,15 +199,19 @@ fn unlimited_sliced_routing_is_complete_on_random_instances() {
     // The deepening fallback makes the local relaxation complete: random
     // instances route for every slice size, including ones that exhaust
     // plain final-map backtracking.
+    let router = RouterRegistry::standard()
+        .create("satmap")
+        .expect("registered");
     for seed in [3u64, 7, 11] {
         let c = circuit::generators::random_local(6, 20, 5, 0.3, seed);
         let graph = arch::devices::tokyo_minus();
         for slice in [2usize, 5] {
-            let router = SatMap::new(SatMapConfig::sliced(slice));
-            let routed = router
-                .route(&c, &graph)
-                .unwrap_or_else(|e| panic!("seed {seed} slice {slice}: {e}"));
-            verify(&c, &graph, &routed).expect("verifies");
+            let request = RouteRequest::new(&c, &graph).with_slicing(Slicing::Sliced(slice));
+            let outcome = router.route_request(&request);
+            let routed = outcome
+                .routed()
+                .unwrap_or_else(|| panic!("seed {seed} slice {slice}: {:?}", outcome.error()));
+            verify(&c, &graph, routed).expect("verifies");
         }
     }
 }
