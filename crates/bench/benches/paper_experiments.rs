@@ -8,7 +8,7 @@
 //! and driven by a `RouteRequest` carrying the per-call budget — no
 //! concrete router type appears in this harness.
 
-use bench::{bench_budget, fig3, planted_cnf, small_workloads};
+use bench::{bench_budget, fig3, pigeonhole_cnf, planted_cnf, small_workloads};
 use circuit::{Objective, Parallelism, RepeatedStructure, RouteRequest, Slicing};
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use routers::{BoxedRouter, RouterRegistry};
@@ -242,6 +242,73 @@ fn portfolio_race(c: &mut Criterion) {
     group.finish();
 }
 
+/// Clause sharing on vs off: the same width-4 diversified race on the
+/// conflict-heavy pigeonhole family. With sharing, workers import each
+/// other's low-LBD refutation lemmas at restart boundaries, so the race
+/// is cooperative rather than merely diversified; the answers are
+/// identical either way (the parallel-stack tests assert it), only the
+/// route shortens. `BENCH_satmap.json` records both medians.
+fn sharing_race(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sharing");
+    group.sample_size(10);
+    let cnf = pigeonhole_cnf(6, 5);
+    let run = |sharing: bool| {
+        let mut p = PortfolioBackend::<Solver>::with_width(4);
+        p.set_sharing(sharing);
+        p.reserve_vars(6 * 5);
+        for clause in &cnf {
+            let lits: Vec<Lit> = clause.iter().map(|&d| Lit::from_dimacs(d)).collect();
+            SatBackend::add_clause(&mut p, &lits);
+        }
+        assert_eq!(
+            p.solve_under_assumptions(&[], &ResourceBudget::unlimited()),
+            SolveResult::Unsat
+        );
+    };
+    group.bench_function("on", |b| b.iter(|| run(true)));
+    group.bench_function("off", |b| b.iter(|| run(false)));
+    group.finish();
+}
+
+/// Arena clone vs re-emission: materializing three portfolio peers from a
+/// loaded 1600-clause solver. `clone` is the flat-arena `memcpy` path the
+/// portfolio now uses; `reemit` rebuilds each peer by replaying every
+/// clause through `add_clause` (the pre-arena behaviour, paying
+/// simplification and watch setup per clause per worker).
+fn arena_clone_vs_reemit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arena");
+    let cnf = planted_cnf(400, 1600, 5);
+    let mut template = Solver::new();
+    template.reserve_vars(400);
+    for clause in &cnf {
+        template.add_clause(clause.iter().map(|&d| Lit::from_dimacs(d)));
+    }
+    group.bench_function("clone", |b| {
+        b.iter(|| {
+            let peers: Vec<Solver> = (0..3).map(|_| template.clone()).collect();
+            assert_eq!(peers.len(), 3);
+            peers
+        })
+    });
+    group.bench_function("reemit", |b| {
+        b.iter(|| {
+            let peers: Vec<Solver> = (0..3)
+                .map(|_| {
+                    let mut s = Solver::new();
+                    s.reserve_vars(400);
+                    for clause in &cnf {
+                        s.add_clause(clause.iter().map(|&d| Lit::from_dimacs(d)));
+                    }
+                    s
+                })
+                .collect();
+            assert_eq!(peers.len(), 3);
+            peers
+        })
+    });
+    group.finish();
+}
+
 /// The portfolio width chosen at request time: `Serial` vs an explicit
 /// 4-wide race on the same monolithic route, through the same router.
 fn portfolio_width_request(c: &mut Criterion) {
@@ -272,7 +339,9 @@ criterion_group!(
     q6_noise,
     ablation_swaps_per_gap,
     portfolio_race,
-    portfolio_width_request
+    portfolio_width_request,
+    sharing_race,
+    arena_clone_vs_reemit
 );
 
 fn main() {

@@ -91,6 +91,64 @@ pub fn planted_cnf(num_vars: usize, num_clauses: usize, seed: u64) -> Vec<Vec<i6
     clauses
 }
 
+/// Pigeonhole clauses PHP(`pigeons`, `holes`) as DIMACS-style literals —
+/// UNSAT whenever `pigeons > holes`, and exponentially hard for
+/// resolution, which makes it the canonical conflict-heavy race for the
+/// clause-sharing benchmarks (every worker learns clauses worth sharing).
+pub fn pigeonhole_cnf(pigeons: usize, holes: usize) -> Vec<Vec<i64>> {
+    let var = |p: usize, h: usize| (p * holes + h + 1) as i64;
+    let mut clauses = Vec::new();
+    for p in 0..pigeons {
+        clauses.push((0..holes).map(|h| var(p, h)).collect());
+    }
+    for h in 0..holes {
+        for p1 in 0..pigeons {
+            for p2 in (p1 + 1)..pigeons {
+                clauses.push(vec![-var(p1, h), -var(p2, h)]);
+            }
+        }
+    }
+    clauses
+}
+
+/// Clause-sharing counters observed on one probe race (see
+/// [`sharing_probe`]); embedded in the bench report so the JSON records
+/// that the portfolio genuinely cooperates, not just races.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SharingProbe {
+    /// Learned clauses exported across all workers.
+    pub clauses_exported: u64,
+    /// Learned clauses imported across all workers.
+    pub clauses_imported: u64,
+    /// Clause-arena compactions across all workers.
+    pub compactions: u64,
+    /// Final summed arena footprint in bytes.
+    pub arena_bytes: u64,
+}
+
+/// Races a width-4 sharing portfolio on the pigeonhole family and returns
+/// the exchange counters. `clauses_imported` must come back nonzero — the
+/// CI schema check asserts it — because PHP(7,6) forces every worker
+/// through many restarts, each an import point.
+pub fn sharing_probe() -> SharingProbe {
+    use sat::{PortfolioBackend, ResourceBudget, SatBackend, SolveResult, Solver};
+    let mut portfolio = PortfolioBackend::<Solver>::with_width(4);
+    portfolio.reserve_vars(7 * 6);
+    for clause in pigeonhole_cnf(7, 6) {
+        let lits: Vec<sat::Lit> = clause.iter().map(|&d| sat::Lit::from_dimacs(d)).collect();
+        portfolio.add_clause(&lits);
+    }
+    let result = portfolio.solve_under_assumptions(&[], &ResourceBudget::unlimited());
+    assert_eq!(result, SolveResult::Unsat, "PHP(7,6) is unsatisfiable");
+    let stats = *portfolio.stats();
+    SharingProbe {
+        clauses_exported: stats.clauses_exported,
+        clauses_imported: stats.clauses_imported,
+        compactions: stats.compactions,
+        arena_bytes: stats.arena_bytes,
+    }
+}
+
 /// Default output path of the bench report: `BENCH_satmap.json` at the
 /// workspace root (bench binaries run with the *package* directory as
 /// cwd, so a bare relative path would land in `crates/bench/`).
@@ -135,8 +193,10 @@ pub fn route_rows() -> Vec<String> {
 /// median over its members' medians; `portfolio_speedup` is
 /// `median(portfolio/single) / median(portfolio/portfolio4)` when the
 /// `portfolio` group ran (`> 1` means the portfolio was faster), else
-/// `null`; `routes` holds one Fig. 3 outcome row per registered router in
-/// the shared [`circuit::RouteOutcome::to_json`] schema.
+/// `null`; `sharing_telemetry` holds the [`sharing_probe`] exchange
+/// counters (nonzero `clauses_imported` is the cooperation witness CI
+/// checks); `routes` holds one Fig. 3 outcome row per registered router
+/// in the shared [`circuit::RouteOutcome::to_json`] schema.
 ///
 /// # Errors
 ///
@@ -145,12 +205,16 @@ pub fn write_bench_json() -> std::io::Result<std::path::PathBuf> {
     let results = criterion::take_results();
     let path = bench_json_path();
     let mut file = std::fs::File::create(&path)?;
-    file.write_all(render_report(&results, &route_rows()).as_bytes())?;
+    file.write_all(render_report(&results, &route_rows(), &sharing_probe()).as_bytes())?;
     Ok(path)
 }
 
 /// Renders the report (see [`write_bench_json`]) as a JSON string.
-pub fn render_report(results: &[BenchResult], route_rows: &[String]) -> String {
+pub fn render_report(
+    results: &[BenchResult],
+    route_rows: &[String],
+    sharing: &SharingProbe,
+) -> String {
     let mut out = String::from("{\n  \"schema_version\": 1,\n  \"benchmarks\": {");
     for (i, r) in results.iter().enumerate() {
         if i > 0 {
@@ -207,6 +271,14 @@ pub fn render_report(results: &[BenchResult], route_rows: &[String]) -> String {
         }
         _ => out.push_str("null"),
     }
+    out.push_str(&format!(
+        ",\n  \"sharing_telemetry\": {{\"clauses_exported\": {}, \"clauses_imported\": {}, \
+         \"compactions\": {}, \"arena_bytes\": {}}}",
+        sharing.clauses_exported,
+        sharing.clauses_imported,
+        sharing.compactions,
+        sharing.arena_bytes
+    ));
     out.push_str(",\n  \"routes\": [");
     for (i, row) in route_rows.iter().enumerate() {
         if i > 0 {
@@ -259,10 +331,18 @@ mod tests {
                 median_ns: 100,
             },
         ];
-        let json = render_report(&results, &[]);
+        let probe = SharingProbe {
+            clauses_exported: 12,
+            clauses_imported: 7,
+            compactions: 1,
+            arena_bytes: 2048,
+        };
+        let json = render_report(&results, &[], &probe);
         assert!(json.contains("\"q1/satmap/fig3\": 30"));
         assert!(json.contains("\"q1\": 30"), "group median of 10,30 is 30");
         assert!(json.contains("\"portfolio_speedup\": 4.000"), "{json}");
+        assert!(json.contains("\"clauses_imported\": 7"), "{json}");
+        assert!(json.contains("\"arena_bytes\": 2048"), "{json}");
         // Minimal well-formedness: balanced braces, no trailing comma.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert!(!json.contains(",\n  }"));
@@ -276,6 +356,7 @@ mod tests {
                 median_ns: 5,
             }],
             &[],
+            &SharingProbe::default(),
         );
         assert!(json.contains("\"portfolio_speedup\": null"));
         assert!(json.contains("\"solo\": 5"));
@@ -283,10 +364,31 @@ mod tests {
 
     #[test]
     fn empty_report_is_valid() {
-        let json = render_report(&[], &[]);
+        let json = render_report(&[], &[], &SharingProbe::default());
         assert!(json.contains("\"benchmarks\": {\n  }"));
         assert!(json.contains("\"portfolio_speedup\": null"));
+        assert!(json.contains("\"sharing_telemetry\""));
         assert!(json.contains("\"routes\": [\n  ]"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn pigeonhole_cnf_has_expected_shape() {
+        let cnf = pigeonhole_cnf(3, 2);
+        // 3 at-least-one rows + 2 * C(3,2) exclusivity pairs.
+        assert_eq!(cnf.len(), 3 + 2 * 3);
+        assert!(cnf.iter().all(|c| !c.is_empty()));
+    }
+
+    #[test]
+    fn sharing_probe_observes_cooperation() {
+        let probe = sharing_probe();
+        assert!(probe.clauses_exported > 0, "{probe:?}");
+        assert!(
+            probe.clauses_imported > 0,
+            "the pigeonhole race must import shared clauses: {probe:?}"
+        );
+        assert!(probe.arena_bytes > 0, "{probe:?}");
     }
 
     #[test]
@@ -300,7 +402,7 @@ mod tests {
             assert!(row.starts_with("{\"router\":\""), "{row}");
             assert_eq!(row.matches('{').count(), row.matches('}').count());
         }
-        let json = render_report(&[], &rows);
+        let json = render_report(&[], &rows, &SharingProbe::default());
         assert!(json.contains("\"routes\": [\n    {\"router\":"));
         assert_eq!(json.matches('[').count(), json.matches(']').count());
     }

@@ -520,6 +520,10 @@ impl RouteOutcome {
         out.push_str(&format!(",\"propagations\":{}", t.propagations));
         out.push_str(&format!(",\"restarts\":{}", t.restarts));
         out.push_str(&format!(",\"db_reductions\":{}", t.db_reductions));
+        out.push_str(&format!(",\"clauses_exported\":{}", t.clauses_exported));
+        out.push_str(&format!(",\"clauses_imported\":{}", t.clauses_imported));
+        out.push_str(&format!(",\"compactions\":{}", t.compactions));
+        out.push_str(&format!(",\"arena_bytes\":{}", t.arena_bytes));
         out.push_str(&format!(",\"encode_s\":{:.6}", t.encode_time.as_secs_f64()));
         out.push_str(&format!(",\"solve_s\":{:.6}", t.solve_time.as_secs_f64()));
         out.push_str(&format!(",\"slices\":{}", t.slices));

@@ -70,6 +70,9 @@ pub fn q1(runtimes: bool) -> String {
         "conflicts".into(),
         "restarts".into(),
         "reductions".into(),
+        "exported".into(),
+        "imported".into(),
+        "compactions".into(),
         "encode(s)".into(),
         "solve(s)".into(),
         "slices".into(),
@@ -84,6 +87,9 @@ pub fn q1(runtimes: bool) -> String {
             t.conflicts.to_string(),
             t.restarts.to_string(),
             t.db_reductions.to_string(),
+            t.clauses_exported.to_string(),
+            t.clauses_imported.to_string(),
+            t.compactions.to_string(),
             format!("{:.2}", t.encode_time.as_secs_f64()),
             format!("{:.2}", t.solve_time.as_secs_f64()),
             t.slices.to_string(),

@@ -204,6 +204,12 @@ pub fn solve_with_options<B: SatBackend + Default>(
             telemetry.propagations = stats.propagations - before.propagations;
             telemetry.restarts = stats.restarts - before.restarts;
             telemetry.db_reductions = stats.reductions - before.reductions;
+            telemetry.clauses_exported = stats.clauses_exported - before.clauses_exported;
+            telemetry.clauses_imported = stats.clauses_imported - before.clauses_imported;
+            telemetry.compactions = stats.compactions - before.compactions;
+            // A gauge, not a counter: report the backend's current arena
+            // footprint (summed over portfolio workers).
+            telemetry.arena_bytes = stats.arena_bytes;
             telemetry.winning_worker = stats.last_winner;
             telemetry
         }};

@@ -18,6 +18,7 @@
 
 use crate::budget::ResourceBudget;
 use crate::config::SolverConfig;
+use crate::exchange::ExchangePort;
 use crate::lit::{Lit, Var};
 use crate::solver::{SolveResult, Solver};
 use crate::stats::Stats;
@@ -65,9 +66,16 @@ pub trait SatBackend: ClauseSink {
     /// races one. The default is a no-op: single-threaded backends simply
     /// ignore the hint, so callers can thread a route request's
     /// parallelism hint through without knowing the backend's shape.
-    /// Portfolio backends honor it only before clauses are loaded.
     fn set_portfolio_width(&mut self, width: usize) {
         let _ = width;
+    }
+
+    /// Attaches this backend to a portfolio clause exchange (or detaches
+    /// it with `None`): while attached, the backend may export learned
+    /// clauses and import peers'. The default is a no-op, so backends
+    /// without clause-sharing support simply race without cooperating.
+    fn set_clause_exchange(&mut self, port: Option<ExchangePort>) {
+        let _ = port;
     }
 
     /// Number of variables created so far.
@@ -119,6 +127,10 @@ impl SatBackend for Solver {
 
     fn configure(&mut self, config: &SolverConfig) {
         Solver::set_config(self, *config);
+    }
+
+    fn set_clause_exchange(&mut self, port: Option<ExchangePort>) {
+        Solver::set_clause_exchange(self, port);
     }
 
     fn num_vars(&self) -> usize {

@@ -8,9 +8,15 @@
 //! Features:
 //!
 //! * two-watched-literal unit propagation with blocker literals,
+//! * a flat clause arena with garbage-collecting compaction — clause
+//!   storage is one contiguous buffer, so cloning a formula for a
+//!   portfolio worker is a `memcpy` (see [`clause`][ClauseRef]),
 //! * VSIDS decision heuristic with phase saving,
 //! * first-UIP conflict analysis with clause minimization,
 //! * Luby restarts and activity/LBD-guided learned-clause reduction,
+//! * portfolio clause sharing: bounded lock-free export channels
+//!   ([`ClauseExchange`]) carry low-LBD learned clauses between racing
+//!   workers, imported at restart boundaries,
 //! * incremental solving under assumptions with UNSAT-core extraction,
 //! * cooperative deadline-based budgets ([`ResourceBudget`]) for anytime
 //!   callers — nested calls inherit and can never overshoot a parent's
@@ -46,6 +52,7 @@ pub mod budget;
 mod clause;
 pub mod config;
 pub mod dimacs;
+pub mod exchange;
 mod lit;
 mod order;
 pub mod portfolio;
@@ -57,6 +64,7 @@ pub use backend::{ClauseSink, DefaultBackend, SatBackend};
 pub use budget::{CancelToken, ResourceBudget};
 pub use clause::ClauseRef;
 pub use config::{PhaseInit, SolverConfig};
+pub use exchange::{ClauseExchange, ExchangePort, SharingConfig};
 pub use lit::{LBool, Lit, Var};
 pub use portfolio::{auto_width, auto_width_for_jobs, PortfolioBackend, MAX_AUTO_WIDTH};
 pub use solver::{SolveResult, Solver};

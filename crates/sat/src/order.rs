@@ -7,7 +7,7 @@ use crate::lit::Var;
 /// Supports `O(log n)` insert/remove-max and re-prioritization of a variable
 /// already in the heap, which the VSIDS scheme requires on every activity
 /// bump.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub(crate) struct VarOrder {
     heap: Vec<Var>,
     /// Position of each variable in `heap`, or `usize::MAX` if absent.

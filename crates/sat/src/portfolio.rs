@@ -1,29 +1,42 @@
-//! Diversified portfolio solving: runtime-sized worker races on clones of
-//! the formula.
+//! Diversified portfolio solving with clause sharing: runtime-sized
+//! worker races on arena clones of the formula.
 //!
 //! [`PortfolioBackend<B>`] wraps a runtime-chosen number of instances of
 //! any [`SatBackend`] and implements [`SatBackend`] itself, so it drops
 //! into every generic consumer (the MaxSAT engine, the SATMAP routers, the
-//! OLSQ baselines) without touching their call sites. Clause and variable
-//! traffic is mirrored into every worker; each `solve_under_assumptions`
-//! call races the workers on OS threads ([`std::thread::scope`], no extra
-//! dependencies), takes the **first definitive** `Sat`/`Unsat` answer, and
-//! cancels the peers through a [`crate::CancelToken`] child of the caller's
-//! budget — so cancelling the caller's budget still tears down every
-//! worker, and a worker can never outlive the budget it descended from.
+//! OLSQ baselines) without touching their call sites. All clause and
+//! variable traffic lands in a single *primary* worker; the diversified
+//! peers are materialized lazily at solve time by **cloning** the primary
+//! — with the flat clause arena that is a `memcpy` of one buffer, not a
+//! re-emission of every clause per worker. Each
+//! `solve_under_assumptions` call races the workers on OS threads
+//! ([`std::thread::scope`], no extra dependencies), takes the **first
+//! definitive** `Sat`/`Unsat` answer, and cancels the peers through a
+//! [`crate::CancelToken`] child of the caller's budget — so cancelling the
+//! caller's budget still tears down every worker, and a worker can never
+//! outlive the budget it descended from.
+//!
+//! During a race the workers *cooperate*: each exports learned clauses
+//! with LBD at or below [`SharingConfig::lbd_max`] into its bounded
+//! lock-free channel of the shared [`ClauseExchange`] and imports its
+//! peers' clauses at restart boundaries (with dedup and per-drain caps).
+//! Shared clauses are logical consequences of the common formula, so
+//! answers are unchanged — only the wall-clock route to them shortens.
+//! Sharing is on by default; [`PortfolioBackend::set_sharing`] disables it
+//! and [`PortfolioBackend::set_sharing_config`] tunes the thresholds.
 //!
 //! The worker count (*width*) is a runtime value, not a type parameter:
 //! [`PortfolioBackend::with_width`] picks it explicitly (e.g.
 //! `with_width(auto_width())` to size from the machine), and
-//! [`SatBackend::set_portfolio_width`] lets callers (the MaxSAT engine
-//! acting on a route request's parallelism hint) resize a freshly created
-//! backend before any clauses are loaded; [`PortfolioBackend::default`]
-//! starts at width 1 so that path stays cheap. Width 1 solves inline on
-//! the calling thread — no spawn, no race overhead.
+//! [`SatBackend::set_portfolio_width`] resizes at any point — the peers
+//! are rebuilt from the primary on the next race, so no clauses are lost
+//! and a base [`SolverConfig`] installed by an earlier `configure` call
+//! survives the resize. Width 1 solves inline on the calling thread — no
+//! spawn, no race overhead.
 //!
 //! Workers are diversified deterministically via
-//! [`SolverConfig::diversified`]: worker 0 always runs the undiversified
-//! default configuration, so the portfolio's answers (and, for MaxSAT
+//! [`SolverConfig::diversified`]: the primary (worker 0) always runs the
+//! base configuration, so the portfolio's answers (and, for MaxSAT
 //! consumers, its optimal costs) match the plain backend's — only the
 //! wall-clock route to them differs.
 //!
@@ -41,11 +54,12 @@
 //! assert!(portfolio.stats().last_winner.is_some());
 //! ```
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use crate::backend::{ClauseSink, DefaultBackend, SatBackend};
 use crate::budget::ResourceBudget;
 use crate::config::SolverConfig;
+use crate::exchange::{ClauseExchange, ExchangePort, SharingConfig};
 use crate::lit::{Lit, Var};
 use crate::solver::SolveResult;
 use crate::stats::Stats;
@@ -78,15 +92,39 @@ pub fn auto_width() -> usize {
     auto_width_for_jobs(jobs)
 }
 
-/// A portfolio of diversified [`SatBackend`] workers racing per call.
+/// A portfolio of diversified [`SatBackend`] workers racing — and sharing
+/// learned clauses — per call.
 ///
-/// The width is chosen at runtime — explicitly via
-/// [`PortfolioBackend::with_width`], from the machine via
-/// [`PortfolioBackend::default`], or per request via
-/// [`SatBackend::set_portfolio_width`] before clauses are loaded.
+/// Formula loading targets one primary worker; peers are arena clones
+/// taken at solve time, so the width can be changed at any point via
+/// [`SatBackend::set_portfolio_width`] without losing loaded clauses or a
+/// previously applied base configuration.
 #[derive(Debug)]
 pub struct PortfolioBackend<B: SatBackend = DefaultBackend> {
-    workers: Vec<B>,
+    /// The worker that receives all variable/clause traffic and runs the
+    /// base (undiversified) configuration in races.
+    primary: B,
+    /// Diversified clones of the primary, rebuilt lazily when the formula
+    /// or the width changed since they were materialized.
+    peers: Vec<B>,
+    /// Stats snapshot of each peer at clone time, so only the work peers
+    /// did *themselves* is merged (not the history inherited from the
+    /// primary).
+    peer_base: Vec<Stats>,
+    /// Effort of peers discarded by a rebuild, kept so merged totals stay
+    /// monotone across resyncs.
+    retired: Stats,
+    /// Target worker count for the next race.
+    width: usize,
+    /// True while `peers` mirror the primary's current formula.
+    peers_synced: bool,
+    /// Base configuration applied to the primary; peers derive their
+    /// diversified presets from its seed. Survives width changes.
+    base_config: SolverConfig,
+    /// Whether workers exchange learned clauses during races.
+    sharing_enabled: bool,
+    /// Thresholds and capacities of the clause exchange.
+    sharing: SharingConfig,
     /// Per-worker counters merged after every race, plus the last winner.
     merged: Stats,
     /// Index of the worker whose model/core answer the accessors serve.
@@ -110,15 +148,16 @@ impl<B: SatBackend + Default> PortfolioBackend<B> {
     /// A portfolio of `width` diversified workers (clamped to at least 1).
     pub fn with_width(width: usize) -> Self {
         let width = width.max(1);
-        let workers = (0..width)
-            .map(|i| {
-                let mut w = B::default();
-                w.configure(&SolverConfig::diversified(i));
-                w
-            })
-            .collect();
         PortfolioBackend {
-            workers,
+            primary: B::default(),
+            peers: Vec::new(),
+            peer_base: Vec::new(),
+            retired: Stats::default(),
+            width,
+            peers_synced: false,
+            base_config: SolverConfig::default(),
+            sharing_enabled: true,
+            sharing: SharingConfig::default(),
             merged: Stats::default(),
             winner: 0,
             wins: vec![0; width],
@@ -127,9 +166,9 @@ impl<B: SatBackend + Default> PortfolioBackend<B> {
 }
 
 impl<B: SatBackend> PortfolioBackend<B> {
-    /// Number of workers in the portfolio.
+    /// Number of workers the next race will run.
     pub fn num_workers(&self) -> usize {
-        self.workers.len()
+        self.width
     }
 
     /// How many races each worker has won so far.
@@ -137,80 +176,158 @@ impl<B: SatBackend> PortfolioBackend<B> {
         &self.wins
     }
 
-    /// Recomputes the merged statistics from the per-worker counters.
+    /// The base configuration peers are diversified from (what an earlier
+    /// [`SatBackend::configure`] call installed; preserved across
+    /// [`SatBackend::set_portfolio_width`] resizes).
+    pub fn base_config(&self) -> &SolverConfig {
+        &self.base_config
+    }
+
+    /// The worker all clause/variable traffic is loaded into.
+    pub fn primary(&self) -> &B {
+        &self.primary
+    }
+
+    /// Enables or disables learned-clause sharing between racing workers
+    /// (enabled by default). Answers are identical either way; sharing
+    /// only changes how fast the race converges.
+    pub fn set_sharing(&mut self, enabled: bool) {
+        self.sharing_enabled = enabled;
+    }
+
+    /// Whether racing workers exchange learned clauses.
+    pub fn sharing(&self) -> bool {
+        self.sharing_enabled
+    }
+
+    /// Replaces the clause-sharing thresholds (LBD/length filters, queue
+    /// capacity, per-restart import cap).
+    pub fn set_sharing_config(&mut self, config: SharingConfig) {
+        self.sharing = config;
+    }
+
+    /// The active clause-sharing thresholds.
+    pub fn sharing_config(&self) -> &SharingConfig {
+        &self.sharing
+    }
+
+    /// The worker whose model/core the accessors currently serve.
+    fn winner_worker(&self) -> &B {
+        if self.winner == 0 {
+            &self.primary
+        } else {
+            &self.peers[self.winner - 1]
+        }
+    }
+
+    /// Recomputes the merged statistics: retired peers' effort, the
+    /// primary's lifetime counters, and each live peer's counters since it
+    /// was cloned (the inherited history would otherwise double-count).
     fn refresh_stats(&mut self, last_winner: Option<u32>) {
-        let mut merged = Stats::default();
-        for w in &self.workers {
-            merged.merge(w.stats());
+        let mut merged = self.retired;
+        merged.arena_bytes = 0;
+        merged.last_winner = None;
+        merged.merge(self.primary.stats());
+        for (peer, base) in self.peers.iter().zip(&self.peer_base) {
+            let mut delta = peer.stats().delta_since(base);
+            delta.last_winner = None;
+            merged.merge(&delta);
         }
         merged.last_winner = last_winner.or(self.merged.last_winner);
         self.merged = merged;
     }
 }
 
-impl<B: SatBackend> ClauseSink for PortfolioBackend<B> {
-    fn new_var(&mut self) -> Var {
-        let mut it = self.workers.iter_mut();
-        let v = it.next().expect("width >= 1 worker").new_var();
-        for w in it {
-            let v2 = w.new_var();
-            debug_assert_eq!(v2, v, "workers must allocate variables in lockstep");
+impl<B: SatBackend + Default + Clone> PortfolioBackend<B> {
+    /// Materializes the diversified peers from the primary if the formula
+    /// or the width changed since the last race. For the bundled solver
+    /// the clone is a flat-buffer `memcpy` per peer — the whole point of
+    /// the arena — instead of re-emitting every clause `width - 1` times.
+    fn sync_peers(&mut self) {
+        let target = self.width - 1;
+        if self.peers_synced && self.peers.len() == target {
+            return;
         }
-        v
-    }
-
-    fn emit(&mut self, lits: &[Lit]) {
-        for w in &mut self.workers {
-            w.emit(lits);
+        // Retire outgoing peers' own effort so merged totals stay
+        // monotone (their arena memory is gone, so the gauge resets).
+        for (peer, base) in self.peers.iter().zip(&self.peer_base) {
+            let mut delta = peer.stats().delta_since(base);
+            delta.arena_bytes = 0;
+            delta.last_winner = None;
+            self.retired.merge(&delta);
         }
+        self.peers.clear();
+        self.peer_base.clear();
+        // The worker that produced the last definitive answer is gone;
+        // from here the primary (which shares its formula) is the only
+        // worker whose accessors can be served.
+        self.winner = 0;
+        for i in 1..self.width {
+            let mut peer = self.primary.clone();
+            let mut config = SolverConfig::diversified(i);
+            config.seed ^= self.base_config.seed;
+            peer.configure(&config);
+            self.peer_base.push(*peer.stats());
+            self.peers.push(peer);
+        }
+        self.peers_synced = true;
     }
 }
 
-impl<B: SatBackend + Send + Default> SatBackend for PortfolioBackend<B> {
+impl<B: SatBackend> ClauseSink for PortfolioBackend<B> {
+    fn new_var(&mut self) -> Var {
+        self.peers_synced = false;
+        self.primary.new_var()
+    }
+
+    fn emit(&mut self, lits: &[Lit]) {
+        self.peers_synced = false;
+        self.primary.emit(lits);
+    }
+}
+
+impl<B: SatBackend + Send + Default + Clone> SatBackend for PortfolioBackend<B> {
     fn backend_name(&self) -> &'static str {
         "portfolio"
     }
 
     fn configure(&mut self, config: &SolverConfig) {
-        // Re-diversify *relative to* the given base: worker 0 gets the base
-        // config itself, the rest their usual presets seeded off it.
-        for (i, w) in self.workers.iter_mut().enumerate() {
-            if i == 0 {
-                w.configure(config);
-            } else {
-                let mut c = SolverConfig::diversified(i);
-                c.seed ^= config.seed;
-                w.configure(&c);
-            }
-        }
+        // The primary runs the base config itself; peers re-derive their
+        // diversified presets (seeded off the base) at the next sync.
+        self.base_config = *config;
+        self.primary.configure(config);
+        self.peers_synced = false;
     }
 
     fn set_portfolio_width(&mut self, width: usize) {
-        // Only a pristine portfolio can be resized: once variables or
-        // clauses were mirrored into the workers, rebuilding would lose
-        // them. Callers set the width right after construction (the MaxSAT
-        // engine does so before loading the instance).
-        if self.num_vars() == 0 && width.max(1) != self.workers.len() {
-            *self = Self::with_width(width);
+        let width = width.max(1);
+        if width == self.width {
+            return;
         }
+        // Peers are clones of the primary, so resizing at any point —
+        // before or after clauses were loaded, before or after a
+        // `configure` call — loses neither; they are rebuilt on the next
+        // race from the primary and the preserved base config.
+        self.width = width;
+        self.wins.resize(width.max(self.wins.len()), 0);
+        self.peers_synced = false;
+        // `winner` is deliberately left alone: the winning worker's
+        // model/core stay readable until the peers are actually rebuilt
+        // (`sync_peers` resets it when they are dropped).
     }
 
     fn num_vars(&self) -> usize {
-        self.workers[0].num_vars()
+        self.primary.num_vars()
     }
 
     fn reserve_vars(&mut self, n: usize) {
-        for w in &mut self.workers {
-            w.reserve_vars(n);
-        }
+        self.peers_synced = false;
+        self.primary.reserve_vars(n);
     }
 
     fn add_clause(&mut self, lits: &[Lit]) -> bool {
-        let mut ok = true;
-        for w in &mut self.workers {
-            ok &= w.add_clause(lits);
-        }
-        ok
+        self.peers_synced = false;
+        self.primary.add_clause(lits)
     }
 
     fn solve_under_assumptions(
@@ -219,8 +336,8 @@ impl<B: SatBackend + Send + Default> SatBackend for PortfolioBackend<B> {
         budget: &ResourceBudget,
     ) -> SolveResult {
         // Width 1: no race to run — solve inline on the calling thread.
-        if self.workers.len() == 1 {
-            let result = self.workers[0].solve_under_assumptions(assumptions, budget);
+        if self.width == 1 {
+            let result = self.primary.solve_under_assumptions(assumptions, budget);
             if matches!(result, SolveResult::Sat | SolveResult::Unsat) {
                 self.winner = 0;
                 self.wins[0] += 1;
@@ -229,6 +346,18 @@ impl<B: SatBackend + Send + Default> SatBackend for PortfolioBackend<B> {
                 self.refresh_stats(None);
             }
             return result;
+        }
+
+        self.sync_peers();
+        // One exchange per race: ports carry per-race cursors and dedup
+        // state, so a stale port from a previous race must never leak in.
+        if self.sharing_enabled {
+            let exchange = Arc::new(ClauseExchange::new(self.width, self.sharing));
+            self.primary
+                .set_clause_exchange(Some(ExchangePort::new(exchange.clone(), 0)));
+            for (i, peer) in self.peers.iter_mut().enumerate() {
+                peer.set_clause_exchange(Some(ExchangePort::new(exchange.clone(), i + 1)));
+            }
         }
 
         // Arm once so every worker shares the same absolute deadline, then
@@ -240,7 +369,8 @@ impl<B: SatBackend + Send + Default> SatBackend for PortfolioBackend<B> {
         // First definitive (Sat/Unsat) answer wins; losers are cancelled.
         let first: Mutex<Option<(usize, SolveResult)>> = Mutex::new(None);
         std::thread::scope(|scope| {
-            for (i, worker) in self.workers.iter_mut().enumerate() {
+            let workers = std::iter::once(&mut self.primary).chain(self.peers.iter_mut());
+            for (i, worker) in workers.enumerate() {
                 let wb = worker_budget.clone();
                 let race = &race;
                 let first = &first;
@@ -256,6 +386,13 @@ impl<B: SatBackend + Send + Default> SatBackend for PortfolioBackend<B> {
                 });
             }
         });
+
+        // Detach the race's exchange ports: clones taken for the next
+        // resync (and later races) must start with fresh cursors.
+        self.primary.set_clause_exchange(None);
+        for peer in &mut self.peers {
+            peer.set_clause_exchange(None);
+        }
 
         let decided = first.into_inner().expect("race winner lock");
         match decided {
@@ -278,15 +415,15 @@ impl<B: SatBackend + Send + Default> SatBackend for PortfolioBackend<B> {
     }
 
     fn model_value(&self, l: Lit) -> Option<bool> {
-        self.workers[self.winner].model_value(l)
+        self.winner_worker().model_value(l)
     }
 
     fn model(&self) -> Vec<bool> {
-        self.workers[self.winner].model()
+        self.winner_worker().model()
     }
 
     fn unsat_core(&self) -> &[Lit] {
-        self.workers[self.winner].unsat_core()
+        self.winner_worker().unsat_core()
     }
 
     fn stats(&self) -> &Stats {
@@ -297,6 +434,7 @@ impl<B: SatBackend + Send + Default> SatBackend for PortfolioBackend<B> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::PhaseInit;
     use std::time::Duration;
 
     type Portfolio = PortfolioBackend<DefaultBackend>;
@@ -373,7 +511,80 @@ mod tests {
             p.solve_under_assumptions(&[], &ResourceBudget::unlimited()),
             SolveResult::Unsat
         );
-        assert!(p.stats().conflicts >= single.stats().conflicts);
+    }
+
+    #[test]
+    fn sharing_on_and_off_agree_on_pigeonhole_family() {
+        // Clause sharing must never change an answer, only (possibly) the
+        // route to it — shared clauses are consequences of the formula.
+        for pigeons in 3..=5usize {
+            let mut on = Portfolio::with_width(4);
+            assert!(on.sharing());
+            pigeonhole(&mut on, pigeons, pigeons - 1);
+            let mut off = Portfolio::with_width(4);
+            off.set_sharing(false);
+            pigeonhole(&mut off, pigeons, pigeons - 1);
+            let unlimited = ResourceBudget::unlimited();
+            assert_eq!(
+                on.solve_under_assumptions(&[], &unlimited),
+                SolveResult::Unsat,
+                "PHP({pigeons},{}) with sharing",
+                pigeons - 1
+            );
+            assert_eq!(
+                off.solve_under_assumptions(&[], &unlimited),
+                SolveResult::Unsat,
+                "PHP({pigeons},{}) without sharing",
+                pigeons - 1
+            );
+            assert_eq!(
+                off.stats().clauses_imported,
+                0,
+                "sharing off must not import"
+            );
+        }
+        // And a satisfiable instance: both sides say SAT.
+        let build = |p: &mut Portfolio| {
+            let a = ClauseSink::new_var(p).positive();
+            let b = ClauseSink::new_var(p).positive();
+            SatBackend::add_clause(p, &[a, b]);
+            SatBackend::add_clause(p, &[!a, b]);
+        };
+        let mut on = Portfolio::with_width(3);
+        build(&mut on);
+        let mut off = Portfolio::with_width(3);
+        off.set_sharing(false);
+        build(&mut off);
+        let unlimited = ResourceBudget::unlimited();
+        assert_eq!(
+            on.solve_under_assumptions(&[], &unlimited),
+            SolveResult::Sat
+        );
+        assert_eq!(
+            off.solve_under_assumptions(&[], &unlimited),
+            SolveResult::Sat
+        );
+    }
+
+    #[test]
+    fn pigeonhole_race_imports_shared_clauses() {
+        // The cooperation signal itself: on a conflict-heavy UNSAT race
+        // the workers must actually move clauses through the exchange.
+        let mut p = Portfolio::with_width(4);
+        pigeonhole(&mut p, 7, 6);
+        assert_eq!(
+            p.solve_under_assumptions(&[], &ResourceBudget::unlimited()),
+            SolveResult::Unsat
+        );
+        let stats = *p.stats();
+        assert!(
+            stats.clauses_exported > 0,
+            "workers must export low-LBD clauses: {stats}"
+        );
+        assert!(
+            stats.clauses_imported > 0,
+            "workers must import peers' clauses: {stats}"
+        );
     }
 
     #[test]
@@ -391,20 +602,92 @@ mod tests {
     }
 
     #[test]
-    fn set_width_resizes_only_pristine_portfolios() {
+    fn resize_after_loading_keeps_clauses() {
+        // Regression for the old "only a pristine portfolio resizes"
+        // behavior: peers are clones of the primary, so a resize after
+        // loading simply rebuilds them at the next race.
         let mut p = Portfolio::with_width(2);
         p.set_portfolio_width(5);
-        assert_eq!(p.num_workers(), 5, "pristine portfolio resizes");
+        assert_eq!(p.num_workers(), 5);
         p.set_portfolio_width(0);
         assert_eq!(p.num_workers(), 1, "width clamps to at least 1");
         let a = ClauseSink::new_var(&mut p).positive();
-        SatBackend::add_clause(&mut p, &[a]);
+        let b = ClauseSink::new_var(&mut p).positive();
+        SatBackend::add_clause(&mut p, &[a, b]);
+        SatBackend::add_clause(&mut p, &[!a]);
         p.set_portfolio_width(4);
-        assert_eq!(p.num_workers(), 1, "loaded portfolio keeps its width");
+        assert_eq!(p.num_workers(), 4, "loaded portfolios resize too");
         assert_eq!(
             p.solve_under_assumptions(&[], &ResourceBudget::unlimited()),
             SolveResult::Sat
         );
+        assert_eq!(p.model_value(b), Some(true), "clauses survive the resize");
+    }
+
+    #[test]
+    fn configure_then_resize_preserves_base_config() {
+        // Regression: `set_portfolio_width` used to rebuild the portfolio
+        // from scratch, silently discarding a base `SolverConfig` applied
+        // by an earlier `configure` call.
+        let custom = SolverConfig {
+            restart_multiplier: 3.0,
+            random_polarity_freq: 0.25,
+            phase_init: PhaseInit::Positive,
+            seed: 77,
+        };
+        let mut p = Portfolio::with_width(2);
+        SatBackend::configure(&mut p, &custom);
+        p.set_portfolio_width(6);
+        assert_eq!(
+            *p.base_config(),
+            custom,
+            "resize must preserve the configured base"
+        );
+        assert_eq!(
+            *p.primary().solver_config(),
+            custom,
+            "the primary keeps running the configured base"
+        );
+        // And the reverse order: configure after resize also sticks.
+        let mut q = Portfolio::with_width(2);
+        q.set_portfolio_width(3);
+        SatBackend::configure(&mut q, &custom);
+        assert_eq!(*q.base_config(), custom);
+        let a = ClauseSink::new_var(&mut q).positive();
+        SatBackend::add_clause(&mut q, &[a]);
+        assert_eq!(
+            q.solve_under_assumptions(&[], &ResourceBudget::unlimited()),
+            SolveResult::Sat
+        );
+    }
+
+    #[test]
+    fn resize_after_win_keeps_serving_the_winning_model() {
+        // Regression (review finding): shrinking the width right after a
+        // race must not discard a still-live winning peer's model — the
+        // winner stays readable until the peers are actually rebuilt.
+        let mut p = Portfolio::with_width(5);
+        let a = ClauseSink::new_var(&mut p).positive();
+        let b = ClauseSink::new_var(&mut p).positive();
+        SatBackend::add_clause(&mut p, &[a, b]);
+        SatBackend::add_clause(&mut p, &[!a]);
+        assert_eq!(
+            p.solve_under_assumptions(&[], &ResourceBudget::unlimited()),
+            SolveResult::Sat
+        );
+        p.set_portfolio_width(2);
+        assert_eq!(
+            p.model_value(b),
+            Some(true),
+            "the winning model must survive a post-race resize"
+        );
+        assert!(p.model()[b.var().index()]);
+        // And the next race (which rebuilds the peers) still answers.
+        assert_eq!(
+            p.solve_under_assumptions(&[], &ResourceBudget::unlimited()),
+            SolveResult::Sat
+        );
+        assert_eq!(p.model_value(b), Some(true));
     }
 
     #[test]
@@ -454,13 +737,25 @@ mod tests {
     }
 
     #[test]
-    fn merged_stats_cover_all_workers() {
+    fn merged_stats_cover_all_workers_and_stay_monotone() {
         let mut p = Portfolio::with_width(4);
         pigeonhole(&mut p, 4, 3);
         p.solve_under_assumptions(&[], &ResourceBudget::unlimited());
-        let merged = *p.stats();
-        assert!(merged.conflicts > 0);
+        let first = *p.stats();
+        assert!(first.conflicts > 0);
+        assert!(first.arena_bytes > 0, "arena gauge flows into the merge");
         assert_eq!(p.num_workers(), 4);
         assert_eq!(p.wins().iter().sum::<u64>(), 1);
+        // Add clauses (forcing a peer resync) and solve again: counters
+        // must never go backwards even though the peers were rebuilt.
+        let extra = ClauseSink::new_var(&mut p).positive();
+        SatBackend::add_clause(&mut p, &[extra]);
+        p.solve_under_assumptions(&[], &ResourceBudget::unlimited());
+        let second = *p.stats();
+        assert!(
+            second.conflicts >= first.conflicts,
+            "retired peer effort must stay in the totals: {first} then {second}"
+        );
+        assert_eq!(p.wins().iter().sum::<u64>(), 2);
     }
 }

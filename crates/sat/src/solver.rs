@@ -4,14 +4,21 @@
 //! two-watched-literal propagation, VSIDS decision heuristic with phase
 //! saving, first-UIP conflict analysis with clause minimization, Luby
 //! restarts, and activity/LBD-based learned-clause database reduction.
-//! Supports incremental solving under assumptions and cooperative
-//! [`ResourceBudget`]s (conflicts or wall-clock deadlines), which the
-//! MaxSAT layer uses for anytime behaviour.
+//! Clauses live in a flat arena ([`crate::clause`]) that is periodically
+//! garbage-collected; watch lists and reason references are remapped in
+//! one pass per compaction. Supports incremental solving under
+//! assumptions, cooperative [`ResourceBudget`]s (conflicts or wall-clock
+//! deadlines), which the MaxSAT layer uses for anytime behaviour, and
+//! portfolio clause sharing through an optional [`ExchangePort`]: learned
+//! clauses below the glue threshold are exported during search and peers'
+//! clauses are imported at restart boundaries.
 
 use crate::budget::ResourceBudget;
 use crate::clause::{ClauseDb, ClauseRef};
 use crate::config::{PhaseInit, SolverConfig, XorShift64};
+use crate::exchange::ExchangePort;
 use crate::lit::{LBool, Lit, Var};
+use crate::order::VarOrder;
 use crate::stats::Stats;
 
 /// Outcome of a [`Solver::solve`] call.
@@ -35,6 +42,11 @@ struct Watcher {
 
 /// A CDCL SAT solver.
 ///
+/// Cloning a solver duplicates its entire state — for the clause store
+/// that is one `memcpy` of the flat arena, which is how
+/// [`crate::PortfolioBackend`] materializes diversified workers from a
+/// loaded template instead of re-emitting every clause per worker.
+///
 /// # Examples
 ///
 /// ```
@@ -47,7 +59,7 @@ struct Watcher {
 /// assert_eq!(s.solve(), SolveResult::Sat);
 /// assert_eq!(s.model_value(b), Some(true));
 /// ```
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Solver {
     db: ClauseDb,
     /// Watch lists indexed by literal code. `watches[l]` holds clauses that
@@ -65,7 +77,7 @@ pub struct Solver {
     var_inc: f64,
     var_decay: f64,
     cla_inc: f32,
-    order: crate::order::VarOrder,
+    order: VarOrder,
     /// False once an unconditional conflict has been derived.
     ok: bool,
     seen: Vec<bool>,
@@ -74,16 +86,43 @@ pub struct Solver {
     conflict_core: Vec<Lit>,
     stats: Stats,
     max_learnt: f64,
+    /// Reusable scratch for LBD computation: one stamp slot per decision
+    /// level, validated against `lbd_gen` (no per-clause allocation).
+    lbd_stamp: Vec<u32>,
+    lbd_gen: u32,
     /// Diversification knobs (restarts, polarity, phase, seed).
     config: SolverConfig,
     /// Deterministic PRNG driving every randomized knob.
     rng: XorShift64,
+    /// Portfolio clause-sharing port, when racing (see [`ExchangePort`]).
+    exchange: Option<ExchangePort>,
 }
 
 impl Default for Solver {
     fn default() -> Self {
         Self::new()
     }
+}
+
+/// Bumps `v`'s VSIDS activity, rescaling on overflow — free function so
+/// conflict analysis can call it under a split borrow while clause
+/// literals are read in place from the arena.
+fn bump_var_in(activity: &mut [f64], var_inc: &mut f64, order: &mut VarOrder, v: Var) {
+    activity[v.index()] += *var_inc;
+    if activity[v.index()] > 1e100 {
+        for a in activity.iter_mut() {
+            *a *= 1e-100;
+        }
+        *var_inc *= 1e-100;
+    }
+    order.bumped(v, activity);
+}
+
+/// The value of `l` under `assigns` (split-borrow form of
+/// [`Solver::value_lit`]).
+#[inline]
+fn lit_value(assigns: &[LBool], l: Lit) -> LBool {
+    assigns[l.var().index()].under_sign(l.is_positive())
 }
 
 impl Solver {
@@ -110,7 +149,7 @@ impl Solver {
             var_inc: 1.0,
             var_decay: 0.95,
             cla_inc: 1.0,
-            order: crate::order::VarOrder::new(),
+            order: VarOrder::new(),
             ok: true,
             seen: Vec::new(),
             analyze_clear: Vec::new(),
@@ -118,8 +157,11 @@ impl Solver {
             conflict_core: Vec::new(),
             stats: Stats::default(),
             max_learnt: 2000.0,
+            lbd_stamp: Vec::new(),
+            lbd_gen: 0,
             rng: XorShift64::new(config.seed),
             config,
+            exchange: None,
         }
     }
 
@@ -141,6 +183,15 @@ impl Solver {
     /// The active search-diversification configuration.
     pub fn solver_config(&self) -> &SolverConfig {
         &self.config
+    }
+
+    /// Attaches this solver to a portfolio clause exchange (or detaches it
+    /// with `None`). While attached, learned clauses below the exchange's
+    /// glue threshold are exported during search and peers' clauses are
+    /// imported at restart boundaries — both sound, since learned clauses
+    /// are logical consequences of the shared formula.
+    pub fn set_clause_exchange(&mut self, port: Option<ExchangePort>) {
+        self.exchange = port;
     }
 
     /// Initial saved phase for a variable per the configured policy.
@@ -201,7 +252,7 @@ impl Solver {
 
     #[inline]
     fn value_lit(&self, l: Lit) -> LBool {
-        self.assigns[l.var().index()].under_sign(l.is_positive())
+        lit_value(&self.assigns, l)
     }
 
     /// Adds a clause. Returns `false` if the solver is now known
@@ -245,16 +296,17 @@ impl Solver {
                 self.ok
             }
             _ => {
-                let cref = self.db.alloc(simplified, false, 0);
+                let cref = self.db.alloc(&simplified, false, 0);
                 self.attach(cref);
+                self.stats.arena_bytes = self.db.arena_bytes() as u64;
                 true
             }
         }
     }
 
     fn attach(&mut self, cref: ClauseRef) {
-        let c = self.db.get(cref);
-        let (l0, l1) = (c.lits[0], c.lits[1]);
+        let lits = self.db.lits(cref);
+        let (l0, l1) = (lits[0], lits[1]);
         self.watches[(!l0).code() as usize].push(Watcher { cref, blocker: l1 });
         self.watches[(!l1).code() as usize].push(Watcher { cref, blocker: l0 });
     }
@@ -292,38 +344,50 @@ impl Solver {
                     continue;
                 }
                 let cref = w.cref;
-                // Make sure ¬p is lits[1].
                 let false_lit = !p;
-                {
-                    let c = self.db.get_mut(cref);
-                    if c.lits[0] == false_lit {
-                        c.lits.swap(0, 1);
+                // Split borrows: the clause is reordered in place in the
+                // arena while values are read and the new watch is pushed.
+                let first = {
+                    let Solver {
+                        db,
+                        assigns,
+                        watches,
+                        ..
+                    } = self;
+                    let lits = db.lits_mut(cref);
+                    // Make sure ¬p is lits[1].
+                    if lits[0] == false_lit {
+                        lits.swap(0, 1);
                     }
-                    debug_assert_eq!(c.lits[1], false_lit);
-                }
-                let first = self.db.get(cref).lits[0];
-                if first != w.blocker && self.value_lit(first) == LBool::True {
-                    ws[j] = Watcher {
-                        cref,
-                        blocker: first,
-                    };
-                    j += 1;
-                    continue;
-                }
-                // Look for a new literal to watch.
-                let len = self.db.get(cref).lits.len();
-                for k in 2..len {
-                    let lk = self.db.get(cref).lits[k];
-                    if self.value_lit(lk) != LBool::False {
-                        let c = self.db.get_mut(cref);
-                        c.lits.swap(1, k);
-                        self.watches[(!lk).code() as usize].push(Watcher {
+                    debug_assert_eq!(lits[1], false_lit);
+                    let first = lits[0];
+                    if first != w.blocker && lit_value(assigns, first) == LBool::True {
+                        ws[j] = Watcher {
+                            cref,
+                            blocker: first,
+                        };
+                        j += 1;
+                        continue 'watchers;
+                    }
+                    // Look for a new literal to watch.
+                    let mut new_watch = None;
+                    for (k, &lk) in lits.iter().enumerate().skip(2) {
+                        if lit_value(assigns, lk) != LBool::False {
+                            new_watch = Some(k);
+                            break;
+                        }
+                    }
+                    if let Some(k) = new_watch {
+                        let lk = lits[k];
+                        lits.swap(1, k);
+                        watches[(!lk).code() as usize].push(Watcher {
                             cref,
                             blocker: first,
                         });
                         continue 'watchers;
                     }
-                }
+                    first
+                };
                 // Clause is unit or conflicting under the current assignment.
                 ws[j] = Watcher {
                     cref,
@@ -373,30 +437,19 @@ impl Solver {
         self.qhead = self.trail.len();
     }
 
-    fn bump_var(&mut self, v: Var) {
-        self.activity[v.index()] += self.var_inc;
-        if self.activity[v.index()] > 1e100 {
-            for a in &mut self.activity {
-                *a *= 1e-100;
-            }
-            self.var_inc *= 1e-100;
-        }
-        self.order.bumped(v, &self.activity);
-    }
-
     fn decay_activities(&mut self) {
         self.var_inc /= self.var_decay;
         self.cla_inc /= 0.999;
     }
 
     fn bump_clause(&mut self, cref: ClauseRef) {
-        let inc = self.cla_inc;
-        let c = self.db.get_mut(cref);
-        c.activity += inc;
-        if c.activity > 1e20 {
+        let bumped = self.db.activity(cref) + self.cla_inc;
+        self.db.set_activity(cref, bumped);
+        if bumped > 1e20 {
             let refs: Vec<ClauseRef> = self.db.learnt_refs().collect();
             for r in refs {
-                self.db.get_mut(r).activity *= 1e-20;
+                let scaled = self.db.activity(r) * 1e-20;
+                self.db.set_activity(r, scaled);
             }
             self.cla_inc *= 1e-20;
         }
@@ -410,17 +463,31 @@ impl Solver {
         let mut p: Option<Lit> = None;
         let mut cref = conflict;
         let mut index = self.trail.len();
+        let current_level = self.decision_level();
 
         loop {
             self.bump_clause(cref);
-            let lits: Vec<Lit> = self.db.get(cref).lits.clone();
+            // Split borrows: the resolved clause's literals are read in
+            // place from the arena — the hottest loop in the solver runs
+            // allocation-free — while the VSIDS state mutates disjoint
+            // fields.
+            let Solver {
+                db,
+                seen,
+                level,
+                activity,
+                var_inc,
+                order,
+                ..
+            } = self;
+            let lits = db.lits(cref);
             let skip = usize::from(p.is_some());
             for &q in &lits[skip..] {
                 let v = q.var();
-                if !self.seen[v.index()] && self.level[v.index()] > 0 {
-                    self.seen[v.index()] = true;
-                    self.bump_var(v);
-                    if self.level[v.index()] >= self.decision_level() {
+                if !seen[v.index()] && level[v.index()] > 0 {
+                    seen[v.index()] = true;
+                    bump_var_in(activity, var_inc, order, v);
+                    if level[v.index()] >= current_level {
                         counter += 1;
                     } else {
                         learnt.push(q);
@@ -446,24 +513,29 @@ impl Solver {
         }
         learnt[0] = !p.expect("UIP literal");
 
-        // Mark remaining seen lits for minimization bookkeeping.
-        self.analyze_clear.clear();
-        self.analyze_clear.extend(learnt.iter().copied());
+        // Mark remaining seen lits for minimization bookkeeping; the clear
+        // list is a reused scratch buffer, not a fresh allocation.
+        let mut clear = std::mem::take(&mut self.analyze_clear);
+        clear.clear();
+        clear.extend(learnt.iter().copied());
         for &l in &learnt[1..] {
             self.seen[l.var().index()] = true;
         }
-        // Conflict-clause minimization: drop literals implied by the rest.
-        let keep: Vec<Lit> = learnt[1..]
-            .iter()
-            .copied()
-            .filter(|&l| !self.lit_redundant(l))
-            .collect();
-        learnt.truncate(1);
-        learnt.extend(keep);
+        // Conflict-clause minimization, in place: drop literals implied by
+        // the rest.
+        let mut kept = 1;
+        for i in 1..learnt.len() {
+            if !self.lit_redundant(learnt[i]) {
+                learnt[kept] = learnt[i];
+                kept += 1;
+            }
+        }
+        learnt.truncate(kept);
 
-        for &l in &self.analyze_clear.clone() {
+        for &l in &clear {
             self.seen[l.var().index()] = false;
         }
+        self.analyze_clear = clear;
 
         // Compute backtrack level: max level among learnt[1..].
         let bt = if learnt.len() == 1 {
@@ -483,11 +555,11 @@ impl Solver {
 
     /// Checks whether `l` is redundant in the learned clause: every literal
     /// of its reason clause is already seen (basic self-subsumption test).
-    fn lit_redundant(&mut self, l: Lit) -> bool {
+    fn lit_redundant(&self, l: Lit) -> bool {
         let Some(r) = self.reason[l.var().index()] else {
             return false;
         };
-        let lits = &self.db.get(r).lits;
+        let lits = self.db.lits(r);
         for &q in &lits[1..] {
             let v = q.var().index();
             if !self.seen[v] && self.level[v] > 0 {
@@ -500,44 +572,140 @@ impl Solver {
     fn record_learnt(&mut self, learnt: Vec<Lit>) {
         self.stats.learned_literals += learnt.len() as u64;
         if learnt.len() == 1 {
+            self.export_clause(&learnt, 1);
             self.unchecked_enqueue(learnt[0], None);
         } else {
             let lbd = self.compute_lbd(&learnt);
+            self.export_clause(&learnt, lbd);
             let asserting = learnt[0];
-            let cref = self.db.alloc(learnt, true, lbd);
+            let cref = self.db.alloc(&learnt, true, lbd);
             self.attach(cref);
             self.bump_clause(cref);
             self.unchecked_enqueue(asserting, Some(cref));
+            self.stats.arena_bytes = self.db.arena_bytes() as u64;
         }
     }
 
+    /// Offers a learned clause to the attached exchange, if any.
+    fn export_clause(&mut self, lits: &[Lit], lbd: u32) {
+        if let Some(port) = &mut self.exchange {
+            if port.export(lits, lbd) {
+                self.stats.clauses_exported += 1;
+            }
+        }
+    }
+
+    /// Imports peers' shared clauses at a root-level point. Returns `false`
+    /// when the imports (all logical consequences) close the formula —
+    /// i.e. a root conflict proves unsatisfiability.
+    fn import_shared(&mut self) -> bool {
+        let Some(mut port) = self.exchange.take() else {
+            return self.ok;
+        };
+        debug_assert_eq!(self.decision_level(), 0);
+        let mut imported = 0u64;
+        port.drain(&mut |lits, lbd| {
+            if self.import_clause(lits, lbd) {
+                imported += 1;
+            }
+        });
+        self.exchange = Some(port);
+        if imported > 0 {
+            self.stats.clauses_imported += imported;
+            self.stats.arena_bytes = self.db.arena_bytes() as u64;
+            if self.ok && self.propagate().is_some() {
+                self.ok = false;
+            }
+        }
+        self.ok
+    }
+
+    /// Adds one imported clause as a learned clause, simplifying against
+    /// the root-level trail. Returns `true` if the clause (or its implied
+    /// unit) was recorded.
+    fn import_clause(&mut self, lits: &[Lit], lbd: u32) -> bool {
+        if !self.ok || lits.iter().any(|l| l.var().index() >= self.num_vars()) {
+            // Unknown variables can only mean a misrouted port; drop.
+            return false;
+        }
+        let mut ps: Vec<Lit> = lits.to_vec();
+        ps.sort_unstable();
+        ps.dedup();
+        let mut simplified = Vec::with_capacity(ps.len());
+        for (i, &l) in ps.iter().enumerate() {
+            if i + 1 < ps.len() && ps[i + 1] == !l {
+                return false; // tautology
+            }
+            match self.value_lit(l) {
+                LBool::True => return false, // already satisfied at root
+                LBool::False => {}           // falsified at root: drop literal
+                LBool::Undef => simplified.push(l),
+            }
+        }
+        match simplified.len() {
+            0 => {
+                // An imported consequence is empty at root: unsatisfiable.
+                self.ok = false;
+                true
+            }
+            1 => {
+                self.unchecked_enqueue(simplified[0], None);
+                true
+            }
+            _ => {
+                let lbd = lbd.clamp(1, simplified.len() as u32);
+                let cref = self.db.alloc(&simplified, true, lbd);
+                self.attach(cref);
+                true
+            }
+        }
+    }
+
+    /// Literal block distance of `lits` via the reusable level-stamp
+    /// scratch buffer (no allocation, sort, or dedup per learned clause).
     fn compute_lbd(&mut self, lits: &[Lit]) -> u32 {
-        let mut levels: Vec<u32> = lits.iter().map(|l| self.level[l.var().index()]).collect();
-        levels.sort_unstable();
-        levels.dedup();
-        levels.len() as u32
+        self.lbd_gen = self.lbd_gen.wrapping_add(1);
+        if self.lbd_gen == 0 {
+            // Generation counter wrapped: invalidate every stale stamp.
+            self.lbd_stamp.iter_mut().for_each(|s| *s = 0);
+            self.lbd_gen = 1;
+        }
+        let mut distinct = 0u32;
+        for l in lits {
+            // The asserting literal's level entry may be stale (deeper than
+            // the post-backtrack level), so size by what we actually see.
+            let lev = self.level[l.var().index()] as usize;
+            if lev >= self.lbd_stamp.len() {
+                self.lbd_stamp.resize(lev + 1, 0);
+            }
+            if self.lbd_stamp[lev] != self.lbd_gen {
+                self.lbd_stamp[lev] = self.lbd_gen;
+                distinct += 1;
+            }
+        }
+        distinct
     }
 
     /// Removes roughly half of the learned clauses, keeping binary/glue and
     /// high-activity clauses.
     ///
-    /// Freed clauses are swept from the watch lists in one batch pass at
-    /// the end: a per-clause `retain` over both watched literals' lists is
-    /// `O(watchlist)` each, which made reduction quadratic in conflict-heavy
-    /// runs, whereas the batch sweep is one `O(total watchers)` pass per
-    /// reduction regardless of how many clauses were dropped.
+    /// Freed clauses are swept from the watch lists in one batch pass, and
+    /// when the freed space crosses the arena's dead-fraction threshold a
+    /// garbage-collecting compaction slides live clauses down and remaps
+    /// watch lists and reason references (see [`crate::clause`]).
     fn reduce_db(&mut self) {
+        self.db.prune_learnts();
         let mut refs: Vec<ClauseRef> = self.db.learnt_refs().collect();
         refs.sort_by(|&a, &b| {
-            let (ca, cb) = (self.db.get(a), self.db.get(b));
-            ca.activity
-                .partial_cmp(&cb.activity)
+            self.db
+                .activity(a)
+                .partial_cmp(&self.db.activity(b))
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
         let locked: Vec<bool> = refs
             .iter()
             .map(|&r| {
-                let first = self.db.get(r).lits[0];
+                let first = self.db.lits(r)[0];
                 self.reason[first.var().index()] == Some(r) && self.value_lit(first) == LBool::True
             })
             .collect();
@@ -547,22 +715,64 @@ impl Solver {
             if removed >= target {
                 break;
             }
-            let c = self.db.get(r);
-            if locked[i] || c.lits.len() <= 2 || c.lbd <= 2 {
+            if locked[i] || self.db.len(r) <= 2 || self.db.lbd(r) <= 2 {
                 continue;
             }
             self.db.free(r);
             removed += 1;
         }
         if removed > 0 {
-            // ClauseRefs are never reused (the arena only marks clauses
-            // deleted), so `deleted` is a safe liveness test here.
+            // References are stable until compaction (clauses are only
+            // flagged), so `is_deleted` is a safe liveness test here.
             let db = &self.db;
             for ws in &mut self.watches {
-                ws.retain(|w| !db.get(w.cref).deleted);
+                ws.retain(|w| !db.is_deleted(w.cref));
             }
+            self.db.prune_learnts();
         }
         self.stats.reductions += 1;
+        self.maybe_compact();
+    }
+
+    /// Runs the arena garbage collector when enough dead space accrued.
+    fn maybe_compact(&mut self) {
+        if self.db.should_compact() {
+            self.compact_now();
+        }
+    }
+
+    /// Compacts the arena unconditionally, remapping watch lists and
+    /// reason references to the moved clauses.
+    fn compact_now(&mut self) {
+        let remap = self.db.compact();
+        for ws in &mut self.watches {
+            for w in ws {
+                w.cref = remap.map(w.cref);
+            }
+        }
+        for r in self.reason.iter_mut().flatten() {
+            *r = remap.map(*r);
+        }
+        self.stats.compactions += 1;
+        self.stats.arena_bytes = self.db.arena_bytes() as u64;
+    }
+
+    /// Forces a learned-clause reduction (and, if the dead-space threshold
+    /// is crossed, an arena compaction) immediately. Test hook for
+    /// exercising the garbage collector at chosen points; production
+    /// reductions are triggered by the `max_learnt` budget during search.
+    #[doc(hidden)]
+    pub fn force_reduce_db(&mut self) {
+        self.reduce_db();
+    }
+
+    /// Forces an arena compaction immediately, regardless of the
+    /// dead-space threshold. Test hook: lets the compaction-correctness
+    /// property tests churn the garbage collector on instances far too
+    /// small to cross the production trigger.
+    #[doc(hidden)]
+    pub fn force_compact(&mut self) {
+        self.compact_now();
     }
 
     fn pick_branch(&mut self) -> Option<Lit> {
@@ -613,6 +823,10 @@ impl Solver {
             self.ok = false;
             return SolveResult::Unsat;
         }
+        // Pick up clauses peers shared before this call began.
+        if !self.import_shared() {
+            return SolveResult::Unsat;
+        }
 
         let conflict_start = self.stats.conflicts;
         let mut restart_idx = 0u64;
@@ -632,6 +846,12 @@ impl Solver {
                 SearchOutcome::Restart => {
                     self.cancel_until(0);
                     self.stats.restarts += 1;
+                    // Restart boundaries are the import points for shared
+                    // clauses: the trail is at root, so every import lands
+                    // as a proper root-level learned clause.
+                    if !self.import_shared() {
+                        return SolveResult::Unsat;
+                    }
                 }
                 SearchOutcome::BudgetExhausted => {
                     self.cancel_until(0);
@@ -734,7 +954,7 @@ impl Solver {
         use std::collections::HashSet;
         let assumption_set: HashSet<Lit> = assumptions.iter().copied().collect();
         let mut seen = vec![false; self.num_vars()];
-        let mut queue: Vec<Lit> = self.db.get(conflict).lits.clone();
+        let mut queue: Vec<Lit> = self.db.lits(conflict).to_vec();
         let mut core = Vec::new();
         while let Some(l) = queue.pop() {
             let v = l.var().index();
@@ -745,7 +965,7 @@ impl Solver {
             if assumption_set.contains(&!l) {
                 core.push(!l);
             } else if let Some(r) = self.reason[v] {
-                queue.extend(self.db.get(r).lits.iter().copied());
+                queue.extend(self.db.lits(r).iter().copied());
             }
         }
         self.conflict_core = core;
@@ -769,7 +989,7 @@ impl Solver {
             if t != !failed && assumption_set.contains(&t) {
                 core.push(t);
             } else if let Some(r) = self.reason[v] {
-                queue.extend(self.db.get(r).lits.iter().copied().filter(|&q| q != t));
+                queue.extend(self.db.lits(r).iter().copied().filter(|&q| q != t));
             } else if assumption_set.contains(&t) {
                 // Contradictory assumption pair {failed, ¬failed}.
                 core.push(t);
@@ -998,6 +1218,96 @@ mod tests {
         assert!(
             started.elapsed() < std::time::Duration::from_secs(30),
             "child call must respect the parent's deadline"
+        );
+    }
+
+    #[test]
+    fn cloned_solver_is_independent_and_equivalent() {
+        // The arena clone path the portfolio relies on: a clone answers
+        // like the original and diverges cleanly on later additions.
+        let mut s = Solver::new();
+        let (a, b) = (lit(&mut s, 1), lit(&mut s, 2));
+        s.add_clause([a, b]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let mut c = s.clone();
+        assert_eq!(c.num_vars(), s.num_vars());
+        assert_eq!(c.solve(), SolveResult::Sat);
+        c.add_clause([!a]);
+        c.add_clause([!b]);
+        assert_eq!(c.solve(), SolveResult::Unsat);
+        // The original is unaffected by the clone's extra clauses.
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn forced_reduction_and_compaction_keep_answers() {
+        // Learn a pile of clauses on a hard instance, then force
+        // reductions until the arena compacts; the solver must stay
+        // consistent and reusable.
+        let mut s = Solver::new();
+        let n = 7usize;
+        let m = 6usize;
+        let var = |p: usize, h: usize| (p * m + h + 1) as i64;
+        for p in 0..n {
+            let row: Vec<Lit> = (0..m).map(|h| lit(&mut s, var(p, h))).collect();
+            s.add_clause(row);
+        }
+        for h in 0..m {
+            for p1 in 0..n {
+                for p2 in (p1 + 1)..n {
+                    let (l1, l2) = (lit(&mut s, var(p1, h)), lit(&mut s, var(p2, h)));
+                    s.add_clause([!l1, !l2]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(s.stats().arena_bytes > 0);
+    }
+
+    #[test]
+    fn export_and_import_flow_between_attached_solvers() {
+        use crate::exchange::{ClauseExchange, ExchangePort, SharingConfig};
+        use std::sync::Arc;
+
+        // Worker 0 learns clauses on a hard UNSAT instance and exports
+        // them; worker 1 then imports at its restart boundaries and must
+        // reach the same answer.
+        let build = |s: &mut Solver| {
+            let n = 5usize;
+            let m = 4usize;
+            let var = |p: usize, h: usize| (p * m + h + 1) as i64;
+            for p in 0..n {
+                let row: Vec<Lit> = (0..m).map(|h| lit(s, var(p, h))).collect();
+                s.add_clause(row);
+            }
+            for h in 0..m {
+                for p1 in 0..n {
+                    for p2 in (p1 + 1)..n {
+                        let (l1, l2) = (lit(s, var(p1, h)), lit(s, var(p2, h)));
+                        s.add_clause([!l1, !l2]);
+                    }
+                }
+            }
+        };
+        let exchange = Arc::new(ClauseExchange::new(2, SharingConfig::default()));
+        let mut exporter = Solver::new();
+        build(&mut exporter);
+        exporter.set_clause_exchange(Some(ExchangePort::new(exchange.clone(), 0)));
+        assert_eq!(exporter.solve(), SolveResult::Unsat);
+        assert!(
+            exporter.stats().clauses_exported > 0,
+            "low-LBD clauses must be exported: {}",
+            exporter.stats()
+        );
+
+        let mut importer = Solver::new();
+        build(&mut importer);
+        importer.set_clause_exchange(Some(ExchangePort::new(exchange, 1)));
+        assert_eq!(importer.solve(), SolveResult::Unsat);
+        assert!(
+            importer.stats().clauses_imported > 0,
+            "peer clauses must be imported: {}",
+            importer.stats()
         );
     }
 }

@@ -23,6 +23,15 @@ pub struct SolverTelemetry {
     pub restarts: u64,
     /// Learned-clause database reductions across all SAT calls.
     pub db_reductions: u64,
+    /// Learned clauses exported to portfolio peers across all SAT calls.
+    pub clauses_exported: u64,
+    /// Learned clauses imported from portfolio peers across all SAT calls.
+    pub clauses_imported: u64,
+    /// Clause-arena garbage collections across all SAT calls.
+    pub compactions: u64,
+    /// Peak clause-arena footprint in bytes observed across the call tree
+    /// (a gauge: absorbing a child takes the maximum, not the sum).
+    pub arena_bytes: u64,
     /// Time spent building encodings (clauses, totalizers).
     pub encode_time: Duration,
     /// Time spent inside SAT `solve` calls.
@@ -50,6 +59,10 @@ impl SolverTelemetry {
         self.propagations += child.propagations;
         self.restarts += child.restarts;
         self.db_reductions += child.db_reductions;
+        self.clauses_exported += child.clauses_exported;
+        self.clauses_imported += child.clauses_imported;
+        self.compactions += child.compactions;
+        self.arena_bytes = self.arena_bytes.max(child.arena_bytes);
         self.encode_time += child.encode_time;
         self.solve_time += child.solve_time;
         self.slices += child.slices;
@@ -96,6 +109,10 @@ mod tests {
             sat_calls: 2,
             conflicts: 5,
             backtracks: 3,
+            clauses_exported: 4,
+            clauses_imported: 2,
+            compactions: 1,
+            arena_bytes: 1024,
             encode_time: Duration::from_millis(4),
             solve_time: Duration::from_millis(6),
             ..SolverTelemetry::new()
@@ -105,6 +122,15 @@ mod tests {
         assert_eq!(parent.conflicts, 15);
         assert_eq!(parent.slices, 1);
         assert_eq!(parent.backtracks, 3);
+        assert_eq!(parent.clauses_exported, 4);
+        assert_eq!(parent.clauses_imported, 2);
+        assert_eq!(parent.compactions, 1);
+        assert_eq!(parent.arena_bytes, 1024, "gauge absorbs by max");
+        parent.absorb(&SolverTelemetry {
+            arena_bytes: 512,
+            ..SolverTelemetry::new()
+        });
+        assert_eq!(parent.arena_bytes, 1024, "smaller child keeps the peak");
         assert_eq!(parent.encode_time, Duration::from_millis(4));
         assert_eq!(parent.solve_time, Duration::from_millis(6));
     }

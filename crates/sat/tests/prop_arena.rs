@@ -1,0 +1,210 @@
+//! Property tests for the flat clause arena's garbage collector: random
+//! *incremental* add/solve/reduce sequences must preserve SAT/UNSAT
+//! answers, model validity, and unsat-core soundness across learned-clause
+//! reductions and arena compactions (which move every clause and remap
+//! watch lists and reason references).
+
+use proptest::prelude::*;
+use sat::{Lit, ResourceBudget, SolveResult, Solver, Var};
+
+/// Brute-force satisfiability check by enumerating all assignments.
+fn brute_force_sat(num_vars: usize, clauses: &[Vec<i64>]) -> bool {
+    assert!(num_vars <= 20);
+    'outer: for mask in 0u64..(1u64 << num_vars) {
+        for clause in clauses {
+            let satisfied = clause.iter().any(|&d| {
+                let v = d.unsigned_abs() as usize - 1;
+                let val = mask >> v & 1 == 1;
+                if d > 0 {
+                    val
+                } else {
+                    !val
+                }
+            });
+            if !satisfied {
+                continue 'outer;
+            }
+        }
+        return true;
+    }
+    false
+}
+
+fn model_satisfies(model: &[bool], clauses: &[Vec<i64>]) -> bool {
+    clauses.iter().all(|clause| {
+        clause.iter().any(|&d| {
+            let v = d.unsigned_abs() as usize - 1;
+            if d > 0 {
+                model[v]
+            } else {
+                !model[v]
+            }
+        })
+    })
+}
+
+fn clause_strategy(num_vars: i64) -> impl Strategy<Value = Vec<i64>> {
+    prop::collection::vec(
+        (1..=num_vars, prop::bool::ANY).prop_map(|(v, neg)| if neg { -v } else { v }),
+        1..=4,
+    )
+}
+
+/// One step of an incremental session: add a batch of clauses, then
+/// optionally force a learned-clause reduction and/or an arena
+/// compaction before re-solving.
+#[derive(Clone, Debug)]
+struct Step {
+    batch: Vec<Vec<i64>>,
+    reduce: bool,
+    compact: bool,
+}
+
+fn step_strategy(num_vars: i64) -> impl Strategy<Value = Step> {
+    (
+        prop::collection::vec(clause_strategy(num_vars), 0..8),
+        prop::bool::ANY,
+        prop::bool::ANY,
+    )
+        .prop_map(|(batch, reduce, compact)| Step {
+            batch,
+            reduce,
+            compact,
+        })
+}
+
+fn clamp_clauses(clauses: Vec<Vec<i64>>, num_vars: usize) -> Vec<Vec<i64>> {
+    let m = num_vars as i64;
+    clauses
+        .into_iter()
+        .map(|c| {
+            c.into_iter()
+                .map(|d| {
+                    let v = (d.abs() - 1) % m + 1;
+                    if d > 0 {
+                        v
+                    } else {
+                        -v
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The core compaction property: an incrementally grown solver whose
+    /// arena is reduced and compacted at arbitrary points between solves
+    /// answers exactly like the brute-force reference at every step, and
+    /// every SAT model it reports satisfies everything added so far.
+    #[test]
+    fn compaction_preserves_answers_and_models(
+        num_vars in 2usize..=7,
+        steps in prop::collection::vec(step_strategy(7), 1..6),
+    ) {
+        let mut solver = Solver::new();
+        solver.reserve_vars(num_vars);
+        let mut all: Vec<Vec<i64>> = Vec::new();
+        for step in steps {
+            for clause in clamp_clauses(step.batch, num_vars) {
+                solver.add_clause(clause.iter().map(|&d| Lit::from_dimacs(d)));
+                all.push(clause);
+            }
+            if step.reduce {
+                solver.force_reduce_db();
+            }
+            if step.compact {
+                solver.force_compact();
+            }
+            let expected = brute_force_sat(num_vars, &all);
+            match solver.solve() {
+                SolveResult::Sat => {
+                    prop_assert!(expected, "solver said SAT but formula is UNSAT");
+                    let model = solver.model();
+                    prop_assert!(
+                        model_satisfies(&model, &all),
+                        "post-compaction model does not satisfy the formula"
+                    );
+                }
+                SolveResult::Unsat => {
+                    prop_assert!(!expected, "solver said UNSAT but formula is SAT");
+                }
+                SolveResult::Unknown => prop_assert!(false, "unlimited solve returned Unknown"),
+            }
+            // Compacting *after* a solve must not corrupt the next one
+            // either; exercise the solved-state remap path every step.
+            solver.force_compact();
+        }
+    }
+
+    /// Unsat cores stay sound when reductions/compactions run between the
+    /// assumption solves that produce them.
+    #[test]
+    fn compaction_preserves_core_soundness(
+        num_vars in 2usize..=5,
+        seed_clauses in prop::collection::vec(clause_strategy(5), 0..15),
+        churn in 0usize..4,
+    ) {
+        let clauses = clamp_clauses(seed_clauses, num_vars);
+        let mut solver = Solver::new();
+        solver.reserve_vars(num_vars);
+        for clause in &clauses {
+            solver.add_clause(clause.iter().map(|&d| Lit::from_dimacs(d)));
+        }
+        // Churn the arena: solve (learning clauses), then reduce+compact.
+        for _ in 0..churn {
+            let _ = solver.solve();
+            solver.force_reduce_db();
+            solver.force_compact();
+        }
+        let assumptions: Vec<Lit> = (0..num_vars).map(|v| Var::new(v).positive()).collect();
+        if solver.solve_under_assumptions(&assumptions, &ResourceBudget::unlimited())
+            == SolveResult::Unsat
+        {
+            let core = solver.unsat_core().to_vec();
+            for l in &core {
+                prop_assert!(assumptions.contains(l), "core literal {l:?} not an assumption");
+            }
+            let mut all = clauses.clone();
+            for l in &core {
+                all.push(vec![l.to_dimacs()]);
+            }
+            prop_assert!(
+                !brute_force_sat(num_vars, &all),
+                "core is not actually conflicting after arena churn"
+            );
+        }
+        // The solver stays reusable without assumptions.
+        let expected = brute_force_sat(num_vars, &clauses);
+        prop_assert_eq!(solver.solve() == SolveResult::Sat, expected);
+    }
+
+    /// A compacted solver and an untouched twin loaded with the same
+    /// clauses agree call-for-call across an incremental session.
+    #[test]
+    fn compacted_and_fresh_solvers_agree(
+        num_vars in 2usize..=6,
+        steps in prop::collection::vec(step_strategy(6), 1..5),
+    ) {
+        let mut churned = Solver::new();
+        churned.reserve_vars(num_vars);
+        let mut all: Vec<Vec<i64>> = Vec::new();
+        for step in steps {
+            for clause in clamp_clauses(step.batch, num_vars) {
+                churned.add_clause(clause.iter().map(|&d| Lit::from_dimacs(d)));
+                all.push(clause);
+            }
+            churned.force_reduce_db();
+            churned.force_compact();
+            // A fresh solver sees the same clause set with no history.
+            let mut fresh = Solver::new();
+            fresh.reserve_vars(num_vars);
+            for clause in &all {
+                fresh.add_clause(clause.iter().map(|&d| Lit::from_dimacs(d)));
+            }
+            prop_assert_eq!(churned.solve(), fresh.solve());
+        }
+    }
+}

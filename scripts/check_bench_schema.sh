@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Schema check for BENCH_satmap.json: the bench report must carry the
+# clause-arena / clause-sharing telemetry introduced with the flat arena,
+# and the pigeonhole sharing probe must witness actual cooperation
+# (nonzero clauses_imported). Run after `cargo bench -p bench`.
+set -euo pipefail
+
+report="${1:-BENCH_satmap.json}"
+
+fail() {
+    echo "check_bench_schema: $1" >&2
+    exit 1
+}
+
+[ -s "$report" ] || fail "$report is missing or empty"
+
+# Top-level sections.
+for key in schema_version benchmarks groups portfolio_speedup sharing_telemetry routes; do
+    grep -q "\"$key\"" "$report" || fail "missing top-level key \"$key\""
+done
+
+# New telemetry fields: in the sharing probe and in every route row.
+for key in clauses_exported clauses_imported compactions arena_bytes; do
+    grep -q "\"$key\"" "$report" || fail "missing telemetry field \"$key\""
+done
+
+# The new criterion groups must have produced medians.
+for group in '"sharing/on"' '"sharing/off"' '"arena/clone"' '"arena/reemit"'; do
+    grep -q "$group" "$report" || fail "missing benchmark $group"
+done
+
+# Cooperation witness: the pigeonhole sharing probe must import clauses.
+imported=$(sed -n 's/.*"sharing_telemetry": {[^}]*"clauses_imported": \([0-9]*\).*/\1/p' "$report")
+[ -n "$imported" ] || fail "could not parse sharing_telemetry.clauses_imported"
+[ "$imported" -gt 0 ] || fail "sharing probe imported 0 clauses (portfolio is not cooperating)"
+
+echo "check_bench_schema: OK ($report, clauses_imported=$imported)"

@@ -182,6 +182,122 @@ fn cancel_token_reaches_a_plain_solver_deep_in_the_chain() {
 }
 
 #[test]
+fn sharing_portfolio_maxsat_costs_match_serial_backend() {
+    // The acceptance bar for clause sharing: a width-4 sharing portfolio
+    // driven by the MaxSAT engine must land on exactly the optimal costs
+    // the serial backend proves, across weighted instances. (Sharing is on
+    // by default, so the width-4 path here races cooperating workers.)
+    use maxsat::{solve_with_options, MaxSatStatus, SolveOptions, WcnfInstance};
+
+    let build_instances = || -> Vec<WcnfInstance> {
+        let mut instances = Vec::new();
+        // Weighted choice chain.
+        let mut inst = WcnfInstance::new();
+        let a = inst.new_var().positive();
+        let b = inst.new_var().positive();
+        let c = inst.new_var().positive();
+        inst.add_hard([a, b]);
+        inst.add_hard([!a, c]);
+        inst.add_soft(5, [!a]);
+        inst.add_soft(2, [!b]);
+        inst.add_soft(1, [!c]);
+        instances.push(inst);
+        // Pigeonhole-flavoured: every pigeon placed softly, holes exclusive.
+        let mut php = WcnfInstance::new();
+        let vars: Vec<_> = (0..6).map(|_| php.new_var().positive()).collect();
+        for p in 0..3 {
+            php.add_soft(1 + p as u64, [vars[2 * p], vars[2 * p + 1]]);
+        }
+        for h in 0..2 {
+            for p1 in 0..3 {
+                for p2 in (p1 + 1)..3 {
+                    php.add_hard([!vars[2 * p1 + h], !vars[2 * p2 + h]]);
+                }
+            }
+        }
+        instances.push(php);
+        instances
+    };
+
+    for (i, inst) in build_instances().into_iter().enumerate() {
+        let serial = maxsat::solve(&inst, ResourceBudget::unlimited());
+        let portfolio = solve_with_options::<PortfolioBackend<DefaultBackend>>(
+            &inst,
+            &ResourceBudget::unlimited(),
+            &SolveOptions::default().with_portfolio_width(4),
+        );
+        assert_eq!(serial.status, portfolio.status, "instance {i}");
+        assert_eq!(
+            serial.cost, portfolio.cost,
+            "instance {i}: sharing portfolio must reproduce the serial optimum"
+        );
+        if serial.status == MaxSatStatus::Optimal {
+            let model = portfolio.model.expect("optimal outcome has a model");
+            assert_eq!(inst.cost_of(&model), portfolio.cost, "instance {i}");
+        }
+    }
+}
+
+#[test]
+fn sharing_on_and_off_portfolios_agree_and_cooperate() {
+    // Same hard UNSAT race with sharing on and off: identical answers,
+    // and the sharing side must actually move clauses (nonzero imports).
+    let mut with_sharing = PortfolioBackend::<DefaultBackend>::with_width(4);
+    load_pigeonhole(&mut with_sharing, 7, 6);
+    let mut without = PortfolioBackend::<DefaultBackend>::with_width(4);
+    without.set_sharing(false);
+    load_pigeonhole(&mut without, 7, 6);
+    let unlimited = ResourceBudget::unlimited();
+    assert_eq!(
+        with_sharing.solve_under_assumptions(&[], &unlimited),
+        SolveResult::Unsat
+    );
+    assert_eq!(
+        without.solve_under_assumptions(&[], &unlimited),
+        SolveResult::Unsat
+    );
+    assert!(
+        with_sharing.stats().clauses_imported > 0,
+        "sharing race must import peer clauses: {}",
+        with_sharing.stats()
+    );
+    assert_eq!(
+        without.stats().clauses_imported,
+        0,
+        "sharing off must not import"
+    );
+}
+
+#[test]
+fn routing_telemetry_carries_arena_and_sharing_fields() {
+    // The new counters must flow through maxsat into RouteOutcome and its
+    // JSON row — the schema the experiment sweeps and BENCH_satmap.json
+    // share.
+    let graph = arch::devices::tokyo_minus();
+    let router = RouterRegistry::standard()
+        .create("nl-satmap")
+        .expect("registered");
+    let circuit = fig3();
+    let request = RouteRequest::new(&circuit, &graph).with_parallelism(Parallelism::Width(2));
+    let outcome = router.route_request(&request);
+    assert!(outcome.solved(), "fig3 routes");
+    assert!(
+        outcome.telemetry().arena_bytes > 0,
+        "solver arena footprint must reach routing telemetry: {}",
+        outcome.telemetry()
+    );
+    let json = outcome.to_json();
+    for key in [
+        "\"clauses_exported\":",
+        "\"clauses_imported\":",
+        "\"compactions\":",
+        "\"arena_bytes\":",
+    ] {
+        assert!(json.contains(key), "row schema must carry {key}: {json}");
+    }
+}
+
+#[test]
 fn diversified_workers_agree_on_unsat() {
     // Diversification changes the search order, never the answer.
     for n in 0..5usize {
