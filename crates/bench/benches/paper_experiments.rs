@@ -8,7 +8,7 @@
 //! and driven by a `RouteRequest` carrying the per-call budget — no
 //! concrete router type appears in this harness.
 
-use bench::{bench_budget, fig3, pigeonhole_cnf, planted_cnf, small_workloads};
+use bench::{bench_budget, fig3, pigeonhole_cnf, placement_wcnf, planted_cnf, small_workloads};
 use circuit::{Objective, Parallelism, RepeatedStructure, RouteRequest, Slicing};
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use routers::{BoxedRouter, RouterRegistry};
@@ -309,6 +309,36 @@ fn arena_clone_vs_reemit(c: &mut Criterion) {
     group.finish();
 }
 
+/// MaxSAT search strategies on the weighted placement family: the linear
+/// SAT-UNSAT descent, the core-guided lower-bounding search, and the
+/// first-proof-wins race of both. All three prove the same optimum; the
+/// group records how their routes to the proof compare.
+fn maxsat_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maxsat_strategies");
+    group.sample_size(10);
+    let inst = placement_wcnf(7, 4);
+    for (label, strategy) in [
+        ("linear", maxsat::Strategy::LinearSatUnsat),
+        ("core-guided", maxsat::Strategy::CoreGuided),
+        ("race", maxsat::Strategy::Race),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let options = maxsat::SolveOptions::default().with_strategy(strategy);
+                let out = maxsat::solve_with_options::<Solver>(
+                    &inst,
+                    &ResourceBudget::unlimited(),
+                    &options,
+                );
+                assert_eq!(out.status, maxsat::MaxSatStatus::Optimal);
+                assert_eq!(out.cost, Some(3), "7 pigeons, 4 holes");
+                out
+            })
+        });
+    }
+    group.finish();
+}
+
 /// The portfolio width chosen at request time: `Serial` vs an explicit
 /// 4-wide race on the same monolithic route, through the same router.
 fn portfolio_width_request(c: &mut Criterion) {
@@ -341,7 +371,8 @@ criterion_group!(
     portfolio_race,
     portfolio_width_request,
     sharing_race,
-    arena_clone_vs_reemit
+    arena_clone_vs_reemit,
+    maxsat_strategies
 );
 
 fn main() {

@@ -111,6 +111,30 @@ pub fn pigeonhole_cnf(pigeons: usize, holes: usize) -> Vec<Vec<i64>> {
     clauses
 }
 
+/// A weighted placement MaxSAT instance: pigeonhole exclusivity as hard
+/// clauses with one *soft* "pigeon is placed" clause per pigeon — optimum
+/// cost `max(0, pigeons − holes)`. With `pigeons > holes` the linear
+/// strategy must descend from a poor first incumbent while the core-guided
+/// strategy pays exactly `pigeons − holes` cores into its lower bound:
+/// the family behind the `maxsat_strategies` bench group and the
+/// strategy-race regressions.
+pub fn placement_wcnf(pigeons: usize, holes: usize) -> maxsat::WcnfInstance {
+    let mut inst = maxsat::WcnfInstance::new();
+    let var = |p: usize, h: usize| sat::Var::new(p * holes + h).positive();
+    inst.reserve_vars(pigeons * holes);
+    for h in 0..holes {
+        for p1 in 0..pigeons {
+            for p2 in (p1 + 1)..pigeons {
+                inst.add_hard([!var(p1, h), !var(p2, h)]);
+            }
+        }
+    }
+    for p in 0..pigeons {
+        inst.add_soft(1, (0..holes).map(|h| var(p, h)));
+    }
+    inst
+}
+
 /// Clause-sharing counters observed on one probe race (see
 /// [`sharing_probe`]); embedded in the bench report so the JSON records
 /// that the portfolio genuinely cooperates, not just races.
@@ -370,6 +394,17 @@ mod tests {
         assert!(json.contains("\"sharing_telemetry\""));
         assert!(json.contains("\"routes\": [\n  ]"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn placement_wcnf_has_known_optimum() {
+        let inst = placement_wcnf(4, 2);
+        let out = maxsat::solve(&inst, sat::ResourceBudget::unlimited());
+        assert_eq!(out.status, maxsat::MaxSatStatus::Optimal);
+        assert_eq!(out.cost, Some(2), "4 pigeons, 2 holes: 2 must stay out");
+        let sat_inst = placement_wcnf(3, 3);
+        let sat_out = maxsat::solve(&sat_inst, sat::ResourceBudget::unlimited());
+        assert_eq!(sat_out.cost, Some(0), "equal pigeons and holes all fit");
     }
 
     #[test]

@@ -42,7 +42,8 @@ pub mod verify;
 pub use circuit::Circuit;
 pub use gate::{Gate, OneQubitKind, Qubit, TwoQubitKind};
 pub use request::{
-    Objective, Parallelism, RepeatedStructure, RouteOutcome, RouteRequest, RouteSpec, Slicing,
+    Objective, Parallelism, RepeatedStructure, RouteOutcome, RouteRequest, RouteSpec,
+    SearchStrategy, Slicing,
 };
 pub use routed::{RoutedCircuit, RoutedOp};
 pub use router::{RouteError, Router};

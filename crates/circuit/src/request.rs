@@ -70,6 +70,20 @@ pub enum Slicing {
 
 pub use sat::MAX_AUTO_WIDTH;
 
+/// Which MaxSAT search strategy the SAT-based routers run per request
+/// (pure heuristics ignore it). Mirrors `maxsat::Strategy` without a
+/// dependency on the engine crate.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SearchStrategy {
+    /// Model-improving linear SAT-UNSAT search (the paper's behaviour).
+    #[default]
+    Linear,
+    /// OLL-style core-guided lower-bounding search.
+    CoreGuided,
+    /// Race both strategies; the first proof wins and cancels its peer.
+    Race,
+}
+
 /// How many diversified SAT workers a request may race per solver call.
 ///
 /// The width is resolved when the router acts on the request, not when the
@@ -152,6 +166,8 @@ pub struct RouteSpec {
     pub totalizer_units: Option<u64>,
     /// How many diversified SAT workers to race per solver call.
     pub parallelism: Parallelism,
+    /// Which MaxSAT search strategy drives the optimization.
+    pub strategy: SearchStrategy,
     /// Repeated-structure declaration for cyclic-aware routers.
     pub repetition: Option<RepeatedStructure>,
 }
@@ -227,6 +243,13 @@ impl<'a> RouteRequest<'a> {
         self
     }
 
+    /// Sets the MaxSAT search strategy.
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: SearchStrategy) -> Self {
+        self.spec.strategy = strategy;
+        self
+    }
+
     /// Declares the circuit's repeated structure.
     #[must_use]
     pub fn with_repetition(mut self, repetition: RepeatedStructure) -> Self {
@@ -277,6 +300,11 @@ impl<'a> RouteRequest<'a> {
     /// The parallelism hint.
     pub fn parallelism(&self) -> Parallelism {
         self.spec.parallelism
+    }
+
+    /// The MaxSAT search strategy.
+    pub fn strategy(&self) -> SearchStrategy {
+        self.spec.strategy
     }
 
     /// The repeated-structure declaration, if any.
@@ -522,6 +550,8 @@ impl RouteOutcome {
         out.push_str(&format!(",\"db_reductions\":{}", t.db_reductions));
         out.push_str(&format!(",\"clauses_exported\":{}", t.clauses_exported));
         out.push_str(&format!(",\"clauses_imported\":{}", t.clauses_imported));
+        out.push_str(&format!(",\"useful_imports\":{}", t.useful_imports));
+        out.push_str(&format!(",\"cross_call_imports\":{}", t.cross_call_imports));
         out.push_str(&format!(",\"compactions\":{}", t.compactions));
         out.push_str(&format!(",\"arena_bytes\":{}", t.arena_bytes));
         out.push_str(&format!(",\"encode_s\":{:.6}", t.encode_time.as_secs_f64()));
@@ -531,6 +561,10 @@ impl RouteOutcome {
         match t.winning_worker {
             Some(w) => out.push_str(&format!(",\"winning_worker\":{w}")),
             None => out.push_str(",\"winning_worker\":null"),
+        }
+        match t.strategy {
+            Some(s) => out.push_str(&format!(",\"strategy\":\"{}\"", escape_json(s))),
+            None => out.push_str(",\"strategy\":null"),
         }
         out.push_str(",\"diagnostics\":{");
         for (i, (k, v)) in self.diagnostics.iter().enumerate() {

@@ -6,8 +6,18 @@
 //! request ([`circuit::RouteSpec`]), so one router instance serves
 //! different budgets/objectives call by call.
 
-use circuit::{Objective, RouteRequest, Slicing};
+use circuit::{Objective, RouteRequest, SearchStrategy, Slicing};
 use sat::ResourceBudget;
+
+/// Maps the request-level strategy knob onto the MaxSAT engine's enum
+/// (the `circuit` crate cannot name `maxsat` types).
+pub(crate) fn engine_strategy(strategy: SearchStrategy) -> maxsat::Strategy {
+    match strategy {
+        SearchStrategy::Linear => maxsat::Strategy::LinearSatUnsat,
+        SearchStrategy::CoreGuided => maxsat::Strategy::CoreGuided,
+        SearchStrategy::Race => maxsat::Strategy::Race,
+    }
+}
 
 /// Construction-time defaults of the SATMAP router.
 ///
@@ -98,7 +108,8 @@ impl SatMapConfig {
             objective: request.objective().clone(),
             options: maxsat::SolveOptions::default()
                 .with_totalizer_units(request.totalizer_units().unwrap_or(self.totalizer_units))
-                .with_portfolio_width(width),
+                .with_portfolio_width(width)
+                .with_strategy(engine_strategy(request.strategy())),
             width,
             budget: request.budget().clone(),
         }
@@ -162,13 +173,32 @@ mod tests {
             .with_slicing(Slicing::Monolithic)
             .with_swaps_per_gap(2)
             .with_totalizer_units(7)
-            .with_parallelism(Parallelism::Width(3));
+            .with_parallelism(Parallelism::Width(3))
+            .with_strategy(circuit::SearchStrategy::Race);
         let r = config.resolve(&req);
         assert_eq!(r.slice_size, None);
         assert_eq!(r.swaps_per_gap, 2);
         assert_eq!(r.width, 3);
         assert_eq!(r.options.totalizer_units, 7);
         assert_eq!(r.options.portfolio_width, Some(3));
+        assert_eq!(r.options.strategy, maxsat::Strategy::Race);
         assert_eq!(r.budget.remaining_time(), Some(Duration::from_secs(3)));
+    }
+
+    #[test]
+    fn strategy_knob_maps_onto_engine_enum() {
+        assert_eq!(
+            engine_strategy(SearchStrategy::Linear),
+            maxsat::Strategy::LinearSatUnsat
+        );
+        assert_eq!(
+            engine_strategy(SearchStrategy::CoreGuided),
+            maxsat::Strategy::CoreGuided
+        );
+        assert_eq!(
+            engine_strategy(SearchStrategy::Race),
+            maxsat::Strategy::Race
+        );
+        assert_eq!(SearchStrategy::default(), SearchStrategy::Linear);
     }
 }

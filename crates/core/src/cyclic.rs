@@ -51,12 +51,12 @@ use crate::solver::SatMap;
 /// # Ok::<(), circuit::RouteError>(())
 /// ```
 #[derive(Debug)]
-pub struct CyclicSatMap<B: SatBackend + Default = DefaultBackend> {
+pub struct CyclicSatMap<B: SatBackend + Default + Send = DefaultBackend> {
     config: SatMapConfig,
     _backend: PhantomData<fn() -> B>,
 }
 
-impl<B: SatBackend + Default> Clone for CyclicSatMap<B> {
+impl<B: SatBackend + Default + Send> Clone for CyclicSatMap<B> {
     fn clone(&self) -> Self {
         CyclicSatMap {
             config: self.config.clone(),
@@ -73,7 +73,7 @@ impl CyclicSatMap {
     }
 }
 
-impl<B: SatBackend + Default> CyclicSatMap<B> {
+impl<B: SatBackend + Default + Send> CyclicSatMap<B> {
     /// Creates a cyclic router with an explicit SAT backend type.
     pub fn with_backend(config: SatMapConfig) -> Self {
         CyclicSatMap {
@@ -317,7 +317,7 @@ impl<B: SatBackend + Default> CyclicSatMap<B> {
     }
 }
 
-impl<B: SatBackend + Default> Router for CyclicSatMap<B> {
+impl<B: SatBackend + Default + Send> Router for CyclicSatMap<B> {
     fn name(&self) -> &str {
         "cyc-satmap"
     }

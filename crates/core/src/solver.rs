@@ -49,12 +49,12 @@ use crate::encode::{routed_from_solution, EncodeShape, QmrEncoding};
 /// verify(&c, &graph, routed).expect("solution verifies");
 /// ```
 #[derive(Debug)]
-pub struct SatMap<B: SatBackend + Default = DefaultBackend> {
+pub struct SatMap<B: SatBackend + Default + Send = DefaultBackend> {
     config: SatMapConfig,
     _backend: PhantomData<fn() -> B>,
 }
 
-impl<B: SatBackend + Default> Clone for SatMap<B> {
+impl<B: SatBackend + Default + Send> Clone for SatMap<B> {
     fn clone(&self) -> Self {
         SatMap {
             config: self.config.clone(),
@@ -102,7 +102,7 @@ fn push_solved(solved: &mut Vec<SliceState>, state: SliceState, telemetry: &mut 
     }
 }
 
-impl<B: SatBackend + Default> SatMap<B> {
+impl<B: SatBackend + Default + Send> SatMap<B> {
     /// Creates a router with the given configuration and an explicit SAT
     /// backend type.
     pub fn with_backend(config: SatMapConfig) -> Self {
@@ -445,7 +445,7 @@ impl<B: SatBackend + Default> SatMap<B> {
     }
 }
 
-impl<B: SatBackend + Default> Router for SatMap<B> {
+impl<B: SatBackend + Default + Send> Router for SatMap<B> {
     fn name(&self) -> &str {
         if self.config.slice_size.is_some() {
             "satmap"
@@ -463,6 +463,7 @@ impl<B: SatBackend + Default> Router for SatMap<B> {
             )
             .with_diagnostic("swaps_per_gap", p.swaps_per_gap)
             .with_diagnostic("portfolio_width", p.width)
+            .with_diagnostic("strategy", p.options.strategy.name())
     }
 }
 

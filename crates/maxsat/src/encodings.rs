@@ -157,6 +157,17 @@ impl Totalizer {
         &self.outputs
     }
 
+    /// The output literal forced true whenever the true inputs weigh at
+    /// least `weight`, if that sum is attainable — how the core-guided
+    /// strategy walks a relaxation totalizer's bound upward one output at
+    /// a time.
+    pub fn output_for(&self, weight: u64) -> Option<Lit> {
+        self.outputs
+            .iter()
+            .find(|&&(w, _)| w == weight)
+            .map(|&(_, l)| l)
+    }
+
     /// Returns clauses (as unit literals to assert) enforcing
     /// `Σ weight(true inputs) ≤ bound`.
     pub fn assert_at_most(&self, bound: u64) -> Vec<Lit> {

@@ -36,10 +36,12 @@
 
 pub mod encodings;
 mod solve;
+pub mod strategy;
 mod wcnf;
 
 pub use sat::{ResourceBudget, SolverTelemetry};
 pub use solve::{
     solve, solve_with_backend, solve_with_options, MaxSatOutcome, MaxSatStatus, SolveOptions,
 };
+pub use strategy::{CoreGuided, LinearSatUnsat, SearchContext, SearchStrategy, Strategy};
 pub use wcnf::{SoftClause, WcnfInstance};

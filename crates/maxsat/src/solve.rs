@@ -1,10 +1,12 @@
-//! The anytime MaxSAT engine: a linear SAT-UNSAT search.
+//! The anytime MaxSAT engine's entry points and option/outcome types.
 //!
-//! Mirrors the behaviour of Open-WBO-Inc-MCS as the paper uses it: a loop
-//! that repeatedly queries an (incremental) SAT backend for models of
-//! strictly decreasing cost, keeping the best model found so far. If the
-//! budget expires after at least one model was found, the best-so-far
-//! solution is returned — the property SATMAP relies on for large circuits.
+//! Mirrors the behaviour of Open-WBO-Inc-MCS as the paper uses it: an
+//! engine that keeps the best model found so far and returns it when the
+//! budget expires — the property SATMAP relies on for large circuits. The
+//! search itself is pluggable (see [`crate::strategy`]): the classic
+//! model-improving [`crate::LinearSatUnsat`] loop (default), the
+//! core-guided [`crate::CoreGuided`] lower-bounding search, or a
+//! [`Strategy::Race`] of both with first-proof-wins semantics.
 //!
 //! The engine is generic over [`SatBackend`]; [`solve`] instantiates it
 //! with the workspace default, and [`solve_with_backend`] lets callers
@@ -12,11 +14,9 @@
 //! the engine arms the budget once and hands the *same deadline* to every
 //! SAT call, so no call can overshoot the caller's allowance.
 
-use std::time::Instant;
+use sat::{ResourceBudget, SatBackend, SolverTelemetry};
 
-use sat::{Lit, ResourceBudget, SatBackend, SolveResult, SolverTelemetry};
-
-use crate::encodings::Totalizer;
+use crate::strategy::{race, CoreGuided, LinearSatUnsat, SearchContext, SearchStrategy, Strategy};
 use crate::wcnf::WcnfInstance;
 
 /// Status of a completed MaxSAT search.
@@ -54,6 +54,9 @@ pub struct SolveOptions {
     /// (see [`sat::SatBackend::set_portfolio_width`]); `None` keeps the
     /// backend's own default. Single-threaded backends ignore the hint.
     pub portfolio_width: Option<usize>,
+    /// Which search strategy drives the optimization (linear SAT-UNSAT by
+    /// default; see [`Strategy`]).
+    pub strategy: Strategy,
 }
 
 impl Default for SolveOptions {
@@ -61,6 +64,7 @@ impl Default for SolveOptions {
         SolveOptions {
             totalizer_units: 4000,
             portfolio_width: None,
+            strategy: Strategy::default(),
         }
     }
 }
@@ -79,6 +83,12 @@ impl SolveOptions {
         self.portfolio_width = Some(width.max(1));
         self
     }
+
+    /// Returns a copy selecting the given search strategy.
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
 }
 
 /// Result of [`solve`]: status plus the best model and its cost, if any.
@@ -95,6 +105,9 @@ pub struct MaxSatOutcome {
     /// Weight quantum the totalizer was built with (`1` = exact weights;
     /// larger quanta can only claim [`MaxSatStatus::Feasible`]).
     pub quantum: u64,
+    /// Name of the search strategy that produced this outcome — for a
+    /// [`Strategy::Race`], the racer whose answer was kept.
+    pub strategy: &'static str,
     /// Solver effort spent answering this call.
     pub telemetry: SolverTelemetry,
 }
@@ -135,220 +148,39 @@ pub fn solve(instance: &WcnfInstance, budget: ResourceBudget) -> MaxSatOutcome {
 }
 
 /// [`solve`] with an explicit [`SatBackend`] implementation.
-pub fn solve_with_backend<B: SatBackend + Default>(
+pub fn solve_with_backend<B: SatBackend + Default + Send>(
     instance: &WcnfInstance,
     budget: ResourceBudget,
 ) -> MaxSatOutcome {
     solve_with_options::<B>(instance, &budget, &SolveOptions::default())
 }
 
-/// [`solve`] with an explicit backend and engine tunables.
-pub fn solve_with_options<B: SatBackend + Default>(
+/// [`solve`] with an explicit backend and engine tunables: dispatches the
+/// selected [`Strategy`] over a freshly encoded
+/// [`SearchContext`](crate::SearchContext). (`Send` bounds the backend so
+/// [`Strategy::Race`] can run its two racers on scoped threads.)
+pub fn solve_with_options<B: SatBackend + Default + Send>(
     instance: &WcnfInstance,
     budget: &ResourceBudget,
     options: &SolveOptions,
 ) -> MaxSatOutcome {
-    let budget = budget.arm();
-    let mut telemetry = SolverTelemetry::new();
-    let mut solver = B::default();
-    if let Some(width) = options.portfolio_width {
-        solver.set_portfolio_width(width);
-    }
-
-    let encode_start = Instant::now();
-    solver.reserve_vars(instance.num_vars());
-    for h in instance.hard_clauses() {
-        solver.add_clause(h);
-    }
-
-    // Indicator literal per soft clause: true ⇔ the soft clause is falsified.
-    let mut indicators: Vec<(Lit, u64)> = Vec::with_capacity(instance.soft_clauses().len());
-    for s in instance.soft_clauses() {
-        match s.lits.as_slice() {
-            [] => continue, // an empty soft is always falsified; constant cost
-            [l] => indicators.push((!*l, s.weight)),
-            lits => {
-                let r = solver.new_var().positive();
-                let mut clause: Vec<Lit> = lits.to_vec();
-                clause.push(r);
-                solver.add_clause(&clause);
-                // r is free to be false whenever the clause is satisfied, and
-                // the objective pushes it false, so r ⇔ falsified at optimum.
-                indicators.push((r, s.weight));
-            }
+    match options.strategy {
+        Strategy::LinearSatUnsat => {
+            let mut ctx = SearchContext::<B>::new(instance, budget, options);
+            LinearSatUnsat.search(&mut ctx)
         }
-    }
-    telemetry.encode_time += encode_start.elapsed();
-    let constant_cost: u64 = instance
-        .soft_clauses()
-        .iter()
-        .filter(|s| s.lits.is_empty())
-        .map(|s| s.weight)
-        .sum();
-
-    let mut iterations = 0u32;
-    let mut best_model: Option<Vec<bool>> = None;
-    let mut best_cost: u64 = u64::MAX;
-    let mut totalizer: Option<Totalizer> = None;
-    // Quantize weights so the totalizer's attainable-sum count stays small.
-    let total_weight: u64 = indicators.iter().map(|&(_, w)| w).sum();
-    let quantum = (total_weight / options.totalizer_units.max(1)).max(1);
-
-    let before = *solver.stats();
-    macro_rules! snapshot {
-        () => {{
-            let stats = solver.stats();
-            telemetry.sat_calls = u64::from(iterations);
-            telemetry.conflicts = stats.conflicts - before.conflicts;
-            telemetry.decisions = stats.decisions - before.decisions;
-            telemetry.propagations = stats.propagations - before.propagations;
-            telemetry.restarts = stats.restarts - before.restarts;
-            telemetry.db_reductions = stats.reductions - before.reductions;
-            telemetry.clauses_exported = stats.clauses_exported - before.clauses_exported;
-            telemetry.clauses_imported = stats.clauses_imported - before.clauses_imported;
-            telemetry.compactions = stats.compactions - before.compactions;
-            // A gauge, not a counter: report the backend's current arena
-            // footprint (summed over portfolio workers).
-            telemetry.arena_bytes = stats.arena_bytes;
-            telemetry.winning_worker = stats.last_winner;
-            telemetry
-        }};
-    }
-
-    loop {
-        if budget.expired() {
-            break;
+        Strategy::CoreGuided => {
+            let mut ctx = SearchContext::<B>::new(instance, budget, options);
+            CoreGuided.search(&mut ctx)
         }
-        iterations += 1;
-        let solve_start = Instant::now();
-        let result = solver.solve_under_assumptions(&[], &budget);
-        telemetry.solve_time += solve_start.elapsed();
-        match result {
-            SolveResult::Sat => {
-                let model = solver.model();
-                // Evaluate true cost against the original instance (the
-                // model may set relaxers true spuriously).
-                let cost = instance
-                    .cost_of(&model)
-                    .expect("SAT model must satisfy hard clauses");
-                // Quantized cost of *this* model (drives strengthening:
-                // each iteration's constraint forces the next quantized
-                // cost strictly below this one, guaranteeing progress).
-                let q_cost: u64 = indicators
-                    .iter()
-                    .filter(|&&(l, _)| {
-                        model.get(l.var().index()).copied().unwrap_or(false) == l.is_positive()
-                    })
-                    .map(|&(_, w)| w.div_ceil(quantum))
-                    .sum();
-                if cost < best_cost {
-                    best_cost = cost;
-                    best_model = Some(model);
-                }
-                if best_cost == constant_cost {
-                    // Can't do better than falsifying only empty softs.
-                    return MaxSatOutcome {
-                        status: MaxSatStatus::Optimal,
-                        model: best_model,
-                        cost: Some(best_cost),
-                        iterations,
-                        quantum,
-                        telemetry: snapshot!(),
-                    };
-                }
-                if q_cost == 0 {
-                    // Quantized optimum reached; cannot strengthen further.
-                    return MaxSatOutcome {
-                        status: if quantum == 1 {
-                            MaxSatStatus::Optimal
-                        } else {
-                            MaxSatStatus::Feasible
-                        },
-                        model: best_model,
-                        cost: Some(best_cost),
-                        iterations,
-                        quantum,
-                        telemetry: snapshot!(),
-                    };
-                }
-                // Lazily build the totalizer on first strengthening. The
-                // generalized totalizer's size is bounded by the number of
-                // attainable weight sums, so heavy weights are *quantized*
-                // (divided by `quantum`, rounding up) to keep it tractable;
-                // with quantum > 1 the search stays anytime-correct but can
-                // only claim Feasible, not Optimal.
-                let encode_start = Instant::now();
-                let tot = totalizer.get_or_insert_with(|| {
-                    Totalizer::build(
-                        &mut solver,
-                        &indicators
-                            .iter()
-                            .map(|&(l, w)| (l, w.div_ceil(quantum)))
-                            .collect::<Vec<_>>(),
-                    )
-                });
-                for u in tot.assert_at_most(q_cost - 1) {
-                    solver.add_clause(&[u]);
-                }
-                telemetry.encode_time += encode_start.elapsed();
-            }
-            SolveResult::Unsat => {
-                return if let Some(model) = best_model {
-                    MaxSatOutcome {
-                        // With exact weights, exhausting the search proves
-                        // optimality; quantized weights only prove it up to
-                        // the quantization error.
-                        status: if quantum == 1 {
-                            MaxSatStatus::Optimal
-                        } else {
-                            MaxSatStatus::Feasible
-                        },
-                        model: Some(model),
-                        cost: Some(best_cost),
-                        iterations,
-                        quantum,
-                        telemetry: snapshot!(),
-                    }
-                } else {
-                    MaxSatOutcome {
-                        status: MaxSatStatus::Unsat,
-                        model: None,
-                        cost: None,
-                        iterations,
-                        quantum,
-                        telemetry: snapshot!(),
-                    }
-                };
-            }
-            SolveResult::Unknown => break,
-        }
-    }
-
-    // Budget exhausted.
-    if let Some(model) = best_model {
-        MaxSatOutcome {
-            status: MaxSatStatus::Feasible,
-            model: Some(model),
-            cost: Some(best_cost),
-            iterations,
-            quantum,
-            telemetry: snapshot!(),
-        }
-    } else {
-        MaxSatOutcome {
-            status: MaxSatStatus::Unknown,
-            model: None,
-            cost: None,
-            iterations,
-            quantum,
-            telemetry: snapshot!(),
-        }
+        Strategy::Race => race::<B>(instance, budget, options),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sat::Lit;
     use std::time::Duration;
 
     fn lit(d: i64) -> Lit {

@@ -1,0 +1,737 @@
+//! Search strategies of the MaxSAT engine, and the driver that races them.
+//!
+//! The engine's optimality search is factored into a [`SearchStrategy`]
+//! over a shared [`SearchContext`] (solver, soft-clause indicators, weight
+//! quantum, budget, telemetry, incumbent model). Two strategies ship:
+//!
+//! * [`LinearSatUnsat`] — the classic model-improving search: find a
+//!   model, assert `cost ≤ best − 1` through a generalized totalizer, and
+//!   repeat until UNSAT proves optimality. Strong when models are easy to
+//!   find and the optimum is near the first incumbent.
+//! * [`CoreGuided`] — OLL-style lower-bounding search: solve under the
+//!   assumption that *every* soft clause holds, extract an
+//!   [`sat::SatBackend::unsat_core`], pay its minimum weight into the
+//!   lower bound, and relax the core through a counting totalizer whose
+//!   bound walks up one output at a time. The first SAT answer *is* the
+//!   optimum. Strong when the optimum is small and cores are local.
+//!
+//! Neither dominates — which is why [`Strategy::Race`] runs both on
+//! diversified backends and takes the first *proof* (an `Optimal` or
+//! `Unsat` answer); the loser is cancelled through the shared
+//! [`sat::CancelToken`] chain. Every bound in both strategies is passed as
+//! an **assumption**, never asserted as a clause, so each worker's clause
+//! database stays a conservative extension of the shared instance — which
+//! makes it sound for the racers to exchange learned clauses over the
+//! shared variable prefix ([`sat::SharingConfig::var_limit`]): a lemma of
+//! the instance found while refuting one strategy's bound prunes the
+//! other strategy's search too.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use sat::{
+    ClauseExchange, ExchangePort, Lit, ResourceBudget, SatBackend, SharingConfig, SolveResult,
+    SolverTelemetry, Stats,
+};
+
+use crate::encodings::Totalizer;
+use crate::solve::{MaxSatOutcome, MaxSatStatus, SolveOptions};
+use crate::wcnf::WcnfInstance;
+
+/// Which search strategy drives [`crate::solve_with_options`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Strategy {
+    /// Model-improving linear SAT-UNSAT search (the engine's classic
+    /// behaviour, and still the default).
+    #[default]
+    LinearSatUnsat,
+    /// OLL-style core-guided lower-bounding search.
+    CoreGuided,
+    /// Race both strategies on separate backends; first proof wins and
+    /// cancels the peer.
+    Race,
+}
+
+impl Strategy {
+    /// Short name for telemetry rows and experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::LinearSatUnsat => LinearSatUnsat.name(),
+            Strategy::CoreGuided => CoreGuided.name(),
+            Strategy::Race => "race",
+        }
+    }
+}
+
+/// The state every strategy searches over: the loaded solver, the soft
+/// indicators, the weight quantum, the armed budget, telemetry, and the
+/// best model seen so far. Building the context performs the shared
+/// encoding step (hard clauses + one indicator literal per soft clause),
+/// which is identical for every strategy — the precondition for racing
+/// strategies to exchange clauses over the shared variable prefix.
+pub struct SearchContext<'a, B: SatBackend> {
+    solver: B,
+    instance: &'a WcnfInstance,
+    /// `(indicator, weight)` per soft clause: the indicator is true
+    /// exactly when the clause is falsified (at the optimum).
+    indicators: Vec<(Lit, u64)>,
+    /// Weight of always-falsified (empty) softs.
+    constant_cost: u64,
+    /// Weight quantum the totalizers are built with (1 = exact).
+    quantum: u64,
+    /// Variables shared by every strategy's encoding (instance variables
+    /// plus soft-clause relaxers); strategy-private totalizer variables
+    /// are allocated above this mark.
+    shared_vars: usize,
+    budget: ResourceBudget,
+    telemetry: SolverTelemetry,
+    stats_base: Stats,
+    iterations: u32,
+    best_model: Option<Vec<bool>>,
+    best_cost: u64,
+}
+
+impl<'a, B: SatBackend + Default> SearchContext<'a, B> {
+    /// Encodes `instance` into a fresh backend: hard clauses, then one
+    /// indicator per soft clause (unit softs reuse the negated literal;
+    /// larger softs get a fresh relaxer, free to be false whenever the
+    /// clause is satisfied). Arms the budget.
+    pub fn new(
+        instance: &'a WcnfInstance,
+        budget: &ResourceBudget,
+        options: &SolveOptions,
+    ) -> Self {
+        let budget = budget.arm();
+        let mut telemetry = SolverTelemetry::new();
+        let mut solver = B::default();
+        if let Some(width) = options.portfolio_width {
+            solver.set_portfolio_width(width);
+        }
+
+        let encode_start = Instant::now();
+        solver.reserve_vars(instance.num_vars());
+        for h in instance.hard_clauses() {
+            solver.add_clause(h);
+        }
+        let mut indicators: Vec<(Lit, u64)> = Vec::with_capacity(instance.soft_clauses().len());
+        for s in instance.soft_clauses() {
+            match s.lits.as_slice() {
+                [] => continue, // an empty soft is always falsified; constant cost
+                [l] => indicators.push((!*l, s.weight)),
+                lits => {
+                    let r = solver.new_var().positive();
+                    let mut clause: Vec<Lit> = lits.to_vec();
+                    clause.push(r);
+                    solver.add_clause(&clause);
+                    // r is free to be false whenever the clause is satisfied,
+                    // and the objective pushes it false, so r ⇔ falsified at
+                    // the optimum.
+                    indicators.push((r, s.weight));
+                }
+            }
+        }
+        telemetry.encode_time += encode_start.elapsed();
+
+        let constant_cost: u64 = instance
+            .soft_clauses()
+            .iter()
+            .filter(|s| s.lits.is_empty())
+            .map(|s| s.weight)
+            .sum();
+        // Quantize weights so the totalizers' attainable-sum counts stay
+        // small; quantum 1 keeps the search exact.
+        let total_weight: u64 = indicators.iter().map(|&(_, w)| w).sum();
+        let quantum = (total_weight / options.totalizer_units.max(1)).max(1);
+        let shared_vars = solver.num_vars();
+        let stats_base = *solver.stats();
+
+        SearchContext {
+            solver,
+            instance,
+            indicators,
+            constant_cost,
+            quantum,
+            shared_vars,
+            budget,
+            telemetry,
+            stats_base,
+            iterations: 0,
+            best_model: None,
+            best_cost: u64::MAX,
+        }
+    }
+
+    /// The weight quantum the totalizers use (1 = exact search).
+    pub fn quantum(&self) -> u64 {
+        self.quantum
+    }
+
+    /// Weight of empty softs — the floor no model can beat.
+    pub fn constant_cost(&self) -> u64 {
+        self.constant_cost
+    }
+
+    /// Cost of the incumbent model (meaningless before the first model).
+    pub fn best_cost(&self) -> u64 {
+        self.best_cost
+    }
+
+    /// True once any model has been recorded.
+    pub fn has_model(&self) -> bool {
+        self.best_model.is_some()
+    }
+
+    /// Number of variables shared by every strategy's encoding; clauses
+    /// over this prefix may be exchanged between racing strategies.
+    pub fn shared_vars(&self) -> usize {
+        self.shared_vars
+    }
+
+    /// True once the armed budget has expired (or was cancelled).
+    pub fn budget_expired(&self) -> bool {
+        self.budget.expired()
+    }
+
+    /// `(indicator, quantized weight)` pairs — the totalizer inputs.
+    pub fn quantized_indicators(&self) -> Vec<(Lit, u64)> {
+        self.indicators
+            .iter()
+            .map(|&(l, w)| (l, w.div_ceil(self.quantum)))
+            .collect()
+    }
+
+    /// Wires the context's backend into a clause exchange (used by the
+    /// strategy race; single-threaded strategies never need it).
+    pub fn attach_exchange(&mut self, port: ExchangePort) {
+        self.solver.set_clause_exchange(Some(port));
+    }
+
+    /// One SAT call under `assumptions` within the shared budget, with the
+    /// solve time and iteration count charged to the context.
+    pub fn solve(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.iterations += 1;
+        let solve_start = Instant::now();
+        let result = self
+            .solver
+            .solve_under_assumptions(assumptions, &self.budget);
+        self.telemetry.solve_time += solve_start.elapsed();
+        result
+    }
+
+    /// Runs an encoding step (totalizer construction) against the solver,
+    /// charging its wall time to the telemetry's encode bucket.
+    pub fn encode<R>(&mut self, f: impl FnOnce(&mut B) -> R) -> R {
+        let encode_start = Instant::now();
+        let r = f(&mut self.solver);
+        self.telemetry.encode_time += encode_start.elapsed();
+        r
+    }
+
+    /// The subset of assumptions behind the last UNSAT answer.
+    pub fn core(&self) -> Vec<Lit> {
+        self.solver.unsat_core().to_vec()
+    }
+
+    /// Evaluates the solver's current model against the *original*
+    /// instance (the model may set relaxers true spuriously), records it
+    /// when it beats the incumbent, and returns `(true cost, quantized
+    /// cost)` — the quantized cost of *this* model drives the linear
+    /// strategy's strengthening.
+    pub fn observe_model(&mut self) -> (u64, u64) {
+        let model = self.solver.model();
+        let cost = self
+            .instance
+            .cost_of(&model)
+            .expect("SAT model must satisfy hard clauses");
+        let q_cost: u64 = self
+            .indicators
+            .iter()
+            .filter(|&&(l, _)| {
+                model.get(l.var().index()).copied().unwrap_or(false) == l.is_positive()
+            })
+            .map(|&(_, w)| w.div_ceil(self.quantum))
+            .sum();
+        if cost < self.best_cost {
+            self.best_cost = cost;
+            self.best_model = Some(model);
+        }
+        (cost, q_cost)
+    }
+
+    /// The status a completed (exhausted) search may claim: exact-weight
+    /// searches prove optimality, quantized ones only feasibility up to
+    /// the quantization error.
+    pub fn proved_status(&self) -> MaxSatStatus {
+        if self.quantum == 1 {
+            MaxSatStatus::Optimal
+        } else {
+            MaxSatStatus::Feasible
+        }
+    }
+
+    /// The single exit path of every strategy: snapshots the backend's
+    /// statistics into the telemetry and assembles the outcome around the
+    /// incumbent model.
+    pub fn finish(&mut self, status: MaxSatStatus, strategy: &'static str) -> MaxSatOutcome {
+        let stats = *self.solver.stats();
+        let base = &self.stats_base;
+        let t = &mut self.telemetry;
+        t.sat_calls = u64::from(self.iterations);
+        t.conflicts = stats.conflicts - base.conflicts;
+        t.decisions = stats.decisions - base.decisions;
+        t.propagations = stats.propagations - base.propagations;
+        t.restarts = stats.restarts - base.restarts;
+        t.db_reductions = stats.reductions - base.reductions;
+        t.clauses_exported = stats.clauses_exported - base.clauses_exported;
+        t.clauses_imported = stats.clauses_imported - base.clauses_imported;
+        t.useful_imports = stats.useful_imports - base.useful_imports;
+        t.cross_call_imports = stats.cross_call_imports - base.cross_call_imports;
+        t.compactions = stats.compactions - base.compactions;
+        // A gauge, not a counter: report the backend's current arena
+        // footprint (summed over portfolio workers).
+        t.arena_bytes = stats.arena_bytes;
+        t.winning_worker = stats.last_winner;
+        t.strategy = Some(strategy);
+        let model = self.best_model.take();
+        let cost = model.as_ref().map(|_| self.best_cost);
+        MaxSatOutcome {
+            status,
+            model,
+            cost,
+            iterations: self.iterations,
+            quantum: self.quantum,
+            strategy,
+            telemetry: *t,
+        }
+    }
+
+    /// [`SearchContext::finish`] for searches that ran out of budget: a
+    /// recorded model downgrades to `Feasible`, none at all is `Unknown`.
+    pub fn finish_exhausted(&mut self, strategy: &'static str) -> MaxSatOutcome {
+        let status = if self.has_model() {
+            MaxSatStatus::Feasible
+        } else {
+            MaxSatStatus::Unknown
+        };
+        self.finish(status, strategy)
+    }
+}
+
+/// One search strategy of the MaxSAT engine, running over a prepared
+/// [`SearchContext`] until it can prove a status or exhausts the budget.
+pub trait SearchStrategy {
+    /// Short name for telemetry rows and experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Runs the search to completion (or budget exhaustion).
+    fn search<B: SatBackend + Default>(&self, ctx: &mut SearchContext<'_, B>) -> MaxSatOutcome;
+}
+
+/// The model-improving linear SAT-UNSAT search (Open-WBO-Inc-MCS style):
+/// each model strengthens the bound `cost ≤ best − 1` until UNSAT proves
+/// optimality. The bound is passed as a single *assumption* on the
+/// totalizer's smallest violated output (the ordering chain propagates the
+/// rest), never asserted as a clause — so the clause database stays a
+/// conservative extension of the instance and lemmas remain exchangeable.
+pub struct LinearSatUnsat;
+
+impl SearchStrategy for LinearSatUnsat {
+    fn name(&self) -> &'static str {
+        "linear-sat-unsat"
+    }
+
+    fn search<B: SatBackend + Default>(&self, ctx: &mut SearchContext<'_, B>) -> MaxSatOutcome {
+        let mut totalizer: Option<Totalizer> = None;
+        // The current strengthening bound: ¬o for the smallest attainable
+        // sum above the target (ordering clauses propagate ¬ upward).
+        let mut bound: Option<Lit> = None;
+        loop {
+            if ctx.budget_expired() {
+                break;
+            }
+            let assumptions: Vec<Lit> = bound.into_iter().collect();
+            match ctx.solve(&assumptions) {
+                SolveResult::Sat => {
+                    let (_cost, q_cost) = ctx.observe_model();
+                    if ctx.best_cost() == ctx.constant_cost() {
+                        // Can't do better than falsifying only empty softs.
+                        return ctx.finish(MaxSatStatus::Optimal, self.name());
+                    }
+                    if q_cost == 0 {
+                        // Quantized optimum reached; cannot strengthen.
+                        let status = ctx.proved_status();
+                        return ctx.finish(status, self.name());
+                    }
+                    // Lazily build the totalizer on first strengthening;
+                    // its size is bounded by the number of attainable
+                    // (quantized) weight sums.
+                    if totalizer.is_none() {
+                        let inputs = ctx.quantized_indicators();
+                        totalizer = Some(ctx.encode(|solver| Totalizer::build(solver, &inputs)));
+                    }
+                    let tot = totalizer.as_ref().expect("just built");
+                    // q_cost is an attainable sum, so the list is nonempty
+                    // and the next call's model must strengthen strictly.
+                    bound = tot.assert_at_most(q_cost - 1).first().copied();
+                }
+                SolveResult::Unsat => {
+                    // No model below the bound: the incumbent is the
+                    // (quantized) optimum. Without an incumbent the hard
+                    // clauses themselves are unsatisfiable.
+                    let status = if ctx.has_model() {
+                        ctx.proved_status()
+                    } else {
+                        MaxSatStatus::Unsat
+                    };
+                    return ctx.finish(status, self.name());
+                }
+                SolveResult::Unknown => break,
+            }
+        }
+        ctx.finish_exhausted(self.name())
+    }
+}
+
+/// Where a core-guided assumption came from, so a core containing it can
+/// walk the owning totalizer's bound one output upward.
+type RelaxSource = (usize, u64, u64); // (totalizer index, output sum, weight)
+
+/// OLL-style core-guided search: assume every soft holds, relax
+/// [`sat::SatBackend::unsat_core`]s through counting totalizers, and stop
+/// at the first SAT answer — which is the (quantized) optimum.
+pub struct CoreGuided;
+
+impl SearchStrategy for CoreGuided {
+    fn name(&self) -> &'static str {
+        "core-guided"
+    }
+
+    fn search<B: SatBackend + Default>(&self, ctx: &mut SearchContext<'_, B>) -> MaxSatOutcome {
+        // Active assumptions with their remaining (quantized) weights.
+        // Duplicate indicator literals merge by summing weights so cores
+        // map back to unique assumptions.
+        let mut active: Vec<(Lit, u64)> = Vec::new();
+        for (l, w) in ctx.quantized_indicators() {
+            let assumption = !l;
+            match active.iter_mut().find(|(a, _)| *a == assumption) {
+                Some((_, total)) => *total += w,
+                None => active.push((assumption, w)),
+            }
+        }
+        let mut relaxations: Vec<Totalizer> = Vec::new();
+        let mut successors: HashMap<Lit, RelaxSource> = HashMap::new();
+
+        loop {
+            if ctx.budget_expired() {
+                break;
+            }
+            let assumptions: Vec<Lit> = active.iter().map(|&(l, _)| l).collect();
+            match ctx.solve(&assumptions) {
+                SolveResult::Sat => {
+                    // OLL invariant: a model under the current assumptions
+                    // meets the lower bound exactly — it is the optimum.
+                    ctx.observe_model();
+                    let status = ctx.proved_status();
+                    return ctx.finish(status, self.name());
+                }
+                SolveResult::Unsat => {
+                    let core = ctx.core();
+                    if core.is_empty() {
+                        // The conflict is independent of every assumption:
+                        // the hard clauses themselves are unsatisfiable.
+                        return ctx.finish(MaxSatStatus::Unsat, self.name());
+                    }
+                    let min_w = core
+                        .iter()
+                        .filter_map(|c| active.iter().find(|(l, _)| l == c).map(|&(_, w)| w))
+                        .min()
+                        .expect("core literals are active assumptions");
+                    // Pay min_w into the lower bound: every core member's
+                    // weight drops by it, and members reaching zero retire.
+                    for c in &core {
+                        let entry = active
+                            .iter_mut()
+                            .find(|(l, _)| l == c)
+                            .expect("core ⊆ assumptions");
+                        entry.1 -= min_w;
+                        // First core appearance of a totalizer output:
+                        // walk that totalizer's bound one output upward.
+                        if let Some((t, sum, w)) = successors.remove(c) {
+                            if let Some(next) = relaxations[t].output_for(sum + 1) {
+                                active.push((!next, w));
+                                successors.insert(!next, (t, sum + 1, w));
+                            }
+                        }
+                    }
+                    active.retain(|&(_, w)| w > 0);
+                    // Relax the core: count its violated members and allow
+                    // one for free (the lower bound already paid for it);
+                    // ¬o_2 walks upward as later cores include it.
+                    if core.len() > 1 {
+                        let inputs: Vec<(Lit, u64)> = core.iter().map(|&c| (!c, 1)).collect();
+                        let tot = ctx.encode(|solver| Totalizer::build(solver, &inputs));
+                        if let Some(o2) = tot.output_for(2) {
+                            active.push((!o2, min_w));
+                            successors.insert(!o2, (relaxations.len(), 2, min_w));
+                        }
+                        relaxations.push(tot);
+                    }
+                }
+                SolveResult::Unknown => break,
+            }
+        }
+        ctx.finish_exhausted(self.name())
+    }
+}
+
+/// Races [`LinearSatUnsat`] against [`CoreGuided`] on independent backends
+/// within one shared (already armed) budget: the first strategy to return
+/// a *proof* (`Optimal` or `Unsat`) wins and cancels its peer through the
+/// budget's [`sat::CancelToken`] chain. Without a proof, the better
+/// feasible answer is kept (ties favour the linear incumbent).
+///
+/// The racers cooperate: both attach to one [`ClauseExchange`] restricted
+/// to the shared variable prefix, so instance-level lemmas learned while
+/// one strategy refutes its bound prune the other strategy's search too
+/// (sound because each racer's clause database is a conservative
+/// extension of the shared instance — bounds travel as assumptions).
+/// Backends that cannot hold an external port simply race without
+/// cross-strategy sharing; a width-1 [`sat::PortfolioBackend`] rides the
+/// port on its primary, while wider portfolios keep their internal
+/// exchange. A requested `portfolio_width` is *split* between the racers
+/// rather than doubled, so the race honors the caller's worker budget.
+pub(crate) fn race<B: SatBackend + Default + Send>(
+    instance: &WcnfInstance,
+    budget: &ResourceBudget,
+    options: &SolveOptions,
+) -> MaxSatOutcome {
+    let armed = budget.arm();
+    let (worker_budget, abort) = armed.cancellable();
+    // Both strategies encode the instance identically, so variables below
+    // this mark mean the same thing to both; totalizer variables above it
+    // are strategy-private and never cross.
+    let shared_vars = instance.num_vars()
+        + instance
+            .soft_clauses()
+            .iter()
+            .filter(|s| s.lits.len() >= 2)
+            .count();
+    // Assumption-heavy MaxSAT solving spreads learned clauses over many
+    // pseudo-decision levels, inflating LBD well past the portfolio
+    // default — so the racers' exchange accepts glue up to 8 and longer
+    // clauses (every export is still a consequence of the shared prefix).
+    let exchange = Arc::new(ClauseExchange::new(
+        2,
+        SharingConfig {
+            lbd_max: 8,
+            max_len: 64,
+            var_limit: Some(shared_vars),
+            ..SharingConfig::default()
+        },
+    ));
+    let first_proof: Mutex<Option<usize>> = Mutex::new(None);
+
+    // The caller budgeted `portfolio_width` workers for *one* engine; the
+    // race must not double that, so the width splits across the racers
+    // (linear gets the rounding benefit as the historical default).
+    let split_width = |keep_larger_half: bool| {
+        let mut opts = *options;
+        opts.portfolio_width = options.portfolio_width.map(|w| {
+            if keep_larger_half {
+                w.div_ceil(2)
+            } else {
+                (w / 2).max(1)
+            }
+        });
+        opts
+    };
+    let racer_options = [split_width(true), split_width(false)];
+
+    let run = |strategy: &dyn Fn(&mut SearchContext<'_, B>) -> MaxSatOutcome, worker: usize| {
+        let mut ctx = SearchContext::<B>::new(instance, &worker_budget, &racer_options[worker]);
+        debug_assert_eq!(ctx.shared_vars(), shared_vars);
+        ctx.attach_exchange(ExchangePort::new(exchange.clone(), worker));
+        let outcome = strategy(&mut ctx);
+        if matches!(outcome.status, MaxSatStatus::Optimal | MaxSatStatus::Unsat) {
+            let mut slot = first_proof.lock().expect("race winner lock");
+            if slot.is_none() {
+                *slot = Some(worker);
+                abort.cancel();
+            }
+        }
+        outcome
+    };
+
+    let (linear_out, core_out) = std::thread::scope(|scope| {
+        let linear = scope.spawn(|| run(&|ctx| LinearSatUnsat.search(ctx), 0));
+        let core = scope.spawn(|| run(&|ctx| CoreGuided.search(ctx), 1));
+        (
+            linear.join().expect("linear racer"),
+            core.join().expect("core-guided racer"),
+        )
+    });
+
+    let winner = *first_proof.lock().expect("race winner lock");
+    let (mut out, other) = match winner {
+        Some(1) => (core_out, linear_out),
+        Some(_) => (linear_out, core_out),
+        None => match (linear_out.cost, core_out.cost) {
+            // Budget ran dry on both: keep the better incumbent.
+            (Some(lc), Some(cc)) if cc < lc => (core_out, linear_out),
+            (None, Some(_)) => (core_out, linear_out),
+            _ => (linear_out, core_out),
+        },
+    };
+    // The race's total effort is both workers'; the strategy label stays
+    // the winner's (absorb would otherwise take the loser's).
+    let strategy = out.strategy;
+    out.telemetry.absorb(&other.telemetry);
+    out.telemetry.strategy = Some(strategy);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sat::DefaultBackend;
+
+    fn lit(d: i64) -> Lit {
+        Lit::from_dimacs(d)
+    }
+
+    /// Weighted instance with a known optimum, solved by every strategy.
+    fn weighted_instance() -> WcnfInstance {
+        let mut inst = WcnfInstance::new();
+        let a = inst.new_var().positive();
+        let b = inst.new_var().positive();
+        inst.add_hard([a, b]);
+        inst.add_soft(5, [!a]);
+        inst.add_soft(1, [!b]);
+        inst
+    }
+
+    fn search_with<S: SearchStrategy>(strategy: &S, inst: &WcnfInstance) -> MaxSatOutcome {
+        let mut ctx = SearchContext::<DefaultBackend>::new(
+            inst,
+            &ResourceBudget::unlimited(),
+            &SolveOptions::default(),
+        );
+        strategy.search(&mut ctx)
+    }
+
+    #[test]
+    fn strategies_agree_on_weighted_instance() {
+        let inst = weighted_instance();
+        let linear = search_with(&LinearSatUnsat, &inst);
+        let core = search_with(&CoreGuided, &inst);
+        assert_eq!(linear.status, MaxSatStatus::Optimal);
+        assert_eq!(core.status, MaxSatStatus::Optimal);
+        assert_eq!(linear.cost, Some(1));
+        assert_eq!(core.cost, Some(1));
+        assert_eq!(linear.strategy, "linear-sat-unsat");
+        assert_eq!(core.strategy, "core-guided");
+        assert_eq!(linear.telemetry.strategy, Some("linear-sat-unsat"));
+        assert_eq!(core.telemetry.strategy, Some("core-guided"));
+    }
+
+    #[test]
+    fn core_guided_handles_hard_unsat() {
+        let mut inst = WcnfInstance::new();
+        inst.reserve_vars(1);
+        inst.add_hard([lit(1)]);
+        inst.add_hard([lit(-1)]);
+        inst.add_soft(1, [lit(1)]);
+        let out = search_with(&CoreGuided, &inst);
+        assert_eq!(out.status, MaxSatStatus::Unsat);
+        assert!(out.model.is_none());
+    }
+
+    #[test]
+    fn core_guided_relaxes_overlapping_cores() {
+        // Three mutually exclusive unit softs: any two conflict, so the
+        // optimum violates exactly two of them — the relaxation totalizer
+        // must walk its bound upward across successive cores.
+        let mut inst = WcnfInstance::new();
+        let x: Vec<Lit> = (0..3).map(|_| inst.new_var().positive()).collect();
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                inst.add_hard([!x[i], !x[j]]);
+            }
+        }
+        for &l in &x {
+            inst.add_soft(1, [l]);
+        }
+        let out = search_with(&CoreGuided, &inst);
+        assert_eq!(out.status, MaxSatStatus::Optimal);
+        assert_eq!(out.cost, Some(2));
+    }
+
+    #[test]
+    fn core_guided_weighted_cores_split_weights() {
+        // A core whose members have different weights pays the minimum and
+        // keeps the residual active.
+        let mut inst = WcnfInstance::new();
+        let a = inst.new_var().positive();
+        let b = inst.new_var().positive();
+        inst.add_hard([!a, !b]); // a and b conflict
+        inst.add_soft(3, [a]);
+        inst.add_soft(5, [b]);
+        inst.add_soft(2, [a, b]); // satisfied by either
+        let out = search_with(&CoreGuided, &inst);
+        assert_eq!(out.status, MaxSatStatus::Optimal);
+        assert_eq!(out.cost, Some(3), "violate the weight-3 soft, keep b");
+    }
+
+    #[test]
+    fn race_returns_optimal_and_merges_effort() {
+        let inst = weighted_instance();
+        let out = race::<DefaultBackend>(
+            &inst,
+            &ResourceBudget::unlimited(),
+            &SolveOptions::default(),
+        );
+        assert_eq!(out.status, MaxSatStatus::Optimal);
+        assert_eq!(out.cost, Some(1));
+        assert!(
+            out.strategy == "linear-sat-unsat" || out.strategy == "core-guided",
+            "winner must be one of the racers: {}",
+            out.strategy
+        );
+        assert_eq!(out.telemetry.strategy, Some(out.strategy));
+        // Both racers' SAT calls are charged.
+        assert!(out.telemetry.sat_calls >= 2, "{}", out.telemetry);
+    }
+
+    #[test]
+    fn race_with_zero_budget_does_not_misreport() {
+        let mut inst = WcnfInstance::new();
+        let lits: Vec<Lit> = (0..20).map(|_| inst.new_var().positive()).collect();
+        for w in lits.windows(2) {
+            inst.add_hard([w[0], w[1]]);
+        }
+        for &l in &lits {
+            inst.add_soft(1, [!l]);
+        }
+        let out = race::<DefaultBackend>(
+            &inst,
+            &ResourceBudget::with_time(std::time::Duration::ZERO),
+            &SolveOptions::default(),
+        );
+        assert!(matches!(
+            out.status,
+            MaxSatStatus::Feasible | MaxSatStatus::Unknown
+        ));
+        if let (Some(model), Some(cost)) = (&out.model, out.cost) {
+            assert_eq!(inst.cost_of(model), Some(cost));
+        }
+    }
+
+    #[test]
+    fn strategy_names_are_stable() {
+        assert_eq!(Strategy::LinearSatUnsat.name(), "linear-sat-unsat");
+        assert_eq!(Strategy::CoreGuided.name(), "core-guided");
+        assert_eq!(Strategy::Race.name(), "race");
+        assert_eq!(Strategy::default(), Strategy::LinearSatUnsat);
+    }
+}

@@ -39,11 +39,11 @@ use sat::{DefaultBackend, Lit, SatBackend, SolverTelemetry, Var};
 /// # Ok::<(), circuit::RouteError>(())
 /// ```
 #[derive(Debug)]
-pub struct Exhaustive<B: SatBackend + Default = DefaultBackend> {
+pub struct Exhaustive<B: SatBackend + Default + Send = DefaultBackend> {
     _backend: PhantomData<fn() -> B>,
 }
 
-impl<B: SatBackend + Default> Clone for Exhaustive<B> {
+impl<B: SatBackend + Default + Send> Clone for Exhaustive<B> {
     fn clone(&self) -> Self {
         Exhaustive {
             _backend: PhantomData,
@@ -59,7 +59,7 @@ impl Default for Exhaustive {
     }
 }
 
-impl<B: SatBackend + Default> Exhaustive<B> {
+impl<B: SatBackend + Default + Send> Exhaustive<B> {
     /// Creates the router with an explicit SAT backend type.
     pub fn with_backend() -> Self {
         Exhaustive {
@@ -203,7 +203,7 @@ impl NaiveEncoding {
     }
 }
 
-impl<B: SatBackend + Default> Exhaustive<B> {
+impl<B: SatBackend + Default + Send> Exhaustive<B> {
     fn route_impl(
         &self,
         request: &RouteRequest<'_>,
@@ -213,8 +213,7 @@ impl<B: SatBackend + Default> Exhaustive<B> {
             return (Err(e), telemetry);
         }
         let (circuit, graph) = (request.circuit(), request.graph());
-        let options =
-            maxsat::SolveOptions::default().with_portfolio_width(request.parallelism().resolve());
+        let options = crate::engine_options(request);
         let budget = request.budget().arm();
         // Memory guard (the paper's 5 GB cap analogue): the naive encoding
         // grows as |C|·|Edges|·|Logic|·|Phys| and is the reason EX-MQT
@@ -262,7 +261,7 @@ impl<B: SatBackend + Default> Exhaustive<B> {
     }
 }
 
-impl<B: SatBackend + Default> Router for Exhaustive<B> {
+impl<B: SatBackend + Default + Send> Router for Exhaustive<B> {
     fn name(&self) -> &str {
         "ex-mqt"
     }

@@ -36,3 +36,17 @@ mod transition;
 
 pub use exhaustive::Exhaustive;
 pub use transition::Transition;
+
+/// The `maxsat` engine options a request resolves to for these baselines:
+/// portfolio width from the parallelism hint, search strategy from the
+/// request's strategy knob.
+pub(crate) fn engine_options(request: &circuit::RouteRequest<'_>) -> maxsat::SolveOptions {
+    let strategy = match request.strategy() {
+        circuit::SearchStrategy::Linear => maxsat::Strategy::LinearSatUnsat,
+        circuit::SearchStrategy::CoreGuided => maxsat::Strategy::CoreGuided,
+        circuit::SearchStrategy::Race => maxsat::Strategy::Race,
+    };
+    maxsat::SolveOptions::default()
+        .with_portfolio_width(request.parallelism().resolve())
+        .with_strategy(strategy)
+}

@@ -38,11 +38,11 @@ use sat::{DefaultBackend, Lit, SatBackend, SolverTelemetry, Var};
 /// # Ok::<(), circuit::RouteError>(())
 /// ```
 #[derive(Debug)]
-pub struct Transition<B: SatBackend + Default = DefaultBackend> {
+pub struct Transition<B: SatBackend + Default + Send = DefaultBackend> {
     _backend: PhantomData<fn() -> B>,
 }
 
-impl<B: SatBackend + Default> Clone for Transition<B> {
+impl<B: SatBackend + Default + Send> Clone for Transition<B> {
     fn clone(&self) -> Self {
         Transition {
             _backend: PhantomData,
@@ -58,7 +58,7 @@ impl Default for Transition {
     }
 }
 
-impl<B: SatBackend + Default> Transition<B> {
+impl<B: SatBackend + Default + Send> Transition<B> {
     /// Creates the router with an explicit SAT backend type.
     pub fn with_backend() -> Self {
         Transition {
@@ -229,7 +229,7 @@ impl TransitionEncoding {
     }
 }
 
-impl<B: SatBackend + Default> Transition<B> {
+impl<B: SatBackend + Default + Send> Transition<B> {
     fn route_impl(
         &self,
         request: &RouteRequest<'_>,
@@ -239,8 +239,7 @@ impl<B: SatBackend + Default> Transition<B> {
             return (Err(e), telemetry);
         }
         let (circuit, graph) = (request.circuit(), request.graph());
-        let options =
-            maxsat::SolveOptions::default().with_portfolio_width(request.parallelism().resolve());
+        let options = crate::engine_options(request);
         let budget = request.budget().arm();
         let interactions = circuit.two_qubit_interactions();
         let max_blocks = interactions.len().max(1) + 1;
@@ -284,7 +283,7 @@ impl<B: SatBackend + Default> Transition<B> {
     }
 }
 
-impl<B: SatBackend + Default> Router for Transition<B> {
+impl<B: SatBackend + Default + Send> Router for Transition<B> {
     fn name(&self) -> &str {
         "tb-olsq"
     }

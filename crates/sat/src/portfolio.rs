@@ -25,6 +25,24 @@
 //! Sharing is on by default; [`PortfolioBackend::set_sharing`] disables it
 //! and [`PortfolioBackend::set_sharing_config`] tunes the thresholds.
 //!
+//! **The exchange persists across solve calls.** One `ClauseExchange`
+//! lives as long as the portfolio (rotated only on saturation or a width
+//! change), and worker ports are taken back after each race with their
+//! cursors and dedup state intact — so refutation lemmas published during
+//! an earlier call are imported by later calls (`cross-call reuse`,
+//! counted in [`crate::Stats::cross_call_imports`]). This is sound because
+//! the loaded formula only ever grows: a lemma implied by yesterday's
+//! clause set is implied by today's superset. Rebuilt peers resume from
+//! the primary's cursors (their arena clone already contains everything
+//! the primary imported).
+//!
+//! **Sharing thresholds adapt per instance.** The solver marks imported
+//! clauses in the arena and credits the ones that later join a conflict
+//! ([`crate::Stats::useful_imports`]); between races the portfolio feeds
+//! that yield into [`SharingConfig::adapted`], tightening
+//! `lbd_max`/`import_cap` when imports are dead weight and loosening them
+//! when they pay — the throttling scheme of modern portfolio solvers.
+//!
 //! The worker count (*width*) is a runtime value, not a type parameter:
 //! [`PortfolioBackend::with_width`] picks it explicitly (e.g.
 //! `with_width(auto_width())` to size from the machine), and
@@ -123,8 +141,25 @@ pub struct PortfolioBackend<B: SatBackend = DefaultBackend> {
     base_config: SolverConfig,
     /// Whether workers exchange learned clauses during races.
     sharing_enabled: bool,
-    /// Thresholds and capacities of the clause exchange.
+    /// Base thresholds and capacities of the clause exchange (what
+    /// [`PortfolioBackend::set_sharing_config`] installed).
     sharing: SharingConfig,
+    /// Effective thresholds after per-instance adaptation (reset to
+    /// `sharing` whenever the base config is replaced).
+    tuned: SharingConfig,
+    /// `(clauses_imported, useful_imports)` totals at the last adaptation,
+    /// so each adaptation judges only the traffic since the previous one.
+    adapt_mark: (u64, u64),
+    /// The exchange persisted across races (rotated on saturation or a
+    /// width change), and the worker ports taken back after each race.
+    exchange: Option<Arc<ClauseExchange>>,
+    ports: Vec<ExchangePort>,
+    /// A port handed to this portfolio from the *outside* (e.g. the MaxSAT
+    /// strategy race wiring two backends together). Attached to the
+    /// primary around width-1 solves; parked while an internal race runs,
+    /// since a worker can hold only one port and the internal exchange
+    /// takes precedence.
+    external: Option<ExchangePort>,
     /// Per-worker counters merged after every race, plus the last winner.
     merged: Stats,
     /// Index of the worker whose model/core answer the accessors serve.
@@ -158,6 +193,11 @@ impl<B: SatBackend + Default> PortfolioBackend<B> {
             base_config: SolverConfig::default(),
             sharing_enabled: true,
             sharing: SharingConfig::default(),
+            tuned: SharingConfig::default(),
+            adapt_mark: (0, 0),
+            exchange: None,
+            ports: Vec::new(),
+            external: None,
             merged: Stats::default(),
             winner: 0,
             wins: vec![0; width],
@@ -201,14 +241,26 @@ impl<B: SatBackend> PortfolioBackend<B> {
     }
 
     /// Replaces the clause-sharing thresholds (LBD/length filters, queue
-    /// capacity, per-restart import cap).
+    /// capacity, per-restart import cap). Resets any per-instance adaptive
+    /// tuning and retires the current exchange (capacity is baked into its
+    /// queues), so the next race starts fresh under the new config.
     pub fn set_sharing_config(&mut self, config: SharingConfig) {
         self.sharing = config;
+        self.tuned = config;
+        self.exchange = None;
+        self.ports.clear();
     }
 
-    /// The active clause-sharing thresholds.
+    /// The base clause-sharing thresholds (as installed; see
+    /// [`PortfolioBackend::tuned_sharing_config`] for the adapted values).
     pub fn sharing_config(&self) -> &SharingConfig {
         &self.sharing
+    }
+
+    /// The thresholds currently in force after per-instance adaptation
+    /// ([`SharingConfig::adapted`] applied to the observed import yield).
+    pub fn tuned_sharing_config(&self) -> &SharingConfig {
+        &self.tuned
     }
 
     /// The worker whose model/core the accessors currently serve.
@@ -243,10 +295,12 @@ impl<B: SatBackend + Default + Clone> PortfolioBackend<B> {
     /// or the width changed since the last race. For the bundled solver
     /// the clone is a flat-buffer `memcpy` per peer — the whole point of
     /// the arena — instead of re-emitting every clause `width - 1` times.
-    fn sync_peers(&mut self) {
+    /// Returns `true` when the peers were actually rebuilt (their exchange
+    /// ports must then be re-derived from the primary's).
+    fn sync_peers(&mut self) -> bool {
         let target = self.width - 1;
         if self.peers_synced && self.peers.len() == target {
-            return;
+            return false;
         }
         // Retire outgoing peers' own effort so merged totals stay
         // monotone (their arena memory is gone, so the gauge resets).
@@ -271,6 +325,61 @@ impl<B: SatBackend + Default + Clone> PortfolioBackend<B> {
             self.peers.push(peer);
         }
         self.peers_synced = true;
+        true
+    }
+
+    /// Ensures a live exchange and one port per worker before a sharing
+    /// race: adapts the thresholds from the import yield observed so far,
+    /// rotates the exchange when it is saturated (or the width changed),
+    /// and re-derives rebuilt peers' ports from the primary's cursors.
+    fn prepare_ports(&mut self, peers_rebuilt: bool) {
+        // Per-instance adaptation: judge the traffic since the last mark.
+        let imported = self.merged.clauses_imported;
+        let useful = self.merged.useful_imports;
+        let (mark_imported, mark_useful) = self.adapt_mark;
+        if imported - mark_imported >= SharingConfig::ADAPT_SAMPLE {
+            self.tuned = self
+                .tuned
+                .adapted(imported - mark_imported, useful - mark_useful);
+            self.adapt_mark = (imported, useful);
+        }
+
+        let rebuild = match &self.exchange {
+            Some(ex) => {
+                ex.num_workers() != self.width
+                    || self.ports.len() != self.width
+                    || ex.is_saturated()
+            }
+            None => true,
+        };
+        if rebuild {
+            let ex = Arc::new(ClauseExchange::new(self.width, self.sharing));
+            // Keep the primary's dedup knowledge across the rotation so
+            // already-imported clauses are not taken twice.
+            let template = self.ports.first().cloned();
+            self.ports = (0..self.width)
+                .map(|i| match &template {
+                    Some(t) => t.rebind(ex.clone(), i),
+                    None => ExchangePort::new(ex.clone(), i),
+                })
+                .collect();
+            self.exchange = Some(ex);
+        } else if peers_rebuilt {
+            // Rebuilt peers are clones of the primary: they already hold
+            // everything it imported, so they resume from its cursors.
+            let primary_port = self.ports[0].clone();
+            for i in 1..self.width {
+                self.ports[i] = primary_port.for_worker(i);
+            }
+        }
+        for port in &mut self.ports {
+            port.retune(self.tuned);
+            // One boundary for the whole race, taken before any worker
+            // starts: workers then classify cross-call imports against the
+            // same cut instead of each snapshotting mid-race (which would
+            // count a faster peer's same-call exports as carried).
+            port.mark_call_boundary();
+        }
     }
 }
 
@@ -297,6 +406,14 @@ impl<B: SatBackend + Send + Default + Clone> SatBackend for PortfolioBackend<B> 
         self.base_config = *config;
         self.primary.configure(config);
         self.peers_synced = false;
+    }
+
+    fn set_clause_exchange(&mut self, port: Option<ExchangePort>) {
+        self.external = port;
+    }
+
+    fn take_clause_exchange(&mut self) -> Option<ExchangePort> {
+        self.external.take()
     }
 
     fn set_portfolio_width(&mut self, width: usize) {
@@ -336,8 +453,14 @@ impl<B: SatBackend + Send + Default + Clone> SatBackend for PortfolioBackend<B> 
         budget: &ResourceBudget,
     ) -> SolveResult {
         // Width 1: no race to run — solve inline on the calling thread.
+        // An externally provided port (a strategy race wiring backends
+        // together) rides on the primary for the call, cursors preserved.
         if self.width == 1 {
+            if let Some(port) = self.external.take() {
+                self.primary.set_clause_exchange(Some(port));
+            }
             let result = self.primary.solve_under_assumptions(assumptions, budget);
+            self.external = self.primary.take_clause_exchange();
             if matches!(result, SolveResult::Sat | SolveResult::Unsat) {
                 self.winner = 0;
                 self.wins[0] += 1;
@@ -348,15 +471,16 @@ impl<B: SatBackend + Send + Default + Clone> SatBackend for PortfolioBackend<B> 
             return result;
         }
 
-        self.sync_peers();
-        // One exchange per race: ports carry per-race cursors and dedup
-        // state, so a stale port from a previous race must never leak in.
+        let peers_rebuilt = self.sync_peers();
+        // The exchange outlives the race: ports keep their cursors and
+        // dedup state between calls, so lemmas published during an earlier
+        // solve call are imported by this one (cross-call reuse).
         if self.sharing_enabled {
-            let exchange = Arc::new(ClauseExchange::new(self.width, self.sharing));
-            self.primary
-                .set_clause_exchange(Some(ExchangePort::new(exchange.clone(), 0)));
-            for (i, peer) in self.peers.iter_mut().enumerate() {
-                peer.set_clause_exchange(Some(ExchangePort::new(exchange.clone(), i + 1)));
+            self.prepare_ports(peers_rebuilt);
+            let mut ports = std::mem::take(&mut self.ports).into_iter();
+            self.primary.set_clause_exchange(ports.next());
+            for peer in self.peers.iter_mut() {
+                peer.set_clause_exchange(ports.next());
             }
         }
 
@@ -387,11 +511,25 @@ impl<B: SatBackend + Send + Default + Clone> SatBackend for PortfolioBackend<B> 
             }
         });
 
-        // Detach the race's exchange ports: clones taken for the next
-        // resync (and later races) must start with fresh cursors.
-        self.primary.set_clause_exchange(None);
-        for peer in &mut self.peers {
-            peer.set_clause_exchange(None);
+        // Take the ports back with their read positions intact; the next
+        // race re-attaches them so the exchange spans calls. A backend
+        // that cannot return its port (the trait default) retires the
+        // exchange — the next race simply starts a fresh one.
+        if self.sharing_enabled {
+            let mut ports = Vec::with_capacity(self.width);
+            let workers = std::iter::once(&mut self.primary).chain(self.peers.iter_mut());
+            for worker in workers {
+                match worker.take_clause_exchange() {
+                    Some(port) => ports.push(port),
+                    None => break,
+                }
+            }
+            if ports.len() == self.width {
+                self.ports = ports;
+            } else {
+                self.ports.clear();
+                self.exchange = None;
+            }
         }
 
         let decided = first.into_inner().expect("race winner lock");
@@ -585,6 +723,90 @@ mod tests {
             stats.clauses_imported > 0,
             "workers must import peers' clauses: {stats}"
         );
+    }
+
+    #[test]
+    fn exchange_persists_across_solve_calls() {
+        // PHP(7,6) behind a selector: each assumption solve is a fresh
+        // conflict-heavy race that leaves lemmas in the export queues, and
+        // the next call's entry drain must pick the leftovers up as
+        // cross-call imports (the exchange is no longer per-race).
+        let mut p = Portfolio::with_width(4);
+        let pigeons = 7usize;
+        let holes = 6usize;
+        p.reserve_vars(pigeons * holes + 1);
+        let s = lit((pigeons * holes + 1) as i64);
+        let var = |pp: usize, h: usize| lit((pp * holes + h + 1) as i64);
+        for pp in 0..pigeons {
+            let mut row: Vec<Lit> = (0..holes).map(|h| var(pp, h)).collect();
+            row.push(s); // selector keeps the formula satisfiable at root
+            SatBackend::add_clause(&mut p, &row);
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in (p1 + 1)..pigeons {
+                    SatBackend::add_clause(&mut p, &[!var(p1, h), !var(p2, h)]);
+                }
+            }
+        }
+        let unlimited = ResourceBudget::unlimited();
+        for _ in 0..3 {
+            assert_eq!(
+                p.solve_under_assumptions(&[!s], &unlimited),
+                SolveResult::Unsat
+            );
+        }
+        let stats = *p.stats();
+        assert!(stats.clauses_imported > 0, "{stats}");
+        assert!(
+            stats.cross_call_imports > 0,
+            "a later call must import lemmas exported during an earlier \
+             one through the persistent exchange: {stats}"
+        );
+        assert!(
+            stats.useful_imports <= stats.clauses_imported,
+            "usefulness counts each import at most once: {stats}"
+        );
+        // The satisfiable side still answers (imports are consequences).
+        assert_eq!(
+            p.solve_under_assumptions(&[s], &unlimited),
+            SolveResult::Sat
+        );
+    }
+
+    #[test]
+    fn external_port_rides_on_width_one_portfolios() {
+        // Two width-1 portfolios wired together from the outside (the
+        // MaxSAT strategy race's shape): lemmas must flow between them
+        // through the externally provided exchange.
+        use crate::exchange::{ClauseExchange, ExchangePort};
+        let exchange = Arc::new(ClauseExchange::new(2, SharingConfig::default()));
+        let mut exporter = Portfolio::with_width(1);
+        pigeonhole(&mut exporter, 5, 4);
+        exporter.set_clause_exchange(Some(ExchangePort::new(exchange.clone(), 0)));
+        assert_eq!(
+            exporter.solve_under_assumptions(&[], &ResourceBudget::unlimited()),
+            SolveResult::Unsat
+        );
+        assert!(
+            exporter.stats().clauses_exported > 0,
+            "width-1 portfolio must export through the external port: {}",
+            exporter.stats()
+        );
+        let mut importer = Portfolio::with_width(1);
+        pigeonhole(&mut importer, 5, 4);
+        importer.set_clause_exchange(Some(ExchangePort::new(exchange, 1)));
+        assert_eq!(
+            importer.solve_under_assumptions(&[], &ResourceBudget::unlimited()),
+            SolveResult::Unsat
+        );
+        assert!(
+            importer.stats().clauses_imported > 0,
+            "width-1 portfolio must import through the external port: {}",
+            importer.stats()
+        );
+        // The port survives the call and can be taken back, cursors intact.
+        assert!(importer.take_clause_exchange().is_some());
     }
 
     #[test]

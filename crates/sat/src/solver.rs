@@ -82,6 +82,8 @@ pub struct Solver {
     ok: bool,
     seen: Vec<bool>,
     analyze_clear: Vec<Lit>,
+    /// Reusable DFS stack for recursive conflict-clause minimization.
+    minimize_stack: Vec<Lit>,
     model: Vec<LBool>,
     conflict_core: Vec<Lit>,
     stats: Stats,
@@ -153,6 +155,7 @@ impl Solver {
             ok: true,
             seen: Vec::new(),
             analyze_clear: Vec::new(),
+            minimize_stack: Vec::new(),
             model: Vec::new(),
             conflict_core: Vec::new(),
             stats: Stats::default(),
@@ -192,6 +195,16 @@ impl Solver {
     /// are logical consequences of the shared formula.
     pub fn set_clause_exchange(&mut self, port: Option<ExchangePort>) {
         self.exchange = port;
+    }
+
+    /// Detaches and returns the clause-exchange port, if one is attached.
+    ///
+    /// The returned port keeps its per-peer read cursors and dedup state,
+    /// so re-attaching it later resumes the exchange exactly where it left
+    /// off — the mechanism `PortfolioBackend` uses to persist one exchange
+    /// across successive solve calls (cross-call lemma reuse).
+    pub fn take_clause_exchange(&mut self) -> Option<ExchangePort> {
+        self.exchange.take()
     }
 
     /// Initial saved phase for a variable per the configured policy.
@@ -296,7 +309,7 @@ impl Solver {
                 self.ok
             }
             _ => {
-                let cref = self.db.alloc(&simplified, false, 0);
+                let cref = self.db.alloc(&simplified, false, false, 0);
                 self.attach(cref);
                 self.stats.arena_bytes = self.db.arena_bytes() as u64;
                 true
@@ -467,6 +480,13 @@ impl Solver {
 
         loop {
             self.bump_clause(cref);
+            // Import-usefulness signal: the first time an imported clause
+            // joins a resolution, credit it (once) — the adaptive sharing
+            // thresholds tune themselves on this yield.
+            if self.db.is_imported(cref) {
+                self.db.clear_imported(cref);
+                self.stats.useful_imports += 1;
+            }
             // Split borrows: the resolved clause's literals are read in
             // place from the arena — the hottest loop in the solver runs
             // allocation-free — while the VSIDS state mutates disjoint
@@ -521,11 +541,17 @@ impl Solver {
         for &l in &learnt[1..] {
             self.seen[l.var().index()] = true;
         }
-        // Conflict-clause minimization, in place: drop literals implied by
-        // the rest.
+        // Full recursive (MiniSat-style) conflict-clause minimization, in
+        // place: drop every literal whose reason cone bottoms out in
+        // already-seen literals. The level-set bitmask prunes whole cones
+        // whose levels cannot appear in the clause.
+        self.stats.premin_literals += learnt.len() as u64;
+        let abstract_levels = learnt[1..].iter().fold(0u32, |mask, l| {
+            mask | 1u32 << (self.level[l.var().index()] & 31)
+        });
         let mut kept = 1;
         for i in 1..learnt.len() {
-            if !self.lit_redundant(learnt[i]) {
+            if !self.lit_redundant(learnt[i], abstract_levels, &mut clear) {
                 learnt[kept] = learnt[i];
                 kept += 1;
             }
@@ -553,20 +579,63 @@ impl Solver {
         (learnt, bt)
     }
 
-    /// Checks whether `l` is redundant in the learned clause: every literal
-    /// of its reason clause is already seen (basic self-subsumption test).
-    fn lit_redundant(&self, l: Lit) -> bool {
-        let Some(r) = self.reason[l.var().index()] else {
+    /// Checks whether `l` is redundant in the learned clause: walks `l`'s
+    /// entire reason cone (iteratively, via the reusable DFS stack) and
+    /// reports `true` when every path bottoms out in already-seen literals
+    /// or root-level assignments — the full MiniSat recursive test, reading
+    /// clause literals in place from the flat arena.
+    ///
+    /// Literals proven redundant along the way stay marked in `seen` (and
+    /// are pushed onto `clear`), so later redundancy checks within the same
+    /// conflict reuse the work. On failure, marks added by this walk are
+    /// rolled back so the outcome is order-independent.
+    fn lit_redundant(&mut self, l: Lit, abstract_levels: u32, clear: &mut Vec<Lit>) -> bool {
+        if self.reason[l.var().index()].is_none() {
             return false;
-        };
-        let lits = self.db.lits(r);
-        for &q in &lits[1..] {
-            let v = q.var().index();
-            if !self.seen[v] && self.level[v] > 0 {
-                return false;
+        }
+        let mut stack = std::mem::take(&mut self.minimize_stack);
+        stack.clear();
+        stack.push(l);
+        let rollback_from = clear.len();
+        let mut redundant = true;
+        'walk: while let Some(p) = stack.pop() {
+            let r = self.reason[p.var().index()].expect("stacked literals have reasons");
+            let Solver {
+                db,
+                seen,
+                level,
+                reason,
+                ..
+            } = self;
+            // lits[0] is the implied literal (== ¬p on the trail); the
+            // antecedents to explain are lits[1..].
+            for &q in &db.lits(r)[1..] {
+                let v = q.var().index();
+                if seen[v] || level[v] == 0 {
+                    continue;
+                }
+                if reason[v].is_some() && (1u32 << (level[v] & 31)) & abstract_levels != 0 {
+                    // Plausibly redundant: mark and explain it too.
+                    seen[v] = true;
+                    stack.push(q);
+                    clear.push(q);
+                } else {
+                    // A decision (or a level outside the clause): the cone
+                    // escapes the learned clause, so `l` must stay.
+                    redundant = false;
+                    break 'walk;
+                }
             }
         }
-        true
+        if !redundant {
+            for &x in &clear[rollback_from..] {
+                self.seen[x.var().index()] = false;
+            }
+            clear.truncate(rollback_from);
+        }
+        stack.clear();
+        self.minimize_stack = stack;
+        redundant
     }
 
     fn record_learnt(&mut self, learnt: Vec<Lit>) {
@@ -578,7 +647,7 @@ impl Solver {
             let lbd = self.compute_lbd(&learnt);
             self.export_clause(&learnt, lbd);
             let asserting = learnt[0];
-            let cref = self.db.alloc(&learnt, true, lbd);
+            let cref = self.db.alloc(&learnt, true, false, lbd);
             self.attach(cref);
             self.bump_clause(cref);
             self.unchecked_enqueue(asserting, Some(cref));
@@ -604,14 +673,19 @@ impl Solver {
         };
         debug_assert_eq!(self.decision_level(), 0);
         let mut imported = 0u64;
-        port.drain(&mut |lits, lbd| {
+        let mut carried = 0u64;
+        port.drain(&mut |lits, lbd, cross_call| {
             if self.import_clause(lits, lbd) {
                 imported += 1;
+                if cross_call {
+                    carried += 1;
+                }
             }
         });
         self.exchange = Some(port);
         if imported > 0 {
             self.stats.clauses_imported += imported;
+            self.stats.cross_call_imports += carried;
             self.stats.arena_bytes = self.db.arena_bytes() as u64;
             if self.ok && self.propagate().is_some() {
                 self.ok = false;
@@ -654,7 +728,7 @@ impl Solver {
             }
             _ => {
                 let lbd = lbd.clamp(1, simplified.len() as u32);
-                let cref = self.db.alloc(&simplified, true, lbd);
+                let cref = self.db.alloc(&simplified, true, true, lbd);
                 self.attach(cref);
                 true
             }
@@ -816,6 +890,15 @@ impl Solver {
         self.model.clear();
         self.conflict_core.clear();
         self.cancel_until(0);
+        // Clauses already sitting in peer queues were published during an
+        // *earlier* call; the boundary lets the exchange count how many of
+        // them this call reuses (`Stats::cross_call_imports`). A boundary
+        // pre-marked by the port's owner (the portfolio, before spawning
+        // the race) is kept as-is so racing workers all measure the same
+        // cut.
+        if let Some(port) = &mut self.exchange {
+            port.begin_call();
+        }
         if !self.ok {
             return SolveResult::Unsat;
         }

@@ -16,10 +16,21 @@ pub struct Stats {
     pub reductions: u64,
     /// Total literals across all learned clauses.
     pub learned_literals: u64,
+    /// Total literals across all learned clauses *before* conflict-clause
+    /// minimization ran (so `learned_literals <= premin_literals` witnesses
+    /// that minimization never grows a clause).
+    pub premin_literals: u64,
     /// Learned clauses exported to portfolio peers (clause sharing).
     pub clauses_exported: u64,
     /// Learned clauses imported from portfolio peers (clause sharing).
     pub clauses_imported: u64,
+    /// Imported clauses that later participated in at least one conflict
+    /// resolution (each import is counted useful at most once) — the yield
+    /// signal the adaptive sharing thresholds tune on.
+    pub useful_imports: u64,
+    /// Imported clauses that were published during an *earlier* solve call
+    /// (cross-call lemma reuse through a persistent clause exchange).
+    pub cross_call_imports: u64,
     /// Garbage-collecting compactions of the flat clause arena.
     pub compactions: u64,
     /// Current clause-arena footprint in bytes (a gauge, not a counter;
@@ -40,8 +51,11 @@ impl Stats {
         self.restarts += other.restarts;
         self.reductions += other.reductions;
         self.learned_literals += other.learned_literals;
+        self.premin_literals += other.premin_literals;
         self.clauses_exported += other.clauses_exported;
         self.clauses_imported += other.clauses_imported;
+        self.useful_imports += other.useful_imports;
+        self.cross_call_imports += other.cross_call_imports;
         self.compactions += other.compactions;
         self.arena_bytes += other.arena_bytes;
         if other.last_winner.is_some() {
@@ -62,8 +76,13 @@ impl Stats {
             restarts: self.restarts.saturating_sub(base.restarts),
             reductions: self.reductions.saturating_sub(base.reductions),
             learned_literals: self.learned_literals.saturating_sub(base.learned_literals),
+            premin_literals: self.premin_literals.saturating_sub(base.premin_literals),
             clauses_exported: self.clauses_exported.saturating_sub(base.clauses_exported),
             clauses_imported: self.clauses_imported.saturating_sub(base.clauses_imported),
+            useful_imports: self.useful_imports.saturating_sub(base.useful_imports),
+            cross_call_imports: self
+                .cross_call_imports
+                .saturating_sub(base.cross_call_imports),
             compactions: self.compactions.saturating_sub(base.compactions),
             arena_bytes: self.arena_bytes,
             last_winner: self.last_winner,

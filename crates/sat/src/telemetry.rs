@@ -27,6 +27,12 @@ pub struct SolverTelemetry {
     pub clauses_exported: u64,
     /// Learned clauses imported from portfolio peers across all SAT calls.
     pub clauses_imported: u64,
+    /// Imported clauses that later participated in a conflict resolution
+    /// (the yield signal behind the adaptive sharing thresholds).
+    pub useful_imports: u64,
+    /// Imported clauses published during an *earlier* SAT call (cross-call
+    /// lemma reuse through a persistent clause exchange).
+    pub cross_call_imports: u64,
     /// Clause-arena garbage collections across all SAT calls.
     pub compactions: u64,
     /// Peak clause-arena footprint in bytes observed across the call tree
@@ -43,6 +49,9 @@ pub struct SolverTelemetry {
     /// Portfolio solving only: index of the worker that produced the most
     /// recent definitive answer (`None` for single-threaded backends).
     pub winning_worker: Option<u32>,
+    /// MaxSAT engine only: name of the search strategy that produced the
+    /// answer (for a strategy race, the winner). `None` outside MaxSAT.
+    pub strategy: Option<&'static str>,
 }
 
 impl SolverTelemetry {
@@ -61,6 +70,8 @@ impl SolverTelemetry {
         self.db_reductions += child.db_reductions;
         self.clauses_exported += child.clauses_exported;
         self.clauses_imported += child.clauses_imported;
+        self.useful_imports += child.useful_imports;
+        self.cross_call_imports += child.cross_call_imports;
         self.compactions += child.compactions;
         self.arena_bytes = self.arena_bytes.max(child.arena_bytes);
         self.encode_time += child.encode_time;
@@ -69,6 +80,9 @@ impl SolverTelemetry {
         self.backtracks += child.backtracks;
         if child.winning_worker.is_some() {
             self.winning_worker = child.winning_worker;
+        }
+        if child.strategy.is_some() {
+            self.strategy = child.strategy;
         }
     }
 }
@@ -88,6 +102,9 @@ impl std::fmt::Display for SolverTelemetry {
         )?;
         if let Some(w) = self.winning_worker {
             write!(f, " winner={w}")?;
+        }
+        if let Some(s) = self.strategy {
+            write!(f, " strategy={s}")?;
         }
         Ok(())
     }

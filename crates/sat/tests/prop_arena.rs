@@ -136,6 +136,10 @@ proptest! {
             // Compacting *after* a solve must not corrupt the next one
             // either; exercise the solved-state remap path every step.
             solver.force_compact();
+            // Arena churn must not break the minimization invariant:
+            // learned clauses never grow past their pre-minimization size.
+            let stats = solver.stats();
+            prop_assert!(stats.learned_literals <= stats.premin_literals);
         }
     }
 

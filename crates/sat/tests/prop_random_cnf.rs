@@ -84,6 +84,16 @@ proptest! {
             SolveResult::Unsat => prop_assert!(!expected, "solver said UNSAT but formula is SAT"),
             SolveResult::Unknown => prop_assert!(false, "unlimited solve returned Unknown"),
         }
+        // Recursive conflict-clause minimization may only ever *shrink*
+        // learned clauses: the literals recorded after minimization never
+        // exceed the pre-minimization count.
+        let stats = solver.stats();
+        prop_assert!(
+            stats.learned_literals <= stats.premin_literals,
+            "minimization grew a learned clause: {} kept of {} pre-minimization",
+            stats.learned_literals,
+            stats.premin_literals
+        );
     }
 
     #[test]

@@ -19,13 +19,18 @@ for key in schema_version benchmarks groups portfolio_speedup sharing_telemetry 
     grep -q "\"$key\"" "$report" || fail "missing top-level key \"$key\""
 done
 
-# New telemetry fields: in the sharing probe and in every route row.
-for key in clauses_exported clauses_imported compactions arena_bytes; do
+# Telemetry fields: in the sharing probe and in every route row. The
+# strategy-engine fields (strategy, useful_imports, cross_call_imports)
+# came with the strategy-racing MaxSAT engine.
+for key in clauses_exported clauses_imported useful_imports cross_call_imports \
+           compactions arena_bytes strategy; do
     grep -q "\"$key\"" "$report" || fail "missing telemetry field \"$key\""
 done
 
-# The new criterion groups must have produced medians.
-for group in '"sharing/on"' '"sharing/off"' '"arena/clone"' '"arena/reemit"'; do
+# The criterion groups must have produced medians.
+for group in '"sharing/on"' '"sharing/off"' '"arena/clone"' '"arena/reemit"' \
+             '"maxsat_strategies/linear"' '"maxsat_strategies/core-guided"' \
+             '"maxsat_strategies/race"'; do
     grep -q "$group" "$report" || fail "missing benchmark $group"
 done
 

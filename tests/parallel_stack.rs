@@ -69,6 +69,67 @@ fn portfolio_routing_costs_match_serial_requests() {
 }
 
 #[test]
+fn strategy_race_routing_costs_match_linear_requests() {
+    // The same registry router serves the Fig. 3 suite under the default
+    // linear strategy and under a strategy race; both prove optimality
+    // (unlimited budget), so the SWAP counts must be identical — racing
+    // core-guided against linear changes the route to the optimum, never
+    // the optimum. The race request also reports which strategy won.
+    let graph = arch::devices::tokyo_minus();
+    let router = RouterRegistry::standard()
+        .create("nl-satmap")
+        .expect("registered");
+    for (name, circuit) in small_workloads() {
+        let linear = router
+            .route_request(&RouteRequest::new(&circuit, &graph))
+            .into_result()
+            .unwrap_or_else(|e| panic!("{name}: linear failed: {e}"));
+        let race_outcome = router.route_request(
+            &RouteRequest::new(&circuit, &graph).with_strategy(circuit::SearchStrategy::Race),
+        );
+        assert_eq!(race_outcome.diagnostic("strategy"), Some("race"));
+        let winner = race_outcome
+            .telemetry()
+            .strategy
+            .unwrap_or_else(|| panic!("{name}: race must report its winning strategy"));
+        assert!(
+            winner == "linear-sat-unsat" || winner == "core-guided",
+            "{name}: unexpected winner {winner}"
+        );
+        let raced = race_outcome
+            .into_result()
+            .unwrap_or_else(|e| panic!("{name}: race failed: {e}"));
+        verify(&circuit, &graph, &raced).unwrap_or_else(|e| panic!("{name}: unverified: {e}"));
+        assert_eq!(
+            linear.added_gates(),
+            raced.added_gates(),
+            "{name}: the strategy race must reproduce the optimal cost"
+        );
+    }
+}
+
+#[test]
+fn core_guided_strategy_routes_the_fig3_example() {
+    // The per-request strategy knob reaches the MaxSAT engine: a pure
+    // core-guided route of the running example still verifies and reports
+    // its strategy through the outcome telemetry and the JSON row.
+    let graph = arch::devices::tokyo_minus();
+    let router = RouterRegistry::standard()
+        .create("nl-satmap")
+        .expect("registered");
+    let circuit = fig3();
+    let outcome = router.route_request(
+        &RouteRequest::new(&circuit, &graph).with_strategy(circuit::SearchStrategy::CoreGuided),
+    );
+    let routed = outcome.routed().expect("solves");
+    verify(&circuit, &graph, routed).expect("verifies");
+    assert_eq!(routed.swap_count(), 1, "fig3 optimum");
+    assert_eq!(outcome.telemetry().strategy, Some("core-guided"));
+    assert!(outcome.to_json().contains("\"strategy\":\"core-guided\""));
+    assert!(outcome.to_json().contains("\"cross_call_imports\":"));
+}
+
+#[test]
 fn portfolio_telemetry_reports_winner_through_the_stack() {
     let graph = arch::devices::tokyo_minus();
     let router = RouterRegistry::standard()
