@@ -135,6 +135,25 @@ pub fn placement_wcnf(pigeons: usize, holes: usize) -> maxsat::WcnfInstance {
     inst
 }
 
+/// The mutate-one-gate family behind the `warmstart` bench group: the
+/// Fig. 3 running example plus two variants that each change exactly one
+/// gate — the "edit a circuit, re-route it" pattern the encode/solve
+/// split and the route cache are built for.
+pub fn fig3_mutants() -> Vec<Circuit> {
+    let base = fig3();
+    let mut swap_target = Circuit::new(4);
+    swap_target.cx(0, 1);
+    swap_target.cx(0, 2);
+    swap_target.cx(3, 2);
+    swap_target.cx(1, 3);
+    let mut swap_middle = Circuit::new(4);
+    swap_middle.cx(0, 1);
+    swap_middle.cx(0, 2);
+    swap_middle.cx(1, 2);
+    swap_middle.cx(0, 3);
+    vec![base, swap_target, swap_middle]
+}
+
 /// Clause-sharing counters observed on one probe race (see
 /// [`sharing_probe`]); embedded in the bench report so the JSON records
 /// that the portfolio genuinely cooperates, not just races.
@@ -155,8 +174,14 @@ pub struct SharingProbe {
 /// CI schema check asserts it — because PHP(7,6) forces every worker
 /// through many restarts, each an import point.
 pub fn sharing_probe() -> SharingProbe {
-    use sat::{PortfolioBackend, ResourceBudget, SatBackend, SolveResult, Solver};
+    use sat::{PortfolioBackend, ResourceBudget, SatBackend, SharingConfig, SolveResult, Solver};
     let mut portfolio = PortfolioBackend::<Solver>::with_width(4);
+    // PHP(7,6) sits far below the default `min_instance_size` gate; the
+    // probe exists to witness cooperation, so open the gate explicitly.
+    portfolio.set_sharing_config(SharingConfig {
+        min_instance_size: 0,
+        ..SharingConfig::default()
+    });
     portfolio.reserve_vars(7 * 6);
     for clause in pigeonhole_cnf(7, 6) {
         let lits: Vec<sat::Lit> = clause.iter().map(|&d| sat::Lit::from_dimacs(d)).collect();

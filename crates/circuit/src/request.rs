@@ -40,6 +40,7 @@ use arch::{ConnectivityGraph, NoiseModel};
 use sat::{ResourceBudget, SolverTelemetry};
 
 use crate::circuit::Circuit;
+use crate::gate::Gate;
 use crate::routed::RoutedCircuit;
 use crate::router::RouteError;
 
@@ -109,6 +110,27 @@ impl Parallelism {
             Parallelism::Serial => 1,
             Parallelism::Width(w) => w.max(1),
             Parallelism::Auto => sat::auto_width(),
+        }
+    }
+
+    /// The worker count for a solver call on an instance of
+    /// `instance_size` variables + clauses. `Auto` degrades to width 1
+    /// below [`sat::DEFAULT_MIN_INSTANCE_SIZE`]: at fig3 scale a width-4
+    /// race measured ~1.4x *slower* than serial (thread spawn and clone
+    /// overhead dominate), so small instances solve inline. An explicit
+    /// [`Parallelism::Width`] always forces its width — the override tests
+    /// and benches use to race small instances anyway.
+    pub fn resolve_for_instance(&self, instance_size: usize) -> usize {
+        match *self {
+            Parallelism::Serial => 1,
+            Parallelism::Width(w) => w.max(1),
+            Parallelism::Auto => {
+                if instance_size < sat::DEFAULT_MIN_INSTANCE_SIZE {
+                    1
+                } else {
+                    sat::auto_width()
+                }
+            }
         }
     }
 
@@ -401,6 +423,133 @@ impl<'a> RouteRequest<'a> {
         let body = self.circuit.len().checked_sub(rep.prefix_len)?;
         Some((rep.prefix_len, body / rep.cycles.max(1)))
     }
+
+    /// A canonical 64-bit fingerprint of everything that determines the
+    /// routing *answer*: the gate list, the device graph, and the
+    /// answer-relevant spec knobs (objective — including the noise model's
+    /// error rates under [`Objective::Fidelity`] — slicing, swaps per gap,
+    /// totalizer quantization, search strategy, repetition).
+    ///
+    /// The budget and the parallelism hint are deliberately **excluded**:
+    /// they change how long the answer takes, not what it is, so a request
+    /// retried with a bigger budget or a different width maps to the same
+    /// cache key (and can warm-start from the earlier attempt's session).
+    /// Conversely every fingerprint-relevant knob is also hashed by value,
+    /// so two specs that resolve identically collide on purpose.
+    ///
+    /// The hash is FNV-1a over a canonical byte serialization — stable
+    /// across processes and platforms (floats hash via [`f64::to_bits`]),
+    /// unlike [`std::hash::RandomState`].
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        // Circuit: arity tag + mnemonic + operands + parameter per gate.
+        h.usize(self.circuit.num_qubits());
+        h.usize(self.circuit.len());
+        for gate in self.circuit.gates() {
+            match gate {
+                Gate::One { kind, qubit, param } => {
+                    h.byte(1);
+                    h.str(kind.qasm_name());
+                    h.usize(qubit.0);
+                    h.f64(param.unwrap_or(0.0));
+                }
+                Gate::Two { kind, a, b, param } => {
+                    h.byte(2);
+                    h.str(kind.qasm_name());
+                    h.usize(a.0);
+                    h.usize(b.0);
+                    h.f64(param.unwrap_or(0.0));
+                }
+            }
+        }
+        // Device: size + edge list (names are cosmetic and excluded).
+        h.usize(self.graph.num_qubits());
+        h.usize(self.graph.num_edges());
+        for &(a, b) in self.graph.edges() {
+            h.usize(a);
+            h.usize(b);
+        }
+        // Spec: only the answer-relevant knobs.
+        match &self.spec.objective {
+            Objective::SwapCount => h.byte(0),
+            Objective::Fidelity(noise) => {
+                h.byte(1);
+                for q in 0..self.graph.num_qubits() {
+                    h.f64(noise.sq_error(q));
+                }
+                for &(a, b) in self.graph.edges() {
+                    h.f64(noise.cx_error(a, b));
+                }
+            }
+        }
+        match self.spec.slicing {
+            Slicing::RouterDefault => h.byte(0),
+            Slicing::Monolithic => h.byte(1),
+            Slicing::Sliced(n) => {
+                h.byte(2);
+                h.usize(n);
+            }
+        }
+        h.usize(self.spec.swaps_per_gap.map_or(0, |n| n + 1));
+        h.u64(self.spec.totalizer_units.map_or(0, |u| u.wrapping_add(1)));
+        h.byte(match self.spec.strategy {
+            SearchStrategy::Linear => 0,
+            SearchStrategy::CoreGuided => 1,
+            SearchStrategy::Race => 2,
+        });
+        match self.spec.repetition {
+            None => h.byte(0),
+            Some(rep) => {
+                h.byte(1);
+                h.usize(rep.prefix_len);
+                h.usize(rep.cycles);
+            }
+        }
+        h.finish()
+    }
+}
+
+/// FNV-1a, 64-bit: tiny, dependency-free, and stable across processes —
+/// exactly what a persistent cache key needs (the std hasher is seeded
+/// per-process by design).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 ^= u64::from(b);
+        self.0 = self.0.wrapping_mul(0x0100_0000_01b3);
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.byte(b);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        self.bytes(s.as_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
 }
 
 /// The response to a [`RouteRequest`]: the routed circuit or a typed
@@ -504,6 +653,13 @@ impl RouteOutcome {
         &self.telemetry
     }
 
+    /// Mutable access to the telemetry — the hook caches and warm-start
+    /// layers use to stamp `cache_hit`/`warm_start` onto an outcome they
+    /// serve or replay.
+    pub fn telemetry_mut(&mut self) -> &mut SolverTelemetry {
+        &mut self.telemetry
+    }
+
     /// Wall-clock duration of the attempt.
     pub fn wall_time(&self) -> Duration {
         self.wall_time
@@ -554,6 +710,9 @@ impl RouteOutcome {
         out.push_str(&format!(",\"cross_call_imports\":{}", t.cross_call_imports));
         out.push_str(&format!(",\"compactions\":{}", t.compactions));
         out.push_str(&format!(",\"arena_bytes\":{}", t.arena_bytes));
+        out.push_str(&format!(",\"cache_hit\":{}", t.cache_hit));
+        out.push_str(&format!(",\"warm_start\":{}", t.warm_start));
+        out.push_str(&format!(",\"reused_clauses\":{}", t.reused_clauses));
         out.push_str(&format!(",\"encode_s\":{:.6}", t.encode_time.as_secs_f64()));
         out.push_str(&format!(",\"solve_s\":{:.6}", t.solve_time.as_secs_f64()));
         out.push_str(&format!(",\"slices\":{}", t.slices));
@@ -788,5 +947,112 @@ mod tests {
     #[test]
     fn json_escapes_strings() {
         assert_eq!(escape_json("a\"b\\c\n"), "a\\\"b\\\\c\\u000a");
+    }
+
+    #[test]
+    fn json_carries_cache_and_warm_start_fields() {
+        let telemetry = SolverTelemetry {
+            cache_hit: true,
+            warm_start: true,
+            reused_clauses: 42,
+            ..SolverTelemetry::default()
+        };
+        let outcome = RouteOutcome::new(
+            "satmap",
+            Err(RouteError::Timeout),
+            telemetry,
+            Duration::from_millis(1),
+        );
+        let json = outcome.to_json();
+        assert!(json.contains("\"cache_hit\":true"));
+        assert!(json.contains("\"warm_start\":true"));
+        assert!(json.contains("\"reused_clauses\":42"));
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic_and_canonical() {
+        let c = fig3();
+        let g = arch::devices::tokyo();
+        let base = RouteRequest::new(&c, &g).fingerprint();
+        assert_eq!(base, RouteRequest::new(&c, &g).fingerprint());
+        // Latency-only knobs do not perturb the key: a retried request
+        // with a bigger budget or a different width hits the same entry.
+        assert_eq!(
+            base,
+            RouteRequest::new(&c, &g)
+                .with_budget(Duration::from_secs(9))
+                .with_parallelism(Parallelism::Width(4))
+                .fingerprint()
+        );
+    }
+
+    #[test]
+    fn fingerprint_separates_answer_relevant_inputs() {
+        let c = fig3();
+        let g = arch::devices::tokyo();
+        let base = RouteRequest::new(&c, &g).fingerprint();
+        // One mutated gate.
+        let mut c2 = fig3();
+        c2.cx(1, 2);
+        assert_ne!(base, RouteRequest::new(&c2, &g).fingerprint());
+        // A different device.
+        let g2 = arch::devices::tokyo_minus();
+        assert_ne!(base, RouteRequest::new(&c, &g2).fingerprint());
+        // Each answer-relevant knob.
+        assert_ne!(
+            base,
+            RouteRequest::new(&c, &g)
+                .with_slicing(Slicing::Monolithic)
+                .fingerprint()
+        );
+        assert_ne!(
+            base,
+            RouteRequest::new(&c, &g)
+                .with_swaps_per_gap(2)
+                .fingerprint()
+        );
+        assert_ne!(
+            base,
+            RouteRequest::new(&c, &g)
+                .with_totalizer_units(100)
+                .fingerprint()
+        );
+        assert_ne!(
+            base,
+            RouteRequest::new(&c, &g)
+                .with_strategy(SearchStrategy::CoreGuided)
+                .fingerprint()
+        );
+        assert_ne!(
+            base,
+            RouteRequest::new(&c, &g)
+                .with_objective(Objective::Fidelity(arch::NoiseModel::synthetic(&g, 7)))
+                .fingerprint()
+        );
+        // Two distinct noise seeds give distinct error rates.
+        assert_ne!(
+            RouteRequest::new(&c, &g)
+                .with_objective(Objective::Fidelity(arch::NoiseModel::synthetic(&g, 7)))
+                .fingerprint(),
+            RouteRequest::new(&c, &g)
+                .with_objective(Objective::Fidelity(arch::NoiseModel::synthetic(&g, 8)))
+                .fingerprint()
+        );
+    }
+
+    #[test]
+    fn auto_parallelism_degrades_to_serial_on_small_instances() {
+        assert_eq!(Parallelism::Auto.resolve_for_instance(0), 1);
+        assert_eq!(
+            Parallelism::Auto.resolve_for_instance(sat::DEFAULT_MIN_INSTANCE_SIZE - 1),
+            1
+        );
+        assert_eq!(
+            Parallelism::Auto.resolve_for_instance(sat::DEFAULT_MIN_INSTANCE_SIZE),
+            Parallelism::Auto.resolve()
+        );
+        // An explicit width overrides the gate (the test escape hatch).
+        assert_eq!(Parallelism::Width(4).resolve_for_instance(0), 4);
+        assert_eq!(Parallelism::Serial.resolve_for_instance(usize::MAX), 1);
     }
 }

@@ -6,7 +6,7 @@
 //! request ([`circuit::RouteSpec`]), so one router instance serves
 //! different budgets/objectives call by call.
 
-use circuit::{Objective, RouteRequest, SearchStrategy, Slicing};
+use circuit::{Objective, Parallelism, RouteRequest, SearchStrategy, Slicing};
 use sat::ResourceBudget;
 
 /// Maps the request-level strategy knob onto the MaxSAT engine's enum
@@ -100,17 +100,19 @@ impl SatMapConfig {
             Slicing::Monolithic => None,
             Slicing::Sliced(k) => Some(k.max(1)),
         };
-        let width = request.parallelism().resolve();
         Resolved {
             slice_size,
             swaps_per_gap: request.swaps_per_gap().unwrap_or(self.swaps_per_gap).max(1),
             backtrack_limit: self.backtrack_limit,
             objective: request.objective().clone(),
+            // The portfolio width is left unset here: it is resolved per
+            // solver call from the hint *and the instance size* (see
+            // [`Parallelism::resolve_for_instance`]), so `Auto` can solve
+            // small encodings inline instead of paying the race overhead.
             options: maxsat::SolveOptions::default()
                 .with_totalizer_units(request.totalizer_units().unwrap_or(self.totalizer_units))
-                .with_portfolio_width(width)
                 .with_strategy(engine_strategy(request.strategy())),
-            width,
+            parallelism: request.parallelism(),
             budget: request.budget().clone(),
         }
     }
@@ -125,8 +127,18 @@ pub(crate) struct Resolved {
     pub backtrack_limit: usize,
     pub objective: Objective,
     pub options: maxsat::SolveOptions,
-    pub width: usize,
+    pub parallelism: Parallelism,
     pub budget: ResourceBudget,
+}
+
+impl Resolved {
+    /// The engine options for one solver call on an instance of
+    /// `instance_size` (variables + clauses): the shared knobs plus the
+    /// portfolio width the parallelism hint resolves to at that size.
+    pub fn options_for_instance(&self, instance_size: usize) -> maxsat::SolveOptions {
+        self.options
+            .with_portfolio_width(self.parallelism.resolve_for_instance(instance_size))
+    }
 }
 
 #[cfg(test)]
@@ -164,7 +176,8 @@ mod tests {
         let plain = config.resolve(&RouteRequest::new(&c, &g));
         assert_eq!(plain.slice_size, Some(25));
         assert_eq!(plain.swaps_per_gap, 1);
-        assert_eq!(plain.width, 1);
+        assert_eq!(plain.parallelism, Parallelism::Serial);
+        assert_eq!(plain.options_for_instance(10).portfolio_width, Some(1));
         assert_eq!(plain.options.totalizer_units, 4000);
         assert!(!plain.budget.is_limited());
 
@@ -178,9 +191,10 @@ mod tests {
         let r = config.resolve(&req);
         assert_eq!(r.slice_size, None);
         assert_eq!(r.swaps_per_gap, 2);
-        assert_eq!(r.width, 3);
+        assert_eq!(r.parallelism, Parallelism::Width(3));
         assert_eq!(r.options.totalizer_units, 7);
-        assert_eq!(r.options.portfolio_width, Some(3));
+        // An explicit width forces itself regardless of instance size.
+        assert_eq!(r.options_for_instance(10).portfolio_width, Some(3));
         assert_eq!(r.options.strategy, maxsat::Strategy::Race);
         assert_eq!(r.budget.remaining_time(), Some(Duration::from_secs(3)));
     }

@@ -18,8 +18,8 @@ use std::time::Instant;
 
 use arch::ConnectivityGraph;
 use circuit::{
-    Circuit, Parallelism, RepeatedStructure, RouteError, RouteOutcome, RouteRequest, RouteSpec,
-    RoutedCircuit, RoutedOp, Router,
+    Circuit, RepeatedStructure, RouteError, RouteOutcome, RouteRequest, RouteSpec, RoutedCircuit,
+    RoutedOp, Router,
 };
 use maxsat::MaxSatStatus;
 use sat::{DefaultBackend, ResourceBudget, SatBackend, SolverTelemetry};
@@ -198,7 +198,8 @@ impl<B: SatBackend + Default + Send> CyclicSatMap<B> {
             );
             enc.require_cyclic();
             telemetry.encode_time += encode_start.elapsed();
-            let out = maxsat::solve_with_options::<B>(enc.instance(), budget, &p.options);
+            let options = p.options_for_instance(crate::solver::instance_size(&enc));
+            let out = maxsat::solve_with_options::<B>(enc.instance(), budget, &options);
             telemetry.absorb(&out.telemetry);
             return match out.status {
                 MaxSatStatus::Optimal | MaxSatStatus::Feasible => {
@@ -226,7 +227,7 @@ impl<B: SatBackend + Default + Send> CyclicSatMap<B> {
             // deadline and cannot extend it.
             budget: budget.clone(),
             objective: p.objective.clone(),
-            parallelism: Parallelism::Width(p.width),
+            parallelism: p.parallelism,
             ..RouteSpec::default()
         };
         let inner_request = RouteRequest::with_spec(sub, graph, spec);
@@ -291,7 +292,8 @@ impl<B: SatBackend + Default + Send> CyclicSatMap<B> {
             enc.pin_initial_map(from);
             enc.pin_final_map(to);
             telemetry.encode_time += encode_start.elapsed();
-            let out = maxsat::solve_with_options::<B>(enc.instance(), budget, &p.options);
+            let options = p.options_for_instance(crate::solver::instance_size(&enc));
+            let out = maxsat::solve_with_options::<B>(enc.instance(), budget, &options);
             telemetry.absorb(&out.telemetry);
             match out.status {
                 MaxSatStatus::Optimal | MaxSatStatus::Feasible => {
@@ -329,7 +331,7 @@ impl<B: SatBackend + Default + Send> Router for CyclicSatMap<B> {
         let p = self.config.resolve(request);
         RouteOutcome::capture(self.name(), || self.route_impl(request, &p))
             .with_diagnostic("cycles", request.repetition().map_or(1, |r| r.cycles))
-            .with_diagnostic("portfolio_width", p.width)
+            .with_diagnostic("portfolio_width", p.parallelism.resolve())
     }
 }
 

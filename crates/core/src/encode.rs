@@ -75,7 +75,9 @@ pub type DecodedMaps = Vec<Vec<usize>>;
 pub type DecodedSwaps = Vec<Option<(usize, usize)>>;
 
 /// The variable layout and constraint set for one QMR (sub)problem.
-#[derive(Debug)]
+/// `Clone` supports forked [`crate::RouteSession`]s: the encoding is the
+/// immutable half of a session, duplicated alongside the solver snapshot.
+#[derive(Clone, Debug)]
 pub struct QmrEncoding {
     instance: WcnfInstance,
     num_logical: usize,

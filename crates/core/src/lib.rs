@@ -45,11 +45,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod config;
 mod cyclic;
 pub mod encode;
 mod solver;
 
+pub use artifact::{EncodedArtifact, RouteSession};
 pub use circuit::Objective;
 pub use config::SatMapConfig;
 pub use cyclic::CyclicSatMap;

@@ -13,13 +13,14 @@
 //! returned [`circuit::RouteOutcome`].
 
 use std::marker::PhantomData;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use arch::ConnectivityGraph;
 use circuit::{Circuit, RouteError, RouteOutcome, RouteRequest, RoutedCircuit, RoutedOp, Router};
-use maxsat::MaxSatStatus;
+use maxsat::{MaxSatSession, MaxSatStatus};
 use sat::{DefaultBackend, ResourceBudget, SatBackend, SolverTelemetry};
 
+use crate::artifact::{EncodedArtifact, RouteSession};
 use crate::config::{Resolved, SatMapConfig};
 use crate::encode::{routed_from_solution, EncodeShape, QmrEncoding};
 
@@ -91,6 +92,48 @@ struct SliceState {
 /// How many slice encodings stay resident for backtracking.
 const ENCODING_WINDOW: usize = 4;
 
+/// Variables + hard clauses of an encoding — the size measure
+/// [`circuit::Parallelism::resolve_for_instance`] gates the portfolio on.
+pub(crate) fn instance_size(enc: &QmrEncoding) -> usize {
+    enc.instance().num_vars() + enc.instance().hard_clauses().len()
+}
+
+/// Memory guard (the analogue of the paper's 5 GB per-tool cap): refuses
+/// instances whose encoding would dwarf any realistic budget.
+fn guard_memory(
+    circuit: &Circuit,
+    graph: &ConnectivityGraph,
+    p: &Resolved,
+) -> Result<(), RouteError> {
+    let states = circuit.num_two_qubit_gates().max(1) * p.swaps_per_gap;
+    let per_state =
+        circuit.num_qubits() * (graph.num_qubits() + 2 * graph.num_edges()) + graph.num_qubits();
+    if p.budget.is_limited() && states.saturating_mul(per_state) > 6_000_000 {
+        return Err(RouteError::Timeout);
+    }
+    Ok(())
+}
+
+/// Maps a monolithic MaxSAT outcome onto the routing result.
+fn decode_monolithic(
+    circuit: &Circuit,
+    enc: &QmrEncoding,
+    out: maxsat::MaxSatOutcome,
+    n: usize,
+) -> Result<RoutedCircuit, RouteError> {
+    match out.status {
+        MaxSatStatus::Optimal | MaxSatStatus::Feasible => {
+            let model = out.model.expect("status implies model");
+            let (maps, swaps) = enc.decode(&model);
+            Ok(routed_from_solution(circuit, enc, &maps, &swaps, n, 0))
+        }
+        MaxSatStatus::Unsat => Err(RouteError::Unsatisfiable(format!(
+            "no routing with n = {n} swaps per gap; increase swaps_per_gap"
+        ))),
+        MaxSatStatus::Unknown => Err(RouteError::Timeout),
+    }
+}
+
 /// Records a solved slice and evicts encodings outside the backtracking
 /// window (shared by the forward path and the deepening fallback).
 fn push_solved(solved: &mut Vec<SliceState>, state: SliceState, telemetry: &mut SolverTelemetry) {
@@ -118,7 +161,8 @@ impl<B: SatBackend + Default + Send> SatMap<B> {
     }
 
     /// One MaxSAT call on the generic backend, charging effort to
-    /// `telemetry`.
+    /// `telemetry`. The portfolio width is resolved against the instance
+    /// size, so `Parallelism::Auto` solves small encodings inline.
     fn solve_instance(
         &self,
         enc: &QmrEncoding,
@@ -126,7 +170,8 @@ impl<B: SatBackend + Default + Send> SatMap<B> {
         budget: &ResourceBudget,
         telemetry: &mut SolverTelemetry,
     ) -> maxsat::MaxSatOutcome {
-        let out = maxsat::solve_with_options::<B>(enc.instance(), budget, &p.options);
+        let options = p.options_for_instance(instance_size(enc));
+        let out = maxsat::solve_with_options::<B>(enc.instance(), budget, &options);
         telemetry.absorb(&out.telemetry);
         out
     }
@@ -183,35 +228,177 @@ impl<B: SatBackend + Default + Send> SatMap<B> {
         budget: &ResourceBudget,
         telemetry: &mut SolverTelemetry,
     ) -> Result<RoutedCircuit, RouteError> {
-        // Memory guard (the analogue of the paper's 5 GB per-tool cap):
-        // refuse instances whose encoding would dwarf any realistic budget.
-        let states = circuit.num_two_qubit_gates().max(1) * p.swaps_per_gap;
-        let per_state = circuit.num_qubits() * (graph.num_qubits() + 2 * graph.num_edges())
-            + graph.num_qubits();
-        if p.budget.is_limited() && states.saturating_mul(per_state) > 6_000_000 {
-            return Err(RouteError::Timeout);
-        }
+        guard_memory(circuit, graph, p)?;
         let enc = self.build_encoding(circuit, graph, EncodeShape::first_slice(), p, telemetry);
         let out = self.solve_instance(&enc, p, budget, telemetry);
-        match out.status {
-            MaxSatStatus::Optimal | MaxSatStatus::Feasible => {
-                let model = out.model.expect("status implies model");
-                let (maps, swaps) = enc.decode(&model);
-                Ok(routed_from_solution(
-                    circuit,
-                    &enc,
-                    &maps,
-                    &swaps,
-                    p.swaps_per_gap,
-                    0,
-                ))
-            }
-            MaxSatStatus::Unsat => Err(RouteError::Unsatisfiable(format!(
-                "no routing with n = {} swaps per gap; increase swaps_per_gap",
-                p.swaps_per_gap
-            ))),
-            MaxSatStatus::Unknown => Err(RouteError::Timeout),
+        decode_monolithic(circuit, &enc, out, p.swaps_per_gap)
+    }
+
+    /// True when the resolved parameters route `circuit` as one monolithic
+    /// instance — the path the encode/solve split and warm-start sessions
+    /// cover. Multi-slice requests interleave encoding and solving (each
+    /// slice's encoding depends on the previous slice's final map), so
+    /// their artifacts cannot be prebuilt.
+    fn is_monolithic(circuit: &Circuit, p: &Resolved) -> bool {
+        match p.slice_size {
+            None => true,
+            Some(size) => circuit.num_two_qubit_gates() <= size,
         }
+    }
+
+    /// Builds the monolithic encoding artifact under already-resolved
+    /// parameters, charging the build time to `telemetry`.
+    fn build_artifact(
+        &self,
+        request: &RouteRequest<'_>,
+        p: &Resolved,
+        telemetry: &mut SolverTelemetry,
+    ) -> Result<EncodedArtifact, RouteError> {
+        guard_memory(request.circuit(), request.graph(), p)?;
+        let start = Instant::now();
+        let enc = QmrEncoding::build(
+            request.circuit(),
+            request.graph(),
+            p.swaps_per_gap,
+            EncodeShape::first_slice(),
+            &p.objective,
+        );
+        let encode_time = start.elapsed();
+        telemetry.encode_time += encode_time;
+        Ok(EncodedArtifact {
+            enc,
+            fingerprint: request.fingerprint(),
+            encode_time,
+        })
+    }
+
+    /// Encode half of the encode/solve split: builds the circuit→WCNF
+    /// artifact for `request` without solving it. The artifact is keyed by
+    /// the request's canonical [`RouteRequest::fingerprint`] and can be
+    /// solved any number of times with [`SatMap::solve_artifact`].
+    ///
+    /// # Errors
+    ///
+    /// [`RouteError::InvalidRequest`] when the request fails validation or
+    /// resolves to the multi-slice path (whose encodings depend on
+    /// intermediate solutions); [`RouteError::Timeout`] when the memory
+    /// guard trips.
+    pub fn encode_request(
+        &self,
+        request: &RouteRequest<'_>,
+    ) -> Result<EncodedArtifact, RouteError> {
+        request.validate()?;
+        let p = self.config.resolve(request);
+        if !Self::is_monolithic(request.circuit(), &p) {
+            return Err(RouteError::InvalidRequest(
+                "encode/solve split covers the monolithic path only; request \
+                 Slicing::Monolithic or a circuit that fits in one slice"
+                    .into(),
+            ));
+        }
+        self.build_artifact(request, &p, &mut SolverTelemetry::new())
+    }
+
+    /// Solve half of the encode/solve split: one MaxSAT search over a
+    /// prebuilt artifact, warm-starting from — and re-depositing — the
+    /// engine session in `session`. `request` must be the request the
+    /// artifact was encoded from (checked by fingerprint); its budget and
+    /// parallelism knobs still apply per call, so the same artifact can be
+    /// re-solved under a bigger budget.
+    pub fn solve_artifact(
+        &self,
+        artifact: &EncodedArtifact,
+        request: &RouteRequest<'_>,
+        session: &mut Option<MaxSatSession<B>>,
+    ) -> RouteOutcome {
+        let p = self.config.resolve(request);
+        let outcome = RouteOutcome::capture(self.name(), || {
+            let mut telemetry = SolverTelemetry::new();
+            if request.fingerprint() != artifact.fingerprint() {
+                return (
+                    Err(RouteError::InvalidRequest(
+                        "request does not match the artifact's fingerprint".into(),
+                    )),
+                    telemetry,
+                );
+            }
+            let budget = p.budget.arm();
+            let options = p.options_for_instance(instance_size(artifact.encoding()));
+            let out =
+                maxsat::solve_with_session::<B>(artifact.instance(), &budget, &options, session);
+            telemetry.absorb(&out.telemetry);
+            (
+                decode_monolithic(request.circuit(), artifact.encoding(), out, p.swaps_per_gap),
+                telemetry,
+            )
+        });
+        self.stamp_diagnostics(outcome, &p)
+    }
+
+    /// Routes with warm-start session reuse. A `None` slot (or one left by
+    /// a *different* request — fingerprints are compared) starts cold:
+    /// encode, solve, deposit the session. A matching slot skips
+    /// re-encoding and warm-starts the MaxSAT search from the prior
+    /// solve's clause database, incumbent model, and bound — sound because
+    /// the carried clause DB is a conservative extension of the instance
+    /// (see [`maxsat::MaxSatSession`]). Multi-slice requests fall back to
+    /// the cold [`Router::route_request`] path and leave the slot
+    /// untouched.
+    pub fn route_with_session(
+        &self,
+        request: &RouteRequest<'_>,
+        slot: &mut Option<RouteSession<B>>,
+    ) -> RouteOutcome {
+        let p = self.config.resolve(request);
+        if let Err(e) = request.validate() {
+            let outcome =
+                RouteOutcome::new(self.name(), Err(e), SolverTelemetry::new(), Duration::ZERO);
+            return self.stamp_diagnostics(outcome, &p);
+        }
+        if !Self::is_monolithic(request.circuit(), &p) {
+            return self.route_request(request);
+        }
+        let started = Instant::now();
+        let mut telemetry = SolverTelemetry::new();
+        let fingerprint = request.fingerprint();
+        let (reused, mut session) = match slot.take() {
+            Some(s) if s.fingerprint() == fingerprint => (Some(s.artifact), s.session),
+            _ => (None, None),
+        };
+        let artifact = match reused {
+            Some(a) => a,
+            None => match self.build_artifact(request, &p, &mut telemetry) {
+                Ok(a) => a,
+                Err(e) => {
+                    let outcome =
+                        RouteOutcome::new(self.name(), Err(e), telemetry, started.elapsed());
+                    return self.stamp_diagnostics(outcome, &p);
+                }
+            },
+        };
+        let budget = p.budget.arm();
+        let options = p.options_for_instance(instance_size(artifact.encoding()));
+        let out =
+            maxsat::solve_with_session::<B>(artifact.instance(), &budget, &options, &mut session);
+        telemetry.absorb(&out.telemetry);
+        let result =
+            decode_monolithic(request.circuit(), artifact.encoding(), out, p.swaps_per_gap);
+        *slot = Some(RouteSession { artifact, session });
+        let outcome = RouteOutcome::new(self.name(), result, telemetry, started.elapsed());
+        self.stamp_diagnostics(outcome, &p)
+    }
+
+    /// The diagnostics every SATMAP outcome carries, regardless of which
+    /// entry point produced it.
+    fn stamp_diagnostics(&self, outcome: RouteOutcome, p: &Resolved) -> RouteOutcome {
+        outcome
+            .with_diagnostic(
+                "slice_size",
+                p.slice_size.map_or("none".into(), |s| s.to_string()),
+            )
+            .with_diagnostic("swaps_per_gap", p.swaps_per_gap)
+            .with_diagnostic("portfolio_width", p.parallelism.resolve())
+            .with_diagnostic("strategy", p.options.strategy.name())
     }
 
     /// Section V: slice, solve each slice pinned to the previous final map,
@@ -329,10 +516,11 @@ impl<B: SatBackend + Default + Send> SatMap<B> {
                         } else if let Some(enc) = prev.enc.as_mut() {
                             enc.forbid_final_map(&bad);
                         }
+                        let prev_enc = prev.enc.as_ref().expect("just ensured");
                         let retry = maxsat::solve_with_options::<B>(
-                            prev.enc.as_ref().expect("just ensured").instance(),
+                            prev_enc.instance(),
                             budget,
-                            &p.options,
+                            &p.options_for_instance(instance_size(prev_enc)),
                         );
                         telemetry.absorb(&retry.telemetry);
                         match retry.status {
@@ -456,14 +644,8 @@ impl<B: SatBackend + Default + Send> Router for SatMap<B> {
 
     fn route_request(&self, request: &RouteRequest<'_>) -> RouteOutcome {
         let p = self.config.resolve(request);
-        RouteOutcome::capture(self.name(), || self.route_impl(request, &p))
-            .with_diagnostic(
-                "slice_size",
-                p.slice_size.map_or("none".into(), |s| s.to_string()),
-            )
-            .with_diagnostic("swaps_per_gap", p.swaps_per_gap)
-            .with_diagnostic("portfolio_width", p.width)
-            .with_diagnostic("strategy", p.options.strategy.name())
+        let outcome = RouteOutcome::capture(self.name(), || self.route_impl(request, &p));
+        self.stamp_diagnostics(outcome, &p)
     }
 }
 
@@ -483,6 +665,30 @@ mod tests {
             c,
             ConnectivityGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]),
         )
+    }
+
+    #[test]
+    fn fig3_sits_below_the_auto_parallelism_and_sharing_gate() {
+        // Documents the claim behind `Parallelism::Auto` and the sharing
+        // size gate: the monolithic fig3 encoding — on its own line graph
+        // and on the larger Tokyo− device — is a small instance, so Auto
+        // resolves to width 1 and a default portfolio would not share.
+        let (c, g) = fig3();
+        let router = SatMap::new(SatMapConfig::monolithic());
+        for graph in [g, arch::devices::tokyo_minus()] {
+            let artifact = router
+                .encode_request(&RouteRequest::new(&c, &graph))
+                .expect("encodes");
+            let size = artifact.instance().num_vars() + artifact.instance().hard_clauses().len();
+            assert!(
+                size < sat::DEFAULT_MIN_INSTANCE_SIZE,
+                "fig3 on {} is {} (gate is {})",
+                graph.name(),
+                size,
+                sat::DEFAULT_MIN_INSTANCE_SIZE
+            );
+            assert_eq!(circuit::Parallelism::Auto.resolve_for_instance(size), 1);
+        }
     }
 
     #[test]
@@ -550,6 +756,110 @@ mod tests {
         let router = SatMap::new(config);
         let routed = router.route(&c, &g).expect("deepening completes");
         verify(&c, &g, &routed).expect("verifies");
+    }
+
+    #[test]
+    fn warm_session_reroutes_fig3_identically() {
+        let (c, g) = fig3();
+        let router = SatMap::new(SatMapConfig::monolithic());
+        let request = RouteRequest::new(&c, &g);
+        let mut slot = None;
+        let cold = router.route_with_session(&request, &mut slot);
+        let cold_swaps = cold.routed().expect("solves").swap_count();
+        assert!(!cold.telemetry().warm_start);
+        assert_eq!(cold.telemetry().reused_clauses, 0);
+        let session = slot.as_ref().expect("cold route deposits a session");
+        assert_eq!(session.fingerprint(), request.fingerprint());
+        assert!(session.reusable_clauses() > 0);
+
+        let warm = router.route_with_session(&request, &mut slot);
+        let warm_routed = warm.routed().expect("solves");
+        assert!(warm.telemetry().warm_start);
+        assert!(warm.telemetry().reused_clauses > 0);
+        assert_eq!(
+            warm.telemetry().encode_time,
+            Duration::ZERO,
+            "warm route must reuse the artifact, not re-encode"
+        );
+        assert_eq!(warm_routed.swap_count(), cold_swaps);
+        verify(&c, &g, warm_routed).expect("verifies");
+    }
+
+    #[test]
+    fn encode_solve_split_matches_route_request() {
+        let (c, g) = fig3();
+        let router = SatMap::new(SatMapConfig::monolithic());
+        let request = RouteRequest::new(&c, &g);
+        let artifact = router.encode_request(&request).expect("monolithic encodes");
+        assert_eq!(artifact.fingerprint(), request.fingerprint());
+        let mut session = None;
+        let out = router.solve_artifact(&artifact, &request, &mut session);
+        let routed = out.routed().expect("solves");
+        verify(&c, &g, routed).expect("verifies");
+        assert_eq!(routed.swap_count(), 1);
+        // Re-solving the same artifact warm-starts from the session.
+        let again = router.solve_artifact(&artifact, &request, &mut session);
+        assert!(again.telemetry().warm_start);
+        assert_eq!(again.routed().expect("solves").swap_count(), 1);
+    }
+
+    #[test]
+    fn encode_request_covers_only_the_monolithic_path() {
+        let (c, g) = fig3();
+        // Four gates at slice size 2: multi-slice, no prebuilt artifact.
+        let router = SatMap::new(SatMapConfig::sliced(2));
+        assert!(matches!(
+            router.encode_request(&RouteRequest::new(&c, &g)),
+            Err(RouteError::InvalidRequest(_))
+        ));
+        // Within one slice the sliced router takes the monolithic path.
+        let router = SatMap::new(SatMapConfig::sliced(25));
+        assert!(router.encode_request(&RouteRequest::new(&c, &g)).is_ok());
+    }
+
+    #[test]
+    fn solve_artifact_rejects_a_mismatched_request() {
+        let (c, g) = fig3();
+        let router = SatMap::new(SatMapConfig::monolithic());
+        let artifact = router
+            .encode_request(&RouteRequest::new(&c, &g))
+            .expect("encodes");
+        let mut c2 = c.clone();
+        c2.cx(1, 3);
+        let out = router.solve_artifact(&artifact, &RouteRequest::new(&c2, &g), &mut None);
+        assert!(matches!(out.error(), Some(RouteError::InvalidRequest(_))));
+    }
+
+    #[test]
+    fn mutated_request_re_encodes_cold() {
+        let (c, g) = fig3();
+        let router = SatMap::new(SatMapConfig::monolithic());
+        let mut slot = None;
+        let _ = router.route_with_session(&RouteRequest::new(&c, &g), &mut slot);
+        // One extra gate changes the fingerprint: the stale session must
+        // not warm-start, and the slot is replaced by the new request's.
+        let mut c2 = c.clone();
+        c2.cx(1, 3);
+        let req2 = RouteRequest::new(&c2, &g);
+        let out = router.route_with_session(&req2, &mut slot);
+        assert!(!out.telemetry().warm_start);
+        verify(&c2, &g, out.routed().expect("solves")).expect("verifies");
+        assert_eq!(
+            slot.as_ref().expect("slot refilled").fingerprint(),
+            req2.fingerprint()
+        );
+    }
+
+    #[test]
+    fn multi_slice_requests_fall_back_to_the_cold_path() {
+        let c = circuit::generators::random_local(5, 10, 4, 0.1, 3);
+        let g = arch::devices::tokyo_minus();
+        let router = SatMap::new(SatMapConfig::sliced(2));
+        let mut slot = None;
+        let out = router.route_with_session(&RouteRequest::new(&c, &g), &mut slot);
+        verify(&c, &g, out.routed().expect("solves")).expect("verifies");
+        assert!(!out.telemetry().warm_start);
+        assert!(slot.is_none(), "sliced path holds no session");
     }
 
     #[test]

@@ -35,13 +35,16 @@
 #![warn(missing_docs)]
 
 pub mod encodings;
+mod session;
 mod solve;
 pub mod strategy;
 mod wcnf;
 
 pub use sat::{ResourceBudget, SolverTelemetry};
+pub use session::MaxSatSession;
 pub use solve::{
-    solve, solve_with_backend, solve_with_options, MaxSatOutcome, MaxSatStatus, SolveOptions,
+    solve, solve_with_backend, solve_with_options, solve_with_session, MaxSatOutcome, MaxSatStatus,
+    SolveOptions,
 };
 pub use strategy::{CoreGuided, LinearSatUnsat, SearchContext, SearchStrategy, Strategy};
 pub use wcnf::{SoftClause, WcnfInstance};

@@ -16,6 +16,7 @@
 
 use sat::{ResourceBudget, SatBackend, SolverTelemetry};
 
+use crate::session::MaxSatSession;
 use crate::strategy::{race, CoreGuided, LinearSatUnsat, SearchContext, SearchStrategy, Strategy};
 use crate::wcnf::WcnfInstance;
 
@@ -177,6 +178,48 @@ pub fn solve_with_options<B: SatBackend + Default + Send>(
     }
 }
 
+/// [`solve_with_options`] with warm-start session reuse: a prior solve of
+/// the *same* instance leaves its solver (clause arena, learned clauses,
+/// saved phases), incumbent, and strategy progress in `session`, and this
+/// call resumes from all of it instead of encoding and searching from
+/// scratch. On return, `session` holds the updated state for the next call.
+///
+/// The caller must pass the same instance the session came from — that is
+/// the soundness contract, exactly as for incremental SAT solving; the
+/// routing layers key sessions by a canonical request fingerprint to
+/// guarantee it, and [`MaxSatSession::compatible`] additionally rejects
+/// obvious shape mismatches (falling back to a cold solve, never
+/// corrupting). [`Strategy::Race`] never resumes: its two racers hold
+/// divergent private encodings; the session is left untouched so a later
+/// non-race call can still use it.
+///
+/// Warm outcomes report `telemetry.warm_start = true` with
+/// `telemetry.reused_clauses` counting the carried arena. See
+/// [`MaxSatSession`] for the conservative-extension argument for why
+/// clause reuse cannot change answers.
+pub fn solve_with_session<B: SatBackend + Default + Send>(
+    instance: &WcnfInstance,
+    budget: &ResourceBudget,
+    options: &SolveOptions,
+    session: &mut Option<MaxSatSession<B>>,
+) -> MaxSatOutcome {
+    if options.strategy == Strategy::Race {
+        return race::<B>(instance, budget, options);
+    }
+    let resumed = session.take().filter(|s| s.compatible(instance, options));
+    let mut ctx = match resumed {
+        Some(s) => SearchContext::resume(s, instance, budget, options),
+        None => SearchContext::<B>::new(instance, budget, options),
+    };
+    let outcome = match options.strategy {
+        Strategy::LinearSatUnsat => LinearSatUnsat.search(&mut ctx),
+        Strategy::CoreGuided => CoreGuided.search(&mut ctx),
+        Strategy::Race => unreachable!("race handled above"),
+    };
+    *session = Some(ctx.into_session(options.strategy, options, &outcome));
+    outcome
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -331,6 +374,151 @@ mod tests {
         if let (Some(model), Some(cost)) = (&out.model, out.cost) {
             assert_eq!(inst.cost_of(model), Some(cost));
         }
+    }
+
+    /// A small weighted instance with a nontrivial optimum, for the
+    /// session tests.
+    fn session_instance() -> WcnfInstance {
+        let mut inst = WcnfInstance::new();
+        let lits: Vec<Lit> = (0..8).map(|_| inst.new_var().positive()).collect();
+        for w in lits.windows(2) {
+            inst.add_hard([w[0], w[1]]);
+        }
+        for (i, &l) in lits.iter().enumerate() {
+            inst.add_soft(1 + (i as u64 % 3), [!l]);
+        }
+        inst
+    }
+
+    #[test]
+    fn warm_session_reaches_the_cold_optimum_faster() {
+        for strategy in [Strategy::LinearSatUnsat, Strategy::CoreGuided] {
+            let inst = session_instance();
+            let options = SolveOptions::default().with_strategy(strategy);
+            let mut session = None;
+            let cold = solve_with_session::<sat::DefaultBackend>(
+                &inst,
+                &ResourceBudget::unlimited(),
+                &options,
+                &mut session,
+            );
+            assert_eq!(cold.status, MaxSatStatus::Optimal);
+            assert!(!cold.telemetry.warm_start);
+            assert_eq!(cold.telemetry.reused_clauses, 0);
+            let s = session.as_ref().expect("cold solve leaves a session");
+            assert_eq!(s.best_cost(), cold.cost);
+            assert!(s.reusable_clauses() > 0);
+
+            let warm = solve_with_session::<sat::DefaultBackend>(
+                &inst,
+                &ResourceBudget::unlimited(),
+                &options,
+                &mut session,
+            );
+            assert_eq!(warm.status, cold.status);
+            assert_eq!(warm.cost, cold.cost, "strategy {strategy:?}");
+            assert!(warm.telemetry.warm_start);
+            assert!(warm.telemetry.reused_clauses > 0);
+            // Resuming from the proved optimum needs at most one SAT call
+            // (linear: one UNSAT under the seeded bound; OLL: one SAT
+            // under the carried active set).
+            assert!(warm.iterations <= 1, "strategy {strategy:?}");
+            assert!(session.is_some(), "warm solve re-deposits the session");
+        }
+    }
+
+    #[test]
+    fn incompatible_session_degrades_to_a_cold_solve() {
+        let inst = session_instance();
+        let options = SolveOptions::default();
+        let mut session = None;
+        let _ = solve_with_session::<sat::DefaultBackend>(
+            &inst,
+            &ResourceBudget::unlimited(),
+            &options,
+            &mut session,
+        );
+        // A different instance shape must not resume from the session.
+        let mut other = WcnfInstance::new();
+        let a = other.new_var().positive();
+        other.add_hard([a]);
+        other.add_soft(1, [!a]);
+        let out = solve_with_session::<sat::DefaultBackend>(
+            &other,
+            &ResourceBudget::unlimited(),
+            &options,
+            &mut session,
+        );
+        assert_eq!(out.status, MaxSatStatus::Optimal);
+        assert_eq!(out.cost, Some(1));
+        assert!(!out.telemetry.warm_start);
+        // A strategy switch must not resume either (the carried totalizer
+        // encoding is strategy-private).
+        let core_opts = options.with_strategy(Strategy::CoreGuided);
+        let out = solve_with_session::<sat::DefaultBackend>(
+            &other,
+            &ResourceBudget::unlimited(),
+            &core_opts,
+            &mut session,
+        );
+        assert_eq!(out.cost, Some(1));
+        assert!(!out.telemetry.warm_start);
+    }
+
+    #[test]
+    fn forked_sessions_warm_start_independently() {
+        let inst = session_instance();
+        let options = SolveOptions::default();
+        let mut session = None;
+        let cold = solve_with_session::<sat::DefaultBackend>(
+            &inst,
+            &ResourceBudget::unlimited(),
+            &options,
+            &mut session,
+        );
+        let base = session.take().expect("session recorded");
+        for _ in 0..2 {
+            let mut fork = Some(base.fork().expect("solver backend can snapshot"));
+            let warm = solve_with_session::<sat::DefaultBackend>(
+                &inst,
+                &ResourceBudget::unlimited(),
+                &options,
+                &mut fork,
+            );
+            assert_eq!(warm.cost, cold.cost);
+            assert!(warm.telemetry.warm_start);
+        }
+    }
+
+    #[test]
+    fn race_strategy_leaves_the_session_untouched() {
+        let inst = session_instance();
+        let options = SolveOptions::default();
+        let mut session = None;
+        let cold = solve_with_session::<sat::DefaultBackend>(
+            &inst,
+            &ResourceBudget::unlimited(),
+            &options,
+            &mut session,
+        );
+        let race_opts = options.with_strategy(Strategy::Race);
+        let raced = solve_with_session::<sat::DefaultBackend>(
+            &inst,
+            &ResourceBudget::unlimited(),
+            &race_opts,
+            &mut session,
+        );
+        assert_eq!(raced.cost, cold.cost);
+        assert!(!raced.telemetry.warm_start);
+        // The linear session survived the race and still resumes.
+        let warm = solve_with_session::<sat::DefaultBackend>(
+            &inst,
+            &ResourceBudget::unlimited(),
+            &options,
+            &mut session,
+        );
+        assert_eq!(warm.cost, cold.cost);
+        assert!(warm.telemetry.warm_start);
     }
 
     /// Brute-force reference for small weighted instances.

@@ -36,6 +36,7 @@ use sat::{
 };
 
 use crate::encodings::Totalizer;
+use crate::session::MaxSatSession;
 use crate::solve::{MaxSatOutcome, MaxSatStatus, SolveOptions};
 use crate::wcnf::WcnfInstance;
 
@@ -90,6 +91,17 @@ pub struct SearchContext<'a, B: SatBackend> {
     iterations: u32,
     best_model: Option<Vec<bool>>,
     best_cost: u64,
+    /// Quantized cost of the incumbent (tracked alongside `best_cost` so a
+    /// warm resume can seed the linear bound without re-evaluating).
+    best_q_cost: u64,
+    /// Strategy progress carried in by a warm resume, taken by the
+    /// strategy on entry.
+    resume_totalizer: Option<Totalizer>,
+    resume_active: Option<Vec<(Lit, u64)>>,
+    /// Strategy progress deposited on exit, collected into the next
+    /// [`MaxSatSession`] by [`crate::solve_with_session`].
+    stashed_totalizer: Option<Totalizer>,
+    stashed_active: Option<Vec<(Lit, u64)>>,
 }
 
 impl<'a, B: SatBackend + Default> SearchContext<'a, B> {
@@ -159,6 +171,90 @@ impl<'a, B: SatBackend + Default> SearchContext<'a, B> {
             iterations: 0,
             best_model: None,
             best_cost: u64::MAX,
+            best_q_cost: u64::MAX,
+            resume_totalizer: None,
+            resume_active: None,
+            stashed_totalizer: None,
+            stashed_active: None,
+        }
+    }
+
+    /// Rebuilds a context from a prior solve's [`MaxSatSession`] instead
+    /// of encoding from scratch: the session's solver (clause arena,
+    /// learned clauses, saved phases), indicators, incumbent, and strategy
+    /// progress all carry over. The caller must pass the *same* instance
+    /// the session was built from (checked cheaply by
+    /// [`MaxSatSession::compatible`]; keyed exactly by the route-level
+    /// fingerprint). Arms `budget` and honors a changed portfolio width.
+    ///
+    /// The resumed telemetry reports `warm_start = true` and counts every
+    /// clause already in the arena as `reused_clauses` — the encoding work
+    /// this resume did *not* redo.
+    pub fn resume(
+        session: MaxSatSession<B>,
+        instance: &'a WcnfInstance,
+        budget: &ResourceBudget,
+        options: &SolveOptions,
+    ) -> Self {
+        let budget = budget.arm();
+        let mut solver = session.solver;
+        if let Some(width) = options.portfolio_width {
+            solver.set_portfolio_width(width);
+        }
+        let mut telemetry = SolverTelemetry::new();
+        telemetry.warm_start = true;
+        telemetry.reused_clauses = solver.num_clauses() as u64;
+        let stats_base = *solver.stats();
+        let (best_model, best_cost, best_q_cost) = match session.best_model {
+            Some(model) => (Some(model), session.best_cost, session.best_q_cost),
+            None => (None, u64::MAX, u64::MAX),
+        };
+        SearchContext {
+            solver,
+            instance,
+            indicators: session.indicators,
+            constant_cost: session.constant_cost,
+            quantum: session.quantum,
+            shared_vars: session.shared_vars,
+            budget,
+            telemetry,
+            stats_base,
+            iterations: 0,
+            best_model,
+            best_cost,
+            best_q_cost,
+            resume_totalizer: session.totalizer,
+            resume_active: session.oll_active,
+            stashed_totalizer: None,
+            stashed_active: None,
+        }
+    }
+
+    /// Packs the post-search state into a session for the next solve of
+    /// the same instance. `outcome` supplies the incumbent (the search
+    /// took it out of the context when it finished).
+    pub fn into_session(
+        self,
+        strategy: Strategy,
+        options: &SolveOptions,
+        outcome: &MaxSatOutcome,
+    ) -> MaxSatSession<B> {
+        MaxSatSession {
+            solver: self.solver,
+            indicators: self.indicators,
+            constant_cost: self.constant_cost,
+            quantum: self.quantum,
+            shared_vars: self.shared_vars,
+            strategy,
+            totalizer: self.stashed_totalizer,
+            oll_active: self.stashed_active,
+            best_model: outcome.model.clone(),
+            best_cost: outcome.cost.unwrap_or(u64::MAX),
+            best_q_cost: self.best_q_cost,
+            instance_vars: self.instance.num_vars(),
+            hard_count: self.instance.hard_clauses().len(),
+            soft_count: self.instance.soft_clauses().len(),
+            totalizer_units: options.totalizer_units,
         }
     }
 
@@ -191,6 +287,35 @@ impl<'a, B: SatBackend + Default> SearchContext<'a, B> {
     /// True once the armed budget has expired (or was cancelled).
     pub fn budget_expired(&self) -> bool {
         self.budget.expired()
+    }
+
+    /// Quantized cost of the incumbent (only meaningful once
+    /// [`SearchContext::has_model`] holds).
+    pub fn best_q_cost(&self) -> u64 {
+        self.best_q_cost
+    }
+
+    /// Takes the linear strengthening totalizer carried in by a warm
+    /// resume, if any.
+    pub fn take_resume_totalizer(&mut self) -> Option<Totalizer> {
+        self.resume_totalizer.take()
+    }
+
+    /// Takes the core-guided active assumption set carried in by a warm
+    /// resume, if any.
+    pub fn take_resume_active(&mut self) -> Option<Vec<(Lit, u64)>> {
+        self.resume_active.take()
+    }
+
+    /// Deposits the linear totalizer for collection into the next session.
+    pub fn stash_totalizer(&mut self, totalizer: Option<Totalizer>) {
+        self.stashed_totalizer = totalizer;
+    }
+
+    /// Deposits the core-guided active set for collection into the next
+    /// session.
+    pub fn stash_active(&mut self, active: Vec<(Lit, u64)>) {
+        self.stashed_active = Some(active);
     }
 
     /// `(indicator, quantized weight)` pairs — the totalizer inputs.
@@ -254,6 +379,7 @@ impl<'a, B: SatBackend + Default> SearchContext<'a, B> {
             .sum();
         if cost < self.best_cost {
             self.best_cost = cost;
+            self.best_q_cost = q_cost;
             self.best_model = Some(model);
         }
         (cost, q_cost)
@@ -342,13 +468,41 @@ impl SearchStrategy for LinearSatUnsat {
     }
 
     fn search<B: SatBackend + Default>(&self, ctx: &mut SearchContext<'_, B>) -> MaxSatOutcome {
-        let mut totalizer: Option<Totalizer> = None;
+        let mut totalizer: Option<Totalizer> = ctx.take_resume_totalizer();
         // The current strengthening bound: ¬o for the smallest attainable
         // sum above the target (ordering clauses propagate ¬ upward).
         let mut bound: Option<Lit> = None;
-        loop {
+        // Warm resume with an incumbent: skip the initial model hunt and
+        // go straight to strengthening the prior bound — the carried
+        // learned clauses make the closing UNSAT proof cheap. Incumbents
+        // already sitting on a proved floor finish without solving at all.
+        if ctx.has_model() {
+            if ctx.best_cost() == ctx.constant_cost() {
+                let outcome = ctx.finish(MaxSatStatus::Optimal, self.name());
+                ctx.stash_totalizer(totalizer);
+                return outcome;
+            }
+            if ctx.best_q_cost() == 0 {
+                let status = ctx.proved_status();
+                let outcome = ctx.finish(status, self.name());
+                ctx.stash_totalizer(totalizer);
+                return outcome;
+            }
+            if totalizer.is_none() {
+                let inputs = ctx.quantized_indicators();
+                totalizer = Some(ctx.encode(|solver| Totalizer::build(solver, &inputs)));
+            }
+            let q_cost = ctx.best_q_cost();
+            bound = totalizer
+                .as_ref()
+                .expect("just built")
+                .assert_at_most(q_cost - 1)
+                .first()
+                .copied();
+        }
+        let outcome = loop {
             if ctx.budget_expired() {
-                break;
+                break ctx.finish_exhausted(self.name());
             }
             let assumptions: Vec<Lit> = bound.into_iter().collect();
             match ctx.solve(&assumptions) {
@@ -356,12 +510,12 @@ impl SearchStrategy for LinearSatUnsat {
                     let (_cost, q_cost) = ctx.observe_model();
                     if ctx.best_cost() == ctx.constant_cost() {
                         // Can't do better than falsifying only empty softs.
-                        return ctx.finish(MaxSatStatus::Optimal, self.name());
+                        break ctx.finish(MaxSatStatus::Optimal, self.name());
                     }
                     if q_cost == 0 {
                         // Quantized optimum reached; cannot strengthen.
                         let status = ctx.proved_status();
-                        return ctx.finish(status, self.name());
+                        break ctx.finish(status, self.name());
                     }
                     // Lazily build the totalizer on first strengthening;
                     // its size is bounded by the number of attainable
@@ -384,12 +538,13 @@ impl SearchStrategy for LinearSatUnsat {
                     } else {
                         MaxSatStatus::Unsat
                     };
-                    return ctx.finish(status, self.name());
+                    break ctx.finish(status, self.name());
                 }
-                SolveResult::Unknown => break,
+                SolveResult::Unknown => break ctx.finish_exhausted(self.name()),
             }
-        }
-        ctx.finish_exhausted(self.name())
+        };
+        ctx.stash_totalizer(totalizer);
+        outcome
     }
 }
 
@@ -410,21 +565,29 @@ impl SearchStrategy for CoreGuided {
     fn search<B: SatBackend + Default>(&self, ctx: &mut SearchContext<'_, B>) -> MaxSatOutcome {
         // Active assumptions with their remaining (quantized) weights.
         // Duplicate indicator literals merge by summing weights so cores
-        // map back to unique assumptions.
-        let mut active: Vec<(Lit, u64)> = Vec::new();
-        for (l, w) in ctx.quantized_indicators() {
-            let assumption = !l;
-            match active.iter_mut().find(|(a, _)| *a == assumption) {
-                Some((_, total)) => *total += w,
-                None => active.push((assumption, w)),
+        // map back to unique assumptions. A warm resume starts from the
+        // prior search's active set — the lower bound it paid for is
+        // implicit in the reduced weights, so no core is re-derived. (The
+        // successor map restarts empty: walking a carried totalizer's
+        // bound upward is an optimization, and without it a repeated core
+        // still pays weight and terminates — the bound strictly rises.)
+        let mut active: Vec<(Lit, u64)> = ctx.take_resume_active().unwrap_or_else(|| {
+            let mut merged: Vec<(Lit, u64)> = Vec::new();
+            for (l, w) in ctx.quantized_indicators() {
+                let assumption = !l;
+                match merged.iter_mut().find(|(a, _)| *a == assumption) {
+                    Some((_, total)) => *total += w,
+                    None => merged.push((assumption, w)),
+                }
             }
-        }
+            merged
+        });
         let mut relaxations: Vec<Totalizer> = Vec::new();
         let mut successors: HashMap<Lit, RelaxSource> = HashMap::new();
 
-        loop {
+        let outcome = loop {
             if ctx.budget_expired() {
-                break;
+                break ctx.finish_exhausted(self.name());
             }
             let assumptions: Vec<Lit> = active.iter().map(|&(l, _)| l).collect();
             match ctx.solve(&assumptions) {
@@ -433,14 +596,14 @@ impl SearchStrategy for CoreGuided {
                     // meets the lower bound exactly — it is the optimum.
                     ctx.observe_model();
                     let status = ctx.proved_status();
-                    return ctx.finish(status, self.name());
+                    break ctx.finish(status, self.name());
                 }
                 SolveResult::Unsat => {
                     let core = ctx.core();
                     if core.is_empty() {
                         // The conflict is independent of every assumption:
                         // the hard clauses themselves are unsatisfiable.
-                        return ctx.finish(MaxSatStatus::Unsat, self.name());
+                        break ctx.finish(MaxSatStatus::Unsat, self.name());
                     }
                     let min_w = core
                         .iter()
@@ -478,10 +641,11 @@ impl SearchStrategy for CoreGuided {
                         relaxations.push(tot);
                     }
                 }
-                SolveResult::Unknown => break,
+                SolveResult::Unknown => break ctx.finish_exhausted(self.name()),
             }
-        }
-        ctx.finish_exhausted(self.name())
+        };
+        ctx.stash_active(active);
+        outcome
     }
 }
 

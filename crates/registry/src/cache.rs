@@ -1,0 +1,248 @@
+//! A canonical-outcome cache with warm-start session reuse in front of
+//! the registry.
+//!
+//! [`RouteCache`] keys every request by `(canonical router name,`
+//! [`circuit::RouteRequest::fingerprint`]`)` — a canonical hash of the
+//! answer-relevant inputs (circuit, device graph, resolved spec knobs;
+//! budget and parallelism deliberately excluded). Three tiers of reuse:
+//!
+//! 1. **Exact hit** — a solved outcome for the key is memoized and
+//!    returned without any solving; the clone is stamped
+//!    `telemetry.cache_hit = true`. Failed outcomes (timeouts,
+//!    unsatisfiable-with-these-knobs) are *not* memoized, so a retry
+//!    under a bigger budget re-solves instead of replaying the failure.
+//! 2. **Warm start** — SATMAP routers keep a [`satmap::RouteSession`] per
+//!    key: the encoding artifact plus the MaxSAT engine's clause database,
+//!    incumbent, and bound progress. A re-solve (typically that
+//!    bigger-budget retry) skips re-encoding and resumes the search; the
+//!    outcome reports `warm_start = true` with `reused_clauses` counting
+//!    the carried arena. The session is *forked* (an arena snapshot) for
+//!    the solve, so the stored entry stays valid even if the warm solve is
+//!    abandoned mid-search.
+//! 3. **Cold** — everything else routes exactly as the plain registry
+//!    would.
+//!
+//! Soundness: an exact hit replays a result computed from identical
+//! inputs; a warm start reuses a clause database that is a conservative
+//! extension of the identical instance (every MaxSAT bound travels as an
+//! assumption, never an asserted clause — see [`maxsat::MaxSatSession`]),
+//! so the carried clauses can only prune the search, never change its
+//! answer.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use circuit::{RouteOutcome, RouteRequest};
+use satmap::{RouteSession, SatMap, SatMapConfig};
+
+use crate::{Backend, RouterRegistry, UnknownRouter};
+
+/// Cache key: canonical router name plus the request's canonical
+/// fingerprint.
+type Key = (&'static str, u64);
+
+/// A memoizing, warm-starting front end over a [`RouterRegistry`]. Interior
+/// mutability (mutexed maps) keeps the routing surface `&self`, matching
+/// the registry; locks are held only around map access, never across a
+/// solve, so concurrent requests at worst both solve cold.
+pub struct RouteCache {
+    registry: RouterRegistry,
+    outcomes: Mutex<HashMap<Key, RouteOutcome>>,
+    sessions: Mutex<HashMap<Key, RouteSession<Backend>>>,
+}
+
+impl Default for RouteCache {
+    fn default() -> Self {
+        Self::new(RouterRegistry::standard())
+    }
+}
+
+impl RouteCache {
+    /// A cache in front of the given registry.
+    pub fn new(registry: RouterRegistry) -> Self {
+        RouteCache {
+            registry,
+            outcomes: Mutex::new(HashMap::new()),
+            sessions: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The wrapped registry.
+    pub fn registry(&self) -> &RouterRegistry {
+        &self.registry
+    }
+
+    /// Number of memoized (solved) outcomes.
+    pub fn cached_outcomes(&self) -> usize {
+        self.outcomes.lock().expect("cache lock").len()
+    }
+
+    /// Number of warm-start sessions held.
+    pub fn cached_sessions(&self) -> usize {
+        self.sessions.lock().expect("cache lock").len()
+    }
+
+    /// Drops all memoized outcomes and sessions.
+    pub fn clear(&self) {
+        self.outcomes.lock().expect("cache lock").clear();
+        self.sessions.lock().expect("cache lock").clear();
+    }
+
+    /// Routes `request` through the cache: an exact hit replays the
+    /// memoized outcome (stamped `cache_hit`), a SATMAP re-solve
+    /// warm-starts from the stored session, anything else solves cold —
+    /// and solved outcomes (plus SATMAP sessions) are stored for next
+    /// time. The memoized outcome keeps the original solve's wall time
+    /// and telemetry; only the `cache_hit` stamp distinguishes the replay.
+    ///
+    /// # Errors
+    ///
+    /// [`UnknownRouter`] listing the valid names.
+    pub fn route(
+        &self,
+        name: &str,
+        request: &RouteRequest<'_>,
+    ) -> Result<RouteOutcome, UnknownRouter> {
+        let canonical = self.registry.canonical(name)?;
+        let key = (canonical, request.fingerprint());
+        if let Some(hit) = self.outcomes.lock().expect("cache lock").get(&key) {
+            let mut out = hit.clone();
+            out.telemetry_mut().cache_hit = true;
+            return Ok(out);
+        }
+        let outcome = match canonical {
+            "satmap" => self.route_satmap(SatMapConfig::default(), key, request),
+            "nl-satmap" => self.route_satmap(SatMapConfig::monolithic(), key, request),
+            _ => self.registry.route(canonical, request)?,
+        };
+        if outcome.solved() {
+            self.outcomes
+                .lock()
+                .expect("cache lock")
+                .insert(key, outcome.clone());
+        }
+        Ok(outcome)
+    }
+
+    /// One SATMAP route with session reuse: fork the stored session when
+    /// the backend can snapshot (keeping the stored entry live), else move
+    /// it out; solve; store the updated session back.
+    fn route_satmap(
+        &self,
+        config: SatMapConfig,
+        key: Key,
+        request: &RouteRequest<'_>,
+    ) -> RouteOutcome {
+        let router = SatMap::<Backend>::with_backend(config);
+        let mut slot = {
+            let mut sessions = self.sessions.lock().expect("cache lock");
+            match sessions.get(&key).and_then(|s| s.fork()) {
+                forked @ Some(_) => forked,
+                None => sessions.remove(&key),
+            }
+        };
+        let outcome = router.route_with_session(request, &mut slot);
+        if let Some(s) = slot {
+            self.sessions.lock().expect("cache lock").insert(key, s);
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circuit::Circuit;
+    use std::time::Duration;
+
+    fn fig3() -> (Circuit, arch::ConnectivityGraph) {
+        let mut c = Circuit::new(4);
+        c.cx(0, 1);
+        c.cx(0, 2);
+        c.cx(3, 2);
+        c.cx(0, 3);
+        (
+            c,
+            arch::ConnectivityGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]),
+        )
+    }
+
+    #[test]
+    fn exact_repeat_is_served_from_the_cache() {
+        let (c, g) = fig3();
+        let cache = RouteCache::default();
+        let request = RouteRequest::new(&c, &g);
+        let cold = cache.route("nl-satmap", &request).expect("known");
+        assert!(cold.solved());
+        assert!(!cold.telemetry().cache_hit);
+        assert_eq!(cache.cached_outcomes(), 1);
+        assert_eq!(cache.cached_sessions(), 1);
+
+        let hit = cache.route("nl-satmap", &request).expect("known");
+        assert!(hit.telemetry().cache_hit);
+        assert_eq!(hit.solved(), cold.solved());
+        assert_eq!(
+            hit.routed().expect("solved").swap_count(),
+            cold.routed().expect("solved").swap_count()
+        );
+        // The replay carries the original telemetry, not a re-solve's.
+        assert_eq!(hit.telemetry().sat_calls, cold.telemetry().sat_calls);
+    }
+
+    #[test]
+    fn timed_out_solve_is_not_memoized_and_retries_warm() {
+        let mut c = Circuit::new(8);
+        for i in 0..7 {
+            c.cx(i, i + 1);
+            c.cx(0, 7 - i);
+        }
+        let g = arch::devices::tokyo();
+        let cache = RouteCache::default();
+        let failed = cache
+            .route(
+                "nl-satmap",
+                &RouteRequest::new(&c, &g).with_budget(Duration::from_millis(1)),
+            )
+            .expect("known");
+        assert!(!failed.solved());
+        assert_eq!(cache.cached_outcomes(), 0, "failures are not memoized");
+        assert_eq!(cache.cached_sessions(), 1, "but the session survives");
+
+        // Same fingerprint (budget is excluded): the retry warm-starts
+        // from the failed attempt's clause DB instead of starting over.
+        let retry = cache
+            .route("nl-satmap", &RouteRequest::new(&c, &g))
+            .expect("known");
+        assert!(retry.solved());
+        assert!(retry.telemetry().warm_start);
+        assert!(!retry.telemetry().cache_hit);
+    }
+
+    #[test]
+    fn different_routers_do_not_share_entries() {
+        let (c, g) = fig3();
+        let cache = RouteCache::default();
+        let request = RouteRequest::new(&c, &g);
+        let a = cache.route("nl-satmap", &request).expect("known");
+        let b = cache.route("sabre", &request).expect("known");
+        assert!(!b.telemetry().cache_hit);
+        assert_eq!(cache.cached_outcomes(), 2);
+        assert!(a.solved() && b.solved());
+        // Aliases resolve to the canonical entry and share its memo.
+        let via_alias = cache.route("nl-satmap", &request).expect("known");
+        assert!(via_alias.telemetry().cache_hit);
+    }
+
+    #[test]
+    fn clear_forgets_everything() {
+        let (c, g) = fig3();
+        let cache = RouteCache::default();
+        let request = RouteRequest::new(&c, &g);
+        let _ = cache.route("satmap", &request).expect("known");
+        cache.clear();
+        assert_eq!(cache.cached_outcomes(), 0);
+        assert_eq!(cache.cached_sessions(), 0);
+        let again = cache.route("satmap", &request).expect("known");
+        assert!(!again.telemetry().cache_hit);
+    }
+}

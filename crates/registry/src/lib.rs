@@ -49,6 +49,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
+
+pub use cache::RouteCache;
+
 use circuit::Router;
 use heuristics::{AStar, Sabre, Tket};
 use olsq::{Exhaustive, Transition};
@@ -59,7 +63,7 @@ use satmap::{CyclicSatMap, SatMap, SatMapConfig};
 pub type BoxedRouter = Box<dyn Router + Send + Sync>;
 
 /// The portfolio-capable backend the registry builds SAT routers over.
-type Backend = PortfolioBackend<DefaultBackend>;
+pub(crate) type Backend = PortfolioBackend<DefaultBackend>;
 
 #[derive(Clone)]
 struct Entry {
@@ -204,6 +208,18 @@ impl RouterRegistry {
     /// `(name, one-line summary)` pairs for help texts.
     pub fn descriptions(&self) -> Vec<(&'static str, &'static str)> {
         self.entries.iter().map(|e| (e.name, e.summary)).collect()
+    }
+
+    /// Resolves `name` (or an alias) to its canonical registered name —
+    /// the key under which [`RouteCache`] files its entries.
+    ///
+    /// # Errors
+    ///
+    /// [`UnknownRouter`] listing the valid names.
+    pub fn canonical(&self, name: &str) -> Result<&'static str, UnknownRouter> {
+        self.find(name)
+            .map(|e| e.name)
+            .ok_or_else(|| self.unknown(name))
     }
 
     fn find(&self, name: &str) -> Option<&Entry> {

@@ -64,7 +64,7 @@ pub use backend::{ClauseSink, DefaultBackend, SatBackend};
 pub use budget::{CancelToken, ResourceBudget};
 pub use clause::ClauseRef;
 pub use config::{PhaseInit, SolverConfig};
-pub use exchange::{ClauseExchange, ExchangePort, SharingConfig};
+pub use exchange::{ClauseExchange, ExchangePort, SharingConfig, DEFAULT_MIN_INSTANCE_SIZE};
 pub use lit::{LBool, Lit, Var};
 pub use portfolio::{auto_width, auto_width_for_jobs, PortfolioBackend, MAX_AUTO_WIDTH};
 pub use solver::{SolveResult, Solver};

@@ -24,6 +24,10 @@
 //! answers are unchanged — only the wall-clock route to them shortens.
 //! Sharing is on by default; [`PortfolioBackend::set_sharing`] disables it
 //! and [`PortfolioBackend::set_sharing_config`] tunes the thresholds.
+//! Small formulas skip the exchange entirely: below
+//! [`SharingConfig::min_instance_size`] (variables + clauses) the
+//! per-restart drain overhead costs more than the pruning pays, so the
+//! workers race without cooperating. Set the knob to 0 to share always.
 //!
 //! **The exchange persists across solve calls.** One `ClauseExchange`
 //! lives as long as the portfolio (rotated only on saturation or a width
@@ -437,6 +441,48 @@ impl<B: SatBackend + Send + Default + Clone> SatBackend for PortfolioBackend<B> 
         self.primary.num_vars()
     }
 
+    fn num_clauses(&self) -> usize {
+        self.primary.num_clauses()
+    }
+
+    fn snapshot(&self) -> Option<Self> {
+        // A snapshot keeps only the primary (peers are rebuilt lazily from
+        // it on the next race, exactly as after a resize). Outgoing peers'
+        // own effort is folded into `retired` first so the snapshot's
+        // merged totals stay monotone with the original's.
+        let primary = self.primary.snapshot()?;
+        let mut retired = self.retired;
+        for (peer, base) in self.peers.iter().zip(&self.peer_base) {
+            let mut delta = peer.stats().delta_since(base);
+            delta.arena_bytes = 0;
+            delta.last_winner = None;
+            retired.merge(&delta);
+        }
+        let mut merged = retired;
+        merged.arena_bytes = 0;
+        merged.last_winner = None;
+        merged.merge(primary.stats());
+        Some(PortfolioBackend {
+            primary,
+            peers: Vec::new(),
+            peer_base: Vec::new(),
+            retired,
+            width: self.width,
+            peers_synced: false,
+            base_config: self.base_config,
+            sharing_enabled: self.sharing_enabled,
+            sharing: self.sharing,
+            tuned: self.tuned,
+            adapt_mark: self.adapt_mark,
+            exchange: None,
+            ports: Vec::new(),
+            external: None,
+            merged,
+            winner: 0,
+            wins: vec![0; self.width],
+        })
+    }
+
     fn reserve_vars(&mut self, n: usize) {
         self.peers_synced = false;
         self.primary.reserve_vars(n);
@@ -474,8 +520,12 @@ impl<B: SatBackend + Send + Default + Clone> SatBackend for PortfolioBackend<B> 
         let peers_rebuilt = self.sync_peers();
         // The exchange outlives the race: ports keep their cursors and
         // dedup state between calls, so lemmas published during an earlier
-        // solve call are imported by this one (cross-call reuse).
-        if self.sharing_enabled {
+        // solve call are imported by this one (cross-call reuse). Small
+        // instances skip it: on them the drain overhead exceeds the
+        // pruning benefit, so the workers race without cooperating.
+        let instance_size = self.primary.num_vars() + self.primary.num_clauses();
+        let share = self.sharing_enabled && instance_size >= self.sharing.min_instance_size;
+        if share {
             self.prepare_ports(peers_rebuilt);
             let mut ports = std::mem::take(&mut self.ports).into_iter();
             self.primary.set_clause_exchange(ports.next());
@@ -515,7 +565,7 @@ impl<B: SatBackend + Send + Default + Clone> SatBackend for PortfolioBackend<B> 
         // race re-attaches them so the exchange spans calls. A backend
         // that cannot return its port (the trait default) retires the
         // exchange — the next race simply starts a fresh one.
-        if self.sharing_enabled {
+        if share {
             let mut ports = Vec::with_capacity(self.width);
             let workers = std::iter::once(&mut self.primary).chain(self.peers.iter_mut());
             for worker in workers {
@@ -579,6 +629,15 @@ mod tests {
 
     fn lit(d: i64) -> Lit {
         Lit::from_dimacs(d)
+    }
+
+    /// Drops the small-instance gate so the pigeonhole tests (all far
+    /// below the default threshold) exercise the exchange machinery.
+    fn share_always(p: &mut Portfolio) {
+        p.set_sharing_config(SharingConfig {
+            min_instance_size: 0,
+            ..SharingConfig::default()
+        });
     }
 
     /// Pigeonhole clauses: `pigeons` into `holes` (UNSAT iff pigeons > holes).
@@ -658,6 +717,7 @@ mod tests {
         for pigeons in 3..=5usize {
             let mut on = Portfolio::with_width(4);
             assert!(on.sharing());
+            share_always(&mut on);
             pigeonhole(&mut on, pigeons, pigeons - 1);
             let mut off = Portfolio::with_width(4);
             off.set_sharing(false);
@@ -709,6 +769,7 @@ mod tests {
         // The cooperation signal itself: on a conflict-heavy UNSAT race
         // the workers must actually move clauses through the exchange.
         let mut p = Portfolio::with_width(4);
+        share_always(&mut p);
         pigeonhole(&mut p, 7, 6);
         assert_eq!(
             p.solve_under_assumptions(&[], &ResourceBudget::unlimited()),
@@ -732,6 +793,7 @@ mod tests {
         // the next call's entry drain must pick the leftovers up as
         // cross-call imports (the exchange is no longer per-race).
         let mut p = Portfolio::with_width(4);
+        share_always(&mut p);
         let pigeons = 7usize;
         let holes = 6usize;
         p.reserve_vars(pigeons * holes + 1);
@@ -979,5 +1041,52 @@ mod tests {
             "retired peer effort must stay in the totals: {first} then {second}"
         );
         assert_eq!(p.wins().iter().sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn small_instances_skip_sharing_under_the_default_threshold() {
+        // PHP(7,6) is ~175 vars+clauses — far below the default
+        // `min_instance_size` — so a default-configured portfolio must
+        // race it without moving a single clause through an exchange.
+        let mut p = Portfolio::with_width(4);
+        assert!(p.sharing(), "sharing stays enabled; the gate is size-based");
+        pigeonhole(&mut p, 7, 6);
+        assert!(
+            SatBackend::num_vars(&p) + SatBackend::num_clauses(&p)
+                < p.sharing_config().min_instance_size
+        );
+        assert_eq!(
+            p.solve_under_assumptions(&[], &ResourceBudget::unlimited()),
+            SolveResult::Unsat
+        );
+        let stats = *p.stats();
+        assert_eq!(stats.clauses_imported, 0, "gated race must not import");
+        assert_eq!(stats.clauses_exported, 0, "gated race must not export");
+    }
+
+    #[test]
+    fn snapshot_clones_the_formula_and_diverges_independently() {
+        let mut p = Portfolio::with_width(2);
+        let a = ClauseSink::new_var(&mut p).positive();
+        let b = ClauseSink::new_var(&mut p).positive();
+        SatBackend::add_clause(&mut p, &[a, b]);
+        let unlimited = ResourceBudget::unlimited();
+        assert_eq!(p.solve_under_assumptions(&[], &unlimited), SolveResult::Sat);
+        let mut snap = SatBackend::snapshot(&p).expect("portfolio snapshots");
+        assert_eq!(snap.num_workers(), p.num_workers());
+        assert_eq!(SatBackend::num_vars(&snap), SatBackend::num_vars(&p));
+        assert_eq!(SatBackend::num_clauses(&snap), SatBackend::num_clauses(&p));
+        // The snapshot answers like the original and diverges cleanly.
+        assert_eq!(
+            snap.solve_under_assumptions(&[], &unlimited),
+            SolveResult::Sat
+        );
+        SatBackend::add_clause(&mut snap, &[!a]);
+        SatBackend::add_clause(&mut snap, &[!b]);
+        assert_eq!(
+            snap.solve_under_assumptions(&[], &unlimited),
+            SolveResult::Unsat
+        );
+        assert_eq!(p.solve_under_assumptions(&[], &unlimited), SolveResult::Sat);
     }
 }

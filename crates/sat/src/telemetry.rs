@@ -52,6 +52,14 @@ pub struct SolverTelemetry {
     /// MaxSAT engine only: name of the search strategy that produced the
     /// answer (for a strategy race, the winner). `None` outside MaxSAT.
     pub strategy: Option<&'static str>,
+    /// Whether this outcome was served from a route cache without solving.
+    pub cache_hit: bool,
+    /// Whether the solve warm-started from a prior session's clause DB and
+    /// bounds instead of encoding and searching from scratch.
+    pub warm_start: bool,
+    /// Clauses carried into the solve from a prior session's arena instead
+    /// of being re-emitted (0 for cold solves).
+    pub reused_clauses: u64,
 }
 
 impl SolverTelemetry {
@@ -84,6 +92,9 @@ impl SolverTelemetry {
         if child.strategy.is_some() {
             self.strategy = child.strategy;
         }
+        self.cache_hit |= child.cache_hit;
+        self.warm_start |= child.warm_start;
+        self.reused_clauses += child.reused_clauses;
     }
 }
 
@@ -105,6 +116,12 @@ impl std::fmt::Display for SolverTelemetry {
         }
         if let Some(s) = self.strategy {
             write!(f, " strategy={s}")?;
+        }
+        if self.cache_hit {
+            write!(f, " cache_hit")?;
+        }
+        if self.warm_start {
+            write!(f, " warm_start reused_clauses={}", self.reused_clauses)?;
         }
         Ok(())
     }

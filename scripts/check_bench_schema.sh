@@ -21,16 +21,18 @@ done
 
 # Telemetry fields: in the sharing probe and in every route row. The
 # strategy-engine fields (strategy, useful_imports, cross_call_imports)
-# came with the strategy-racing MaxSAT engine.
+# came with the strategy-racing MaxSAT engine; the warm-start fields
+# (cache_hit, warm_start, reused_clauses) with the route cache.
 for key in clauses_exported clauses_imported useful_imports cross_call_imports \
-           compactions arena_bytes strategy; do
+           compactions arena_bytes strategy cache_hit warm_start reused_clauses; do
     grep -q "\"$key\"" "$report" || fail "missing telemetry field \"$key\""
 done
 
 # The criterion groups must have produced medians.
 for group in '"sharing/on"' '"sharing/off"' '"arena/clone"' '"arena/reemit"' \
              '"maxsat_strategies/linear"' '"maxsat_strategies/core-guided"' \
-             '"maxsat_strategies/race"'; do
+             '"maxsat_strategies/race"' \
+             '"warmstart/cold"' '"warmstart/warm"' '"warmstart/cache-hit"'; do
     grep -q "$group" "$report" || fail "missing benchmark $group"
 done
 

@@ -9,7 +9,8 @@ use circuit::{verify::verify, Circuit, Parallelism, RouteRequest, RouteSpec, Sli
 use experiments::runner::{run_suite, run_tool};
 use routers::RouterRegistry;
 use sat::{
-    CancelToken, DefaultBackend, Lit, PortfolioBackend, ResourceBudget, SatBackend, SolveResult,
+    CancelToken, DefaultBackend, Lit, PortfolioBackend, ResourceBudget, SatBackend, SharingConfig,
+    SolveResult,
 };
 
 /// The paper's Fig. 3a running example.
@@ -303,7 +304,13 @@ fn sharing_portfolio_maxsat_costs_match_serial_backend() {
 fn sharing_on_and_off_portfolios_agree_and_cooperate() {
     // Same hard UNSAT race with sharing on and off: identical answers,
     // and the sharing side must actually move clauses (nonzero imports).
+    // PHP(7,6) sits below the default `min_instance_size` gate, so the
+    // sharing side opens it explicitly — the override the gate documents.
     let mut with_sharing = PortfolioBackend::<DefaultBackend>::with_width(4);
+    with_sharing.set_sharing_config(SharingConfig {
+        min_instance_size: 0,
+        ..SharingConfig::default()
+    });
     load_pigeonhole(&mut with_sharing, 7, 6);
     let mut without = PortfolioBackend::<DefaultBackend>::with_width(4);
     without.set_sharing(false);
