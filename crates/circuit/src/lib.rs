@@ -42,7 +42,7 @@ pub mod verify;
 pub use circuit::Circuit;
 pub use gate::{Gate, OneQubitKind, Qubit, TwoQubitKind};
 pub use request::{
-    Objective, Parallelism, RepeatedStructure, RouteOutcome, RouteRequest, RouteSpec,
+    Objective, Parallelism, RepeatedStructure, RouteOutcome, RouteQuality, RouteRequest, RouteSpec,
     SearchStrategy, Slicing,
 };
 pub use routed::{RoutedCircuit, RoutedOp};

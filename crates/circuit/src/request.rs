@@ -552,6 +552,56 @@ impl Fnv {
     }
 }
 
+/// How trustworthy a served [`RouteOutcome`] is — the stamp a resilience
+/// layer (retry ladder, heuristic fallback) leaves so callers and caches
+/// can tell a proven answer from a best-effort one.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RouteQuality {
+    /// The answer carries the router's full proof strength (for SATMAP's
+    /// monolithic mode, optimal modulo the configured knobs), served on
+    /// the first attempt. The default: plain routers without a supervisor
+    /// produce either this or a typed failure.
+    #[default]
+    Optimal,
+    /// Same proof strength as [`RouteQuality::Optimal`], but reached after
+    /// `n` failed attempts via warm-started retries (the session's clause
+    /// DB and bounds are a conservative extension of the instance, so the
+    /// re-solve proves the *same* optimum, just faster).
+    WarmRetry(u32),
+    /// Best-effort only: the escalation ladder fell back to a heuristic
+    /// router, or the solver returned an incumbent it could not prove
+    /// optimal before the budget died. Usable, but not canonical — caches
+    /// must never memoize it as the answer for the fingerprint.
+    Degraded,
+}
+
+impl RouteQuality {
+    /// Stable lowercase label for JSON rows (`optimal` / `warm_retry` /
+    /// `degraded`; retry counts travel in the separate `attempts` field).
+    pub fn label(&self) -> &'static str {
+        match self {
+            RouteQuality::Optimal => "optimal",
+            RouteQuality::WarmRetry(_) => "warm_retry",
+            RouteQuality::Degraded => "degraded",
+        }
+    }
+
+    /// True when the answer carries the router's full proof strength
+    /// (first-attempt or warm-retried — both are equally trustworthy).
+    pub fn is_proven(&self) -> bool {
+        !matches!(self, RouteQuality::Degraded)
+    }
+}
+
+impl std::fmt::Display for RouteQuality {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteQuality::WarmRetry(n) => write!(f, "warm_retry({n})"),
+            other => f.write_str(other.label()),
+        }
+    }
+}
+
 /// The response to a [`RouteRequest`]: the routed circuit or a typed
 /// failure, always carrying the solver effort spent, the wall-clock time
 /// of the attempt, and solver-specific diagnostics.
@@ -565,6 +615,8 @@ pub struct RouteOutcome {
     telemetry: SolverTelemetry,
     wall_time: Duration,
     diagnostics: Vec<(String, String)>,
+    quality: RouteQuality,
+    attempts: u32,
 }
 
 impl RouteOutcome {
@@ -581,6 +633,8 @@ impl RouteOutcome {
             telemetry,
             wall_time,
             diagnostics: Vec::new(),
+            quality: RouteQuality::Optimal,
+            attempts: 1,
         }
     }
 
@@ -665,6 +719,34 @@ impl RouteOutcome {
         self.wall_time
     }
 
+    /// Returns the outcome stamped with a quality grade (see
+    /// [`RouteQuality`]; new outcomes default to
+    /// [`RouteQuality::Optimal`]).
+    #[must_use]
+    pub fn with_quality(mut self, quality: RouteQuality) -> Self {
+        self.quality = quality;
+        self
+    }
+
+    /// Returns the outcome stamped with the number of attempts a
+    /// supervisor spent serving it (new outcomes default to 1).
+    #[must_use]
+    pub fn with_attempts(mut self, attempts: u32) -> Self {
+        self.attempts = attempts.max(1);
+        self
+    }
+
+    /// The trustworthiness grade of this answer.
+    pub fn quality(&self) -> RouteQuality {
+        self.quality
+    }
+
+    /// How many attempts (first try + retries + fallback) served this
+    /// outcome. 1 for plain, unsupervised routing.
+    pub fn attempts(&self) -> u32 {
+        self.attempts
+    }
+
     /// All solver-specific diagnostics, in insertion order.
     pub fn diagnostics(&self) -> &[(String, String)] {
         &self.diagnostics
@@ -710,6 +792,9 @@ impl RouteOutcome {
         out.push_str(&format!(",\"cross_call_imports\":{}", t.cross_call_imports));
         out.push_str(&format!(",\"compactions\":{}", t.compactions));
         out.push_str(&format!(",\"arena_bytes\":{}", t.arena_bytes));
+        out.push_str(&format!(",\"quality\":\"{}\"", self.quality.label()));
+        out.push_str(&format!(",\"attempts\":{}", self.attempts));
+        out.push_str(&format!(",\"worker_panics\":{}", t.worker_panics));
         out.push_str(&format!(",\"cache_hit\":{}", t.cache_hit));
         out.push_str(&format!(",\"warm_start\":{}", t.warm_start));
         out.push_str(&format!(",\"reused_clauses\":{}", t.reused_clauses));
@@ -967,6 +1052,44 @@ mod tests {
         assert!(json.contains("\"cache_hit\":true"));
         assert!(json.contains("\"warm_start\":true"));
         assert!(json.contains("\"reused_clauses\":42"));
+    }
+
+    #[test]
+    fn quality_and_attempts_default_and_stamp_into_json() {
+        let routed = RoutedCircuit::new(vec![0, 1], vec![RoutedOp::Logical(0)]);
+        let outcome = RouteOutcome::new(
+            "satmap",
+            Ok(routed),
+            SolverTelemetry {
+                worker_panics: 2,
+                ..SolverTelemetry::default()
+            },
+            Duration::from_millis(1),
+        );
+        assert_eq!(outcome.quality(), RouteQuality::Optimal);
+        assert_eq!(outcome.attempts(), 1);
+        assert!(outcome.quality().is_proven());
+        let json = outcome.to_json();
+        assert!(json.contains("\"quality\":\"optimal\""));
+        assert!(json.contains("\"attempts\":1"));
+        assert!(json.contains("\"worker_panics\":2"));
+
+        let retried = outcome
+            .clone()
+            .with_quality(RouteQuality::WarmRetry(2))
+            .with_attempts(3);
+        assert_eq!(retried.quality(), RouteQuality::WarmRetry(2));
+        assert!(retried.quality().is_proven());
+        assert_eq!(retried.quality().to_string(), "warm_retry(2)");
+        assert!(retried.to_json().contains("\"quality\":\"warm_retry\""));
+        assert!(retried.to_json().contains("\"attempts\":3"));
+
+        let degraded = outcome
+            .with_quality(RouteQuality::Degraded)
+            .with_attempts(0);
+        assert!(!degraded.quality().is_proven());
+        assert_eq!(degraded.attempts(), 1, "attempts clamp to at least 1");
+        assert!(degraded.to_json().contains("\"quality\":\"degraded\""));
     }
 
     #[test]

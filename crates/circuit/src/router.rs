@@ -28,6 +28,15 @@ pub enum RouteError {
     /// The instance is unsatisfiable under the solver's constraints (e.g.
     /// no schedule exists within the configured swaps-per-gap).
     Unsatisfiable(String),
+    /// Admission control shed the request before any encoding was paid
+    /// for: its predicted encoding size exceeds what the budgeted solver
+    /// could finish (see the supervisor's admission limit). Retry with a
+    /// bigger budget, a heuristic router, or a smaller circuit.
+    Overloaded(String),
+    /// The solver crashed (a panic was caught at an isolation boundary)
+    /// and no usable partial answer survived. Retryable: supervisors treat
+    /// it like a timeout and re-attempt or degrade.
+    Internal(String),
 }
 
 impl std::fmt::Display for RouteError {
@@ -36,6 +45,8 @@ impl std::fmt::Display for RouteError {
             RouteError::InvalidRequest(why) => write!(f, "invalid request: {why}"),
             RouteError::Timeout => write!(f, "routing budget exhausted"),
             RouteError::Unsatisfiable(why) => write!(f, "instance unsatisfiable: {why}"),
+            RouteError::Overloaded(why) => write!(f, "request shed by admission control: {why}"),
+            RouteError::Internal(why) => write!(f, "internal solver failure: {why}"),
         }
     }
 }
@@ -89,6 +100,12 @@ mod tests {
         assert!(RouteError::InvalidRequest("y".into())
             .to_string()
             .contains("invalid request: y"));
+        assert!(RouteError::Overloaded("too big".into())
+            .to_string()
+            .contains("admission control: too big"));
+        assert!(RouteError::Internal("worker died".into())
+            .to_string()
+            .contains("internal solver failure: worker died"));
     }
 
     /// A stub proving the trait is dyn-safe and that the provided `route`

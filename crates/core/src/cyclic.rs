@@ -129,6 +129,7 @@ impl<B: SatBackend + Default + Send> CyclicSatMap<B> {
         &self,
         request: &RouteRequest<'_>,
         p: &Resolved,
+        proved: &mut bool,
     ) -> (Result<RoutedCircuit, RouteError>, SolverTelemetry) {
         let mut telemetry = SolverTelemetry::new();
         if let Err(e) = request.validate() {
@@ -147,10 +148,11 @@ impl<B: SatBackend + Default + Send> CyclicSatMap<B> {
         let budget = p.budget.arm();
 
         // Solve the subcircuit once, cyclically.
-        let sub_routed = match self.solve_subcircuit(&sub, graph, p, &budget, &mut telemetry) {
-            Ok(r) => r,
-            Err(e) => return (Err(e), telemetry),
-        };
+        let sub_routed =
+            match self.solve_subcircuit(&sub, graph, p, &budget, &mut telemetry, proved) {
+                Ok(r) => r,
+                Err(e) => return (Err(e), telemetry),
+            };
         debug_assert_eq!(sub_routed.final_map(), sub_routed.initial_map());
 
         // Stitch: prefix 1q gates, then `cycles` copies of the subcircuit
@@ -178,6 +180,7 @@ impl<B: SatBackend + Default + Send> CyclicSatMap<B> {
         p: &Resolved,
         budget: &ResourceBudget,
         telemetry: &mut SolverTelemetry,
+        proved: &mut bool,
     ) -> Result<RoutedCircuit, RouteError> {
         let n = p.swaps_per_gap;
         let monolithic = match p.slice_size {
@@ -201,6 +204,9 @@ impl<B: SatBackend + Default + Send> CyclicSatMap<B> {
             let options = p.options_for_instance(crate::solver::instance_size(&enc));
             let out = maxsat::solve_with_options::<B>(enc.instance(), budget, &options);
             telemetry.absorb(&out.telemetry);
+            if matches!(out.status, MaxSatStatus::Feasible) {
+                *proved = false;
+            }
             return match out.status {
                 MaxSatStatus::Optimal | MaxSatStatus::Feasible => {
                     let model = out.model.expect("status implies model");
@@ -232,7 +238,7 @@ impl<B: SatBackend + Default + Send> CyclicSatMap<B> {
         };
         let inner_request = RouteRequest::with_spec(sub, graph, spec);
         let inner_p = inner.config().resolve(&inner_request);
-        let (inner_result, inner_telemetry) = inner.route_impl(&inner_request, &inner_p);
+        let (inner_result, inner_telemetry) = inner.route_impl(&inner_request, &inner_p, proved);
         telemetry.absorb(&inner_telemetry);
         let routed = inner_result?;
         let initial = routed.initial_map().to_vec();
@@ -248,6 +254,7 @@ impl<B: SatBackend + Default + Send> CyclicSatMap<B> {
             p,
             budget,
             telemetry,
+            proved,
         )?;
         let mut ops = routed.ops().to_vec();
         ops.extend(restore);
@@ -267,6 +274,7 @@ impl<B: SatBackend + Default + Send> CyclicSatMap<B> {
         p: &Resolved,
         budget: &ResourceBudget,
         telemetry: &mut SolverTelemetry,
+        proved: &mut bool,
     ) -> Result<Vec<RoutedOp>, RouteError> {
         // Upper bound on swaps needed: routing each qubit home costs at
         // most diameter swaps.
@@ -295,6 +303,9 @@ impl<B: SatBackend + Default + Send> CyclicSatMap<B> {
             let options = p.options_for_instance(crate::solver::instance_size(&enc));
             let out = maxsat::solve_with_options::<B>(enc.instance(), budget, &options);
             telemetry.absorb(&out.telemetry);
+            if matches!(out.status, MaxSatStatus::Feasible) {
+                *proved = false;
+            }
             match out.status {
                 MaxSatStatus::Optimal | MaxSatStatus::Feasible => {
                     let model = out.model.expect("status implies model");
@@ -329,7 +340,10 @@ impl<B: SatBackend + Default + Send> Router for CyclicSatMap<B> {
     /// treated as a single repetition.
     fn route_request(&self, request: &RouteRequest<'_>) -> RouteOutcome {
         let p = self.config.resolve(request);
-        RouteOutcome::capture(self.name(), || self.route_impl(request, &p))
+        let mut proved = true;
+        let outcome =
+            RouteOutcome::capture(self.name(), || self.route_impl(request, &p, &mut proved));
+        crate::solver::stamp_quality(outcome, proved)
             .with_diagnostic("cycles", request.repetition().map_or(1, |r| r.cycles))
             .with_diagnostic("portfolio_width", p.parallelism.resolve())
     }

@@ -16,7 +16,9 @@ use std::marker::PhantomData;
 use std::time::{Duration, Instant};
 
 use arch::ConnectivityGraph;
-use circuit::{Circuit, RouteError, RouteOutcome, RouteRequest, RoutedCircuit, RoutedOp, Router};
+use circuit::{
+    Circuit, RouteError, RouteOutcome, RouteQuality, RouteRequest, RoutedCircuit, RoutedOp, Router,
+};
 use maxsat::{MaxSatSession, MaxSatStatus};
 use sat::{DefaultBackend, ResourceBudget, SatBackend, SolverTelemetry};
 
@@ -98,18 +100,39 @@ pub(crate) fn instance_size(enc: &QmrEncoding) -> usize {
     enc.instance().num_vars() + enc.instance().hard_clauses().len()
 }
 
-/// Memory guard (the analogue of the paper's 5 GB per-tool cap): refuses
-/// instances whose encoding would dwarf any realistic budget.
+/// Ceiling on [`encoding_estimate`] above which a *budgeted* request is
+/// shed before any encoding is paid for (the analogue of the paper's 5 GB
+/// per-tool cap). Shared with admission control in the routing supervisor,
+/// which uses the same estimate to reject oversized requests up front.
+pub const ENCODING_GUARD_LIMIT: usize = 6_000_000;
+
+/// Cheap upper-bound proxy for the size of the Fig. 5 encoding of
+/// `circuit` on `graph` with `swaps_per_gap` SWAP slots per gap: mapping
+/// states × (mapping + swap variables per state). Costs O(1) — no
+/// encoding is built — so admission control can call it on every request.
+pub fn encoding_estimate(
+    circuit: &Circuit,
+    graph: &ConnectivityGraph,
+    swaps_per_gap: usize,
+) -> usize {
+    let states = circuit.num_two_qubit_gates().max(1) * swaps_per_gap.max(1);
+    let per_state =
+        circuit.num_qubits() * (graph.num_qubits() + 2 * graph.num_edges()) + graph.num_qubits();
+    states.saturating_mul(per_state)
+}
+
+/// Memory guard: refuses instances whose encoding would dwarf any
+/// realistic budget, *before* paying the encode cost.
 fn guard_memory(
     circuit: &Circuit,
     graph: &ConnectivityGraph,
     p: &Resolved,
 ) -> Result<(), RouteError> {
-    let states = circuit.num_two_qubit_gates().max(1) * p.swaps_per_gap;
-    let per_state =
-        circuit.num_qubits() * (graph.num_qubits() + 2 * graph.num_edges()) + graph.num_qubits();
-    if p.budget.is_limited() && states.saturating_mul(per_state) > 6_000_000 {
-        return Err(RouteError::Timeout);
+    let estimate = encoding_estimate(circuit, graph, p.swaps_per_gap);
+    if p.budget.is_limited() && estimate > ENCODING_GUARD_LIMIT {
+        return Err(RouteError::Overloaded(format!(
+            "encoding estimate {estimate} exceeds the guard limit {ENCODING_GUARD_LIMIT}"
+        )));
     }
     Ok(())
 }
@@ -131,6 +154,18 @@ fn decode_monolithic(
             "no routing with n = {n} swaps per gap; increase swaps_per_gap"
         ))),
         MaxSatStatus::Unknown => Err(RouteError::Timeout),
+    }
+}
+
+/// Stamps the outcome's quality from the proof status of its accepted
+/// model: a solved result whose optimality was *not* certified (the
+/// anytime search returned an incumbent, not a proof) is `Degraded`;
+/// everything else keeps the `Optimal` default.
+pub(crate) fn stamp_quality(outcome: RouteOutcome, proved: bool) -> RouteOutcome {
+    if outcome.solved() && !proved {
+        outcome.with_quality(RouteQuality::Degraded)
+    } else {
+        outcome
     }
 }
 
@@ -193,11 +228,15 @@ impl<B: SatBackend + Default + Send> SatMap<B> {
 
     /// Routes the whole request under the already-resolved parameters,
     /// returning the result plus the solver effort spent — including
-    /// effort spent on failed attempts.
+    /// effort spent on failed attempts. `proved` is cleared when any
+    /// accepted model is an unproven incumbent ([`MaxSatStatus::Feasible`],
+    /// e.g. a cancelled anytime search): the solution still verifies but
+    /// must be stamped [`circuit::RouteQuality::Degraded`].
     pub(crate) fn route_impl(
         &self,
         request: &RouteRequest<'_>,
         p: &Resolved,
+        proved: &mut bool,
     ) -> (Result<RoutedCircuit, RouteError>, SolverTelemetry) {
         let mut telemetry = SolverTelemetry::new();
         if let Err(e) = request.validate() {
@@ -206,13 +245,13 @@ impl<B: SatBackend + Default + Send> SatMap<B> {
         let (circuit, graph) = (request.circuit(), request.graph());
         let budget = p.budget.arm();
         let result = match p.slice_size {
-            None => self.route_monolithic(circuit, graph, p, &budget, &mut telemetry),
+            None => self.route_monolithic(circuit, graph, p, &budget, &mut telemetry, proved),
             Some(size) => {
                 if circuit.num_two_qubit_gates() <= size {
                     // One slice: identical to monolithic.
-                    self.route_monolithic(circuit, graph, p, &budget, &mut telemetry)
+                    self.route_monolithic(circuit, graph, p, &budget, &mut telemetry, proved)
                 } else {
-                    self.route_sliced(circuit, graph, size, p, &budget, &mut telemetry)
+                    self.route_sliced(circuit, graph, size, p, &budget, &mut telemetry, proved)
                 }
             }
         };
@@ -227,10 +266,14 @@ impl<B: SatBackend + Default + Send> SatMap<B> {
         p: &Resolved,
         budget: &ResourceBudget,
         telemetry: &mut SolverTelemetry,
+        proved: &mut bool,
     ) -> Result<RoutedCircuit, RouteError> {
         guard_memory(circuit, graph, p)?;
         let enc = self.build_encoding(circuit, graph, EncodeShape::first_slice(), p, telemetry);
         let out = self.solve_instance(&enc, p, budget, telemetry);
+        if matches!(out.status, MaxSatStatus::Feasible) {
+            *proved = false;
+        }
         decode_monolithic(circuit, &enc, out, p.swaps_per_gap)
     }
 
@@ -281,7 +324,7 @@ impl<B: SatBackend + Default + Send> SatMap<B> {
     ///
     /// [`RouteError::InvalidRequest`] when the request fails validation or
     /// resolves to the multi-slice path (whose encodings depend on
-    /// intermediate solutions); [`RouteError::Timeout`] when the memory
+    /// intermediate solutions); [`RouteError::Overloaded`] when the memory
     /// guard trips.
     pub fn encode_request(
         &self,
@@ -312,6 +355,7 @@ impl<B: SatBackend + Default + Send> SatMap<B> {
         session: &mut Option<MaxSatSession<B>>,
     ) -> RouteOutcome {
         let p = self.config.resolve(request);
+        let mut proved = true;
         let outcome = RouteOutcome::capture(self.name(), || {
             let mut telemetry = SolverTelemetry::new();
             if request.fingerprint() != artifact.fingerprint() {
@@ -327,12 +371,15 @@ impl<B: SatBackend + Default + Send> SatMap<B> {
             let out =
                 maxsat::solve_with_session::<B>(artifact.instance(), &budget, &options, session);
             telemetry.absorb(&out.telemetry);
+            if matches!(out.status, MaxSatStatus::Feasible) {
+                proved = false;
+            }
             (
                 decode_monolithic(request.circuit(), artifact.encoding(), out, p.swaps_per_gap),
                 telemetry,
             )
         });
-        self.stamp_diagnostics(outcome, &p)
+        self.stamp_diagnostics(stamp_quality(outcome, proved), &p)
     }
 
     /// Routes with warm-start session reuse. A `None` slot (or one left by
@@ -381,11 +428,12 @@ impl<B: SatBackend + Default + Send> SatMap<B> {
         let out =
             maxsat::solve_with_session::<B>(artifact.instance(), &budget, &options, &mut session);
         telemetry.absorb(&out.telemetry);
+        let proved = !matches!(out.status, MaxSatStatus::Feasible);
         let result =
             decode_monolithic(request.circuit(), artifact.encoding(), out, p.swaps_per_gap);
         *slot = Some(RouteSession { artifact, session });
         let outcome = RouteOutcome::new(self.name(), result, telemetry, started.elapsed());
-        self.stamp_diagnostics(outcome, &p)
+        self.stamp_diagnostics(stamp_quality(outcome, proved), &p)
     }
 
     /// The diagnostics every SATMAP outcome carries, regardless of which
@@ -407,6 +455,7 @@ impl<B: SatBackend + Default + Send> SatMap<B> {
     /// deepening*: rebuild the stuck slice with more swap slots before its
     /// first gate, which can always absorb a bad entry map and therefore
     /// keeps the relaxation complete.
+    #[allow(clippy::too_many_arguments)]
     fn route_sliced(
         &self,
         circuit: &Circuit,
@@ -415,6 +464,7 @@ impl<B: SatBackend + Default + Send> SatMap<B> {
         p: &Resolved,
         budget: &ResourceBudget,
         telemetry: &mut SolverTelemetry,
+        proved: &mut bool,
     ) -> Result<RoutedCircuit, RouteError> {
         let slices = circuit.slices(slice_size);
         let n = p.swaps_per_gap;
@@ -436,6 +486,9 @@ impl<B: SatBackend + Default + Send> SatMap<B> {
                 enc.pin_initial_map(&solved[i - 1].final_map);
             }
             let out = self.solve_instance(&enc, p, budget, telemetry);
+            if matches!(out.status, MaxSatStatus::Feasible) {
+                *proved = false;
+            }
             match out.status {
                 MaxSatStatus::Optimal | MaxSatStatus::Feasible => {
                     let model = out.model.expect("status implies model");
@@ -469,7 +522,7 @@ impl<B: SatBackend + Default + Send> SatMap<B> {
                             // slice's leading slots instead of giving up.
                             let pin = solved[i - 1].final_map.clone();
                             let state = self.solve_slice_deepened(
-                                &slices[i], graph, &pin, p, budget, telemetry,
+                                &slices[i], graph, &pin, p, budget, telemetry, proved,
                             )?;
                             push_solved(&mut solved, state, telemetry);
                             i += 1;
@@ -523,6 +576,9 @@ impl<B: SatBackend + Default + Send> SatMap<B> {
                             &p.options_for_instance(instance_size(prev_enc)),
                         );
                         telemetry.absorb(&retry.telemetry);
+                        if matches!(retry.status, MaxSatStatus::Feasible) {
+                            *proved = false;
+                        }
                         match retry.status {
                             MaxSatStatus::Optimal | MaxSatStatus::Feasible => {
                                 let model = retry.model.expect("status implies model");
@@ -582,6 +638,7 @@ impl<B: SatBackend + Default + Send> SatMap<B> {
     /// until satisfiable. With enough leading slots any entry map can be
     /// reshaped before the first gate, so this always terminates with a
     /// solution, a timeout, or a genuinely unsatisfiable slice.
+    #[allow(clippy::too_many_arguments)]
     fn solve_slice_deepened(
         &self,
         slice: &Circuit,
@@ -590,6 +647,7 @@ impl<B: SatBackend + Default + Send> SatMap<B> {
         p: &Resolved,
         budget: &ResourceBudget,
         telemetry: &mut SolverTelemetry,
+        proved: &mut bool,
     ) -> Result<SliceState, RouteError> {
         let n = p.swaps_per_gap;
         // Routing every logical qubit home costs at most diameter swaps.
@@ -603,6 +661,9 @@ impl<B: SatBackend + Default + Send> SatMap<B> {
             let mut enc = self.build_encoding(slice, graph, shape, p, telemetry);
             enc.pin_initial_map(pin);
             let out = self.solve_instance(&enc, p, budget, telemetry);
+            if matches!(out.status, MaxSatStatus::Feasible) {
+                *proved = false;
+            }
             match out.status {
                 MaxSatStatus::Optimal | MaxSatStatus::Feasible => {
                     let model = out.model.expect("status implies model");
@@ -644,8 +705,10 @@ impl<B: SatBackend + Default + Send> Router for SatMap<B> {
 
     fn route_request(&self, request: &RouteRequest<'_>) -> RouteOutcome {
         let p = self.config.resolve(request);
-        let outcome = RouteOutcome::capture(self.name(), || self.route_impl(request, &p));
-        self.stamp_diagnostics(outcome, &p)
+        let mut proved = true;
+        let outcome =
+            RouteOutcome::capture(self.name(), || self.route_impl(request, &p, &mut proved));
+        self.stamp_diagnostics(stamp_quality(outcome, proved), &p)
     }
 }
 
@@ -884,6 +947,38 @@ mod tests {
         let router = SatMap::new(SatMapConfig::default());
         let outcome = router.route_request(&RouteRequest::new(&c, &g).with_budget(Duration::ZERO));
         assert!(matches!(outcome.error(), Some(RouteError::Timeout)));
+    }
+
+    #[test]
+    fn oversized_budgeted_request_is_shed_as_overloaded() {
+        // Enough two-qubit gates that the encoding estimate blows past the
+        // guard limit; with a limited budget the guard must shed the
+        // request *before* encoding — typed Overloaded, near-zero effort.
+        let mut c = Circuit::new(20);
+        for k in 0..4_000 {
+            c.cx(k % 20, (k + 1) % 20);
+        }
+        let g = arch::devices::tokyo();
+        assert!(encoding_estimate(&c, &g, 1) > ENCODING_GUARD_LIMIT);
+        let router = SatMap::new(SatMapConfig::monolithic());
+        let outcome =
+            router.route_request(&RouteRequest::new(&c, &g).with_budget(Duration::from_secs(5)));
+        assert!(matches!(outcome.error(), Some(RouteError::Overloaded(_))));
+        assert_eq!(
+            outcome.telemetry().encode_time,
+            Duration::ZERO,
+            "admission control must not pay the encode cost"
+        );
+    }
+
+    #[test]
+    fn routed_outcomes_default_to_optimal_quality() {
+        let (c, g) = fig3();
+        let router = SatMap::new(SatMapConfig::monolithic());
+        let outcome = router.route_request(&RouteRequest::new(&c, &g));
+        assert!(outcome.solved());
+        assert_eq!(outcome.quality(), RouteQuality::Optimal);
+        assert_eq!(outcome.attempts(), 1);
     }
 
     #[test]

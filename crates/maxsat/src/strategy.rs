@@ -414,6 +414,7 @@ impl<'a, B: SatBackend + Default> SearchContext<'a, B> {
         t.useful_imports = stats.useful_imports - base.useful_imports;
         t.cross_call_imports = stats.cross_call_imports - base.cross_call_imports;
         t.compactions = stats.compactions - base.compactions;
+        t.worker_panics = stats.worker_panics - base.worker_panics;
         // A gauge, not a counter: report the backend's current arena
         // footprint (summed over portfolio workers).
         t.arena_bytes = stats.arena_bytes;
@@ -718,7 +719,9 @@ pub(crate) fn race<B: SatBackend + Default + Send>(
         ctx.attach_exchange(ExchangePort::new(exchange.clone(), worker));
         let outcome = strategy(&mut ctx);
         if matches!(outcome.status, MaxSatStatus::Optimal | MaxSatStatus::Unsat) {
-            let mut slot = first_proof.lock().expect("race winner lock");
+            let mut slot = first_proof
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
             if slot.is_none() {
                 *slot = Some(worker);
                 abort.cancel();
@@ -727,30 +730,66 @@ pub(crate) fn race<B: SatBackend + Default + Send>(
         outcome
     };
 
+    // Each racer runs behind a panic guard: a crashing strategy forfeits
+    // its side of the race (its incumbent dies with it) while the survivor
+    // keeps searching — the process never unwinds through the scope.
     let (linear_out, core_out) = std::thread::scope(|scope| {
-        let linear = scope.spawn(|| run(&|ctx| LinearSatUnsat.search(ctx), 0));
-        let core = scope.spawn(|| run(&|ctx| CoreGuided.search(ctx), 1));
-        (
-            linear.join().expect("linear racer"),
-            core.join().expect("core-guided racer"),
-        )
+        let linear = scope.spawn(|| {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run(&|ctx| LinearSatUnsat.search(ctx), 0)
+            }))
+            .ok()
+        });
+        let core = scope.spawn(|| {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run(&|ctx| CoreGuided.search(ctx), 1)
+            }))
+            .ok()
+        });
+        (linear.join().ok().flatten(), core.join().ok().flatten())
     });
 
-    let winner = *first_proof.lock().expect("race winner lock");
-    let (mut out, other) = match winner {
-        Some(1) => (core_out, linear_out),
-        Some(_) => (linear_out, core_out),
-        None => match (linear_out.cost, core_out.cost) {
-            // Budget ran dry on both: keep the better incumbent.
-            (Some(lc), Some(cc)) if cc < lc => (core_out, linear_out),
-            (None, Some(_)) => (core_out, linear_out),
-            _ => (linear_out, core_out),
+    let crashed = u64::from(linear_out.is_none()) + u64::from(core_out.is_none());
+    let winner = *first_proof
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let (mut out, other) = match (linear_out, core_out) {
+        (None, None) => {
+            // Both racers crashed: nothing to salvage, but the caller
+            // still gets a typed non-answer instead of a process panic.
+            let mut telemetry = SolverTelemetry::new();
+            telemetry.worker_panics = crashed;
+            telemetry.strategy = Some("race");
+            return MaxSatOutcome {
+                status: MaxSatStatus::Unknown,
+                model: None,
+                cost: None,
+                iterations: 0,
+                quantum: 1,
+                strategy: "race",
+                telemetry,
+            };
+        }
+        (Some(l), None) => (l, None),
+        (None, Some(c)) => (c, None),
+        (Some(l), Some(c)) => match winner {
+            Some(1) => (c, Some(l)),
+            Some(_) => (l, Some(c)),
+            None => match (l.cost, c.cost) {
+                // Budget ran dry on both: keep the better incumbent.
+                (Some(lc), Some(cc)) if cc < lc => (c, Some(l)),
+                (None, Some(_)) => (c, Some(l)),
+                _ => (l, Some(c)),
+            },
         },
     };
     // The race's total effort is both workers'; the strategy label stays
     // the winner's (absorb would otherwise take the loser's).
     let strategy = out.strategy;
-    out.telemetry.absorb(&other.telemetry);
+    if let Some(other) = &other {
+        out.telemetry.absorb(&other.telemetry);
+    }
+    out.telemetry.worker_panics += crashed;
     out.telemetry.strategy = Some(strategy);
     out
 }
@@ -889,6 +928,30 @@ mod tests {
         if let (Some(model), Some(cost)) = (&out.model, out.cost) {
             assert_eq!(inst.cost_of(model), Some(cost));
         }
+    }
+
+    #[test]
+    fn race_survives_panicking_racers_with_a_typed_nonanswer() {
+        use sat::chaos::{silence_panic_reports, ChaosBackend, FaultPlan};
+        silence_panic_reports();
+        // Both racers build their backend unconfigured (tag 0), so a
+        // tag-0 targeted plan crashes both strategies mid-search; the race
+        // must still return a typed Unknown instead of unwinding.
+        let previous = sat::chaos::install_plan(Some(FaultPlan::seeded(17).panic_tag(0)));
+        let inst = weighted_instance();
+        let out = race::<ChaosBackend<DefaultBackend>>(
+            &inst,
+            &ResourceBudget::unlimited(),
+            &SolveOptions::default(),
+        );
+        sat::chaos::install_plan(previous);
+        assert_eq!(out.status, MaxSatStatus::Unknown);
+        assert_eq!(out.model, None);
+        assert_eq!(
+            out.telemetry.worker_panics, 2,
+            "both crashed racers are counted"
+        );
+        assert_eq!(out.telemetry.strategy, Some("race"));
     }
 
     #[test]

@@ -32,7 +32,7 @@
 use std::collections::HashMap;
 use std::sync::Mutex;
 
-use circuit::{RouteOutcome, RouteRequest};
+use circuit::{RouteOutcome, RouteQuality, RouteRequest};
 use satmap::{RouteSession, SatMap, SatMapConfig};
 
 use crate::{Backend, RouterRegistry, UnknownRouter};
@@ -40,6 +40,15 @@ use crate::{Backend, RouterRegistry, UnknownRouter};
 /// Cache key: canonical router name plus the request's canonical
 /// fingerprint.
 type Key = (&'static str, u64);
+
+/// The memoization gate: only *solved* outcomes whose quality is exactly
+/// [`RouteQuality::Optimal`] are cached. `Degraded` results (heuristic
+/// fallbacks, unproven incumbents from cancelled anytime searches) and
+/// warm-retry stamps must never be replayed as the router's real answer —
+/// a retry should get the chance to do better.
+fn memoizable(outcome: &RouteOutcome) -> bool {
+    outcome.solved() && outcome.quality() == RouteQuality::Optimal
+}
 
 /// A memoizing, warm-starting front end over a [`RouterRegistry`]. Interior
 /// mutability (mutexed maps) keeps the routing surface `&self`, matching
@@ -115,7 +124,7 @@ impl RouteCache {
             "nl-satmap" => self.route_satmap(SatMapConfig::monolithic(), key, request),
             _ => self.registry.route(canonical, request)?,
         };
-        if outcome.solved() {
+        if memoizable(&outcome) {
             self.outcomes
                 .lock()
                 .expect("cache lock")
@@ -231,6 +240,32 @@ mod tests {
         // Aliases resolve to the canonical entry and share its memo.
         let via_alias = cache.route("nl-satmap", &request).expect("known");
         assert!(via_alias.telemetry().cache_hit);
+    }
+
+    #[test]
+    fn degraded_outcomes_are_never_memoized() {
+        use circuit::RoutedCircuit;
+        use sat::SolverTelemetry;
+        let solved = || {
+            RouteOutcome::new(
+                "stub",
+                Ok(RoutedCircuit::new(vec![0, 1], Vec::new())),
+                SolverTelemetry::new(),
+                Duration::ZERO,
+            )
+        };
+        assert!(memoizable(&solved()));
+        assert!(!memoizable(&solved().with_quality(RouteQuality::Degraded)));
+        assert!(!memoizable(
+            &solved().with_quality(RouteQuality::WarmRetry(1))
+        ));
+        let failed = RouteOutcome::new(
+            "stub",
+            Err(circuit::RouteError::Timeout),
+            SolverTelemetry::new(),
+            Duration::ZERO,
+        );
+        assert!(!memoizable(&failed));
     }
 
     #[test]

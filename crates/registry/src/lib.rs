@@ -28,6 +28,11 @@
 //! SAT-UNSAT search (default), the core-guided lower-bounding search, or a
 //! first-proof-wins race of both.
 //!
+//! Two front ends layer over the registry: [`RouteCache`] (memoization +
+//! warm-start session reuse) and [`RouteSupervisor`] (admission control, a
+//! retry/escalation ladder with warm-started retries, heuristic
+//! degradation, and panic isolation — see [`supervisor`]).
+//!
 //! # Examples
 //!
 //! ```
@@ -50,8 +55,10 @@
 #![warn(missing_docs)]
 
 mod cache;
+pub mod supervisor;
 
 pub use cache::RouteCache;
+pub use supervisor::{RoutePolicy, RouteSupervisor};
 
 use circuit::Router;
 use heuristics::{AStar, Sabre, Tket};

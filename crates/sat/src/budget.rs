@@ -39,6 +39,23 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// One step of the splitmix64 generator: advances `state` and returns the
+/// next 64-bit draw. Small, seedable, and dependency-free — shared by the
+/// retry-backoff jitter here and the fault-injection plan in
+/// [`crate::chaos`].
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A uniform draw in `[0, 1)` from the next splitmix64 output.
+pub(crate) fn unit_draw(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
 /// A thread-safe cooperative cancellation flag.
 ///
 /// Cloning shares the same flag; [`CancelToken::child`] creates a *linked*
@@ -221,6 +238,32 @@ impl ResourceBudget {
         }
     }
 
+    /// The pause before retry number `attempt` (1-based) of a failed
+    /// request: exponential in the attempt with a deterministic seeded
+    /// jitter, capped at `cap`.
+    ///
+    /// The nominal delay is `base * 2^(attempt-1)`; each attempt's value is
+    /// then scaled by a jitter factor in `[0.75, 1.25)` drawn from
+    /// `(seed, attempt)`, so concurrent retry ladders with different seeds
+    /// de-synchronize while any single ladder stays reproducible. Because
+    /// the doubling outpaces the jitter band (`2 * 0.75 > 1.25`), the
+    /// sequence is monotone nondecreasing in `attempt` until it plateaus at
+    /// `cap`. Attempt 0 (the initial try) waits nothing.
+    ///
+    /// Shared by the routing supervisor's escalation ladder and any future
+    /// server-side retry queue, so all layers pace retries identically.
+    pub fn backoff_for(attempt: u32, base: Duration, cap: Duration, seed: u64) -> Duration {
+        if attempt == 0 || base.is_zero() {
+            return Duration::ZERO;
+        }
+        let exp = i32::try_from(attempt - 1).unwrap_or(i32::MAX).min(62);
+        let mut state = seed ^ u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let jitter = 0.75 + 0.5 * unit_draw(&mut state);
+        let nominal = base.as_secs_f64() * 2f64.powi(exp) * jitter;
+        let capped = nominal.min(cap.as_secs_f64());
+        Duration::from_secs_f64(capped.max(0.0))
+    }
+
     /// True once the armed deadline has passed or the attached cancellation
     /// token (or any of its ancestors) has been cancelled.
     pub fn expired(&self) -> bool {
@@ -322,6 +365,54 @@ mod tests {
         let handle = std::thread::spawn(move || token.cancel());
         handle.join().expect("cancel thread");
         assert!(b.expired());
+    }
+
+    #[test]
+    fn backoff_is_monotone_and_deterministic() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_secs(10);
+        for seed in [0u64, 1, 42, 0xDEAD_BEEF, u64::MAX] {
+            let mut prev = Duration::ZERO;
+            for attempt in 1..=16 {
+                let d = ResourceBudget::backoff_for(attempt, base, cap, seed);
+                assert!(
+                    d >= prev,
+                    "seed {seed} attempt {attempt}: {d:?} < {prev:?} breaks monotonicity"
+                );
+                assert_eq!(
+                    d,
+                    ResourceBudget::backoff_for(attempt, base, cap, seed),
+                    "same (seed, attempt) must reproduce the same delay"
+                );
+                prev = d;
+            }
+        }
+        // Jitter stays within the +-25% band around the nominal doubling.
+        let d1 = ResourceBudget::backoff_for(1, base, cap, 7);
+        assert!(d1 >= Duration::from_micros(7_500) && d1 < Duration::from_micros(12_500));
+    }
+
+    #[test]
+    fn backoff_plateaus_at_cap_and_skips_attempt_zero() {
+        let base = Duration::from_millis(100);
+        let cap = Duration::from_millis(350);
+        assert_eq!(
+            ResourceBudget::backoff_for(0, base, cap, 3),
+            Duration::ZERO,
+            "the initial attempt waits nothing"
+        );
+        for attempt in 4..=40 {
+            assert_eq!(
+                ResourceBudget::backoff_for(attempt, base, cap, 3),
+                cap,
+                "attempt {attempt} must sit on the cap"
+            );
+        }
+        // A zero base disables backoff entirely.
+        assert_eq!(
+            ResourceBudget::backoff_for(9, Duration::ZERO, cap, 3),
+            Duration::ZERO
+        );
     }
 
     #[test]

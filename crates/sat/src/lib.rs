@@ -49,6 +49,7 @@
 
 pub mod backend;
 pub mod budget;
+pub mod chaos;
 mod clause;
 pub mod config;
 pub mod dimacs;
@@ -62,6 +63,7 @@ pub mod telemetry;
 
 pub use backend::{ClauseSink, DefaultBackend, SatBackend};
 pub use budget::{CancelToken, ResourceBudget};
+pub use chaos::{ChaosBackend, FaultPlan};
 pub use clause::ClauseRef;
 pub use config::{PhaseInit, SolverConfig};
 pub use exchange::{ClauseExchange, ExchangePort, SharingConfig, DEFAULT_MIN_INSTANCE_SIZE};

@@ -76,7 +76,8 @@
 //! assert!(portfolio.stats().last_winner.is_some());
 //! ```
 
-use std::sync::{Arc, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use crate::backend::{ClauseSink, DefaultBackend, SatBackend};
 use crate::budget::ResourceBudget;
@@ -112,6 +113,12 @@ pub fn auto_width() -> usize {
         .filter(|&n: &usize| n >= 1)
         .unwrap_or(1);
     auto_width_for_jobs(jobs)
+}
+
+/// Locks `m`, recovering the data if a panicking worker poisoned the
+/// mutex — the portfolio's race bookkeeping must survive worker crashes.
+fn lock_or_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 /// A portfolio of diversified [`SatBackend`] workers racing — and sharing
@@ -170,6 +177,11 @@ pub struct PortfolioBackend<B: SatBackend = DefaultBackend> {
     winner: usize,
     /// Count of races won per worker (diagnostic; survives across calls).
     wins: Vec<u64>,
+    /// True once the primary panicked with no clean survivor to promote:
+    /// its internal state can no longer be trusted, so solves answer
+    /// `Unknown` (always sound) and snapshots are refused. Callers recover
+    /// by rebuilding (the routing supervisor re-encodes on retry).
+    poisoned: bool,
 }
 
 impl<B: SatBackend + Default> Default for PortfolioBackend<B> {
@@ -205,6 +217,7 @@ impl<B: SatBackend + Default> PortfolioBackend<B> {
             merged: Stats::default(),
             winner: 0,
             wins: vec![0; width],
+            poisoned: false,
         }
     }
 }
@@ -291,6 +304,90 @@ impl<B: SatBackend> PortfolioBackend<B> {
         }
         merged.last_winner = last_winner.or(self.merged.last_winner);
         self.merged = merged;
+    }
+
+    /// Folds one worker's effort since `base` into `retired` (the
+    /// arena-memory gauge and winner marker never travel with retirements).
+    fn retire_delta(retired: &mut Stats, current: &Stats, base: &Stats) {
+        let mut delta = current.delta_since(base);
+        delta.arena_bytes = 0;
+        delta.last_winner = None;
+        retired.merge(&delta);
+    }
+
+    /// Retires the workers that panicked during a race, keeping merged
+    /// statistics monotone and the process alive. Returns `decided` with
+    /// its worker index remapped to the post-retirement layout.
+    ///
+    /// * Peers that crashed are dropped (their effort folds into
+    ///   `retired`); the next race rebuilds the missing clones from the
+    ///   primary.
+    /// * If the *primary* crashed, a surviving peer — preferentially the
+    ///   race winner, so its model stays readable — is promoted to primary
+    ///   and reconfigured onto the base config. Its inherited history is
+    ///   compensated by retiring the old primary's counters *since that
+    ///   peer's clone base*, so totals neither drop nor double-count.
+    /// * If every worker crashed, the portfolio is poisoned: no state can
+    ///   be trusted, so later solves answer `Unknown` until the caller
+    ///   rebuilds.
+    fn retire_crashed(
+        &mut self,
+        crashed: &[usize],
+        decided: Option<(usize, SolveResult)>,
+    ) -> Option<(usize, SolveResult)> {
+        self.retired.worker_panics += crashed.len() as u64;
+        // Crashed workers may have died holding their exchange port; the
+        // next race starts a fresh exchange rather than guess at cursors.
+        self.ports.clear();
+        self.exchange = None;
+        if crashed.contains(&0) {
+            let keep = match decided {
+                Some((i, _)) if i > 0 => Some(i),
+                _ => (1..self.width).find(|i| !crashed.contains(i)),
+            };
+            let Some(k) = keep else {
+                for (peer, base) in self.peers.iter().zip(&self.peer_base) {
+                    Self::retire_delta(&mut self.retired, peer.stats(), base);
+                }
+                self.peers.clear();
+                self.peer_base.clear();
+                self.peers_synced = false;
+                self.winner = 0;
+                self.poisoned = true;
+                return None;
+            };
+            // The promoted peer's lifetime counters include the history it
+            // inherited when cloned (its base); retire the old primary's
+            // counters beyond that base so the merged total is unchanged.
+            Self::retire_delta(
+                &mut self.retired,
+                self.primary.stats(),
+                &self.peer_base[k - 1],
+            );
+            for (j, (peer, base)) in self.peers.iter().zip(&self.peer_base).enumerate() {
+                if j + 1 != k {
+                    Self::retire_delta(&mut self.retired, peer.stats(), base);
+                }
+            }
+            self.primary = self.peers.swap_remove(k - 1);
+            self.primary.configure(&self.base_config);
+            self.peers.clear();
+            self.peer_base.clear();
+            self.peers_synced = false;
+            self.winner = 0;
+            return decided.map(|(_, r)| (0, r));
+        }
+        // Only peers crashed: drop them in descending index order so the
+        // earlier removals don't shift the later targets.
+        let mut dead: Vec<usize> = crashed.to_vec();
+        dead.sort_unstable();
+        for &d in dead.iter().rev() {
+            let peer = self.peers.remove(d - 1);
+            let base = self.peer_base.remove(d - 1);
+            Self::retire_delta(&mut self.retired, peer.stats(), &base);
+        }
+        self.peers_synced = false;
+        decided.map(|(i, r)| (i - dead.iter().filter(|&&d| d < i).count(), r))
     }
 }
 
@@ -449,7 +546,12 @@ impl<B: SatBackend + Send + Default + Clone> SatBackend for PortfolioBackend<B> 
         // A snapshot keeps only the primary (peers are rebuilt lazily from
         // it on the next race, exactly as after a resize). Outgoing peers'
         // own effort is folded into `retired` first so the snapshot's
-        // merged totals stay monotone with the original's.
+        // merged totals stay monotone with the original's. A poisoned
+        // portfolio refuses: its primary's state is untrusted, so warm
+        // starts must fall back to a cold re-encode.
+        if self.poisoned {
+            return None;
+        }
         let primary = self.primary.snapshot()?;
         let mut retired = self.retired;
         for (peer, base) in self.peers.iter().zip(&self.peer_base) {
@@ -480,6 +582,7 @@ impl<B: SatBackend + Send + Default + Clone> SatBackend for PortfolioBackend<B> 
             merged,
             winner: 0,
             wins: vec![0; self.width],
+            poisoned: false,
         })
     }
 
@@ -498,14 +601,33 @@ impl<B: SatBackend + Send + Default + Clone> SatBackend for PortfolioBackend<B> 
         assumptions: &[Lit],
         budget: &ResourceBudget,
     ) -> SolveResult {
+        // A poisoned portfolio (primary panicked, nothing to promote) has
+        // no trustworthy state left: `Unknown` is the only sound answer.
+        if self.poisoned {
+            self.refresh_stats(None);
+            return SolveResult::Unknown;
+        }
+
         // Width 1: no race to run — solve inline on the calling thread.
         // An externally provided port (a strategy race wiring backends
         // together) rides on the primary for the call, cursors preserved.
+        // The panic guard degrades a crashing worker to `Unknown` and
+        // poisons the portfolio (there is no peer to promote).
         if self.width == 1 {
             if let Some(port) = self.external.take() {
                 self.primary.set_clause_exchange(Some(port));
             }
-            let result = self.primary.solve_under_assumptions(assumptions, budget);
+            let primary = &mut self.primary;
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                primary.solve_under_assumptions(assumptions, budget)
+            }));
+            let Ok(result) = outcome else {
+                self.retired.worker_panics += 1;
+                self.poisoned = true;
+                self.external = None;
+                self.refresh_stats(None);
+                return SolveResult::Unknown;
+            };
             self.external = self.primary.take_clause_exchange();
             if matches!(result, SolveResult::Sat | SolveResult::Unsat) {
                 self.winner = 0;
@@ -541,21 +663,32 @@ impl<B: SatBackend + Send + Default + Clone> SatBackend for PortfolioBackend<B> 
         let (worker_budget, race) = armed.cancellable();
 
         // First definitive (Sat/Unsat) answer wins; losers are cancelled.
+        // Every worker runs behind a panic guard: a crashing racer is
+        // recorded for retirement and the race continues on the survivors
+        // instead of unwinding through the scope and killing the process.
         let first: Mutex<Option<(usize, SolveResult)>> = Mutex::new(None);
+        let crashed: Mutex<Vec<usize>> = Mutex::new(Vec::new());
         std::thread::scope(|scope| {
             let workers = std::iter::once(&mut self.primary).chain(self.peers.iter_mut());
             for (i, worker) in workers.enumerate() {
                 let wb = worker_budget.clone();
                 let race = &race;
                 let first = &first;
+                let crashed = &crashed;
                 scope.spawn(move || {
-                    let result = worker.solve_under_assumptions(assumptions, &wb);
-                    if matches!(result, SolveResult::Sat | SolveResult::Unsat) {
-                        let mut slot = first.lock().expect("race winner lock");
-                        if slot.is_none() {
-                            *slot = Some((i, result));
-                            race.cancel();
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        worker.solve_under_assumptions(assumptions, &wb)
+                    }));
+                    match outcome {
+                        Ok(result) if matches!(result, SolveResult::Sat | SolveResult::Unsat) => {
+                            let mut slot = lock_or_recover(first);
+                            if slot.is_none() {
+                                *slot = Some((i, result));
+                                race.cancel();
+                            }
                         }
+                        Ok(_) => {}
+                        Err(_) => lock_or_recover(crashed).push(i),
                     }
                 });
             }
@@ -582,7 +715,15 @@ impl<B: SatBackend + Send + Default + Clone> SatBackend for PortfolioBackend<B> 
             }
         }
 
-        let decided = first.into_inner().expect("race winner lock");
+        let mut decided = first
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let crashed = crashed
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if !crashed.is_empty() {
+            decided = self.retire_crashed(&crashed, decided);
+        }
         match decided {
             Some((i, result)) => {
                 self.winner = i;
@@ -1062,6 +1203,99 @@ mod tests {
         let stats = *p.stats();
         assert_eq!(stats.clauses_imported, 0, "gated race must not import");
         assert_eq!(stats.clauses_exported, 0, "gated race must not export");
+    }
+
+    #[test]
+    fn race_retires_a_panicking_peer_and_still_answers() {
+        use crate::chaos::{install_plan, silence_panic_reports, ChaosBackend, FaultPlan};
+        silence_panic_reports();
+        // Target worker 1's diversified seed: with the default base config
+        // the peer's effective seed is `diversified(1).seed ^ 0`.
+        let tag = 0x9E37_79B9_7F4A_7C15u64;
+        let previous = install_plan(Some(FaultPlan::seeded(13).panic_tag(tag)));
+        let mut p = PortfolioBackend::<ChaosBackend<DefaultBackend>>::with_width(4);
+        install_plan(previous);
+        pigeonhole(&mut p, 5, 4);
+        let before = *p.stats();
+        assert_eq!(
+            p.solve_under_assumptions(&[], &ResourceBudget::unlimited()),
+            SolveResult::Unsat,
+            "the race must complete on the surviving workers"
+        );
+        let stats = *p.stats();
+        assert!(
+            stats.worker_panics >= 1,
+            "the retired racer must be counted: {stats:?}"
+        );
+        assert!(stats.conflicts >= before.conflicts, "totals stay monotone");
+        // The next race rebuilds the missing peer and still answers.
+        assert_eq!(
+            p.solve_under_assumptions(&[], &ResourceBudget::unlimited()),
+            SolveResult::Unsat
+        );
+    }
+
+    #[test]
+    fn primary_panic_promotes_a_survivor() {
+        use crate::chaos::{install_plan, silence_panic_reports, ChaosBackend, FaultPlan};
+        silence_panic_reports();
+        // Tag 0 matches the unconfigured primary (peers run diversified
+        // nonzero seeds), so exactly the primary dies each race.
+        let previous = install_plan(Some(FaultPlan::seeded(29).panic_tag(0)));
+        let mut p = PortfolioBackend::<ChaosBackend<DefaultBackend>>::with_width(3);
+        install_plan(previous);
+        pigeonhole(&mut p, 4, 3);
+        assert_eq!(
+            p.solve_under_assumptions(&[], &ResourceBudget::unlimited()),
+            SolveResult::Unsat,
+            "a surviving peer must be promoted and its answer served"
+        );
+        assert!(p.stats().worker_panics >= 1);
+        assert!(
+            p.stats().conflicts > 0,
+            "the survivors' effort is still charged"
+        );
+    }
+
+    #[test]
+    fn all_workers_panicking_poisons_instead_of_crashing() {
+        use crate::chaos::{install_plan, silence_panic_reports, ChaosBackend, FaultPlan};
+        silence_panic_reports();
+        let previous = install_plan(Some(FaultPlan::seeded(31).panic_prob(1.0)));
+        let mut p = PortfolioBackend::<ChaosBackend<DefaultBackend>>::with_width(2);
+        install_plan(previous);
+        let a = ClauseSink::new_var(&mut p).positive();
+        SatBackend::add_clause(&mut p, &[a]);
+        assert_eq!(
+            p.solve_under_assumptions(&[], &ResourceBudget::unlimited()),
+            SolveResult::Unknown,
+            "with no survivor the only sound answer is Unknown"
+        );
+        assert_eq!(p.stats().worker_panics, 2);
+        // Poisoned: later solves keep degrading soundly, warm starts are
+        // refused, and the panic counter does not re-fire.
+        assert_eq!(
+            p.solve_under_assumptions(&[], &ResourceBudget::unlimited()),
+            SolveResult::Unknown
+        );
+        assert_eq!(p.stats().worker_panics, 2);
+        assert!(SatBackend::snapshot(&p).is_none());
+    }
+
+    #[test]
+    fn width_one_panic_degrades_to_unknown() {
+        use crate::chaos::{install_plan, silence_panic_reports, ChaosBackend, FaultPlan};
+        silence_panic_reports();
+        let previous = install_plan(Some(FaultPlan::seeded(37).panic_tag(0)));
+        let mut p = PortfolioBackend::<ChaosBackend<DefaultBackend>>::with_width(1);
+        install_plan(previous);
+        let a = ClauseSink::new_var(&mut p).positive();
+        SatBackend::add_clause(&mut p, &[a]);
+        assert_eq!(
+            p.solve_under_assumptions(&[], &ResourceBudget::unlimited()),
+            SolveResult::Unknown
+        );
+        assert_eq!(p.stats().worker_panics, 1);
     }
 
     #[test]

@@ -33,6 +33,9 @@ pub struct Stats {
     pub cross_call_imports: u64,
     /// Garbage-collecting compactions of the flat clause arena.
     pub compactions: u64,
+    /// Portfolio workers that panicked mid-race and were retired (the race
+    /// continues on the survivors; see [`crate::PortfolioBackend`]).
+    pub worker_panics: u64,
     /// Current clause-arena footprint in bytes (a gauge, not a counter;
     /// portfolios report the sum over their live workers).
     pub arena_bytes: u64,
@@ -57,6 +60,7 @@ impl Stats {
         self.useful_imports += other.useful_imports;
         self.cross_call_imports += other.cross_call_imports;
         self.compactions += other.compactions;
+        self.worker_panics += other.worker_panics;
         self.arena_bytes += other.arena_bytes;
         if other.last_winner.is_some() {
             self.last_winner = other.last_winner;
@@ -84,6 +88,7 @@ impl Stats {
                 .cross_call_imports
                 .saturating_sub(base.cross_call_imports),
             compactions: self.compactions.saturating_sub(base.compactions),
+            worker_panics: self.worker_panics.saturating_sub(base.worker_panics),
             arena_bytes: self.arena_bytes,
             last_winner: self.last_winner,
         }

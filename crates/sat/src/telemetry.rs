@@ -35,6 +35,9 @@ pub struct SolverTelemetry {
     pub cross_call_imports: u64,
     /// Clause-arena garbage collections across all SAT calls.
     pub compactions: u64,
+    /// Portfolio workers retired after panicking mid-race (the race
+    /// continued on the survivors).
+    pub worker_panics: u64,
     /// Peak clause-arena footprint in bytes observed across the call tree
     /// (a gauge: absorbing a child takes the maximum, not the sum).
     pub arena_bytes: u64,
@@ -81,6 +84,7 @@ impl SolverTelemetry {
         self.useful_imports += child.useful_imports;
         self.cross_call_imports += child.cross_call_imports;
         self.compactions += child.compactions;
+        self.worker_panics += child.worker_panics;
         self.arena_bytes = self.arena_bytes.max(child.arena_bytes);
         self.encode_time += child.encode_time;
         self.solve_time += child.solve_time;

@@ -22,9 +22,12 @@ done
 # Telemetry fields: in the sharing probe and in every route row. The
 # strategy-engine fields (strategy, useful_imports, cross_call_imports)
 # came with the strategy-racing MaxSAT engine; the warm-start fields
-# (cache_hit, warm_start, reused_clauses) with the route cache.
+# (cache_hit, warm_start, reused_clauses) with the route cache; the
+# resilience fields (quality, attempts, worker_panics) with the routing
+# supervisor.
 for key in clauses_exported clauses_imported useful_imports cross_call_imports \
-           compactions arena_bytes strategy cache_hit warm_start reused_clauses; do
+           compactions arena_bytes strategy cache_hit warm_start reused_clauses \
+           quality attempts worker_panics; do
     grep -q "\"$key\"" "$report" || fail "missing telemetry field \"$key\""
 done
 
