@@ -192,6 +192,12 @@ pub struct RouteSpec {
     pub strategy: SearchStrategy,
     /// Repeated-structure declaration for cyclic-aware routers.
     pub repetition: Option<RepeatedStructure>,
+    /// Caller-assigned correlation id, stamped into the outcome's
+    /// telemetry and JSON row so server responses, sweep rows, and client
+    /// logs are joinable. Latency-metadata only, like the budget: it is
+    /// **excluded** from [`RouteRequest::fingerprint`], so two requests
+    /// that differ only in id share cache entries and warm-start sessions.
+    pub request_id: Option<u64>,
 }
 
 /// One routing request: a circuit, a device, and the [`RouteSpec`] knobs.
@@ -279,6 +285,14 @@ impl<'a> RouteRequest<'a> {
         self
     }
 
+    /// Attaches a caller-assigned correlation id (see
+    /// [`RouteSpec::request_id`]).
+    #[must_use]
+    pub fn with_request_id(mut self, id: u64) -> Self {
+        self.spec.request_id = Some(id);
+        self
+    }
+
     /// The circuit to route.
     pub fn circuit(&self) -> &'a Circuit {
         self.circuit
@@ -332,6 +346,11 @@ impl<'a> RouteRequest<'a> {
     /// The repeated-structure declaration, if any.
     pub fn repetition(&self) -> Option<RepeatedStructure> {
         self.spec.repetition
+    }
+
+    /// The caller-assigned correlation id, if any.
+    pub fn request_id(&self) -> Option<u64> {
+        self.spec.request_id
     }
 
     /// Checks the preconditions shared by every router, so malformed
@@ -430,10 +449,12 @@ impl<'a> RouteRequest<'a> {
     /// error rates under [`Objective::Fidelity`] — slicing, swaps per gap,
     /// totalizer quantization, search strategy, repetition).
     ///
-    /// The budget and the parallelism hint are deliberately **excluded**:
-    /// they change how long the answer takes, not what it is, so a request
-    /// retried with a bigger budget or a different width maps to the same
-    /// cache key (and can warm-start from the earlier attempt's session).
+    /// The budget, the parallelism hint, and the correlation
+    /// [`RouteSpec::request_id`] are deliberately **excluded**: they change
+    /// how long the answer takes (or how it is logged), not what it is, so
+    /// a request retried with a bigger budget or resubmitted under a new
+    /// server id maps to the same cache key (and can warm-start from the
+    /// earlier attempt's session).
     /// Conversely every fingerprint-relevant knob is also hashed by value,
     /// so two specs that resolve identically collide on purpose.
     ///
@@ -736,6 +757,20 @@ impl RouteOutcome {
         self
     }
 
+    /// Returns the outcome stamped with the request's correlation id (see
+    /// [`RouteSpec::request_id`]). The id lives in the telemetry so it
+    /// survives `absorb` aggregation and lands in the JSON row; serving
+    /// layers (registry, cache, supervisor, daemon) stamp it from the
+    /// request they answered, which also re-stamps cache replays with the
+    /// *new* request's id.
+    #[must_use]
+    pub fn with_request_id(mut self, id: Option<u64>) -> Self {
+        if id.is_some() {
+            self.telemetry.request_id = id;
+        }
+        self
+    }
+
     /// The trustworthiness grade of this answer.
     pub fn quality(&self) -> RouteQuality {
         self.quality
@@ -792,6 +827,10 @@ impl RouteOutcome {
         out.push_str(&format!(",\"cross_call_imports\":{}", t.cross_call_imports));
         out.push_str(&format!(",\"compactions\":{}", t.compactions));
         out.push_str(&format!(",\"arena_bytes\":{}", t.arena_bytes));
+        match t.request_id {
+            Some(id) => out.push_str(&format!(",\"request_id\":{id}")),
+            None => out.push_str(",\"request_id\":null"),
+        }
         out.push_str(&format!(",\"quality\":\"{}\"", self.quality.label()));
         out.push_str(&format!(",\"attempts\":{}", self.attempts));
         out.push_str(&format!(",\"worker_panics\":{}", t.worker_panics));
@@ -1090,6 +1129,36 @@ mod tests {
         assert!(!degraded.quality().is_proven());
         assert_eq!(degraded.attempts(), 1, "attempts clamp to at least 1");
         assert!(degraded.to_json().contains("\"quality\":\"degraded\""));
+    }
+
+    #[test]
+    fn request_id_threads_into_telemetry_and_json_but_not_fingerprint() {
+        let c = fig3();
+        let g = arch::devices::tokyo();
+        let req = RouteRequest::new(&c, &g).with_request_id(77);
+        assert_eq!(req.request_id(), Some(77));
+        // Ids are latency/logging metadata: the cache key ignores them.
+        assert_eq!(
+            req.fingerprint(),
+            RouteRequest::new(&c, &g).fingerprint(),
+            "request_id must not perturb the fingerprint"
+        );
+        let outcome = RouteOutcome::new(
+            "satmap",
+            Err(RouteError::Timeout),
+            SolverTelemetry::default(),
+            Duration::from_millis(1),
+        );
+        assert!(outcome.to_json().contains("\"request_id\":null"));
+        let stamped = outcome.clone().with_request_id(req.request_id());
+        assert_eq!(stamped.telemetry().request_id, Some(77));
+        assert!(stamped.to_json().contains("\"request_id\":77"));
+        // Stamping None keeps an existing id (cache replays re-stamp with
+        // the new request's id only when one is present).
+        assert_eq!(
+            stamped.with_request_id(None).telemetry().request_id,
+            Some(77)
+        );
     }
 
     #[test]

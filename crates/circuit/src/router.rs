@@ -37,6 +37,11 @@ pub enum RouteError {
     /// and no usable partial answer survived. Retryable: supervisors treat
     /// it like a timeout and re-attempt or degrade.
     Internal(String),
+    /// The client (or an operator) cancelled the request while it was
+    /// queued or solving — the per-request abort handle fired. Not
+    /// retryable: cancellation is the caller saying *stop*, so supervisors
+    /// return it immediately instead of escalating or degrading.
+    Cancelled,
 }
 
 impl std::fmt::Display for RouteError {
@@ -47,6 +52,7 @@ impl std::fmt::Display for RouteError {
             RouteError::Unsatisfiable(why) => write!(f, "instance unsatisfiable: {why}"),
             RouteError::Overloaded(why) => write!(f, "request shed by admission control: {why}"),
             RouteError::Internal(why) => write!(f, "internal solver failure: {why}"),
+            RouteError::Cancelled => write!(f, "request cancelled by abort handle"),
         }
     }
 }
@@ -106,6 +112,7 @@ mod tests {
         assert!(RouteError::Internal("worker died".into())
             .to_string()
             .contains("internal solver failure: worker died"));
+        assert!(RouteError::Cancelled.to_string().contains("cancelled"));
     }
 
     /// A stub proving the trait is dyn-safe and that the provided `route`

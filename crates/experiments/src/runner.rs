@@ -162,7 +162,8 @@ pub fn run_tool(
 ///
 /// When `SATMAP_ROWS_JSON` names a file, one JSON object per row is
 /// appended to it (NDJSON) in suite order — the same row schema
-/// `BENCH_satmap.json` embeds (see [`circuit::RouteOutcome::to_json`]).
+/// `BENCH_satmap.json` embeds (see [`circuit::RouteOutcome::to_json`]),
+/// each stamped with its suite index as `request_id`.
 pub fn run_suite(
     router: &(dyn Router + Sync),
     suite: &[Benchmark],
@@ -178,7 +179,8 @@ pub fn run_suite(
     let outcomes: Vec<RunOutcome> = if jobs == 1 {
         suite
             .iter()
-            .map(|b| run_tool(router, b, graph, &spec))
+            .enumerate()
+            .map(|(i, b)| run_tool(router, b, graph, &spec_for_row(&spec, i)))
             .collect()
     } else {
         let next = AtomicUsize::new(0);
@@ -190,7 +192,7 @@ pub fn run_suite(
                 scope.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(bench) = suite.get(i) else { break };
-                    let outcome = run_tool(router, bench, graph, spec);
+                    let outcome = run_tool(router, bench, graph, &spec_for_row(spec, i));
                     *slots[i].lock().expect("result slot") = Some(outcome);
                 });
             }
@@ -208,6 +210,17 @@ pub fn run_suite(
         eprintln!("warning: could not write SATMAP_ROWS_JSON rows: {e}");
     }
     outcomes
+}
+
+/// The spec for suite row `i`: stamped with the row's index as its
+/// request id, so every emitted JSON row is traceable back to its
+/// benchmark position. The id is excluded from the request fingerprint,
+/// so stamping never splits warm-start or cache keys.
+fn spec_for_row(spec: &RouteSpec, i: usize) -> RouteSpec {
+    RouteSpec {
+        request_id: Some(i as u64),
+        ..spec.clone()
+    }
 }
 
 /// Appends each outcome's JSON row to the `SATMAP_ROWS_JSON` file (no-op

@@ -4,7 +4,8 @@
 //! [`RouteCache`] keys every request by `(canonical router name,`
 //! [`circuit::RouteRequest::fingerprint`]`)` — a canonical hash of the
 //! answer-relevant inputs (circuit, device graph, resolved spec knobs;
-//! budget and parallelism deliberately excluded). Three tiers of reuse:
+//! budget, parallelism, and request ids deliberately excluded). Three
+//! tiers of reuse:
 //!
 //! 1. **Exact hit** — a solved outcome for the key is memoized and
 //!    returned without any solving; the clone is stamped
@@ -22,6 +23,20 @@
 //! 3. **Cold** — everything else routes exactly as the plain registry
 //!    would.
 //!
+//! Both maps are **capacity-limited LRU** stores: a long-running daemon
+//! funnels every request through one shared cache, so unbounded growth
+//! would eventually OOM on session clause arenas (the expensive entries —
+//! their default capacity is accordingly much smaller than the outcome
+//! map's). Every hit refreshes an entry's recency; inserting past capacity
+//! evicts the least-recently-used key and bumps the eviction counters
+//! reported by [`RouteCache::stats`].
+//!
+//! Serving layers that bring their own solver (e.g. a daemon routing
+//! through a `RouteSupervisor`) compose via the split surface:
+//! [`RouteCache::lookup`] before solving, [`RouteCache::admit`] after —
+//! [`RouteCache::route`] is exactly that composition over the wrapped
+//! registry, plus the SATMAP session tier.
+//!
 //! Soundness: an exact hit replays a result computed from identical
 //! inputs; a warm start reuses a clause database that is a conservative
 //! extension of the identical instance (every MaxSAT bound travels as an
@@ -30,12 +45,22 @@
 //! answer.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use circuit::{RouteOutcome, RouteQuality, RouteRequest};
 use satmap::{RouteSession, SatMap, SatMapConfig};
 
 use crate::{Backend, RouterRegistry, UnknownRouter};
+
+/// Default capacity of the memoized-outcome map. Outcome rows are small
+/// (a routed circuit plus telemetry), so the map can afford to be deep.
+pub const DEFAULT_OUTCOME_CAPACITY: usize = 1024;
+
+/// Default capacity of the warm-start session map. Sessions carry full
+/// clause arenas — megabytes each on hard instances — so a long-running
+/// daemon keeps only the hottest few dozen.
+pub const DEFAULT_SESSION_CAPACITY: usize = 64;
 
 /// Cache key: canonical router name plus the request's canonical
 /// fingerprint.
@@ -50,14 +75,115 @@ fn memoizable(outcome: &RouteOutcome) -> bool {
     outcome.solved() && outcome.quality() == RouteQuality::Optimal
 }
 
+/// One stored value plus its last-use stamp (a monotone logical clock
+/// shared by both maps; larger = more recently used).
+struct Entry<T> {
+    value: T,
+    stamp: u64,
+}
+
+/// A capacity-limited map with least-recently-used eviction. Eviction
+/// scans for the minimum stamp — O(capacity), which is bounded and tiny
+/// next to a solve — so no intrusive list is needed.
+struct Lru<T> {
+    map: HashMap<Key, Entry<T>>,
+    capacity: usize,
+    evictions: u64,
+}
+
+impl<T> Lru<T> {
+    fn new(capacity: usize) -> Self {
+        Lru {
+            map: HashMap::new(),
+            capacity,
+            evictions: 0,
+        }
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    fn touch(&mut self, key: &Key, stamp: u64) -> Option<&mut T> {
+        let entry = self.map.get_mut(key)?;
+        entry.stamp = stamp;
+        Some(&mut entry.value)
+    }
+
+    /// Inserts (or replaces) `key`, evicting the least-recently-used
+    /// entry if the map is full. A zero capacity stores nothing: the
+    /// incoming value is dropped on the floor and counted as evicted.
+    fn insert(&mut self, key: Key, value: T, stamp: u64) {
+        if self.capacity == 0 {
+            self.evictions += 1;
+            return;
+        }
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            if let Some(&oldest) = self.map.iter().min_by_key(|(_, e)| e.stamp).map(|(k, _)| k) {
+                self.map.remove(&oldest);
+                self.evictions += 1;
+            }
+        }
+        self.map.insert(key, Entry { value, stamp });
+    }
+
+    fn remove(&mut self, key: &Key) -> Option<T> {
+        self.map.remove(key).map(|e| e.value)
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+/// A point-in-time snapshot of the cache's occupancy and traffic, for
+/// daemon `stats` verbs and capacity tuning.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Memoized outcomes currently held.
+    pub outcomes: usize,
+    /// Warm-start sessions currently held.
+    pub sessions: usize,
+    /// Capacity of the outcome map.
+    pub outcome_capacity: usize,
+    /// Capacity of the session map.
+    pub session_capacity: usize,
+    /// Lookups served from the memo ([`RouteCache::lookup`] hits).
+    pub hits: u64,
+    /// Lookups that fell through to a solve.
+    pub misses: u64,
+    /// Outcomes dropped by LRU eviction since construction.
+    pub outcome_evictions: u64,
+    /// Sessions dropped by LRU eviction since construction.
+    pub session_evictions: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the memo (0.0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 /// A memoizing, warm-starting front end over a [`RouterRegistry`]. Interior
 /// mutability (mutexed maps) keeps the routing surface `&self`, matching
 /// the registry; locks are held only around map access, never across a
 /// solve, so concurrent requests at worst both solve cold.
 pub struct RouteCache {
     registry: RouterRegistry,
-    outcomes: Mutex<HashMap<Key, RouteOutcome>>,
-    sessions: Mutex<HashMap<Key, RouteSession<Backend>>>,
+    outcomes: Mutex<Lru<RouteOutcome>>,
+    sessions: Mutex<Lru<RouteSession<Backend>>>,
+    /// Logical clock stamping every map access (shared by both maps so
+    /// "recently used" means the same thing everywhere).
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl Default for RouteCache {
@@ -67,12 +193,27 @@ impl Default for RouteCache {
 }
 
 impl RouteCache {
-    /// A cache in front of the given registry.
+    /// A cache in front of the given registry with the default capacities
+    /// ([`DEFAULT_OUTCOME_CAPACITY`] / [`DEFAULT_SESSION_CAPACITY`]).
     pub fn new(registry: RouterRegistry) -> Self {
+        Self::with_capacities(registry, DEFAULT_OUTCOME_CAPACITY, DEFAULT_SESSION_CAPACITY)
+    }
+
+    /// A cache with explicit LRU capacities. A zero capacity disables the
+    /// corresponding tier (nothing is stored; every insert counts as an
+    /// eviction).
+    pub fn with_capacities(
+        registry: RouterRegistry,
+        outcome_capacity: usize,
+        session_capacity: usize,
+    ) -> Self {
         RouteCache {
             registry,
-            outcomes: Mutex::new(HashMap::new()),
-            sessions: Mutex::new(HashMap::new()),
+            outcomes: Mutex::new(Lru::new(outcome_capacity)),
+            sessions: Mutex::new(Lru::new(session_capacity)),
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
         }
     }
 
@@ -83,18 +224,94 @@ impl RouteCache {
 
     /// Number of memoized (solved) outcomes.
     pub fn cached_outcomes(&self) -> usize {
-        self.outcomes.lock().expect("cache lock").len()
+        lock_or_recover(&self.outcomes).len()
     }
 
     /// Number of warm-start sessions held.
     pub fn cached_sessions(&self) -> usize {
-        self.sessions.lock().expect("cache lock").len()
+        lock_or_recover(&self.sessions).len()
     }
 
-    /// Drops all memoized outcomes and sessions.
+    /// Occupancy, traffic, and eviction counters.
+    pub fn stats(&self) -> CacheStats {
+        let outcomes = lock_or_recover(&self.outcomes);
+        let sessions = lock_or_recover(&self.sessions);
+        CacheStats {
+            outcomes: outcomes.len(),
+            sessions: sessions.len(),
+            outcome_capacity: outcomes.capacity,
+            session_capacity: sessions.capacity,
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            outcome_evictions: outcomes.evictions,
+            session_evictions: sessions.evictions,
+        }
+    }
+
+    /// Drops all memoized outcomes and sessions (counters survive).
     pub fn clear(&self) {
-        self.outcomes.lock().expect("cache lock").clear();
-        self.sessions.lock().expect("cache lock").clear();
+        lock_or_recover(&self.outcomes).clear();
+        lock_or_recover(&self.sessions).clear();
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// The memo half of the cache: returns the stored outcome for this
+    /// `(router, fingerprint)` key, stamped `cache_hit` and re-stamped
+    /// with the *new* request's id — or `None` on a miss. Counts toward
+    /// [`CacheStats::hits`]/[`CacheStats::misses`] and refreshes the
+    /// entry's LRU recency. Serving layers that solve through their own
+    /// stack (e.g. a supervisor) call this before solving and
+    /// [`RouteCache::admit`] after.
+    ///
+    /// # Errors
+    ///
+    /// [`UnknownRouter`] listing the valid names.
+    pub fn lookup(
+        &self,
+        name: &str,
+        request: &RouteRequest<'_>,
+    ) -> Result<Option<RouteOutcome>, UnknownRouter> {
+        let canonical = self.registry.canonical(name)?;
+        let key = (canonical, request.fingerprint());
+        let stamp = self.tick();
+        let hit = lock_or_recover(&self.outcomes)
+            .touch(&key, stamp)
+            .map(|stored| {
+                let mut out = stored.clone();
+                out.telemetry_mut().cache_hit = true;
+                out.with_request_id(request.request_id())
+            });
+        match &hit {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        Ok(hit)
+    }
+
+    /// The store half: memoizes `outcome` for this key when it passes the
+    /// gate (solved and [`RouteQuality::Optimal`] — degraded or failed
+    /// answers are never replayed). Returns whether it was stored.
+    ///
+    /// # Errors
+    ///
+    /// [`UnknownRouter`] listing the valid names.
+    pub fn admit(
+        &self,
+        name: &str,
+        request: &RouteRequest<'_>,
+        outcome: &RouteOutcome,
+    ) -> Result<bool, UnknownRouter> {
+        let canonical = self.registry.canonical(name)?;
+        if !memoizable(outcome) {
+            return Ok(false);
+        }
+        let key = (canonical, request.fingerprint());
+        let stamp = self.tick();
+        lock_or_recover(&self.outcomes).insert(key, outcome.clone(), stamp);
+        Ok(true)
     }
 
     /// Routes `request` through the cache: an exact hit replays the
@@ -113,24 +330,17 @@ impl RouteCache {
         request: &RouteRequest<'_>,
     ) -> Result<RouteOutcome, UnknownRouter> {
         let canonical = self.registry.canonical(name)?;
-        let key = (canonical, request.fingerprint());
-        if let Some(hit) = self.outcomes.lock().expect("cache lock").get(&key) {
-            let mut out = hit.clone();
-            out.telemetry_mut().cache_hit = true;
-            return Ok(out);
+        if let Some(hit) = self.lookup(canonical, request)? {
+            return Ok(hit);
         }
+        let key = (canonical, request.fingerprint());
         let outcome = match canonical {
             "satmap" => self.route_satmap(SatMapConfig::default(), key, request),
             "nl-satmap" => self.route_satmap(SatMapConfig::monolithic(), key, request),
             _ => self.registry.route(canonical, request)?,
         };
-        if memoizable(&outcome) {
-            self.outcomes
-                .lock()
-                .expect("cache lock")
-                .insert(key, outcome.clone());
-        }
-        Ok(outcome)
+        self.admit(canonical, request, &outcome)?;
+        Ok(outcome.with_request_id(request.request_id()))
     }
 
     /// One SATMAP route with session reuse: fork the stored session when
@@ -144,18 +354,26 @@ impl RouteCache {
     ) -> RouteOutcome {
         let router = SatMap::<Backend>::with_backend(config);
         let mut slot = {
-            let mut sessions = self.sessions.lock().expect("cache lock");
-            match sessions.get(&key).and_then(|s| s.fork()) {
+            let stamp = self.tick();
+            let mut sessions = lock_or_recover(&self.sessions);
+            match sessions.touch(&key, stamp).and_then(|s| s.fork()) {
                 forked @ Some(_) => forked,
                 None => sessions.remove(&key),
             }
         };
         let outcome = router.route_with_session(request, &mut slot);
         if let Some(s) = slot {
-            self.sessions.lock().expect("cache lock").insert(key, s);
+            let stamp = self.tick();
+            lock_or_recover(&self.sessions).insert(key, s, stamp);
         }
         outcome
     }
+}
+
+/// Poison-tolerant lock: a panicking worker thread cannot wedge the cache
+/// for every other request.
+fn lock_or_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 #[cfg(test)]
@@ -196,6 +414,10 @@ mod tests {
         );
         // The replay carries the original telemetry, not a re-solve's.
         assert_eq!(hit.telemetry().sat_calls, cold.telemetry().sat_calls);
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-9);
     }
 
     #[test]
@@ -279,5 +501,97 @@ mod tests {
         assert_eq!(cache.cached_sessions(), 0);
         let again = cache.route("satmap", &request).expect("known");
         assert!(!again.telemetry().cache_hit);
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used_key() {
+        let mut lru: Lru<u32> = Lru::new(2);
+        lru.insert(("a", 0), 1, 0);
+        lru.insert(("b", 0), 2, 1);
+        // Touch "a": "b" becomes the oldest.
+        assert_eq!(lru.touch(&("a", 0), 2).copied(), Some(1));
+        lru.insert(("c", 0), 3, 3);
+        assert_eq!(lru.len(), 2);
+        assert_eq!(lru.evictions, 1);
+        assert!(lru.touch(&("b", 0), 4).is_none(), "LRU entry evicted");
+        assert!(lru.touch(&("a", 0), 5).is_some(), "touched entry kept");
+        // Replacing an existing key never evicts.
+        lru.insert(("c", 0), 9, 6);
+        assert_eq!(lru.evictions, 1);
+        assert_eq!(lru.touch(&("c", 0), 7).copied(), Some(9));
+    }
+
+    #[test]
+    fn zero_capacity_disables_a_tier() {
+        let mut lru: Lru<u32> = Lru::new(0);
+        lru.insert(("a", 0), 1, 0);
+        assert_eq!(lru.len(), 0);
+        assert_eq!(lru.evictions, 1, "dropped inserts count as evictions");
+    }
+
+    #[test]
+    fn outcome_capacity_bounds_a_long_running_cache() {
+        let (c, g) = fig3();
+        let cache = RouteCache::with_capacities(RouterRegistry::standard(), 2, 1);
+        // Three distinct fingerprints through a capacity-2 memo: the
+        // oldest entry must fall out, and the counters must say so.
+        let base = RouteRequest::new(&c, &g);
+        let swapped = RouteRequest::new(&c, &g).with_swaps_per_gap(2);
+        let strategic =
+            RouteRequest::new(&c, &g).with_strategy(circuit::SearchStrategy::CoreGuided);
+        for request in [&base, &swapped, &strategic] {
+            assert!(cache.route("nl-satmap", request).expect("known").solved());
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.outcomes, 2);
+        assert_eq!(stats.outcome_capacity, 2);
+        assert!(stats.outcome_evictions >= 1, "{stats:?}");
+        assert_eq!(stats.sessions, 1, "session map respects its capacity");
+        assert!(stats.session_evictions >= 1, "{stats:?}");
+        // The freshest entry is still a hit; the evicted one re-solves.
+        assert!(
+            cache
+                .route("nl-satmap", &strategic)
+                .expect("known")
+                .telemetry()
+                .cache_hit
+        );
+        assert!(
+            !cache
+                .route("nl-satmap", &base)
+                .expect("known")
+                .telemetry()
+                .cache_hit
+        );
+    }
+
+    #[test]
+    fn lookup_and_admit_compose_for_external_solvers() {
+        let (c, g) = fig3();
+        let cache = RouteCache::default();
+        let request = RouteRequest::new(&c, &g).with_request_id(5);
+        assert!(cache.lookup("sabre", &request).expect("known").is_none());
+        // Solve outside the cache (as a daemon's supervisor would) and
+        // hand the outcome back.
+        let outcome = cache
+            .registry()
+            .route("sabre", &request)
+            .expect("known name");
+        assert!(cache.admit("sabre", &request, &outcome).expect("known"));
+        let hit = cache
+            .lookup("sabre", &request.clone().with_request_id(6))
+            .expect("known")
+            .expect("memoized");
+        assert!(hit.telemetry().cache_hit);
+        assert_eq!(
+            hit.telemetry().request_id,
+            Some(6),
+            "replays are re-stamped with the new request's id"
+        );
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        // Unknown names error through the same surface.
+        assert!(cache.lookup("nope", &request).is_err());
+        assert!(cache.admit("nope", &request, &outcome).is_err());
     }
 }

@@ -57,8 +57,8 @@
 mod cache;
 pub mod supervisor;
 
-pub use cache::RouteCache;
-pub use supervisor::{RoutePolicy, RouteSupervisor};
+pub use cache::{CacheStats, RouteCache, DEFAULT_OUTCOME_CAPACITY, DEFAULT_SESSION_CAPACITY};
+pub use supervisor::{RoutePolicy, RouteSupervisor, ENCODING_ROUTERS};
 
 use circuit::Router;
 use heuristics::{AStar, Sabre, Tket};
@@ -69,8 +69,13 @@ use satmap::{CyclicSatMap, SatMap, SatMapConfig};
 /// A router that can be shared across suite-runner worker threads.
 pub type BoxedRouter = Box<dyn Router + Send + Sync>;
 
-/// The portfolio-capable backend the registry builds SAT routers over.
-pub(crate) type Backend = PortfolioBackend<DefaultBackend>;
+/// The portfolio-capable backend the registry builds SAT routers over —
+/// exported so embedders (the `routed` daemon, custom supervisors) can
+/// name the same stack, or substitute a decorated one (e.g.
+/// `PortfolioBackend<ChaosBackend<DefaultBackend>>`) for fault injection.
+pub type StandardBackend = PortfolioBackend<DefaultBackend>;
+
+pub(crate) type Backend = StandardBackend;
 
 #[derive(Clone)]
 struct Entry {
@@ -265,7 +270,10 @@ impl RouterRegistry {
         name: &str,
         request: &circuit::RouteRequest<'_>,
     ) -> Result<circuit::RouteOutcome, UnknownRouter> {
-        Ok(self.create(name)?.route_request(request))
+        Ok(self
+            .create(name)?
+            .route_request(request)
+            .with_request_id(request.request_id()))
     }
 }
 

@@ -27,9 +27,12 @@
 //!
 //! Non-retryable failures ([`RouteError::InvalidRequest`],
 //! [`RouteError::Unsatisfiable`]) return immediately — retrying cannot
-//! change them. Every attempt runs behind a panic isolation boundary: a
-//! crash inside a router surfaces as a retryable [`RouteError::Internal`],
-//! never as a process panic.
+//! change them. So does a fired abort handle: when the cancel token on the
+//! request's budget is cancelled, the ladder stops (no retry, no fallback)
+//! and answers [`RouteError::Cancelled`], keeping whatever telemetry the
+//! interrupted attempt accumulated. Every attempt runs behind a panic
+//! isolation boundary: a crash inside a router surfaces as a retryable
+//! [`RouteError::Internal`], never as a process panic.
 //!
 //! Soundness: `Optimal` and `WarmRetry` outcomes carry the same optimality
 //! proof a plain route would — warm-started retries reuse only
@@ -50,8 +53,9 @@ use crate::{Backend, RouterRegistry, UnknownRouter};
 
 /// Registered routers that pay for a SAT/SMT-style encoding before
 /// solving — the ones admission control can meaningfully shed. Heuristic
-/// routers are always admitted: they are the degradation target.
-const ENCODING_ROUTERS: &[&str] = &["satmap", "nl-satmap", "cyc-satmap", "olsq", "olsq-tb"];
+/// routers are always admitted: they are the degradation target. Public so
+/// other admission layers (the `routed` daemon) shed by the same rule.
+pub const ENCODING_ROUTERS: &[&str] = &["satmap", "nl-satmap", "cyc-satmap", "olsq", "olsq-tb"];
 
 /// Retry, escalation, and degradation knobs of a [`RouteSupervisor`].
 ///
@@ -176,7 +180,31 @@ impl<B: SatBackend + Default + Send> RouteSupervisor<B> {
         request: &RouteRequest<'_>,
     ) -> Result<RouteOutcome, UnknownRouter> {
         let canonical = self.registry.canonical(name)?;
-        Ok(self.supervise(canonical, request))
+        Ok(self
+            .supervise(canonical, request)
+            .with_request_id(request.request_id()))
+    }
+
+    /// True when the request's abort handle (the cancel token attached to
+    /// its budget) has fired. Cancellation is not a failure the ladder
+    /// should recover from — it is the caller saying *stop* — so the
+    /// supervisor checks it between attempts and before degrading.
+    fn cancelled(request: &RouteRequest<'_>) -> bool {
+        request
+            .budget()
+            .cancel_token()
+            .is_some_and(|t| t.is_cancelled())
+    }
+
+    /// The typed verdict for an aborted request.
+    fn cancelled_outcome(canonical: &'static str, attempts: u32) -> RouteOutcome {
+        RouteOutcome::new(
+            canonical,
+            Err(RouteError::Cancelled),
+            SolverTelemetry::new(),
+            Duration::ZERO,
+        )
+        .with_attempts(attempts)
     }
 
     /// Admission check: predicted encoding size of a budgeted request to
@@ -210,6 +238,9 @@ impl<B: SatBackend + Default + Send> RouteSupervisor<B> {
         let mut best_unproven: Option<RouteOutcome> = None;
         let mut last_failure: Option<RouteError> = None;
         for attempt in 1..=max_attempts {
+            if Self::cancelled(request) {
+                return Self::cancelled_outcome(canonical, attempt);
+            }
             if attempt > 1 {
                 std::thread::sleep(ResourceBudget::backoff_for(
                     attempt - 1,
@@ -238,12 +269,30 @@ impl<B: SatBackend + Default + Send> RouteSupervisor<B> {
                         _ => outcome,
                     });
                 }
-                Some(RouteError::InvalidRequest(_)) | Some(RouteError::Unsatisfiable(_)) => {
+                Some(RouteError::InvalidRequest(_))
+                | Some(RouteError::Unsatisfiable(_))
+                | Some(RouteError::Cancelled) => {
                     // Deterministic verdicts: retrying cannot change them.
                     return outcome.with_attempts(attempt);
                 }
-                Some(e) => last_failure = Some(e.clone()),
+                Some(e) => {
+                    // A solve killed by the abort handle surfaces as a
+                    // budget expiry; re-type it so the caller sees a
+                    // cancellation, keeping the effort the attempt spent.
+                    if Self::cancelled(request) {
+                        return outcome
+                            .with_result(Err(RouteError::Cancelled))
+                            .with_attempts(attempt);
+                    }
+                    last_failure = Some(e.clone());
+                }
             }
+        }
+        if Self::cancelled(request) {
+            // An aborted request must not burn fallback work — and must
+            // not hand back a partial incumbent either: the caller said
+            // *stop*, so the only honest answer is the typed cancellation.
+            return Self::cancelled_outcome(canonical, max_attempts);
         }
         if let Some(best) = best_unproven {
             return best
@@ -251,7 +300,18 @@ impl<B: SatBackend + Default + Send> RouteSupervisor<B> {
                 .with_attempts(max_attempts);
         }
         let failure = last_failure.unwrap_or(RouteError::Timeout);
+        // The whole ladder failed: drop the warm session for this key.
+        // Search state retained across a fully failed ladder is correlated
+        // with the failure (a wedged or fault-injected solver instance),
+        // and resuming from it would replay the failure on the next
+        // identical request instead of giving a cold start a chance.
+        self.evict_session(canonical, request);
         self.degrade(canonical, request, failure, max_attempts)
+    }
+
+    /// Removes the stored warm-start session for this request, if any.
+    fn evict_session(&self, canonical: &'static str, request: &RouteRequest<'_>) {
+        lock_or_recover(&self.sessions).remove(&(canonical, request.fingerprint()));
     }
 
     /// Scales the request's time budget for attempt `attempt` (1-based).
@@ -509,6 +569,34 @@ mod tests {
             .expect("known");
         assert!(matches!(out.error(), Some(RouteError::InvalidRequest(_))));
         assert_eq!(out.attempts(), 1, "no retry for deterministic verdicts");
+    }
+
+    #[test]
+    fn fired_abort_handle_returns_cancelled_without_fallback() {
+        let (c, g) = fig3();
+        let supervisor = RouteSupervisor::new();
+        // Cancel before the first attempt: no solver work, no fallback.
+        let (budget, token) = ResourceBudget::unlimited().cancellable();
+        token.cancel();
+        let request = RouteRequest::new(&c, &g)
+            .with_budget(budget)
+            .with_request_id(11);
+        let out = supervisor.route("nl-satmap", &request).expect("known");
+        assert_eq!(out.error(), Some(&RouteError::Cancelled));
+        assert_eq!(out.attempts(), 1);
+        assert_eq!(out.telemetry().request_id, Some(11));
+        // A cancel firing mid-ladder re-types the budget expiry instead of
+        // degrading to the heuristic fallback.
+        let (budget, token) = ResourceBudget::with_time(Duration::ZERO).cancellable();
+        token.cancel();
+        let out = supervisor
+            .route("nl-satmap", &RouteRequest::new(&c, &g).with_budget(budget))
+            .expect("known");
+        assert_eq!(out.error(), Some(&RouteError::Cancelled));
+        assert!(
+            !out.solved(),
+            "aborted requests must not burn fallback work"
+        );
     }
 
     #[test]

@@ -281,6 +281,88 @@ impl From<Duration> for ResourceBudget {
     }
 }
 
+/// A keyed registry of live [`CancelToken`]s — the server-side abort
+/// surface.
+///
+/// A serving layer registers each in-flight request's token under its
+/// request id; an `abort <id>` verb (or an operator) cancels by id from
+/// any thread, and completion removes the entry. The registry is
+/// poison-tolerant: a panicking worker thread cannot wedge the abort path
+/// for every other request.
+///
+/// # Examples
+///
+/// ```
+/// use sat::{CancelRegistry, ResourceBudget};
+///
+/// let registry = CancelRegistry::new();
+/// let (budget, token) = ResourceBudget::unlimited().cancellable();
+/// registry.insert(7, token);
+/// assert!(registry.cancel(7));
+/// assert!(budget.expired());
+/// assert!(!registry.cancel(7), "cancelled entries are consumed");
+/// ```
+#[derive(Debug, Default)]
+pub struct CancelRegistry {
+    inner: std::sync::Mutex<std::collections::HashMap<u64, CancelToken>>,
+}
+
+impl CancelRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, std::collections::HashMap<u64, CancelToken>> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Registers `token` as the abort handle for request `id`, replacing
+    /// any previous handle under that id.
+    pub fn insert(&self, id: u64, token: CancelToken) {
+        self.lock().insert(id, token);
+    }
+
+    /// Cancels (and removes) the handle registered under `id`. Returns
+    /// `false` when no live handle exists — the request already completed,
+    /// was never registered, or was aborted before.
+    pub fn cancel(&self, id: u64) -> bool {
+        match self.lock().remove(&id) {
+            Some(token) => {
+                token.cancel();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes the handle for a completed request without cancelling it.
+    /// Returns `true` if a handle was present.
+    pub fn complete(&self, id: u64) -> bool {
+        self.lock().remove(&id).is_some()
+    }
+
+    /// Cancels every live handle (drain/shutdown path); returns how many
+    /// were cancelled.
+    pub fn cancel_all(&self) -> usize {
+        let handles: Vec<CancelToken> = self.lock().drain().map(|(_, t)| t).collect();
+        for t in &handles {
+            t.cancel();
+        }
+        handles.len()
+    }
+
+    /// Number of live handles (in-flight or queued requests).
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// True when no handles are live.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -413,6 +495,30 @@ mod tests {
             ResourceBudget::backoff_for(9, Duration::ZERO, cap, 3),
             Duration::ZERO
         );
+    }
+
+    #[test]
+    fn cancel_registry_aborts_by_id_and_forgets_completed() {
+        let registry = CancelRegistry::new();
+        let (a, token_a) = ResourceBudget::unlimited().cancellable();
+        let (b, token_b) = ResourceBudget::unlimited().cancellable();
+        registry.insert(1, token_a);
+        registry.insert(2, token_b);
+        assert_eq!(registry.len(), 2);
+        // Abort by id: only the targeted budget expires.
+        assert!(registry.cancel(1));
+        assert!(a.expired());
+        assert!(!b.expired());
+        // Completion removes without cancelling.
+        assert!(registry.complete(2));
+        assert!(!b.expired());
+        assert!(registry.is_empty());
+        assert!(!registry.cancel(2), "completed entries are gone");
+        // cancel_all sweeps whatever is left.
+        let (c, token_c) = ResourceBudget::unlimited().cancellable();
+        registry.insert(3, token_c);
+        assert_eq!(registry.cancel_all(), 1);
+        assert!(c.expired());
     }
 
     #[test]

@@ -62,7 +62,7 @@ mod stats;
 pub mod telemetry;
 
 pub use backend::{ClauseSink, DefaultBackend, SatBackend};
-pub use budget::{CancelToken, ResourceBudget};
+pub use budget::{CancelRegistry, CancelToken, ResourceBudget};
 pub use chaos::{ChaosBackend, FaultPlan};
 pub use clause::ClauseRef;
 pub use config::{PhaseInit, SolverConfig};

@@ -63,6 +63,10 @@ pub struct SolverTelemetry {
     /// Clauses carried into the solve from a prior session's arena instead
     /// of being re-emitted (0 for cold solves).
     pub reused_clauses: u64,
+    /// Caller-assigned correlation id of the request this effort served
+    /// (`None` outside a server or sweep context). Travels in the
+    /// telemetry so it survives aggregation and reaches the JSON row.
+    pub request_id: Option<u64>,
 }
 
 impl SolverTelemetry {
@@ -99,6 +103,11 @@ impl SolverTelemetry {
         self.cache_hit |= child.cache_hit;
         self.warm_start |= child.warm_start;
         self.reused_clauses += child.reused_clauses;
+        // The parent's id identifies the request being served; a child
+        // call's id only fills the gap when the parent has none.
+        if self.request_id.is_none() {
+            self.request_id = child.request_id;
+        }
     }
 }
 
@@ -126,6 +135,9 @@ impl std::fmt::Display for SolverTelemetry {
         }
         if self.warm_start {
             write!(f, " warm_start reused_clauses={}", self.reused_clauses)?;
+        }
+        if let Some(id) = self.request_id {
+            write!(f, " request={id}")?;
         }
         Ok(())
     }
@@ -171,6 +183,23 @@ mod tests {
         assert_eq!(parent.arena_bytes, 1024, "smaller child keeps the peak");
         assert_eq!(parent.encode_time, Duration::from_millis(4));
         assert_eq!(parent.solve_time, Duration::from_millis(6));
+    }
+
+    #[test]
+    fn absorb_keeps_the_parent_request_id() {
+        let mut parent = SolverTelemetry {
+            request_id: Some(3),
+            ..SolverTelemetry::new()
+        };
+        parent.absorb(&SolverTelemetry {
+            request_id: Some(9),
+            ..SolverTelemetry::new()
+        });
+        assert_eq!(parent.request_id, Some(3), "parent id wins");
+        let mut empty = SolverTelemetry::new();
+        empty.absorb(&parent);
+        assert_eq!(empty.request_id, Some(3), "child id fills a gap");
+        assert!(empty.to_string().contains("request=3"));
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! The `routed-client` binary: submit request lines, print response rows.
+//!
+//! ```text
+//! routed-client --addr HOST:PORT [--file reqs.ndjson] [--abort-first]
+//!               [--stats] [--drain]
+//! ```
+//!
+//! The file holds one `route` line per line (blank lines and `#`
+//! comments skipped). All requests are submitted first; `--abort-first`
+//! then fires the abort handle of the first queued one; every outcome
+//! row is printed as it completes; `--stats` and `--drain` run last.
+//! Every response row goes to stdout verbatim, so the CI e2e script can
+//! grep the NDJSON.
+
+use service::{ServiceClient, Submission};
+
+struct Args {
+    addr: String,
+    file: Option<String>,
+    abort_first: bool,
+    stats: bool,
+    drain: bool,
+}
+
+fn main() {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(why) => {
+            eprintln!("routed-client: {why}");
+            eprintln!(
+                "usage: routed-client --addr HOST:PORT [--file reqs.ndjson] \
+                 [--abort-first] [--stats] [--drain]"
+            );
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = run(&args) {
+        eprintln!("routed-client: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run(args: &Args) -> std::io::Result<()> {
+    let mut client = ServiceClient::connect(args.addr.as_str())?;
+    let mut queued: Vec<u64> = Vec::new();
+
+    if let Some(path) = &args.file {
+        let text = std::fs::read_to_string(path)?;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            match client.submit_route(line)? {
+                Submission::Queued(id) => {
+                    println!("{{\"type\":\"ack\",\"request_id\":{id}}}");
+                    queued.push(id);
+                }
+                Submission::Done(_, row) => println!("{row}"),
+            }
+        }
+    }
+
+    if args.abort_first {
+        if let Some(&first) = queued.first() {
+            let hit = client.abort(first)?;
+            println!("{{\"type\":\"abort\",\"request_id\":{first},\"aborted\":{hit}}}");
+        }
+    }
+
+    for id in queued {
+        println!("{}", client.wait(id)?);
+    }
+    if args.stats {
+        println!("{}", client.stats()?);
+    }
+    if args.drain {
+        println!("{}", client.drain()?);
+    }
+    Ok(())
+}
+
+fn parse_args(args: impl Iterator<Item = String>) -> Result<Args, String> {
+    let mut parsed = Args {
+        addr: String::new(),
+        file: None,
+        abort_first: false,
+        stats: false,
+        drain: false,
+    };
+    let mut args = args.peekable();
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--addr" => {
+                parsed.addr = args.next().ok_or("--addr needs a value")?;
+            }
+            "--file" => {
+                parsed.file = Some(args.next().ok_or("--file needs a value")?);
+            }
+            "--abort-first" => parsed.abort_first = true,
+            "--stats" => parsed.stats = true,
+            "--drain" => parsed.drain = true,
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    if parsed.addr.is_empty() {
+        return Err("--addr is required".into());
+    }
+    Ok(parsed)
+}

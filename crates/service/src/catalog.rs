@@ -1,0 +1,104 @@
+//! Device names the wire protocol accepts.
+//!
+//! Circuits travel over the wire as gate lists, but device graphs do not:
+//! clients name a topology and the daemon builds it from
+//! [`arch::devices`]. The grammar covers the paper's devices plus the
+//! parameterized families the test suite sweeps:
+//!
+//! ```text
+//! tokyo | tokyo-minus | tokyo-plus
+//! linear:<n> | ring:<n> | grid:<r>x<c> | heavy-hex:<cells>
+//! ```
+
+use arch::ConnectivityGraph;
+
+use crate::wire::WireError;
+
+/// The accepted device-name grammar, for error messages and docs.
+pub const DEVICE_GRAMMAR: &str =
+    "tokyo | tokyo-minus | tokyo-plus | linear:<n> | ring:<n> | grid:<r>x<c> | heavy-hex:<cells>";
+
+/// Builds the connectivity graph a wire request named.
+///
+/// # Errors
+///
+/// [`WireError`] quoting [`DEVICE_GRAMMAR`] when the name (or a numeric
+/// parameter) does not parse.
+///
+/// # Examples
+///
+/// ```
+/// use service::catalog::device;
+/// assert_eq!(device("tokyo").unwrap().num_qubits(), 20);
+/// assert_eq!(device("grid:2x3").unwrap().num_qubits(), 6);
+/// assert!(device("sycamore").is_err());
+/// ```
+pub fn device(name: &str) -> Result<ConnectivityGraph, WireError> {
+    let unknown = || {
+        WireError::new(format!(
+            "unknown device '{name}' (grammar: {DEVICE_GRAMMAR})"
+        ))
+    };
+    match name {
+        "tokyo" => return Ok(arch::devices::tokyo()),
+        "tokyo-minus" => return Ok(arch::devices::tokyo_minus()),
+        "tokyo-plus" => return Ok(arch::devices::tokyo_plus()),
+        _ => {}
+    }
+    let (family, params) = name.split_once(':').ok_or_else(unknown)?;
+    let positive = |text: &str| -> Result<usize, WireError> {
+        match text.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(WireError::new(format!(
+                "device parameter '{text}' in '{name}' must be a positive integer"
+            ))),
+        }
+    };
+    match family {
+        "linear" => Ok(arch::devices::linear(positive(params)?)),
+        "ring" => Ok(arch::devices::ring(positive(params)?)),
+        "grid" => {
+            let (rows, cols) = params.split_once('x').ok_or_else(unknown)?;
+            Ok(arch::devices::grid(positive(rows)?, positive(cols)?))
+        }
+        "heavy-hex" => Ok(arch::devices::heavy_hex(positive(params)?)),
+        _ => Err(unknown()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_devices_build() {
+        assert_eq!(device("tokyo").unwrap().num_qubits(), 20);
+        assert!(device("tokyo-minus").unwrap().num_edges() < device("tokyo").unwrap().num_edges());
+        assert!(device("tokyo-plus").unwrap().num_edges() > device("tokyo").unwrap().num_edges());
+        assert_eq!(device("linear:5").unwrap().num_qubits(), 5);
+        assert_eq!(device("ring:6").unwrap().num_edges(), 6);
+        assert_eq!(device("grid:3x4").unwrap().num_qubits(), 12);
+        assert!(device("heavy-hex:2").unwrap().num_qubits() > 0);
+    }
+
+    #[test]
+    fn bad_names_fail_with_the_grammar() {
+        for bad in [
+            "sycamore",
+            "linear",
+            "linear:0",
+            "linear:-3",
+            "linear:abc",
+            "grid:3",
+            "grid:0x4",
+            "hex:2",
+            "",
+        ] {
+            let err = device(bad).unwrap_err();
+            assert!(
+                err.to_string().contains("grammar") || err.to_string().contains("positive integer"),
+                "{bad:?} -> {err}"
+            );
+        }
+    }
+}

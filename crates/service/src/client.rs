@@ -1,0 +1,231 @@
+//! A blocking client for the `routed` wire protocol.
+//!
+//! One [`ServiceClient`] owns one connection. Because outcome rows
+//! arrive in *completion* order (the worker pool finishes jobs as it
+//! pleases), the client demultiplexes: rows for requests the caller has
+//! not asked about yet are stashed and replayed by [`ServiceClient::wait`].
+
+use std::collections::{HashMap, HashSet};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::wire::{self, JsonValue};
+
+/// What the daemon said to a submitted `route` line.
+#[derive(Clone, Debug)]
+pub enum Submission {
+    /// Admitted and queued under this server-assigned id; the outcome row
+    /// arrives later (fetch it with [`ServiceClient::wait`]).
+    Queued(u64),
+    /// Answered at the door (rejected, shed, or replayed) — the full
+    /// outcome row, already final.
+    Done(u64, String),
+}
+
+impl Submission {
+    /// The server-assigned request id.
+    pub fn id(&self) -> u64 {
+        match self {
+            Submission::Queued(id) | Submission::Done(id, _) => *id,
+        }
+    }
+}
+
+/// A line-oriented client over one TCP connection.
+pub struct ServiceClient {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    /// Ids acked as queued whose outcome the caller has not consumed yet.
+    outstanding: HashSet<u64>,
+    /// Outcome rows received while waiting for something else, by id.
+    stashed: HashMap<u64, String>,
+}
+
+impl ServiceClient {
+    /// Connects to a running daemon.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] when the connection cannot be established.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(ServiceClient {
+            writer,
+            reader,
+            outstanding: HashSet::new(),
+            stashed: HashMap::new(),
+        })
+    }
+
+    /// Sends one raw request line.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] on a broken connection.
+    pub fn send(&mut self, line: &str) -> io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")
+    }
+
+    /// Reads the next response line (EOF is an error: the daemon never
+    /// half-closes a healthy connection).
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] on a broken or closed connection.
+    pub fn recv(&mut self) -> io::Result<String> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection",
+            ));
+        }
+        Ok(line.trim_end().to_string())
+    }
+
+    /// Submits a `route` line (build one with [`wire::route_line`]) and
+    /// reads the daemon's verdict: an ack (queued) or an immediate
+    /// outcome row (rejected/shed at the door).
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] on connection failure, a wire-level `error` row, or
+    /// a protocol violation.
+    pub fn submit_route(&mut self, line: &str) -> io::Result<Submission> {
+        self.send(line)?;
+        loop {
+            let row = self.recv()?;
+            let v = parse_row(&row)?;
+            match row_type(&v)? {
+                "ack" => {
+                    let id = row_id(&v)?;
+                    self.outstanding.insert(id);
+                    return Ok(Submission::Queued(id));
+                }
+                "outcome" => {
+                    let id = row_id(&v)?;
+                    // An outcome arriving here either completes an
+                    // earlier queued request (its id was acked — stash
+                    // for `wait`) or is the door verdict for *this*
+                    // submission (an id we never saw an ack for).
+                    if self.outstanding.remove(&id) {
+                        self.stashed.insert(id, row);
+                    } else {
+                        return Ok(Submission::Done(id, row));
+                    }
+                }
+                "error" => return Err(protocol(row)),
+                other => return Err(protocol(format!("unexpected '{other}' row: {row}"))),
+            }
+        }
+    }
+
+    /// Blocks until the outcome row for `id` arrives (or was already
+    /// stashed) and returns it.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] on connection failure or a protocol violation.
+    pub fn wait(&mut self, id: u64) -> io::Result<String> {
+        if let Some(row) = self.stashed.remove(&id) {
+            return Ok(row);
+        }
+        loop {
+            let row = self.recv()?;
+            let v = parse_row(&row)?;
+            match row_type(&v)? {
+                "outcome" => {
+                    let got = row_id(&v)?;
+                    self.outstanding.remove(&got);
+                    if got == id {
+                        return Ok(row);
+                    }
+                    self.stashed.insert(got, row);
+                }
+                "error" => return Err(protocol(row)),
+                other => return Err(protocol(format!("unexpected '{other}' row: {row}"))),
+            }
+        }
+    }
+
+    /// Fires the abort handle of request `id`; true when it was still
+    /// live (queued or solving).
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] on connection failure or a protocol violation.
+    pub fn abort(&mut self, id: u64) -> io::Result<bool> {
+        self.send(&wire::abort_line(id))?;
+        let row = self.next_of_type("abort")?;
+        let v = parse_row(&row)?;
+        v.get("aborted")
+            .and_then(|b| b.as_bool())
+            .ok_or_else(|| protocol(format!("abort row without verdict: {row}")))
+    }
+
+    /// Fetches the daemon's `stats` row.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] on connection failure or a protocol violation.
+    pub fn stats(&mut self) -> io::Result<String> {
+        self.send(&wire::stats_line())?;
+        self.next_of_type("stats")
+    }
+
+    /// Drains the daemon (graceful shutdown) and returns its final
+    /// report row.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] on connection failure or a protocol violation.
+    pub fn drain(&mut self) -> io::Result<String> {
+        self.send(&wire::drain_line())?;
+        self.next_of_type("drain")
+    }
+
+    /// Reads rows until one of type `wanted` arrives, stashing outcome
+    /// rows for later [`ServiceClient::wait`] calls.
+    fn next_of_type(&mut self, wanted: &str) -> io::Result<String> {
+        loop {
+            let row = self.recv()?;
+            let v = parse_row(&row)?;
+            let ty = row_type(&v)?;
+            if ty == wanted {
+                return Ok(row);
+            }
+            match ty {
+                "outcome" => {
+                    let id = row_id(&v)?;
+                    self.outstanding.remove(&id);
+                    self.stashed.insert(id, row);
+                }
+                "error" => return Err(protocol(row)),
+                other => return Err(protocol(format!("unexpected '{other}' row: {row}"))),
+            }
+        }
+    }
+}
+
+fn parse_row(row: &str) -> io::Result<JsonValue> {
+    wire::parse_json(row).map_err(|e| protocol(format!("unparseable response ({e}): {row}")))
+}
+
+fn row_type(v: &JsonValue) -> io::Result<&str> {
+    v.get("type")
+        .and_then(|t| t.as_str())
+        .ok_or_else(|| protocol("response row without a type".into()))
+}
+
+fn row_id(v: &JsonValue) -> io::Result<u64> {
+    v.get("request_id")
+        .and_then(|n| n.as_u64())
+        .ok_or_else(|| protocol("outcome row without a request_id".into()))
+}
+
+fn protocol(why: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, why)
+}

@@ -1,0 +1,160 @@
+//! The bounded work queue between the accept loop and the worker pool.
+//!
+//! Push never blocks — a full queue is an *admission* signal, not a place
+//! to park a client thread — while pop blocks until work arrives or the
+//! queue is closed. Closing is how drain works: producers are refused
+//! from then on, consumers drain what is already queued and then see
+//! `None`.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// A Mutex+Condvar MPMC queue with a hard capacity.
+///
+/// # Examples
+///
+/// ```
+/// use service::queue::BoundedQueue;
+/// let q = BoundedQueue::new(1);
+/// assert!(q.try_push(1).is_ok());
+/// assert_eq!(q.try_push(2), Err(2)); // full: the item comes back
+/// assert_eq!(q.pop(), Some(1));
+/// q.close();
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    closed: bool,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue admitting at most `capacity` items (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                capacity: capacity.max(1),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner<T>> {
+        // A worker that panicked between lock and unlock poisons the
+        // mutex; the queue state itself is always consistent (every
+        // mutation is a single VecDeque call), so recover and continue.
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Enqueues `item`, or returns it when the queue is full or closed.
+    #[allow(clippy::missing_errors_doc)]
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut inner = self.lock();
+        if inner.closed || inner.items.len() >= inner.capacity {
+            return Err(item);
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the oldest item, blocking while the queue is empty and
+    /// open. `None` means closed *and* drained — the consumer's signal to
+    /// exit.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = match self.ready.wait(inner) {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+    }
+
+    /// Refuses all future pushes and wakes every blocked consumer.
+    /// Already-queued items still drain.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Items currently queued (not the ones already on workers).
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_order_and_capacity() {
+        let q = BoundedQueue::new(2);
+        assert!(q.try_push('a').is_ok());
+        assert!(q.try_push('b').is_ok());
+        assert_eq!(q.try_push('c'), Err('c'));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some('a'));
+        assert!(q.try_push('c').is_ok());
+        assert_eq!(q.pop(), Some('b'));
+        assert_eq!(q.pop(), Some('c'));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn close_refuses_producers_and_drains_consumers() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.close();
+        assert_eq!(q.try_push(2), Err(2), "closed queues refuse pushes");
+        assert_eq!(q.pop(), Some(1), "queued items still drain");
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocked_consumers_wake_on_push_and_close() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || q.pop())
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(10));
+        q.try_push(7).unwrap();
+        q.close();
+        let mut got: Vec<Option<i32>> = consumers
+            .into_iter()
+            .map(|h| h.join().expect("consumer must not panic"))
+            .collect();
+        got.sort();
+        assert_eq!(got, vec![None, None, Some(7)]);
+    }
+}

@@ -24,10 +24,10 @@ done
 # came with the strategy-racing MaxSAT engine; the warm-start fields
 # (cache_hit, warm_start, reused_clauses) with the route cache; the
 # resilience fields (quality, attempts, worker_panics) with the routing
-# supervisor.
+# supervisor; request_id (per-row tracing id) with the routing service.
 for key in clauses_exported clauses_imported useful_imports cross_call_imports \
            compactions arena_bytes strategy cache_hit warm_start reused_clauses \
-           quality attempts worker_panics; do
+           quality attempts worker_panics request_id; do
     grep -q "\"$key\"" "$report" || fail "missing telemetry field \"$key\""
 done
 

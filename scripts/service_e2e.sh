@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# End-to-end loopback exercise of the routing service: start `routed` on
+# an ephemeral port, drive it with `routed-client`, and check the NDJSON
+# rows for the protocol contract — acks with server-assigned ids, solved
+# outcome rows carrying request_id, a repeat request served from the
+# route cache, a stats row that reconciles, and a drain row that shuts
+# the daemon down cleanly. Run after `cargo build --release`.
+set -euo pipefail
+
+bin="${CARGO_TARGET_DIR:-target}/release"
+if [ ! -x "$bin/routed" ] || [ ! -x "$bin/routed-client" ]; then
+    cargo build --release -p service
+fi
+
+workdir=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+    [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "service_e2e: $1" >&2
+    echo "--- daemon stderr ---" >&2
+    cat "$workdir/routed.err" >&2 || true
+    echo "--- client rows ---" >&2
+    cat "$workdir/rows.ndjson" >&2 || true
+    exit 1
+}
+
+# One worker: requests complete in submission order, so the repeated
+# request below deterministically finds the first one's cached answer.
+"$bin/routed" --addr 127.0.0.1:0 --workers 1 \
+    >"$workdir/routed.out" 2>"$workdir/routed.err" &
+daemon_pid=$!
+
+# The daemon prints `listening HOST:PORT` once the socket is bound.
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^listening //p' "$workdir/routed.out" | head -n1)
+    [ -n "$addr" ] && break
+    kill -0 "$daemon_pid" 2>/dev/null || fail "daemon exited before binding"
+    sleep 0.1
+done
+[ -n "$addr" ] || fail "daemon never printed its listening address"
+
+# Fig. 3 of the paper on a 4-qubit line: the SAT router, a heuristic,
+# then the SAT router again (identical request -> route-cache hit).
+fig3='[["cx",0,1],["cx",0,2],["cx",3,2],["cx",0,3]]'
+cat >"$workdir/reqs.ndjson" <<EOF
+# routed e2e request file (blank lines and comments are skipped)
+{"verb":"route","router":"satmap","device":"linear:4","qubits":4,"circuit":$fig3}
+{"verb":"route","router":"sabre","device":"linear:4","qubits":4,"circuit":$fig3}
+
+{"verb":"route","router":"satmap","device":"linear:4","qubits":4,"circuit":$fig3}
+EOF
+
+"$bin/routed-client" --addr "$addr" --file "$workdir/reqs.ndjson" \
+    --stats --drain >"$workdir/rows.ndjson"
+
+[ "$(grep -c '"type":"ack"' "$workdir/rows.ndjson")" -eq 3 ] \
+    || fail "expected 3 ack rows"
+[ "$(grep -c '"type":"outcome"' "$workdir/rows.ndjson")" -eq 3 ] \
+    || fail "expected 3 outcome rows"
+[ "$(grep '"type":"outcome"' "$workdir/rows.ndjson" | grep -c '"solved":true')" -eq 3 ] \
+    || fail "expected every outcome solved"
+[ "$(grep '"type":"outcome"' "$workdir/rows.ndjson" | grep -c '"request_id":[0-9]')" -eq 3 ] \
+    || fail "every outcome row must carry its server-assigned request_id"
+grep -q '"cache_hit":true' "$workdir/rows.ndjson" \
+    || fail "the repeated request must be served from the route cache"
+
+stats=$(grep '"type":"stats"' "$workdir/rows.ndjson") || fail "no stats row"
+for want in '"received":3' '"admitted":3' '"completed":3' '"solved":3' \
+            '"failed":0' '"in_flight":0' '"queue_depth":0'; do
+    echo "$stats" | grep -q "$want" || fail "stats row missing $want: $stats"
+done
+grep -q '"type":"drain"' "$workdir/rows.ndjson" || fail "no drain row"
+
+# drain shuts the daemon down; it must exit 0 on its own.
+wait "$daemon_pid"
+daemon_pid=""
+echo "service_e2e: OK ($addr)"
