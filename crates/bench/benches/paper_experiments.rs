@@ -11,7 +11,9 @@
 use bench::{
     bench_budget, fig3, fig3_mutants, pigeonhole_cnf, placement_wcnf, planted_cnf, small_workloads,
 };
-use circuit::{Objective, Parallelism, RepeatedStructure, RouteRequest, Router, Slicing};
+use circuit::{
+    Objective, Parallelism, RepeatedStructure, RouteRequest, Router, SearchStrategy, Slicing,
+};
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use routers::{BoxedRouter, RouterRegistry};
 use sat::{
@@ -369,6 +371,45 @@ fn portfolio_width_request(c: &mut Criterion) {
     group.finish();
 }
 
+/// Adaptive dispatch: the feature-sized `Auto` plan against a forced
+/// serial linear solve and a forced 4-wide race, on one small family
+/// (fig3, below the small-instance gate — the dispatcher degenerates to
+/// exactly the serial linear solve, so `auto` must track `serial`) and
+/// one hard family (above it — the dispatcher races heterogeneous
+/// workers, so `auto` must be no slower than the best forced config).
+fn dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatch");
+    group.sample_size(10);
+    let graph = arch::devices::tokyo_minus();
+    let router = create("nl-satmap");
+    let families = [
+        ("fig3", fig3()),
+        (
+            "random12",
+            circuit::generators::random_local(5, 12, 4, 0.1, 3),
+        ),
+    ];
+    let configs = [
+        ("auto", Parallelism::Auto, SearchStrategy::Race),
+        ("serial", Parallelism::Serial, SearchStrategy::Linear),
+        ("width4", Parallelism::Width(4), SearchStrategy::Race),
+    ];
+    for (family, circuit) in &families {
+        for (label, parallelism, strategy) in configs {
+            group.bench_with_input(BenchmarkId::new(label, family), circuit, |b, circ| {
+                b.iter(|| {
+                    router.route_request(
+                        &route(circ, &graph)
+                            .with_parallelism(parallelism)
+                            .with_strategy(strategy),
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
 /// Warm-start re-routing (the encode/solve split): the mutate-one-gate
 /// Fig. 3 family routed three ways. `cold` encodes and solves each member
 /// from scratch; `warm` re-solves from a forked prior session (encoding
@@ -447,6 +488,7 @@ criterion_group!(
     sharing_race,
     arena_clone_vs_reemit,
     maxsat_strategies,
+    dispatch,
     warmstart
 );
 

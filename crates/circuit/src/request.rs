@@ -849,6 +849,13 @@ impl RouteOutcome {
             Some(s) => out.push_str(&format!(",\"strategy\":\"{}\"", escape_json(s))),
             None => out.push_str(",\"strategy\":null"),
         }
+        out.push_str(&format!(",\"dispatch_width\":{}", t.dispatch_width));
+        match t.dispatch_mix {
+            Some(m) => out.push_str(&format!(",\"dispatch_mix\":\"{}\"", escape_json(m))),
+            None => out.push_str(",\"dispatch_mix\":null"),
+        }
+        out.push_str(&format!(",\"dispatch_sharing\":{}", t.dispatch_sharing));
+        out.push_str(&format!(",\"dispatch_hardness\":{}", t.dispatch_hardness));
         out.push_str(",\"diagnostics\":{");
         for (i, (k, v)) in self.diagnostics.iter().enumerate() {
             if i > 0 {
@@ -1035,6 +1042,10 @@ mod tests {
         assert!(json.contains("\"router\":\"satmap\""));
         assert!(json.contains("\"solved\":true"));
         assert!(json.contains("\"error\":null"));
+        assert!(json.contains("\"dispatch_width\":0"));
+        assert!(json.contains("\"dispatch_mix\":null"));
+        assert!(json.contains("\"dispatch_sharing\":false"));
+        assert!(json.contains("\"dispatch_hardness\":0"));
         assert!(json.contains("\"diagnostics\":{\"slice\":\"25\"}"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }

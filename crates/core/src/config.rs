@@ -19,6 +19,17 @@ pub(crate) fn engine_strategy(strategy: SearchStrategy) -> maxsat::Strategy {
     }
 }
 
+/// Maps the request-level parallelism knob onto the dispatcher's width
+/// hint: `Serial` and `Width(n)` pin the total worker count, `Auto` lets
+/// the instance features decide.
+pub(crate) fn width_hint(parallelism: Parallelism) -> maxsat::WidthHint {
+    match parallelism {
+        Parallelism::Serial => maxsat::WidthHint::Forced(1),
+        Parallelism::Width(n) => maxsat::WidthHint::Forced(n.max(1)),
+        Parallelism::Auto => maxsat::WidthHint::Auto,
+    }
+}
+
 /// Construction-time defaults of the SATMAP router.
 ///
 /// Everything here can be overridden per request through
@@ -105,10 +116,11 @@ impl SatMapConfig {
             swaps_per_gap: request.swaps_per_gap().unwrap_or(self.swaps_per_gap).max(1),
             backtrack_limit: self.backtrack_limit,
             objective: request.objective().clone(),
-            // The portfolio width is left unset here: it is resolved per
-            // solver call from the hint *and the instance size* (see
-            // [`Parallelism::resolve_for_instance`]), so `Auto` can solve
-            // small encodings inline instead of paying the race overhead.
+            // The portfolio width is left unset here: the instance-feature
+            // dispatcher resolves the hint into a concrete worker plan per
+            // solver call (see [`Resolved::options_for`]), so `Auto` can
+            // solve small encodings inline instead of paying the race
+            // overhead.
             options: maxsat::SolveOptions::default()
                 .with_totalizer_units(request.totalizer_units().unwrap_or(self.totalizer_units))
                 .with_strategy(engine_strategy(request.strategy())),
@@ -132,12 +144,33 @@ pub(crate) struct Resolved {
 }
 
 impl Resolved {
-    /// The engine options for one solver call on an instance of
-    /// `instance_size` (variables + clauses): the shared knobs plus the
-    /// portfolio width the parallelism hint resolves to at that size.
-    pub fn options_for_instance(&self, instance_size: usize) -> maxsat::SolveOptions {
+    /// The engine options for one solver call: the shared knobs plus the
+    /// concrete worker plan the instance-feature dispatcher resolves the
+    /// parallelism hint and strategy to (see [`maxsat::dispatch`]).
+    ///
+    /// `Serial` and `Width(n)` pin the total worker count; `Auto` lets
+    /// the features decide. The plan rides along in the options so the
+    /// engine executes exactly what was dispatched (and stamps it into
+    /// the telemetry).
+    pub fn options_for(&self, features: maxsat::InstanceFeatures) -> maxsat::SolveOptions {
+        let plan = maxsat::dispatch::plan(
+            &features,
+            self.options.strategy,
+            width_hint(self.parallelism),
+        );
         self.options
-            .with_portfolio_width(self.parallelism.resolve_for_instance(instance_size))
+            .with_portfolio_width(plan.total_width())
+            .with_dispatch(plan)
+    }
+
+    /// [`Resolved::options_for`] when only the instance size (variables +
+    /// clauses) is known — the features carry just that signal.
+    #[cfg(test)]
+    pub fn options_for_instance(&self, instance_size: usize) -> maxsat::SolveOptions {
+        self.options_for(maxsat::InstanceFeatures {
+            vars: instance_size,
+            ..maxsat::InstanceFeatures::default()
+        })
     }
 }
 

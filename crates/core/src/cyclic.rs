@@ -201,7 +201,7 @@ impl<B: SatBackend + Default + Send> CyclicSatMap<B> {
             );
             enc.require_cyclic();
             telemetry.encode_time += encode_start.elapsed();
-            let options = p.options_for_instance(crate::solver::instance_size(&enc));
+            let options = p.options_for(crate::solver::instance_features(&enc));
             let out = maxsat::solve_with_options::<B>(enc.instance(), budget, &options);
             telemetry.absorb(&out.telemetry);
             if matches!(out.status, MaxSatStatus::Feasible) {
@@ -300,7 +300,7 @@ impl<B: SatBackend + Default + Send> CyclicSatMap<B> {
             enc.pin_initial_map(from);
             enc.pin_final_map(to);
             telemetry.encode_time += encode_start.elapsed();
-            let options = p.options_for_instance(crate::solver::instance_size(&enc));
+            let options = p.options_for(crate::solver::instance_features(&enc));
             let out = maxsat::solve_with_options::<B>(enc.instance(), budget, &options);
             telemetry.absorb(&out.telemetry);
             if matches!(out.status, MaxSatStatus::Feasible) {
@@ -343,9 +343,13 @@ impl<B: SatBackend + Default + Send> Router for CyclicSatMap<B> {
         let mut proved = true;
         let outcome =
             RouteOutcome::capture(self.name(), || self.route_impl(request, &p, &mut proved));
+        let width = match outcome.telemetry().dispatch_width {
+            0 => p.parallelism.resolve(),
+            w => w as usize,
+        };
         crate::solver::stamp_quality(outcome, proved)
             .with_diagnostic("cycles", request.repetition().map_or(1, |r| r.cycles))
-            .with_diagnostic("portfolio_width", p.parallelism.resolve())
+            .with_diagnostic("portfolio_width", width)
     }
 }
 

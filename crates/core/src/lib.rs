@@ -55,7 +55,7 @@ pub use artifact::{EncodedArtifact, RouteSession};
 pub use circuit::Objective;
 pub use config::SatMapConfig;
 pub use cyclic::CyclicSatMap;
-pub use solver::{encoding_estimate, SatMap, ENCODING_GUARD_LIMIT};
+pub use solver::{encoding_estimate, plan_ceiling, planned_width, SatMap, ENCODING_GUARD_LIMIT};
 
 /// SATMAP over a diversified SAT portfolio: every MaxSAT call can race
 /// multiple differently-configured CDCL workers and takes the first

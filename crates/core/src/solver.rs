@@ -94,10 +94,53 @@ struct SliceState {
 /// How many slice encodings stay resident for backtracking.
 const ENCODING_WINDOW: usize = 4;
 
-/// Variables + hard clauses of an encoding — the size measure
-/// [`circuit::Parallelism::resolve_for_instance`] gates the portfolio on.
-pub(crate) fn instance_size(enc: &QmrEncoding) -> usize {
-    enc.instance().num_vars() + enc.instance().hard_clauses().len()
+/// The dispatch features of a built encoding: the exact WCNF counts the
+/// instance-feature dispatcher sizes the worker plan from (see
+/// [`maxsat::dispatch`]).
+pub(crate) fn instance_features(enc: &QmrEncoding) -> maxsat::InstanceFeatures {
+    maxsat::InstanceFeatures::of(enc.instance())
+}
+
+/// The total worker count the instance-feature dispatcher would resolve
+/// for `circuit` on `graph` *before* any encoding is built: the features
+/// carry only the O(1) signals (device size and [`encoding_estimate`]),
+/// so admission control can price a request's parallelism without paying
+/// the encode cost. The post-encode dispatch re-decides from the exact
+/// counts, but never exceeds a forced hint, so this is a safe multiplier
+/// for capacity planning.
+pub fn planned_width(
+    circuit: &Circuit,
+    graph: &ConnectivityGraph,
+    parallelism: circuit::Parallelism,
+    strategy: circuit::SearchStrategy,
+    swaps_per_gap: usize,
+) -> usize {
+    let features = maxsat::InstanceFeatures::default()
+        .with_device(graph.num_qubits())
+        .with_encoding_estimate(encoding_estimate(circuit, graph, swaps_per_gap));
+    maxsat::dispatch::plan(
+        &features,
+        crate::config::engine_strategy(strategy),
+        crate::config::width_hint(parallelism),
+    )
+    .total_width()
+}
+
+/// The widest worker plan the dispatcher can resolve under `parallelism`
+/// and `strategy` — the per-request core occupancy a capacity planner
+/// must assume without seeing the instance (the dispatcher only ever
+/// *narrows* from here as instances get easier).
+pub fn plan_ceiling(parallelism: circuit::Parallelism, strategy: circuit::SearchStrategy) -> usize {
+    let hardest = maxsat::InstanceFeatures {
+        vars: maxsat::dispatch::MEDIUM_INSTANCE as usize,
+        ..maxsat::InstanceFeatures::default()
+    };
+    maxsat::dispatch::plan(
+        &hardest,
+        crate::config::engine_strategy(strategy),
+        crate::config::width_hint(parallelism),
+    )
+    .total_width()
 }
 
 /// Ceiling on [`encoding_estimate`] above which a *budgeted* request is
@@ -205,7 +248,7 @@ impl<B: SatBackend + Default + Send> SatMap<B> {
         budget: &ResourceBudget,
         telemetry: &mut SolverTelemetry,
     ) -> maxsat::MaxSatOutcome {
-        let options = p.options_for_instance(instance_size(enc));
+        let options = p.options_for(instance_features(enc));
         let out = maxsat::solve_with_options::<B>(enc.instance(), budget, &options);
         telemetry.absorb(&out.telemetry);
         out
@@ -367,7 +410,7 @@ impl<B: SatBackend + Default + Send> SatMap<B> {
                 );
             }
             let budget = p.budget.arm();
-            let options = p.options_for_instance(instance_size(artifact.encoding()));
+            let options = p.options_for(instance_features(artifact.encoding()));
             let out =
                 maxsat::solve_with_session::<B>(artifact.instance(), &budget, &options, session);
             telemetry.absorb(&out.telemetry);
@@ -424,7 +467,7 @@ impl<B: SatBackend + Default + Send> SatMap<B> {
             },
         };
         let budget = p.budget.arm();
-        let options = p.options_for_instance(instance_size(artifact.encoding()));
+        let options = p.options_for(instance_features(artifact.encoding()));
         let out =
             maxsat::solve_with_session::<B>(artifact.instance(), &budget, &options, &mut session);
         telemetry.absorb(&out.telemetry);
@@ -437,15 +480,22 @@ impl<B: SatBackend + Default + Send> SatMap<B> {
     }
 
     /// The diagnostics every SATMAP outcome carries, regardless of which
-    /// entry point produced it.
+    /// entry point produced it. The reported width is the one the
+    /// dispatcher actually resolved (peak across the call tree); outcomes
+    /// that never reached a solver call (validation errors, admission
+    /// shedding) fall back to the request-level hint.
     fn stamp_diagnostics(&self, outcome: RouteOutcome, p: &Resolved) -> RouteOutcome {
+        let width = match outcome.telemetry().dispatch_width {
+            0 => p.parallelism.resolve(),
+            w => w as usize,
+        };
         outcome
             .with_diagnostic(
                 "slice_size",
                 p.slice_size.map_or("none".into(), |s| s.to_string()),
             )
             .with_diagnostic("swaps_per_gap", p.swaps_per_gap)
-            .with_diagnostic("portfolio_width", p.parallelism.resolve())
+            .with_diagnostic("portfolio_width", width)
             .with_diagnostic("strategy", p.options.strategy.name())
     }
 
@@ -573,7 +623,7 @@ impl<B: SatBackend + Default + Send> SatMap<B> {
                         let retry = maxsat::solve_with_options::<B>(
                             prev_enc.instance(),
                             budget,
-                            &p.options_for_instance(instance_size(prev_enc)),
+                            &p.options_for(instance_features(prev_enc)),
                         );
                         telemetry.absorb(&retry.telemetry);
                         if matches!(retry.status, MaxSatStatus::Feasible) {

@@ -1,0 +1,368 @@
+//! Instance-feature dispatch: right-sizing the solver portfolio per call.
+//!
+//! The bench data that motivated this module is unambiguous: the parallel
+//! machinery *loses* on easy instances (a width-4 portfolio is ~1.4x
+//! slower than serial on fig3, sharing trails no-sharing, and the strategy
+//! race trails plain linear search). Solver effort should be spent where
+//! the instance is hard — so instead of resolving `Parallelism::Auto` and
+//! `Strategy::Race` with fixed rules, the engine computes cheap
+//! [`InstanceFeatures`] and turns them into a concrete [`DispatchPlan`]:
+//! how many linear-search workers, how many core-guided workers, and
+//! whether they share clauses.
+//!
+//! The tiers (measured in variables + hard clauses, or the O(1)
+//! `encoding_estimate` before an encoding exists):
+//!
+//! * **small** (below [`SMALL_INSTANCE`], the same gate as
+//!   [`sat::SharingConfig::min_instance_size`]) — one linear worker, no
+//!   sharing, no race: the per-call overhead of threads and exchanges
+//!   exceeds the whole solve time.
+//! * **medium** (below [`MEDIUM_INSTANCE`]) — at most two workers; a race
+//!   runs one linear against one core-guided worker with sharing and
+//!   bound exchange.
+//! * **hard** — the full [`sat::auto_width`] worker budget, split across
+//!   a heterogeneous linear + core-guided portfolio.
+//!
+//! An explicit width ([`WidthHint::Forced`], from `Parallelism::Serial`
+//! or `Parallelism::Width`) is always honored — the dispatcher only
+//! decides the strategy mix and sharing for it.
+
+use crate::strategy::Strategy;
+use crate::wcnf::WcnfInstance;
+
+/// Hardness (variables + hard clauses) below which a request is *small*:
+/// solved inline by one linear worker with sharing off. Deliberately the
+/// same constant as the portfolio's sharing gate
+/// ([`sat::DEFAULT_MIN_INSTANCE_SIZE`]) so the two layers agree on what
+/// "too small to parallelize" means.
+pub const SMALL_INSTANCE: u64 = sat::DEFAULT_MIN_INSTANCE_SIZE as u64;
+
+/// Hardness below which a request is *medium*: at most two workers.
+pub const MEDIUM_INSTANCE: u64 = 4 * SMALL_INSTANCE;
+
+/// Diversification seed of the core-guided worker group in a heterogeneous
+/// race (the linear group keeps seed 0, the historical base
+/// configuration). A stable constant so fault-injection tests can target
+/// exactly the core-guided group via [`sat::FaultPlan`]'s `panic_tag`.
+pub const CORE_ROLE_SEED: u64 = 0xC0DE_5EED_0000_0001;
+
+/// Cheap, O(instance-header) features the dispatcher sizes a plan from.
+///
+/// Either side can be absent: before an encoding exists only the device
+/// size and the O(1) encoding estimate are known; once the WCNF is built,
+/// [`InstanceFeatures::of`] reads the exact counts.
+///
+/// # Examples
+///
+/// ```
+/// use maxsat::{InstanceFeatures, WcnfInstance};
+/// let mut inst = WcnfInstance::new();
+/// let a = inst.new_var().positive();
+/// inst.add_hard([a]);
+/// inst.add_soft(3, [!a]);
+/// let f = InstanceFeatures::of(&inst);
+/// assert_eq!(f.vars, 1);
+/// assert_eq!(f.hard_clauses, 1);
+/// assert_eq!(f.weighted_softs, 1);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InstanceFeatures {
+    /// Number of variables in the instance.
+    pub vars: usize,
+    /// Number of hard clauses.
+    pub hard_clauses: usize,
+    /// Number of soft clauses.
+    pub soft_clauses: usize,
+    /// Soft clauses whose weight differs from 1 (a weighted objective —
+    /// the families where core-guided search pays off most).
+    pub weighted_softs: usize,
+    /// Physical qubits of the target device, when routing (0 otherwise).
+    pub device_qubits: usize,
+    /// O(1) upper-bound proxy for the encoding size
+    /// (`satmap::encoding_estimate`), used as the hardness signal before
+    /// any encoding is built.
+    pub encoding_estimate: usize,
+}
+
+impl InstanceFeatures {
+    /// Reads the exact counts from a built WCNF instance.
+    pub fn of(instance: &WcnfInstance) -> Self {
+        InstanceFeatures {
+            vars: instance.num_vars(),
+            hard_clauses: instance.hard_clauses().len(),
+            soft_clauses: instance.soft_clauses().len(),
+            weighted_softs: instance
+                .soft_clauses()
+                .iter()
+                .filter(|s| s.weight != 1)
+                .count(),
+            device_qubits: 0,
+            encoding_estimate: 0,
+        }
+    }
+
+    /// Returns a copy annotated with the target device size.
+    pub fn with_device(mut self, qubits: usize) -> Self {
+        self.device_qubits = qubits;
+        self
+    }
+
+    /// Returns a copy annotated with the O(1) encoding-size estimate.
+    pub fn with_encoding_estimate(mut self, estimate: usize) -> Self {
+        self.encoding_estimate = estimate;
+        self
+    }
+
+    /// The scalar hardness signal the tiers cut on: variables + hard
+    /// clauses when the instance is built (the portfolio's own
+    /// instance-size measure), falling back to the encoding estimate when
+    /// only pre-encode features are known.
+    pub fn hardness(&self) -> u64 {
+        let built = self.vars + self.hard_clauses;
+        if built > 0 {
+            built as u64
+        } else {
+            self.encoding_estimate as u64
+        }
+    }
+}
+
+/// How the caller constrained the worker count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WidthHint {
+    /// No constraint: the dispatcher sizes the plan from the features
+    /// (`Parallelism::Auto`).
+    Auto,
+    /// An explicit total worker count (`Parallelism::Serial` is
+    /// `Forced(1)`, `Parallelism::Width(n)` is `Forced(n)`).
+    Forced(usize),
+}
+
+/// A concrete worker plan: how many workers run each strategy, and
+/// whether they cooperate through clause sharing. Produced by [`plan`]
+/// and carried into the engine via
+/// [`crate::SolveOptions::with_dispatch`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DispatchPlan {
+    /// Workers running the model-improving linear SAT-UNSAT search.
+    pub linear_width: usize,
+    /// Workers running the OLL core-guided search.
+    pub core_width: usize,
+    /// Whether the workers exchange learned clauses (and, across strategy
+    /// groups, bounds).
+    pub sharing: bool,
+    /// The hardness signal the plan was sized from (recorded for
+    /// telemetry rows, so per-family bias mining has data).
+    pub hardness: u64,
+}
+
+impl DispatchPlan {
+    /// Total worker count across both strategy groups.
+    pub fn total_width(&self) -> usize {
+        self.linear_width + self.core_width
+    }
+
+    /// Stable label of the strategy mix for telemetry rows.
+    pub fn mix_label(&self) -> &'static str {
+        match (self.linear_width, self.core_width) {
+            (_, 0) => "linear",
+            (0, _) => "core-guided",
+            _ => "linear+core-guided",
+        }
+    }
+}
+
+impl Default for DispatchPlan {
+    /// The conservative plan: one linear worker, no sharing.
+    fn default() -> Self {
+        DispatchPlan {
+            linear_width: 1,
+            core_width: 0,
+            sharing: false,
+            hardness: 0,
+        }
+    }
+}
+
+/// Resolves features, the requested strategy, and the caller's width hint
+/// into a concrete worker plan.
+///
+/// * `Auto` widths scale with hardness: 1 below [`SMALL_INSTANCE`], at
+///   most 2 below [`MEDIUM_INSTANCE`], the machine-sized
+///   [`sat::auto_width`] beyond; forced widths are honored as-is.
+/// * Sharing turns on at [`SMALL_INSTANCE`] — the same gate the portfolio
+///   applies internally, now decided once and recorded in the plan — and
+///   is always on for a mixed plan, whose whole point is cross-strategy
+///   cooperation.
+/// * `Strategy::Race` on a small `Auto` request degenerates to a single
+///   linear worker (the race overhead loses there, per the bench data);
+///   otherwise the width splits into a heterogeneous linear + core-guided
+///   worker set, the linear group keeping the rounding benefit. A forced
+///   width of 1 still races one worker per strategy — an explicit
+///   race request always gets both strategies.
+///
+/// # Examples
+///
+/// ```
+/// use maxsat::{dispatch, InstanceFeatures, Strategy, WidthHint};
+/// let small = InstanceFeatures { vars: 100, hard_clauses: 50, ..Default::default() };
+/// let p = dispatch::plan(&small, Strategy::Race, WidthHint::Auto);
+/// assert_eq!((p.linear_width, p.core_width), (1, 0));
+/// assert!(!p.sharing);
+/// let forced = dispatch::plan(&small, Strategy::Race, WidthHint::Forced(4));
+/// assert_eq!((forced.linear_width, forced.core_width), (2, 2));
+/// ```
+pub fn plan(features: &InstanceFeatures, strategy: Strategy, hint: WidthHint) -> DispatchPlan {
+    let hardness = features.hardness();
+    let auto_total = if hardness < SMALL_INSTANCE {
+        1
+    } else if hardness < MEDIUM_INSTANCE {
+        sat::auto_width().min(2)
+    } else {
+        sat::auto_width()
+    };
+    let total = match hint {
+        WidthHint::Forced(n) => n.max(1),
+        WidthHint::Auto => auto_total,
+    };
+    let (linear_width, core_width) = match strategy {
+        Strategy::LinearSatUnsat => (total, 0),
+        Strategy::CoreGuided => (0, total),
+        Strategy::Race => {
+            if hint == WidthHint::Auto && hardness < SMALL_INSTANCE {
+                // The race overhead loses on small instances; plain
+                // linear search is the measured winner there.
+                (total, 0)
+            } else {
+                (total.div_ceil(2), (total / 2).max(1))
+            }
+        }
+    };
+    // Sharing pays its overhead back above the small-instance gate; a
+    // *mixed* plan additionally always shares — the cross-strategy
+    // exchange is the point of racing heterogeneous groups (and the
+    // historical race behaviour), whatever the instance size.
+    let sharing = hardness >= SMALL_INSTANCE || (linear_width > 0 && core_width > 0);
+    DispatchPlan {
+        linear_width,
+        core_width,
+        sharing,
+        hardness,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn features(hardness: u64) -> InstanceFeatures {
+        InstanceFeatures {
+            vars: hardness as usize,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn small_auto_requests_resolve_to_one_linear_worker_without_sharing() {
+        for strategy in [
+            Strategy::LinearSatUnsat,
+            Strategy::CoreGuided,
+            Strategy::Race,
+        ] {
+            let p = plan(&features(SMALL_INSTANCE - 1), strategy, WidthHint::Auto);
+            assert_eq!(p.total_width(), 1, "{strategy:?}");
+            assert!(!p.sharing, "{strategy:?}");
+        }
+        // The race specifically degenerates to linear — no second thread.
+        let p = plan(&features(10), Strategy::Race, WidthHint::Auto);
+        assert_eq!((p.linear_width, p.core_width), (1, 0));
+        assert_eq!(p.mix_label(), "linear");
+    }
+
+    #[test]
+    fn hardness_scales_auto_width_through_the_tiers() {
+        let medium = plan(
+            &features(SMALL_INSTANCE),
+            Strategy::LinearSatUnsat,
+            WidthHint::Auto,
+        );
+        assert!(medium.total_width() <= 2);
+        assert!(medium.sharing);
+        let hard = plan(
+            &features(MEDIUM_INSTANCE),
+            Strategy::LinearSatUnsat,
+            WidthHint::Auto,
+        );
+        assert_eq!(hard.total_width(), sat::auto_width());
+        assert!(hard.total_width() >= medium.total_width());
+    }
+
+    #[test]
+    fn forced_widths_are_honored_and_split_across_the_race() {
+        // An explicit width is never second-guessed, only mixed.
+        let p = plan(&features(10), Strategy::Race, WidthHint::Forced(3));
+        assert_eq!((p.linear_width, p.core_width), (2, 1));
+        assert_eq!(p.total_width(), 3);
+        assert_eq!(p.mix_label(), "linear+core-guided");
+        assert!(p.sharing, "mixed plans always share, whatever the size");
+        // A forced serial race still runs one worker per strategy (the
+        // historical race shape): the caller explicitly asked to race.
+        let serial = plan(&features(10), Strategy::Race, WidthHint::Forced(1));
+        assert_eq!((serial.linear_width, serial.core_width), (1, 1));
+        // Non-race strategies take the width whole.
+        let linear = plan(
+            &features(10),
+            Strategy::LinearSatUnsat,
+            WidthHint::Forced(4),
+        );
+        assert_eq!((linear.linear_width, linear.core_width), (4, 0));
+        let core = plan(&features(10), Strategy::CoreGuided, WidthHint::Forced(4));
+        assert_eq!((core.linear_width, core.core_width), (0, 4));
+        assert_eq!(core.mix_label(), "core-guided");
+        // Width 0 clamps to 1 like everywhere else in the stack.
+        assert_eq!(
+            plan(
+                &features(10),
+                Strategy::LinearSatUnsat,
+                WidthHint::Forced(0)
+            )
+            .total_width(),
+            1
+        );
+    }
+
+    #[test]
+    fn hardness_falls_back_to_the_encoding_estimate_before_encoding() {
+        let pre_encode = InstanceFeatures::default()
+            .with_device(20)
+            .with_encoding_estimate(MEDIUM_INSTANCE as usize);
+        assert_eq!(pre_encode.hardness(), MEDIUM_INSTANCE);
+        let built = features(42).with_encoding_estimate(MEDIUM_INSTANCE as usize);
+        assert_eq!(built.hardness(), 42, "exact counts win once built");
+    }
+
+    #[test]
+    fn features_of_counts_weighted_softs() {
+        let mut inst = WcnfInstance::new();
+        let a = inst.new_var().positive();
+        let b = inst.new_var().positive();
+        inst.add_hard([a, b]);
+        inst.add_soft(1, [!a]);
+        inst.add_soft(5, [!b]);
+        let f = InstanceFeatures::of(&inst);
+        assert_eq!(f.vars, 2);
+        assert_eq!(f.hard_clauses, 1);
+        assert_eq!(f.soft_clauses, 2);
+        assert_eq!(f.weighted_softs, 1);
+        assert_eq!(f.hardness(), 3);
+    }
+
+    #[test]
+    fn plan_is_deterministic_and_recorded() {
+        let f = features(SMALL_INSTANCE + 7);
+        let a = plan(&f, Strategy::Race, WidthHint::Forced(4));
+        let b = plan(&f, Strategy::Race, WidthHint::Forced(4));
+        assert_eq!(a, b);
+        assert_eq!(a.hardness, SMALL_INSTANCE + 7);
+    }
+}

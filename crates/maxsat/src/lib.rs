@@ -34,17 +34,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dispatch;
 pub mod encodings;
 mod session;
 mod solve;
 pub mod strategy;
 mod wcnf;
 
+pub use dispatch::{DispatchPlan, InstanceFeatures, WidthHint};
 pub use sat::{ResourceBudget, SolverTelemetry};
 pub use session::MaxSatSession;
 pub use solve::{
     solve, solve_with_backend, solve_with_options, solve_with_session, MaxSatOutcome, MaxSatStatus,
     SolveOptions,
 };
-pub use strategy::{CoreGuided, LinearSatUnsat, SearchContext, SearchStrategy, Strategy};
+pub use strategy::{
+    CoreGuided, LinearSatUnsat, RaceBounds, SearchContext, SearchStrategy, Strategy,
+};
 pub use wcnf::{SoftClause, WcnfInstance};

@@ -16,8 +16,11 @@
 
 use sat::{ResourceBudget, SatBackend, SolverTelemetry};
 
+use crate::dispatch::{self, DispatchPlan, InstanceFeatures, WidthHint};
 use crate::session::MaxSatSession;
-use crate::strategy::{race, CoreGuided, LinearSatUnsat, SearchContext, SearchStrategy, Strategy};
+use crate::strategy::{
+    run_plan, CoreGuided, LinearSatUnsat, SearchContext, SearchStrategy, Strategy,
+};
 use crate::wcnf::WcnfInstance;
 
 /// Status of a completed MaxSAT search.
@@ -58,6 +61,11 @@ pub struct SolveOptions {
     /// Which search strategy drives the optimization (linear SAT-UNSAT by
     /// default; see [`Strategy`]).
     pub strategy: Strategy,
+    /// A pre-computed worker plan from the instance-feature dispatcher
+    /// (see [`crate::dispatch`]). `None` makes the engine compute one from
+    /// the instance itself; the routing layers pass richer features
+    /// (device size, encoding estimate) and stamp the plan here.
+    pub dispatch: Option<DispatchPlan>,
 }
 
 impl Default for SolveOptions {
@@ -66,6 +74,7 @@ impl Default for SolveOptions {
             totalizer_units: 4000,
             portfolio_width: None,
             strategy: Strategy::default(),
+            dispatch: None,
         }
     }
 }
@@ -90,6 +99,33 @@ impl SolveOptions {
         self.strategy = strategy;
         self
     }
+
+    /// Returns a copy carrying a pre-computed dispatch plan (see
+    /// [`crate::dispatch::plan`]).
+    pub fn with_dispatch(mut self, plan: DispatchPlan) -> Self {
+        self.dispatch = Some(plan);
+        self
+    }
+}
+
+/// The plan this call runs under: the caller's pre-computed plan when
+/// present, otherwise one sized from the instance's own features.
+fn resolved_plan(instance: &WcnfInstance, options: &SolveOptions) -> DispatchPlan {
+    options.dispatch.unwrap_or_else(|| {
+        let hint = options
+            .portfolio_width
+            .map_or(WidthHint::Auto, WidthHint::Forced);
+        dispatch::plan(&InstanceFeatures::of(instance), options.strategy, hint)
+    })
+}
+
+/// Records the dispatch decision on the outcome's telemetry so it reaches
+/// `RouteOutcome::to_json` and the NDJSON rows.
+fn stamp_dispatch(outcome: &mut MaxSatOutcome, plan: DispatchPlan) {
+    outcome.telemetry.dispatch_width = plan.total_width() as u32;
+    outcome.telemetry.dispatch_mix = Some(plan.mix_label());
+    outcome.telemetry.dispatch_sharing = plan.sharing;
+    outcome.telemetry.dispatch_hardness = plan.hardness;
 }
 
 /// Result of [`solve`]: status plus the best model and its cost, if any.
@@ -159,13 +195,21 @@ pub fn solve_with_backend<B: SatBackend + Default + Send>(
 /// [`solve`] with an explicit backend and engine tunables: dispatches the
 /// selected [`Strategy`] over a freshly encoded
 /// [`SearchContext`](crate::SearchContext). (`Send` bounds the backend so
-/// [`Strategy::Race`] can run its two racers on scoped threads.)
+/// [`Strategy::Race`] can run its heterogeneous worker groups on scoped
+/// threads.)
+///
+/// [`Strategy::Race`] runs through the unified plan engine
+/// (`crate::strategy::run_plan`): the instance-feature dispatcher sizes
+/// a linear + core-guided worker set (see [`crate::dispatch`]), and small
+/// instances degenerate to a single inline linear search with no race
+/// overhead at all.
 pub fn solve_with_options<B: SatBackend + Default + Send>(
     instance: &WcnfInstance,
     budget: &ResourceBudget,
     options: &SolveOptions,
 ) -> MaxSatOutcome {
-    match options.strategy {
+    let plan = resolved_plan(instance, options);
+    let mut outcome = match options.strategy {
         Strategy::LinearSatUnsat => {
             let mut ctx = SearchContext::<B>::new(instance, budget, options);
             LinearSatUnsat.search(&mut ctx)
@@ -174,8 +218,10 @@ pub fn solve_with_options<B: SatBackend + Default + Send>(
             let mut ctx = SearchContext::<B>::new(instance, budget, options);
             CoreGuided.search(&mut ctx)
         }
-        Strategy::Race => race::<B>(instance, budget, options),
-    }
+        Strategy::Race => run_plan::<B>(instance, budget, options, plan),
+    };
+    stamp_dispatch(&mut outcome, plan);
+    outcome
 }
 
 /// [`solve_with_options`] with warm-start session reuse: a prior solve of
@@ -203,20 +249,24 @@ pub fn solve_with_session<B: SatBackend + Default + Send>(
     options: &SolveOptions,
     session: &mut Option<MaxSatSession<B>>,
 ) -> MaxSatOutcome {
+    let plan = resolved_plan(instance, options);
     if options.strategy == Strategy::Race {
-        return race::<B>(instance, budget, options);
+        let mut outcome = run_plan::<B>(instance, budget, options, plan);
+        stamp_dispatch(&mut outcome, plan);
+        return outcome;
     }
     let resumed = session.take().filter(|s| s.compatible(instance, options));
     let mut ctx = match resumed {
         Some(s) => SearchContext::resume(s, instance, budget, options),
         None => SearchContext::<B>::new(instance, budget, options),
     };
-    let outcome = match options.strategy {
+    let mut outcome = match options.strategy {
         Strategy::LinearSatUnsat => LinearSatUnsat.search(&mut ctx),
         Strategy::CoreGuided => CoreGuided.search(&mut ctx),
         Strategy::Race => unreachable!("race handled above"),
     };
     *session = Some(ctx.into_session(options.strategy, options, &outcome));
+    stamp_dispatch(&mut outcome, plan);
     outcome
 }
 

@@ -15,30 +15,94 @@
 //!   bound walks up one output at a time. The first SAT answer *is* the
 //!   optimum. Strong when the optimum is small and cores are local.
 //!
-//! Neither dominates — which is why [`Strategy::Race`] runs both on
-//! diversified backends and takes the first *proof* (an `Optimal` or
-//! `Unsat` answer); the loser is cancelled through the shared
-//! [`sat::CancelToken`] chain. Every bound in both strategies is passed as
-//! an **assumption**, never asserted as a clause, so each worker's clause
-//! database stays a conservative extension of the shared instance — which
-//! makes it sound for the racers to exchange learned clauses over the
-//! shared variable prefix ([`sat::SharingConfig::var_limit`]): a lemma of
-//! the instance found while refuting one strategy's bound prunes the
-//! other strategy's search too.
+//! Neither dominates — which is why [`Strategy::Race`] runs both. Races
+//! execute through the unified plan engine (`run_plan`): the
+//! instance-feature dispatcher ([`crate::dispatch`]) sizes a worker plan
+//! (how many linear workers, how many core-guided, sharing on or off),
+//! each strategy *group* runs as a [`sat::PortfolioBackend`] worker set
+//! carrying its own [`sat::WorkerRole`] (diversification seed), and the
+//! first group to return a *proof* (an `Optimal` or `Unsat` answer)
+//! cancels the other through the shared [`sat::CancelToken`] chain.
+//! Small instances degenerate to a single inline linear search — no
+//! threads, no exchange, no race overhead at all.
+//!
+//! Every bound in both strategies is passed as an **assumption**, never
+//! asserted as a clause, so each worker's clause database stays a
+//! conservative extension of the shared instance — which makes two kinds
+//! of cooperation sound: racing groups exchange learned clauses over the
+//! shared variable prefix ([`sat::SharingConfig::var_limit`]), and they
+//! exchange *bounds* through [`RaceBounds`] — the linear group receives
+//! the core-guided group's proved lower bound (closing its final UNSAT
+//! call early), the core-guided group receives the incumbent cost
+//! (stopping once the incumbent provably meets its bound).
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use sat::{
     ClauseExchange, ExchangePort, Lit, ResourceBudget, SatBackend, SharingConfig, SolveResult,
-    SolverTelemetry, Stats,
+    SolverTelemetry, Stats, WorkerRole,
 };
 
+use crate::dispatch::{DispatchPlan, CORE_ROLE_SEED};
 use crate::encodings::Totalizer;
 use crate::session::MaxSatSession;
 use crate::solve::{MaxSatOutcome, MaxSatStatus, SolveOptions};
 use crate::wcnf::WcnfInstance;
+
+/// Bounds exchanged between the racing strategy groups of a worker plan,
+/// in quantized cost units (both groups quantize identically — the
+/// quantum depends only on the instance and `totalizer_units`).
+///
+/// Monotone by construction: the lower bound only rises
+/// (`fetch_max`), the incumbent only falls (`fetch_min`) — so a stale
+/// read is always *conservative*, never unsound.
+#[derive(Debug)]
+pub struct RaceBounds {
+    /// Highest lower bound proved by any core-guided worker.
+    lower: AtomicU64,
+    /// Quantized cost of the best model observed by any worker.
+    incumbent: AtomicU64,
+}
+
+impl RaceBounds {
+    /// Fresh bounds: nothing proved (`lower = 0`), no incumbent
+    /// (`incumbent = u64::MAX`).
+    pub fn new() -> Self {
+        RaceBounds {
+            lower: AtomicU64::new(0),
+            incumbent: AtomicU64::new(u64::MAX),
+        }
+    }
+
+    /// Raises the proved lower bound (never lowers it).
+    pub fn publish_lower(&self, q_bound: u64) {
+        self.lower.fetch_max(q_bound, Ordering::Relaxed);
+    }
+
+    /// The highest lower bound published so far.
+    pub fn lower(&self) -> u64 {
+        self.lower.load(Ordering::Relaxed)
+    }
+
+    /// Lowers the incumbent cost (never raises it).
+    pub fn publish_incumbent(&self, q_cost: u64) {
+        self.incumbent.fetch_min(q_cost, Ordering::Relaxed);
+    }
+
+    /// The lowest incumbent cost published so far.
+    pub fn incumbent(&self) -> u64 {
+        self.incumbent.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for RaceBounds {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 /// Which search strategy drives [`crate::solve_with_options`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -49,8 +113,9 @@ pub enum Strategy {
     LinearSatUnsat,
     /// OLL-style core-guided lower-bounding search.
     CoreGuided,
-    /// Race both strategies on separate backends; first proof wins and
-    /// cancels the peer.
+    /// Race both strategies as a heterogeneous worker plan sized by the
+    /// instance-feature dispatcher; first proof wins and cancels the
+    /// peer group (see `run_plan` and [`crate::dispatch`]).
     Race,
 }
 
@@ -102,6 +167,10 @@ pub struct SearchContext<'a, B: SatBackend> {
     /// [`MaxSatSession`] by [`crate::solve_with_session`].
     stashed_totalizer: Option<Totalizer>,
     stashed_active: Option<Vec<(Lit, u64)>>,
+    /// Cross-group bound exchange, attached only when this context races
+    /// inside a heterogeneous worker plan; `None` leaves every bound
+    /// check inert.
+    bounds: Option<Arc<RaceBounds>>,
 }
 
 impl<'a, B: SatBackend + Default> SearchContext<'a, B> {
@@ -176,6 +245,7 @@ impl<'a, B: SatBackend + Default> SearchContext<'a, B> {
             resume_active: None,
             stashed_totalizer: None,
             stashed_active: None,
+            bounds: None,
         }
     }
 
@@ -227,6 +297,7 @@ impl<'a, B: SatBackend + Default> SearchContext<'a, B> {
             resume_active: session.oll_active,
             stashed_totalizer: None,
             stashed_active: None,
+            bounds: None,
         }
     }
 
@@ -332,6 +403,41 @@ impl<'a, B: SatBackend + Default> SearchContext<'a, B> {
         self.solver.set_clause_exchange(Some(port));
     }
 
+    /// Wires the context into a cross-group bound exchange (used by
+    /// `run_plan` when both strategy groups are populated). Models
+    /// observed afterwards publish their quantized cost as the shared
+    /// incumbent.
+    pub fn attach_bounds(&mut self, bounds: Arc<RaceBounds>) {
+        self.bounds = Some(bounds);
+    }
+
+    /// Applies a worker-plan role (strategy label + diversification seed)
+    /// to the backend — how `run_plan` differentiates its strategy
+    /// groups on one backend type.
+    pub fn apply_role(&mut self, role: &WorkerRole) {
+        self.solver.set_worker_role(role);
+    }
+
+    /// The highest lower bound proved by a racing core-guided group (0
+    /// without an attached exchange — the check is inert).
+    pub fn shared_lower_bound(&self) -> u64 {
+        self.bounds.as_ref().map_or(0, |b| b.lower())
+    }
+
+    /// The lowest incumbent cost any racing group observed (`u64::MAX`
+    /// without an attached exchange — the check is inert).
+    pub fn shared_incumbent(&self) -> u64 {
+        self.bounds.as_ref().map_or(u64::MAX, |b| b.incumbent())
+    }
+
+    /// Publishes a proved (quantized) lower bound to the racing peer
+    /// group; a no-op without an attached exchange.
+    pub fn publish_lower_bound(&self, q_bound: u64) {
+        if let Some(bounds) = &self.bounds {
+            bounds.publish_lower(q_bound);
+        }
+    }
+
     /// One SAT call under `assumptions` within the shared budget, with the
     /// solve time and iteration count charged to the context.
     pub fn solve(&mut self, assumptions: &[Lit]) -> SolveResult {
@@ -381,6 +487,11 @@ impl<'a, B: SatBackend + Default> SearchContext<'a, B> {
             self.best_cost = cost;
             self.best_q_cost = q_cost;
             self.best_model = Some(model);
+        }
+        // Any model's quantized cost is a valid upper bound for the
+        // racing peer group, incumbent or not.
+        if let Some(bounds) = &self.bounds {
+            bounds.publish_incumbent(q_cost);
         }
         (cost, q_cost)
     }
@@ -505,6 +616,15 @@ impl SearchStrategy for LinearSatUnsat {
             if ctx.budget_expired() {
                 break ctx.finish_exhausted(self.name());
             }
+            // Bound exchange: once the racing core-guided group has proved
+            // a lower bound our incumbent meets, the incumbent *is* the
+            // quantized optimum — the closing UNSAT call is unnecessary.
+            // (Sound because no quantized model can cost less than a
+            // proved lower bound, and the bound only ever rises.)
+            if ctx.has_model() && ctx.best_q_cost() <= ctx.shared_lower_bound() {
+                let status = ctx.proved_status();
+                break ctx.finish(status, self.name());
+            }
             let assumptions: Vec<Lit> = bound.into_iter().collect();
             match ctx.solve(&assumptions) {
                 SolveResult::Sat => {
@@ -585,9 +705,23 @@ impl SearchStrategy for CoreGuided {
         });
         let mut relaxations: Vec<Totalizer> = Vec::new();
         let mut successors: HashMap<Lit, RelaxSource> = HashMap::new();
+        // Lower bound proved *by this call* (core payments), published to
+        // a racing linear group through the bound exchange. Starts at 0
+        // even on a warm resume — prior payments are implicit in the
+        // reduced weights and were never shared — so everything published
+        // is freshly proved from the conservative-extension clause DB.
+        let mut paid: u64 = 0;
 
         let outcome = loop {
             if ctx.budget_expired() {
+                break ctx.finish_exhausted(self.name());
+            }
+            // Bound exchange: once a racing peer holds a model whose cost
+            // our own lower bound already matches, that incumbent is the
+            // quantized optimum and the peer will prove it — stop burning
+            // budget. No proof is claimed here (this group holds no
+            // model), so the exhausted exit never contends for the win.
+            if ctx.shared_incumbent() <= paid {
                 break ctx.finish_exhausted(self.name());
             }
             let assumptions: Vec<Lit> = active.iter().map(|&(l, _)| l).collect();
@@ -611,6 +745,8 @@ impl SearchStrategy for CoreGuided {
                         .filter_map(|c| active.iter().find(|(l, _)| l == c).map(|&(_, w)| w))
                         .min()
                         .expect("core literals are active assumptions");
+                    paid += min_w;
+                    ctx.publish_lower_bound(paid);
                     // Pay min_w into the lower bound: every core member's
                     // weight drops by it, and members reaching zero retire.
                     for c in &core {
@@ -650,27 +786,56 @@ impl SearchStrategy for CoreGuided {
     }
 }
 
-/// Races [`LinearSatUnsat`] against [`CoreGuided`] on independent backends
-/// within one shared (already armed) budget: the first strategy to return
-/// a *proof* (`Optimal` or `Unsat`) wins and cancels its peer through the
-/// budget's [`sat::CancelToken`] chain. Without a proof, the better
-/// feasible answer is kept (ties favour the linear incumbent).
+/// Runs a [`DispatchPlan`] — the unified execution engine behind
+/// [`Strategy::Race`].
 ///
-/// The racers cooperate: both attach to one [`ClauseExchange`] restricted
-/// to the shared variable prefix, so instance-level lemmas learned while
-/// one strategy refutes its bound prune the other strategy's search too
-/// (sound because each racer's clause database is a conservative
-/// extension of the shared instance — bounds travel as assumptions).
-/// Backends that cannot hold an external port simply race without
-/// cross-strategy sharing; a width-1 [`sat::PortfolioBackend`] rides the
-/// port on its primary, while wider portfolios keep their internal
-/// exchange. A requested `portfolio_width` is *split* between the racers
-/// rather than doubled, so the race honors the caller's worker budget.
-pub(crate) fn race<B: SatBackend + Default + Send>(
+/// Single-group plans (every worker running one strategy) execute
+/// *inline*: one [`SearchContext`] whose backend takes the whole group's
+/// width, no threads, no exchange — this is how small `Auto` requests
+/// escape the race overhead entirely.
+///
+/// Mixed plans race a linear group against a core-guided group within
+/// one shared (already armed) budget: the first group to return a
+/// *proof* (`Optimal` or `Unsat`) wins and cancels its peer through the
+/// budget's [`sat::CancelToken`] chain. Without a proof, the better
+/// feasible answer is kept (ties favour the linear incumbent). Each
+/// group gets a [`WorkerRole`]: the linear group keeps the base seed 0
+/// (the historical default configuration), the core-guided group is
+/// diversified from [`CORE_ROLE_SEED`] — so fault injection and
+/// diagnostics can tell the groups apart.
+///
+/// The groups cooperate two ways, both sound because bounds travel as
+/// assumptions and every clause database stays a conservative extension
+/// of the shared instance:
+///
+/// * when `plan.sharing` is on, both attach to one [`ClauseExchange`]
+///   restricted to the shared variable prefix, so instance-level lemmas
+///   learned while one strategy refutes its bound prune the other
+///   strategy's search too; a width-1 [`sat::PortfolioBackend`] rides
+///   the port on its primary, while wider groups keep their internal
+///   exchange as well;
+/// * a [`RaceBounds`] pair is always attached: the linear group closes
+///   early once its incumbent meets the core-guided group's proved lower
+///   bound, and the core-guided group stops once the shared incumbent
+///   provably meets its bound.
+pub(crate) fn run_plan<B: SatBackend + Default + Send>(
     instance: &WcnfInstance,
     budget: &ResourceBudget,
     options: &SolveOptions,
+    plan: DispatchPlan,
 ) -> MaxSatOutcome {
+    // Single-strategy plans run inline — no race machinery at all.
+    if plan.core_width == 0 {
+        let opts = options.with_portfolio_width(plan.linear_width.max(1));
+        let mut ctx = SearchContext::<B>::new(instance, budget, &opts);
+        return LinearSatUnsat.search(&mut ctx);
+    }
+    if plan.linear_width == 0 {
+        let opts = options.with_portfolio_width(plan.core_width.max(1));
+        let mut ctx = SearchContext::<B>::new(instance, budget, &opts);
+        return CoreGuided.search(&mut ctx);
+    }
+
     let armed = budget.arm();
     let (worker_budget, abort) = armed.cancellable();
     // Both strategies encode the instance identically, so variables below
@@ -684,65 +849,81 @@ pub(crate) fn race<B: SatBackend + Default + Send>(
             .count();
     // Assumption-heavy MaxSAT solving spreads learned clauses over many
     // pseudo-decision levels, inflating LBD well past the portfolio
-    // default — so the racers' exchange accepts glue up to 8 and longer
+    // default — so the groups' exchange accepts glue up to 8 and longer
     // clauses (every export is still a consequence of the shared prefix).
-    let exchange = Arc::new(ClauseExchange::new(
-        2,
-        SharingConfig {
-            lbd_max: 8,
-            max_len: 64,
-            var_limit: Some(shared_vars),
-            ..SharingConfig::default()
-        },
-    ));
+    // The dispatcher decides whether sharing pays at all.
+    let exchange = plan.sharing.then(|| {
+        Arc::new(ClauseExchange::new(
+            2,
+            SharingConfig {
+                lbd_max: 8,
+                max_len: 64,
+                var_limit: Some(shared_vars),
+                ..SharingConfig::default()
+            },
+        ))
+    });
+    // Bound exchange rides even when clause sharing is off: it is two
+    // atomics, free at any instance size.
+    let bounds = Arc::new(RaceBounds::new());
     let first_proof: Mutex<Option<usize>> = Mutex::new(None);
 
-    // The caller budgeted `portfolio_width` workers for *one* engine; the
-    // race must not double that, so the width splits across the racers
-    // (linear gets the rounding benefit as the historical default).
-    let split_width = |keep_larger_half: bool| {
-        let mut opts = *options;
-        opts.portfolio_width = options.portfolio_width.map(|w| {
-            if keep_larger_half {
-                w.div_ceil(2)
-            } else {
-                (w / 2).max(1)
-            }
-        });
-        opts
-    };
-    let racer_options = [split_width(true), split_width(false)];
-
-    let run = |strategy: &dyn Fn(&mut SearchContext<'_, B>) -> MaxSatOutcome, worker: usize| {
-        let mut ctx = SearchContext::<B>::new(instance, &worker_budget, &racer_options[worker]);
+    let run = |strategy: &dyn Fn(&mut SearchContext<'_, B>) -> MaxSatOutcome,
+               group: usize,
+               role: WorkerRole,
+               width: usize| {
+        let opts = options.with_portfolio_width(width);
+        let mut ctx = SearchContext::<B>::new(instance, &worker_budget, &opts);
         debug_assert_eq!(ctx.shared_vars(), shared_vars);
-        ctx.attach_exchange(ExchangePort::new(exchange.clone(), worker));
+        ctx.apply_role(&role);
+        if let Some(exchange) = &exchange {
+            ctx.attach_exchange(ExchangePort::new(exchange.clone(), group));
+        }
+        ctx.attach_bounds(bounds.clone());
         let outcome = strategy(&mut ctx);
         if matches!(outcome.status, MaxSatStatus::Optimal | MaxSatStatus::Unsat) {
             let mut slot = first_proof
                 .lock()
                 .unwrap_or_else(|poisoned| poisoned.into_inner());
             if slot.is_none() {
-                *slot = Some(worker);
+                *slot = Some(group);
                 abort.cancel();
             }
         }
         outcome
     };
 
-    // Each racer runs behind a panic guard: a crashing strategy forfeits
+    // Each group runs behind a panic guard: a crashing strategy forfeits
     // its side of the race (its incumbent dies with it) while the survivor
     // keeps searching — the process never unwinds through the scope.
     let (linear_out, core_out) = std::thread::scope(|scope| {
         let linear = scope.spawn(|| {
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                run(&|ctx| LinearSatUnsat.search(ctx), 0)
+                run(
+                    &|ctx| LinearSatUnsat.search(ctx),
+                    0,
+                    WorkerRole {
+                        label: "linear",
+                        seed: 0,
+                        sharing: None,
+                    },
+                    plan.linear_width,
+                )
             }))
             .ok()
         });
         let core = scope.spawn(|| {
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                run(&|ctx| CoreGuided.search(ctx), 1)
+                run(
+                    &|ctx| CoreGuided.search(ctx),
+                    1,
+                    WorkerRole {
+                        label: "core-guided",
+                        seed: CORE_ROLE_SEED,
+                        sharing: None,
+                    },
+                    plan.core_width,
+                )
             }))
             .ok()
         });
@@ -886,24 +1067,60 @@ mod tests {
         assert_eq!(out.cost, Some(3), "violate the weight-3 soft, keep b");
     }
 
+    /// A forced width-2 plan always races one worker per strategy — the
+    /// path every heterogeneous test drives.
+    fn mixed_plan(inst: &WcnfInstance) -> DispatchPlan {
+        let plan = crate::dispatch::plan(
+            &crate::dispatch::InstanceFeatures::of(inst),
+            Strategy::Race,
+            crate::dispatch::WidthHint::Forced(2),
+        );
+        assert_eq!((plan.linear_width, plan.core_width), (1, 1));
+        plan
+    }
+
     #[test]
     fn race_returns_optimal_and_merges_effort() {
         let inst = weighted_instance();
-        let out = race::<DefaultBackend>(
+        let out = run_plan::<DefaultBackend>(
             &inst,
             &ResourceBudget::unlimited(),
             &SolveOptions::default(),
+            mixed_plan(&inst),
         );
         assert_eq!(out.status, MaxSatStatus::Optimal);
         assert_eq!(out.cost, Some(1));
         assert!(
             out.strategy == "linear-sat-unsat" || out.strategy == "core-guided",
-            "winner must be one of the racers: {}",
+            "winner must be one of the racing groups: {}",
             out.strategy
         );
         assert_eq!(out.telemetry.strategy, Some(out.strategy));
-        // Both racers' SAT calls are charged.
+        // Both groups' SAT calls are charged.
         assert!(out.telemetry.sat_calls >= 2, "{}", out.telemetry);
+    }
+
+    #[test]
+    fn small_auto_race_degenerates_to_inline_linear() {
+        // The dispatcher resolves a small Auto race to one linear worker;
+        // run_plan executes it inline with no race machinery, and the
+        // answer matches the raced answer exactly.
+        let inst = weighted_instance();
+        let plan = crate::dispatch::plan(
+            &crate::dispatch::InstanceFeatures::of(&inst),
+            Strategy::Race,
+            crate::dispatch::WidthHint::Auto,
+        );
+        assert_eq!((plan.linear_width, plan.core_width), (1, 0));
+        let out = run_plan::<DefaultBackend>(
+            &inst,
+            &ResourceBudget::unlimited(),
+            &SolveOptions::default(),
+            plan,
+        );
+        assert_eq!(out.status, MaxSatStatus::Optimal);
+        assert_eq!(out.cost, Some(1));
+        assert_eq!(out.strategy, "linear-sat-unsat");
     }
 
     #[test]
@@ -916,10 +1133,11 @@ mod tests {
         for &l in &lits {
             inst.add_soft(1, [!l]);
         }
-        let out = race::<DefaultBackend>(
+        let out = run_plan::<DefaultBackend>(
             &inst,
             &ResourceBudget::with_time(std::time::Duration::ZERO),
             &SolveOptions::default(),
+            mixed_plan(&inst),
         );
         assert!(matches!(
             out.status,
@@ -934,24 +1152,115 @@ mod tests {
     fn race_survives_panicking_racers_with_a_typed_nonanswer() {
         use sat::chaos::{silence_panic_reports, ChaosBackend, FaultPlan};
         silence_panic_reports();
-        // Both racers build their backend unconfigured (tag 0), so a
-        // tag-0 targeted plan crashes both strategies mid-search; the race
-        // must still return a typed Unknown instead of unwinding.
-        let previous = sat::chaos::install_plan(Some(FaultPlan::seeded(17).panic_tag(0)));
+        // Every solve call panics regardless of role, so both strategy
+        // groups crash mid-search; the race must still return a typed
+        // Unknown instead of unwinding.
+        let previous = sat::chaos::install_plan(Some(FaultPlan::seeded(17).panic_prob(1.0)));
         let inst = weighted_instance();
-        let out = race::<ChaosBackend<DefaultBackend>>(
+        let out = run_plan::<ChaosBackend<DefaultBackend>>(
             &inst,
             &ResourceBudget::unlimited(),
             &SolveOptions::default(),
+            mixed_plan(&inst),
         );
         sat::chaos::install_plan(previous);
         assert_eq!(out.status, MaxSatStatus::Unknown);
         assert_eq!(out.model, None);
         assert_eq!(
             out.telemetry.worker_panics, 2,
-            "both crashed racers are counted"
+            "both crashed groups are counted"
         );
         assert_eq!(out.telemetry.strategy, Some("race"));
+    }
+
+    #[test]
+    fn core_guided_crash_leaves_linear_to_finish() {
+        use sat::chaos::{silence_panic_reports, ChaosBackend, FaultPlan};
+        silence_panic_reports();
+        // Target exactly the core-guided group's role seed: its worker
+        // panics on the first solve call, and the linear group must
+        // finish the race alone with a sound proof. The delay slows the
+        // (untagged) linear group's solves so the core group reliably
+        // reaches its panicking call before the race is decided.
+        let previous = sat::chaos::install_plan(Some(
+            FaultPlan::seeded(23)
+                .panic_tag(CORE_ROLE_SEED)
+                .delay_with(1.0, std::time::Duration::from_millis(20)),
+        ));
+        let inst = weighted_instance();
+        let out = run_plan::<ChaosBackend<DefaultBackend>>(
+            &inst,
+            &ResourceBudget::unlimited(),
+            &SolveOptions::default(),
+            mixed_plan(&inst),
+        );
+        sat::chaos::install_plan(previous);
+        assert_eq!(out.status, MaxSatStatus::Optimal);
+        assert_eq!(out.cost, Some(1));
+        assert_eq!(out.strategy, "linear-sat-unsat");
+        assert_eq!(
+            out.telemetry.worker_panics, 1,
+            "the crashed core-guided group is counted"
+        );
+    }
+
+    #[test]
+    fn race_bounds_are_monotone() {
+        let b = RaceBounds::new();
+        assert_eq!(b.lower(), 0);
+        assert_eq!(b.incumbent(), u64::MAX);
+        b.publish_lower(3);
+        b.publish_lower(2);
+        assert_eq!(b.lower(), 3, "the lower bound never regresses");
+        b.publish_incumbent(9);
+        b.publish_incumbent(12);
+        assert_eq!(b.incumbent(), 9, "the incumbent never regresses");
+    }
+
+    #[test]
+    fn linear_short_circuits_on_the_shared_lower_bound() {
+        // A peer-proved lower bound equal to the optimum lets the linear
+        // search skip its closing UNSAT call: same proof, one call fewer
+        // (the backend is deterministic, so the model sequence matches).
+        let inst = weighted_instance();
+        let plain = search_with(&LinearSatUnsat, &inst);
+        assert_eq!(plain.status, MaxSatStatus::Optimal);
+
+        let mut ctx = SearchContext::<DefaultBackend>::new(
+            &inst,
+            &ResourceBudget::unlimited(),
+            &SolveOptions::default(),
+        );
+        let bounds = Arc::new(RaceBounds::new());
+        bounds.publish_lower(1); // the known quantized optimum
+        ctx.attach_bounds(bounds);
+        let out = LinearSatUnsat.search(&mut ctx);
+        assert_eq!(out.status, MaxSatStatus::Optimal);
+        assert_eq!(out.cost, Some(1));
+        assert_eq!(
+            out.iterations,
+            plain.iterations - 1,
+            "the closing UNSAT call is skipped"
+        );
+    }
+
+    #[test]
+    fn core_guided_early_stop_never_claims_a_proof() {
+        // A shared incumbent at the core-guided group's own lower bound
+        // stops the search immediately — but as an exhausted Unknown,
+        // never as a winning proof (this group holds no model).
+        let inst = weighted_instance();
+        let mut ctx = SearchContext::<DefaultBackend>::new(
+            &inst,
+            &ResourceBudget::unlimited(),
+            &SolveOptions::default(),
+        );
+        let bounds = Arc::new(RaceBounds::new());
+        bounds.publish_incumbent(0);
+        ctx.attach_bounds(bounds);
+        let out = CoreGuided.search(&mut ctx);
+        assert_eq!(out.status, MaxSatStatus::Unknown);
+        assert_eq!(out.iterations, 0, "not a single SAT call is spent");
     }
 
     #[test]

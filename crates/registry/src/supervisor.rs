@@ -89,8 +89,18 @@ pub struct RoutePolicy {
     /// failure instead.
     pub fallback: Option<String>,
     /// Admission ceiling on [`satmap::encoding_estimate`] for budgeted
-    /// requests to encoding-based routers.
+    /// requests to encoding-based routers. The estimate is multiplied by
+    /// the worker count the dispatch plan would run ([`satmap::planned_width`]):
+    /// a width-4 portfolio clones the formula four times, so its memory
+    /// footprint — the quantity the paper's 5 GB cap bounds — scales with
+    /// the plan, not just the instance.
     pub admission_limit: usize,
+    /// Whether retries may widen the worker plan: a `Serial` request whose
+    /// first attempt failed retries under `Parallelism::Auto`, letting the
+    /// dispatcher race a heterogeneous portfolio at the escalated budget.
+    /// Parallelism is excluded from the request fingerprint, so the
+    /// widened retry still warm-starts from the failed attempt's session.
+    pub escalate_plan: bool,
 }
 
 impl Default for RoutePolicy {
@@ -103,6 +113,7 @@ impl Default for RoutePolicy {
             backoff_seed: 0x5EED_0BAD_CAFE,
             fallback: Some("sabre".into()),
             admission_limit: satmap::ENCODING_GUARD_LIMIT,
+            escalate_plan: true,
         }
     }
 }
@@ -214,14 +225,19 @@ impl<B: SatBackend + Default + Send> RouteSupervisor<B> {
         if !ENCODING_ROUTERS.contains(&canonical) || !request.budget().is_limited() {
             return Ok(());
         }
-        let estimate = satmap::encoding_estimate(
+        let swaps_per_gap = request.swaps_per_gap().unwrap_or(1);
+        let estimate = satmap::encoding_estimate(request.circuit(), request.graph(), swaps_per_gap);
+        let width = satmap::planned_width(
             request.circuit(),
             request.graph(),
-            request.swaps_per_gap().unwrap_or(1),
+            request.parallelism(),
+            request.strategy(),
+            swaps_per_gap,
         );
-        if estimate > self.policy.admission_limit {
+        if estimate.saturating_mul(width) > self.policy.admission_limit {
             return Err(RouteError::Overloaded(format!(
-                "encoding estimate {estimate} exceeds the admission limit {}",
+                "encoding estimate {estimate} x planned width {width} exceeds \
+                 the admission limit {}",
                 self.policy.admission_limit
             )));
         }
@@ -314,15 +330,20 @@ impl<B: SatBackend + Default + Send> RouteSupervisor<B> {
         lock_or_recover(&self.sessions).remove(&(canonical, request.fingerprint()));
     }
 
-    /// Scales the request's time budget for attempt `attempt` (1-based).
-    /// Unlimited budgets pass through untouched.
+    /// Scales the request's time budget for attempt `attempt` (1-based);
+    /// unlimited budgets pass through untouched. With
+    /// [`RoutePolicy::escalate_plan`], a retry also releases a `Serial`
+    /// parallelism hint to `Auto`, so the dispatcher can answer the
+    /// escalated attempt with a wider (possibly heterogeneous) worker
+    /// plan. The strategy knob is never touched: changing it would break
+    /// warm-start session compatibility.
     fn escalated_request<'a>(
         &self,
         request: &RouteRequest<'a>,
         base_time: Option<Duration>,
         attempt: u32,
     ) -> RouteRequest<'a> {
-        match base_time {
+        let mut escalated = match base_time {
             Some(t) if attempt > 1 => {
                 let factor = self.policy.escalation.max(1.0).powi(attempt as i32 - 1);
                 request
@@ -330,7 +351,14 @@ impl<B: SatBackend + Default + Send> RouteSupervisor<B> {
                     .with_budget(Duration::from_secs_f64(t.as_secs_f64() * factor))
             }
             _ => request.clone(),
+        };
+        if self.policy.escalate_plan
+            && attempt > 1
+            && request.parallelism() == circuit::Parallelism::Serial
+        {
+            escalated = escalated.with_parallelism(circuit::Parallelism::Auto);
         }
+        escalated
     }
 
     /// One panic-isolated routing attempt. SATMAP family attempts run on
@@ -597,6 +625,57 @@ mod tests {
             !out.solved(),
             "aborted requests must not burn fallback work"
         );
+    }
+
+    #[test]
+    fn planned_width_multiplies_the_admission_footprint() {
+        // Admission prices the whole worker plan, not just one clone of
+        // the instance: the same circuit that fits serially is shed when
+        // an explicit width-4 portfolio would quadruple the footprint.
+        let (c, g) = fig3();
+        let estimate = satmap::encoding_estimate(&c, &g, 1);
+        let supervisor = RouteSupervisor::with_policy(RoutePolicy {
+            admission_limit: estimate * 2,
+            ..RoutePolicy::default()
+        });
+        let serial = RouteRequest::new(&c, &g).with_budget(Duration::from_secs(1));
+        assert!(supervisor.admit("nl-satmap", &serial).is_ok());
+        let wide = serial
+            .clone()
+            .with_parallelism(circuit::Parallelism::Width(4));
+        assert!(matches!(
+            supervisor.admit("nl-satmap", &wide),
+            Err(RouteError::Overloaded(_))
+        ));
+    }
+
+    #[test]
+    fn serial_retries_escalate_to_the_auto_plan() {
+        let (c, g) = fig3();
+        let base_time = Some(Duration::from_secs(1));
+        let base = RouteRequest::new(&c, &g).with_budget(Duration::from_secs(1));
+        let supervisor = RouteSupervisor::new();
+        let first = supervisor.escalated_request(&base, base_time, 1);
+        assert_eq!(first.parallelism(), circuit::Parallelism::Serial);
+        let retry = supervisor.escalated_request(&base, base_time, 2);
+        assert_eq!(
+            retry.parallelism(),
+            circuit::Parallelism::Auto,
+            "a failed serial attempt frees the dispatcher's hand"
+        );
+        // An explicit width is the caller's call — never overridden.
+        let pinned = base
+            .clone()
+            .with_parallelism(circuit::Parallelism::Width(2));
+        let retry = supervisor.escalated_request(&pinned, base_time, 2);
+        assert_eq!(retry.parallelism(), circuit::Parallelism::Width(2));
+        // And the knob can be turned off.
+        let fixed = RouteSupervisor::with_policy(RoutePolicy {
+            escalate_plan: false,
+            ..RoutePolicy::default()
+        });
+        let retry = fixed.escalated_request(&base, base_time, 2);
+        assert_eq!(retry.parallelism(), circuit::Parallelism::Serial);
     }
 
     #[test]

@@ -55,6 +55,18 @@ pub struct SolverTelemetry {
     /// MaxSAT engine only: name of the search strategy that produced the
     /// answer (for a strategy race, the winner). `None` outside MaxSAT.
     pub strategy: Option<&'static str>,
+    /// Total worker count the instance-feature dispatcher resolved for
+    /// this call (0 when no dispatch decision was made, e.g. plain SAT).
+    pub dispatch_width: u32,
+    /// Strategy mix of the dispatched worker plan (`"linear"`,
+    /// `"core-guided"`, or `"linear+core-guided"`); `None` outside the
+    /// dispatched MaxSAT path.
+    pub dispatch_mix: Option<&'static str>,
+    /// Whether the dispatched plan enabled clause sharing.
+    pub dispatch_sharing: bool,
+    /// The instance-hardness signal (vars + hard clauses, or the encoding
+    /// estimate pre-encode) the dispatcher sized the plan from.
+    pub dispatch_hardness: u64,
     /// Whether this outcome was served from a route cache without solving.
     pub cache_hit: bool,
     /// Whether the solve warm-started from a prior session's clause DB and
@@ -100,6 +112,15 @@ impl SolverTelemetry {
         if child.strategy.is_some() {
             self.strategy = child.strategy;
         }
+        // The dispatch decision of the widest child describes the call
+        // tree (retries re-dispatch; the sliced loop dispatches per
+        // slice — the peak width is what capacity planning needs).
+        self.dispatch_width = self.dispatch_width.max(child.dispatch_width);
+        if child.dispatch_mix.is_some() {
+            self.dispatch_mix = child.dispatch_mix;
+        }
+        self.dispatch_sharing |= child.dispatch_sharing;
+        self.dispatch_hardness = self.dispatch_hardness.max(child.dispatch_hardness);
         self.cache_hit |= child.cache_hit;
         self.warm_start |= child.warm_start;
         self.reused_clauses += child.reused_clauses;
@@ -129,6 +150,13 @@ impl std::fmt::Display for SolverTelemetry {
         }
         if let Some(s) = self.strategy {
             write!(f, " strategy={s}")?;
+        }
+        if let Some(mix) = self.dispatch_mix {
+            write!(
+                f,
+                " dispatch={mix}x{} sharing={}",
+                self.dispatch_width, self.dispatch_sharing
+            )?;
         }
         if self.cache_hit {
             write!(f, " cache_hit")?;
@@ -208,5 +236,34 @@ mod tests {
         let s = t.to_string();
         assert!(s.contains("sat_calls=0"));
         assert!(s.contains("solve=0.000s"));
+        assert!(!s.contains("dispatch="), "no dispatch decision, no noise");
+    }
+
+    #[test]
+    fn absorb_keeps_the_peak_dispatch_decision() {
+        let mut parent = SolverTelemetry {
+            dispatch_width: 1,
+            dispatch_mix: Some("linear"),
+            dispatch_hardness: 100,
+            ..SolverTelemetry::new()
+        };
+        parent.absorb(&SolverTelemetry {
+            dispatch_width: 4,
+            dispatch_mix: Some("linear+core-guided"),
+            dispatch_sharing: true,
+            dispatch_hardness: 9000,
+            ..SolverTelemetry::new()
+        });
+        assert_eq!(parent.dispatch_width, 4, "peak width wins");
+        assert_eq!(parent.dispatch_mix, Some("linear+core-guided"));
+        assert!(parent.dispatch_sharing);
+        assert_eq!(parent.dispatch_hardness, 9000);
+        parent.absorb(&SolverTelemetry::new());
+        assert_eq!(
+            parent.dispatch_mix,
+            Some("linear+core-guided"),
+            "an empty child does not erase the decision"
+        );
+        assert!(parent.to_string().contains("dispatch=linear+core-guidedx4"));
     }
 }

@@ -1,6 +1,7 @@
 //! Device names the wire protocol accepts.
 //!
-//! Circuits travel over the wire as gate lists, but device graphs do not:
+//! Circuits travel over the wire as gate lists or OpenQASM 2.0 source,
+//! but device graphs do not:
 //! clients name a topology and the daemon builds it from
 //! [`arch::devices`]. The grammar covers the paper's devices plus the
 //! parameterized families the test suite sweeps:

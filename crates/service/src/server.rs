@@ -27,7 +27,9 @@
 //! solve work, in O(request size): unknown routers and impossible
 //! circuits bounce as `InvalidRequest`; budgeted requests to
 //! encoding-based routers ([`routers::ENCODING_ROUTERS`]) whose
-//! [`satmap::encoding_estimate`] exceeds the policy's admission limit are
+//! [`satmap::encoding_estimate`] — multiplied by the worker count the
+//! dispatch plan would clone the formula across
+//! ([`satmap::planned_width`]) — exceeds the policy's admission limit are
 //! shed as [`RouteError::Overloaded`], as is everything when the work
 //! queue is full or the daemon is draining. Shedding at the door is the
 //! service-level choice: under overload the daemon answers cheaply and
@@ -91,14 +93,18 @@ impl Default for DaemonConfig {
     }
 }
 
-/// Sizes the worker pool: the machine's cores divided by the parallelism
-/// each request is expected to ask for (a request racing a width-4
-/// portfolio already owns 4 cores), clamped to at least 1.
+/// Sizes the worker pool: the machine's cores divided by the widest
+/// worker plan the dispatcher can resolve under the expected per-request
+/// hint ([`satmap::plan_ceiling`]) — a request racing a width-4 plan
+/// already owns 4 cores. The dispatcher only narrows from that ceiling
+/// as instances get easier, so the pool never oversubscribes. Clamped to
+/// at least 1.
 pub fn worker_pool_width(per_request_hint: Parallelism) -> usize {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    (cores / per_request_hint.resolve().max(1)).max(1)
+    let per_request = satmap::plan_ceiling(per_request_hint, circuit::SearchStrategy::default());
+    (cores / per_request.max(1)).max(1)
 }
 
 /// One admitted unit of work: the decoded command, the server-assigned
@@ -183,9 +189,13 @@ impl<B: SatBackend + Default + Send + 'static> Daemon<B> {
         let listener = TcpListener::bind(config.addr.as_str())?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        // Size for dispatched requests, not the serial default: clients
+        // may ask for `Auto`, and the supervisor's plan escalation widens
+        // serial retries to `Auto` too, so the honest per-request
+        // occupancy is the dispatcher's `Auto` ceiling.
         let worker_count = config
             .workers
-            .unwrap_or_else(|| worker_pool_width(Parallelism::Serial))
+            .unwrap_or_else(|| worker_pool_width(Parallelism::Auto))
             .max(1);
         let shared = Arc::new(Shared {
             supervisor: RouteSupervisor::with_registry_and_policy(
@@ -424,7 +434,8 @@ fn handle_route<B: SatBackend + Default + Send + 'static>(
 
 /// The admission estimate, mirroring the supervisor's rule: only
 /// budgeted requests to encoding-based routers can be shed, and only
-/// when the O(1) size proxy says the encode alone would blow the limit.
+/// when the O(1) size proxy — the encoding estimate times the worker
+/// count the dispatch plan would clone it across — would blow the limit.
 fn admission_verdict<B: SatBackend + Default + Send + 'static>(
     shared: &Shared<B>,
     command: &RouteCommand,
@@ -433,14 +444,22 @@ fn admission_verdict<B: SatBackend + Default + Send + 'static>(
     if !routers::ENCODING_ROUTERS.contains(&canonical) || !command.spec.budget.is_limited() {
         return None;
     }
-    let estimate = satmap::encoding_estimate(
+    let swaps_per_gap = command.spec.swaps_per_gap.unwrap_or(1);
+    let estimate = satmap::encoding_estimate(&command.circuit, &command.graph, swaps_per_gap);
+    let width = satmap::planned_width(
         &command.circuit,
         &command.graph,
-        command.spec.swaps_per_gap.unwrap_or(1),
+        command.spec.parallelism,
+        command.spec.strategy,
+        swaps_per_gap,
     );
     let limit = shared.supervisor.policy().admission_limit;
-    (estimate > limit)
-        .then(|| format!("encoding estimate {estimate} exceeds the admission limit {limit}"))
+    (estimate.saturating_mul(width) > limit).then(|| {
+        format!(
+            "encoding estimate {estimate} x planned width {width} exceeds \
+             the admission limit {limit}"
+        )
+    })
 }
 
 fn worker_loop<B: SatBackend + Default + Send + 'static>(shared: &Arc<Shared<B>>) {

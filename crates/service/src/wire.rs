@@ -21,6 +21,14 @@
 //! only objective over the wire is swap-count (the paper's main mode);
 //! fidelity routing needs a noise model and stays a library-level call.
 //!
+//! A `route` line may carry an OpenQASM 2.0 program instead of a gate
+//! list: `"qasm":"OPENQASM 2.0;\nqreg q[2];\ncx q[0],q[1];\n"`. Exactly
+//! one of `circuit` / `qasm` is required, and `qubits` is rejected next
+//! to `qasm` — the program's `qreg` declaration already fixes the width.
+//! Parse failures come back as a typed [`WireError`] naming the source
+//! line, which converts to [`RouteError::InvalidRequest`] like every
+//! other wire fault.
+//!
 //! The parser is deliberately hand-rolled over `std` (the workspace is
 //! offline: no serde) and *strict*: unknown verbs, unknown keys on a
 //! `route` line, wrong arities, bad mnemonics, and malformed JSON all
@@ -447,6 +455,7 @@ const ROUTE_KEYS: &[&str] = &[
     "router",
     "device",
     "circuit",
+    "qasm",
     "qubits",
     "budget_ms",
     "parallelism",
@@ -518,40 +527,68 @@ fn parse_route(v: &JsonValue) -> Result<RouteCommand, WireError> {
     let router = require_str(v, "router")?.to_string();
     let device = require_str(v, "device")?.to_string();
     let graph = catalog::device(&device)?;
-    let gates = v
-        .get("circuit")
-        .ok_or_else(|| WireError::new("missing key 'circuit'"))?
-        .as_array()
-        .ok_or_else(|| WireError::new("'circuit' must be an array of gate arrays"))?
-        .iter()
-        .enumerate()
-        .map(|(i, g)| parse_gate(g, i))
-        .collect::<Result<Vec<Gate>, WireError>>()?;
-    let width = gates
-        .iter()
-        .map(|g| match g {
-            Gate::One { qubit, .. } => qubit.0 + 1,
-            Gate::Two { a, b, .. } => a.0.max(b.0) + 1,
-        })
-        .max()
-        .unwrap_or(0);
-    let qubits = match optional_u64(v, "qubits")? {
-        Some(n) => {
-            let n = usize::try_from(n).map_err(|_| WireError::new("'qubits' out of range"))?;
-            if n < width {
-                return Err(WireError::new(format!(
-                    "'qubits' is {n} but a gate touches qubit {}",
-                    width - 1
-                )));
-            }
-            n
+    let circuit = match (v.get("circuit"), v.get("qasm")) {
+        (Some(_), Some(_)) => {
+            return Err(WireError::new(
+                "'circuit' and 'qasm' are mutually exclusive; send one payload",
+            ))
         }
-        None => width,
+        (None, None) => {
+            return Err(WireError::new(
+                "missing payload: send 'circuit' (gate arrays) or 'qasm' (OpenQASM 2.0 source)",
+            ))
+        }
+        (Some(gates_value), None) => {
+            let gates = gates_value
+                .as_array()
+                .ok_or_else(|| WireError::new("'circuit' must be an array of gate arrays"))?
+                .iter()
+                .enumerate()
+                .map(|(i, g)| parse_gate(g, i))
+                .collect::<Result<Vec<Gate>, WireError>>()?;
+            let width = gates
+                .iter()
+                .map(|g| match g {
+                    Gate::One { qubit, .. } => qubit.0 + 1,
+                    Gate::Two { a, b, .. } => a.0.max(b.0) + 1,
+                })
+                .max()
+                .unwrap_or(0);
+            let qubits = match optional_u64(v, "qubits")? {
+                Some(n) => {
+                    let n =
+                        usize::try_from(n).map_err(|_| WireError::new("'qubits' out of range"))?;
+                    if n < width {
+                        return Err(WireError::new(format!(
+                            "'qubits' is {n} but a gate touches qubit {}",
+                            width - 1
+                        )));
+                    }
+                    n
+                }
+                None => width,
+            };
+            let mut circuit = Circuit::new(qubits);
+            for gate in gates {
+                circuit.push(gate);
+            }
+            circuit
+        }
+        (None, Some(payload)) => {
+            if v.get("qubits").is_some() {
+                return Err(WireError::new(
+                    "'qubits' cannot accompany 'qasm': the qreg declaration fixes the width",
+                ));
+            }
+            let src = payload.as_str().ok_or_else(|| {
+                WireError::new(format!(
+                    "'qasm' must be a string of OpenQASM 2.0 source, got {}",
+                    payload.kind()
+                ))
+            })?;
+            circuit::qasm::parse(src).map_err(|e| WireError::new(e.to_string()))?
+        }
     };
-    let mut circuit = Circuit::new(qubits);
-    for gate in gates {
-        circuit.push(gate);
-    }
 
     let mut spec = RouteSpec::default();
     if let Some(ms) = optional_u64(v, "budget_ms")? {
@@ -796,6 +833,24 @@ pub fn route_line(
     line
 }
 
+/// Builds a `route` request line carrying an OpenQASM 2.0 program as the
+/// payload instead of a gate-array list. `knobs` work as in
+/// [`route_line`]; no `qubits` member is emitted — the program's `qreg`
+/// declaration fixes the width.
+pub fn qasm_route_line(router: &str, device: &str, qasm: &str, knobs: &[(&str, String)]) -> String {
+    let mut line = format!(
+        "{{\"verb\":\"route\",\"router\":\"{}\",\"device\":\"{}\",\"qasm\":\"{}\"",
+        circuit::escape_json(router),
+        circuit::escape_json(device),
+        circuit::escape_json(qasm),
+    );
+    for (key, value) in knobs {
+        line.push_str(&format!(",\"{key}\":{value}"));
+    }
+    line.push('}');
+    line
+}
+
 /// Builds an `abort` request line.
 pub fn abort_line(request_id: u64) -> String {
     format!("{{\"verb\":\"abort\",\"request_id\":{request_id}}}")
@@ -954,6 +1009,55 @@ mod tests {
             let err = parse_request(line).unwrap_err();
             assert!(err.to_string().contains(needle), "{line} -> {err}");
         }
+    }
+
+    #[test]
+    fn qasm_route_line_round_trips() {
+        let src = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\nh q[0];\ncx q[0],q[1];\nrzz(0.25) q[1],q[2];\n";
+        let line = qasm_route_line(
+            "satmap",
+            "linear:3",
+            src,
+            &[("strategy", "\"race\"".into()), ("budget_ms", "500".into())],
+        );
+        let cmd = match parse_request(&line).unwrap() {
+            Request::Route(cmd) => cmd,
+            other => panic!("expected route, got {other:?}"),
+        };
+        assert_eq!(cmd.router, "satmap");
+        assert_eq!(cmd.circuit.num_qubits(), 3);
+        assert_eq!(cmd.circuit.gates().len(), 3);
+        assert_eq!(cmd.spec.strategy, SearchStrategy::Race);
+        // The same program decodes to the same gates as the gate-array wire form.
+        let direct = circuit::qasm::parse(src).unwrap();
+        assert_eq!(cmd.circuit.gates(), direct.gates());
+    }
+
+    #[test]
+    fn qasm_payload_is_exclusive_and_typed() {
+        let both = r#"{"verb":"route","router":"sabre","device":"linear:2","circuit":[["cx",0,1]],"qasm":"qreg q[2];"}"#;
+        let err = parse_request(both).unwrap_err();
+        assert!(err.to_string().contains("mutually exclusive"), "{err}");
+
+        let neither = r#"{"verb":"route","router":"sabre","device":"linear:2"}"#;
+        let err = parse_request(neither).unwrap_err();
+        assert!(err.to_string().contains("missing payload"), "{err}");
+
+        let with_qubits = r#"{"verb":"route","router":"sabre","device":"linear:2","qasm":"qreg q[2];","qubits":2}"#;
+        let err = parse_request(with_qubits).unwrap_err();
+        assert!(err.to_string().contains("'qubits'"), "{err}");
+
+        let not_a_string = r#"{"verb":"route","router":"sabre","device":"linear:2","qasm":[1,2]}"#;
+        let err = parse_request(not_a_string).unwrap_err();
+        assert!(err.to_string().contains("must be a string"), "{err}");
+
+        // Parse failures surface the offending source line and convert to
+        // the routing layer's InvalidRequest.
+        let bad_gate = qasm_route_line("sabre", "linear:2", "qreg q[2];\nccx q[0],q[1];\n", &[]);
+        let err = parse_request(&bad_gate).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        let routed: RouteError = err.into();
+        assert!(matches!(routed, RouteError::InvalidRequest(_)));
     }
 
     #[test]

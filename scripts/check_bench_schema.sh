@@ -24,10 +24,13 @@ done
 # came with the strategy-racing MaxSAT engine; the warm-start fields
 # (cache_hit, warm_start, reused_clauses) with the route cache; the
 # resilience fields (quality, attempts, worker_panics) with the routing
-# supervisor; request_id (per-row tracing id) with the routing service.
+# supervisor; request_id (per-row tracing id) with the routing service;
+# the dispatch fields (dispatch_width, dispatch_mix, dispatch_sharing,
+# dispatch_hardness) with the adaptive dispatcher.
 for key in clauses_exported clauses_imported useful_imports cross_call_imports \
            compactions arena_bytes strategy cache_hit warm_start reused_clauses \
-           quality attempts worker_panics request_id; do
+           quality attempts worker_panics request_id \
+           dispatch_width dispatch_mix dispatch_sharing dispatch_hardness; do
     grep -q "\"$key\"" "$report" || fail "missing telemetry field \"$key\""
 done
 
@@ -35,7 +38,10 @@ done
 for group in '"sharing/on"' '"sharing/off"' '"arena/clone"' '"arena/reemit"' \
              '"maxsat_strategies/linear"' '"maxsat_strategies/core-guided"' \
              '"maxsat_strategies/race"' \
-             '"warmstart/cold"' '"warmstart/warm"' '"warmstart/cache-hit"'; do
+             '"warmstart/cold"' '"warmstart/warm"' '"warmstart/cache-hit"' \
+             '"dispatch/auto/fig3"' '"dispatch/serial/fig3"' '"dispatch/width4/fig3"' \
+             '"dispatch/auto/random12"' '"dispatch/serial/random12"' \
+             '"dispatch/width4/random12"'; do
     grep -q "$group" "$report" || fail "missing benchmark $group"
 done
 

@@ -149,6 +149,41 @@ fn portfolio_telemetry_reports_winner_through_the_stack() {
     assert_eq!(outcome.diagnostic("portfolio_width"), Some("4"));
 }
 
+#[test]
+fn auto_race_on_fig3_dispatches_one_linear_worker_without_sharing() {
+    // Dispatch regression: a fig3-sized request under the widest hints
+    // (`Auto` parallelism, `Race` strategy) must still resolve to a
+    // width-1 linear plan with sharing off — the bench data says the
+    // parallel machinery loses on instances this small, and the decision
+    // must be visible in telemetry and the JSON row.
+    let graph = arch::devices::tokyo_minus();
+    let router = RouterRegistry::standard()
+        .create("nl-satmap")
+        .expect("registered");
+    let circuit = fig3();
+    let outcome = router.route_request(
+        &RouteRequest::new(&circuit, &graph)
+            .with_parallelism(Parallelism::Auto)
+            .with_strategy(circuit::SearchStrategy::Race),
+    );
+    let routed = outcome.routed().expect("solves");
+    verify(&circuit, &graph, routed).expect("verifies");
+    assert_eq!(routed.swap_count(), 1, "fig3 optimum");
+    let t = outcome.telemetry();
+    assert_eq!(t.dispatch_width, 1, "small instances stay width 1");
+    assert_eq!(t.dispatch_mix, Some("linear"), "the race degenerates");
+    assert!(!t.dispatch_sharing, "no exchange for a lone worker");
+    assert!(
+        t.dispatch_hardness > 0 && t.dispatch_hardness < maxsat::dispatch::SMALL_INSTANCE,
+        "fig3 sits below the small-instance gate, got {}",
+        t.dispatch_hardness
+    );
+    let row = outcome.to_json();
+    assert!(row.contains("\"dispatch_width\":1"), "{row}");
+    assert!(row.contains("\"dispatch_mix\":\"linear\""), "{row}");
+    assert!(row.contains("\"dispatch_sharing\":false"), "{row}");
+}
+
 /// Hard pigeonhole clauses: would run far longer than any test timeout.
 fn load_pigeonhole<B: SatBackend>(backend: &mut B, pigeons: usize, holes: usize) {
     backend.reserve_vars(pigeons * holes);

@@ -4,9 +4,12 @@
 
 use proptest::prelude::*;
 
-use circuit::{verify::verify, Circuit, Router};
+use circuit::{
+    verify::verify, Circuit, Objective, Parallelism, RouteRequest, RoutedCircuit, RoutedOp, Router,
+    SearchStrategy,
+};
 use heuristics::{Sabre, Tket};
-use satmap::{SatMap, SatMapConfig};
+use satmap::{PortfolioSatMap, SatMap, SatMapConfig};
 
 /// Strategy: a random circuit over `n` qubits with up to `max_gates`
 /// two-qubit gates plus sprinkled single-qubit gates.
@@ -23,6 +26,39 @@ fn circuit_strategy(n: usize, max_gates: usize) -> impl Strategy<Value = Circuit
         }
         c
     })
+}
+
+/// The fidelity encoding's exact quantized objective: the sum of
+/// `NoiseModel::fidelity_weight` over inserted SWAPs and executed
+/// two-qubit gates. Two proven-optimal routings must agree on this
+/// integer even when their float log-infidelities collide in the last
+/// bits or the optima place gates differently.
+fn quantized_infidelity(routed: &RoutedCircuit, source: &Circuit, noise: &arch::NoiseModel) -> u64 {
+    let mut map = routed.initial_map().to_vec();
+    let mut total = 0u64;
+    for op in routed.ops() {
+        match op {
+            RoutedOp::Swap(a, b) => {
+                if a != b {
+                    total += arch::NoiseModel::fidelity_weight(noise.swap_fidelity(*a, *b));
+                    for m in map.iter_mut() {
+                        if *m == *a {
+                            *m = *b;
+                        } else if *m == *b {
+                            *m = *a;
+                        }
+                    }
+                }
+            }
+            RoutedOp::Logical(k) => {
+                if let circuit::Gate::Two { a, b, .. } = &source.gates()[*k] {
+                    total +=
+                        arch::NoiseModel::fidelity_weight(noise.cx_fidelity(map[a.0], map[b.0]));
+                }
+            }
+        }
+    }
+    total
 }
 
 fn devices() -> Vec<arch::ConnectivityGraph> {
@@ -67,6 +103,52 @@ proptest! {
                 prop_assert!(s.swap_count() >= m.swap_count(),
                     "sliced {} < monolithic {}", s.swap_count(), m.swap_count());
             }
+        }
+    }
+
+    #[test]
+    fn dispatched_route_costs_match_forced_serial_linear(
+        c in circuit_strategy(4, 6),
+        weighted in prop::bool::ANY,
+    ) {
+        // The adaptive dispatcher (Auto width, Race strategy) may pick any
+        // worker plan, but both requests prove optimality under an
+        // unlimited budget, so the objective value must match a forced
+        // serial linear solve exactly — weighted and unweighted alike.
+        let graph = arch::devices::ring(4);
+        let router = PortfolioSatMap::with_backend(SatMapConfig::monolithic());
+        let objective = if weighted {
+            Objective::Fidelity(arch::NoiseModel::synthetic(&graph, 7))
+        } else {
+            Objective::SwapCount
+        };
+        let dispatched = router.route_request(
+            &RouteRequest::new(&c, &graph)
+                .with_objective(objective.clone())
+                .with_parallelism(Parallelism::Auto)
+                .with_strategy(SearchStrategy::Race),
+        );
+        let forced = router.route_request(
+            &RouteRequest::new(&c, &graph)
+                .with_objective(objective.clone())
+                .with_parallelism(Parallelism::Serial)
+                .with_strategy(SearchStrategy::Linear),
+        );
+        let d = dispatched.routed().expect("dispatched request solves");
+        let f = forced.routed().expect("forced request solves");
+        prop_assert!(verify(&c, &graph, d).is_ok());
+        prop_assert!(verify(&c, &graph, f).is_ok());
+        match &objective {
+            Objective::Fidelity(noise) => prop_assert_eq!(
+                quantized_infidelity(d, &c, noise),
+                quantized_infidelity(f, &c, noise),
+                "dispatch changed the weighted optimum"
+            ),
+            Objective::SwapCount => prop_assert_eq!(
+                d.added_gates(),
+                f.added_gates(),
+                "dispatch changed the swap optimum"
+            ),
         }
     }
 
