@@ -111,6 +111,39 @@ pub fn pigeonhole_cnf(pigeons: usize, holes: usize) -> Vec<Vec<i64>> {
     clauses
 }
 
+/// An unsatisfiable formula that hides a small pigeonhole core inside a
+/// large planted-satisfiable 3-CNF camouflage region (variables are
+/// disjoint; the pigeonhole block is shifted past `vars`). Returns the
+/// clauses and the total variable count.
+///
+/// This is the family where clause sharing *pays*: refuting the instance
+/// means refuting PHP(`pigeons`, `pigeons-1`), but a diversified worker
+/// can wander the satisfiable camouflage first. The core's refutation
+/// lemmas are short, low-LBD, and speak only core variables, so the
+/// first worker to focus there exports lemmas that steer every peer out
+/// of the camouflage — cooperation with a measurable wall-clock win
+/// (unlike pure pigeonhole races, where all workers converge on the same
+/// conflicts anyway and the exchange only adds drain overhead).
+pub fn camouflaged_core_cnf(
+    vars: usize,
+    clauses: usize,
+    pigeons: usize,
+    seed: u64,
+) -> (Vec<Vec<i64>>, usize) {
+    let holes = pigeons - 1;
+    let mut cnf = planted_cnf(vars, clauses, seed);
+    let offset = vars as i64;
+    for clause in pigeonhole_cnf(pigeons, holes) {
+        cnf.push(
+            clause
+                .iter()
+                .map(|&d| if d > 0 { d + offset } else { d - offset })
+                .collect(),
+        );
+    }
+    (cnf, vars + pigeons * holes)
+}
+
 /// A weighted placement MaxSAT instance: pigeonhole exclusivity as hard
 /// clauses with one *soft* "pigeon is placed" clause per pigeon — optimum
 /// cost `max(0, pigeons − holes)`. With `pigeons > holes` the linear
@@ -430,6 +463,27 @@ mod tests {
         let sat_inst = placement_wcnf(3, 3);
         let sat_out = maxsat::solve(&sat_inst, sat::ResourceBudget::unlimited());
         assert_eq!(sat_out.cost, Some(0), "equal pigeons and holes all fit");
+    }
+
+    #[test]
+    fn camouflaged_core_cnf_is_unsat_via_the_buried_core() {
+        let (cnf, num_vars) = camouflaged_core_cnf(60, 240, 4, 3);
+        // Camouflage clauses + 4 at-least-one rows + 3 * C(4,2) pairs.
+        assert_eq!(cnf.len(), 240 + 4 + 3 * 6);
+        assert_eq!(num_vars, 60 + 4 * 3);
+        assert!(cnf
+            .iter()
+            .all(|c| c.iter().all(|&l| l.unsigned_abs() as usize <= num_vars)));
+        let mut solver = sat::Solver::new();
+        solver.reserve_vars(num_vars);
+        for clause in &cnf {
+            solver.add_clause(clause.iter().map(|&d| sat::Lit::from_dimacs(d)));
+        }
+        assert_eq!(
+            solver.solve_under_assumptions(&[], &sat::ResourceBudget::unlimited()),
+            sat::SolveResult::Unsat,
+            "the pigeonhole block is untouched by the camouflage"
+        );
     }
 
     #[test]

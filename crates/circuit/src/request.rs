@@ -76,8 +76,14 @@ pub use sat::MAX_AUTO_WIDTH;
 /// dependency on the engine crate.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum SearchStrategy {
-    /// Model-improving linear SAT-UNSAT search (the paper's behaviour).
+    /// Let the engine pick per solver call from the built instance's
+    /// features: objectives dominated by weighted softs (fidelity mode)
+    /// run the stratified core-guided search, everything else the
+    /// paper's linear search. Unweighted requests therefore behave
+    /// exactly like [`SearchStrategy::Linear`].
     #[default]
+    Auto,
+    /// Model-improving linear SAT-UNSAT search (the paper's behaviour).
     Linear,
     /// OLL-style core-guided lower-bounding search.
     CoreGuided,
@@ -517,6 +523,7 @@ impl<'a> RouteRequest<'a> {
             SearchStrategy::Linear => 0,
             SearchStrategy::CoreGuided => 1,
             SearchStrategy::Race => 2,
+            SearchStrategy::Auto => 3,
         });
         match self.spec.repetition {
             None => h.byte(0),
@@ -856,6 +863,9 @@ impl RouteOutcome {
         }
         out.push_str(&format!(",\"dispatch_sharing\":{}", t.dispatch_sharing));
         out.push_str(&format!(",\"dispatch_hardness\":{}", t.dispatch_hardness));
+        out.push_str(&format!(",\"strata\":{}", t.strata));
+        out.push_str(&format!(",\"exhaustion_steps\":{}", t.exhaustion_steps));
+        out.push_str(&format!(",\"hardened_softs\":{}", t.hardened_softs));
         out.push_str(",\"diagnostics\":{");
         for (i, (k, v)) in self.diagnostics.iter().enumerate() {
             if i > 0 {

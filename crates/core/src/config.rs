@@ -10,12 +10,28 @@ use circuit::{Objective, Parallelism, RouteRequest, SearchStrategy, Slicing};
 use sat::ResourceBudget;
 
 /// Maps the request-level strategy knob onto the MaxSAT engine's enum
-/// (the `circuit` crate cannot name `maxsat` types).
-pub(crate) fn engine_strategy(strategy: SearchStrategy) -> maxsat::Strategy {
+/// (the `circuit` crate cannot name `maxsat` types). `Auto` — the
+/// request default — resolves from the instance features per solver
+/// call: an objective dominated by weighted softs (fidelity mode) runs
+/// the stratified core-guided search (see
+/// [`maxsat::dispatch::prefers_core`]), everything else — in particular
+/// every unweighted swap-count request — runs the paper's linear
+/// search, byte-identical to an explicit [`SearchStrategy::Linear`].
+pub(crate) fn engine_strategy(
+    strategy: SearchStrategy,
+    features: &maxsat::InstanceFeatures,
+) -> maxsat::Strategy {
     match strategy {
         SearchStrategy::Linear => maxsat::Strategy::LinearSatUnsat,
         SearchStrategy::CoreGuided => maxsat::Strategy::CoreGuided,
         SearchStrategy::Race => maxsat::Strategy::Race,
+        SearchStrategy::Auto => {
+            if maxsat::dispatch::prefers_core(features) {
+                maxsat::Strategy::CoreGuided
+            } else {
+                maxsat::Strategy::LinearSatUnsat
+            }
+        }
     }
 }
 
@@ -116,14 +132,18 @@ impl SatMapConfig {
             swaps_per_gap: request.swaps_per_gap().unwrap_or(self.swaps_per_gap).max(1),
             backtrack_limit: self.backtrack_limit,
             objective: request.objective().clone(),
-            // The portfolio width is left unset here: the instance-feature
-            // dispatcher resolves the hint into a concrete worker plan per
-            // solver call (see [`Resolved::options_for`]), so `Auto` can
-            // solve small encodings inline instead of paying the race
-            // overhead.
+            // Strategy and portfolio width are left featureless here: the
+            // instance-feature dispatcher resolves both into a concrete
+            // worker plan per solver call (see [`Resolved::options_for`]),
+            // so `Auto` parallelism can solve small encodings inline and
+            // `Auto` strategy can pick core-guided for weighted instances.
             options: maxsat::SolveOptions::default()
                 .with_totalizer_units(request.totalizer_units().unwrap_or(self.totalizer_units))
-                .with_strategy(engine_strategy(request.strategy())),
+                .with_strategy(engine_strategy(
+                    request.strategy(),
+                    &maxsat::InstanceFeatures::default(),
+                )),
+            strategy: request.strategy(),
             parallelism: request.parallelism(),
             budget: request.budget().clone(),
         }
@@ -139,6 +159,10 @@ pub(crate) struct Resolved {
     pub backtrack_limit: usize,
     pub objective: Objective,
     pub options: maxsat::SolveOptions,
+    /// The request-level strategy knob, kept alongside the featureless
+    /// `options.strategy` so [`Resolved::options_for`] can re-resolve
+    /// `Auto` once the instance features are known.
+    pub strategy: SearchStrategy,
     pub parallelism: Parallelism,
     pub budget: ResourceBudget,
 }
@@ -153,12 +177,10 @@ impl Resolved {
     /// engine executes exactly what was dispatched (and stamps it into
     /// the telemetry).
     pub fn options_for(&self, features: maxsat::InstanceFeatures) -> maxsat::SolveOptions {
-        let plan = maxsat::dispatch::plan(
-            &features,
-            self.options.strategy,
-            width_hint(self.parallelism),
-        );
+        let strategy = engine_strategy(self.strategy, &features);
+        let plan = maxsat::dispatch::plan(&features, strategy, width_hint(self.parallelism));
         self.options
+            .with_strategy(strategy)
             .with_portfolio_width(plan.total_width())
             .with_dispatch(plan)
     }
@@ -234,18 +256,49 @@ mod tests {
 
     #[test]
     fn strategy_knob_maps_onto_engine_enum() {
+        let plain = maxsat::InstanceFeatures::default();
         assert_eq!(
-            engine_strategy(SearchStrategy::Linear),
+            engine_strategy(SearchStrategy::Linear, &plain),
             maxsat::Strategy::LinearSatUnsat
         );
         assert_eq!(
-            engine_strategy(SearchStrategy::CoreGuided),
+            engine_strategy(SearchStrategy::CoreGuided, &plain),
             maxsat::Strategy::CoreGuided
         );
         assert_eq!(
-            engine_strategy(SearchStrategy::Race),
+            engine_strategy(SearchStrategy::Race, &plain),
             maxsat::Strategy::Race
         );
-        assert_eq!(SearchStrategy::default(), SearchStrategy::Linear);
+        assert_eq!(SearchStrategy::default(), SearchStrategy::Auto);
+    }
+
+    #[test]
+    fn auto_strategy_follows_the_weighted_soft_share() {
+        // Unweighted (swap-count) instances keep the paper's linear
+        // search; weighted-soft-dominated (fidelity) instances get the
+        // stratified core-guided search.
+        let unweighted = maxsat::InstanceFeatures {
+            soft_clauses: 10,
+            weighted_softs: 0,
+            ..maxsat::InstanceFeatures::default()
+        };
+        assert_eq!(
+            engine_strategy(SearchStrategy::Auto, &unweighted),
+            maxsat::Strategy::LinearSatUnsat
+        );
+        let weighted = maxsat::InstanceFeatures {
+            soft_clauses: 10,
+            weighted_softs: 9,
+            ..maxsat::InstanceFeatures::default()
+        };
+        assert_eq!(
+            engine_strategy(SearchStrategy::Auto, &weighted),
+            maxsat::Strategy::CoreGuided
+        );
+        // An explicit knob is never second-guessed by the features.
+        assert_eq!(
+            engine_strategy(SearchStrategy::Linear, &weighted),
+            maxsat::Strategy::LinearSatUnsat
+        );
     }
 }

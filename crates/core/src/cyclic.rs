@@ -26,7 +26,7 @@ use sat::{DefaultBackend, ResourceBudget, SatBackend, SolverTelemetry};
 
 use crate::config::{Resolved, SatMapConfig};
 use crate::encode::{routed_from_solution, EncodeShape, QmrEncoding};
-use crate::solver::SatMap;
+use crate::solver::{Proof, SatMap};
 
 /// CYC-SATMAP: the cyclic relaxation router for repeated circuits.
 ///
@@ -129,7 +129,7 @@ impl<B: SatBackend + Default + Send> CyclicSatMap<B> {
         &self,
         request: &RouteRequest<'_>,
         p: &Resolved,
-        proved: &mut bool,
+        proof: &mut Proof,
     ) -> (Result<RoutedCircuit, RouteError>, SolverTelemetry) {
         let mut telemetry = SolverTelemetry::new();
         if let Err(e) = request.validate() {
@@ -148,11 +148,11 @@ impl<B: SatBackend + Default + Send> CyclicSatMap<B> {
         let budget = p.budget.arm();
 
         // Solve the subcircuit once, cyclically.
-        let sub_routed =
-            match self.solve_subcircuit(&sub, graph, p, &budget, &mut telemetry, proved) {
-                Ok(r) => r,
-                Err(e) => return (Err(e), telemetry),
-            };
+        let sub_routed = match self.solve_subcircuit(&sub, graph, p, &budget, &mut telemetry, proof)
+        {
+            Ok(r) => r,
+            Err(e) => return (Err(e), telemetry),
+        };
         debug_assert_eq!(sub_routed.final_map(), sub_routed.initial_map());
 
         // Stitch: prefix 1q gates, then `cycles` copies of the subcircuit
@@ -180,7 +180,7 @@ impl<B: SatBackend + Default + Send> CyclicSatMap<B> {
         p: &Resolved,
         budget: &ResourceBudget,
         telemetry: &mut SolverTelemetry,
-        proved: &mut bool,
+        proof: &mut Proof,
     ) -> Result<RoutedCircuit, RouteError> {
         let n = p.swaps_per_gap;
         let monolithic = match p.slice_size {
@@ -204,9 +204,7 @@ impl<B: SatBackend + Default + Send> CyclicSatMap<B> {
             let options = p.options_for(crate::solver::instance_features(&enc));
             let out = maxsat::solve_with_options::<B>(enc.instance(), budget, &options);
             telemetry.absorb(&out.telemetry);
-            if matches!(out.status, MaxSatStatus::Feasible) {
-                *proved = false;
-            }
+            proof.observe(&out);
             return match out.status {
                 MaxSatStatus::Optimal | MaxSatStatus::Feasible => {
                     let model = out.model.expect("status implies model");
@@ -238,7 +236,7 @@ impl<B: SatBackend + Default + Send> CyclicSatMap<B> {
         };
         let inner_request = RouteRequest::with_spec(sub, graph, spec);
         let inner_p = inner.config().resolve(&inner_request);
-        let (inner_result, inner_telemetry) = inner.route_impl(&inner_request, &inner_p, proved);
+        let (inner_result, inner_telemetry) = inner.route_impl(&inner_request, &inner_p, proof);
         telemetry.absorb(&inner_telemetry);
         let routed = inner_result?;
         let initial = routed.initial_map().to_vec();
@@ -254,7 +252,7 @@ impl<B: SatBackend + Default + Send> CyclicSatMap<B> {
             p,
             budget,
             telemetry,
-            proved,
+            proof,
         )?;
         let mut ops = routed.ops().to_vec();
         ops.extend(restore);
@@ -274,7 +272,7 @@ impl<B: SatBackend + Default + Send> CyclicSatMap<B> {
         p: &Resolved,
         budget: &ResourceBudget,
         telemetry: &mut SolverTelemetry,
-        proved: &mut bool,
+        proof: &mut Proof,
     ) -> Result<Vec<RoutedOp>, RouteError> {
         // Upper bound on swaps needed: routing each qubit home costs at
         // most diameter swaps.
@@ -303,9 +301,7 @@ impl<B: SatBackend + Default + Send> CyclicSatMap<B> {
             let options = p.options_for(crate::solver::instance_features(&enc));
             let out = maxsat::solve_with_options::<B>(enc.instance(), budget, &options);
             telemetry.absorb(&out.telemetry);
-            if matches!(out.status, MaxSatStatus::Feasible) {
-                *proved = false;
-            }
+            proof.observe(&out);
             match out.status {
                 MaxSatStatus::Optimal | MaxSatStatus::Feasible => {
                     let model = out.model.expect("status implies model");
@@ -340,14 +336,14 @@ impl<B: SatBackend + Default + Send> Router for CyclicSatMap<B> {
     /// treated as a single repetition.
     fn route_request(&self, request: &RouteRequest<'_>) -> RouteOutcome {
         let p = self.config.resolve(request);
-        let mut proved = true;
+        let mut proof = Proof::new();
         let outcome =
-            RouteOutcome::capture(self.name(), || self.route_impl(request, &p, &mut proved));
+            RouteOutcome::capture(self.name(), || self.route_impl(request, &p, &mut proof));
         let width = match outcome.telemetry().dispatch_width {
             0 => p.parallelism.resolve(),
             w => w as usize,
         };
-        crate::solver::stamp_quality(outcome, proved)
+        crate::solver::stamp_quality(outcome, &proof)
             .with_diagnostic("cycles", request.repetition().map_or(1, |r| r.cycles))
             .with_diagnostic("portfolio_width", width)
     }
@@ -437,6 +433,32 @@ mod tests {
         let (full, routed) = router.route_repeated(&prefix, &sub, 3, &g).expect("solves");
         verify(&full, &g, &routed).expect("verifies");
         assert_eq!(routed.final_map(), routed.initial_map());
+    }
+
+    #[test]
+    fn degraded_quantized_route_explains_itself() {
+        // A weighted (fidelity) objective with a coarse quantum can only
+        // claim Feasible even when the search runs to completion, so the
+        // outcome is rightly degraded — but the row must say *why*.
+        let (sub, g) = fig3();
+        let noise = arch::NoiseModel::synthetic(&g, 7);
+        let router = CyclicSatMap::new(SatMapConfig::monolithic().with_totalizer_units(1));
+        let outcome = router.route_request(
+            &RouteRequest::new(&sub, &g).with_objective(circuit::Objective::Fidelity(noise)),
+        );
+        assert!(outcome.solved());
+        assert_eq!(outcome.quality(), circuit::RouteQuality::Degraded);
+        assert_eq!(outcome.diagnostic("degraded_reason"), Some("quantized"));
+    }
+
+    #[test]
+    fn proven_route_carries_no_degraded_reason() {
+        let (sub, g) = fig3();
+        let router = CyclicSatMap::new(SatMapConfig::monolithic());
+        let outcome = router.route_request(&RouteRequest::new(&sub, &g));
+        assert!(outcome.solved());
+        assert_eq!(outcome.quality(), circuit::RouteQuality::Optimal);
+        assert_eq!(outcome.diagnostic("degraded_reason"), None);
     }
 
     #[test]

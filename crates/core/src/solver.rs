@@ -120,7 +120,7 @@ pub fn planned_width(
         .with_encoding_estimate(encoding_estimate(circuit, graph, swaps_per_gap));
     maxsat::dispatch::plan(
         &features,
-        crate::config::engine_strategy(strategy),
+        crate::config::engine_strategy(strategy, &features),
         crate::config::width_hint(parallelism),
     )
     .total_width()
@@ -137,7 +137,7 @@ pub fn plan_ceiling(parallelism: circuit::Parallelism, strategy: circuit::Search
     };
     maxsat::dispatch::plan(
         &hardest,
-        crate::config::engine_strategy(strategy),
+        crate::config::engine_strategy(strategy, &hardest),
         crate::config::width_hint(parallelism),
     )
     .total_width()
@@ -200,13 +200,52 @@ fn decode_monolithic(
     }
 }
 
+/// Proof status of a routing attempt's accepted models, threaded through
+/// every solver call of the attempt. Starts proven; the first
+/// [`MaxSatStatus::Feasible`] answer downgrades it and records *why* the
+/// proof was lost, so a `degraded` row is diagnosable: weight
+/// quantization caps the claim at Feasible even when the search ran to
+/// completion (`"quantized"`), while an expiring budget returns whatever
+/// incumbent the anytime search held (`"budget-exhausted"`).
+pub(crate) struct Proof {
+    proved: bool,
+    reason: Option<&'static str>,
+}
+
+impl Proof {
+    pub(crate) fn new() -> Self {
+        Proof {
+            proved: true,
+            reason: None,
+        }
+    }
+
+    /// Downgrades the proof when `out` accepted an unproven incumbent,
+    /// keeping the first downgrade's reason.
+    pub(crate) fn observe(&mut self, out: &maxsat::MaxSatOutcome) {
+        if matches!(out.status, MaxSatStatus::Feasible) {
+            self.proved = false;
+            self.reason.get_or_insert(if out.quantum > 1 {
+                "quantized"
+            } else {
+                "budget-exhausted"
+            });
+        }
+    }
+}
+
 /// Stamps the outcome's quality from the proof status of its accepted
 /// model: a solved result whose optimality was *not* certified (the
-/// anytime search returned an incumbent, not a proof) is `Degraded`;
-/// everything else keeps the `Optimal` default.
-pub(crate) fn stamp_quality(outcome: RouteOutcome, proved: bool) -> RouteOutcome {
-    if outcome.solved() && !proved {
-        outcome.with_quality(RouteQuality::Degraded)
+/// anytime search returned an incumbent, not a proof) is `Degraded` and
+/// carries a `degraded_reason` diagnostic; everything else keeps the
+/// `Optimal` default.
+pub(crate) fn stamp_quality(outcome: RouteOutcome, proof: &Proof) -> RouteOutcome {
+    if outcome.solved() && !proof.proved {
+        let outcome = outcome.with_quality(RouteQuality::Degraded);
+        match proof.reason {
+            Some(reason) => outcome.with_diagnostic("degraded_reason", reason),
+            None => outcome,
+        }
     } else {
         outcome
     }
@@ -271,7 +310,7 @@ impl<B: SatBackend + Default + Send> SatMap<B> {
 
     /// Routes the whole request under the already-resolved parameters,
     /// returning the result plus the solver effort spent — including
-    /// effort spent on failed attempts. `proved` is cleared when any
+    /// effort spent on failed attempts. `proof` is downgraded when any
     /// accepted model is an unproven incumbent ([`MaxSatStatus::Feasible`],
     /// e.g. a cancelled anytime search): the solution still verifies but
     /// must be stamped [`circuit::RouteQuality::Degraded`].
@@ -279,7 +318,7 @@ impl<B: SatBackend + Default + Send> SatMap<B> {
         &self,
         request: &RouteRequest<'_>,
         p: &Resolved,
-        proved: &mut bool,
+        proof: &mut Proof,
     ) -> (Result<RoutedCircuit, RouteError>, SolverTelemetry) {
         let mut telemetry = SolverTelemetry::new();
         if let Err(e) = request.validate() {
@@ -288,13 +327,13 @@ impl<B: SatBackend + Default + Send> SatMap<B> {
         let (circuit, graph) = (request.circuit(), request.graph());
         let budget = p.budget.arm();
         let result = match p.slice_size {
-            None => self.route_monolithic(circuit, graph, p, &budget, &mut telemetry, proved),
+            None => self.route_monolithic(circuit, graph, p, &budget, &mut telemetry, proof),
             Some(size) => {
                 if circuit.num_two_qubit_gates() <= size {
                     // One slice: identical to monolithic.
-                    self.route_monolithic(circuit, graph, p, &budget, &mut telemetry, proved)
+                    self.route_monolithic(circuit, graph, p, &budget, &mut telemetry, proof)
                 } else {
-                    self.route_sliced(circuit, graph, size, p, &budget, &mut telemetry, proved)
+                    self.route_sliced(circuit, graph, size, p, &budget, &mut telemetry, proof)
                 }
             }
         };
@@ -309,14 +348,12 @@ impl<B: SatBackend + Default + Send> SatMap<B> {
         p: &Resolved,
         budget: &ResourceBudget,
         telemetry: &mut SolverTelemetry,
-        proved: &mut bool,
+        proof: &mut Proof,
     ) -> Result<RoutedCircuit, RouteError> {
         guard_memory(circuit, graph, p)?;
         let enc = self.build_encoding(circuit, graph, EncodeShape::first_slice(), p, telemetry);
         let out = self.solve_instance(&enc, p, budget, telemetry);
-        if matches!(out.status, MaxSatStatus::Feasible) {
-            *proved = false;
-        }
+        proof.observe(&out);
         decode_monolithic(circuit, &enc, out, p.swaps_per_gap)
     }
 
@@ -398,7 +435,7 @@ impl<B: SatBackend + Default + Send> SatMap<B> {
         session: &mut Option<MaxSatSession<B>>,
     ) -> RouteOutcome {
         let p = self.config.resolve(request);
-        let mut proved = true;
+        let mut proof = Proof::new();
         let outcome = RouteOutcome::capture(self.name(), || {
             let mut telemetry = SolverTelemetry::new();
             if request.fingerprint() != artifact.fingerprint() {
@@ -414,15 +451,13 @@ impl<B: SatBackend + Default + Send> SatMap<B> {
             let out =
                 maxsat::solve_with_session::<B>(artifact.instance(), &budget, &options, session);
             telemetry.absorb(&out.telemetry);
-            if matches!(out.status, MaxSatStatus::Feasible) {
-                proved = false;
-            }
+            proof.observe(&out);
             (
                 decode_monolithic(request.circuit(), artifact.encoding(), out, p.swaps_per_gap),
                 telemetry,
             )
         });
-        self.stamp_diagnostics(stamp_quality(outcome, proved), &p)
+        self.stamp_diagnostics(stamp_quality(outcome, &proof), &p)
     }
 
     /// Routes with warm-start session reuse. A `None` slot (or one left by
@@ -471,12 +506,13 @@ impl<B: SatBackend + Default + Send> SatMap<B> {
         let out =
             maxsat::solve_with_session::<B>(artifact.instance(), &budget, &options, &mut session);
         telemetry.absorb(&out.telemetry);
-        let proved = !matches!(out.status, MaxSatStatus::Feasible);
+        let mut proof = Proof::new();
+        proof.observe(&out);
         let result =
             decode_monolithic(request.circuit(), artifact.encoding(), out, p.swaps_per_gap);
         *slot = Some(RouteSession { artifact, session });
         let outcome = RouteOutcome::new(self.name(), result, telemetry, started.elapsed());
-        self.stamp_diagnostics(stamp_quality(outcome, proved), &p)
+        self.stamp_diagnostics(stamp_quality(outcome, &proof), &p)
     }
 
     /// The diagnostics every SATMAP outcome carries, regardless of which
@@ -514,7 +550,7 @@ impl<B: SatBackend + Default + Send> SatMap<B> {
         p: &Resolved,
         budget: &ResourceBudget,
         telemetry: &mut SolverTelemetry,
-        proved: &mut bool,
+        proof: &mut Proof,
     ) -> Result<RoutedCircuit, RouteError> {
         let slices = circuit.slices(slice_size);
         let n = p.swaps_per_gap;
@@ -536,9 +572,7 @@ impl<B: SatBackend + Default + Send> SatMap<B> {
                 enc.pin_initial_map(&solved[i - 1].final_map);
             }
             let out = self.solve_instance(&enc, p, budget, telemetry);
-            if matches!(out.status, MaxSatStatus::Feasible) {
-                *proved = false;
-            }
+            proof.observe(&out);
             match out.status {
                 MaxSatStatus::Optimal | MaxSatStatus::Feasible => {
                     let model = out.model.expect("status implies model");
@@ -572,7 +606,7 @@ impl<B: SatBackend + Default + Send> SatMap<B> {
                             // slice's leading slots instead of giving up.
                             let pin = solved[i - 1].final_map.clone();
                             let state = self.solve_slice_deepened(
-                                &slices[i], graph, &pin, p, budget, telemetry, proved,
+                                &slices[i], graph, &pin, p, budget, telemetry, proof,
                             )?;
                             push_solved(&mut solved, state, telemetry);
                             i += 1;
@@ -626,9 +660,7 @@ impl<B: SatBackend + Default + Send> SatMap<B> {
                             &p.options_for(instance_features(prev_enc)),
                         );
                         telemetry.absorb(&retry.telemetry);
-                        if matches!(retry.status, MaxSatStatus::Feasible) {
-                            *proved = false;
-                        }
+                        proof.observe(&retry);
                         match retry.status {
                             MaxSatStatus::Optimal | MaxSatStatus::Feasible => {
                                 let model = retry.model.expect("status implies model");
@@ -697,7 +729,7 @@ impl<B: SatBackend + Default + Send> SatMap<B> {
         p: &Resolved,
         budget: &ResourceBudget,
         telemetry: &mut SolverTelemetry,
-        proved: &mut bool,
+        proof: &mut Proof,
     ) -> Result<SliceState, RouteError> {
         let n = p.swaps_per_gap;
         // Routing every logical qubit home costs at most diameter swaps.
@@ -711,9 +743,7 @@ impl<B: SatBackend + Default + Send> SatMap<B> {
             let mut enc = self.build_encoding(slice, graph, shape, p, telemetry);
             enc.pin_initial_map(pin);
             let out = self.solve_instance(&enc, p, budget, telemetry);
-            if matches!(out.status, MaxSatStatus::Feasible) {
-                *proved = false;
-            }
+            proof.observe(&out);
             match out.status {
                 MaxSatStatus::Optimal | MaxSatStatus::Feasible => {
                     let model = out.model.expect("status implies model");
@@ -755,10 +785,10 @@ impl<B: SatBackend + Default + Send> Router for SatMap<B> {
 
     fn route_request(&self, request: &RouteRequest<'_>) -> RouteOutcome {
         let p = self.config.resolve(request);
-        let mut proved = true;
+        let mut proof = Proof::new();
         let outcome =
-            RouteOutcome::capture(self.name(), || self.route_impl(request, &p, &mut proved));
-        self.stamp_diagnostics(stamp_quality(outcome, proved), &p)
+            RouteOutcome::capture(self.name(), || self.route_impl(request, &p, &mut proof));
+        self.stamp_diagnostics(stamp_quality(outcome, &proof), &p)
     }
 }
 

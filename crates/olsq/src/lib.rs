@@ -42,7 +42,11 @@ pub use transition::Transition;
 /// request's strategy knob.
 pub(crate) fn engine_options(request: &circuit::RouteRequest<'_>) -> maxsat::SolveOptions {
     let strategy = match request.strategy() {
-        circuit::SearchStrategy::Linear => maxsat::Strategy::LinearSatUnsat,
+        // The baselines solve unweighted swap-count objectives only, so
+        // the feature-resolved `Auto` default always lands on linear.
+        circuit::SearchStrategy::Auto | circuit::SearchStrategy::Linear => {
+            maxsat::Strategy::LinearSatUnsat
+        }
         circuit::SearchStrategy::CoreGuided => maxsat::Strategy::CoreGuided,
         circuit::SearchStrategy::Race => maxsat::Strategy::Race,
     };

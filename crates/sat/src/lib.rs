@@ -60,6 +60,7 @@ pub mod portfolio;
 mod solver;
 mod stats;
 pub mod telemetry;
+pub mod trim;
 
 pub use backend::{ClauseSink, DefaultBackend, SatBackend};
 pub use budget::{CancelRegistry, CancelToken, ResourceBudget};
@@ -74,3 +75,4 @@ pub use portfolio::{
 pub use solver::{SolveResult, Solver};
 pub use stats::Stats;
 pub use telemetry::SolverTelemetry;
+pub use trim::trim_core;

@@ -67,6 +67,17 @@ pub struct SolverTelemetry {
     /// The instance-hardness signal (vars + hard clauses, or the encoding
     /// estimate pre-encode) the dispatcher sized the plan from.
     pub dispatch_hardness: u64,
+    /// Weight strata the core-guided search partitioned the softs into
+    /// (0 outside the stratified core-guided path; 1 = uniform weights,
+    /// no stratification took effect). A gauge: absorbing takes the max.
+    pub strata: u64,
+    /// Core-exhaustion probes that paid an extra weight unit into the
+    /// lower bound (UNSAT re-solves against a freshly relaxed core's
+    /// tightened totalizer bound, inside one search iteration).
+    pub exhaustion_steps: u64,
+    /// Soft indicators asserted hard because their weight exceeded the
+    /// incumbent-minus-lower-bound gap (RC2-style hardening).
+    pub hardened_softs: u64,
     /// Whether this outcome was served from a route cache without solving.
     pub cache_hit: bool,
     /// Whether the solve warm-started from a prior session's clause DB and
@@ -121,6 +132,9 @@ impl SolverTelemetry {
         }
         self.dispatch_sharing |= child.dispatch_sharing;
         self.dispatch_hardness = self.dispatch_hardness.max(child.dispatch_hardness);
+        self.strata = self.strata.max(child.strata);
+        self.exhaustion_steps += child.exhaustion_steps;
+        self.hardened_softs += child.hardened_softs;
         self.cache_hit |= child.cache_hit;
         self.warm_start |= child.warm_start;
         self.reused_clauses += child.reused_clauses;
@@ -156,6 +170,13 @@ impl std::fmt::Display for SolverTelemetry {
                 f,
                 " dispatch={mix}x{} sharing={}",
                 self.dispatch_width, self.dispatch_sharing
+            )?;
+        }
+        if self.strata > 0 {
+            write!(
+                f,
+                " strata={} exhaustion={} hardened={}",
+                self.strata, self.exhaustion_steps, self.hardened_softs
             )?;
         }
         if self.cache_hit {
@@ -237,6 +258,32 @@ mod tests {
         assert!(s.contains("sat_calls=0"));
         assert!(s.contains("solve=0.000s"));
         assert!(!s.contains("dispatch="), "no dispatch decision, no noise");
+    }
+
+    #[test]
+    fn absorb_stratification_fields() {
+        let mut parent = SolverTelemetry {
+            strata: 2,
+            exhaustion_steps: 3,
+            hardened_softs: 1,
+            ..SolverTelemetry::new()
+        };
+        parent.absorb(&SolverTelemetry {
+            strata: 5,
+            exhaustion_steps: 4,
+            hardened_softs: 2,
+            ..SolverTelemetry::new()
+        });
+        assert_eq!(parent.strata, 5, "strata is a gauge: max wins");
+        assert_eq!(parent.exhaustion_steps, 7, "exhaustion steps sum");
+        assert_eq!(parent.hardened_softs, 3, "hardened softs sum");
+        assert!(parent
+            .to_string()
+            .contains("strata=5 exhaustion=7 hardened=3"));
+        assert!(
+            !SolverTelemetry::new().to_string().contains("strata="),
+            "no stratified search, no noise"
+        );
     }
 
     #[test]

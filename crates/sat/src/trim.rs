@@ -1,0 +1,148 @@
+//! Budget-capped trimming of UNSAT cores.
+//!
+//! Assumption cores returned by CDCL solvers are rarely minimal: the final
+//! conflict analysis keeps every assumption that happened to sit on the
+//! trail, not the subset that is actually needed. Core-guided MaxSAT pays
+//! for that slack twice — the relaxation totalizer built over the core
+//! grows with its size, and the totalizer's outputs feed later cores. A
+//! cheap trimming pass before relaxation keeps both small.
+//!
+//! [`trim_core`] runs the classic destructive loop: drop one assumption,
+//! re-solve under the rest, and on UNSAT *adopt the solver's new core*
+//! (a subset of the candidate, often much smaller than just "one fewer").
+//! Every probe is a full SAT call, so the pass is capped by an explicit
+//! probe budget and the caller's [`ResourceBudget`] deadline; whatever
+//! core the cap interrupts is still a correct (if unminimized) core.
+
+use crate::backend::SatBackend;
+use crate::budget::ResourceBudget;
+use crate::{Lit, SolveResult};
+
+/// Shrinks `core` (a set of assumption literals whose conjunction is
+/// unsatisfiable with the backend's clauses) by destructive probing:
+/// repeatedly drop one literal, re-solve under the remainder, and adopt
+/// the backend's returned core whenever the remainder is still UNSAT.
+///
+/// Spends at most `max_probes` SAT calls and stops early once `budget`
+/// expires; an `Unknown` probe answer conservatively keeps the dropped
+/// literal. The result is always a subset of `core` that is itself an
+/// UNSAT core (the input is returned unchanged when no probe ran).
+///
+/// # Examples
+///
+/// ```
+/// use sat::{trim_core, Lit, ResourceBudget, SatBackend, Solver};
+///
+/// let mut s = Solver::new();
+/// let (a, b, c) = (Lit::from_dimacs(1), Lit::from_dimacs(2), Lit::from_dimacs(3));
+/// s.reserve_vars(3);
+/// s.add_clause([!a, !b]); // a and b cannot both hold
+/// let trimmed = trim_core(&mut s, vec![a, b, c], &ResourceBudget::unlimited(), 8);
+/// assert!(trimmed.len() <= 2);
+/// assert!(!trimmed.contains(&c));
+/// ```
+pub fn trim_core<B: SatBackend + ?Sized>(
+    backend: &mut B,
+    mut core: Vec<Lit>,
+    budget: &ResourceBudget,
+    max_probes: u32,
+) -> Vec<Lit> {
+    let mut probes = 0u32;
+    // Probe from the back so index bookkeeping survives adoption of a
+    // smaller core (we simply restart from the new end).
+    let mut i = core.len();
+    while i > 0 && core.len() > 1 && probes < max_probes && !budget.expired() {
+        i -= 1;
+        let mut candidate = core.clone();
+        candidate.swap_remove(i);
+        probes += 1;
+        match backend.solve_under_assumptions(&candidate, budget) {
+            SolveResult::Unsat => {
+                // The new core is a subset of `candidate`, so it excludes
+                // the dropped literal and possibly more.
+                let next = backend.unsat_core().to_vec();
+                core = if next.is_empty() { candidate } else { next };
+                i = core.len().min(i);
+            }
+            // SAT (the dropped literal was necessary) or Unknown (budget
+            // noise): keep the literal and move on.
+            SolveResult::Sat | SolveResult::Unknown => {}
+        }
+    }
+    core
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Lit, Solver};
+
+    fn lit(d: i64) -> Lit {
+        Lit::from_dimacs(d)
+    }
+
+    /// Plants a 2-literal conflict among a pile of free assumptions: only
+    /// {a, b} is a real core; c..f are padding a naive core could drag in.
+    fn planted(n_padding: usize) -> (Solver, Vec<Lit>) {
+        let mut s = Solver::new();
+        s.reserve_vars(2 + n_padding);
+        let a = lit(1);
+        let b = lit(2);
+        s.add_clause([!a, !b]);
+        let mut assumptions = vec![a, b];
+        for i in 0..n_padding {
+            assumptions.push(lit(3 + i as i64));
+        }
+        (s, assumptions)
+    }
+
+    #[test]
+    fn trims_padding_down_to_the_planted_core() {
+        let (mut s, inflated) = planted(4);
+        let trimmed = trim_core(&mut s, inflated.clone(), &ResourceBudget::unlimited(), 16);
+        assert!(trimmed.len() <= 2, "planted core has two members");
+        assert!(trimmed.iter().all(|l| inflated.contains(l)), "subset");
+        // The trimmed set is still a core.
+        assert_eq!(
+            s.solve_under_assumptions(&trimmed, &ResourceBudget::unlimited()),
+            SolveResult::Unsat
+        );
+    }
+
+    #[test]
+    fn zero_probe_cap_returns_the_input_unchanged() {
+        let (mut s, inflated) = planted(3);
+        let out = trim_core(&mut s, inflated.clone(), &ResourceBudget::unlimited(), 0);
+        assert_eq!(out, inflated);
+    }
+
+    #[test]
+    fn expired_budget_returns_the_input_unchanged() {
+        let (mut s, inflated) = planted(3);
+        let spent = ResourceBudget::with_time(std::time::Duration::ZERO).arm();
+        let out = trim_core(&mut s, inflated.clone(), &spent, 16);
+        assert_eq!(out, inflated);
+    }
+
+    #[test]
+    fn probe_cap_bounds_the_work_but_keeps_a_core() {
+        let (mut s, inflated) = planted(6);
+        let out = trim_core(&mut s, inflated, &ResourceBudget::unlimited(), 1);
+        // One probe can only shrink so far, but the result must stay UNSAT.
+        assert_eq!(
+            s.solve_under_assumptions(&out, &ResourceBudget::unlimited()),
+            SolveResult::Unsat
+        );
+    }
+
+    #[test]
+    fn minimal_cores_survive_trimming_intact() {
+        let mut s = Solver::new();
+        s.reserve_vars(3);
+        let (a, b, c) = (lit(1), lit(2), lit(3));
+        // All three assumptions are needed: ¬(a ∧ b ∧ c).
+        s.add_clause([!a, !b, !c]);
+        let out = trim_core(&mut s, vec![a, b, c], &ResourceBudget::unlimited(), 16);
+        assert_eq!(out.len(), 3, "nothing to trim from a minimal core");
+    }
+}

@@ -732,12 +732,13 @@ fn parse_parallelism(v: &JsonValue) -> Result<Parallelism, WireError> {
 
 fn parse_strategy(v: &JsonValue) -> Result<SearchStrategy, WireError> {
     match v.get("strategy").map(|s| (s, s.as_str())) {
-        None => Ok(SearchStrategy::Linear),
+        None => Ok(SearchStrategy::default()),
+        Some((_, Some("auto"))) => Ok(SearchStrategy::Auto),
         Some((_, Some("linear"))) => Ok(SearchStrategy::Linear),
         Some((_, Some("core-guided"))) => Ok(SearchStrategy::CoreGuided),
         Some((_, Some("race"))) => Ok(SearchStrategy::Race),
         Some(_) => Err(WireError::new(
-            "'strategy' must be \"linear\", \"core-guided\", or \"race\"",
+            "'strategy' must be \"auto\", \"linear\", \"core-guided\", or \"race\"",
         )),
     }
 }

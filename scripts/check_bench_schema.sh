@@ -26,11 +26,14 @@ done
 # resilience fields (quality, attempts, worker_panics) with the routing
 # supervisor; request_id (per-row tracing id) with the routing service;
 # the dispatch fields (dispatch_width, dispatch_mix, dispatch_sharing,
-# dispatch_hardness) with the adaptive dispatcher.
+# dispatch_hardness) with the adaptive dispatcher; the weighted-core
+# fields (strata, exhaustion_steps, hardened_softs) with the
+# weight-stratified core-guided search.
 for key in clauses_exported clauses_imported useful_imports cross_call_imports \
            compactions arena_bytes strategy cache_hit warm_start reused_clauses \
            quality attempts worker_panics request_id \
-           dispatch_width dispatch_mix dispatch_sharing dispatch_hardness; do
+           dispatch_width dispatch_mix dispatch_sharing dispatch_hardness \
+           strata exhaustion_steps hardened_softs; do
     grep -q "\"$key\"" "$report" || fail "missing telemetry field \"$key\""
 done
 
@@ -38,6 +41,8 @@ done
 for group in '"sharing/on"' '"sharing/off"' '"arena/clone"' '"arena/reemit"' \
              '"maxsat_strategies/linear"' '"maxsat_strategies/core-guided"' \
              '"maxsat_strategies/race"' \
+             '"weighted_core/stratified"' '"weighted_core/plain"' \
+             '"weighted_core/linear"' \
              '"warmstart/cold"' '"warmstart/warm"' '"warmstart/cache-hit"' \
              '"dispatch/auto/fig3"' '"dispatch/serial/fig3"' '"dispatch/width4/fig3"' \
              '"dispatch/auto/random12"' '"dispatch/serial/random12"' \
